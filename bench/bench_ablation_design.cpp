@@ -1,0 +1,109 @@
+// Design-choice ablations (DESIGN.md Sec 6) on the M1 system:
+//   1. MSE threshold sweep — Sec 3.3 fixes 0.5 because "more than 0.5 MSE
+//      ... emitted chains quite dissimilar from the trained failure chains";
+//      the sweep exposes the precision/recall cliff around that value.
+//   2. Cumulative vs adjacent deltaT — Sec 3.2's cumulative time-to-terminal
+//      encoding vs plain inter-arrival gaps: the lead-time forecast
+//      (predicted minutes-to-failure) should degrade without the cumulative
+//      signal.
+//   3. Skip-gram pre-training on/off — Sec 3.1's word-embedding
+//      vectorization as initialization for the LSTM embedding tables.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/phase3.hpp"
+#include "util/table.hpp"
+
+using namespace desh;
+
+namespace {
+
+struct AblationOutcome {
+  core::SystemEvaluation eval;
+  double lead_forecast_error = 0;  // mean |predicted - actual| lead, seconds
+};
+
+AblationOutcome evaluate_run(const bench::SystemRun& r) {
+  AblationOutcome out{core::Evaluator::evaluate(r.run.candidates,
+                                                r.run.predictions, r.log.truth),
+                      0};
+  double err = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < r.run.predictions.size(); ++i) {
+    const core::FailurePrediction& p = r.run.predictions[i];
+    if (!p.flagged) continue;
+    err += std::abs(p.predicted_lead_seconds - p.lead_seconds);
+    ++n;
+  }
+  out.lead_forecast_error = n ? err / static_cast<double>(n) : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Design ablations on M1 ===\n\n";
+  const logs::SystemProfile profile = logs::profile_m1();
+
+  // --- Baseline run (paper configuration) -------------------------------
+  const bench::SystemRun base = bench::run_system(profile);
+  const AblationOutcome base_out = evaluate_run(base);
+
+  // --- 1. Threshold sweep: re-decide, no retraining needed --------------
+  std::cout << "\n--- 1. MSE threshold sweep (paper operating point: 0.5) ---\n";
+  util::TextTable tsweep({"Threshold", "Recall %", "Precision %", "FP rate %"});
+  for (const float threshold : {0.15f, 0.3f, 0.5f, 0.7f, 0.9f, 1.2f}) {
+    core::Phase3Config p3 = base.pipeline.config().phase3;
+    p3.mse_threshold = threshold;
+    core::Phase3Predictor predictor(base.pipeline.phase2().model(), p3);
+    std::vector<core::FailurePrediction> predictions;
+    for (const chains::CandidateSequence& c : base.run.candidates)
+      predictions.push_back(predictor.decide(c));
+    const auto eval = core::Evaluator::evaluate(base.run.candidates,
+                                                predictions, base.log.truth);
+    tsweep.add_row({util::format_fixed(threshold, 2),
+                    bench::pct(eval.metrics.recall),
+                    bench::pct(eval.metrics.precision),
+                    bench::pct(eval.metrics.fp_rate)});
+  }
+  tsweep.print(std::cout);
+  std::cout << "Expected shape: recall saturates near 0.5 while the FP rate "
+               "keeps climbing — the paper's threshold sits at the knee.\n";
+
+  // --- 2 & 3. Retraining ablations ---------------------------------------
+  core::DeshConfig adjacent_config;
+  adjacent_config.phase3.cumulative_dt = false;
+  std::cout << "\n--- 2. deltaT encoding (retrains phase 2) ---\n";
+  const bench::SystemRun adjacent = bench::run_system(profile, adjacent_config);
+  const AblationOutcome adjacent_out = evaluate_run(adjacent);
+
+  core::DeshConfig no_sg_config;
+  no_sg_config.skipgram.enabled = false;
+  std::cout << "\n--- 3. skip-gram pre-training (retrains phases 1-2) ---\n";
+  const bench::SystemRun no_sg = bench::run_system(profile, no_sg_config);
+  const AblationOutcome no_sg_out = evaluate_run(no_sg);
+
+  std::cout << "\n";
+  util::TextTable table({"Variant", "Recall %", "Precision %",
+                         "Lead forecast err s", "Phase1 acc %"});
+  auto add = [&](const std::string& name, const bench::SystemRun& r,
+                 const AblationOutcome& o) {
+    table.add_row({name, bench::pct(o.eval.metrics.recall),
+                   bench::pct(o.eval.metrics.precision),
+                   util::format_fixed(o.lead_forecast_error, 1),
+                   bench::pct(r.fit.phase1_accuracy)});
+  };
+  add("paper config (cumulative dT, skip-gram)", base, base_out);
+  add("adjacent dT", adjacent, adjacent_out);
+  add("no skip-gram init", no_sg, no_sg_out);
+  table.print(std::cout);
+
+  std::cout << "\nKey claim (Sec 3.2): the cumulative deltaT carries the "
+               "lead-time signal — its forecast error ("
+            << util::format_fixed(base_out.lead_forecast_error, 1)
+            << "s) should be clearly below the adjacent-gap encoding's ("
+            << util::format_fixed(adjacent_out.lead_forecast_error, 1)
+            << "s).\n";
+  return 0;
+}

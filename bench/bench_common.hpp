@@ -1,0 +1,69 @@
+// Shared harness for the paper-reproduction benches: runs the full Desh
+// pipeline (generate -> split -> fit -> predict -> evaluate) for a system
+// profile and returns everything the individual table/figure benches print.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "logs/generator.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace desh::bench {
+
+struct SystemRun {
+  logs::SystemProfile profile;
+  logs::SyntheticLog log;
+  core::DeshPipeline pipeline;
+  core::FitReport fit;
+  core::TestRun run;
+  core::SystemEvaluation eval;
+  double fit_seconds = 0;
+  double predict_seconds = 0;
+};
+
+/// Runs one system end to end. The pipeline config defaults to the paper's
+/// Table 5 parameters; callers may override (ablations).
+inline SystemRun run_system(const logs::SystemProfile& profile,
+                            core::DeshConfig config = {},
+                            bool verbose = true) {
+  SystemRun out{profile, {}, core::DeshPipeline(config), {}, {}, {}};
+  if (verbose)
+    std::cout << "[" << profile.name << "] generating "
+              << profile.node_count << "-node / " << profile.duration_hours
+              << "h trace..." << std::flush;
+  logs::SyntheticCraySource source(profile);
+  out.log = source.generate();
+  auto [train, test] =
+      core::split_corpus(out.log.records, out.log.truth.split_time);
+  if (verbose)
+    std::cout << " " << out.log.records.size() << " records. training..."
+              << std::flush;
+  util::Stopwatch sw;
+  out.fit = out.pipeline.fit(train);
+  out.fit_seconds = sw.elapsed_seconds();
+  sw.reset();
+  out.run = out.pipeline.predict(test);
+  out.predict_seconds = sw.elapsed_seconds();
+  out.eval = core::Evaluator::evaluate(out.run.candidates, out.run.predictions,
+                                       out.log.truth);
+  if (verbose)
+    std::cout << " done (" << util::format_fixed(out.fit_seconds, 1) << "s fit, "
+              << util::format_fixed(out.predict_seconds, 1) << "s predict)\n";
+  return out;
+}
+
+inline std::string pct(double fraction, int decimals = 1) {
+  return util::format_fixed(fraction * 100.0, decimals);
+}
+
+/// Prints the standard bench footer comparing against a paper value.
+inline std::string paper_vs(double paper, double measured, int decimals = 1) {
+  return "paper=" + util::format_fixed(paper, decimals) +
+         " measured=" + util::format_fixed(measured, decimals);
+}
+
+}  // namespace desh::bench

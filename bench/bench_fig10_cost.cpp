@@ -1,0 +1,81 @@
+// Figure 10 — "Cost Analysis" (Sec 4.4): prediction time as a function of
+// the number of prediction steps (1..3) for history sizes 5 and 8, measured
+// with google-benchmark on the trained phase-1 LSTM. The paper's shape:
+// more steps cost more; history 8 is slightly slower than history 5
+// (~0.1-0.7 ms per prediction on their platform).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/phase1.hpp"
+#include "core/pipeline.hpp"
+#include "logs/generator.hpp"
+
+using namespace desh;
+
+namespace {
+
+// One trained model shared across all benchmark cases (training is not what
+// Fig 10 measures — "training phases 1 and 2 are performed offline").
+struct TrainedFixture {
+  core::DeshPipeline pipeline;
+  logs::SyntheticLog log;
+  std::vector<std::uint32_t> stream;
+
+  TrainedFixture() {
+    logs::SystemProfile profile = logs::profile_tiny(77);
+    profile.failure_count = 60;
+    logs::SyntheticCraySource source(profile);
+    log = source.generate();
+    auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+    core::DeshConfig config;
+    config.phase1.epochs = 1;  // cost, not accuracy, is measured here
+    config.phase2.epochs = 20;
+    pipeline.fit(train);
+    // A long phrase stream to draw prediction windows from.
+    logs::PhraseVocab vocab = pipeline.vocab();
+    chains::ParsedLog parsed = chains::parse_corpus(test, vocab, false);
+    for (const logs::NodeId& node : parsed.sorted_nodes())
+      for (const chains::ParsedEvent& e : parsed.by_node.at(node))
+        stream.push_back(e.phrase);
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture f;
+  return f;
+}
+
+void BM_Prediction(benchmark::State& state) {
+  const auto history = static_cast<std::size_t>(state.range(0));
+  const auto steps = static_cast<std::size_t>(state.range(1));
+  TrainedFixture& f = fixture();
+  const nn::PhraseModel& model = f.pipeline.phase1().model();
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    if (cursor + history >= f.stream.size()) cursor = 0;
+    std::span<const std::uint32_t> window(f.stream.data() + cursor, history);
+    benchmark::DoNotOptimize(model.predict_steps(window, steps));
+    cursor += history;
+  }
+  state.SetLabel("history=" + std::to_string(history) +
+                 " steps=" + std::to_string(steps));
+}
+
+}  // namespace
+
+// The paper's grid: steps of prediction x history size {5, 8}.
+BENCHMARK(BM_Prediction)
+    ->ArgsProduct({{5, 8}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Figure 10: Cost Analysis — prediction time vs #steps for history "
+      "5 and 8 ===\n(paper shape: 3-step > 1-step; history 8 slightly above "
+      "history 5; ~0.1-0.7 ms range)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 4 — "Prediction Rates": recall, precision, accuracy and F1 score
+// for each of the four systems (Observation 1: >=84% precision, >=83.6%
+// accuracy, >=85.7% F1, recall up to 87.5%).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace desh;
+
+int main() {
+  std::cout << "=== Figure 4: Prediction Rates (Desh three-phase LSTM) ===\n"
+            << "Table 5 config: phase1 2HL/HS8/3-step CCE+SGD, "
+               "phase2 2HL/HS5/1-step MSE+RMSprop, threshold 0.5\n\n";
+
+  util::TextTable table({"System", "Recall %", "(paper)", "Precision %",
+                         "(paper)", "Accuracy %", "(paper)", "F1 %",
+                         "(paper)"});
+  double min_precision = 100, min_accuracy = 100, min_f1 = 100,
+         max_recall = 0;
+  for (const logs::SystemProfile& profile : logs::all_system_profiles()) {
+    const bench::SystemRun r = bench::run_system(profile);
+    const core::Metrics& m = r.eval.metrics;
+    table.add_row({profile.name, bench::pct(m.recall),
+                   util::format_fixed(profile.paper.recall, 1),
+                   bench::pct(m.precision),
+                   util::format_fixed(profile.paper.precision, 1),
+                   bench::pct(m.accuracy),
+                   util::format_fixed(profile.paper.accuracy, 1),
+                   bench::pct(m.f1), util::format_fixed(profile.paper.f1, 1)});
+    min_precision = std::min(min_precision, m.precision * 100);
+    min_accuracy = std::min(min_accuracy, m.accuracy * 100);
+    min_f1 = std::min(min_f1, m.f1 * 100);
+    max_recall = std::max(max_recall, m.recall * 100);
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nObservation 1 check (paper: precision>=84, accuracy>=83.6, "
+               "F1>=85.7, recall as high as 87.5):\n"
+            << "  min precision = " << util::format_fixed(min_precision, 1)
+            << "  min accuracy = " << util::format_fixed(min_accuracy, 1)
+            << "  min F1 = " << util::format_fixed(min_f1, 1)
+            << "  max recall = " << util::format_fixed(max_recall, 1) << "\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 7 + Figure 6 — "Lead Times + Failure Classes": average lead time and
+// standard deviation per failure class, pooled across the four systems
+// (Observation 2: per-class lead times differ; Observation 4: per-class
+// deviation is lower than per-system deviation).
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace desh;
+
+int main() {
+  std::cout << "=== Table 7 / Figure 6: Lead Times by Failure Class ===\n\n";
+
+  std::array<util::SampleSet, logs::kFailureClassCount> pooled;
+  util::SampleSet all_leads;
+  std::array<double, 4> per_system_stddev{};
+  std::size_t system_index = 0;
+  for (const logs::SystemProfile& profile : logs::all_system_profiles()) {
+    const bench::SystemRun r = bench::run_system(profile);
+    for (std::size_t c = 0; c < logs::kFailureClassCount; ++c)
+      for (double lead : r.eval.lead_by_class[c].samples()) {
+        pooled[c].add(lead);
+        all_leads.add(lead);
+      }
+    per_system_stddev[system_index++] = r.eval.lead_times.stddev();
+  }
+
+  std::cout << "\n";
+  util::TextTable table({"Class", "Failures (paper examples)", "TPs",
+                         "Avg Lead s", "(paper)", "StdDev s"});
+  static const char* kDescriptions[] = {
+      "Slurm scheduler errors, task/application bugs",
+      "Machine check exceptions, page/memory faults",
+      "Lustre/DVS bugs, packet/protocol errors",
+      "Segfaults, trap invalid opcode",
+      "NMI faults, critical h/w, heartbeat errors",
+      "Stack trace, kernel panic"};
+  double mean_class_stddev = 0;
+  for (std::size_t c = 0; c < logs::kFailureClassCount; ++c) {
+    const auto cls = static_cast<logs::FailureClass>(c);
+    table.add_row({std::string(logs::failure_class_name(cls)),
+                   kDescriptions[c], std::to_string(pooled[c].count()),
+                   util::format_fixed(pooled[c].mean(), 2),
+                   util::format_fixed(logs::paper_lead_time_seconds(cls), 2),
+                   util::format_fixed(pooled[c].stddev(), 2)});
+    mean_class_stddev += pooled[c].stddev() / logs::kFailureClassCount;
+  }
+  table.print(std::cout);
+
+  double mean_system_stddev = 0;
+  for (double s : per_system_stddev) mean_system_stddev += s / 4.0;
+  std::cout << "\nObservation 4 check: per-class lead-time stddev (avg "
+            << util::format_fixed(mean_class_stddev, 1)
+            << "s) vs per-system stddev (avg "
+            << util::format_fixed(mean_system_stddev, 1)
+            << "s) — classes have distinct, reproducible lead times when the "
+               "class deviation is lower.\n";
+  std::cout << "Observation 2 check: Panic has the shortest lead (paper "
+               "~59s), MCE the longest (paper ~160s): measured Panic="
+            << util::format_fixed(
+                   pooled[static_cast<std::size_t>(logs::FailureClass::kPanic)]
+                       .mean(),
+                   1)
+            << "s MCE="
+            << util::format_fixed(
+                   pooled[static_cast<std::size_t>(logs::FailureClass::kMce)]
+                       .mean(),
+                   1)
+            << "s\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 8 + Figure 9 + Table 9 — "Unknown Phrase Analysis" (Sec 4.3):
+// the fraction of each Unknown phrase's occurrences that belongs to a
+// node-failure chain, demonstrating Observations 5/6 (an anomalous-looking
+// phrase is benign in one context and part of a failure chain in another).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "chains/unknown_analysis.hpp"
+#include "util/table.hpp"
+
+using namespace desh;
+
+int main() {
+  std::cout << "=== Table 8 / Figure 9: Unknown Tagged Phrases ===\n\n";
+
+  // Pool occurrences across all four systems' corpora.
+  std::vector<chains::UnknownPhraseStat> pooled;
+  for (const logs::SystemProfile& profile : logs::all_system_profiles()) {
+    std::cout << "[" << profile.name << "] generating + scanning corpus...\n";
+    logs::SyntheticCraySource source(profile);
+    const logs::SyntheticLog log = source.generate();
+    const auto stats =
+        chains::UnknownPhraseAnalyzer::analyze(log.records, log.truth);
+    if (pooled.empty()) {
+      pooled = stats;
+    } else {
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        pooled[i].total += stats[i].total;
+        pooled[i].in_failures += stats[i].in_failures;
+      }
+    }
+  }
+
+  std::cout << "\n";
+  util::TextTable table({"#", "Phrase", "Occurrences",
+                         "Contribution %", "(paper)"});
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    const chains::UnknownPhraseStat& s = pooled[i];
+    table.add_row({"P" + std::to_string(i + 1), s.tmpl,
+                   std::to_string(s.total),
+                   util::format_fixed(s.measured_contribution() * 100, 0),
+                   util::format_fixed(s.paper_contribution * 100, 0)});
+  }
+  table.print(std::cout);
+
+  // Observation 5 demonstration (Table 9): the same phrase appears in both
+  // failure and non-failure sequences.
+  auto most = std::max_element(pooled.begin(), pooled.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.measured_contribution() <
+                                        b.measured_contribution();
+                               });
+  auto least = std::min_element(pooled.begin(), pooled.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.measured_contribution() <
+                                         b.measured_contribution();
+                                });
+  std::cout << "\nObservation 5/6 (Table 9): every phrase above occurs in "
+               "BOTH failure and non-failure sequences.\n  Most "
+               "failure-bound:  \""
+            << most->tmpl << "\" ("
+            << util::format_fixed(most->measured_contribution() * 100, 0)
+            << "% of occurrences precede a node failure)\n  Least "
+               "failure-bound: \""
+            << least->tmpl << "\" ("
+            << util::format_fixed(least->measured_contribution() * 100, 0)
+            << "%) — anomalous phrases alone are not failure indicators; the "
+               "chain context is.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Recovery-impact study — the paper's motivating argument quantified
+// (Sec 1: imperfect prediction still pays because "much cheaper process
+// migrations" replace "expensive checkpoint/restarts"; Sec 4.6: 3 minutes
+// of lead suffices for process migration [41] and DINO cloning [39]).
+//
+// Feeds one simulated cluster workload four recovery policies:
+//   reactive       — periodic checkpointing only, restart after failures;
+//   desh           — plus live migration + quarantine driven by the *actual*
+//                    warnings Desh produced on this system's logs (including
+//                    its false positives and missed failures);
+//   desh+lazy-ckpt — same warnings, checkpoint cadence relaxed 3x (lazy
+//                    checkpointing [40]: prediction covers most failures);
+//   oracle         — perfect warnings, 120 s lead (upper bound).
+// and reports lost node-hours, failure hits vs saves, and job slowdowns.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "recovery/cluster_sim.hpp"
+#include "util/table.hpp"
+
+using namespace desh;
+
+int main() {
+  std::cout << "=== Recovery impact: reactive vs Desh-guided vs oracle ===\n\n";
+
+  const logs::SystemProfile profile = logs::profile_m1();
+  const bench::SystemRun r = bench::run_system(profile);
+
+  // Ground-truth failures in the test window drive the simulation.
+  std::vector<recovery::NodeFailure> failures;
+  for (const logs::FailureEvent& f : r.log.truth.failures)
+    if (f.terminal_time >= r.log.truth.split_time)
+      failures.push_back({f.node, f.terminal_time});
+
+  // Desh's warning stream: every *flagged* candidate (true or false) warns
+  // at (sequence end - achieved lead) — exactly when phase 3 would have
+  // fired in deployment.
+  std::vector<recovery::FailureWarning> desh_warnings;
+  for (std::size_t i = 0; i < r.run.predictions.size(); ++i) {
+    const core::FailurePrediction& p = r.run.predictions[i];
+    if (!p.flagged) continue;
+    desh_warnings.push_back(
+        {p.node, std::max(0.0, p.sequence_end_time - p.lead_seconds)});
+  }
+  std::cout << "\n" << failures.size() << " test-window failures, "
+            << desh_warnings.size() << " Desh warnings (TP="
+            << r.eval.counts.tp << ", FP=" << r.eval.counts.fp << ")\n\n";
+
+  logs::SyntheticCraySource source(profile);
+  recovery::WorkloadConfig workload;
+  workload.duration_seconds = r.log.truth.duration_seconds;
+  workload.job_arrival_rate_per_hour = 14.0;
+  workload.seed = 555;
+  recovery::ClusterSimulator sim(source.nodes(), workload);
+
+  recovery::RecoveryPolicyConfig reactive;
+  recovery::RecoveryPolicyConfig proactive = reactive;
+  proactive.proactive = true;
+
+  // With a reliable predictor the checkpoint cadence can also relax (lazy
+  // checkpointing, Tiwari et al. [40], cited in Sec 5): most failures are
+  // caught by migration, so checkpoints exist only for the predictor's
+  // misses.
+  recovery::RecoveryPolicyConfig proactive_lazy = proactive;
+  proactive_lazy.checkpoint_interval *= 3.0;
+
+  const auto res_reactive = sim.run(reactive, "reactive", failures, {});
+  const auto res_desh = sim.run(proactive, "desh", failures, desh_warnings);
+  const auto res_lazy =
+      sim.run(proactive_lazy, "desh+lazy-ckpt", failures, desh_warnings);
+  const auto res_oracle = sim.run(
+      proactive, "oracle", failures,
+      recovery::oracle_warnings(failures, 120.0));
+
+  util::TextTable table({"Policy", "Failure hits", "Saves", "Migrations",
+                         "(wasted)", "Lost work nh", "Overhead nh",
+                         "Quarantine nh", "Total waste nh", "Mean slowdown"});
+  for (const recovery::SimulationResult* res :
+       {&res_reactive, &res_desh, &res_lazy, &res_oracle}) {
+    table.add_row(
+        {res->policy_name, std::to_string(res->failure_hits),
+         std::to_string(res->failure_saves), std::to_string(res->migrations),
+         std::to_string(res->wasted_migrations),
+         util::format_fixed(res->lost_work_seconds / 3600.0, 1),
+         util::format_fixed(res->overhead_seconds / 3600.0, 1),
+         util::format_fixed(res->quarantine_idle_seconds / 3600.0, 1),
+         util::format_fixed(res->total_waste_seconds() / 3600.0, 1),
+         util::format_fixed(res->job_slowdowns.mean(), 2)});
+  }
+  table.print(std::cout);
+
+  const double saved = res_reactive.total_waste_seconds() -
+                       res_lazy.total_waste_seconds();
+  const double saved_pct =
+      100.0 * saved / std::max(1.0, res_reactive.total_waste_seconds());
+  std::cout << "\nDesh-guided recovery cuts wasted node-hours by "
+            << util::format_fixed(saved / 3600.0, 1) << " ("
+            << util::format_fixed(saved_pct, 0)
+            << "% of the reactive policy's waste, combining migration with "
+               "relaxed checkpointing); the oracle bound shows "
+               "the remaining headroom.\nThis reproduces the paper's Sec 1 "
+               "argument: even imperfect prediction converts expensive "
+               "restarts into cheap migrations.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Tables 10 & 11 — "Desh Comparison": Desh vs a DeepLog-style per-entry
+// detector (Du et al. [18]) and a classic n-gram detector, on identical
+// corpora and the identical node-failure task. The paper's claims to
+// reproduce in shape: Desh reaches comparable recall with much higher
+// precision (Table 10 row "Desh": recall 86%, precision 92.2%), and only
+// Desh produces lead times and component locations (Table 11).
+#include <iostream>
+
+#include "baseline/deeplog.hpp"
+#include "baseline/ngram.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace desh;
+
+namespace {
+
+core::SystemEvaluation evaluate_flags(
+    const std::vector<chains::CandidateSequence>& candidates,
+    const std::vector<bool>& flags, const logs::GroundTruth& truth) {
+  std::vector<core::FailurePrediction> predictions(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    predictions[i].node = candidates[i].node;
+    predictions[i].flagged = flags[i];
+    predictions[i].sequence_end_time = candidates[i].end_time();
+  }
+  return core::Evaluator::evaluate(candidates, predictions, truth);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Tables 10/11: Desh vs DeepLog-style vs n-gram ===\n\n";
+
+  core::ConfusionCounts desh_total, deeplog_total, ngram_total;
+  util::RunningStats desh_lead;
+  for (const logs::SystemProfile& profile : logs::all_system_profiles()) {
+    const bench::SystemRun r = bench::run_system(profile);
+    desh_total.tp += r.eval.counts.tp;
+    desh_total.fp += r.eval.counts.fp;
+    desh_total.fn += r.eval.counts.fn;
+    desh_total.tn += r.eval.counts.tn;
+    for (double lead : r.eval.lead_times.samples()) desh_lead.add(lead);
+
+    // Baselines train on the same raw training window & vocabulary and
+    // decide over the same candidate sequences.
+    auto [train, test] =
+        core::split_corpus(r.log.records, r.log.truth.split_time);
+    logs::PhraseVocab vocab = r.pipeline.vocab();
+    chains::ParsedLog parsed_train = chains::parse_corpus(train, vocab, false);
+
+    util::Rng rng(profile.seed ^ 0xBA5EBA11);
+    baseline::DeepLogDetector deeplog(baseline::DeepLogConfig{}, vocab.size(),
+                                      rng);
+    deeplog.fit(parsed_train);
+    baseline::NgramDetector ngram(baseline::NgramConfig{}, vocab.size());
+    ngram.fit(parsed_train);
+
+    std::vector<bool> deeplog_flags, ngram_flags;
+    for (const chains::CandidateSequence& c : r.run.candidates) {
+      deeplog_flags.push_back(deeplog.flags_candidate(c));
+      ngram_flags.push_back(ngram.flags_candidate(c));
+    }
+    const auto dl =
+        evaluate_flags(r.run.candidates, deeplog_flags, r.log.truth);
+    const auto ng = evaluate_flags(r.run.candidates, ngram_flags, r.log.truth);
+    deeplog_total.tp += dl.counts.tp;
+    deeplog_total.fp += dl.counts.fp;
+    deeplog_total.fn += dl.counts.fn;
+    deeplog_total.tn += dl.counts.tn;
+    ngram_total.tp += ng.counts.tp;
+    ngram_total.fp += ng.counts.fp;
+    ngram_total.fn += ng.counts.fn;
+    ngram_total.tn += ng.counts.tn;
+  }
+
+  const core::Metrics desh_m = core::Metrics::from_counts(desh_total);
+  const core::Metrics dl_m = core::Metrics::from_counts(deeplog_total);
+  const core::Metrics ng_m = core::Metrics::from_counts(ngram_total);
+
+  std::cout << "\n--- Table 10 analog (pooled over M1..M4) ---\n";
+  util::TextTable table({"Solution", "Method", "Lead Time", "Recall %",
+                         "Precision %", "FP Rate %", "Location"});
+  table.add_row({"Desh", "3-phase LSTM",
+                 util::format_fixed(desh_lead.mean(), 0) + "s (" +
+                     util::format_fixed(desh_lead.mean() / 60.0, 1) + " min)",
+                 bench::pct(desh_m.recall), bench::pct(desh_m.precision),
+                 bench::pct(desh_m.fp_rate), "node-level"});
+  table.add_row({"DeepLog-style", "per-entry top-g LSTM", "none",
+                 bench::pct(dl_m.recall), bench::pct(dl_m.precision),
+                 bench::pct(dl_m.fp_rate), "none"});
+  table.add_row({"N-gram", "top-g MLE backoff", "none",
+                 bench::pct(ng_m.recall), bench::pct(ng_m.precision),
+                 bench::pct(ng_m.fp_rate), "none"});
+  table.print(std::cout);
+  std::cout << "(paper Table 10: Desh lead 3 min, recall 86%, precision "
+               "92.2%, node-level localization)\n";
+
+  std::cout << "\n--- Table 11 analog: capability matrix ---\n";
+  util::TextTable caps({"Feature", "Desh", "DeepLog-style", "N-gram"});
+  caps.add_row({"No source-code access", "yes", "yes", "yes"});
+  caps.add_row({"Lead time prediction", "yes", "no", "no"});
+  caps.add_row({"Component (node) location", "yes", "no", "no"});
+  caps.add_row({"Sequence-level anomaly", "yes", "no (per entry)",
+                "no (per entry)"});
+  caps.add_row({"Injected failures needed", "no", "no", "no"});
+  caps.add_row({"Node-failure prediction", "yes", "repurposed", "repurposed"});
+  caps.print(std::cout);
+
+  std::cout << "\nShape check: Desh precision ("
+            << bench::pct(desh_m.precision)
+            << "%) should clearly exceed the per-entry detectors ("
+            << bench::pct(dl_m.precision) << "% / " << bench::pct(ng_m.precision)
+            << "%) because per-entry anomaly detection flags every unusual "
+               "sequence, failures and non-failures alike.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: generate a synthetic Cray log, train the three-phase Desh
+// pipeline on the first 30%, predict node failures on the rest, and print
+// the Table 6 metrics plus a few operator warnings.
+//
+//   ./quickstart [--profile tiny|m1|m2|m3|m4] [--seed N]
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "logs/generator.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+using namespace desh;
+
+namespace {
+logs::SystemProfile pick_profile(const std::string& name, std::uint64_t seed) {
+  if (name == "m1") return logs::profile_m1();
+  if (name == "m2") return logs::profile_m2();
+  if (name == "m3") return logs::profile_m3();
+  if (name == "m4") return logs::profile_m4();
+  return logs::profile_tiny(seed);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::string profile_name = args.get("profile", "tiny");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  logs::SystemProfile profile = pick_profile(profile_name, seed);
+  std::cout << "== Desh quickstart on profile '" << profile.name << "' ("
+            << profile.node_count << " nodes, " << profile.duration_hours
+            << "h simulated) ==\n";
+
+  // 1. Generate the raw log (stands in for the vendor-controlled Cray logs).
+  util::Stopwatch sw;
+  logs::SyntheticCraySource source(profile);
+  logs::SyntheticLog log = source.generate();
+  std::cout << "generated " << log.records.size() << " raw log records, "
+            << log.truth.failures.size() << " node failures, "
+            << log.truth.lookalikes.size() << " non-failure anomalies  ["
+            << util::format_fixed(sw.elapsed_seconds(), 2) << "s]\n";
+
+  // 2. Temporal 30/70 train/test split (Sec 4).
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  std::cout << "train records: " << train.size()
+            << "  test records: " << test.size() << "\n";
+
+  // 3. Offline training: phases 1 and 2.
+  sw.reset();
+  core::DeshPipeline pipeline;
+  core::FitReport fit = pipeline.fit(train);
+  std::cout << "fit: vocab=" << fit.vocab_size
+            << " phase1_acc=" << util::format_fixed(fit.phase1_accuracy * 100, 1)
+            << "% chains=" << fit.failure_chains
+            << " phase2_loss=" << util::format_fixed(fit.phase2_loss, 4) << "  ["
+            << util::format_fixed(sw.elapsed_seconds(), 1) << "s]\n";
+
+  // 4. Phase-3 inference on the test window.
+  sw.reset();
+  core::TestRun run = pipeline.predict(test);
+  std::cout << "phase 3 scored " << run.candidates.size()
+            << " candidate sequences  ["
+            << util::format_fixed(sw.elapsed_seconds(), 1) << "s]\n\n";
+
+  // 5. A few operator warnings, exactly as Sec 4.5 phrases them.
+  std::size_t shown = 0;
+  for (const core::FailurePrediction& p : run.predictions) {
+    if (!p.flagged || shown >= 3) continue;
+    std::cout << "  WARNING: " << p.warning_message() << "\n";
+    ++shown;
+  }
+
+  // 6. Score against ground truth.
+  core::SystemEvaluation eval =
+      core::Evaluator::evaluate(run.candidates, run.predictions, log.truth);
+  std::cout << "\nconfusion: TP=" << eval.counts.tp << " FP=" << eval.counts.fp
+            << " FN=" << eval.counts.fn << " TN=" << eval.counts.tn
+            << "  (test failures=" << eval.test_failures << ", novel="
+            << eval.novel_failures << ")\n";
+  std::cout << "recall=" << util::format_fixed(eval.metrics.recall * 100, 1)
+            << "%  precision="
+            << util::format_fixed(eval.metrics.precision * 100, 1)
+            << "%  accuracy="
+            << util::format_fixed(eval.metrics.accuracy * 100, 1)
+            << "%  F1=" << util::format_fixed(eval.metrics.f1 * 100, 1)
+            << "%\nFP rate=" << util::format_fixed(eval.metrics.fp_rate * 100, 1)
+            << "%  FN rate=" << util::format_fixed(eval.metrics.fn_rate * 100, 1)
+            << "%  mean lead time="
+            << util::format_fixed(eval.lead_times.mean(), 1) << "s (predicted "
+            << util::format_fixed(eval.predicted_lead_times.mean(), 1)
+            << "s)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Train-once / deploy-many workflow: the operational shape of Desh
+// (Sec 4.4: "training phases 1 and 2 are performed offline").
+//
+//   1. TRAIN  — fit the pipeline on a training corpus and save it to disk;
+//   2. DEPLOY — a fresh process loads the saved pipeline (no retraining)
+//               and monitors a BSD-syslog-formatted log file live.
+//
+// Run without arguments for a self-contained demo that performs both steps
+// on a synthetic trace (writing its artifacts under a temp directory), or
+// point the stages at real files:
+//
+//   ./train_and_deploy --train corpus.log --model /var/lib/desh/model
+//   ./train_and_deploy --deploy /var/log/console.syslog --model /var/lib/desh/model
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+#include <iostream>
+
+#include "core/monitor.hpp"
+#include "core/persistence.hpp"
+#include "core/pipeline.hpp"
+#include "logs/generator.hpp"
+#include "logs/io.hpp"
+#include "logs/syslog.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+using namespace desh;
+
+namespace {
+
+int train_stage(const std::string& corpus_path, const std::string& model_dir) {
+  std::cout << "[train] loading corpus " << corpus_path << "\n";
+  const logs::LogCorpus corpus = logs::load_corpus(corpus_path);
+  std::cout << "[train] " << corpus.size() << " records; fitting pipeline...\n";
+  util::Stopwatch sw;
+  core::DeshPipeline pipeline;
+  const core::FitReport report = pipeline.fit(corpus);
+  std::cout << "[train] vocab " << report.vocab_size << ", "
+            << report.failure_chains << " failure chains, phase1 acc "
+            << util::format_fixed(report.phase1_accuracy * 100, 1) << "% ["
+            << util::format_fixed(sw.elapsed_seconds(), 1) << "s]\n";
+  core::save_pipeline(pipeline, model_dir);
+  std::cout << "[train] model saved to " << model_dir << "\n";
+  return 0;
+}
+
+int deploy_stage(const std::string& syslog_path, const std::string& model_dir) {
+  std::cout << "[deploy] loading model from " << model_dir << "\n";
+  core::DeshPipeline pipeline = core::load_pipeline(model_dir);
+  std::cout << "[deploy] monitoring " << syslog_path << "\n";
+  const logs::LogCorpus stream = logs::load_syslog_file(syslog_path);
+  core::StreamingMonitor monitor(pipeline);
+  for (const logs::LogRecord& record : stream)
+    if (const auto alert = monitor.observe(record))
+      std::cout << "  ALERT: " << alert->message << "\n";
+  std::cout << "[deploy] " << monitor.records_seen() << " records scanned, "
+            << monitor.alerts_raised() << " alerts raised\n";
+  return 0;
+}
+
+int demo() {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "desh_train_and_deploy";
+  fs::create_directories(dir);
+  const std::string corpus_path = (dir / "train.log").string();
+  const std::string syslog_path = (dir / "console.syslog").string();
+  const std::string model_dir = (dir / "model").string();
+
+  std::cout << "== demo: generating a tiny trace and writing both file "
+               "formats under " << dir << " ==\n";
+  logs::SyntheticCraySource source(logs::profile_tiny(71));
+  const logs::SyntheticLog log = source.generate();
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  logs::save_corpus(train, corpus_path);
+  {
+    // The deployment side reads syslog format, as a real site would have.
+    std::ofstream os(syslog_path);
+    for (const logs::LogRecord& record : test)
+      os << logs::format_syslog_line(record) << "\n";
+  }
+
+  const int train_rc = train_stage(corpus_path, model_dir);
+  if (train_rc != 0) return train_rc;
+  std::cout << "\n-- simulating a separate deployment process --\n";
+  return deploy_stage(syslog_path, model_dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const std::string model_dir = args.get("model", "desh-model");
+  if (args.has("train")) return train_stage(args.get("train", ""), model_dir);
+  if (args.has("deploy")) return deploy_stage(args.get("deploy", ""), model_dir);
+  return demo();
+}

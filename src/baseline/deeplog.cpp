@@ -1,0 +1,84 @@
+#include "baseline/deeplog.hpp"
+
+#include <algorithm>
+
+#include "core/phase1.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::baseline {
+
+DeepLogDetector::DeepLogDetector(const DeepLogConfig& config,
+                                 std::size_t vocab_size, util::Rng& rng)
+    : config_(config),
+      rng_(rng.fork(0xD1)),
+      model_(nn::PhraseModelConfig{vocab_size, config.embed_dim,
+                                   config.hidden_size, config.num_layers},
+             rng_) {}
+
+void DeepLogDetector::fit(const chains::ParsedLog& train) {
+  // DeepLog trains 1-step next-key prediction over sliding windows.
+  const std::size_t window_len = config_.history + 1;
+  nn::Sgd optimizer(config_.learning_rate, config_.momentum);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto windows = core::Phase1Trainer::make_windows(
+        train, window_len, config_.window_stride, config_.max_windows, rng_);
+    util::require(!windows.empty(), "DeepLogDetector::fit: no windows");
+    for (std::size_t start = 0; start < windows.size();
+         start += config_.batch_size) {
+      const std::size_t count =
+          std::min(config_.batch_size, windows.size() - start);
+      model_.train_batch(std::span(windows).subspan(start, count),
+                         /*steps=*/1, optimizer);
+    }
+    optimizer.set_learning_rate(optimizer.learning_rate() * 0.7f);
+  }
+}
+
+bool DeepLogDetector::entry_is_normal(std::span<const std::uint32_t> window,
+                                      std::uint32_t next) const {
+  const std::vector<float> probs = model_.predict_distribution(window);
+  const auto best =
+      tensor::topk(std::span<const float>(probs.data(), probs.size()),
+                   std::min(config_.g, probs.size()));
+  return std::find(best.begin(), best.end(), next) != best.end();
+}
+
+double DeepLogDetector::anomaly_fraction(
+    const chains::CandidateSequence& candidate) const {
+  // DeepLog's normality check uses windows of exactly h keys: entries with
+  // less context than the trained window length are not scored.
+  const auto& events = candidate.events;
+  if (events.size() < config_.history + 1) return 0.0;
+  std::size_t anomalous = 0, scored = 0;
+  std::vector<std::uint32_t> ids(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) ids[i] = events[i].phrase;
+  for (std::size_t t = config_.history; t < ids.size(); ++t) {
+    std::span<const std::uint32_t> window(ids.data() + t - config_.history,
+                                          config_.history);
+    if (!entry_is_normal(window, ids[t])) ++anomalous;
+    ++scored;
+  }
+  return static_cast<double>(anomalous) / static_cast<double>(scored);
+}
+
+bool DeepLogDetector::flags_candidate(
+    const chains::CandidateSequence& candidate) const {
+  const auto& events = candidate.events;
+  if (events.size() < config_.history + 1) return false;
+  std::vector<std::uint32_t> ids(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) ids[i] = events[i].phrase;
+  std::size_t anomalous = 0;
+  for (std::size_t t = config_.history; t < ids.size(); ++t) {
+    std::span<const std::uint32_t> window(ids.data() + t - config_.history,
+                                          config_.history);
+    if (!entry_is_normal(window, ids[t])) {
+      ++anomalous;
+      if (anomalous >= config_.entry_threshold) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace desh::baseline

@@ -1,0 +1,70 @@
+// DeepLog-style baseline (Du et al. [18]) for the Sec 4.5 comparison
+// (Tables 10/11). DeepLog trains a stacked-LSTM next-log-key model on normal
+// executions and declares a log entry anomalous when the actually observed
+// key is absent from the top-g predicted keys. It detects per-entry
+// anomalies — it has no notion of failure chains, lead times, or component
+// location (Table 11 rows 2-4).
+//
+// For a node-failure-prediction comparison on equal footing, the detector is
+// applied to the same candidate sequences Desh scores: a candidate is
+// "flagged" when at least `entry_threshold` of its entries are per-entry
+// anomalous. This reproduces the paper's observation that per-entry
+// detection catches unusual activity indiscriminately — non-failure
+// anomalous sequences are flagged just like real failures (low precision)
+// and nothing distinguishes how *soon* the node will die.
+#pragma once
+
+#include <cstdint>
+
+#include "chains/extractor.hpp"
+#include "chains/parsed_log.hpp"
+#include "nn/phrase_model.hpp"
+#include "util/rng.hpp"
+
+namespace desh::baseline {
+
+struct DeepLogConfig {
+  std::size_t embed_dim = 16;
+  std::size_t hidden_size = 32;
+  std::size_t num_layers = 2;
+  std::size_t history = 5;   // DeepLog's window h (comparable to Desh HS=5)
+  std::size_t g = 3;         // top-g normality cutoff
+  std::size_t epochs = 2;
+  std::size_t batch_size = 32;
+  float learning_rate = 0.25f;
+  float momentum = 0.9f;
+  std::size_t window_stride = 2;
+  std::size_t max_windows = 60000;
+  /// Candidate-level decision: anomalous entries needed to flag.
+  std::size_t entry_threshold = 1;
+};
+
+class DeepLogDetector {
+ public:
+  DeepLogDetector(const DeepLogConfig& config, std::size_t vocab_size,
+                  util::Rng& rng);
+
+  /// Trains the next-key model on the full training stream (normal traffic
+  /// dominates, so rare-event transitions stay out of the top-g).
+  void fit(const chains::ParsedLog& train);
+
+  /// Per-entry check: is `next` within the top-g predictions after `window`?
+  bool entry_is_normal(std::span<const std::uint32_t> window,
+                       std::uint32_t next) const;
+
+  /// Fraction of a candidate's scoreable entries that are anomalous.
+  double anomaly_fraction(const chains::CandidateSequence& candidate) const;
+
+  /// Candidate-level flag for the comparison harness.
+  bool flags_candidate(const chains::CandidateSequence& candidate) const;
+
+  const DeepLogConfig& config() const { return config_; }
+  nn::PhraseModel& model() { return model_; }
+
+ private:
+  DeepLogConfig config_;
+  util::Rng rng_;
+  nn::PhraseModel model_;
+};
+
+}  // namespace desh::baseline

@@ -1,0 +1,124 @@
+#include "baseline/ngram.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace desh::baseline {
+
+NgramDetector::NgramDetector(const NgramConfig& config, std::size_t vocab_size)
+    : config_(config), vocab_size_(vocab_size), counts_(config.order + 1) {
+  util::require(config.order >= 1, "NgramDetector: order must be >= 1");
+  util::require(vocab_size > 1, "NgramDetector: vocab too small");
+}
+
+std::uint64_t NgramDetector::hash_context(
+    std::span<const std::uint32_t> context) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint32_t id : context) {
+    h ^= id;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void NgramDetector::fit(const chains::ParsedLog& train) {
+  for (const logs::NodeId& node : train.sorted_nodes()) {
+    const auto& events = train.by_node.at(node);
+    std::vector<std::uint32_t> ids(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) ids[i] = events[i].phrase;
+    for (std::size_t t = 0; t < ids.size(); ++t) {
+      for (std::size_t len = 0; len <= config_.order && len <= t; ++len) {
+        std::span<const std::uint32_t> context(ids.data() + t - len, len);
+        counts_[len][hash_context(context)][ids[t]] += 1.0;
+      }
+    }
+  }
+}
+
+double NgramDetector::probability(std::span<const std::uint32_t> context,
+                                  std::uint32_t next) const {
+  double factor = 1.0;
+  const std::size_t start_len = std::min(context.size(), config_.order);
+  for (std::size_t len = start_len;; --len) {
+    std::span<const std::uint32_t> ctx = context.subspan(context.size() - len);
+    auto cit = counts_[len].find(hash_context(ctx));
+    if (cit != counts_[len].end()) {
+      double total = 0;
+      for (const auto& [id, count] : cit->second) total += count;
+      auto nit = cit->second.find(next);
+      if (nit != cit->second.end() && total > 0)
+        return factor * nit->second / total;
+    }
+    if (len == 0) break;
+    factor *= config_.backoff;
+  }
+  // Uniform floor for never-seen unigrams.
+  return factor / static_cast<double>(vocab_size_);
+}
+
+std::vector<std::uint32_t> NgramDetector::topg(
+    std::span<const std::uint32_t> context) const {
+  // Collect continuation candidates from the longest matching context.
+  const std::size_t start_len = std::min(context.size(), config_.order);
+  for (std::size_t len = start_len;; --len) {
+    std::span<const std::uint32_t> ctx = context.subspan(context.size() - len);
+    auto cit = counts_[len].find(hash_context(ctx));
+    if (cit != counts_[len].end() && !cit->second.empty()) {
+      std::vector<std::pair<double, std::uint32_t>> ranked;
+      ranked.reserve(cit->second.size());
+      for (const auto& [id, count] : cit->second)
+        ranked.emplace_back(count, id);
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      std::vector<std::uint32_t> out;
+      for (std::size_t i = 0; i < std::min(config_.g, ranked.size()); ++i)
+        out.push_back(ranked[i].second);
+      return out;
+    }
+    if (len == 0) break;
+  }
+  return {};
+}
+
+bool NgramDetector::entry_is_normal(std::span<const std::uint32_t> context,
+                                    std::uint32_t next) const {
+  const auto best = topg(context);
+  return std::find(best.begin(), best.end(), next) != best.end();
+}
+
+double NgramDetector::anomaly_fraction(
+    const chains::CandidateSequence& candidate) const {
+  const auto& events = candidate.events;
+  if (events.size() < 2) return 0.0;
+  std::vector<std::uint32_t> ids(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) ids[i] = events[i].phrase;
+  std::size_t anomalous = 0, scored = 0;
+  for (std::size_t t = 1; t < ids.size(); ++t) {
+    const std::size_t start = t > config_.order ? t - config_.order : 0;
+    std::span<const std::uint32_t> context(ids.data() + start, t - start);
+    if (!entry_is_normal(context, ids[t])) ++anomalous;
+    ++scored;
+  }
+  return static_cast<double>(anomalous) / static_cast<double>(scored);
+}
+
+bool NgramDetector::flags_candidate(
+    const chains::CandidateSequence& candidate) const {
+  const auto& events = candidate.events;
+  if (events.size() < 2) return false;
+  std::vector<std::uint32_t> ids(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) ids[i] = events[i].phrase;
+  std::size_t anomalous = 0;
+  for (std::size_t t = 1; t < ids.size(); ++t) {
+    const std::size_t start = t > config_.order ? t - config_.order : 0;
+    std::span<const std::uint32_t> context(ids.data() + start, t - start);
+    if (!entry_is_normal(context, ids[t])) {
+      ++anomalous;
+      if (anomalous >= config_.entry_threshold) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace desh::baseline

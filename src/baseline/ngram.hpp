@@ -1,0 +1,55 @@
+// Classic n-gram language-model baseline (Sec 2 contrasts Desh's RNN with
+// "traditional language modeling [using] frequency counts of variable length
+// sequences"). Maximum-likelihood estimation with stupid-backoff to shorter
+// contexts; the same top-g normality criterion as DeepLog makes the three
+// detectors directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "chains/extractor.hpp"
+#include "chains/parsed_log.hpp"
+
+namespace desh::baseline {
+
+struct NgramConfig {
+  std::size_t order = 3;  // context length (trigram model by default)
+  std::size_t g = 3;      // top-g normality cutoff
+  double backoff = 0.4;   // stupid-backoff factor
+  std::size_t entry_threshold = 1;
+};
+
+class NgramDetector {
+ public:
+  NgramDetector(const NgramConfig& config, std::size_t vocab_size);
+
+  void fit(const chains::ParsedLog& train);
+
+  /// Backoff-smoothed conditional probability p(next | context).
+  double probability(std::span<const std::uint32_t> context,
+                     std::uint32_t next) const;
+  /// The g most likely continuations of `context`.
+  std::vector<std::uint32_t> topg(std::span<const std::uint32_t> context) const;
+
+  bool entry_is_normal(std::span<const std::uint32_t> context,
+                       std::uint32_t next) const;
+  double anomaly_fraction(const chains::CandidateSequence& candidate) const;
+  bool flags_candidate(const chains::CandidateSequence& candidate) const;
+
+  const NgramConfig& config() const { return config_; }
+
+ private:
+  NgramConfig config_;
+  std::size_t vocab_size_;
+  // context-hash -> (next id -> count), one map per context length 0..order.
+  std::vector<std::unordered_map<std::uint64_t,
+                                 std::unordered_map<std::uint32_t, double>>>
+      counts_;
+
+  static std::uint64_t hash_context(std::span<const std::uint32_t> context);
+};
+
+}  // namespace desh::baseline

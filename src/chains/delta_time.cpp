@@ -1,0 +1,45 @@
+#include "chains/delta_time.hpp"
+
+#include "util/error.hpp"
+
+namespace desh::chains {
+
+std::vector<double> DeltaTimeCalculator::delta_seconds(
+    const CandidateSequence& candidate) {
+  util::require(!candidate.events.empty(),
+                "DeltaTimeCalculator: empty candidate");
+  const double last = candidate.events.back().timestamp;
+  std::vector<double> out;
+  out.reserve(candidate.events.size());
+  for (const ParsedEvent& e : candidate.events) out.push_back(last - e.timestamp);
+  return out;
+}
+
+nn::ChainSequence DeltaTimeCalculator::to_chain_sequence_adjacent(
+    const CandidateSequence& candidate) {
+  util::require(!candidate.events.empty(),
+                "DeltaTimeCalculator: empty candidate");
+  nn::ChainSequence seq;
+  seq.reserve(candidate.events.size());
+  for (std::size_t i = 0; i < candidate.events.size(); ++i) {
+    const double gap =
+        i == 0 ? 0.0
+               : candidate.events[i].timestamp - candidate.events[i - 1].timestamp;
+    seq.push_back(nn::ChainStep{nn::ChainModel::normalize_dt(gap),
+                                candidate.events[i].phrase});
+  }
+  return seq;
+}
+
+nn::ChainSequence DeltaTimeCalculator::to_chain_sequence(
+    const CandidateSequence& candidate) {
+  const std::vector<double> deltas = delta_seconds(candidate);
+  nn::ChainSequence seq;
+  seq.reserve(candidate.events.size());
+  for (std::size_t i = 0; i < candidate.events.size(); ++i)
+    seq.push_back(nn::ChainStep{nn::ChainModel::normalize_dt(deltas[i]),
+                                candidate.events[i].phrase});
+  return seq;
+}
+
+}  // namespace desh::chains

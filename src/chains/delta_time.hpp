@@ -1,0 +1,30 @@
+// Cumulative deltaT calculation (Sec 3.2, Table 4): within a candidate
+// sequence, every event's deltaT is the time difference to the *last*
+// (highest-timestamped) event of the sequence — the terminal phrase for a
+// failure chain. The last event gets deltaT = 0. These (deltaT, phrase)
+// pairs are the phase-2/3 input vectors.
+#pragma once
+
+#include "chains/extractor.hpp"
+#include "nn/chain_model.hpp"
+
+namespace desh::chains {
+
+class DeltaTimeCalculator {
+ public:
+  /// Converts a candidate into the phase-2/3 vector sequence, normalizing
+  /// deltaT with nn::ChainModel::normalize_dt so data and model share units.
+  static nn::ChainSequence to_chain_sequence(const CandidateSequence& candidate);
+
+  /// Ablation variant (DESIGN.md decision 1): deltaT as the *adjacent*
+  /// inter-arrival gap (t_i - t_{i-1}, first = 0) instead of the paper's
+  /// cumulative time-to-terminal. Discards the direct lead-time signal —
+  /// bench_ablation_design quantifies what that costs.
+  static nn::ChainSequence to_chain_sequence_adjacent(
+      const CandidateSequence& candidate);
+
+  /// Raw (unnormalized) cumulative deltaTs in seconds, same order as events.
+  static std::vector<double> delta_seconds(const CandidateSequence& candidate);
+};
+
+}  // namespace desh::chains

@@ -1,0 +1,93 @@
+#include "chains/extractor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace desh::chains {
+
+ChainExtractor::ChainExtractor(ExtractorConfig config) : config_(config) {
+  util::require(config_.gap_seconds > 0, "ChainExtractor: bad gap_seconds");
+  util::require(config_.min_length >= 2, "ChainExtractor: min_length < 2");
+}
+
+namespace {
+
+// Collects the timestamps of terminal events per terminal phrase, across all
+// nodes, so coordinated shutdown bursts can be recognized.
+struct TerminalIndex {
+  // phrase id -> sorted (time, node) pairs
+  std::map<std::uint32_t, std::vector<std::pair<double, logs::NodeId>>> events;
+
+  bool is_maintenance(std::uint32_t phrase, double time, double window,
+                      std::size_t node_threshold) const {
+    auto it = events.find(phrase);
+    if (it == events.end()) return false;
+    const auto& v = it->second;
+    auto lo = std::lower_bound(
+        v.begin(), v.end(), std::make_pair(time - window, logs::NodeId{}));
+    std::vector<logs::NodeId> nodes;
+    for (auto p = lo; p != v.end() && p->first <= time + window; ++p)
+      nodes.push_back(p->second);
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    return nodes.size() >= node_threshold;
+  }
+};
+
+}  // namespace
+
+std::vector<CandidateSequence> ChainExtractor::extract(
+    const ParsedLog& parsed, const PhraseLabeler& labeler) const {
+  TerminalIndex terminals;
+  for (const auto& [node, events] : parsed.by_node)
+    for (const ParsedEvent& e : events)
+      if (labeler.is_terminal(e.phrase))
+        terminals.events[e.phrase].emplace_back(e.timestamp, node);
+  for (auto& [phrase, v] : terminals.events) std::sort(v.begin(), v.end());
+
+  std::vector<CandidateSequence> out;
+  for (const logs::NodeId& node : parsed.sorted_nodes()) {
+    const auto& events = parsed.by_node.at(node);
+    CandidateSequence current;
+    current.node = node;
+
+    auto flush = [&] {
+      if (current.events.size() >= config_.min_length) {
+        const ParsedEvent& last = current.events.back();
+        current.ends_with_terminal =
+            labeler.is_terminal(last.phrase) &&
+            !terminals.is_maintenance(last.phrase, last.timestamp,
+                                      config_.maintenance_window_seconds,
+                                      config_.maintenance_node_threshold);
+        out.push_back(current);
+      }
+      current.events.clear();
+      current.ends_with_terminal = false;
+    };
+
+    for (const ParsedEvent& e : events) {
+      if (labeler.label(e.phrase) == logs::PhraseLabel::kSafe) continue;
+      if (!current.events.empty() &&
+          e.timestamp - current.events.back().timestamp > config_.gap_seconds)
+        flush();
+      current.events.push_back(e);
+      // A terminal phrase hard-stops the sequence: whatever follows belongs
+      // to the node's next life (post-reboot).
+      if (labeler.is_terminal(e.phrase)) flush();
+    }
+    flush();
+  }
+  return out;
+}
+
+std::vector<CandidateSequence> ChainExtractor::failure_chains(
+    std::vector<CandidateSequence> candidates) {
+  std::erase_if(candidates, [](const CandidateSequence& c) {
+    return !c.ends_with_terminal;
+  });
+  return candidates;
+}
+
+}  // namespace desh::chains

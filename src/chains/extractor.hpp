@@ -1,0 +1,63 @@
+// Failure-chain / candidate-sequence extraction (Sec 3.1 step 5, Sec 3.2).
+//
+// After Safe phrases are eliminated, each node's remaining Error/Unknown
+// events are segmented into *candidate sequences*: maximal runs whose
+// inter-event gaps stay below a threshold. A candidate ending in a terminal
+// phrase is a failure chain (phase-2 training material and a phase-3
+// positive); one that peters out without a terminal is exactly the
+// "sequence of events similar to a target failure chain not leading to a
+// failed node" the paper's FP analysis is about.
+//
+// Coordinated service shutdowns (many nodes emitting the same terminal
+// phrase within a short window) are recognized and dropped: "large-scale
+// node reboots clearly indicate service-oriented shutdowns" (Sec 2).
+#pragma once
+
+#include <vector>
+
+#include "chains/labeler.hpp"
+#include "chains/parsed_log.hpp"
+
+namespace desh::chains {
+
+struct CandidateSequence {
+  logs::NodeId node;
+  std::vector<ParsedEvent> events;  // Error/Unknown events, time-sorted
+  bool ends_with_terminal = false;
+
+  double start_time() const { return events.front().timestamp; }
+  double end_time() const { return events.back().timestamp; }
+};
+
+struct ExtractorConfig {
+  /// Maximum silence between two events of the same sequence.
+  double gap_seconds = 420.0;
+  /// Minimum events for a candidate (shorter runs carry no chain signal —
+  /// the paper's history size of 5 needs history+1 events to score once).
+  std::size_t min_length = 6;
+  /// A terminal phrase echoed by at least this many distinct nodes within
+  /// the maintenance window is treated as a service shutdown, not a failure.
+  std::size_t maintenance_node_threshold = 8;
+  double maintenance_window_seconds = 120.0;
+};
+
+class ChainExtractor {
+ public:
+  explicit ChainExtractor(ExtractorConfig config = {});
+
+  /// Extracts all candidate sequences, deterministically ordered by
+  /// (node, start time).
+  std::vector<CandidateSequence> extract(const ParsedLog& parsed,
+                                         const PhraseLabeler& labeler) const;
+
+  /// Convenience filter: only the failure chains (terminal-ended).
+  static std::vector<CandidateSequence> failure_chains(
+      std::vector<CandidateSequence> candidates);
+
+  const ExtractorConfig& config() const { return config_; }
+
+ private:
+  ExtractorConfig config_;
+};
+
+}  // namespace desh::chains

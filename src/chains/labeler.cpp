@@ -1,0 +1,60 @@
+#include "chains/labeler.hpp"
+
+#include "util/strings.hpp"
+
+namespace desh::chains {
+
+using logs::PhraseCatalog;
+using logs::PhraseLabel;
+
+PhraseLabeler::PhraseLabeler(const logs::PhraseVocab& vocab) {
+  labels_.resize(vocab.size());
+  terminal_.resize(vocab.size(), false);
+  for (std::uint32_t id = 0; id < vocab.size(); ++id) {
+    const std::string& tmpl = vocab.decode(id);
+    labels_[id] = label_template(tmpl);
+    terminal_[id] = is_terminal_template(tmpl);
+  }
+  // The <unk> sentinel is by definition a message no expert has seen.
+  labels_[logs::PhraseVocab::kUnknownId] = PhraseLabel::kUnknown;
+}
+
+PhraseLabel PhraseLabeler::label(std::uint32_t id) const {
+  // Ids past the snapshot (grown vocab) default to Unknown — consistent
+  // with how a deployment treats messages its experts never reviewed.
+  if (id >= labels_.size()) return PhraseLabel::kUnknown;
+  return labels_[id];
+}
+
+bool PhraseLabeler::is_terminal(std::uint32_t id) const {
+  return id < terminal_.size() && terminal_[id];
+}
+
+PhraseLabel PhraseLabeler::label_template(std::string_view tmpl) {
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  if (catalog.has_template(tmpl))
+    return catalog.phrase(catalog.index_of(tmpl)).label;
+
+  // Keyword fallback mirroring the expert intuition of Table 3: hard
+  // malfunction words -> Error; suspicious words -> Unknown; else Safe.
+  if (util::contains_ci(tmpl, "panic") || util::contains_ci(tmpl, "fatal") ||
+      util::contains_ci(tmpl, "nmi") || util::contains_ci(tmpl, "trace") ||
+      util::contains_ci(tmpl, "not responding") ||
+      util::contains_ci(tmpl, "is down") || util::contains_ci(tmpl, "halted"))
+    return PhraseLabel::kError;
+  if (util::contains_ci(tmpl, "error") || util::contains_ci(tmpl, "fail") ||
+      util::contains_ci(tmpl, "warn") || util::contains_ci(tmpl, "bug") ||
+      util::contains_ci(tmpl, "killed") || util::contains_ci(tmpl, "timeout") ||
+      util::contains_ci(tmpl, "fault") || util::contains_ci(tmpl, "stall"))
+    return PhraseLabel::kUnknown;
+  return PhraseLabel::kSafe;
+}
+
+bool PhraseLabeler::is_terminal_template(std::string_view tmpl) {
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  if (catalog.has_template(tmpl))
+    return catalog.phrase(catalog.index_of(tmpl)).terminal;
+  return false;
+}
+
+}  // namespace desh::chains

@@ -1,0 +1,44 @@
+// Safe / Unknown / Error phrase labeling (Sec 3.1 "Phrase Labeling",
+// Table 3). In the paper this grouping was produced in consultation with
+// the system administrators; here the PhraseCatalog plays that role, with a
+// keyword heuristic as fallback for templates outside the catalog (real
+// deployments always contain long-tail messages no expert enumerated).
+//
+// Labeling deliberately happens AFTER vectorization/phase-1 training
+// ("training is more robust with noise"); the labeler only gates chain
+// formation for phase 2.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "logs/phrase_catalog.hpp"
+#include "logs/vocab.hpp"
+
+namespace desh::chains {
+
+class PhraseLabeler {
+ public:
+  /// Precomputes labels for every id in `vocab` (snapshot: ids added to the
+  /// vocabulary later are not covered — build the labeler after the
+  /// training parse).
+  explicit PhraseLabeler(const logs::PhraseVocab& vocab);
+
+  logs::PhraseLabel label(std::uint32_t id) const;
+  /// Terminal messages indicating a node went down (Sec 2: "identifiable by
+  /// a terminal log message, verified in consultation with the sysadmins").
+  bool is_terminal(std::uint32_t id) const;
+
+  std::size_t vocab_size() const { return labels_.size(); }
+
+  /// Stateless classification of a single template.
+  static logs::PhraseLabel label_template(std::string_view tmpl);
+  static bool is_terminal_template(std::string_view tmpl);
+
+ private:
+  std::vector<logs::PhraseLabel> labels_;
+  std::vector<bool> terminal_;
+};
+
+}  // namespace desh::chains

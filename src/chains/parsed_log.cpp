@@ -1,0 +1,36 @@
+#include "chains/parsed_log.hpp"
+
+#include <algorithm>
+
+#include "logs/template_miner.hpp"
+
+namespace desh::chains {
+
+std::vector<logs::NodeId> ParsedLog::sorted_nodes() const {
+  std::vector<logs::NodeId> nodes;
+  nodes.reserve(by_node.size());
+  for (const auto& [node, events] : by_node) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+ParsedLog parse_corpus(const logs::LogCorpus& corpus, logs::PhraseVocab& vocab,
+                       bool grow_vocab) {
+  ParsedLog out;
+  for (const logs::LogRecord& record : corpus) {
+    const std::string tmpl = logs::TemplateMiner::extract(record.message);
+    if (tmpl.empty()) continue;
+    const std::uint32_t id =
+        grow_vocab ? vocab.add(tmpl) : vocab.encode(tmpl);
+    out.by_node[record.node].push_back(ParsedEvent{record.timestamp, id});
+    ++out.event_count;
+  }
+  for (auto& [node, events] : out.by_node)
+    std::sort(events.begin(), events.end(),
+              [](const ParsedEvent& a, const ParsedEvent& b) {
+                return a.timestamp < b.timestamp;
+              });
+  return out;
+}
+
+}  // namespace desh::chains

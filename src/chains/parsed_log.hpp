@@ -1,0 +1,37 @@
+// Parsed view of a raw corpus: every record reduced to (timestamp, phrase
+// id) and grouped per node in time order — the representation all three
+// Desh phases consume (Sec 3.1: "the phrases with timestamps pertaining to
+// specific nodes are separated").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logs/node_id.hpp"
+#include "logs/record.hpp"
+#include "logs/vocab.hpp"
+
+namespace desh::chains {
+
+struct ParsedEvent {
+  double timestamp = 0;
+  std::uint32_t phrase = logs::PhraseVocab::kUnknownId;
+};
+
+struct ParsedLog {
+  std::unordered_map<logs::NodeId, std::vector<ParsedEvent>> by_node;
+  std::size_t event_count = 0;
+
+  /// Nodes in a deterministic (sorted) order — unordered_map iteration
+  /// order must never influence training or evaluation results.
+  std::vector<logs::NodeId> sorted_nodes() const;
+};
+
+/// Parses `corpus` against `vocab`. With `grow_vocab` set, unseen templates
+/// are added (training pass); otherwise they encode to kUnknownId (test
+/// pass, so inference never sees ids the models were not trained on).
+ParsedLog parse_corpus(const logs::LogCorpus& corpus, logs::PhraseVocab& vocab,
+                       bool grow_vocab);
+
+}  // namespace desh::chains

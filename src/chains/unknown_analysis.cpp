@@ -1,0 +1,47 @@
+#include "chains/unknown_analysis.hpp"
+
+#include <unordered_map>
+
+#include "logs/phrase_catalog.hpp"
+#include "logs/template_miner.hpp"
+
+namespace desh::chains {
+
+std::vector<UnknownPhraseStat> UnknownPhraseAnalyzer::analyze(
+    const logs::LogCorpus& corpus, const logs::GroundTruth& truth) {
+  const logs::PhraseCatalog& catalog = logs::PhraseCatalog::instance();
+
+  std::vector<UnknownPhraseStat> stats;
+  std::unordered_map<std::string, std::size_t> stat_index;
+  for (std::size_t idx : catalog.table8_phrases()) {
+    const logs::CatalogPhrase& p = catalog.phrase(idx);
+    stat_index[std::string(p.tmpl)] = stats.size();
+    stats.push_back(UnknownPhraseStat{std::string(p.tmpl), 0, 0,
+                                      *p.failure_contribution});
+  }
+
+  // Failure windows per node, sorted by start time for binary search.
+  std::unordered_map<logs::NodeId, std::vector<std::pair<double, double>>>
+      windows;
+  for (const logs::FailureEvent& f : truth.failures)
+    windows[f.node].emplace_back(f.start_time - 1.0, f.terminal_time + 1.0);
+
+  for (const logs::LogRecord& record : corpus) {
+    const std::string tmpl = logs::TemplateMiner::extract(record.message);
+    auto it = stat_index.find(tmpl);
+    if (it == stat_index.end()) continue;
+    UnknownPhraseStat& stat = stats[it->second];
+    ++stat.total;
+    auto wit = windows.find(record.node);
+    if (wit == windows.end()) continue;
+    for (const auto& [start, end] : wit->second) {
+      if (record.timestamp >= start && record.timestamp <= end) {
+        ++stat.in_failures;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace desh::chains

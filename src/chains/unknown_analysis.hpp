@@ -1,0 +1,38 @@
+// Unknown-phrase analysis (Sec 4.3, Table 8, Fig 9): for each Unknown
+// phrase, what fraction of its occurrences belongs to a node-failure chain?
+// The paper uses this to show that anomalous-looking messages (software
+// traps, critical hardware errors) frequently do NOT lead to node failures
+// (Observations 5 and 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logs/generator.hpp"
+#include "logs/record.hpp"
+
+namespace desh::chains {
+
+struct UnknownPhraseStat {
+  std::string tmpl;             // static template
+  std::size_t total = 0;        // occurrences in the corpus
+  std::size_t in_failures = 0;  // occurrences inside a failure chain window
+  double paper_contribution = 0;  // Table 8 column 3 (fraction)
+
+  double measured_contribution() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(in_failures) /
+                            static_cast<double>(total);
+  }
+};
+
+class UnknownPhraseAnalyzer {
+ public:
+  /// Computes Table 8 / Fig 9 for the twelve calibrated phrases: an
+  /// occurrence counts as "in a failure chain" when it falls on a failing
+  /// node within [chain start, terminal] of a ground-truth failure.
+  static std::vector<UnknownPhraseStat> analyze(
+      const logs::LogCorpus& corpus, const logs::GroundTruth& truth);
+};
+
+}  // namespace desh::chains

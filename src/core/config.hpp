@@ -1,0 +1,73 @@
+// Central configuration of the Desh pipeline. Defaults reproduce Table 5:
+//   phase 1: 2 hidden layers, history size 8, 3-step prediction,
+//            categorical cross-entropy + SGD;
+//   phase 2: 2 hidden layers, history size 5, 1-step prediction, MSE +
+//            RMSprop, (deltaT, phrase) 2-state input vectors;
+//   phase 3: per-node inference with the MSE <= 0.5 failure-match threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "chains/extractor.hpp"
+
+namespace desh::core {
+
+struct Phase1Config {
+  std::size_t embed_dim = 16;
+  std::size_t hidden_size = 32;
+  std::size_t num_layers = 2;  // Table 5: #HL = 2
+  std::size_t history = 8;     // Table 5: HS = 8
+  std::size_t steps = 3;       // Table 5: 3-step prediction
+  std::size_t epochs = 4;
+  std::size_t batch_size = 32;
+  float learning_rate = 0.25f;     // SGD (Table 5)
+  float lr_decay_per_epoch = 0.7f;
+  float momentum = 0.9f;
+  std::size_t window_stride = 2;   // subsampling stride over node streams
+  std::size_t max_windows = 60000; // cap per epoch (keeps runs bounded)
+};
+
+struct Phase2Config {
+  std::size_t embed_dim = 24;
+  std::size_t hidden_size = 48;
+  std::size_t num_layers = 2;  // Table 5: #HL = 2
+  std::size_t history = 5;     // Table 5: HS = 5
+  std::size_t epochs = 300;
+  std::size_t batch_size = 16;
+  float learning_rate = 0.005f;  // RMSprop (Table 5)
+  float time_weight = 4.0f;      // weight of squared dt error in match score
+};
+
+struct Phase3Config {
+  /// "We use a threshold of 0.5 for inferring node failures" (Sec 3.3).
+  float mse_threshold = 0.5f;
+  /// Earliest position at which a match may be scored. Three positions
+  /// participate at the default decision point, so a single ambiguous
+  /// early-context prediction cannot by itself push the mean over the
+  /// threshold. decide_at() lowers the floor automatically when the Fig 8
+  /// sweep asks for decisions earlier than this.
+  std::size_t min_position = 2;
+  /// Decision point: the 0-based index of the last phrase observed before
+  /// deciding. The default 4 means "flag after checking 5 phrases" — the
+  /// paper's history size. Fig 8 sweeps this to trade lead time vs FP rate.
+  std::size_t decision_position = 4;
+  /// deltaT encoding for phases 2 and 3: the paper's cumulative
+  /// time-to-terminal (true) vs plain inter-arrival gaps (false, ablation).
+  bool cumulative_dt = true;
+};
+
+struct SkipGramPretrainConfig {
+  bool enabled = true;
+  std::size_t epochs = 2;
+};
+
+struct DeshConfig {
+  Phase1Config phase1;
+  Phase2Config phase2;
+  Phase3Config phase3;
+  chains::ExtractorConfig extractor;
+  SkipGramPretrainConfig skipgram;
+  std::uint64_t seed = 7;
+};
+
+}  // namespace desh::core

@@ -1,0 +1,78 @@
+#include "core/evaluator.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace desh::core {
+
+SystemEvaluation Evaluator::evaluate(
+    const std::vector<chains::CandidateSequence>& candidates,
+    const std::vector<FailurePrediction>& predictions,
+    const logs::GroundTruth& truth) {
+  util::require(candidates.size() == predictions.size(),
+                "Evaluator: candidates/predictions size mismatch");
+  SystemEvaluation eval;
+
+  // Index ground-truth test failures per node.
+  struct TruthRef {
+    const logs::FailureEvent* event;
+    bool matched = false;
+  };
+  std::unordered_map<logs::NodeId, std::vector<TruthRef>> failures_by_node;
+  for (const logs::FailureEvent& f : truth.failures) {
+    if (f.terminal_time < truth.split_time) continue;  // training-window event
+    ++eval.test_failures;
+    if (f.novel) ++eval.novel_failures;
+    failures_by_node[f.node].push_back(TruthRef{&f});
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const chains::CandidateSequence& c = candidates[i];
+    const FailurePrediction& p = predictions[i];
+    if (c.end_time() < truth.split_time) continue;  // not a test-window event
+
+    // Does this candidate correspond to a real failure?
+    TruthRef* match = nullptr;
+    auto it = failures_by_node.find(c.node);
+    if (it != failures_by_node.end()) {
+      for (TruthRef& ref : it->second) {
+        if (std::abs(ref.event->terminal_time - c.end_time()) <=
+            kMatchToleranceSeconds) {
+          match = &ref;
+          break;
+        }
+      }
+    }
+
+    if (match != nullptr) {
+      match->matched = true;  // chain was extracted; FN only if unflagged
+      if (p.flagged) {
+        ++eval.counts.tp;
+        eval.lead_times.add(p.lead_seconds);
+        eval.predicted_lead_times.add(p.predicted_lead_seconds);
+        eval.lead_by_class[static_cast<std::size_t>(
+                               match->event->failure_class)]
+            .add(p.lead_seconds);
+      } else {
+        ++eval.counts.fn;
+      }
+    } else {
+      if (p.flagged)
+        ++eval.counts.fp;
+      else
+        ++eval.counts.tn;
+    }
+  }
+
+  // Failures whose chain never surfaced as a candidate at all were missed.
+  for (const auto& [node, refs] : failures_by_node)
+    for (const TruthRef& ref : refs)
+      if (!ref.matched) ++eval.counts.fn;
+
+  eval.metrics = Metrics::from_counts(eval.counts);
+  return eval;
+}
+
+}  // namespace desh::core

@@ -1,0 +1,50 @@
+// Scores a phase-3 run against the generator's ground truth, producing the
+// paper's evaluation artifacts: the Table 6 metrics (Figs 4/5), per-class
+// lead-time statistics (Table 7 / Fig 6) and per-system lead times (Fig 7).
+//
+// Counting rules (Sec 4.1): correctly predicted failures are TP; flagged
+// candidates with no matching real failure are FP; real test-period failures
+// Desh never flagged (including those whose chain was never even extracted)
+// are FN; unflagged non-failure candidates are TN.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/phase3.hpp"
+#include "logs/generator.hpp"
+#include "util/stats.hpp"
+
+namespace desh::core {
+
+struct SystemEvaluation {
+  ConfusionCounts counts;
+  Metrics metrics;
+  /// Lead-time samples of true positives, seconds (ground-truth deltaT at
+  /// the decision point).
+  util::SampleSet lead_times;
+  /// Same, split by the matched failure's class (Table 7 / Fig 6).
+  std::array<util::SampleSet, logs::kFailureClassCount> lead_by_class;
+  /// Model-predicted lead times of true positives (deployable estimate).
+  util::SampleSet predicted_lead_times;
+  std::size_t test_failures = 0;   // ground-truth failures in the test window
+  std::size_t novel_failures = 0;  // of which novel patterns
+};
+
+class Evaluator {
+ public:
+  /// `candidates`/`predictions` must be parallel vectors from one TestRun.
+  /// Only ground-truth events in the test window (terminal/end time >=
+  /// truth.split_time) participate.
+  static SystemEvaluation evaluate(
+      const std::vector<chains::CandidateSequence>& candidates,
+      const std::vector<FailurePrediction>& predictions,
+      const logs::GroundTruth& truth);
+
+  /// Matching tolerance between a candidate's final event and a ground-truth
+  /// terminal timestamp, seconds.
+  static constexpr double kMatchToleranceSeconds = 5.0;
+};
+
+}  // namespace desh::core

@@ -1,0 +1,55 @@
+#include "core/insights.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace desh::core {
+
+std::vector<PhraseInsight> failure_indicators(
+    const chains::ParsedLog& corpus,
+    const std::vector<chains::CandidateSequence>& candidates,
+    const logs::PhraseVocab& vocab) {
+  std::unordered_map<std::uint32_t, std::size_t> corpus_counts;
+  std::size_t corpus_total = 0;
+  for (const auto& [node, events] : corpus.by_node)
+    for (const chains::ParsedEvent& e : events) {
+      ++corpus_counts[e.phrase];
+      ++corpus_total;
+    }
+
+  std::unordered_map<std::uint32_t, std::size_t> chain_counts;
+  std::size_t chain_total = 0;
+  for (const chains::CandidateSequence& c : candidates) {
+    if (!c.ends_with_terminal) continue;
+    for (const chains::ParsedEvent& e : c.events) {
+      ++chain_counts[e.phrase];
+      ++chain_total;
+    }
+  }
+  if (corpus_total == 0 || chain_total == 0) return {};
+
+  std::vector<PhraseInsight> out;
+  out.reserve(chain_counts.size());
+  for (const auto& [phrase, in_chain] : chain_counts) {
+    PhraseInsight insight;
+    insight.phrase = phrase;
+    insight.tmpl = phrase < vocab.size() ? vocab.decode(phrase) : "<unknown>";
+    insight.corpus_count = corpus_counts[phrase];
+    insight.chain_count = in_chain;
+    const double p_chain = (static_cast<double>(in_chain) + 1.0) /
+                           (static_cast<double>(chain_total) + 1.0);
+    const double p_corpus =
+        (static_cast<double>(insight.corpus_count) + 1.0) /
+        (static_cast<double>(corpus_total) + 1.0);
+    insight.lift = p_chain / p_corpus;
+    out.push_back(std::move(insight));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhraseInsight& a, const PhraseInsight& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              return a.chain_count > b.chain_count;
+            });
+  return out;
+}
+
+}  // namespace desh::core

@@ -1,0 +1,39 @@
+// Failure-indicator insights (Sec 1: Desh "also gives insights as to what
+// phrases indicate node failures based on this statistical analysis").
+//
+// Unlike the Table 8 analysis — which scores phrases against *ground truth*
+// the paper's authors had from their sysadmins — this ranking needs nothing
+// but Desh's own artifacts: the phrases' overall corpus frequencies versus
+// their frequencies inside the extracted failure chains. The lift
+//     P(phrase | failure chain) / P(phrase)
+// surfaces which messages are genuinely failure-bound and which merely look
+// scary (Observations 5/6), directly from unlabeled data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chains/extractor.hpp"
+#include "chains/parsed_log.hpp"
+#include "logs/vocab.hpp"
+
+namespace desh::core {
+
+struct PhraseInsight {
+  std::uint32_t phrase = 0;
+  std::string tmpl;
+  std::size_t corpus_count = 0;  // occurrences in the whole training corpus
+  std::size_t chain_count = 0;   // occurrences inside failure chains
+  double lift = 0;               // relative over-representation in chains
+};
+
+/// Ranks every phrase occurring in at least one failure chain by lift,
+/// descending; ties broken by chain_count. Laplace smoothing (+1) keeps
+/// rare phrases from producing infinite lifts.
+std::vector<PhraseInsight> failure_indicators(
+    const chains::ParsedLog& corpus,
+    const std::vector<chains::CandidateSequence>& candidates,
+    const logs::PhraseVocab& vocab);
+
+}  // namespace desh::core

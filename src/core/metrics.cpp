@@ -1,0 +1,24 @@
+#include "core/metrics.hpp"
+
+namespace desh::core {
+
+namespace {
+double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+Metrics Metrics::from_counts(const ConfusionCounts& c) {
+  Metrics m;
+  m.recall = ratio(c.tp, c.tp + c.fn);
+  m.precision = ratio(c.tp, c.tp + c.fp);
+  m.accuracy = ratio(c.tp + c.tn, c.total());
+  m.f1 = (m.recall + m.precision) > 0
+             ? 2.0 * m.recall * m.precision / (m.recall + m.precision)
+             : 0.0;
+  m.fp_rate = ratio(c.fp, c.fp + c.tn);
+  m.fn_rate = ratio(c.fn, c.tp + c.fn);
+  return m;
+}
+
+}  // namespace desh::core

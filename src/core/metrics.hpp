@@ -1,0 +1,29 @@
+// The statistical metrics of Table 6 over a TP/FP/FN/TN confusion matrix.
+#pragma once
+
+#include <cstddef>
+
+namespace desh::core {
+
+struct ConfusionCounts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t tn = 0;
+
+  std::size_t total() const { return tp + fp + fn + tn; }
+};
+
+struct Metrics {
+  double recall = 0;     // TP/(TP+FN)
+  double precision = 0;  // TP/(TP+FP)
+  double accuracy = 0;   // (TP+TN)/total
+  double f1 = 0;         // 2PR/(P+R)
+  double fp_rate = 0;    // FP/(FP+TN)
+  double fn_rate = 0;    // FN/(TP+FN) = 1 - recall
+
+  /// Computes every Table 6 formula; empty denominators yield 0.
+  static Metrics from_counts(const ConfusionCounts& c);
+};
+
+}  // namespace desh::core

@@ -1,0 +1,63 @@
+#include "core/monitor.hpp"
+
+#include "logs/template_miner.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace desh::core {
+
+StreamingMonitor::StreamingMonitor(const DeshPipeline& pipeline,
+                                   MonitorConfig config)
+    : pipeline_(pipeline),
+      config_(config),
+      vocab_(pipeline.vocab()),
+      predictor_(pipeline.phase2().model(), pipeline.config().phase3) {
+  util::require(pipeline.fitted(), "StreamingMonitor: pipeline is not fitted");
+  util::require(config_.gap_seconds > 0 && config_.rearm_seconds >= 0,
+                "StreamingMonitor: bad config");
+}
+
+void StreamingMonitor::reset() { nodes_.clear(); }
+
+std::optional<MonitorAlert> StreamingMonitor::observe(
+    const logs::LogRecord& record) {
+  ++records_seen_;
+  const std::string tmpl = logs::TemplateMiner::extract(record.message);
+  if (tmpl.empty()) return std::nullopt;
+  const std::uint32_t phrase = vocab_.encode(tmpl);
+  if (pipeline_.labeler().label(phrase) == logs::PhraseLabel::kSafe)
+    return std::nullopt;
+
+  NodeState& state = nodes_[record.node];
+  if (!state.window.empty() &&
+      record.timestamp - state.window.back().timestamp > config_.gap_seconds)
+    state.window.clear();
+  state.window.push_back({record.timestamp, phrase});
+
+  const std::size_t needed =
+      pipeline_.config().phase3.decision_position + 1;
+  while (state.window.size() > needed) state.window.pop_front();
+  if (record.timestamp < state.silenced_until) return std::nullopt;
+  if (state.window.size() < needed) return std::nullopt;
+
+  chains::CandidateSequence candidate;
+  candidate.node = record.node;
+  candidate.events.assign(state.window.begin(), state.window.end());
+  const FailurePrediction prediction = predictor_.decide(candidate);
+  if (!prediction.flagged) return std::nullopt;
+
+  state.silenced_until = record.timestamp + config_.rearm_seconds;
+  ++alerts_raised_;
+  MonitorAlert alert;
+  alert.node = record.node;
+  alert.time = record.timestamp;
+  alert.predicted_lead_seconds = prediction.predicted_lead_seconds;
+  alert.score = prediction.score;
+  alert.message =
+      "In " + util::format_fixed(alert.predicted_lead_seconds / 60.0, 1) +
+      " minutes, node " + record.node.to_string() + " located in " +
+      record.node.location_description() + " is expected to fail";
+  return alert;
+}
+
+}  // namespace desh::core

@@ -1,0 +1,73 @@
+// StreamingMonitor: the online deployment surface of Desh (Sec 4.5).
+//
+// Offline evaluation (Phase3Predictor) knows each candidate's full future;
+// a deployed monitor does not. StreamingMonitor consumes raw log records
+// one at a time, in timestamp order, maintains a sliding window of
+// anomalous (non-Safe) events per node, and raises an alert the moment a
+// window matches a trained failure chain. The alert's lead time is the
+// model's own deltaT forecast — the quantity an operator can actually act
+// on ("In 2.5 minutes, node X located in Y is expected to fail").
+//
+// A node that alerted stays silenced until its window goes quiet (the
+// re-arm period) so one failure does not spam one alert per log line.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+
+namespace desh::core {
+
+struct MonitorConfig {
+  /// Silence that resets a node's window (defaults to the extractor gap).
+  double gap_seconds = 420.0;
+  /// Seconds a node stays silenced after alerting.
+  double rearm_seconds = 600.0;
+};
+
+struct MonitorAlert {
+  logs::NodeId node;
+  double time = 0;                    // timestamp of the triggering record
+  double predicted_lead_seconds = 0;  // model's deltaT forecast
+  double score = 0;                   // chain-match score (<= threshold)
+  /// Operator-facing text, e.g. "In 2.5 minutes, node c0-0c1s4n2 located in
+  /// cabinet 0-0, chassis 1, blade 4, node 2 is expected to fail".
+  std::string message;
+};
+
+class StreamingMonitor {
+ public:
+  /// Borrows the fitted pipeline's models; the pipeline must outlive the
+  /// monitor and must not be re-fitted while monitored.
+  explicit StreamingMonitor(const DeshPipeline& pipeline,
+                            MonitorConfig config = {});
+
+  /// Feeds one record (timestamps must be non-decreasing overall). Returns
+  /// an alert when this record completes a failure-chain match.
+  std::optional<MonitorAlert> observe(const logs::LogRecord& record);
+
+  /// Drops all per-node state (e.g. at a log rotation boundary).
+  void reset();
+
+  std::size_t records_seen() const { return records_seen_; }
+  std::size_t alerts_raised() const { return alerts_raised_; }
+
+ private:
+  struct NodeState {
+    std::deque<chains::ParsedEvent> window;
+    double silenced_until = -1.0;
+  };
+
+  const DeshPipeline& pipeline_;
+  MonitorConfig config_;
+  logs::PhraseVocab vocab_;  // frozen snapshot of the training vocabulary
+  Phase3Predictor predictor_;
+  std::unordered_map<logs::NodeId, NodeState> nodes_;
+  std::size_t records_seen_ = 0;
+  std::size_t alerts_raised_ = 0;
+};
+
+}  // namespace desh::core

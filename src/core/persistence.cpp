@@ -1,0 +1,161 @@
+#include "core/persistence.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace desh::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_config(const DeshConfig& c, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw util::IoError("save_pipeline: cannot open " + path);
+  os << "format=desh-pipeline-1\n"
+     << "p1.embed_dim=" << c.phase1.embed_dim << "\n"
+     << "p1.hidden_size=" << c.phase1.hidden_size << "\n"
+     << "p1.num_layers=" << c.phase1.num_layers << "\n"
+     << "p1.history=" << c.phase1.history << "\n"
+     << "p1.steps=" << c.phase1.steps << "\n"
+     << "p2.embed_dim=" << c.phase2.embed_dim << "\n"
+     << "p2.hidden_size=" << c.phase2.hidden_size << "\n"
+     << "p2.num_layers=" << c.phase2.num_layers << "\n"
+     << "p2.history=" << c.phase2.history << "\n"
+     << "p2.time_weight=" << c.phase2.time_weight << "\n"
+     << "p3.mse_threshold=" << c.phase3.mse_threshold << "\n"
+     << "p3.min_position=" << c.phase3.min_position << "\n"
+     << "p3.decision_position=" << c.phase3.decision_position << "\n"
+     << "ex.gap_seconds=" << c.extractor.gap_seconds << "\n"
+     << "ex.min_length=" << c.extractor.min_length << "\n"
+     << "ex.maintenance_node_threshold=" << c.extractor.maintenance_node_threshold
+     << "\n"
+     << "ex.maintenance_window_seconds=" << c.extractor.maintenance_window_seconds
+     << "\n"
+     << "seed=" << c.seed << "\n";
+  if (!os) throw util::IoError("save_pipeline: write failed for " + path);
+}
+
+DeshConfig read_config(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::IoError("load_pipeline: cannot open " + path);
+  std::map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  if (kv["format"] != "desh-pipeline-1")
+    throw util::IoError("load_pipeline: unrecognized format in " + path);
+  auto u = [&](const std::string& key) -> std::size_t {
+    auto it = kv.find(key);
+    if (it == kv.end())
+      throw util::IoError("load_pipeline: missing key '" + key + "'");
+    return static_cast<std::size_t>(std::stoull(it->second));
+  };
+  auto f = [&](const std::string& key) -> float {
+    auto it = kv.find(key);
+    if (it == kv.end())
+      throw util::IoError("load_pipeline: missing key '" + key + "'");
+    return std::stof(it->second);
+  };
+  DeshConfig c;
+  c.phase1.embed_dim = u("p1.embed_dim");
+  c.phase1.hidden_size = u("p1.hidden_size");
+  c.phase1.num_layers = u("p1.num_layers");
+  c.phase1.history = u("p1.history");
+  c.phase1.steps = u("p1.steps");
+  c.phase2.embed_dim = u("p2.embed_dim");
+  c.phase2.hidden_size = u("p2.hidden_size");
+  c.phase2.num_layers = u("p2.num_layers");
+  c.phase2.history = u("p2.history");
+  c.phase2.time_weight = f("p2.time_weight");
+  c.phase3.mse_threshold = f("p3.mse_threshold");
+  c.phase3.min_position = u("p3.min_position");
+  c.phase3.decision_position = u("p3.decision_position");
+  c.extractor.gap_seconds = f("ex.gap_seconds");
+  c.extractor.min_length = u("ex.min_length");
+  c.extractor.maintenance_node_threshold = u("ex.maintenance_node_threshold");
+  c.extractor.maintenance_window_seconds = f("ex.maintenance_window_seconds");
+  c.seed = u("seed");
+  return c;
+}
+
+void write_chains(const std::vector<nn::ChainSequence>& chains,
+                  const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw util::IoError("save_pipeline: cannot open " + path);
+  os.precision(9);
+  for (const nn::ChainSequence& chain : chains) {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (i) os << ' ';
+      os << chain[i].dt_norm << ':' << chain[i].phrase;
+    }
+    os << '\n';
+  }
+  if (!os) throw util::IoError("save_pipeline: write failed for " + path);
+}
+
+std::vector<nn::ChainSequence> read_chains(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::IoError("load_pipeline: cannot open " + path);
+  std::vector<nn::ChainSequence> chains;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (util::trim(line).empty()) continue;
+    nn::ChainSequence chain;
+    for (const std::string& token : util::split_whitespace(line)) {
+      const std::size_t colon = token.find(':');
+      util::require(colon != std::string::npos,
+                    "load_pipeline: malformed chain step '" + token + "'");
+      chain.push_back(nn::ChainStep{
+          std::stof(token.substr(0, colon)),
+          static_cast<std::uint32_t>(std::stoul(token.substr(colon + 1)))});
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace
+
+void save_pipeline(const DeshPipeline& pipeline, const std::string& directory) {
+  util::require(pipeline.fitted_, "save_pipeline: pipeline is not fitted");
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec)
+    throw util::IoError("save_pipeline: cannot create directory " + directory);
+  write_config(pipeline.config_, directory + "/config.txt");
+  pipeline.vocab_.save(directory + "/vocab.txt");
+  nn::save_parameters(pipeline.phase1_->model().parameters(),
+                      directory + "/phase1.bin");
+  nn::save_parameters(pipeline.phase2_->model().parameters(),
+                      directory + "/phase2.bin");
+  write_chains(pipeline.training_chains_, directory + "/chains.txt");
+}
+
+DeshPipeline load_pipeline(const std::string& directory) {
+  const DeshConfig config = read_config(directory + "/config.txt");
+  DeshPipeline pipeline(config);
+  pipeline.vocab_ = logs::PhraseVocab::load(directory + "/vocab.txt");
+  pipeline.labeler_.emplace(pipeline.vocab_);
+  pipeline.phase1_ = std::make_unique<Phase1Trainer>(
+      config.phase1, pipeline.vocab_.size(), pipeline.rng_);
+  nn::load_parameters(pipeline.phase1_->model().parameters(),
+                      directory + "/phase1.bin");
+  pipeline.phase2_ = std::make_unique<Phase2Trainer>(
+      config.phase2, pipeline.vocab_.size(), pipeline.rng_);
+  nn::load_parameters(pipeline.phase2_->model().parameters(),
+                      directory + "/phase2.bin");
+  pipeline.training_chains_ = read_chains(directory + "/chains.txt");
+  pipeline.fitted_ = true;
+  return pipeline;
+}
+
+}  // namespace desh::core

@@ -1,0 +1,29 @@
+// Whole-pipeline persistence: train once offline (phases 1-2 are "performed
+// offline", Sec 4.4), then deploy the trained predictor without retraining.
+//
+// A saved pipeline is a directory holding:
+//   config.txt    — the DeshConfig fields that shape the models
+//   vocab.txt     — the phrase vocabulary (ids = line order)
+//   phase1.bin    — PhraseModel parameters
+//   phase2.bin    — ChainModel parameters
+//   chains.txt    — the deltaT-augmented training chains (for audit/debug)
+// Loading validates that the stored config matches the models' shapes; any
+// drift fails loudly at load time rather than mis-predicting silently.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace desh::core {
+
+/// Saves a fitted pipeline under `directory` (created if absent).
+/// Throws util::InvalidArgument if the pipeline is not fitted and
+/// util::IoError on filesystem problems.
+void save_pipeline(const DeshPipeline& pipeline, const std::string& directory);
+
+/// Reconstructs a fitted pipeline from `directory`. The returned pipeline
+/// predicts identically to the one that was saved (bit-exact parameters).
+DeshPipeline load_pipeline(const std::string& directory);
+
+}  // namespace desh::core

@@ -1,0 +1,78 @@
+#include "core/phase1.hpp"
+
+#include <algorithm>
+
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+
+namespace desh::core {
+
+Phase1Trainer::Phase1Trainer(const Phase1Config& config,
+                             std::size_t vocab_size, util::Rng& rng)
+    : config_(config),
+      rng_(rng.fork(0xF1)),
+      model_(nn::PhraseModelConfig{vocab_size, config.embed_dim,
+                                   config.hidden_size, config.num_layers},
+             rng_) {}
+
+std::vector<std::vector<std::uint32_t>> Phase1Trainer::make_windows(
+    const chains::ParsedLog& parsed, std::size_t window_len,
+    std::size_t stride, std::size_t max_windows, util::Rng& rng) {
+  util::require(window_len >= 2, "Phase1Trainer::make_windows: window_len < 2");
+  util::require(stride >= 1, "Phase1Trainer::make_windows: stride < 1");
+  std::vector<std::vector<std::uint32_t>> windows;
+  // Node-concatenated training (Fig 3a): node order is deterministic, and
+  // windows never straddle two nodes' streams.
+  for (const logs::NodeId& node : parsed.sorted_nodes()) {
+    const auto& events = parsed.by_node.at(node);
+    if (events.size() < window_len) continue;
+    for (std::size_t start = 0; start + window_len <= events.size();
+         start += stride) {
+      std::vector<std::uint32_t> w(window_len);
+      for (std::size_t i = 0; i < window_len; ++i)
+        w[i] = events[start + i].phrase;
+      windows.push_back(std::move(w));
+    }
+  }
+  rng.shuffle(windows);
+  if (windows.size() > max_windows) windows.resize(max_windows);
+  return windows;
+}
+
+float Phase1Trainer::fit(const chains::ParsedLog& train) {
+  const std::size_t window_len = config_.history + config_.steps;
+  nn::Sgd optimizer(config_.learning_rate, config_.momentum);
+
+  float last_epoch_loss = 0.0f;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto windows = make_windows(train, window_len, config_.window_stride,
+                                config_.max_windows, rng_);
+    util::require(!windows.empty(), "Phase1Trainer::fit: no training windows");
+    double epoch_loss = 0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < windows.size();
+         start += config_.batch_size) {
+      const std::size_t count =
+          std::min(config_.batch_size, windows.size() - start);
+      epoch_loss += model_.train_batch(
+          std::span(windows).subspan(start, count), config_.steps, optimizer);
+      ++batches;
+    }
+    if (batches > 0)
+      last_epoch_loss = static_cast<float>(epoch_loss / static_cast<double>(batches));
+    optimizer.set_learning_rate(optimizer.learning_rate() *
+                                config_.lr_decay_per_epoch);
+  }
+  return last_epoch_loss;
+}
+
+double Phase1Trainer::accuracy(const chains::ParsedLog& data,
+                               std::size_t history,
+                               std::size_t max_windows) const {
+  util::Rng rng(0xACCu);  // fixed seed: evaluation sampling is deterministic
+  auto windows = make_windows(data, history + 1, /*stride=*/3, max_windows, rng);
+  if (windows.empty()) return 0.0;
+  return model_.evaluate_top1(windows, history);
+}
+
+}  // namespace desh::core

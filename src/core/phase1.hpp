@@ -1,0 +1,46 @@
+// Phase 1 (Sec 3.1): unsupervised language-model training over the phrase
+// streams of all nodes, concatenated one node after another (Fig 3a). The
+// LSTM learns what phrases follow what — the statistical backbone for
+// recognizing chains — and its next-phrase accuracy is the paper's Sec 4.1
+// "~85% accuracy" / history-size ablation subject.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chains/parsed_log.hpp"
+#include "core/config.hpp"
+#include "nn/phrase_model.hpp"
+#include "util/rng.hpp"
+
+namespace desh::core {
+
+class Phase1Trainer {
+ public:
+  Phase1Trainer(const Phase1Config& config, std::size_t vocab_size,
+                util::Rng& rng);
+
+  /// Builds fixed-length windows (history + steps tokens) from every node's
+  /// stream with the configured stride, capped at max_windows per epoch.
+  static std::vector<std::vector<std::uint32_t>> make_windows(
+      const chains::ParsedLog& parsed, std::size_t window_len,
+      std::size_t stride, std::size_t max_windows, util::Rng& rng);
+
+  /// Trains for the configured epochs; returns the final-epoch mean loss.
+  float fit(const chains::ParsedLog& train);
+
+  /// Next-phrase top-1 accuracy with the given history (Sec 4.1 metric).
+  double accuracy(const chains::ParsedLog& data, std::size_t history,
+                  std::size_t max_windows = 4000) const;
+
+  nn::PhraseModel& model() { return model_; }
+  const nn::PhraseModel& model() const { return model_; }
+  const Phase1Config& config() const { return config_; }
+
+ private:
+  Phase1Config config_;
+  util::Rng rng_;
+  nn::PhraseModel model_;
+};
+
+}  // namespace desh::core

@@ -1,0 +1,104 @@
+#include "core/phase2.hpp"
+
+#include <map>
+
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+
+namespace desh::core {
+
+Phase2Trainer::Phase2Trainer(const Phase2Config& config,
+                             std::size_t vocab_size, util::Rng& rng)
+    : config_(config),
+      rng_(rng.fork(0xF2)),
+      model_(nn::ChainModelConfig{vocab_size, config.embed_dim,
+                                  config.hidden_size, config.num_layers,
+                                  config.history, config.time_weight},
+             rng_) {}
+
+float Phase2Trainer::fit(const std::vector<nn::ChainSequence>& chains) {
+  util::require(!chains.empty(), "Phase2Trainer::fit: no failure chains");
+  seen_chains_ = chains;
+  fitted_ = true;
+  return train_epochs(chains, config_.epochs, config_.learning_rate);
+}
+
+float Phase2Trainer::update(const std::vector<nn::ChainSequence>& new_chains,
+                            std::size_t epochs) {
+  util::require(fitted_, "Phase2Trainer::update: fit() has not run");
+  util::require(!new_chains.empty(), "Phase2Trainer::update: no new chains");
+  // Fine-tune on new chains mixed with the replay buffer so the update does
+  // not catastrophically forget the previously learned modes.
+  std::vector<nn::ChainSequence> mixed = new_chains;
+  mixed.insert(mixed.end(), seen_chains_.begin(), seen_chains_.end());
+  seen_chains_.insert(seen_chains_.end(), new_chains.begin(),
+                      new_chains.end());
+  return train_epochs(mixed, epochs, config_.learning_rate * 0.5f);
+}
+
+float Phase2Trainer::train_epochs(const std::vector<nn::ChainSequence>& chains,
+                                  std::size_t epochs, float learning_rate) {
+
+  // One training window per predictable position of every chain, with the
+  // same windowing phase 3 scores with: position t is predicted from the
+  // up-to-`history` steps before it. Early positions therefore train with
+  // short contexts, which is what lets inference flag failures before a
+  // full history has accumulated (and what the Fig 8 early-flag sweep
+  // exercises). Windows are grouped by length since a batch must be
+  // rectangular.
+  // Windows are additionally grouped by their *phrase signature*: common
+  // failure modes contribute hundreds of identical-phrase windows while a
+  // rare variant may contribute a handful, and with a plain shuffle the
+  // majority modes dominate every gradient step and the rare transitions
+  // never converge. Capping each signature per epoch balances the modes
+  // while still cycling through each signature's deltaT diversity.
+  std::map<std::uint64_t, std::vector<nn::ChainSequence>> by_signature;
+  for (const nn::ChainSequence& chain : chains) {
+    for (std::size_t t = 1; t < chain.size(); ++t) {
+      const std::size_t ctx = std::min(t, config_.history);
+      nn::ChainSequence window(
+          chain.begin() + static_cast<std::ptrdiff_t>(t - ctx),
+          chain.begin() + static_cast<std::ptrdiff_t>(t + 1));
+      std::uint64_t sig = 0xcbf29ce484222325ULL + window.size();
+      for (const nn::ChainStep& s : window) {
+        sig ^= s.phrase;
+        sig *= 0x100000001b3ULL;
+      }
+      by_signature[sig].push_back(std::move(window));
+    }
+  }
+  util::require(!by_signature.empty(), "Phase2Trainer: chains too short");
+
+  constexpr std::size_t kPerSignaturePerEpoch = 4;
+  nn::RmsProp optimizer(learning_rate);
+  float last_epoch_loss = 0.0f;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // Draw a balanced sample, then batch it by window length.
+    std::map<std::size_t, std::vector<nn::ChainSequence>> by_length;
+    for (auto& [sig, instances] : by_signature) {
+      rng_.shuffle(instances);
+      const std::size_t take =
+          std::min(kPerSignaturePerEpoch, instances.size());
+      for (std::size_t i = 0; i < take; ++i)
+        by_length[instances[i].size()].push_back(instances[i]);
+    }
+    double epoch_loss = 0;
+    std::size_t batches = 0;
+    for (auto& [length, windows] : by_length) {
+      rng_.shuffle(windows);
+      for (std::size_t start = 0; start < windows.size();
+           start += config_.batch_size) {
+        const std::size_t count =
+            std::min(config_.batch_size, windows.size() - start);
+        epoch_loss += model_.train_batch(
+            std::span(windows).subspan(start, count), optimizer);
+        ++batches;
+      }
+    }
+    last_epoch_loss =
+        static_cast<float>(epoch_loss / static_cast<double>(batches));
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace desh::core

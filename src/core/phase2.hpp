@@ -1,0 +1,47 @@
+// Phase 2 (Sec 3.2): re-training on the extracted failure chains, augmented
+// with cumulative deltaT to the terminal phrase. The model learns "how late
+// the terminal phrase is expected to appear in the sequence based on the
+// previously seen phrases" — the lead-time capability of Desh.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "nn/chain_model.hpp"
+#include "util/rng.hpp"
+
+namespace desh::core {
+
+class Phase2Trainer {
+ public:
+  Phase2Trainer(const Phase2Config& config, std::size_t vocab_size,
+                util::Rng& rng);
+
+  /// Slides a (history + 1)-step window over every training failure chain
+  /// (1-step prediction, Table 5) and trains with MSE + RMSprop.
+  /// Returns the final-epoch mean loss.
+  float fit(const std::vector<nn::ChainSequence>& chains);
+
+  /// Online model update (the capability Table 11 credits to DeepLog):
+  /// folds newly confirmed failure chains into the already-trained model
+  /// with a short fine-tuning pass instead of retraining from scratch.
+  /// Requires a prior fit(); returns the fine-tune loss.
+  float update(const std::vector<nn::ChainSequence>& new_chains,
+               std::size_t epochs);
+
+  nn::ChainModel& model() { return model_; }
+  const nn::ChainModel& model() const { return model_; }
+  const Phase2Config& config() const { return config_; }
+
+ private:
+  Phase2Config config_;
+  util::Rng rng_;
+  nn::ChainModel model_;
+  bool fitted_ = false;
+  std::vector<nn::ChainSequence> seen_chains_;  // replay buffer for update()
+
+  float train_epochs(const std::vector<nn::ChainSequence>& chains,
+                     std::size_t epochs, float learning_rate);
+};
+
+}  // namespace desh::core

@@ -1,0 +1,75 @@
+#include "core/phase3.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace desh::core {
+
+std::string FailurePrediction::warning_message() const {
+  if (!flagged) return "node " + node.to_string() + ": healthy";
+  const double minutes = predicted_lead_seconds / 60.0;
+  return "In " + util::format_fixed(minutes, 1) + " minutes, node " +
+         node.to_string() + " located in " + node.location_description() +
+         " is expected to fail";
+}
+
+Phase3Predictor::Phase3Predictor(const nn::ChainModel& model,
+                                 Phase3Config config)
+    : model_(model), config_(config) {
+  util::require(config_.min_position >= 1, "Phase3Predictor: min_position < 1");
+  util::require(config_.decision_position >= config_.min_position,
+                "Phase3Predictor: decision_position < min_position");
+}
+
+FailurePrediction Phase3Predictor::decide(
+    const chains::CandidateSequence& candidate) const {
+  return decide_at(candidate, config_.decision_position);
+}
+
+FailurePrediction Phase3Predictor::decide_at(
+    const chains::CandidateSequence& candidate,
+    std::size_t decision_position) const {
+  util::require(!candidate.events.empty(), "Phase3Predictor: empty candidate");
+  FailurePrediction out;
+  out.node = candidate.node;
+  out.sequence_end_time = candidate.end_time();
+
+  const nn::ChainSequence seq =
+      config_.cumulative_dt
+          ? chains::DeltaTimeCalculator::to_chain_sequence(candidate)
+          : chains::DeltaTimeCalculator::to_chain_sequence_adjacent(candidate);
+  const std::size_t k_eff =
+      std::min(decision_position, seq.size() - 1);
+  out.decision_position = k_eff;
+  // Lead time comes from the raw timestamps so it stays meaningful under
+  // either deltaT encoding.
+  out.lead_seconds =
+      candidate.end_time() - candidate.events[k_eff].timestamp;
+
+  // An earlier-than-default decision point (Fig 8 sweep) must also score
+  // earlier positions, accepting the extra ambiguity of short contexts.
+  const std::size_t min_pos = std::min(config_.min_position, k_eff);
+  const auto scores = model_.score_sequence(seq, min_pos);
+  double acc = 0;
+  std::size_t used = 0;
+  for (const nn::ChainStepScore& s : scores) {
+    if (s.position > k_eff) break;
+    acc += s.score;
+    ++used;
+    out.predicted_lead_seconds = s.predicted_dt;
+  }
+  if (used == 0) {
+    // Too short to score at all: cannot be matched to a trained chain.
+    out.flagged = false;
+    out.score = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  out.score = acc / static_cast<double>(used);
+  out.flagged = out.score <= config_.mse_threshold;
+  return out;
+}
+
+}  // namespace desh::core

@@ -1,0 +1,59 @@
+// Phase 3 (Sec 3.3): per-node inference. Each candidate sequence from the
+// test stream is scored against the trained failure chains; a mean match
+// score <= the MSE threshold at the decision point flags an impending node
+// failure, and the deltaT at that point is the lead time — "In 2.5 minutes,
+// node X located in Y is expected to fail".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chains/delta_time.hpp"
+#include "chains/extractor.hpp"
+#include "core/config.hpp"
+#include "nn/chain_model.hpp"
+
+namespace desh::core {
+
+struct FailurePrediction {
+  logs::NodeId node;
+  bool flagged = false;
+  /// Mean match score over the checked positions (low = failure-like).
+  double score = 0.0;
+  /// Position (phrase index) at which the decision was taken.
+  std::size_t decision_position = 0;
+  /// Offline-evaluation lead time: the ground deltaT from the decision
+  /// phrase to the sequence's final phrase, in seconds.
+  double lead_seconds = 0.0;
+  /// The model's own estimate of the remaining time (deployable quantity —
+  /// available without knowing the future, used by the streaming monitor).
+  double predicted_lead_seconds = 0.0;
+  /// Timestamp of the candidate's final event (terminal for true failures).
+  double sequence_end_time = 0.0;
+
+  /// Operator-facing warning line (Sec 4.5's headline capability).
+  std::string warning_message() const;
+};
+
+class Phase3Predictor {
+ public:
+  Phase3Predictor(const nn::ChainModel& model, Phase3Config config);
+
+  /// Decision at the configured operating point.
+  FailurePrediction decide(const chains::CandidateSequence& candidate) const;
+
+  /// Decision after checking exactly `decision_position` phrases — the
+  /// Fig 8 lead-time/FP-rate sensitivity knob ("if failure is flagged after
+  /// checking P2 or P1, we obtain 4 minutes lead time at the expense of an
+  /// increasing false positive rate").
+  FailurePrediction decide_at(const chains::CandidateSequence& candidate,
+                              std::size_t decision_position) const;
+
+  const Phase3Config& config() const { return config_; }
+
+ private:
+  const nn::ChainModel& model_;
+  Phase3Config config_;
+};
+
+}  // namespace desh::core

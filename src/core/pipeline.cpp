@@ -1,0 +1,146 @@
+#include "core/pipeline.hpp"
+
+#include "chains/delta_time.hpp"
+#include "embed/skipgram.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace desh::core {
+
+DeshPipeline::DeshPipeline(DeshConfig config)
+    : config_(config), rng_(config.seed) {}
+
+const chains::PhraseLabeler& DeshPipeline::labeler() const {
+  util::require(labeler_.has_value(), "DeshPipeline: fit() has not run");
+  return *labeler_;
+}
+
+Phase1Trainer& DeshPipeline::phase1() {
+  util::require(phase1_ != nullptr, "DeshPipeline: fit() has not run");
+  return *phase1_;
+}
+
+Phase2Trainer& DeshPipeline::phase2() {
+  util::require(phase2_ != nullptr, "DeshPipeline: fit() has not run");
+  return *phase2_;
+}
+
+const Phase2Trainer& DeshPipeline::phase2() const {
+  util::require(phase2_ != nullptr, "DeshPipeline: fit() has not run");
+  return *phase2_;
+}
+
+FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
+  util::require(!train_corpus.empty(), "DeshPipeline::fit: empty corpus");
+  FitReport report;
+
+  // (1) Parse the raw log: static/dynamic split + phrase encoding.
+  chains::ParsedLog parsed =
+      chains::parse_corpus(train_corpus, vocab_, /*grow_vocab=*/true);
+  report.train_events = parsed.event_count;
+  report.vocab_size = vocab_.size();
+
+  // (2) Optional skip-gram pre-training of the phrase embedding space
+  // (Sec 3.1: word2vec-style vectors with an asymmetric 8/3 window).
+  tensor::Matrix pretrained;
+  if (config_.skipgram.enabled) {
+    util::Stopwatch sw;
+    std::vector<std::vector<std::uint32_t>> sequences;
+    for (const logs::NodeId& node : parsed.sorted_nodes()) {
+      std::vector<std::uint32_t> ids;
+      const auto& events = parsed.by_node.at(node);
+      ids.reserve(events.size());
+      for (const chains::ParsedEvent& e : events) ids.push_back(e.phrase);
+      sequences.push_back(std::move(ids));
+    }
+    embed::SkipGramConfig sg_config;
+    sg_config.vocab_size = vocab_.size();
+    sg_config.dim = config_.phase1.embed_dim;
+    embed::SkipGram skipgram(sg_config, rng_);
+    skipgram.train(sequences, config_.skipgram.epochs);
+    pretrained = skipgram.vectors();
+    report.skipgram_seconds = sw.elapsed_seconds();
+  }
+
+  // (3) Phase 1: LSTM language model over node-concatenated phrase streams.
+  {
+    util::Stopwatch sw;
+    phase1_ = std::make_unique<Phase1Trainer>(config_.phase1, vocab_.size(),
+                                              rng_);
+    if (!pretrained.empty()) phase1_->model().embedding().load_pretrained(pretrained);
+    report.phase1_loss = phase1_->fit(parsed);
+    report.phase1_accuracy = phase1_->accuracy(parsed, config_.phase1.history);
+    report.phase1_seconds = sw.elapsed_seconds();
+  }
+
+  // (4) Phrase labeling (Safe/Unknown/Error) + failure-chain formation.
+  labeler_.emplace(vocab_);
+  chains::ChainExtractor extractor(config_.extractor);
+  auto candidates = extractor.extract(parsed, *labeler_);
+  report.candidates = candidates.size();
+
+  training_chains_.clear();
+  for (const chains::CandidateSequence& c : candidates)
+    if (c.ends_with_terminal)
+      training_chains_.push_back(
+          config_.phase3.cumulative_dt
+              ? chains::DeltaTimeCalculator::to_chain_sequence(c)
+              : chains::DeltaTimeCalculator::to_chain_sequence_adjacent(c));
+  report.failure_chains = training_chains_.size();
+  util::require(!training_chains_.empty(),
+                "DeshPipeline::fit: no failure chains in the training window");
+
+  // (5) Phase 2: deltaT-augmented retraining on the failure chains.
+  {
+    util::Stopwatch sw;
+    phase2_ = std::make_unique<Phase2Trainer>(config_.phase2, vocab_.size(),
+                                              rng_);
+    if (!pretrained.empty() &&
+        config_.phase2.embed_dim == config_.phase1.embed_dim)
+      phase2_->model().embedding().load_pretrained(pretrained);
+    report.phase2_loss = phase2_->fit(training_chains_);
+    report.phase2_seconds = sw.elapsed_seconds();
+  }
+
+  fitted_ = true;
+  return report;
+}
+
+TestRun DeshPipeline::predict(const logs::LogCorpus& test_corpus) const {
+  util::require(fitted_, "DeshPipeline::predict: fit() has not run");
+  TestRun run;
+  // Vocabulary is frozen: unseen test templates encode to <unk>.
+  logs::PhraseVocab frozen = vocab_;
+  chains::ParsedLog parsed =
+      chains::parse_corpus(test_corpus, frozen, /*grow_vocab=*/false);
+  chains::ChainExtractor extractor(config_.extractor);
+  run.candidates = extractor.extract(parsed, *labeler_);
+
+  Phase3Predictor predictor(phase2_->model(), config_.phase3);
+  run.predictions.reserve(run.candidates.size());
+  for (const chains::CandidateSequence& c : run.candidates)
+    run.predictions.push_back(predictor.decide(c));
+  return run;
+}
+
+std::vector<FailurePrediction> DeshPipeline::redecide(
+    const std::vector<chains::CandidateSequence>& candidates,
+    std::size_t decision_position) const {
+  util::require(fitted_, "DeshPipeline::redecide: fit() has not run");
+  Phase3Predictor predictor(phase2_->model(), config_.phase3);
+  std::vector<FailurePrediction> out;
+  out.reserve(candidates.size());
+  for (const chains::CandidateSequence& c : candidates)
+    out.push_back(predictor.decide_at(c, decision_position));
+  return out;
+}
+
+std::pair<logs::LogCorpus, logs::LogCorpus> split_corpus(
+    const logs::LogCorpus& corpus, double split_time) {
+  logs::LogCorpus train, test;
+  for (const logs::LogRecord& r : corpus)
+    (r.timestamp < split_time ? train : test).push_back(r);
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace desh::core

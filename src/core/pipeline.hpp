@@ -1,0 +1,101 @@
+// DeshPipeline: the end-to-end system façade. Wires together the raw-log
+// parser, phase-1 language modeling, expert labeling, failure-chain
+// extraction, deltaT augmentation, phase-2 retraining and the phase-3
+// predictor — Figure 2 of the paper as one object.
+//
+// Usage:
+//   DeshPipeline pipeline(config);
+//   pipeline.fit(train_corpus);             // phases 1 + 2 (offline)
+//   auto run = pipeline.predict(test_corpus);  // phase 3
+//   for (auto& p : run.predictions) if (p.flagged) alert(p.warning_message());
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chains/extractor.hpp"
+#include "chains/labeler.hpp"
+#include "chains/parsed_log.hpp"
+#include "core/config.hpp"
+#include "core/phase1.hpp"
+#include "core/phase2.hpp"
+#include "core/phase3.hpp"
+#include "logs/record.hpp"
+#include "logs/vocab.hpp"
+
+namespace desh::core {
+
+/// Summary of an offline training run (phases 1 and 2).
+struct FitReport {
+  std::size_t train_events = 0;
+  std::size_t vocab_size = 0;
+  std::size_t failure_chains = 0;   // extracted from the training window
+  std::size_t candidates = 0;       // all anomalous candidates seen
+  float phase1_loss = 0;
+  float phase2_loss = 0;
+  double phase1_accuracy = 0;       // next-phrase top-1 on training data
+  double skipgram_seconds = 0;
+  double phase1_seconds = 0;
+  double phase2_seconds = 0;
+};
+
+/// One phase-3 pass over a test corpus.
+struct TestRun {
+  std::vector<chains::CandidateSequence> candidates;
+  std::vector<FailurePrediction> predictions;  // parallel to candidates
+};
+
+class DeshPipeline {
+ public:
+  explicit DeshPipeline(DeshConfig config = {});
+
+  /// Offline training on the raw training corpus (the paper's first 30% of
+  /// each system's logs). Builds the vocabulary, optionally pre-trains
+  /// skip-gram embeddings, trains phases 1 and 2.
+  FitReport fit(const logs::LogCorpus& train_corpus);
+
+  /// Phase-3 inference over a raw test corpus. Requires fit() first.
+  TestRun predict(const logs::LogCorpus& test_corpus) const;
+
+  /// Re-decides an existing run at a different flag position (Fig 8 sweep)
+  /// without re-extracting candidates.
+  std::vector<FailurePrediction> redecide(
+      const std::vector<chains::CandidateSequence>& candidates,
+      std::size_t decision_position) const;
+
+  bool fitted() const { return fitted_; }
+  const DeshConfig& config() const { return config_; }
+  const logs::PhraseVocab& vocab() const { return vocab_; }
+  const chains::PhraseLabeler& labeler() const;
+  Phase1Trainer& phase1();
+  Phase2Trainer& phase2();
+  const Phase2Trainer& phase2() const;
+  /// Training failure chains (deltaT-augmented) — phase 2's input.
+  const std::vector<nn::ChainSequence>& training_chains() const {
+    return training_chains_;
+  }
+
+ private:
+  friend void save_pipeline(const DeshPipeline&, const std::string&);
+  friend DeshPipeline load_pipeline(const std::string&);
+
+  DeshConfig config_;
+  util::Rng rng_;
+  logs::PhraseVocab vocab_;
+  std::optional<chains::PhraseLabeler> labeler_;
+  std::unique_ptr<Phase1Trainer> phase1_;
+  std::unique_ptr<Phase2Trainer> phase2_;
+  std::vector<nn::ChainSequence> training_chains_;
+  bool fitted_ = false;
+};
+
+void save_pipeline(const DeshPipeline& pipeline, const std::string& directory);
+DeshPipeline load_pipeline(const std::string& directory);
+
+/// Splits a corpus at `split_time`: records strictly before it are training
+/// (the paper's 30%/70% temporal split, Sec 4).
+std::pair<logs::LogCorpus, logs::LogCorpus> split_corpus(
+    const logs::LogCorpus& corpus, double split_time);
+
+}  // namespace desh::core

@@ -1,0 +1,30 @@
+#include "core/sensitivity.hpp"
+
+#include "util/error.hpp"
+
+namespace desh::core {
+
+std::vector<SensitivityPoint> lead_time_sensitivity(
+    const DeshPipeline& pipeline, const TestRun& run,
+    const logs::GroundTruth& truth, std::size_t min_position,
+    std::size_t max_position) {
+  util::require(min_position >= 1 && min_position <= max_position,
+                "lead_time_sensitivity: bad position range");
+  std::vector<SensitivityPoint> out;
+  for (std::size_t k = min_position; k <= max_position; ++k) {
+    const auto predictions = pipeline.redecide(run.candidates, k);
+    const SystemEvaluation eval =
+        Evaluator::evaluate(run.candidates, predictions, truth);
+    SensitivityPoint point;
+    point.decision_position = k;
+    point.mean_lead_seconds = eval.lead_times.mean();
+    point.fp_rate = eval.metrics.fp_rate * 100.0;
+    point.recall = eval.metrics.recall * 100.0;
+    point.tp = eval.counts.tp;
+    point.fp = eval.counts.fp;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace desh::core

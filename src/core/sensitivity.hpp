@@ -1,0 +1,30 @@
+// Lead-time vs false-positive-rate sensitivity study (Fig 8): sweep the
+// decision position (how many phrases are checked before flagging) and
+// record, per operating point, the mean true-positive lead time and the
+// false-positive rate. Earlier flags buy longer lead times at the expense
+// of false positives (Observation 3's trade-off).
+#pragma once
+
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+
+namespace desh::core {
+
+struct SensitivityPoint {
+  std::size_t decision_position = 0;
+  double mean_lead_seconds = 0;
+  double fp_rate = 0;      // percent
+  double recall = 0;       // percent
+  std::size_t tp = 0, fp = 0;
+};
+
+/// Re-decides the candidates of `run` at every position in
+/// [min_position, max_position] and evaluates each operating point.
+std::vector<SensitivityPoint> lead_time_sensitivity(
+    const DeshPipeline& pipeline, const TestRun& run,
+    const logs::GroundTruth& truth, std::size_t min_position,
+    std::size_t max_position);
+
+}  // namespace desh::core

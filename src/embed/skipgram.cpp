@@ -1,0 +1,121 @@
+#include "embed/skipgram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::embed {
+
+SkipGram::SkipGram(const SkipGramConfig& config, util::Rng& rng)
+    : config_(config),
+      rng_(rng.fork(0x5169u)),
+      w_in_(tensor::Matrix::uniform(config.vocab_size, config.dim,
+                                    0.5f / static_cast<float>(config.dim),
+                                    rng_)),
+      w_out_(config.vocab_size, config.dim, 0.0f) {
+  util::require(config.vocab_size > 1, "SkipGram: vocab_size must be > 1");
+  util::require(config.dim > 0, "SkipGram: dim must be > 0");
+}
+
+void SkipGram::train_pair(std::uint32_t target, std::uint32_t context, float lr,
+                          const util::AliasSampler& sampler) {
+  const std::size_t E = config_.dim;
+  float* vt = w_in_.data() + target * E;
+  std::vector<float> grad_target(E, 0.0f);
+
+  auto update = [&](std::uint32_t out_id, float label) {
+    float* vo = w_out_.data() + out_id * E;
+    float score = 0.0f;
+    for (std::size_t c = 0; c < E; ++c) score += vt[c] * vo[c];
+    const float pred = 1.0f / (1.0f + std::exp(-score));
+    const float g = lr * (label - pred);
+    for (std::size_t c = 0; c < E; ++c) {
+      grad_target[c] += g * vo[c];
+      vo[c] += g * vt[c];
+    }
+  };
+
+  update(context, 1.0f);
+  for (std::size_t n = 0; n < config_.negatives; ++n) {
+    const auto neg = static_cast<std::uint32_t>(sampler.sample(rng_));
+    if (neg == context) continue;
+    update(neg, 0.0f);
+  }
+  for (std::size_t c = 0; c < E; ++c) vt[c] += grad_target[c];
+}
+
+void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
+                     std::size_t epochs) {
+  util::require(epochs >= 1, "SkipGram::train: epochs must be >= 1");
+
+  // Unigram^(3/4) negative-sampling distribution from the corpus.
+  std::vector<double> counts(config_.vocab_size, 0.0);
+  std::size_t total_tokens = 0;
+  for (const auto& seq : sequences)
+    for (std::uint32_t id : seq) {
+      util::require(id < config_.vocab_size, "SkipGram::train: id out of vocab");
+      counts[id] += 1.0;
+      ++total_tokens;
+    }
+  util::require(total_tokens > 1, "SkipGram::train: corpus too small");
+  for (double& c : counts) c = std::pow(c + 1.0, 0.75);  // +1 smooths unseen ids
+  util::AliasSampler sampler(counts);
+
+  const std::size_t total_steps = epochs * total_tokens;
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& seq : sequences) {
+      const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(seq.size());
+      for (std::ptrdiff_t t = 0; t < n; ++t, ++step) {
+        // Linear learning-rate decay across the whole run.
+        const float frac =
+            static_cast<float>(step) / static_cast<float>(total_steps);
+        const float lr = std::max(
+            config_.min_learning_rate,
+            config_.learning_rate * (1.0f - frac));
+        const std::ptrdiff_t lo =
+            std::max<std::ptrdiff_t>(0, t - static_cast<std::ptrdiff_t>(
+                                             config_.window_before));
+        const std::ptrdiff_t hi =
+            std::min(n - 1, t + static_cast<std::ptrdiff_t>(config_.window_after));
+        for (std::ptrdiff_t c = lo; c <= hi; ++c) {
+          if (c == t) continue;
+          train_pair(seq[static_cast<std::size_t>(t)],
+                     seq[static_cast<std::size_t>(c)], lr, sampler);
+        }
+      }
+    }
+  }
+}
+
+float SkipGram::cosine(std::uint32_t a, std::uint32_t b) const {
+  util::require(a < config_.vocab_size && b < config_.vocab_size,
+                "SkipGram::cosine: id out of vocab");
+  std::span<const float> va = w_in_.row(a);
+  std::span<const float> vb = w_in_.row(b);
+  const float na = std::sqrt(tensor::dot(va, va));
+  const float nb = std::sqrt(tensor::dot(vb, vb));
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return tensor::dot(va, vb) / (na * nb);
+}
+
+std::vector<std::pair<std::uint32_t, float>> SkipGram::most_similar(
+    std::uint32_t id, std::size_t k) const {
+  util::require(id < config_.vocab_size, "SkipGram::most_similar: bad id");
+  std::vector<std::pair<std::uint32_t, float>> sims;
+  sims.reserve(config_.vocab_size - 1);
+  for (std::uint32_t other = 0; other < config_.vocab_size; ++other) {
+    if (other == id) continue;
+    sims.emplace_back(other, cosine(id, other));
+  }
+  const std::size_t take = std::min(k, sims.size());
+  std::partial_sort(sims.begin(),
+                    sims.begin() + static_cast<std::ptrdiff_t>(take), sims.end(),
+                    [](const auto& x, const auto& y) { return x.second > y.second; });
+  sims.resize(take);
+  return sims;
+}
+
+}  // namespace desh::embed

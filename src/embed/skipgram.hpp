@@ -1,0 +1,59 @@
+// Skip-gram word embeddings with negative sampling (Mikolov et al. [34]),
+// reproducing the paper's vectorization step (Sec 3.1): encoded phrases are
+// embedded using an *asymmetric* context window of 8 phrases to the left and
+// 3 to the right of the target, so that semantically related phrases
+// (Lustre, LNet, hwerr, ...) land close together in vector space. The
+// trained table seeds the LSTM embedding layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace desh::embed {
+
+struct SkipGramConfig {
+  std::size_t vocab_size = 0;
+  std::size_t dim = 16;
+  std::size_t window_before = 8;  // paper: 8 phrases left of the target
+  std::size_t window_after = 3;   // paper: 3 phrases right of the target
+  std::size_t negatives = 5;      // negative samples per positive pair
+  float learning_rate = 0.05f;
+  float min_learning_rate = 0.005f;
+};
+
+class SkipGram {
+ public:
+  SkipGram(const SkipGramConfig& config, util::Rng& rng);
+
+  /// Trains for `epochs` passes over the node-wise phrase sequences.
+  /// The negative-sampling distribution is rebuilt from the corpus unigram
+  /// counts raised to 3/4 on the first call.
+  void train(std::span<const std::vector<std::uint32_t>> sequences,
+             std::size_t epochs);
+
+  /// Input (target) vectors — one row per phrase id.
+  const tensor::Matrix& vectors() const { return w_in_; }
+
+  float cosine(std::uint32_t a, std::uint32_t b) const;
+  /// k nearest phrases by cosine similarity (excluding `id` itself).
+  std::vector<std::pair<std::uint32_t, float>> most_similar(
+      std::uint32_t id, std::size_t k) const;
+
+  const SkipGramConfig& config() const { return config_; }
+
+ private:
+  SkipGramConfig config_;
+  util::Rng rng_;
+  tensor::Matrix w_in_;   // V x E target vectors
+  tensor::Matrix w_out_;  // V x E context vectors
+
+  void train_pair(std::uint32_t target, std::uint32_t context, float lr,
+                  const util::AliasSampler& sampler);
+};
+
+}  // namespace desh::embed

@@ -1,0 +1,125 @@
+#include "logs/drain_miner.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace desh::logs {
+
+DrainMiner::DrainMiner() : DrainMiner(Config{}) {}
+
+DrainMiner::DrainMiner(Config config) : config_(config) {
+  util::require(config_.tree_depth >= 1, "DrainMiner: tree_depth < 1");
+  util::require(config_.similarity_threshold > 0.0 &&
+                    config_.similarity_threshold <= 1.0,
+                "DrainMiner: similarity_threshold out of (0,1]");
+}
+
+namespace {
+bool looks_numeric(std::string_view token) {
+  // Drain's preprocessing: tokens dominated by digits or hex markers are
+  // variables; mask them before routing so number-bearing variants of one
+  // message land in the same leaf.
+  if (token.find("0x") != std::string_view::npos ||
+      token.find("0X") != std::string_view::npos)
+    return true;
+  std::size_t digits = 0;
+  for (char c : token)
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  return digits * 2 >= token.size() && digits > 0;
+}
+}  // namespace
+
+std::vector<std::string> DrainMiner::preprocess(std::string_view message) const {
+  std::vector<std::string> tokens = util::split_whitespace(message);
+  if (config_.premask_numbers)
+    for (std::string& token : tokens)
+      if (looks_numeric(token)) token = "*";
+  return tokens;
+}
+
+std::string DrainMiner::leaf_key_tokens(
+    const std::vector<std::string>& tokens) const {
+  std::string key;
+  for (std::size_t i = 0; i < std::min(config_.tree_depth, tokens.size());
+       ++i) {
+    // Wildcards never key the tree (they would fragment one template into
+    // many leaves).
+    key += tokens[i] == "*" ? std::string("<w>") : tokens[i];
+    key += '\x1f';
+  }
+  return key;
+}
+
+double DrainMiner::similarity(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i] || a[i] == "*" || b[i] == "*") ++equal;
+  return static_cast<double>(equal) / static_cast<double>(a.size());
+}
+
+std::uint32_t DrainMiner::add(std::string_view message) {
+  std::vector<std::string> tokens = preprocess(message);
+  util::require(!tokens.empty(), "DrainMiner::add: empty message");
+  auto& leaf = leaves_[{tokens.size(), leaf_key_tokens(tokens)}];
+
+  std::uint32_t best = kNoMatch;
+  double best_sim = 0;
+  for (std::uint32_t id : leaf) {
+    const double sim = similarity(tokens, templates_[id].tokens);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = id;
+    }
+  }
+  if (best != kNoMatch && best_sim >= config_.similarity_threshold) {
+    // Generalize the stored template where this message disagrees.
+    TemplateGroup& group = templates_[best];
+    for (std::size_t i = 0; i < tokens.size(); ++i)
+      if (group.tokens[i] != tokens[i]) group.tokens[i] = "*";
+    ++group.count;
+    return best;
+  }
+  const auto id = static_cast<std::uint32_t>(templates_.size());
+  templates_.push_back(TemplateGroup{std::move(tokens), 1});
+  leaf.push_back(id);
+  return id;
+}
+
+std::uint32_t DrainMiner::match(std::string_view message) const {
+  const std::vector<std::string> tokens = preprocess(message);
+  if (tokens.empty()) return kNoMatch;
+  auto it = leaves_.find({tokens.size(), leaf_key_tokens(tokens)});
+  if (it == leaves_.end()) return kNoMatch;
+  std::uint32_t best = kNoMatch;
+  double best_sim = 0;
+  for (std::uint32_t id : it->second) {
+    const double sim = similarity(tokens, templates_[id].tokens);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = id;
+    }
+  }
+  return best_sim >= config_.similarity_threshold ? best : kNoMatch;
+}
+
+std::string DrainMiner::template_text(std::uint32_t id) const {
+  util::require(id < templates_.size(), "DrainMiner::template_text: bad id");
+  // Collapse runs of '*' like TemplateMiner so texts are comparable.
+  std::string out;
+  bool previous_wild = false;
+  for (const std::string& token : templates_[id].tokens) {
+    const bool wild = token == "*";
+    if (wild && previous_wild) continue;
+    if (!out.empty()) out += ' ';
+    out += token;
+    previous_wild = wild;
+  }
+  return out;
+}
+
+}  // namespace desh::logs

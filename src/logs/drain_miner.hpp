@@ -1,0 +1,73 @@
+// DrainMiner: an online fixed-depth-tree log parser in the style of Drain
+// (He et al., ICWS 2017) — the family of "log parsing methods [26]" the
+// paper situates itself against. Unlike the rule-based TemplateMiner (which
+// needs token-shape heuristics), Drain *learns* templates online: messages
+// are routed by token count and leading tokens to a leaf group, matched
+// against the leaf's known templates by token similarity, and the best
+// match is generalized token-wise (mismatching positions become '*').
+//
+// Provided as an alternative front end so the pipeline can be driven from
+// logs whose dynamic-content shapes the heuristic was never tuned for;
+// bench_parser_comparison measures both parsers' grouping accuracy against
+// the generator's ground-truth templates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desh::logs {
+
+class DrainMiner {
+ public:
+  struct Config {
+    /// Leading tokens used as tree keys below the length level (Drain
+    /// keeps this shallow so variable tokens past the preamble cannot
+    /// fragment a template into many leaves).
+    std::size_t tree_depth = 2;
+    /// Minimum fraction of equal tokens to join an existing template.
+    double similarity_threshold = 0.55;
+    /// Tokens made of digits/hex are pre-masked before routing, like
+    /// Drain's domain-knowledge preprocessing step.
+    bool premask_numbers = true;
+  };
+
+  DrainMiner();  // default Config
+  explicit DrainMiner(Config config);
+
+  /// Learns from one raw message and returns its template id (stable for
+  /// the lifetime of the miner; templates may *generalize* over time —
+  /// tokens can turn into '*' — but never change id).
+  std::uint32_t add(std::string_view message);
+
+  /// Lookup without learning; returns the id of the best-matching known
+  /// template or kNoMatch when nothing clears the similarity threshold.
+  static constexpr std::uint32_t kNoMatch = ~std::uint32_t{0};
+  std::uint32_t match(std::string_view message) const;
+
+  /// The current normalized template text for an id.
+  std::string template_text(std::uint32_t id) const;
+  std::size_t template_count() const { return templates_.size(); }
+
+ private:
+  struct TemplateGroup {
+    std::vector<std::string> tokens;  // '*' marks generalized positions
+    std::size_t count = 0;
+  };
+
+  Config config_;
+  std::vector<TemplateGroup> templates_;
+  // Routing tree flattened into a map: (token count, joined leading tokens)
+  // -> candidate template ids.
+  std::map<std::pair<std::size_t, std::string>, std::vector<std::uint32_t>>
+      leaves_;
+
+  std::vector<std::string> preprocess(std::string_view message) const;
+  std::string leaf_key_tokens(const std::vector<std::string>& tokens) const;
+  static double similarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+};
+
+}  // namespace desh::logs

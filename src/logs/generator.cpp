@@ -1,0 +1,500 @@
+#include "logs/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace desh::logs {
+
+std::size_t GroundTruth::test_failure_count() const {
+  std::size_t n = 0;
+  for (const FailureEvent& f : failures)
+    if (f.terminal_time >= split_time) ++n;
+  return n;
+}
+
+std::size_t GroundTruth::test_lookalike_count() const {
+  std::size_t n = 0;
+  for (const LookalikeEvent& l : lookalikes)
+    if (l.end_time >= split_time) ++n;
+  return n;
+}
+
+SyntheticCraySource::SyntheticCraySource(SystemProfile profile)
+    : profile_(std::move(profile)) {
+  util::require(profile_.node_count >= 4,
+                "SyntheticCraySource: need at least 4 nodes");
+  util::require(profile_.duration_hours > 0,
+                "SyntheticCraySource: duration must be positive");
+  // Cray XC packaging: 4 nodes per blade, 16 blades per chassis, 3 chassis
+  // per cabinet; cabinets tile a row.
+  nodes_.reserve(profile_.node_count);
+  std::uint16_t cab_x = 0;
+  while (nodes_.size() < profile_.node_count) {
+    for (std::uint8_t chassis = 0;
+         chassis < 3 && nodes_.size() < profile_.node_count; ++chassis)
+      for (std::uint8_t slot = 0;
+           slot < 16 && nodes_.size() < profile_.node_count; ++slot)
+        for (std::uint8_t n = 0; n < 4 && nodes_.size() < profile_.node_count;
+             ++n)
+          nodes_.push_back(NodeId{cab_x, 0, chassis, slot, n});
+    ++cab_x;
+  }
+}
+
+namespace {
+
+std::string random_hex_blob(util::Rng& rng) {
+  static constexpr const char* kForms[] = {
+      "[%u]:0x%x, Info1=0x%x:", "0x%x Info2=0x%x:", ":Info1=0x%x: Info3=0x%x",
+      "status=0x%x code=%u"};
+  char buffer[96];
+  const char* form = kForms[rng.uniform_index(4)];
+  std::snprintf(buffer, sizeof(buffer), form,
+                static_cast<unsigned>(rng.uniform_index(99999)),
+                static_cast<unsigned>(rng.uniform_index(0xffff)),
+                static_cast<unsigned>(rng.uniform_index(0xffff)));
+  return buffer;
+}
+
+std::string random_path(util::Rng& rng) {
+  static constexpr const char* kPaths[] = {
+      "/etc/sysctl.conf", "/var/spool/slurm/job", "/proc/cray_xt/cstate",
+      "/lus/scratch/project", "/dvs/mount/point"};
+  std::string p = kPaths[rng.uniform_index(5)];
+  p += std::to_string(rng.uniform_index(9000) + 1000);
+  return p;
+}
+
+// Two injected anomalies on one node must stay further apart than the
+// extractor's sequence gap (420 s), or they would merge into one corrupted
+// candidate; reservations therefore pad well beyond that gap.
+constexpr double kAnomalyPadSeconds = 600.0;
+
+// Scheduling bookkeeping: per-node busy windows so two injected anomalies
+// never interleave on the same node.
+struct BusyMap {
+  std::unordered_map<NodeId, std::vector<std::pair<double, double>>> windows;
+
+  bool conflicts(const NodeId& node, double start, double end) const {
+    auto it = windows.find(node);
+    if (it == windows.end()) return false;
+    for (const auto& [s, e] : it->second)
+      if (start < e && s < end) return true;
+    return false;
+  }
+  void reserve(const NodeId& node, double start, double end) {
+    windows[node].emplace_back(start, end);
+  }
+};
+
+// Lognormal lead-time anchor per class, mean = Table 7 target (cv ~ 0.25).
+double sample_lead_anchor(FailureClass c, double scale, util::Rng& rng) {
+  const double mean = paper_lead_time_seconds(c) * scale;
+  const double sigma = 0.25;
+  const double mu = std::log(mean) - 0.5 * sigma * sigma;
+  return rng.lognormal(mu, sigma);
+}
+
+// Phrase timestamps for an n-phrase chain ending at `terminal_time`.
+// The phrase at the *anchor index* (index 4 — the decision point after the
+// paper's history of 5 observed phrases) sits `lead` seconds before the
+// terminal; later
+// phrases compress quadratically toward the terminal (Table 4's dense
+// tail), earlier phrases stretch backwards with exponential gaps (the extra
+// lead an earlier flag can buy, Fig 8).
+std::vector<double> chain_times(std::size_t n, double terminal_time,
+                                double lead, double early_gap_mean,
+                                util::Rng& rng) {
+  std::vector<double> t(n);
+  const std::size_t anchor = std::min<std::size_t>(4, n - 2);
+  t[n - 1] = terminal_time;
+  for (std::size_t i = anchor; i + 1 < n; ++i) {
+    const double frac = static_cast<double>(n - 1 - i) /
+                        static_cast<double>(n - 1 - anchor);
+    t[i] = terminal_time - lead * frac * frac;
+  }
+  double cursor = terminal_time - lead;
+  for (std::size_t i = anchor; i-- > 0;) {
+    cursor -= rng.exponential(1.0 / early_gap_mean);
+    t[i] = cursor;
+  }
+  // Sub-second jitter, preserving order.
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    t[i] += rng.uniform(0.0, 0.2);
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+}  // namespace
+
+std::string SyntheticCraySource::render_message(const CatalogPhrase& phrase,
+                                                util::Rng& rng) {
+  std::string out;
+  out.reserve(phrase.tmpl.size() + 32);
+  for (std::size_t i = 0; i < phrase.tmpl.size(); ++i) {
+    if (phrase.tmpl[i] != '*') {
+      out += phrase.tmpl[i];
+      continue;
+    }
+    switch (phrase.dynamic) {
+      case DynamicKind::kNone:
+      case DynamicKind::kHexCode:
+        out += random_hex_blob(rng);
+        break;
+      case DynamicKind::kNumber:
+        out += std::to_string(rng.uniform_index(100000));
+        break;
+      case DynamicKind::kNodeRef: {
+        NodeId nid{static_cast<std::uint16_t>(rng.uniform_index(4)), 0,
+                   static_cast<std::uint8_t>(rng.uniform_index(3)),
+                   static_cast<std::uint8_t>(rng.uniform_index(16)),
+                   static_cast<std::uint8_t>(rng.uniform_index(4))};
+        out += nid.to_string();
+        break;
+      }
+      case DynamicKind::kPath:
+        out += random_path(rng);
+        break;
+      case DynamicKind::kMixed:
+        out += rng.chance(0.5) ? random_path(rng) : random_hex_blob(rng);
+        break;
+    }
+  }
+  return out;
+}
+
+SyntheticLog SyntheticCraySource::generate() const {
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  util::Rng rng(profile_.seed);
+  SyntheticLog log;
+  const double duration = profile_.duration_hours * 3600.0;
+  log.truth.duration_seconds = duration;
+  log.truth.split_time = duration * profile_.train_fraction;
+
+  auto emit = [&](double time, const NodeId& node, std::size_t phrase_index,
+                  util::Rng& r) {
+    log.records.push_back(LogRecord{
+        time, node, render_message(catalog.phrase(phrase_index), r)});
+  };
+
+  BusyMap busy;
+  // Occurrence bookkeeping for the Table 8 contribution calibration.
+  std::map<std::size_t, std::size_t> failure_occurrences;
+  std::map<std::size_t, std::size_t> nonfailure_occurrences;
+
+  // ------------------------------------------------------------------
+  // 1. Benign background: per-node motifs (boot, jobs, health checks).
+  // ------------------------------------------------------------------
+  {
+    util::Rng bg = rng.fork(1);
+    const std::size_t boot_len = 5;
+    const std::size_t boot[boot_len] = {
+        catalog.index_of("init: entering runlevel *"),
+        catalog.index_of("Running * using values from *"),
+        catalog.index_of("Wait4Boot"),
+        catalog.index_of("ec_boot: node boot completed"),
+        catalog.index_of("All threads awake")};
+    const std::size_t health_motif[2] = {
+        catalog.index_of("RAS: node health check passed"),
+        catalog.index_of("Console heartbeat ok")};
+    const std::size_t mount_motif[3] = {
+        catalog.index_of("Mounting NID specific"),
+        catalog.index_of("DVS: mount completed"),
+        catalog.index_of("Lustre: * connected to *")};
+    // Long service motifs: four variants that open with a distinct phrase,
+    // share a three-phrase middle, and close with a variant-keyed pair. The
+    // phrase at index 4 is only predictable from the opener four steps
+    // back — the long-range dependency behind the paper's Sec 4.1 finding
+    // that shrinking the phase-1 history from 8/5 to 3 costs 10-14%
+    // accuracy ("patterns evolve over varying intervals of time that have
+    // to be remembered", Sec 2).
+    const std::size_t long_motif_open[4] = {
+        catalog.index_of("Job * started by user *"),
+        catalog.index_of("init: entering runlevel *"),
+        catalog.index_of("Power: cabinet power status nominal"),
+        catalog.index_of("Warm boot initiated by operator")};
+    const std::size_t long_motif_middle[3] = {
+        catalog.index_of("ALPS: apinit launch confirmed"),
+        catalog.index_of("Accepting connections on port *"),
+        catalog.index_of("ntpd: time synchronized with *")};
+    const std::size_t long_motif_close[4][2] = {
+        {catalog.index_of("Job * completed successfully"),
+         catalog.index_of("Setting flag")},
+        {catalog.index_of("All threads awake"),
+         catalog.index_of("ec_boot: node boot completed")},
+        {catalog.index_of("startproc: nss_ldap service started"),
+         catalog.index_of("nscd: nss_ldap reconnected")},
+        {catalog.index_of("Sending ec node info with boot code"),
+         catalog.index_of("slurmd: Registered with controller")}};
+
+    for (const NodeId& node : nodes_) {
+      // Boot sequence near trace start.
+      double t = bg.uniform(0.0, 120.0);
+      for (std::size_t i = 0; i < boot_len; ++i) {
+        emit(t, node, boot[i], bg);
+        t += bg.uniform(0.5, 5.0);
+      }
+      // Ongoing background motifs as a Poisson process.
+      const double expected = profile_.benign_events_per_node_hour *
+                              profile_.duration_hours / 4.8;  // ~4.8 phrases/motif
+      const std::uint64_t motifs = bg.poisson(expected);
+      for (std::uint64_t m = 0; m < motifs; ++m) {
+        double mt = bg.uniform(150.0, duration);
+        // 70% long service motifs (the learnable long-range structure),
+        // the rest short health/mount chatter and singleton noise.
+        const std::uint64_t kind = bg.uniform_index(10);
+        if (kind < 7) {
+          const std::size_t variant = bg.uniform_index(4);
+          auto step = [&](std::size_t phrase) {
+            emit(mt, node, phrase, bg);
+            mt += bg.uniform(1.0, 8.0);
+          };
+          step(long_motif_open[variant]);
+          for (std::size_t i = 0; i < 3; ++i) step(long_motif_middle[i]);
+          step(long_motif_close[variant][0]);
+          step(long_motif_close[variant][1]);
+        } else if (kind == 7) {
+          for (std::size_t i = 0; i < 2; ++i, mt += bg.uniform(0.5, 5.0))
+            emit(mt, node, health_motif[i], bg);
+        } else if (kind == 8) {
+          for (std::size_t i = 0; i < 3; ++i, mt += bg.uniform(1.0, 10.0))
+            emit(mt, node, mount_motif[i], bg);
+        } else {
+          const auto safe = catalog.safe_indices();
+          emit(mt, node, safe[bg.uniform_index(safe.size())], bg);
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 2. Anomalous node failures.
+  // ------------------------------------------------------------------
+  {
+    util::Rng fr = rng.fork(2);
+    std::span<const double> mix(profile_.class_mix.data(),
+                                profile_.class_mix.size());
+
+    // Pattern coverage: schedule one instance of every (class, variant) in
+    // the training period so phase 2 can learn every mode it will be asked
+    // to recognize; the paper's training window likewise spans all modes.
+    struct PlannedFailure {
+      FailureClass cls;
+      std::size_t variant;
+      bool force_train;
+    };
+    std::vector<PlannedFailure> planned;
+    for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+      const auto cls = static_cast<FailureClass>(c);
+      for (std::size_t v = 0; v < catalog.failure_patterns(cls).size(); ++v)
+        planned.push_back({cls, v, true});
+    }
+    while (planned.size() < profile_.failure_count) {
+      const auto cls = static_cast<FailureClass>(fr.discrete(mix));
+      const std::size_t v =
+          fr.uniform_index(catalog.failure_patterns(cls).size());
+      planned.push_back({cls, v, false});
+    }
+
+    // First pass: placement (node + terminal time) for every planned
+    // failure. Emission is deferred so the novel-pattern flags can be
+    // assigned as an *exact count* of the test-period failures — per-event
+    // coin flips would add binomial noise straight into the recall metric.
+    struct PlacedFailure {
+      PlannedFailure plan;
+      NodeId node;
+      double terminal_time = 0;
+      double lead = 0;
+      bool novel = false;
+    };
+    std::vector<PlacedFailure> placed_failures;
+    for (const PlannedFailure& pf : planned) {
+      const double lead = sample_lead_anchor(pf.cls, profile_.lead_time_scale, fr);
+      // Chains need ~lead + early-gap headroom after trace start.
+      const double head = lead + 8.0 * profile_.early_gap_mean_seconds + 60.0;
+      double terminal_time = 0;
+      NodeId node;
+      const bool in_train = pf.force_train;
+      bool placed = false;
+      for (int attempt = 0; attempt < 200 && !placed; ++attempt) {
+        terminal_time = in_train
+                            ? fr.uniform(head, log.truth.split_time)
+                            : fr.uniform(head, duration);
+        node = nodes_[fr.uniform_index(nodes_.size())];
+        if (!busy.conflicts(node, terminal_time - head, terminal_time + 60.0))
+          placed = true;
+      }
+      if (!placed) continue;  // trace saturated; drop this failure
+      busy.reserve(node, terminal_time - head - kAnomalyPadSeconds,
+                   terminal_time + kAnomalyPadSeconds);
+      placed_failures.push_back(PlacedFailure{pf, node, terminal_time, lead});
+    }
+
+    // Exact novel-count assignment among test-period failures.
+    std::vector<std::size_t> test_indices;
+    for (std::size_t i = 0; i < placed_failures.size(); ++i)
+      if (placed_failures[i].terminal_time >= log.truth.split_time)
+        test_indices.push_back(i);
+    fr.shuffle(test_indices);
+    const auto novel_count = static_cast<std::size_t>(
+        std::round(profile_.novel_failure_fraction *
+                   static_cast<double>(test_indices.size())));
+    for (std::size_t i = 0; i < novel_count && i < test_indices.size(); ++i)
+      placed_failures[test_indices[i]].novel = true;
+
+    for (const PlacedFailure& placed : placed_failures) {
+      const PlannedFailure& pf = placed.plan;
+      const auto& patterns = catalog.failure_patterns(pf.cls);
+      const double lead = placed.lead;
+      const double terminal_time = placed.terminal_time;
+      const NodeId node = placed.node;
+      const bool novel = placed.novel;
+
+      std::vector<std::size_t> phrases;
+      if (novel) {
+        // A failure mode never seen in training: random unknown prelude,
+        // one error, a terminal phrase.
+        const auto unknowns = catalog.unknown_indices();
+        const auto errors = catalog.error_indices();
+        const auto terminals = catalog.terminal_indices();
+        const std::size_t prelude = 5 + fr.uniform_index(4);
+        for (std::size_t i = 0; i < prelude; ++i)
+          phrases.push_back(unknowns[fr.uniform_index(unknowns.size())]);
+        phrases.push_back(errors[fr.uniform_index(errors.size())]);
+        phrases.push_back(terminals[fr.uniform_index(terminals.size())]);
+      } else {
+        phrases = patterns[pf.variant].phrases;
+      }
+
+      const auto times =
+          chain_times(phrases.size(), terminal_time, lead,
+                      profile_.early_gap_mean_seconds, fr);
+      for (std::size_t i = 0; i < phrases.size(); ++i) {
+        emit(times[i], node, phrases[i], fr);
+        if (catalog.phrase(phrases[i]).failure_contribution)
+          ++failure_occurrences[phrases[i]];
+      }
+      log.truth.failures.push_back(FailureEvent{node, terminal_time,
+                                                times.front(), pf.cls, novel,
+                                                pf.variant});
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 3. Non-failure lookalike sequences (Table 9 right columns).
+  // ------------------------------------------------------------------
+  {
+    util::Rng lr = rng.fork(3);
+    std::span<const double> mix(profile_.class_mix.data(),
+                                profile_.class_mix.size());
+    // Exact hard-lookalike count (the FP rate is too small a denominator to
+    // tolerate per-event coin-flip noise).
+    std::vector<bool> hardness(profile_.lookalike_count, false);
+    const auto hard_count = static_cast<std::size_t>(
+        std::round(profile_.hard_lookalike_fraction *
+                   static_cast<double>(profile_.lookalike_count)));
+    for (std::size_t i = 0; i < hard_count && i < hardness.size(); ++i)
+      hardness[i] = true;
+    lr.shuffle(hardness);
+    for (std::size_t k = 0; k < profile_.lookalike_count; ++k) {
+      const auto cls = static_cast<FailureClass>(lr.discrete(mix));
+      const auto& patterns = catalog.lookalike_patterns(cls);
+      const bool hard = hardness[k];
+      // Variant 0 is the hard (full-prefix) lookalike by catalog convention.
+      const std::size_t variant =
+          hard ? 0 : 1 + lr.uniform_index(patterns.size() - 1);
+      const auto& phrases = patterns[variant].phrases;
+
+      const double lead = sample_lead_anchor(cls, profile_.lead_time_scale, lr);
+      const double head = lead + 8.0 * profile_.early_gap_mean_seconds + 60.0;
+      double end_time = 0;
+      NodeId node;
+      bool placed = false;
+      for (int attempt = 0; attempt < 200 && !placed; ++attempt) {
+        end_time = lr.uniform(head, duration);
+        node = nodes_[lr.uniform_index(nodes_.size())];
+        if (!busy.conflicts(node, end_time - head, end_time + 60.0))
+          placed = true;
+      }
+      if (!placed) continue;
+
+      const auto times = chain_times(phrases.size(), end_time, lead,
+                                     profile_.early_gap_mean_seconds, lr);
+      for (std::size_t i = 0; i < phrases.size(); ++i) {
+        emit(times[i], node, phrases[i], lr);
+        if (catalog.phrase(phrases[i]).failure_contribution)
+          ++nonfailure_occurrences[phrases[i]];
+      }
+      busy.reserve(node, times.front() - kAnomalyPadSeconds,
+                   end_time + kAnomalyPadSeconds);
+      log.truth.lookalikes.push_back(LookalikeEvent{
+          node, times.front(), end_time, cls, hard, variant});
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 4. Table 8 calibration backfill: singleton unknown-phrase occurrences
+  // outside any failure chain, sized so that the fraction of occurrences
+  // inside failure chains matches the paper's contribution column.
+  // ------------------------------------------------------------------
+  {
+    util::Rng br = rng.fork(4);
+    for (std::size_t idx : catalog.table8_phrases()) {
+      const double target = *catalog.phrase(idx).failure_contribution;
+      const double in_failures =
+          static_cast<double>(failure_occurrences[idx]);
+      if (in_failures == 0) continue;
+      const double needed_nonfailure = in_failures * (1.0 - target) / target;
+      const double have = static_cast<double>(nonfailure_occurrences[idx]);
+      const auto backfill = static_cast<std::size_t>(
+          std::max(0.0, std::round(needed_nonfailure - have)));
+      for (std::size_t i = 0; i < backfill; ++i) {
+        const NodeId node = nodes_[br.uniform_index(nodes_.size())];
+        const double t = br.uniform(150.0, duration);
+        if (busy.conflicts(node, t - kAnomalyPadSeconds, t + kAnomalyPadSeconds)) continue;
+        emit(t, node, idx, br);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 5. Maintenance shutdowns: coordinated, many nodes, simple pattern.
+  // ------------------------------------------------------------------
+  {
+    util::Rng mr = rng.fork(5);
+    const std::size_t open_idx =
+        catalog.index_of("Service: scheduled maintenance window opened");
+    const std::size_t warm_idx = catalog.index_of("Warm boot initiated by operator");
+    const std::size_t halt_idx = catalog.index_of("System: halted");
+    const std::size_t boot_idx = catalog.index_of("ec_boot: node boot completed");
+    const std::size_t close_idx =
+        catalog.index_of("Service: scheduled maintenance window closed");
+    for (std::size_t w = 0; w < profile_.maintenance_windows; ++w) {
+      const double t0 = mr.uniform(duration * 0.1, duration * 0.9);
+      MaintenanceEvent event;
+      event.time = t0;
+      for (const NodeId& node : nodes_) {
+        if (!mr.chance(0.3)) continue;
+        if (busy.conflicts(node, t0 - 300.0, t0 + 600.0)) continue;
+        const double jitter = mr.uniform(0.0, 30.0);
+        emit(t0 + jitter, node, open_idx, mr);
+        emit(t0 + jitter + 5.0, node, warm_idx, mr);
+        emit(t0 + jitter + 10.0, node, halt_idx, mr);
+        emit(t0 + jitter + 120.0, node, boot_idx, mr);
+        emit(t0 + jitter + 130.0, node, close_idx, mr);
+        busy.reserve(node, t0 - 60.0, t0 + 200.0);
+        event.nodes.push_back(node);
+      }
+      log.truth.maintenance.push_back(std::move(event));
+    }
+  }
+
+  std::stable_sort(log.records.begin(), log.records.end());
+  return log;
+}
+
+}  // namespace desh::logs

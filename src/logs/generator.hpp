@@ -1,0 +1,95 @@
+// SyntheticCraySource: the statistical stand-in for the paper's 584 GB of
+// production Cray console logs (Table 1), which are vendor-controlled and
+// unavailable. See DESIGN.md section 1 for the substitution argument.
+//
+// The source emits a raw, unstructured, noise-interleaved log stream plus a
+// ground-truth side channel (used ONLY by the evaluator, never by Desh):
+//  - per-node benign background traffic in small motifs (boot sequences,
+//    job lifecycles, health checks) so phase-1 language modeling has real
+//    sequential structure to learn;
+//  - anomalous node failures: class-stratified chains (Table 7 mix) drawn
+//    from the catalog's pattern variants with class-specific lead-time
+//    anchors; a configurable fraction of test-period failures are novel
+//    (never-trained) patterns;
+//  - non-failure lookalike sequences sharing failure prefixes (Table 9);
+//  - singleton unknown-phrase backfill calibrated so each Table 8 phrase's
+//    failure-chain contribution matches the paper's percentage;
+//  - coordinated maintenance shutdowns ("simpler patterns", Sec 2) which a
+//    predictor must not count as anomalous failures.
+#pragma once
+
+#include <vector>
+
+#include "logs/phrase_catalog.hpp"
+#include "logs/record.hpp"
+#include "logs/system_profile.hpp"
+#include "util/rng.hpp"
+
+namespace desh::logs {
+
+/// Ground truth for one anomalous node failure.
+struct FailureEvent {
+  NodeId node;
+  double terminal_time = 0;  // timestamp of the terminal phrase
+  double start_time = 0;     // timestamp of the first chain phrase
+  FailureClass failure_class = FailureClass::kPanic;
+  bool novel = false;        // pattern unseen in the training period
+  std::size_t variant = 0;   // catalog pattern variant (novel: meaningless)
+};
+
+/// Ground truth for one non-failure anomalous sequence.
+struct LookalikeEvent {
+  NodeId node;
+  double start_time = 0;
+  double end_time = 0;
+  FailureClass failure_class = FailureClass::kPanic;
+  bool hard = false;  // replicates a failure chain up to the final phrase
+  std::size_t variant = 0;
+};
+
+/// A coordinated service shutdown affecting many nodes at once.
+struct MaintenanceEvent {
+  double time = 0;
+  std::vector<NodeId> nodes;
+};
+
+struct GroundTruth {
+  std::vector<FailureEvent> failures;
+  std::vector<LookalikeEvent> lookalikes;
+  std::vector<MaintenanceEvent> maintenance;
+  double split_time = 0;        // records before this form the training set
+  double duration_seconds = 0;
+
+  /// Failures/lookalikes whose activity lies in the test period (the
+  /// population the paper's Figs 4/5 metrics are computed over).
+  std::size_t test_failure_count() const;
+  std::size_t test_lookalike_count() const;
+};
+
+struct SyntheticLog {
+  LogCorpus records;  // globally sorted by timestamp
+  GroundTruth truth;
+};
+
+class SyntheticCraySource {
+ public:
+  explicit SyntheticCraySource(SystemProfile profile);
+
+  /// Generates the full trace; deterministic for a given profile (seed
+  /// included). Safe to call repeatedly — each call returns the same log.
+  SyntheticLog generate() const;
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  const SystemProfile& profile() const { return profile_; }
+
+  /// Renders one raw message for a catalog phrase (template with its
+  /// dynamic component filled in). Exposed for parser round-trip tests.
+  static std::string render_message(const CatalogPhrase& phrase,
+                                    util::Rng& rng);
+
+ private:
+  SystemProfile profile_;
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace desh::logs

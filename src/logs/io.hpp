@@ -1,0 +1,19 @@
+// Plain-text log persistence in the console-log style of Table 2:
+//   <HH:MM:SS.micro> <node-id> <message...>
+// plus an absolute-seconds prefix so round-trips are lossless.
+#pragma once
+
+#include <string>
+
+#include "logs/record.hpp"
+
+namespace desh::logs {
+
+/// Writes one record per line: "<seconds> <node> <message>".
+void save_corpus(const LogCorpus& corpus, const std::string& path);
+
+/// Reads a corpus written by save_corpus; throws util::IoError on failure
+/// and util::InvalidArgument on malformed lines.
+LogCorpus load_corpus(const std::string& path);
+
+}  // namespace desh::logs

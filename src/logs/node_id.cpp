@@ -1,0 +1,85 @@
+#include "logs/node_id.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace desh::logs {
+
+namespace {
+// Parses an unsigned integer starting at text[pos]; advances pos past it.
+bool parse_uint(std::string_view text, std::size_t& pos, unsigned& out) {
+  if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+    return false;
+  unsigned value = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    value = value * 10 + static_cast<unsigned>(text[pos] - '0');
+    ++pos;
+  }
+  out = value;
+  return true;
+}
+}  // namespace
+
+std::string NodeId::to_string() const {
+  std::string out = "c";
+  out += std::to_string(cabinet_x);
+  out += '-';
+  out += std::to_string(cabinet_y);
+  out += 'c';
+  out += std::to_string(chassis);
+  out += 's';
+  out += std::to_string(slot);
+  out += 'n';
+  out += std::to_string(node);
+  return out;
+}
+
+bool NodeId::try_parse(std::string_view text, NodeId& out) {
+  std::size_t pos = 0;
+  unsigned cx, cy, ch, sl, nd;
+  auto expect = [&](char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  if (!expect('c') || !parse_uint(text, pos, cx)) return false;
+  if (!expect('-') || !parse_uint(text, pos, cy)) return false;
+  if (!expect('c') || !parse_uint(text, pos, ch)) return false;
+  if (!expect('s') || !parse_uint(text, pos, sl)) return false;
+  if (!expect('n') || !parse_uint(text, pos, nd)) return false;
+  if (pos != text.size()) return false;
+  if (cx > 0xffff || cy > 0xffff || ch > 0xff || sl > 0xff || nd > 0xff)
+    return false;
+  out = NodeId{static_cast<std::uint16_t>(cx), static_cast<std::uint16_t>(cy),
+               static_cast<std::uint8_t>(ch), static_cast<std::uint8_t>(sl),
+               static_cast<std::uint8_t>(nd)};
+  return true;
+}
+
+NodeId NodeId::parse(std::string_view text) {
+  NodeId out;
+  util::require(try_parse(text, out),
+                "NodeId::parse: malformed node id '" + std::string(text) + "'");
+  return out;
+}
+
+std::string NodeId::location_description() const {
+  std::string out = "cabinet ";
+  out += std::to_string(cabinet_x);
+  out += '-';
+  out += std::to_string(cabinet_y);
+  out += ", chassis ";
+  out += std::to_string(chassis);
+  out += ", blade ";
+  out += std::to_string(slot);
+  out += ", node ";
+  out += std::to_string(node);
+  return out;
+}
+
+}  // namespace desh::logs

@@ -1,0 +1,51 @@
+// Cray physical node identifiers. The paper (Sec 4.5) stresses that the node
+// id cA-BcCsSnN carries the exact failure location: cabinet column A, cabinet
+// row B, chassis C, blade/slot S, node N — e.g. "c1-0c1s1n0" in Table 2.
+// Desh tracks these through phase 3 so a warning names the failing node and
+// where it physically sits.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace desh::logs {
+
+struct NodeId {
+  std::uint16_t cabinet_x = 0;  // cabinet column
+  std::uint16_t cabinet_y = 0;  // cabinet row
+  std::uint8_t chassis = 0;     // chassis within the cabinet (0..2 on XC)
+  std::uint8_t slot = 0;        // blade slot within the chassis (0..15)
+  std::uint8_t node = 0;        // node on the blade (0..3)
+
+  auto operator<=>(const NodeId&) const = default;
+
+  /// Renders the canonical Cray form, e.g. "c1-0c1s1n0".
+  std::string to_string() const;
+
+  /// Parses the canonical form; throws util::InvalidArgument on malformed
+  /// input. Accepts exactly the format produced by to_string().
+  static NodeId parse(std::string_view text);
+  /// Non-throwing variant; returns false on malformed input.
+  static bool try_parse(std::string_view text, NodeId& out);
+
+  /// Human-readable location phrase for operator warnings (Sec 4.5):
+  /// "cabinet 1-0, chassis 1, blade 1, node 0".
+  std::string location_description() const;
+};
+
+}  // namespace desh::logs
+
+template <>
+struct std::hash<desh::logs::NodeId> {
+  std::size_t operator()(const desh::logs::NodeId& id) const noexcept {
+    std::size_t h = id.cabinet_x;
+    h = h * 131 + id.cabinet_y;
+    h = h * 131 + id.chassis;
+    h = h * 131 + id.slot;
+    h = h * 131 + id.node;
+    return h;
+  }
+};

@@ -1,0 +1,426 @@
+#include "logs/phrase_catalog.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace desh::logs {
+
+std::string_view failure_class_name(FailureClass c) {
+  switch (c) {
+    case FailureClass::kJob: return "Job";
+    case FailureClass::kMce: return "MCE";
+    case FailureClass::kFileSystem: return "FS";
+    case FailureClass::kTraps: return "Traps";
+    case FailureClass::kHardware: return "H/W";
+    case FailureClass::kPanic: return "Panic";
+  }
+  return "?";
+}
+
+double paper_lead_time_seconds(FailureClass c) {
+  // Table 7, column "Avg. Lead Times (secs)".
+  switch (c) {
+    case FailureClass::kJob: return 81.52;
+    case FailureClass::kMce: return 160.29;
+    case FailureClass::kFileSystem: return 119.32;
+    case FailureClass::kTraps: return 115.74;
+    case FailureClass::kHardware: return 124.29;
+    case FailureClass::kPanic: return 58.87;
+  }
+  return 0.0;
+}
+
+const PhraseCatalog& PhraseCatalog::instance() {
+  static const PhraseCatalog catalog;
+  return catalog;
+}
+
+const CatalogPhrase& PhraseCatalog::phrase(std::size_t index) const {
+  util::require(index < phrases_.size(), "PhraseCatalog::phrase: bad index");
+  return phrases_[index];
+}
+
+std::size_t PhraseCatalog::index_of(std::string_view tmpl) const {
+  for (std::size_t i = 0; i < phrases_.size(); ++i)
+    if (phrases_[i].tmpl == tmpl) return i;
+  throw util::InvalidArgument("PhraseCatalog::index_of: unknown template '" +
+                              std::string(tmpl) + "'");
+}
+
+bool PhraseCatalog::has_template(std::string_view tmpl) const {
+  for (const CatalogPhrase& p : phrases_)
+    if (p.tmpl == tmpl) return true;
+  return false;
+}
+
+std::span<const ChainPattern> PhraseCatalog::failure_patterns(
+    FailureClass c) const {
+  return failure_patterns_[static_cast<std::size_t>(c)];
+}
+
+std::span<const ChainPattern> PhraseCatalog::lookalike_patterns(
+    FailureClass c) const {
+  return lookalike_patterns_[static_cast<std::size_t>(c)];
+}
+
+PhraseCatalog::PhraseCatalog() {
+  failure_patterns_.resize(kFailureClassCount);
+  lookalike_patterns_.resize(kFailureClassCount);
+
+  auto add = [&](std::string_view tmpl, PhraseLabel label, DynamicKind dyn,
+                 bool terminal = false,
+                 std::optional<double> contribution = std::nullopt) {
+    phrases_.push_back(CatalogPhrase{tmpl, label, dyn, terminal, contribution});
+    const std::size_t idx = phrases_.size() - 1;
+    switch (label) {
+      case PhraseLabel::kSafe: safe_.push_back(idx); break;
+      case PhraseLabel::kUnknown: unknown_.push_back(idx); break;
+      case PhraseLabel::kError: error_.push_back(idx); break;
+    }
+    if (terminal) terminal_.push_back(idx);
+    return idx;
+  };
+
+  // ------------------------------------------------------------------
+  // Safe phrases (Table 3 column 1 plus routine Cray/Linux chatter).
+  // ------------------------------------------------------------------
+  const std::size_t sMountNid = add("Mounting NID specific", PhraseLabel::kSafe,
+                                    DynamicKind::kNone);
+  const std::size_t sApicTimer =
+      add("cpu * apic_timer_irqs", PhraseLabel::kSafe, DynamicKind::kNumber);
+  const std::size_t sSettingFlag =
+      add("Setting flag", PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sWait4Boot =
+      add("Wait4Boot", PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sEcNodeInfo = add("Sending ec node info with boot code",
+                                      PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sSysctl =
+      add("Running * using values from *", PhraseLabel::kSafe,
+          DynamicKind::kPath);
+  const std::size_t sLnetQuiesce = add("LNet: hardware quiesce *",
+                                       PhraseLabel::kSafe, DynamicKind::kHexCode);
+  const std::size_t sThreadsAwake =
+      add("All threads awake", PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sNtp = add("ntpd: time synchronized with *",
+                               PhraseLabel::kSafe, DynamicKind::kNumber);
+  const std::size_t sSlurmReg = add("slurmd: Registered with controller",
+                                    PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sLustreConn = add("Lustre: * connected to *",
+                                      PhraseLabel::kSafe, DynamicKind::kMixed);
+  const std::size_t sAccept = add("Accepting connections on port *",
+                                  PhraseLabel::kSafe, DynamicKind::kNumber);
+  const std::size_t sHealthOk = add("RAS: node health check passed",
+                                    PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sHeartbeat = add("Console heartbeat ok", PhraseLabel::kSafe,
+                                     DynamicKind::kNone);
+  const std::size_t sJobStart = add("Job * started by user *",
+                                    PhraseLabel::kSafe, DynamicKind::kNumber);
+  const std::size_t sJobDone = add("Job * completed successfully",
+                                   PhraseLabel::kSafe, DynamicKind::kNumber);
+  const std::size_t sDvsMount = add("DVS: mount completed", PhraseLabel::kSafe,
+                                    DynamicKind::kNone);
+  const std::size_t sBootDone = add("ec_boot: node boot completed",
+                                    PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sPower = add("Power: cabinet power status nominal",
+                                 PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sAlps = add("ALPS: apinit launch confirmed",
+                                PhraseLabel::kSafe, DynamicKind::kNumber);
+  const std::size_t sWarmBoot = add("Warm boot initiated by operator",
+                                    PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sMaintOpen =
+      add("Service: scheduled maintenance window opened", PhraseLabel::kSafe,
+          DynamicKind::kNone);
+  const std::size_t sMaintClose =
+      add("Service: scheduled maintenance window closed", PhraseLabel::kSafe,
+          DynamicKind::kNone);
+  const std::size_t sRunlevel = add("init: entering runlevel *",
+                                    PhraseLabel::kSafe, DynamicKind::kNumber);
+  const std::size_t sNscd = add("nscd: nss_ldap reconnected",
+                                PhraseLabel::kSafe, DynamicKind::kNone);
+  const std::size_t sLdapOk = add("startproc: nss_ldap service started",
+                                  PhraseLabel::kSafe, DynamicKind::kNone);
+
+  // ------------------------------------------------------------------
+  // Unknown phrases. The first twelve are Table 8's P1..P12, with the
+  // paper's "contribution to node failures" percentages as calibration.
+  // ------------------------------------------------------------------
+  const std::size_t uLustreError =
+      add("LustreError *", PhraseLabel::kUnknown, DynamicKind::kMixed, false,
+          0.56);  // P1
+  const std::size_t uOomKilled =
+      add("Out of memory: Killed process *", PhraseLabel::kUnknown,
+          DynamicKind::kNumber, false, 0.15);  // P2
+  const std::size_t uLnetCritical =
+      add("LNet: Critical hardware error *", PhraseLabel::kUnknown,
+          DynamicKind::kHexCode, false, 0.36);  // P3
+  const std::size_t uSlurmCtl =
+      add("Slurm load partitions error: Unable to contact slurm controller",
+          PhraseLabel::kUnknown, DynamicKind::kNone, false, 0.42);  // P4
+  const std::size_t uAerBadTlp =
+      add("hwerr * Correctable AER_BAD_TLP Error *", PhraseLabel::kUnknown,
+          DynamicKind::kHexCode, false, 0.12);  // P5
+  const std::size_t uLlmrd =
+      add("Sent shutdown to llmrd at process *", PhraseLabel::kUnknown,
+          DynamicKind::kNumber, false, 0.17);  // P6
+  const std::size_t uAerMulti =
+      add("AER: Multiple corrected error recvd *", PhraseLabel::kUnknown,
+          DynamicKind::kHexCode, false, 0.21);  // P7
+  const std::size_t uTrapCode =
+      add("Trap invalid code * Error *", PhraseLabel::kUnknown,
+          DynamicKind::kHexCode, false, 0.08);  // P8
+  const std::size_t uModprobe =
+      add("modprobe: Fatal: Module * not found *", PhraseLabel::kUnknown,
+          DynamicKind::kMixed, false, 0.27);  // P9
+  const std::size_t uNodeHealthExit =
+      add("<node_health> * Warning: program * returned with exit code *",
+          PhraseLabel::kUnknown, DynamicKind::kNumber, false, 0.29);  // P10
+  const std::size_t uDvsVerify =
+      add("DVS: Verify Filesystem *", PhraseLabel::kUnknown,
+          DynamicKind::kPath, false, 0.60);  // P11
+  const std::size_t uNullDeref =
+      add("BUG: unable to handle kernel NULL pointer dereference",
+          PhraseLabel::kUnknown, DynamicKind::kNone, false, 0.25);  // P12
+  table8_ = {uLustreError, uOomKilled,      uLnetCritical, uSlurmCtl,
+             uAerBadTlp,   uLlmrd,          uAerMulti,     uTrapCode,
+             uModprobe,    uNodeHealthExit, uDvsVerify,    uNullDeref};
+
+  // Remaining unknown phrases (Tables 2, 4 and 9).
+  const std::size_t uMce = add("CPU * Machine Check Exception: *",
+                               PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uMcelog =
+      add("[Hardware Error]: Run the above through mcelog --ascii",
+          PhraseLabel::kUnknown, DynamicKind::kNone);
+  const std::size_t uRip = add("[Hardware Error]: RIP !INEXACT! *",
+                               PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uCorrPage = add("Corrected Memory Errors on Page *",
+                                    PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uMceIrq = add("mce_notify_irq: *", PhraseLabel::kUnknown,
+                                  DynamicKind::kHexCode);
+  const std::size_t uSsidRsp =
+      add("hwerr * ssid rsp a status msg protocol err error *",
+          PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uAerReplay =
+      add("hwerr * Correctable aer replay timer timeout error *",
+          PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uPcie = add("PCIe Bus Error: severity=Corrected *",
+                                PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uErrSeverity = add("ERROR: Type: * Severity: *",
+                                       PhraseLabel::kUnknown,
+                                       DynamicKind::kNumber);
+  const std::size_t uGnilndReaper =
+      add("LNet: * gnilnd:kgnilnd reaper dgram check", PhraseLabel::kUnknown,
+          DynamicKind::kHexCode);
+  const std::size_t uGnilndNoTraffic =
+      add("LNet: No gnilnd traffic received from *", PhraseLabel::kUnknown,
+          DynamicKind::kNodeRef);
+  const std::size_t uOomInvoked = add("* invoked oom killer",
+                                      PhraseLabel::kUnknown, DynamicKind::kNumber);
+  const std::size_t uNodeHealthFail =
+      add("<node_health> * failures: *", PhraseLabel::kUnknown,
+          DynamicKind::kNumber);
+  const std::size_t uDvsNoServers =
+      add("DVS: * no servers functioning properly", PhraseLabel::kUnknown,
+          DynamicKind::kNumber);
+  const std::size_t uLustreSkipBin = add("Lustre: * binary skipped *",
+                                         PhraseLabel::kUnknown,
+                                         DynamicKind::kMixed);
+  const std::size_t uLdapFail =
+      add("startproc: nss_ldap: failed to connect *", PhraseLabel::kUnknown,
+          DynamicKind::kNumber);
+  const std::size_t uSlurmdStop = add("Slurmd Stopped", PhraseLabel::kUnknown,
+                                      DynamicKind::kNone);
+  const std::size_t uGsockets =
+      add("Gsockets debug: critical hardware error *", PhraseLabel::kUnknown,
+          DynamicKind::kHexCode);
+  const std::size_t uDimm = add("Corrected DIMM Memory Errors *",
+                                PhraseLabel::kUnknown, DynamicKind::kNumber);
+  const std::size_t uLustreSkipped =
+      add("LustreError: Skipped * previous similar messages",
+          PhraseLabel::kUnknown, DynamicKind::kNumber);
+  const std::size_t uMceLogged = add("HW Error: MCE Logged *",
+                                     PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uLustreMount = add("Lustre: mount * failed with *",
+                                       PhraseLabel::kUnknown, DynamicKind::kMixed);
+  const std::size_t uDvsTimeout = add("DVS: file system request timed out *",
+                                      PhraseLabel::kUnknown, DynamicKind::kNumber);
+  const std::size_t uSegfault = add("segfault at * ip * sp * error *",
+                                    PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uTrapOpcode = add("Trap invalid opcode *",
+                                      PhraseLabel::kUnknown, DynamicKind::kHexCode);
+  const std::size_t uTestsFailed = add("The following tests * failed",
+                                       PhraseLabel::kUnknown, DynamicKind::kNumber);
+  const std::size_t uPktProto = add("Packet protocol error on link *",
+                                    PhraseLabel::kUnknown, DynamicKind::kHexCode);
+
+  // ------------------------------------------------------------------
+  // Error phrases (Table 3 column 3); terminals mark a node going down.
+  // ------------------------------------------------------------------
+  const std::size_t ePanic = add("Kernel panic - not syncing *",
+                                 PhraseLabel::kError, DynamicKind::kMixed);
+  const std::size_t eCallTrace =
+      add("Call Trace:", PhraseLabel::kError, DynamicKind::kNone);
+  const std::size_t eStackTrace = add("Stack Trace: *", PhraseLabel::kError,
+                                      DynamicKind::kHexCode);
+  const std::size_t eCbNodeUnavail = add("cb_node_unavailable",
+                                         PhraseLabel::kError, DynamicKind::kNone,
+                                         /*terminal=*/true);
+  const std::size_t eNodeDown =
+      add("WARNING: Node * is down", PhraseLabel::kError, DynamicKind::kNodeRef,
+          /*terminal=*/true);
+  const std::size_t eDebugNmi = add("Debug NMI detected", PhraseLabel::kError,
+                                    DynamicKind::kNone);
+  const std::size_t eStopNmi = add("Stop NMI detected", PhraseLabel::kError,
+                                   DynamicKind::kNone, /*terminal=*/true);
+  const std::size_t eHeartbeatFault =
+      add("node heartbeat fault: node * not responding", PhraseLabel::kError,
+          DynamicKind::kNodeRef);
+  const std::size_t eNmiFault = add("NMI: critical hardware fault detected *",
+                                    PhraseLabel::kError, DynamicKind::kHexCode);
+  const std::size_t eCpuStall =
+      add("CPU stall detected: rcu_sched self-detected stall *",
+          PhraseLabel::kError, DynamicKind::kNumber);
+  const std::size_t eFatalTrap =
+      add("Fatal trap: invalid opcode in kernel mode *", PhraseLabel::kError,
+          DynamicKind::kHexCode);
+  const std::size_t eHalted = add("System: halted", PhraseLabel::kError,
+                                  DynamicKind::kNone, /*terminal=*/true);
+  const std::size_t eSlurmDown =
+      add("slurmctld: error: Nodes * not responding, setting DOWN",
+          PhraseLabel::kError, DynamicKind::kNodeRef);
+
+  (void)sMountNid; (void)sApicTimer; (void)sSettingFlag; (void)sWait4Boot;
+  (void)sEcNodeInfo; (void)sSysctl; (void)sLnetQuiesce; (void)sThreadsAwake;
+  (void)sNtp; (void)sSlurmReg; (void)sLustreConn; (void)sAccept;
+  (void)sHealthOk; (void)sHeartbeat; (void)sJobStart; (void)sJobDone;
+  (void)sDvsMount; (void)sBootDone; (void)sPower; (void)sAlps;
+  (void)sWarmBoot; (void)sMaintOpen; (void)sMaintClose; (void)sRunlevel;
+  (void)sNscd; (void)sLdapOk;
+
+  // ------------------------------------------------------------------
+  // Failure-chain patterns (Table 4 and Sec 4.2/4.3). Each class has
+  // several variants; every variant ends with a terminal phrase.
+  // ------------------------------------------------------------------
+  auto fail = [&](FailureClass c, std::vector<std::size_t> seq) {
+    failure_patterns_[static_cast<std::size_t>(c)].push_back(
+        ChainPattern{c, std::move(seq)});
+  };
+  auto look = [&](FailureClass c, std::vector<std::size_t> seq) {
+    lookalike_patterns_[static_cast<std::size_t>(c)].push_back(
+        ChainPattern{c, std::move(seq)});
+  };
+
+  // --- Job: slurm controller / application failures (Table 7 row 1).
+  fail(FailureClass::kJob,
+       {uSlurmCtl, uNodeHealthExit, uOomInvoked, uOomKilled, uLlmrd,
+        uSlurmdStop, eSlurmDown, eNodeDown});
+  fail(FailureClass::kJob,
+       {uNodeHealthExit, uSlurmCtl, uLdapFail, uOomInvoked, uOomKilled,
+        uNodeHealthFail, eSlurmDown, eHalted});
+  fail(FailureClass::kJob,
+       {uSlurmCtl, uModprobe, uNodeHealthExit, uNodeHealthFail, uSlurmdStop,
+        eSlurmDown, eNodeDown});
+
+  // --- MCE: machine check exceptions / memory faults (Table 4's chain).
+  fail(FailureClass::kMce,
+       {uMce, uMcelog, uRip, uMceLogged, uCorrPage, uMceIrq, ePanic,
+        eCallTrace, eCbNodeUnavail});
+  fail(FailureClass::kMce,
+       {uCorrPage, uDimm, uMce, uMcelog, uMceLogged, uMceIrq, uRip, ePanic,
+        eCbNodeUnavail});
+  fail(FailureClass::kMce,
+       {uMceLogged, uMce, uDimm, uMceIrq, uCorrPage, eCpuStall, ePanic,
+        eCallTrace, eStopNmi});
+
+  // --- FileSystem: Lustre / DVS / packet-protocol errors.
+  fail(FailureClass::kFileSystem,
+       {uLustreError, uLustreSkipped, uDvsVerify, uDvsNoServers, uLustreMount,
+        uDvsTimeout, eSlurmDown, eNodeDown});
+  fail(FailureClass::kFileSystem,
+       {uDvsVerify, uLustreError, uLustreMount, uLustreSkipBin, uDvsTimeout,
+        uPktProto, uLlmrd, eNodeDown});
+  fail(FailureClass::kFileSystem,
+       {uLustreError, uDvsVerify, uPktProto, uDvsNoServers, uLustreSkipped,
+        uErrSeverity, eHalted});
+
+  // --- Traps: segfaults, invalid opcodes, kernel bugs.
+  fail(FailureClass::kTraps,
+       {uSegfault, uTrapOpcode, uTrapCode, uNullDeref, eFatalTrap, eStackTrace,
+        eStopNmi});
+  fail(FailureClass::kTraps,
+       {uTrapOpcode, uSegfault, uModprobe, uNullDeref, uTrapCode, eFatalTrap,
+        eDebugNmi, eStopNmi});
+  fail(FailureClass::kTraps,
+       {uNullDeref, uSegfault, uTrapOpcode, uTestsFailed, eStackTrace,
+        eFatalTrap, eHalted});
+
+  // --- Hardware: NMI faults, interconnect, AER, heartbeat errors.
+  fail(FailureClass::kHardware,
+       {uLnetCritical, uGsockets, uAerBadTlp, uAerMulti, uSsidRsp, uPcie,
+        eNmiFault, eHeartbeatFault, eCbNodeUnavail});
+  fail(FailureClass::kHardware,
+       {uAerMulti, uAerBadTlp, uAerReplay, uLnetCritical, uGnilndNoTraffic,
+        uGnilndReaper, eHeartbeatFault, eStopNmi});
+  fail(FailureClass::kHardware,
+       {uGnilndNoTraffic, uLnetCritical, uSsidRsp, uPcie, uAerReplay,
+        uNodeHealthFail, eNmiFault, eCbNodeUnavail});
+
+  // --- Panic: immediate kernel panics with stack traces (short chains).
+  fail(FailureClass::kPanic,
+       {uNullDeref, uMceIrq, ePanic, eCallTrace, eStackTrace, eDebugNmi,
+        eCbNodeUnavail});
+  fail(FailureClass::kPanic,
+       {uMceIrq, uErrSeverity, ePanic, eStackTrace, eCallTrace, eStopNmi});
+  fail(FailureClass::kPanic,
+       {uTestsFailed, uNullDeref, ePanic, eCallTrace, eDebugNmi, eHalted});
+
+  // ------------------------------------------------------------------
+  // Lookalike (non-failure) patterns: the Table 9 "Not Failure" columns.
+  // Variant 0 of each class is *hard*: identical to failure variant 0 up to
+  // the final position, then recovery instead of the terminal phrase.
+  // Later variants diverge earlier (easier to reject).
+  // ------------------------------------------------------------------
+  // Job lookalikes: jobs killed, traps, protocol errors — node survives.
+  look(FailureClass::kJob,
+       {uSlurmCtl, uNodeHealthExit, uOomInvoked, uOomKilled, uLlmrd,
+        uSlurmdStop, eSlurmDown, sSlurmReg});
+  look(FailureClass::kJob,
+       {uNodeHealthExit, uOomInvoked, uOomKilled, uTrapCode, uSsidRsp,
+        uNodeHealthFail, sNscd});
+  // MCE lookalikes: corrected MCEs/DIMM errors that never escalate.
+  look(FailureClass::kMce,
+       {uMce, uMcelog, uRip, uMceLogged, uCorrPage, uMceIrq, ePanic,
+        eCallTrace, sHealthOk});
+  look(FailureClass::kMce,
+       {uMceLogged, uCorrPage, uDimm, uMceIrq, uMce, uDimm, sNscd, sHealthOk});
+  // FileSystem lookalikes: Lustre errors endured without node loss.
+  look(FailureClass::kFileSystem,
+       {uLustreError, uLustreSkipped, uDvsVerify, uDvsNoServers, uLustreMount,
+        uDvsTimeout, eSlurmDown, sLustreConn});
+  look(FailureClass::kFileSystem,
+       {uLustreSkipped, uLustreError, uDvsVerify, uLustreSkipBin, uDimm,
+        uCorrPage, sLustreConn, sDvsMount});
+  // Traps lookalikes: traps and killed processes, node survives (Table 9 col 3).
+  look(FailureClass::kTraps,
+       {uSegfault, uTrapOpcode, uTrapCode, uNullDeref, eFatalTrap, eStackTrace,
+        sHealthOk});
+  look(FailureClass::kTraps,
+       {uTrapOpcode, uTrapCode, uOomKilled, uOomInvoked, uLustreSkipBin,
+        uLdapFail, sNscd});
+  // Hardware lookalikes: critical hardware errors later quiesced.
+  look(FailureClass::kHardware,
+       {uLnetCritical, uGsockets, uAerBadTlp, uAerMulti, uSsidRsp, uPcie,
+        eNmiFault, eHeartbeatFault, sLnetQuiesce});
+  look(FailureClass::kHardware,
+       {uGnilndNoTraffic, uAerMulti, uAerBadTlp, uPcie, uAerReplay, uSsidRsp,
+        sLnetQuiesce, sHealthOk});
+  // Panic lookalikes: scary but non-fatal panic-adjacent chatter.
+  look(FailureClass::kPanic,
+       {uNullDeref, uMceIrq, ePanic, eCallTrace, eStackTrace, eDebugNmi,
+        sHealthOk});
+  look(FailureClass::kPanic,
+       {uMceIrq, uNullDeref, uTestsFailed, uErrSeverity, uLdapFail, uModprobe,
+        sRunlevel});
+}
+
+}  // namespace desh::logs

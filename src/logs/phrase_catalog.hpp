@@ -1,0 +1,111 @@
+// The Cray message taxonomy behind the synthetic log source.
+//
+// The paper works with real vendor logs whose phrase population, expert
+// labels (Table 3), failure-chain structure (Table 4), failure classes
+// (Table 7) and unknown-phrase statistics (Table 8/9) are all reported. This
+// catalog encodes that same population: every phrase the generator can emit,
+// its Safe/Unknown/Error label, whether it is a terminal "node went down"
+// message, the shape of its dynamic (variable) component, and — for the
+// twelve phrases of Table 8 — the paper's measured probability that an
+// occurrence belongs to a node-failure chain.
+//
+// The catalog is the single source of truth: the generator renders raw
+// messages from it, the PhraseLabeler mirrors its labels (playing the role
+// of the paper's system administrators), and the benches compare measured
+// statistics against its calibration targets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desh::logs {
+
+/// Expert phrase labels, Table 3.
+enum class PhraseLabel : std::uint8_t { kSafe, kUnknown, kError };
+
+/// Node-failure classes, Table 7.
+enum class FailureClass : std::uint8_t {
+  kJob = 0,
+  kMce,
+  kFileSystem,
+  kTraps,
+  kHardware,
+  kPanic,
+};
+inline constexpr std::size_t kFailureClassCount = 6;
+std::string_view failure_class_name(FailureClass c);
+/// Average lead time in seconds that the paper reports per class (Table 7).
+double paper_lead_time_seconds(FailureClass c);
+
+/// Shape of a phrase's dynamic component — what the generator substitutes
+/// for '*' when rendering raw text (the TemplateMiner must strip it back out).
+enum class DynamicKind : std::uint8_t {
+  kNone,     // template has no '*'
+  kHexCode,  // "[28451]:0x6624, Info1=0x500:"-style machine codes
+  kNumber,   // counters, pids, exit codes
+  kNodeRef,  // a Cray node id like c0-0c1s4n2
+  kPath,     // filesystem path
+  kMixed,    // combination of the above
+};
+
+struct CatalogPhrase {
+  std::string_view tmpl;  // normalized static template ('*' = dynamic slot)
+  PhraseLabel label = PhraseLabel::kSafe;
+  DynamicKind dynamic = DynamicKind::kNone;
+  bool terminal = false;  // terminal message marking the node going down
+  /// Table 8 calibration: fraction of this phrase's occurrences that belong
+  /// to node-failure chains (unset for phrases not in Table 8).
+  std::optional<double> failure_contribution;
+};
+
+/// A chain pattern: the phrase scaffold of one failure (or lookalike) mode.
+struct ChainPattern {
+  FailureClass failure_class = FailureClass::kPanic;
+  /// Catalog indices, in order: unknown preludes, then error escalation,
+  /// ending with a terminal phrase for failure patterns.
+  std::vector<std::size_t> phrases;
+};
+
+class PhraseCatalog {
+ public:
+  /// The process-wide catalog (immutable after construction).
+  static const PhraseCatalog& instance();
+
+  std::span<const CatalogPhrase> phrases() const { return phrases_; }
+  const CatalogPhrase& phrase(std::size_t index) const;
+  std::size_t size() const { return phrases_.size(); }
+
+  /// Index lookup by template text; throws if absent.
+  std::size_t index_of(std::string_view tmpl) const;
+  bool has_template(std::string_view tmpl) const;
+
+  /// Failure-chain pattern variants for a class (the generator samples one
+  /// per injected failure; the training split sees every variant).
+  std::span<const ChainPattern> failure_patterns(FailureClass c) const;
+  /// Non-failure lookalike patterns: share a failure prefix, then diverge
+  /// into recovery instead of a terminal phrase (Table 9 right columns).
+  std::span<const ChainPattern> lookalike_patterns(FailureClass c) const;
+
+  /// Indices of the twelve Table 8 unknown phrases, in P1..P12 order.
+  std::span<const std::size_t> table8_phrases() const { return table8_; }
+
+  /// All indices carrying a given label.
+  std::span<const std::size_t> safe_indices() const { return safe_; }
+  std::span<const std::size_t> unknown_indices() const { return unknown_; }
+  std::span<const std::size_t> error_indices() const { return error_; }
+  std::span<const std::size_t> terminal_indices() const { return terminal_; }
+
+ private:
+  PhraseCatalog();
+
+  std::vector<CatalogPhrase> phrases_;
+  std::vector<std::size_t> safe_, unknown_, error_, terminal_, table8_;
+  std::vector<std::vector<ChainPattern>> failure_patterns_;   // per class
+  std::vector<std::vector<ChainPattern>> lookalike_patterns_; // per class
+};
+
+}  // namespace desh::logs

@@ -1,0 +1,18 @@
+#include "logs/record.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace desh::logs {
+
+std::string format_timestamp(double seconds) {
+  const double day = std::fmod(std::max(0.0, seconds), 86400.0);
+  const int h = static_cast<int>(day / 3600.0);
+  const int m = static_cast<int>(std::fmod(day / 60.0, 60.0));
+  const double s = std::fmod(day, 60.0);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%09.6f", h, m, s);
+  return buffer;
+}
+
+}  // namespace desh::logs

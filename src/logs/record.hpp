@@ -1,0 +1,29 @@
+// The raw unit of a Cray-style console log: (timestamp, node id, message).
+// Matches the paper's Table 2 row structure; timestamps are seconds since
+// the start of the simulated trace with microsecond resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logs/node_id.hpp"
+
+namespace desh::logs {
+
+struct LogRecord {
+  double timestamp = 0.0;  // seconds since trace start
+  NodeId node;
+  std::string message;  // raw text including dynamic parts
+
+  bool operator<(const LogRecord& other) const {
+    return timestamp < other.timestamp;
+  }
+};
+
+using LogCorpus = std::vector<LogRecord>;
+
+/// Formats the timestamp like the console logs in Table 2 (HH:MM:SS.micro),
+/// wrapping at 24h for display purposes only.
+std::string format_timestamp(double seconds);
+
+}  // namespace desh::logs

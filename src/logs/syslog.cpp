@@ -1,0 +1,90 @@
+#include "logs/syslog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace desh::logs {
+
+namespace {
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+// Cumulative days before each month (non-leap year).
+constexpr std::array<int, 12> kMonthStart = {0,   31,  59,  90,  120, 151,
+                                             181, 212, 243, 273, 304, 334};
+
+int month_index(std::string_view name) {
+  for (std::size_t i = 0; i < kMonths.size(); ++i)
+    if (kMonths[i] == name) return static_cast<int>(i);
+  return -1;
+}
+}  // namespace
+
+std::optional<LogRecord> parse_syslog_line(std::string_view line) {
+  const std::vector<std::string> tokens = util::split_whitespace(line);
+  if (tokens.size() < 5) return std::nullopt;
+  const int month = month_index(tokens[0]);
+  if (month < 0) return std::nullopt;
+
+  int day = 0, hh = 0, mm = 0, ss = 0;
+  if (std::sscanf(tokens[1].c_str(), "%d", &day) != 1 || day < 1 || day > 31)
+    return std::nullopt;
+  if (std::sscanf(tokens[2].c_str(), "%d:%d:%d", &hh, &mm, &ss) != 3)
+    return std::nullopt;
+  if (hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 60)
+    return std::nullopt;
+
+  NodeId node;
+  if (!NodeId::try_parse(tokens[3], node)) return std::nullopt;
+
+  LogRecord record;
+  record.timestamp =
+      ((kMonthStart[static_cast<std::size_t>(month)] + day - 1) * 24.0 + hh) *
+          3600.0 +
+      mm * 60.0 + ss;
+  record.node = node;
+  // Message = everything after the node-id token, original spacing lost
+  // (syslog tooling normalizes whitespace anyway).
+  std::vector<std::string> message(tokens.begin() + 4, tokens.end());
+  record.message = util::join(message, " ");
+  return record;
+}
+
+std::string format_syslog_line(const LogRecord& record) {
+  double t = std::max(0.0, record.timestamp);
+  const int day_of_year =
+      std::min(364, static_cast<int>(t / 86400.0));
+  int month = 11;
+  while (month > 0 && kMonthStart[static_cast<std::size_t>(month)] > day_of_year)
+    --month;
+  const int day = day_of_year - kMonthStart[static_cast<std::size_t>(month)] + 1;
+  const double in_day = t - day_of_year * 86400.0;
+  const int hh = static_cast<int>(in_day / 3600.0) % 24;
+  const int mm = static_cast<int>(in_day / 60.0) % 60;
+  const int ss = static_cast<int>(in_day) % 60;
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%s %2d %02d:%02d:%02d",
+                std::string(kMonths[static_cast<std::size_t>(month)]).c_str(),
+                day, hh, mm, ss);
+  return std::string(stamp) + " " + record.node.to_string() + " " +
+         record.message;
+}
+
+LogCorpus load_syslog_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::IoError("load_syslog_file: cannot open " + path);
+  LogCorpus corpus;
+  std::string line;
+  while (std::getline(is, line))
+    if (auto record = parse_syslog_line(line))
+      corpus.push_back(std::move(*record));
+  std::stable_sort(corpus.begin(), corpus.end());
+  return corpus;
+}
+
+}  // namespace desh::logs

@@ -1,0 +1,29 @@
+// Adapter for classic BSD-syslog-formatted console logs — the on-disk form
+// of real Cray /var/log streams ("Mar 15 10:47:39 c0-0c0s0n2 message...").
+// Lets a deployment feed actual log files into the pipeline without
+// converting to the repository's native format first.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "logs/record.hpp"
+
+namespace desh::logs {
+
+/// Parses one syslog line "Mon DD HH:MM:SS <node-id> <message>". Timestamps
+/// become seconds since Jan 1 (non-leap year). Returns nullopt on lines that
+/// do not match (continuation lines, corrupt input) — callers typically
+/// skip those, as real console logs always contain some.
+std::optional<LogRecord> parse_syslog_line(std::string_view line);
+
+/// Renders a record in the same format (inverse of parse_syslog_line up to
+/// sub-second precision, which syslog cannot carry).
+std::string format_syslog_line(const LogRecord& record);
+
+/// Loads a whole syslog file, skipping unparseable lines; returns records
+/// sorted by timestamp. Throws util::IoError if the file cannot be read.
+LogCorpus load_syslog_file(const std::string& path);
+
+}  // namespace desh::logs

@@ -1,0 +1,47 @@
+#include "logs/template_miner.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace desh::logs {
+
+bool TemplateMiner::is_dynamic_token(std::string_view token) {
+  if (token.empty()) return false;
+  if (token == "*") return true;  // already masked upstream
+  if (token.front() == '/') return true;  // filesystem path
+  if (token.find("0x") != std::string_view::npos ||
+      token.find("0X") != std::string_view::npos)
+    return true;
+
+  std::size_t digits = 0, run = 0, longest_run = 0;
+  for (char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+      ++run;
+      longest_run = std::max(longest_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  if (digits == 0) return false;
+  if (longest_run >= 2) return true;  // error codes, addresses, counters
+  const double fraction =
+      static_cast<double>(digits) / static_cast<double>(token.size());
+  return fraction >= 0.3;  // short digit-dense ids like "P1", "n3"
+}
+
+std::string TemplateMiner::extract(std::string_view message) {
+  std::string out;
+  bool previous_dynamic = false;
+  for (const std::string& token : util::split_whitespace(message)) {
+    const bool dynamic = is_dynamic_token(token);
+    if (dynamic && previous_dynamic) continue;  // collapse runs into one '*'
+    if (!out.empty()) out += ' ';
+    out += dynamic ? "*" : token;
+    previous_dynamic = dynamic;
+  }
+  return out;
+}
+
+}  // namespace desh::logs

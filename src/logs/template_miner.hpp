@@ -1,0 +1,27 @@
+// Static/dynamic phrase splitting (Sec 3.1, Table 2): every raw log message
+// is segregated into its constant sub-phrase (the template) and its variable
+// component (error codes, addresses, node ids, hex dumps), which is
+// discarded. The surviving template is encoded to a stable integer phrase id
+// via PhraseVocab.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace desh::logs {
+
+/// Heuristic token classifier + template normalizer. A token is *dynamic* if
+/// it looks machine-generated: contains a hex marker ("0x"), is a filesystem
+/// path, is digit-dense (>= 30% digits), or carries a run of >= 2 digits
+/// (ids, error codes, addresses). Runs of dynamic tokens collapse to one '*'.
+class TemplateMiner {
+ public:
+  /// Returns the normalized static template of `message`: single-spaced
+  /// tokens with dynamic content replaced by '*'.
+  static std::string extract(std::string_view message);
+
+  /// Classification of a single whitespace-delimited token.
+  static bool is_dynamic_token(std::string_view token);
+};
+
+}  // namespace desh::logs

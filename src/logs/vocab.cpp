@@ -1,0 +1,57 @@
+#include "logs/vocab.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace desh::logs {
+
+PhraseVocab::PhraseVocab() {
+  id_to_template_.emplace_back(kUnknownTemplate);
+  template_to_id_.emplace(std::string(kUnknownTemplate), kUnknownId);
+}
+
+std::uint32_t PhraseVocab::add(std::string_view tmpl) {
+  util::require(!tmpl.empty(), "PhraseVocab::add: empty template");
+  auto it = template_to_id_.find(std::string(tmpl));
+  if (it != template_to_id_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(id_to_template_.size());
+  id_to_template_.emplace_back(tmpl);
+  template_to_id_.emplace(std::string(tmpl), id);
+  return id;
+}
+
+std::uint32_t PhraseVocab::encode(std::string_view tmpl) const {
+  auto it = template_to_id_.find(std::string(tmpl));
+  return it == template_to_id_.end() ? kUnknownId : it->second;
+}
+
+bool PhraseVocab::contains(std::string_view tmpl) const {
+  return template_to_id_.count(std::string(tmpl)) != 0;
+}
+
+const std::string& PhraseVocab::decode(std::uint32_t id) const {
+  util::require(id < id_to_template_.size(), "PhraseVocab::decode: bad id");
+  return id_to_template_[id];
+}
+
+void PhraseVocab::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw util::IoError("PhraseVocab::save: cannot open " + path);
+  // Skip the <unk> sentinel (id 0); load() re-creates it.
+  for (std::size_t i = 1; i < id_to_template_.size(); ++i)
+    os << id_to_template_[i] << '\n';
+  if (!os) throw util::IoError("PhraseVocab::save: write failed for " + path);
+}
+
+PhraseVocab PhraseVocab::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::IoError("PhraseVocab::load: cannot open " + path);
+  PhraseVocab vocab;
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty()) vocab.add(line);
+  return vocab;
+}
+
+}  // namespace desh::logs

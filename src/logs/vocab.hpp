@@ -1,0 +1,42 @@
+// Phrase vocabulary: bijection between normalized templates and dense
+// integer phrase ids ("once the constant messages are extracted they are
+// encoded to a uniquely identifiable number", Sec 3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace desh::logs {
+
+class PhraseVocab {
+ public:
+  /// Id reserved for templates never seen during vocabulary construction.
+  static constexpr std::uint32_t kUnknownId = 0;
+  static constexpr std::string_view kUnknownTemplate = "<unk>";
+
+  PhraseVocab();
+
+  /// Returns the id for `tmpl`, inserting it if new.
+  std::uint32_t add(std::string_view tmpl);
+  /// Returns the id for `tmpl` or kUnknownId when absent.
+  std::uint32_t encode(std::string_view tmpl) const;
+  bool contains(std::string_view tmpl) const;
+  /// Inverse mapping; throws util::InvalidArgument for out-of-range ids.
+  const std::string& decode(std::uint32_t id) const;
+
+  std::size_t size() const { return id_to_template_.size(); }
+
+  /// Plain-text persistence (one template per line, line number = id - the
+  /// <unk> sentinel occupies line 0).
+  void save(const std::string& path) const;
+  static PhraseVocab load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> template_to_id_;
+  std::vector<std::string> id_to_template_;
+};
+
+}  // namespace desh::logs

@@ -1,0 +1,190 @@
+#include "nn/chain_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+namespace {
+// Chains rarely stretch past ten minutes (Table 7 tops out near 160 s mean);
+// 600 s maps the working range onto ~[0,1] for the regression head.
+constexpr double kDtScaleSeconds = 600.0;
+// Reference width for the phrase-block gradient normalization (see
+// train_batch); chosen so classification and regression gradients stay
+// comparable at typical Cray template-vocabulary sizes.
+constexpr std::size_t kPhraseGradWidth = 16;
+}  // namespace
+
+ChainModel::ChainModel(const ChainModelConfig& config, util::Rng& rng)
+    : config_(config),
+      embed_(config.vocab_size, config.embed_dim, rng, "chain.embed"),
+      stack_(1 + config.embed_dim, config.hidden_size, config.num_layers, rng,
+             "chain.lstm"),
+      head_(config.hidden_size, 1 + config.vocab_size, rng, "chain.head") {
+  util::require(config.vocab_size > 1, "ChainModel: vocab_size must be > 1");
+  util::require(config.history >= 1, "ChainModel: history must be >= 1");
+}
+
+float ChainModel::normalize_dt(double seconds) {
+  return static_cast<float>(seconds / kDtScaleSeconds);
+}
+
+double ChainModel::denormalize_dt(float norm) {
+  return std::max(0.0, static_cast<double>(norm) * kDtScaleSeconds);
+}
+
+void ChainModel::build_input(const ChainStep& step, tensor::Matrix& x) const {
+  x.resize(1, 1 + config_.embed_dim);
+  x(0, 0) = step.dt_norm;
+  std::span<const float> v = embed_.vector(step.phrase);
+  for (std::size_t c = 0; c < config_.embed_dim; ++c) x(0, 1 + c) = v[c];
+}
+
+float ChainModel::train_batch(std::span<const ChainSequence> windows,
+                              Optimizer& optimizer, float clip_norm) {
+  util::require(!windows.empty(), "ChainModel::train_batch: empty batch");
+  util::require(windows.front().size() >= 2,
+                "ChainModel::train_batch: window needs >= 2 steps");
+  // Batches are rectangular: context length = window length - 1, capped by
+  // the configured history upstream. The final step is the 1-step target.
+  const std::size_t H = windows.front().size() - 1;
+  const std::size_t B = windows.size();
+  const std::size_t V = config_.vocab_size;
+  const std::size_t E = config_.embed_dim;
+  for (const ChainSequence& w : windows)
+    util::require(w.size() == H + 1,
+                  "ChainModel::train_batch: ragged batch");
+
+  // One embedding forward for all (t, b) phrase ids, t-major.
+  std::vector<std::uint32_t> flat_ids(H * B);
+  for (std::size_t t = 0; t < H; ++t)
+    for (std::size_t b = 0; b < B; ++b) flat_ids[t * B + b] = windows[b][t].phrase;
+  tensor::Matrix flat_emb;
+  embed_.forward(flat_ids, flat_emb);
+
+  std::vector<tensor::Matrix> inputs(H);
+  for (std::size_t t = 0; t < H; ++t) {
+    inputs[t].resize(B, 1 + E);
+    for (std::size_t b = 0; b < B; ++b) {
+      float* row = inputs[t].data() + b * (1 + E);
+      row[0] = windows[b][t].dt_norm;
+      const float* src = flat_emb.data() + (t * B + b) * E;
+      for (std::size_t c = 0; c < E; ++c) row[1 + c] = src[c];
+    }
+  }
+
+  LstmStack::Cache cache;
+  std::vector<tensor::Matrix> hidden_seq;
+  stack_.forward(inputs, cache, hidden_seq);
+
+  tensor::Matrix pred;
+  head_.forward(hidden_seq.back(), pred);  // B x (1 + V)
+
+  // Block-normalized MSE: the dt block averages over the batch; the phrase
+  // block averages over batch x a fixed reference width rather than the full
+  // vocabulary, so the classification gradient does not shrink as the
+  // vocabulary grows (with a 1/V normalizer, rare chain variants never
+  // converge and phase 3 misses their failures).
+  const float phrase_block_norm =
+      static_cast<float>(B) * static_cast<float>(kPhraseGradWidth);
+  tensor::Matrix dpred(B, 1 + V);
+  double loss_dt = 0, loss_phrase = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    const ChainStep& target = windows[b][H];
+    const float* pr = pred.data() + b * (1 + V);
+    float* dr = dpred.data() + b * (1 + V);
+    const float dt_diff = pr[0] - target.dt_norm;
+    loss_dt += static_cast<double>(dt_diff) * dt_diff;
+    dr[0] = 2.0f * dt_diff / static_cast<float>(B);
+    for (std::size_t v = 0; v < V; ++v) {
+      const float want = (v == target.phrase) ? 1.0f : 0.0f;
+      const float diff = pr[1 + v] - want;
+      loss_phrase += static_cast<double>(diff) * diff;
+      dr[1 + v] = 2.0f * diff / phrase_block_norm;
+    }
+  }
+  const float loss = static_cast<float>(loss_dt / static_cast<double>(B) +
+                                        loss_phrase / static_cast<double>(B * V));
+
+  tensor::Matrix dhidden_last;
+  head_.backward(dpred, dhidden_last);
+
+  std::vector<tensor::Matrix> dhidden(H);
+  for (std::size_t t = 0; t < H; ++t) dhidden[t].resize(B, config_.hidden_size);
+  dhidden.back() = dhidden_last;
+
+  std::vector<tensor::Matrix> dinputs;
+  stack_.backward(cache, dhidden, dinputs);
+
+  // Split dinputs: column 0 is the (non-trainable) dt scalar; the rest flows
+  // back into the embedding table.
+  tensor::Matrix dflat_emb(H * B, E);
+  for (std::size_t t = 0; t < H; ++t)
+    for (std::size_t b = 0; b < B; ++b) {
+      const float* src = dinputs[t].data() + b * (1 + E) + 1;
+      float* dst = dflat_emb.data() + (t * B + b) * E;
+      for (std::size_t c = 0; c < E; ++c) dst[c] = src[c];
+    }
+  embed_.backward(dflat_emb);
+
+  ParameterList params = parameters();
+  clip_global_norm(params, clip_norm);
+  optimizer.step(params);
+  zero_grads(params);
+  return loss;
+}
+
+std::vector<ChainStepScore> ChainModel::score_sequence(
+    const ChainSequence& sequence, std::size_t min_pos) const {
+  min_pos = std::max<std::size_t>(min_pos, 1);
+  std::vector<ChainStepScore> out;
+  if (sequence.size() < min_pos + 1) return out;
+
+  // Windowed re-evaluation: position t is predicted from the up-to-`history`
+  // steps before it, starting from a fresh state — exactly the windows the
+  // model trained on (Table 5: history size 5, 1-step prediction).
+  std::vector<tensor::Matrix> hs, cs;
+  tensor::Matrix x, top, pred;
+  for (std::size_t t = min_pos; t < sequence.size(); ++t) {
+    const std::size_t ctx = std::min(t, config_.history);
+    stack_.make_state(hs, cs, 1);
+    for (std::size_t i = t - ctx; i < t; ++i) {
+      build_input(sequence[i], x);
+      stack_.step_inference(x, hs, cs, top);
+    }
+    head_.forward_inference(top, pred);
+    const ChainStep& actual = sequence[t];
+    ChainStepScore s;
+    s.position = t;
+    s.predicted_dt = static_cast<float>(denormalize_dt(pred(0, 0)));
+    std::span<const float> phrase_block(pred.data() + 1, config_.vocab_size);
+    s.predicted_phrase =
+        static_cast<std::uint32_t>(tensor::argmax(phrase_block));
+    const float dt_err = pred(0, 0) - actual.dt_norm;
+    s.score = config_.time_weight * dt_err * dt_err +
+              (s.predicted_phrase == actual.phrase ? 0.0f : 1.0f);
+    out.push_back(s);
+  }
+  return out;
+}
+
+float ChainModel::sequence_mse(const ChainSequence& sequence) const {
+  const auto scores = score_sequence(sequence);
+  if (scores.empty()) return std::numeric_limits<float>::infinity();
+  double acc = 0;
+  for (const ChainStepScore& s : scores) acc += s.score;
+  return static_cast<float>(acc / static_cast<double>(scores.size()));
+}
+
+ParameterList ChainModel::parameters() {
+  ParameterList out = embed_.parameters();
+  for (Parameter* p : stack_.parameters()) out.push_back(p);
+  for (Parameter* p : head_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace desh::nn

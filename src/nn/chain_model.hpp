@@ -1,0 +1,101 @@
+// ChainModel: the phase-2/3 network of Desh. Consumes 2-state vectors
+// (cumulative deltaT to the terminal phrase, phrase id) — Table 4 / Table 5
+// rows 2-3 — and performs 1-step prediction of the next vector, trained with
+// MSE + RMSprop over a history window of 5.
+//
+// The phrase id enters through an embedding (Sec 3.1 word vectors) plus the
+// scalar deltaT, so a timestep input is [dt_norm | embed(p)] of width 1+E.
+// The output head predicts [dt_next_norm | one-hot(p_next)]; the two blocks
+// are trained with separately normalized MSE so the scalar time target is not
+// drowned by the V-wide phrase block.
+//
+// Inference (phase 3) computes, per step, the match score
+//     score = time_weight * (dt_pred - dt_actual)^2 + [argmax != p_actual]
+// which reproduces the paper's "MSE <= 0.5" failure-chain match criterion:
+// a window matches a trained failure chain only when most next-phrase
+// predictions are exact and the predicted lead times are close.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/embedding.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+
+/// One timestep of a phase-2/3 sequence: normalized cumulative deltaT plus
+/// the encoded phrase (Table 4 "Phrase Vector" column).
+struct ChainStep {
+  float dt_norm = 0.0f;     // deltaT scaled to ~[0,1]; see DeltaTimeCalculator
+  std::uint32_t phrase = 0;  // encoded phrase id
+};
+
+using ChainSequence = std::vector<ChainStep>;
+
+struct ChainModelConfig {
+  std::size_t vocab_size = 0;
+  std::size_t embed_dim = 16;
+  std::size_t hidden_size = 32;
+  std::size_t num_layers = 2;   // paper: 2 hidden layers
+  std::size_t history = 5;      // paper: history size 5
+  float time_weight = 4.0f;     // weight of the squared dt error in the score
+};
+
+/// Per-step phase-3 output: the match score against the learned chains and
+/// the model's own lead-time estimate (used by the streaming monitor, where
+/// the true time-to-failure is unknowable).
+struct ChainStepScore {
+  std::size_t position = 0;    // index of the compared (actual) step
+  float score = 0.0f;          // low = matches a trained failure chain
+  float predicted_dt = 0.0f;   // de-normalized predicted next deltaT (seconds)
+  std::uint32_t predicted_phrase = 0;
+};
+
+class ChainModel {
+ public:
+  ChainModel(const ChainModelConfig& config, util::Rng& rng);
+
+  /// Trains 1-step prediction on a batch of equally long windows
+  /// (history + 1 steps each; the last step is the target). Returns MSE.
+  float train_batch(std::span<const ChainSequence> windows,
+                    Optimizer& optimizer, float clip_norm = 5.0f);
+
+  /// Slides over `sequence` statefully; emits one score per position t in
+  /// [min_pos, size) comparing the prediction from steps [0, t) against the
+  /// actual step t. `min_pos` defaults to the configured history (the
+  /// paper's operating point); the Fig 8 sensitivity study lowers it to
+  /// trade earlier (longer-lead) flags against more false positives.
+  /// Empty result when the sequence is shorter than min_pos+1.
+  std::vector<ChainStepScore> score_sequence(const ChainSequence& sequence,
+                                             std::size_t min_pos) const;
+  std::vector<ChainStepScore> score_sequence(const ChainSequence& sequence) const {
+    return score_sequence(sequence, config_.history);
+  }
+
+  /// Mean match score over the scored positions; +inf if nothing scored.
+  float sequence_mse(const ChainSequence& sequence) const;
+
+  /// deltaT normalization: seconds -> ~[0,1] and back. Shared with training
+  /// data preparation so models and data agree on units.
+  static float normalize_dt(double seconds);
+  static double denormalize_dt(float norm);
+
+  Embedding& embedding() { return embed_; }
+  const ChainModelConfig& config() const { return config_; }
+  ParameterList parameters();
+
+ private:
+  ChainModelConfig config_;
+  Embedding embed_;
+  LstmStack stack_;
+  Dense head_;  // hidden -> 1 + vocab (dt block | phrase block)
+
+  void build_input(const ChainStep& step, tensor::Matrix& x) const;
+};
+
+}  // namespace desh::nn

@@ -1,0 +1,38 @@
+#include "nn/dense.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng,
+             std::string name)
+    : w_(name + ".w", tensor::Matrix::xavier(in_features, out_features, rng)),
+      b_(name + ".b", tensor::Matrix(1, out_features)) {}
+
+void Dense::forward(const tensor::Matrix& x, tensor::Matrix& y) {
+  cached_x_ = x;
+  forward_inference(x, y);
+}
+
+void Dense::forward_inference(const tensor::Matrix& x, tensor::Matrix& y) const {
+  util::require(x.cols() == w_.value.rows(), "Dense::forward: shape mismatch");
+  tensor::matmul(x, w_.value, y);
+  tensor::add_row_bias(y, b_.value);
+}
+
+void Dense::backward(const tensor::Matrix& dy, tensor::Matrix& dx) {
+  util::require(dy.cols() == w_.value.cols() && dy.rows() == cached_x_.rows(),
+                "Dense::backward: shape mismatch (did forward run?)");
+  // dW += x^T dy; db += column sums of dy; dx = dy W^T.
+  tensor::Matrix dw;
+  tensor::matmul_at_b(cached_x_, dy, dw);
+  w_.grad += dw;
+  for (std::size_t r = 0; r < dy.rows(); ++r)
+    for (std::size_t c = 0; c < dy.cols(); ++c) b_.grad(0, c) += dy(r, c);
+  tensor::matmul_a_bt(dy, w_.value, dx);
+}
+
+ParameterList Dense::parameters() { return {&w_, &b_}; }
+
+}  // namespace desh::nn

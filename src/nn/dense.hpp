@@ -1,0 +1,32 @@
+// Fully connected layer: y = x W + b.
+#pragma once
+
+#include "nn/parameter.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+
+class Dense {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng,
+        std::string name = "dense");
+
+  /// x: (batch x in) -> (batch x out). Caches x for backward.
+  void forward(const tensor::Matrix& x, tensor::Matrix& y);
+  /// Accumulates dW, db and writes dx; must follow a forward with the same x.
+  void backward(const tensor::Matrix& dy, tensor::Matrix& dx);
+  /// Forward without caching — inference-only path.
+  void forward_inference(const tensor::Matrix& x, tensor::Matrix& y) const;
+
+  std::size_t in_features() const { return w_.value.rows(); }
+  std::size_t out_features() const { return w_.value.cols(); }
+  ParameterList parameters();
+
+ private:
+  Parameter w_;  // in x out
+  Parameter b_;  // 1 x out
+  tensor::Matrix cached_x_;
+};
+
+}  // namespace desh::nn

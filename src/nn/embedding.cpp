@@ -1,0 +1,52 @@
+#include "nn/embedding.hpp"
+
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+Embedding::Embedding(std::size_t vocab_size, std::size_t dim, util::Rng& rng,
+                     std::string name)
+    : table_(name + ".table",
+             tensor::Matrix::uniform(vocab_size, dim, 0.1f, rng)) {}
+
+void Embedding::forward(std::span<const std::uint32_t> ids,
+                        tensor::Matrix& out) {
+  cached_ids_.assign(ids.begin(), ids.end());
+  forward_inference(ids, out);
+}
+
+void Embedding::forward_inference(std::span<const std::uint32_t> ids,
+                                  tensor::Matrix& out) const {
+  out.resize(ids.size(), dim());
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    util::require(ids[r] < vocab_size(), "Embedding: id out of vocabulary");
+    std::span<const float> src = table_.value.row(ids[r]);
+    float* dst = out.data() + r * dim();
+    for (std::size_t c = 0; c < dim(); ++c) dst[c] = src[c];
+  }
+}
+
+void Embedding::backward(const tensor::Matrix& dout) {
+  util::require(dout.rows() == cached_ids_.size() && dout.cols() == dim(),
+                "Embedding::backward: shape mismatch (did forward run?)");
+  for (std::size_t r = 0; r < cached_ids_.size(); ++r) {
+    float* dst = table_.grad.data() + cached_ids_[r] * dim();
+    const float* src = dout.data() + r * dim();
+    for (std::size_t c = 0; c < dim(); ++c) dst[c] += src[c];
+  }
+}
+
+void Embedding::load_pretrained(const tensor::Matrix& table) {
+  util::require(table.same_shape(table_.value),
+                "Embedding::load_pretrained: shape mismatch");
+  table_.value = table;
+}
+
+std::span<const float> Embedding::vector(std::uint32_t id) const {
+  util::require(id < vocab_size(), "Embedding::vector: id out of vocabulary");
+  return table_.value.row(id);
+}
+
+ParameterList Embedding::parameters() { return {&table_}; }
+
+}  // namespace desh::nn

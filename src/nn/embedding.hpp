@@ -1,0 +1,42 @@
+// Token embedding table: maps phrase ids to dense vectors. This is the
+// bridge between the discrete phrase vocabulary (Sec 3.1 of the paper) and
+// the LSTM's continuous input space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+
+class Embedding {
+ public:
+  Embedding(std::size_t vocab_size, std::size_t dim, util::Rng& rng,
+            std::string name = "embed");
+
+  /// ids: batch of token ids -> (batch x dim) matrix of their vectors.
+  void forward(std::span<const std::uint32_t> ids, tensor::Matrix& out);
+  /// Scatters the incoming gradient rows back onto the table rows.
+  void backward(const tensor::Matrix& dout);
+  void forward_inference(std::span<const std::uint32_t> ids,
+                         tensor::Matrix& out) const;
+
+  std::size_t vocab_size() const { return table_.value.rows(); }
+  std::size_t dim() const { return table_.value.cols(); }
+  /// Overwrites the table with externally trained vectors (e.g. skip-gram
+  /// pre-training, Sec 3.1); shape must match.
+  void load_pretrained(const tensor::Matrix& table);
+  std::span<const float> vector(std::uint32_t id) const;
+
+  ParameterList parameters();
+
+ private:
+  Parameter table_;  // vocab x dim
+  std::vector<std::uint32_t> cached_ids_;
+};
+
+}  // namespace desh::nn

@@ -1,0 +1,73 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+float SoftmaxCrossEntropy::forward_backward(
+    const tensor::Matrix& logits, std::span<const std::uint32_t> targets,
+    tensor::Matrix& dlogits) {
+  util::require(logits.rows() == targets.size(),
+                "SoftmaxCrossEntropy: batch size mismatch");
+  const std::size_t B = logits.rows(), C = logits.cols();
+  tensor::softmax_rows(logits, dlogits);
+  double loss = 0;
+  const float inv_b = 1.0f / static_cast<float>(B);
+  for (std::size_t r = 0; r < B; ++r) {
+    util::require(targets[r] < C, "SoftmaxCrossEntropy: target out of range");
+    float* row = dlogits.data() + r * C;
+    loss -= std::log(std::max(row[targets[r]], 1e-12f));
+    row[targets[r]] -= 1.0f;
+    for (std::size_t c = 0; c < C; ++c) row[c] *= inv_b;
+  }
+  return static_cast<float>(loss / static_cast<double>(B));
+}
+
+float SoftmaxCrossEntropy::forward(const tensor::Matrix& logits,
+                                   std::span<const std::uint32_t> targets) {
+  util::require(logits.rows() == targets.size(),
+                "SoftmaxCrossEntropy: batch size mismatch");
+  double loss = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    std::span<const float> row = logits.row(r);
+    util::require(targets[r] < logits.cols(),
+                  "SoftmaxCrossEntropy: target out of range");
+    loss += tensor::logsumexp(row) - row[targets[r]];
+  }
+  return static_cast<float>(loss / static_cast<double>(logits.rows()));
+}
+
+float MeanSquaredError::forward_backward(const tensor::Matrix& pred,
+                                         const tensor::Matrix& target,
+                                         tensor::Matrix& dpred) {
+  util::require(pred.same_shape(target), "MeanSquaredError: shape mismatch");
+  dpred.resize(pred.rows(), pred.cols());
+  const std::size_t n = pred.size();
+  const float scale = 2.0f / static_cast<float>(n);
+  double loss = 0;
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* pd = dpred.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float diff = pp[i] - pt[i];
+    loss += static_cast<double>(diff) * diff;
+    pd[i] = scale * diff;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float MeanSquaredError::forward(const tensor::Matrix& pred,
+                                const tensor::Matrix& target) {
+  util::require(pred.same_shape(target), "MeanSquaredError: shape mismatch");
+  double loss = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float diff = pred.data()[i] - target.data()[i];
+    loss += static_cast<double>(diff) * diff;
+  }
+  return static_cast<float>(loss / static_cast<double>(pred.size()));
+}
+
+}  // namespace desh::nn

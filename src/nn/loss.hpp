@@ -1,0 +1,36 @@
+// Loss functions per Table 5 of the paper:
+//  - phase 1 trains with categorical cross-entropy (multi-class next-phrase);
+//  - phases 2/3 train with mean squared error over (deltaT, phrase) vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace desh::nn {
+
+/// Fused softmax + categorical cross-entropy over integer class targets.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (batch x classes); targets: batch class ids.
+  /// Returns mean loss; `dlogits` receives (softmax - onehot) / batch.
+  static float forward_backward(const tensor::Matrix& logits,
+                                std::span<const std::uint32_t> targets,
+                                tensor::Matrix& dlogits);
+  /// Loss only (no gradient) — used by evaluation loops.
+  static float forward(const tensor::Matrix& logits,
+                       std::span<const std::uint32_t> targets);
+};
+
+/// Mean squared error over equally shaped prediction/target matrices.
+class MeanSquaredError {
+ public:
+  /// Returns mean over all elements; `dpred` receives 2*(pred-target)/N.
+  static float forward_backward(const tensor::Matrix& pred,
+                                const tensor::Matrix& target,
+                                tensor::Matrix& dpred);
+  static float forward(const tensor::Matrix& pred, const tensor::Matrix& target);
+};
+
+}  // namespace desh::nn

@@ -1,0 +1,241 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+namespace {
+// Forget-gate bias init of +1.0 (Jozefowicz et al. 2015) markedly speeds up
+// learning of long chains; the other gate biases start at zero.
+tensor::Matrix initial_bias(std::size_t hidden) {
+  tensor::Matrix b(1, 4 * hidden);
+  for (std::size_t c = hidden; c < 2 * hidden; ++c) b(0, c) = 1.0f;
+  return b;
+}
+}  // namespace
+
+LstmLayer::LstmLayer(std::size_t input_size, std::size_t hidden_size,
+                     util::Rng& rng, std::string name)
+    : wx_(name + ".wx",
+          tensor::Matrix::xavier(input_size, 4 * hidden_size, rng)),
+      wh_(name + ".wh",
+          tensor::Matrix::xavier(hidden_size, 4 * hidden_size, rng)),
+      b_(name + ".b", initial_bias(hidden_size)) {}
+
+void LstmLayer::compute_gates(const tensor::Matrix& x,
+                              const tensor::Matrix& h_prev,
+                              tensor::Matrix& gates) const {
+  const std::size_t h = hidden_size();
+  tensor::matmul(x, wx_.value, gates);
+  tensor::matmul_acc(h_prev, wh_.value, gates);
+  tensor::add_row_bias(gates, b_.value);
+  // Activate in place: sigmoid on i, f, o blocks; tanh on g.
+  for (std::size_t r = 0; r < gates.rows(); ++r) {
+    float* row = gates.data() + r * 4 * h;
+    for (std::size_t c = 0; c < 4 * h; ++c) {
+      const bool is_g = (c >= 2 * h && c < 3 * h);
+      row[c] = is_g ? std::tanh(row[c]) : 1.0f / (1.0f + std::exp(-row[c]));
+    }
+  }
+}
+
+void LstmLayer::forward(const std::vector<tensor::Matrix>& inputs, Cache& cache,
+                        std::vector<tensor::Matrix>& outputs) {
+  util::require(!inputs.empty(), "LstmLayer::forward: empty sequence");
+  const std::size_t T = inputs.size();
+  const std::size_t B = inputs.front().rows();
+  const std::size_t H = hidden_size();
+
+  cache.inputs = inputs;
+  cache.gates.resize(T);
+  cache.cells.resize(T);
+  cache.tanh_c.resize(T);
+  cache.hiddens.resize(T);
+  outputs.resize(T);
+
+  tensor::Matrix h_prev(B, H), c_prev(B, H);
+  for (std::size_t t = 0; t < T; ++t) {
+    util::require(inputs[t].rows() == B && inputs[t].cols() == input_size(),
+                  "LstmLayer::forward: inconsistent input shape");
+    compute_gates(inputs[t], h_prev, cache.gates[t]);
+    const tensor::Matrix& g4 = cache.gates[t];
+    tensor::Matrix& c_t = cache.cells[t];
+    tensor::Matrix& tc = cache.tanh_c[t];
+    tensor::Matrix& h_t = cache.hiddens[t];
+    c_t.resize(B, H);
+    tc.resize(B, H);
+    h_t.resize(B, H);
+    for (std::size_t r = 0; r < B; ++r) {
+      const float* gr = g4.data() + r * 4 * H;
+      const float* cp = c_prev.data() + r * H;
+      float* cr = c_t.data() + r * H;
+      float* tr = tc.data() + r * H;
+      float* hr = h_t.data() + r * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        const float i = gr[j], f = gr[H + j], g = gr[2 * H + j],
+                    o = gr[3 * H + j];
+        cr[j] = f * cp[j] + i * g;
+        tr[j] = std::tanh(cr[j]);
+        hr[j] = o * tr[j];
+      }
+    }
+    outputs[t] = h_t;
+    h_prev = h_t;
+    c_prev = c_t;
+  }
+}
+
+void LstmLayer::backward(const Cache& cache,
+                         const std::vector<tensor::Matrix>& doutputs,
+                         std::vector<tensor::Matrix>& dinputs) {
+  const std::size_t T = cache.inputs.size();
+  util::require(doutputs.size() == T,
+                "LstmLayer::backward: gradient sequence length mismatch");
+  const std::size_t B = cache.inputs.front().rows();
+  const std::size_t H = hidden_size();
+
+  dinputs.resize(T);
+  tensor::Matrix dh_next(B, H), dc_next(B, H);
+  tensor::Matrix dz(B, 4 * H), scratch(B, H);
+
+  for (std::size_t ti = T; ti-- > 0;) {
+    const tensor::Matrix& g4 = cache.gates[ti];
+    const tensor::Matrix& tc = cache.tanh_c[ti];
+    // c_{t-1} and h_{t-1} come from the previous cache step (zero at t=0).
+    const tensor::Matrix* c_prev = ti > 0 ? &cache.cells[ti - 1] : nullptr;
+    const tensor::Matrix* h_prev = ti > 0 ? &cache.hiddens[ti - 1] : nullptr;
+
+    for (std::size_t r = 0; r < B; ++r) {
+      const float* gr = g4.data() + r * 4 * H;
+      const float* tr = tc.data() + r * H;
+      const float* cp = c_prev ? c_prev->data() + r * H : nullptr;
+      const float* dout = doutputs[ti].data() + r * H;
+      float* dhn = dh_next.data() + r * H;
+      float* dcn = dc_next.data() + r * H;
+      float* dzr = dz.data() + r * 4 * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        const float i = gr[j], f = gr[H + j], g = gr[2 * H + j],
+                    o = gr[3 * H + j];
+        const float dh = dout[j] + dhn[j];
+        const float dc = dh * o * tensor::tanh_grad_from_value(tr[j]) + dcn[j];
+        dzr[j] = dc * g * tensor::sigmoid_grad_from_value(i);            // i
+        dzr[H + j] = (cp ? dc * cp[j] : 0.0f) *
+                     tensor::sigmoid_grad_from_value(f);                 // f
+        dzr[2 * H + j] = dc * i * tensor::tanh_grad_from_value(g);       // g
+        dzr[3 * H + j] = dh * tr[j] * tensor::sigmoid_grad_from_value(o); // o
+        dcn[j] = dc * f;  // becomes dc_next for step t-1
+      }
+    }
+
+    // Accumulate parameter gradients.
+    tensor::Matrix dwx;
+    tensor::matmul_at_b(cache.inputs[ti], dz, dwx);
+    wx_.grad += dwx;
+    if (h_prev) {
+      tensor::Matrix dwh;
+      tensor::matmul_at_b(*h_prev, dz, dwh);
+      wh_.grad += dwh;
+    }
+    for (std::size_t r = 0; r < B; ++r)
+      for (std::size_t c = 0; c < 4 * H; ++c) b_.grad(0, c) += dz(r, c);
+
+    // Propagate to inputs and previous hidden state.
+    tensor::matmul_a_bt(dz, wx_.value, dinputs[ti]);
+    tensor::matmul_a_bt(dz, wh_.value, dh_next);
+  }
+}
+
+void LstmLayer::step_inference(const tensor::Matrix& x, tensor::Matrix& h,
+                               tensor::Matrix& c) const {
+  const std::size_t B = x.rows();
+  const std::size_t H = hidden_size();
+  util::require(h.rows() == B && h.cols() == H && c.rows() == B && c.cols() == H,
+                "LstmLayer::step_inference: state shape mismatch");
+  tensor::Matrix gates;
+  compute_gates(x, h, gates);
+  for (std::size_t r = 0; r < B; ++r) {
+    const float* gr = gates.data() + r * 4 * H;
+    float* cr = c.data() + r * H;
+    float* hr = h.data() + r * H;
+    for (std::size_t j = 0; j < H; ++j) {
+      const float i = gr[j], f = gr[H + j], g = gr[2 * H + j], o = gr[3 * H + j];
+      cr[j] = f * cr[j] + i * g;
+      hr[j] = o * std::tanh(cr[j]);
+    }
+  }
+}
+
+ParameterList LstmLayer::parameters() { return {&wx_, &wh_, &b_}; }
+
+LstmStack::LstmStack(std::size_t input_size, std::size_t hidden_size,
+                     std::size_t num_layers, util::Rng& rng,
+                     const std::string& name) {
+  util::require(num_layers > 0, "LstmStack: need at least one layer");
+  layers_.reserve(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const std::size_t in = l == 0 ? input_size : hidden_size;
+    layers_.emplace_back(in, hidden_size, rng,
+                         name + ".layer" + std::to_string(l));
+  }
+}
+
+void LstmStack::forward(const std::vector<tensor::Matrix>& inputs, Cache& cache,
+                        std::vector<tensor::Matrix>& outputs) {
+  cache.layers.resize(layers_.size());
+  cache.outputs.resize(layers_.size());
+  const std::vector<tensor::Matrix>* current = &inputs;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].forward(*current, cache.layers[l], cache.outputs[l]);
+    current = &cache.outputs[l];
+  }
+  outputs = cache.outputs.back();
+}
+
+void LstmStack::backward(const Cache& cache,
+                         const std::vector<tensor::Matrix>& doutputs,
+                         std::vector<tensor::Matrix>& dinputs) {
+  std::vector<tensor::Matrix> dcurrent = doutputs;
+  std::vector<tensor::Matrix> dprev;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    layers_[l].backward(cache.layers[l], dcurrent, dprev);
+    dcurrent = std::move(dprev);
+  }
+  dinputs = std::move(dcurrent);
+}
+
+void LstmStack::make_state(std::vector<tensor::Matrix>& hs,
+                           std::vector<tensor::Matrix>& cs,
+                           std::size_t batch) const {
+  hs.assign(layers_.size(), tensor::Matrix());
+  cs.assign(layers_.size(), tensor::Matrix());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    hs[l].resize(batch, layers_[l].hidden_size());
+    cs[l].resize(batch, layers_[l].hidden_size());
+  }
+}
+
+void LstmStack::step_inference(const tensor::Matrix& x,
+                               std::vector<tensor::Matrix>& hs,
+                               std::vector<tensor::Matrix>& cs,
+                               tensor::Matrix& top_hidden) const {
+  util::require(hs.size() == layers_.size() && cs.size() == layers_.size(),
+                "LstmStack::step_inference: state count mismatch");
+  const tensor::Matrix* current = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].step_inference(*current, hs[l], cs[l]);
+    current = &hs[l];
+  }
+  top_hidden = *current;
+}
+
+ParameterList LstmStack::parameters() {
+  ParameterList out;
+  for (LstmLayer& layer : layers_)
+    for (Parameter* p : layer.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace desh::nn

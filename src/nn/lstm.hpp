@@ -1,0 +1,101 @@
+// Stacked long short-term memory network with full backpropagation through
+// time. This is the "stacked LSTM using two hidden layers" of Desh Fig 1b /
+// Table 5, implemented from scratch on the tensor kernels.
+//
+// Layout conventions:
+//  - a timestep input is a (batch x features) matrix;
+//  - a sequence is a std::vector of T such matrices;
+//  - gate blocks inside the 4H-wide pre-activation are ordered i, f, g, o.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+
+/// One LSTM layer processing a whole sequence with cached activations.
+class LstmLayer {
+ public:
+  LstmLayer(std::size_t input_size, std::size_t hidden_size, util::Rng& rng,
+            std::string name = "lstm");
+
+  /// Per-sequence forward cache; reusable across calls to avoid reallocation.
+  struct Cache {
+    std::vector<tensor::Matrix> inputs;   // T x (B x I)
+    std::vector<tensor::Matrix> gates;    // T x (B x 4H), post-activation
+    std::vector<tensor::Matrix> cells;    // T x (B x H), c_t
+    std::vector<tensor::Matrix> tanh_c;   // T x (B x H), tanh(c_t)
+    std::vector<tensor::Matrix> hiddens;  // T x (B x H), h_t
+  };
+
+  /// Runs the layer over `inputs` (T matrices of B x I) starting from zero
+  /// state; fills `cache` and writes hidden states into `outputs`.
+  void forward(const std::vector<tensor::Matrix>& inputs, Cache& cache,
+               std::vector<tensor::Matrix>& outputs);
+
+  /// BPTT: `doutputs` holds dL/dh_t for every step (zero matrices where no
+  /// loss attaches). Accumulates weight grads, writes dL/dx_t to `dinputs`.
+  void backward(const Cache& cache, const std::vector<tensor::Matrix>& doutputs,
+                std::vector<tensor::Matrix>& dinputs);
+
+  /// Single-step stateful inference used by the streaming predictor:
+  /// advances (h, c) in place given one input row.
+  void step_inference(const tensor::Matrix& x, tensor::Matrix& h,
+                      tensor::Matrix& c) const;
+
+  std::size_t input_size() const { return wx_.value.rows(); }
+  std::size_t hidden_size() const { return wh_.value.rows(); }
+  ParameterList parameters();
+
+ private:
+  Parameter wx_;  // I x 4H
+  Parameter wh_;  // H x 4H
+  Parameter b_;   // 1 x 4H
+
+  void compute_gates(const tensor::Matrix& x, const tensor::Matrix& h_prev,
+                     tensor::Matrix& gates) const;
+};
+
+/// A stack of LstmLayers: layer l consumes layer l-1's hidden sequence.
+class LstmStack {
+ public:
+  LstmStack(std::size_t input_size, std::size_t hidden_size,
+            std::size_t num_layers, util::Rng& rng,
+            const std::string& name = "lstm_stack");
+
+  struct Cache {
+    std::vector<LstmLayer::Cache> layers;
+    // Hidden sequences between layers (layer l's outputs = layer l+1 inputs).
+    std::vector<std::vector<tensor::Matrix>> outputs;
+  };
+
+  /// Final layer's hidden sequence is written to `outputs`.
+  void forward(const std::vector<tensor::Matrix>& inputs, Cache& cache,
+               std::vector<tensor::Matrix>& outputs);
+  void backward(const Cache& cache, const std::vector<tensor::Matrix>& doutputs,
+                std::vector<tensor::Matrix>& dinputs);
+
+  /// Stateful single-step inference across the whole stack. `hs`/`cs` hold
+  /// one (1 x H) state pair per layer and are advanced in place.
+  void step_inference(const tensor::Matrix& x, std::vector<tensor::Matrix>& hs,
+                      std::vector<tensor::Matrix>& cs,
+                      tensor::Matrix& top_hidden) const;
+  /// Zero-initialized per-layer states for step_inference.
+  void make_state(std::vector<tensor::Matrix>& hs,
+                  std::vector<tensor::Matrix>& cs, std::size_t batch) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t hidden_size() const { return layers_.front().hidden_size(); }
+  std::size_t input_size() const { return layers_.front().input_size(); }
+  ParameterList parameters();
+
+ private:
+  std::vector<LstmLayer> layers_;
+};
+
+}  // namespace desh::nn

@@ -1,0 +1,66 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {
+  util::require(lr > 0, "Sgd: learning rate must be positive");
+  util::require(momentum >= 0 && momentum < 1, "Sgd: momentum out of [0,1)");
+}
+
+void Sgd::step(const ParameterList& params) {
+  for (Parameter* p : params) {
+    if (momentum_ == 0.0f) {
+      tensor::axpy(-lr_, p->grad, p->value);
+      continue;
+    }
+    tensor::Matrix& v = velocity_[p];
+    if (v.empty()) v.resize(p->value.rows(), p->value.cols());
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      float& vel = v.data()[i];
+      vel = momentum_ * vel - lr_ * p->grad.data()[i];
+      p->value.data()[i] += vel;
+    }
+  }
+}
+
+RmsProp::RmsProp(float lr, float decay, float epsilon)
+    : lr_(lr), decay_(decay), epsilon_(epsilon) {
+  util::require(lr > 0, "RmsProp: learning rate must be positive");
+  util::require(decay > 0 && decay < 1, "RmsProp: decay out of (0,1)");
+  util::require(epsilon > 0, "RmsProp: epsilon must be positive");
+}
+
+void RmsProp::step(const ParameterList& params) {
+  for (Parameter* p : params) {
+    tensor::Matrix& ms = mean_square_[p];
+    if (ms.empty()) ms.resize(p->value.rows(), p->value.cols());
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad.data()[i];
+      float& m = ms.data()[i];
+      m = decay_ * m + (1.0f - decay_) * g * g;
+      p->value.data()[i] -= lr_ * g / (std::sqrt(m) + epsilon_);
+    }
+  }
+}
+
+float clip_global_norm(const ParameterList& params, float max_norm) {
+  util::require(max_norm > 0, "clip_global_norm: max_norm must be positive");
+  double total = 0;
+  for (const Parameter* p : params) {
+    const float n = tensor::l2_norm(p->grad);
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) p->grad *= scale;
+  }
+  return norm;
+}
+
+}  // namespace desh::nn

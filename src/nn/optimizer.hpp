@@ -1,0 +1,57 @@
+// Optimizers per Table 5: stochastic gradient descent (phase 1) and RMSprop
+// (phases 2/3), plus global-norm gradient clipping which is essential for
+// stable BPTT on long failure chains.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "nn/parameter.hpp"
+
+namespace desh::nn {
+
+/// Abstract optimizer; `step` consumes accumulated gradients and updates
+/// parameter values, then the caller is responsible for zero_grads().
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const ParameterList& params) = 0;
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+};
+
+/// Plain SGD with optional classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+  void step(const ParameterList& params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::unordered_map<const Parameter*, tensor::Matrix> velocity_;
+};
+
+/// RMSprop (Tieleman & Hinton): per-weight learning rates from a decaying
+/// average of squared gradients.
+class RmsProp final : public Optimizer {
+ public:
+  explicit RmsProp(float lr, float decay = 0.9f, float epsilon = 1e-6f);
+  void step(const ParameterList& params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float decay_;
+  float epsilon_;
+  std::unordered_map<const Parameter*, tensor::Matrix> mean_square_;
+};
+
+/// Rescales all gradients so their global L2 norm does not exceed max_norm.
+/// Returns the pre-clip norm (useful for training diagnostics).
+float clip_global_norm(const ParameterList& params, float max_norm);
+
+}  // namespace desh::nn

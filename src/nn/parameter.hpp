@@ -1,0 +1,39 @@
+// Trainable parameter: value + gradient accumulator, registered by name so
+// optimizers and the serializer can walk a model generically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace desh::nn {
+
+struct Parameter {
+  std::string name;
+  tensor::Matrix value;
+  tensor::Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, tensor::Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.set_zero(); }
+  std::size_t size() const { return value.size(); }
+};
+
+/// Non-owning view over a model's parameters in a stable order.
+using ParameterList = std::vector<Parameter*>;
+
+inline void zero_grads(const ParameterList& params) {
+  for (Parameter* p : params) p->zero_grad();
+}
+
+inline std::size_t parameter_count(const ParameterList& params) {
+  std::size_t n = 0;
+  for (const Parameter* p : params) n += p->size();
+  return n;
+}
+
+}  // namespace desh::nn

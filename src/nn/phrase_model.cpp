@@ -1,0 +1,177 @@
+#include "nn/phrase_model.hpp"
+
+#include <algorithm>
+
+#include "nn/loss.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+PhraseModel::PhraseModel(const PhraseModelConfig& config, util::Rng& rng)
+    : config_(config),
+      embed_(config.vocab_size, config.embed_dim, rng, "phrase.embed"),
+      stack_(config.embed_dim, config.hidden_size, config.num_layers, rng,
+             "phrase.lstm"),
+      head_(config.hidden_size, config.vocab_size, rng, "phrase.head") {
+  util::require(config.vocab_size > 1, "PhraseModel: vocab_size must be > 1");
+}
+
+float PhraseModel::train_batch(
+    std::span<const std::vector<std::uint32_t>> windows, std::size_t steps,
+    Optimizer& optimizer, float clip_norm) {
+  util::require(!windows.empty(), "PhraseModel::train_batch: empty batch");
+  const std::size_t len = windows.front().size();
+  util::require(steps >= 1 && len > steps,
+                "PhraseModel::train_batch: window shorter than steps+1");
+  const std::size_t B = windows.size();
+  const std::size_t T = len - 1;  // inputs w0..w_{T-1}, predicting w1..w_T
+
+  // Flatten ids t-major so one Embedding forward covers the whole batch.
+  std::vector<std::uint32_t> flat_ids(B * T);
+  for (std::size_t t = 0; t < T; ++t)
+    for (std::size_t b = 0; b < B; ++b) {
+      util::require(windows[b].size() == len,
+                    "PhraseModel::train_batch: ragged batch");
+      flat_ids[t * B + b] = windows[b][t];
+    }
+  tensor::Matrix flat_emb;
+  embed_.forward(flat_ids, flat_emb);
+
+  std::vector<tensor::Matrix> inputs(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    inputs[t].resize(B, config_.embed_dim);
+    std::copy_n(flat_emb.data() + t * B * config_.embed_dim,
+                B * config_.embed_dim, inputs[t].data());
+  }
+
+  LstmStack::Cache cache;
+  std::vector<tensor::Matrix> hidden_seq;
+  stack_.forward(inputs, cache, hidden_seq);
+
+  // Loss attaches to the last `steps` positions: position t predicts w_{t+1}.
+  const std::size_t first_loss_t = T - steps;
+  tensor::Matrix head_in(steps * B, config_.hidden_size);
+  std::vector<std::uint32_t> targets(steps * B);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const std::size_t t = first_loss_t + s;
+    std::copy_n(hidden_seq[t].data(), B * config_.hidden_size,
+                head_in.data() + s * B * config_.hidden_size);
+    for (std::size_t b = 0; b < B; ++b) targets[s * B + b] = windows[b][t + 1];
+  }
+
+  tensor::Matrix logits;
+  head_.forward(head_in, logits);
+  tensor::Matrix dlogits;
+  const float loss =
+      SoftmaxCrossEntropy::forward_backward(logits, targets, dlogits);
+
+  tensor::Matrix dhead_in;
+  head_.backward(dlogits, dhead_in);
+
+  std::vector<tensor::Matrix> dhidden(T);
+  for (std::size_t t = 0; t < T; ++t) dhidden[t].resize(B, config_.hidden_size);
+  for (std::size_t s = 0; s < steps; ++s)
+    std::copy_n(dhead_in.data() + s * B * config_.hidden_size,
+                B * config_.hidden_size, dhidden[first_loss_t + s].data());
+
+  std::vector<tensor::Matrix> dinputs;
+  stack_.backward(cache, dhidden, dinputs);
+
+  tensor::Matrix dflat_emb(B * T, config_.embed_dim);
+  for (std::size_t t = 0; t < T; ++t)
+    std::copy_n(dinputs[t].data(), B * config_.embed_dim,
+                dflat_emb.data() + t * B * config_.embed_dim);
+  embed_.backward(dflat_emb);
+
+  ParameterList params = parameters();
+  clip_global_norm(params, clip_norm);
+  optimizer.step(params);
+  zero_grads(params);
+  return loss;
+}
+
+std::vector<float> PhraseModel::predict_distribution(
+    std::span<const std::uint32_t> prefix) const {
+  util::require(!prefix.empty(), "PhraseModel::predict_distribution: empty prefix");
+  std::vector<tensor::Matrix> hs, cs;
+  stack_.make_state(hs, cs, 1);
+  tensor::Matrix x, top;
+  for (std::uint32_t id : prefix) {
+    embed_.forward_inference(std::span(&id, 1), x);
+    stack_.step_inference(x, hs, cs, top);
+  }
+  tensor::Matrix logits;
+  head_.forward_inference(top, logits);
+  tensor::Matrix probs;
+  tensor::softmax_rows(logits, probs);
+  return {probs.data(), probs.data() + probs.size()};
+}
+
+std::vector<std::uint32_t> PhraseModel::predict_steps(
+    std::span<const std::uint32_t> prefix, std::size_t steps) const {
+  util::require(!prefix.empty() && steps >= 1,
+                "PhraseModel::predict_steps: need prefix and steps >= 1");
+  std::vector<tensor::Matrix> hs, cs;
+  stack_.make_state(hs, cs, 1);
+  tensor::Matrix x, top;
+  for (std::uint32_t id : prefix) {
+    embed_.forward_inference(std::span(&id, 1), x);
+    stack_.step_inference(x, hs, cs, top);
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(steps);
+  tensor::Matrix logits;
+  for (std::size_t s = 0; s < steps; ++s) {
+    head_.forward_inference(top, logits);
+    const auto next =
+        static_cast<std::uint32_t>(tensor::argmax(logits.row(0)));
+    out.push_back(next);
+    if (s + 1 < steps) {
+      embed_.forward_inference(std::span(&next, 1), x);
+      stack_.step_inference(x, hs, cs, top);
+    }
+  }
+  return out;
+}
+
+double PhraseModel::evaluate_top1(
+    std::span<const std::vector<std::uint32_t>> windows,
+    std::size_t history) const {
+  return evaluate_topg(windows, history, 1);
+}
+
+double PhraseModel::evaluate_topg(
+    std::span<const std::vector<std::uint32_t>> windows, std::size_t history,
+    std::size_t g) const {
+  util::require(g >= 1, "PhraseModel::evaluate_topg: g must be >= 1");
+  if (windows.empty()) return 0.0;
+  std::size_t hits = 0, total = 0;
+  std::vector<tensor::Matrix> hs, cs;
+  tensor::Matrix x, top, logits;
+  for (const auto& window : windows) {
+    util::require(window.size() > history,
+                  "PhraseModel::evaluate_topg: window shorter than history+1");
+    stack_.make_state(hs, cs, 1);
+    for (std::size_t t = 0; t < history; ++t) {
+      embed_.forward_inference(std::span(&window[t], 1), x);
+      stack_.step_inference(x, hs, cs, top);
+    }
+    head_.forward_inference(top, logits);
+    const auto best = tensor::topk(logits.row(0), std::min(g, config_.vocab_size));
+    const std::uint32_t actual = window[history];
+    if (std::find(best.begin(), best.end(), actual) != best.end()) ++hits;
+    ++total;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+ParameterList PhraseModel::parameters() {
+  ParameterList out = embed_.parameters();
+  for (Parameter* p : stack_.parameters()) out.push_back(p);
+  for (Parameter* p : head_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace desh::nn

@@ -1,0 +1,67 @@
+// PhraseModel: Embedding -> stacked LSTM -> Dense(vocab) language model over
+// encoded log phrases. This is the phase-1 network of Desh (Table 5 row 1:
+// categorical cross-entropy + SGD, 2 hidden layers, history size 8, 3-step
+// prediction) and is reused by the DeepLog baseline (top-g next-key check).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/embedding.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+
+struct PhraseModelConfig {
+  std::size_t vocab_size = 0;
+  std::size_t embed_dim = 16;
+  std::size_t hidden_size = 32;
+  std::size_t num_layers = 2;  // paper: 2 hidden layers
+};
+
+class PhraseModel {
+ public:
+  PhraseModel(const PhraseModelConfig& config, util::Rng& rng);
+
+  /// Trains on a batch of equally long windows. Each window has
+  /// `history + steps` tokens; the loss attaches to the final `steps`
+  /// positions (teacher-forced multi-step prediction, Sec 3.1).
+  /// Returns the mean cross-entropy of the batch.
+  float train_batch(std::span<const std::vector<std::uint32_t>> windows,
+                    std::size_t steps, Optimizer& optimizer,
+                    float clip_norm = 5.0f);
+
+  /// Probability distribution over the next phrase given a prefix.
+  std::vector<float> predict_distribution(
+      std::span<const std::uint32_t> prefix) const;
+
+  /// Greedy autoregressive continuation of `steps` phrases (Fig 10 workload).
+  std::vector<std::uint32_t> predict_steps(
+      std::span<const std::uint32_t> prefix, std::size_t steps) const;
+
+  /// Fraction of windows whose next token is the argmax prediction.
+  double evaluate_top1(std::span<const std::vector<std::uint32_t>> windows,
+                       std::size_t history) const;
+  /// Fraction of windows whose next token is within the top-g predictions —
+  /// DeepLog's normality criterion.
+  double evaluate_topg(std::span<const std::vector<std::uint32_t>> windows,
+                       std::size_t history, std::size_t g) const;
+
+  /// Direct access for pre-trained skip-gram vectors (Sec 3.1).
+  Embedding& embedding() { return embed_; }
+
+  const PhraseModelConfig& config() const { return config_; }
+  ParameterList parameters();
+
+ private:
+  PhraseModelConfig config_;
+  Embedding embed_;
+  LstmStack stack_;
+  Dense head_;
+};
+
+}  // namespace desh::nn

@@ -1,0 +1,71 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'E', 'S', 'H', 'M', 'D', 'L', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+}  // namespace
+
+void save_parameters(const ParameterList& params, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw util::IoError("save_parameters: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(os, params.size());
+  for (const Parameter* p : params) {
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(p->name.size()));
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod<std::uint64_t>(os, p->value.rows());
+    write_pod<std::uint64_t>(os, p->value.cols());
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!os) throw util::IoError("save_parameters: write failed for " + path);
+}
+
+void load_parameters(const ParameterList& params, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw util::IoError("load_parameters: cannot open " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw util::IoError("load_parameters: bad magic in " + path);
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != params.size())
+    throw util::IoError("load_parameters: parameter count mismatch in " + path);
+  for (Parameter* p : params) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (name != p->name)
+      throw util::IoError("load_parameters: expected parameter '" + p->name +
+                          "' but archive has '" + name + "'");
+    const auto rows = read_pod<std::uint64_t>(is);
+    const auto cols = read_pod<std::uint64_t>(is);
+    if (rows != p->value.rows() || cols != p->value.cols())
+      throw util::IoError("load_parameters: shape mismatch for '" + p->name +
+                          "'");
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!is) throw util::IoError("load_parameters: truncated archive " + path);
+  }
+}
+
+}  // namespace desh::nn

@@ -1,0 +1,20 @@
+// Binary model checkpointing: writes/reads a named-parameter archive so a
+// trained Desh model can be deployed without retraining. Format:
+//   magic "DESHMDL1" | u64 param count | per param:
+//   u32 name length | name bytes | u64 rows | u64 cols | float32 data.
+#pragma once
+
+#include <string>
+
+#include "nn/parameter.hpp"
+
+namespace desh::nn {
+
+/// Saves `params` in registry order; throws util::IoError on failure.
+void save_parameters(const ParameterList& params, const std::string& path);
+
+/// Loads into `params`; names and shapes must match the archive exactly
+/// (this catches architecture/config drift at load time).
+void load_parameters(const ParameterList& params, const std::string& path);
+
+}  // namespace desh::nn

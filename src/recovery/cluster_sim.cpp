@@ -1,0 +1,317 @@
+#include "recovery/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace desh::recovery {
+
+namespace {
+
+enum class EventKind : std::uint8_t {
+  kJobArrival,
+  kJobFinish,
+  kWarning,
+  kFailure,
+  kNodeRepair,
+  kQuarantineEnd,
+};
+
+struct Event {
+  double time = 0;
+  EventKind kind = EventKind::kJobArrival;
+  std::size_t job = 0;        // kJobArrival / kJobFinish
+  std::size_t node = 0;       // kWarning / kFailure / repairs
+  std::uint64_t generation = 0;  // invalidates stale kJobFinish events
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct Job {
+  double submitted = 0;
+  double total_work = 0;      // seconds of useful work still owed overall
+  double remaining_work = 0;  // work left at (re)start
+  std::size_t nodes_needed = 1;
+  // Running state:
+  bool running = false;
+  double started = 0;
+  std::vector<std::size_t> assigned;  // node indices
+  std::uint64_t generation = 0;       // bumped whenever the finish moves
+  double pause_penalty = 0;           // migration pauses accrued this run
+  bool done = false;
+};
+
+enum class NodeMode : std::uint8_t { kFree, kBusy, kDown, kQuarantined };
+
+struct Node {
+  NodeMode mode = NodeMode::kFree;
+  std::size_t job = 0;  // valid when kBusy
+  // Set when a warning migrated work away; consumed by a matching failure.
+  bool awaiting_failure = false;
+};
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(std::vector<logs::NodeId> nodes,
+                                   WorkloadConfig workload)
+    : nodes_(std::move(nodes)), workload_(workload) {
+  util::require(nodes_.size() >= 4, "ClusterSimulator: need >= 4 nodes");
+  util::require(workload_.max_job_nodes >= 1 &&
+                    workload_.max_job_nodes < nodes_.size(),
+                "ClusterSimulator: bad max_job_nodes");
+}
+
+std::vector<FailureWarning> oracle_warnings(
+    const std::vector<NodeFailure>& failures, double lead_seconds) {
+  std::vector<FailureWarning> out;
+  out.reserve(failures.size());
+  for (const NodeFailure& f : failures)
+    out.push_back({f.node, std::max(0.0, f.fail_time - lead_seconds)});
+  return out;
+}
+
+SimulationResult ClusterSimulator::run(const RecoveryPolicyConfig& policy,
+                                       std::string policy_name,
+                                       std::vector<NodeFailure> failures,
+                                       std::vector<FailureWarning> warnings) const {
+  SimulationResult result;
+  result.policy_name = std::move(policy_name);
+
+  std::unordered_map<logs::NodeId, std::size_t> node_index;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) node_index[nodes_[i]] = i;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::vector<Job> jobs;
+  std::vector<Node> cluster(nodes_.size());
+  std::deque<std::size_t> wait_queue;
+
+  // The checkpoint model dilates runtime: executing W seconds of work takes
+  // W * dilation wall-clock seconds, the surplus being checkpoint overhead.
+  const double dilation =
+      1.0 + policy.checkpoint_cost / policy.checkpoint_interval;
+
+  // --- Workload generation (deterministic) ------------------------------
+  {
+    util::Rng rng(workload_.seed);
+    double t = 0;
+    while (true) {
+      t += rng.exponential(workload_.job_arrival_rate_per_hour / 3600.0);
+      if (t >= workload_.duration_seconds) break;
+      Job job;
+      job.submitted = t;
+      job.total_work = std::max(60.0, rng.exponential(1.0 / workload_.mean_job_seconds));
+      job.remaining_work = job.total_work;
+      job.nodes_needed =
+          1 + static_cast<std::size_t>(rng.uniform_index(workload_.max_job_nodes));
+      jobs.push_back(job);
+      events.push(Event{t, EventKind::kJobArrival, jobs.size() - 1, 0, 0});
+    }
+  }
+  result.jobs_submitted = jobs.size();
+
+  for (const NodeFailure& f : failures) {
+    auto it = node_index.find(f.node);
+    if (it == node_index.end()) continue;  // failure outside this cluster
+    events.push(Event{f.fail_time, EventKind::kFailure, 0, it->second, 0});
+  }
+  if (policy.proactive) {
+    for (const FailureWarning& w : warnings) {
+      auto it = node_index.find(w.node);
+      if (it == node_index.end()) continue;
+      events.push(Event{w.warn_time, EventKind::kWarning, 0, it->second, 0});
+    }
+  }
+
+  std::vector<std::size_t> free_nodes;
+  for (std::size_t i = 0; i < cluster.size(); ++i) free_nodes.push_back(i);
+
+  // --- Helpers -----------------------------------------------------------
+  auto start_job = [&](std::size_t job_id, double now) {
+    Job& job = jobs[job_id];
+    job.running = true;
+    job.started = now;
+    job.pause_penalty = 0;
+    job.assigned.clear();
+    for (std::size_t i = 0; i < job.nodes_needed; ++i) {
+      const std::size_t n = free_nodes.back();
+      free_nodes.pop_back();
+      cluster[n].mode = NodeMode::kBusy;
+      cluster[n].job = job_id;
+      job.assigned.push_back(n);
+    }
+    ++job.generation;
+    events.push(Event{now + job.remaining_work * dilation,
+                      EventKind::kJobFinish, job_id, 0, job.generation});
+  };
+
+  auto try_schedule = [&](double now) {
+    while (!wait_queue.empty() &&
+           free_nodes.size() >= jobs[wait_queue.front()].nodes_needed) {
+      const std::size_t job_id = wait_queue.front();
+      wait_queue.pop_front();
+      start_job(job_id, now);
+    }
+  };
+
+  auto release_nodes = [&](Job& job) {
+    for (std::size_t n : job.assigned) {
+      if (cluster[n].mode == NodeMode::kBusy) {
+        cluster[n].mode = NodeMode::kFree;
+        free_nodes.push_back(n);
+      }
+    }
+    job.assigned.clear();
+    job.running = false;
+  };
+
+  // Work a running job has *completed and checkpointed* by `now`.
+  auto checkpointed_work = [&](const Job& job, double now) {
+    const double executed =
+        std::max(0.0, (now - job.started - job.pause_penalty) / dilation);
+    const double saved = std::floor(executed / policy.checkpoint_interval) *
+                         policy.checkpoint_interval;
+    return std::min(saved, job.remaining_work);
+  };
+
+  // --- Event loop --------------------------------------------------------
+  const double hard_stop = workload_.duration_seconds * 3.0;
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    const double now = event.time;
+    if (now > hard_stop) break;
+
+    switch (event.kind) {
+      case EventKind::kJobArrival: {
+        wait_queue.push_back(event.job);
+        try_schedule(now);
+        break;
+      }
+
+      case EventKind::kJobFinish: {
+        Job& job = jobs[event.job];
+        if (!job.running || event.generation != job.generation) break;
+        // Checkpoint overhead for the work executed this run.
+        result.overhead_seconds +=
+            job.remaining_work * (dilation - 1.0) *
+            static_cast<double>(job.nodes_needed);
+        job.done = true;
+        release_nodes(job);
+        ++result.jobs_completed;
+        result.job_slowdowns.add((now - job.submitted) /
+                                 std::max(60.0, job.total_work));
+        try_schedule(now);
+        break;
+      }
+
+      case EventKind::kWarning: {
+        Node& node = cluster[event.node];
+        if (node.mode == NodeMode::kDown ||
+            node.mode == NodeMode::kQuarantined)
+          break;  // too late, or already acted upon
+        if (node.mode == NodeMode::kBusy) {
+          // Live-migrate the job off this node onto a free one.
+          Job& job = jobs[node.job];
+          if (free_nodes.empty()) break;  // no spare: ride out the luck
+          const std::size_t target = free_nodes.back();
+          free_nodes.pop_back();
+          cluster[target].mode = NodeMode::kBusy;
+          cluster[target].job = node.job;
+          *std::find(job.assigned.begin(), job.assigned.end(), event.node) =
+              target;
+          // The job pauses for the migration; its finish slips accordingly.
+          job.pause_penalty += policy.migration_seconds;
+          ++job.generation;
+          events.push(Event{job.started + job.pause_penalty +
+                                job.remaining_work * dilation,
+                            EventKind::kJobFinish, node.job, 0,
+                            job.generation});
+          result.overhead_seconds += policy.migration_seconds *
+                                     static_cast<double>(job.nodes_needed);
+          ++result.migrations;
+          node.awaiting_failure = true;
+        } else {  // kFree: just pull it out of the scheduler's pool
+          free_nodes.erase(
+              std::remove(free_nodes.begin(), free_nodes.end(), event.node),
+              free_nodes.end());
+          node.awaiting_failure = true;
+          ++result.migrations;  // counted as an (empty) proactive action
+        }
+        node.mode = NodeMode::kQuarantined;
+        result.quarantine_idle_seconds += policy.quarantine_seconds;
+        events.push(Event{now + policy.quarantine_seconds,
+                          EventKind::kQuarantineEnd, 0, event.node, 0});
+        break;
+      }
+
+      case EventKind::kFailure: {
+        Node& node = cluster[event.node];
+        if (node.mode == NodeMode::kDown) break;
+        if (node.mode == NodeMode::kBusy) {
+          Job& job = jobs[node.job];
+          ++result.failure_hits;
+          const double saved = checkpointed_work(job, now);
+          const double executed = std::max(
+              0.0, (now - job.started - job.pause_penalty) / dilation);
+          const double lost = std::min(executed, job.remaining_work) - saved;
+          result.lost_work_seconds +=
+              std::max(0.0, lost) * static_cast<double>(job.nodes_needed);
+          result.overhead_seconds += policy.restart_overhead *
+                                     static_cast<double>(job.nodes_needed);
+          // Checkpoint overhead already paid for the executed portion.
+          result.overhead_seconds +=
+              executed * (dilation - 1.0) * static_cast<double>(job.nodes_needed);
+          const std::size_t job_id = node.job;
+          job.remaining_work -= saved;
+          release_nodes(job);
+          ++job.generation;
+          // Resubmit after the restart overhead.
+          events.push(Event{now + policy.restart_overhead,
+                            EventKind::kJobArrival, job_id, 0, 0});
+        } else if (node.awaiting_failure) {
+          ++result.failure_saves;  // warned and vacated in time
+        }
+        // Whatever its state, the node is now down and unschedulable.
+        free_nodes.erase(
+            std::remove(free_nodes.begin(), free_nodes.end(), event.node),
+            free_nodes.end());
+        node.awaiting_failure = false;
+        node.mode = NodeMode::kDown;
+        events.push(Event{now + policy.repair_seconds, EventKind::kNodeRepair,
+                          0, event.node, 0});
+        try_schedule(now);
+        break;
+      }
+
+      case EventKind::kNodeRepair: {
+        Node& node = cluster[event.node];
+        if (node.mode != NodeMode::kDown) break;
+        node.mode = NodeMode::kFree;
+        free_nodes.push_back(event.node);
+        try_schedule(now);
+        break;
+      }
+
+      case EventKind::kQuarantineEnd: {
+        Node& node = cluster[event.node];
+        if (node.mode != NodeMode::kQuarantined) break;  // failed meanwhile
+        if (node.awaiting_failure) {
+          // Quarantine expired without the predicted failure: false alarm.
+          ++result.wasted_migrations;
+          node.awaiting_failure = false;
+        }
+        node.mode = NodeMode::kFree;
+        free_nodes.push_back(event.node);
+        try_schedule(now);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace desh::recovery

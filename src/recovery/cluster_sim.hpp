@@ -1,0 +1,107 @@
+// Proactive-recovery cluster simulator — the substrate behind the paper's
+// motivation (Sec 1: "Suppose 50% of the node failures are correctly
+// predicted ... we can then prevent half of the expensive checkpoint/
+// restarts ... with much cheaper process migrations") and its Sec 4.6
+// discussion of what a 3-minute lead time buys (process-level live
+// migration takes 13-24 s [41], DINO node cloning 90 s [39], quarantining
+// is immediate [25]).
+//
+// A discrete-event simulation of a batch cluster:
+//  - jobs arrive (Poisson), occupy one or more nodes, checkpoint
+//    periodically (overhead modeled as a runtime dilation), and complete;
+//  - ground-truth node failures kill their node; affected jobs lose the
+//    work since their last checkpoint, pay a restart overhead, and re-queue;
+//  - under a *proactive* policy, Desh warnings trigger live migration of
+//    the node's jobs to a spare (costing the migration pause) when the lead
+//    time permits, plus quarantining of the warned node; false warnings
+//    cost an unnecessary migration and a quarantine window.
+//
+// The simulator is deterministic given its seed and reports lost node-
+// seconds, failure hits vs saves, and job slowdowns so recovery policies
+// can be compared head-to-head (bench_recovery_impact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logs/node_id.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace desh::recovery {
+
+/// One node-failure prediction fed to the proactive policy.
+struct FailureWarning {
+  logs::NodeId node;
+  double warn_time = 0;  // when the warning is raised
+};
+
+/// Ground-truth node failure.
+struct NodeFailure {
+  logs::NodeId node;
+  double fail_time = 0;
+};
+
+struct WorkloadConfig {
+  double duration_seconds = 72 * 3600.0;
+  double job_arrival_rate_per_hour = 40.0;
+  double mean_job_seconds = 2.0 * 3600.0;  // exponential work requirement
+  std::size_t max_job_nodes = 4;           // uniform in [1, max]
+  std::uint64_t seed = 1;
+};
+
+struct RecoveryPolicyConfig {
+  bool proactive = false;             // act on warnings?
+  double checkpoint_interval = 3600;  // periodic checkpoint period, seconds
+  double checkpoint_cost = 120;       // seconds per checkpoint (dilation)
+  double restart_overhead = 300;      // reactive restart cost, seconds
+  double migration_seconds = 20;      // process-level live migration [41]
+  double quarantine_seconds = 1800;   // warned node kept out of scheduling
+  double repair_seconds = 4 * 3600;   // failed node out for repair
+};
+
+struct SimulationResult {
+  std::string policy_name;
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t failure_hits = 0;    // failures that struck a running job
+  std::size_t failure_saves = 0;   // failures whose jobs were migrated away
+  std::size_t migrations = 0;      // total migrations (incl. false warnings)
+  std::size_t wasted_migrations = 0;  // migrations with no subsequent failure
+  double lost_work_seconds = 0;    // re-executed work (node-seconds)
+  double overhead_seconds = 0;     // checkpoints + restarts + migrations
+  double quarantine_idle_seconds = 0;
+  util::SampleSet job_slowdowns;   // turnaround / ideal runtime per job
+
+  /// Total node-seconds burned on anything but useful work.
+  double total_waste_seconds() const {
+    return lost_work_seconds + overhead_seconds + quarantine_idle_seconds;
+  }
+};
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(std::vector<logs::NodeId> nodes, WorkloadConfig workload);
+
+  /// Runs one policy against one failure trace + warning stream.
+  /// Warnings are ignored unless policy.proactive is set. Deterministic for
+  /// fixed inputs. Warnings and failures may arrive unsorted.
+  SimulationResult run(const RecoveryPolicyConfig& policy,
+                       std::string policy_name,
+                       std::vector<NodeFailure> failures,
+                       std::vector<FailureWarning> warnings) const;
+
+  const std::vector<logs::NodeId>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<logs::NodeId> nodes_;
+  WorkloadConfig workload_;
+};
+
+/// Builds the oracle warning stream: one perfectly accurate warning per
+/// failure, `lead_seconds` ahead.
+std::vector<FailureWarning> oracle_warnings(
+    const std::vector<NodeFailure>& failures, double lead_seconds);
+
+}  // namespace desh::recovery

@@ -1,0 +1,89 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace desh::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  util::require(data_.size() == rows * cols,
+                "Matrix: data size does not match rows*cols");
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  util::require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return (*this)(r, c);
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  util::require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return (*this)(r, c);
+}
+
+std::span<float> Matrix::row(std::size_t r) {
+  util::require(r < rows_, "Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float> Matrix::row(std::size_t r) const {
+  util::require(r < rows_, "Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  util::require(same_shape(other), "Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  util::require(same_shape(other), "Matrix::operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (float& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return uniform(rows, cols, limit, rng);
+}
+
+Matrix Matrix::uniform(std::size_t rows, std::size_t cols, float limit,
+                       util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& x : m.data_)
+    x = static_cast<float>(rng.uniform(-limit, limit));
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << "x" << m.cols() << ")[";
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r ? "; " : "");
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      os << (c ? " " : "") << m(r, c);
+  }
+  return os << "]";
+}
+
+}  // namespace desh::tensor

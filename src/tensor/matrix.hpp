@@ -1,0 +1,78 @@
+// Dense row-major float32 matrix — the storage type underneath the neural
+// network stack. Vectors are represented as 1xN or Nx1 matrices.
+//
+// Design notes (cf. C++ Core Guidelines):
+//  - value semantics with cheap moves; no raw owning pointers anywhere;
+//  - bounds are enforced on the debug accessor `at`, the hot-path operator()
+//    is unchecked by design and kept inline;
+//  - all shape errors throw desh::util::InvalidArgument so callers can give
+//    actionable diagnostics instead of UB.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace desh::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  /// Bounds-checked accessor; throws InvalidArgument on violation.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  void fill(float value);
+  void set_zero() { fill(0.0f); }
+  /// Resizes in place, discarding contents.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Element-wise in-place updates; shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float scalar);
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Initializers -------------------------------------------------------
+  /// Xavier/Glorot uniform for a fan_in x fan_out weight (limit sqrt(6/(in+out))).
+  static Matrix xavier(std::size_t rows, std::size_t cols, util::Rng& rng);
+  /// Uniform in [-limit, limit].
+  static Matrix uniform(std::size_t rows, std::size_t cols, float limit,
+                        util::Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace desh::tensor

@@ -1,0 +1,173 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace desh::tensor {
+
+namespace {
+
+// Inner kernel shared by matmul and matmul_acc: out(m x n) += A(m x k)*B(k x n).
+// Loop order (i, l, j) streams both B and out rows sequentially, which is the
+// cache-friendly order for row-major storage; the i-loop parallelizes cleanly.
+void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+#pragma omp parallel for schedule(static) if (m * n * k > 32768)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* orow = po + static_cast<std::size_t>(i) * n;
+    for (std::size_t l = 0; l < k; ++l) {
+      const float av = arow[l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + l * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  util::require(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  out.resize(a.rows(), b.cols());
+  gemm_accumulate(a, b, out);
+}
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  util::require(a.cols() == b.rows(), "matmul_acc: inner dimensions differ");
+  util::require(out.rows() == a.rows() && out.cols() == b.cols(),
+                "matmul_acc: output shape mismatch");
+  gemm_accumulate(a, b, out);
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  util::require(a.rows() == b.rows(), "matmul_at_b: inner dimensions differ");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  out.resize(m, n);
+  // out(i,j) = sum_l A(l,i) * B(l,j): stream A and B row-wise, scatter into out.
+  for (std::size_t l = 0; l < k; ++l) {
+    std::span<const float> arow = a.row(l);
+    std::span<const float> brow = b.row(l);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  util::require(a.cols() == b.cols(), "matmul_a_bt: inner dimensions differ");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  out.resize(m, n);
+#pragma omp parallel for schedule(static) if (m * n * k > 32768)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
+    std::span<const float> arow = a.row(static_cast<std::size_t>(i));
+    for (std::size_t j = 0; j < n; ++j)
+      out(static_cast<std::size_t>(i), j) = dot(arow, b.row(j));
+  }
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& y) {
+  util::require(x.same_shape(y), "axpy: shape mismatch");
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+}
+
+void add_row_bias(Matrix& m, const Matrix& bias) {
+  util::require(bias.rows() == 1 && bias.cols() == m.cols(),
+                "add_row_bias: bias must be 1 x cols");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    const float* b = bias.data();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void sigmoid(const Matrix& in, Matrix& out) {
+  out.resize(in.rows(), in.cols());
+  const float* pi = in.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i)
+    po[i] = 1.0f / (1.0f + std::exp(-pi[i]));
+}
+
+void tanh_act(const Matrix& in, Matrix& out) {
+  out.resize(in.rows(), in.cols());
+  const float* pi = in.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) po[i] = std::tanh(pi[i]);
+}
+
+float sigmoid_grad_from_value(float s) { return s * (1.0f - s); }
+
+float tanh_grad_from_value(float t) { return 1.0f - t * t; }
+
+void softmax_rows(const Matrix& in, Matrix& out) {
+  out.resize(in.rows(), in.cols());
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    std::span<const float> row = in.row(r);
+    float mx = *std::max_element(row.begin(), row.end());
+    float denom = 0.0f;
+    float* orow = out.data() + r * in.cols();
+    for (std::size_t c = 0; c < in.cols(); ++c) {
+      orow[c] = std::exp(row[c] - mx);
+      denom += orow[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t c = 0; c < in.cols(); ++c) orow[c] *= inv;
+  }
+}
+
+float logsumexp(std::span<const float> row) {
+  util::require(!row.empty(), "logsumexp: empty input");
+  float mx = *std::max_element(row.begin(), row.end());
+  float acc = 0.0f;
+  for (float x : row) acc += std::exp(x - mx);
+  return mx + std::log(acc);
+}
+
+std::size_t argmax(std::span<const float> row) {
+  util::require(!row.empty(), "argmax: empty input");
+  return static_cast<std::size_t>(
+      std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+std::vector<std::size_t> topk(std::span<const float> row, std::size_t k) {
+  util::require(k > 0 && k <= row.size(), "topk: k out of range");
+  std::vector<std::size_t> idx(row.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(),
+                    [&](std::size_t a, std::size_t b) { return row[a] > row[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+void clip_inplace(Matrix& m, float limit) {
+  util::require(limit > 0, "clip_inplace: limit must be positive");
+  for (float& x : m.flat()) x = std::clamp(x, -limit, limit);
+}
+
+float l2_norm(const Matrix& m) {
+  double acc = 0;
+  for (float x : m.flat()) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  util::require(a.size() == b.size(), "dot: size mismatch");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace desh::tensor

@@ -1,0 +1,55 @@
+// Free-function kernels over Matrix. These are the only compute-intensive
+// primitives in the repository; everything in desh::nn reduces to them.
+//
+// GEMM variants use a blocked inner loop and parallelize the row loop with
+// OpenMP when available (shape-checked, single allocation for the output).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace desh::tensor {
+
+/// out = A * B. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+/// out += A * B (accumulating variant; `out` must already be (m x n)).
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y += alpha * x over flat storage; shapes must match.
+void axpy(float alpha, const Matrix& x, Matrix& y);
+
+/// Adds the 1 x n bias row to every row of `m` (n columns).
+void add_row_bias(Matrix& m, const Matrix& bias);
+
+/// Element-wise activations (out resized to match input).
+void sigmoid(const Matrix& in, Matrix& out);
+void tanh_act(const Matrix& in, Matrix& out);
+/// d/dx sigmoid given the *activated* value s: s * (1 - s).
+float sigmoid_grad_from_value(float s);
+/// d/dx tanh given the *activated* value t: 1 - t^2.
+float tanh_grad_from_value(float t);
+
+/// Numerically stable row-wise softmax.
+void softmax_rows(const Matrix& in, Matrix& out);
+/// log(sum(exp(row))) with the max-shift trick.
+float logsumexp(std::span<const float> row);
+/// Index of the maximum element in a row.
+std::size_t argmax(std::span<const float> row);
+/// Indices of the k largest elements, descending by value.
+std::vector<std::size_t> topk(std::span<const float> row, std::size_t k);
+
+/// Clamps every element to [-limit, limit].
+void clip_inplace(Matrix& m, float limit);
+/// L2 norm over flat storage.
+float l2_norm(const Matrix& m);
+
+/// Dot product of equally-sized spans.
+float dot(std::span<const float> a, std::span<const float> b);
+
+}  // namespace desh::tensor

@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace desh::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[std::string(arg)] = argv[++i];
+    } else {
+      flags_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace desh::util

@@ -1,0 +1,35 @@
+// Error types shared across the Desh libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace desh::util {
+
+/// Base class for all errors thrown by Desh libraries. Deriving from
+/// std::runtime_error keeps the what() contract and lets callers catch either
+/// the Desh-specific or the standard hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad shape, empty input, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (model save/load, log file read) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `what` when `cond` is false. Used to express
+/// preconditions in public APIs (kept in release builds, unlike assert).
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+}  // namespace desh::util

@@ -1,0 +1,197 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace desh::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  // splitmix64 expansion guarantees a non-zero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::long_jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (*this)();
+    }
+  }
+  s_ = acc;
+}
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+Rng Rng::fork(std::uint64_t stream_id) {
+  // Mix the stream id through splitmix64 so adjacent ids land far apart.
+  std::uint64_t mix = next_u64() ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  require(n > 0, "Rng::uniform_index: n must be > 0");
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  while (true) {
+    std::uint64_t x = engine_();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= n || low >= (-n) % n) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  double u2 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  require(rate > 0, "Rng::exponential: rate must be > 0");
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -std::log(u) / rate;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::uint64_t Rng::poisson(double mean) {
+  require(mean >= 0, "Rng::poisson: mean must be >= 0");
+  if (mean == 0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation, adequate for workload-sizing draws.
+    double x = normal(mean, std::sqrt(mean));
+    return x <= 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = uniform();
+  std::uint64_t n = 0;
+  while (prod > limit) {
+    ++n;
+    prod *= uniform();
+  }
+  return n;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  require(!weights.empty(), "Rng::discrete: weights must be non-empty");
+  double total = 0;
+  for (double w : weights) {
+    require(w >= 0, "Rng::discrete: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0, "Rng::discrete: total weight must be > 0");
+  double target = uniform() * total;
+  double cum = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;  // numerical guard
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  require(!weights.empty(), "AliasSampler: weights must be non-empty");
+  const std::size_t n = weights.size();
+  double total = 0;
+  for (double w : weights) {
+    require(w >= 0, "AliasSampler: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0, "AliasSampler: total weight must be > 0");
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    small.pop_back();
+    std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  std::size_t column = static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace desh::util

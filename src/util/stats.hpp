@@ -1,0 +1,73 @@
+// Streaming statistics accumulators used throughout the evaluation harness
+// (lead-time means/deviations of Figs 6-7, metric aggregation, generator
+// self-checks in tests).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace desh::util {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains all samples; supports exact quantiles. Intended for the modest
+/// sample counts of evaluation runs, not for unbounded streams.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  /// Exact quantile by linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+  std::span<const double> samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace desh::util

@@ -1,0 +1,26 @@
+// Monotonic wall-clock stopwatch for the cost-analysis benches (Fig 10)
+// and progress reporting during training.
+#pragma once
+
+#include <chrono>
+
+namespace desh::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace desh::util

@@ -1,0 +1,30 @@
+// Small string utilities shared by the log parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desh::util {
+
+/// Splits on a single delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Splits on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool contains(std::string_view haystack, std::string_view needle);
+bool contains_ci(std::string_view haystack, std::string_view needle);
+
+/// printf-style double formatting with fixed decimals (e.g. format_fixed(3.14159, 2) == "3.14").
+std::string format_fixed(double value, int decimals);
+
+}  // namespace desh::util

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace desh::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "TextTable::add_row: column count mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw IoError("TextTable::write_csv: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  if (!os) throw IoError("TextTable::write_csv: write failed for " + path);
+}
+
+}  // namespace desh::util

@@ -1,0 +1,31 @@
+// Console table and CSV writers used by the bench harness to print the
+// paper's tables/figures as aligned text plus machine-readable CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace desh::util {
+
+/// Accumulates rows of strings and renders them as an ASCII-aligned table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  /// Writes the same data as CSV to `path`; throws IoError on failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace desh::util

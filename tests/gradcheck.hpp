@@ -1,0 +1,40 @@
+// Finite-difference gradient checking shared by the nn-layer tests: the
+// analytic backward passes of every layer are verified against central
+// differences of the forward pass.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/parameter.hpp"
+#include "tensor/matrix.hpp"
+
+namespace desh::testutil {
+
+/// Checks d(loss)/d(param) for every element of `target` against central
+/// differences of `loss_fn` (which must re-run forward and return the loss
+/// WITHOUT touching gradients). `analytic` holds the gradient under test.
+inline void expect_matches_numeric_gradient(
+    tensor::Matrix& target, const tensor::Matrix& analytic,
+    const std::function<double()>& loss_fn, double epsilon = 1e-3,
+    double tolerance = 2e-2) {
+  ASSERT_EQ(target.rows(), analytic.rows());
+  ASSERT_EQ(target.cols(), analytic.cols());
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    const float saved = target.data()[i];
+    target.data()[i] = saved + static_cast<float>(epsilon);
+    const double plus = loss_fn();
+    target.data()[i] = saved - static_cast<float>(epsilon);
+    const double minus = loss_fn();
+    target.data()[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    const double got = analytic.data()[i];
+    const double scale = std::max({1.0, std::abs(numeric), std::abs(got)});
+    EXPECT_NEAR(got, numeric, tolerance * scale)
+        << "element " << i << " of " << target.size();
+  }
+}
+
+}  // namespace desh::testutil

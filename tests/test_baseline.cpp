@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "baseline/deeplog.hpp"
+#include "baseline/ngram.hpp"
+#include "util/error.hpp"
+
+namespace desh::baseline {
+namespace {
+
+chains::ParsedLog repeated_pattern_log(std::size_t repeats) {
+  // Normal traffic: the strict cycle 1 2 3 4 5, over and over.
+  chains::ParsedLog log;
+  std::vector<chains::ParsedEvent> events;
+  for (std::size_t r = 0; r < repeats; ++r)
+    for (std::uint32_t p = 1; p <= 5; ++p)
+      events.push_back({static_cast<double>(events.size()), p});
+  log.by_node[logs::NodeId{0, 0, 0, 0, 0}] = events;
+  log.event_count = events.size();
+  return log;
+}
+
+chains::CandidateSequence sequence_of(std::vector<std::uint32_t> phrases) {
+  chains::CandidateSequence c;
+  c.node = logs::NodeId{0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < phrases.size(); ++i)
+    c.events.push_back({static_cast<double>(i), phrases[i]});
+  return c;
+}
+
+TEST(NgramDetector, ProbabilitiesReflectCounts) {
+  NgramConfig config;
+  config.order = 2;
+  NgramDetector detector(config, 8);
+  detector.fit(repeated_pattern_log(20));
+  const std::uint32_t ctx12[] = {1, 2};
+  EXPECT_GT(detector.probability(ctx12, 3), 0.9);
+  EXPECT_LT(detector.probability(ctx12, 5), 0.1);
+}
+
+TEST(NgramDetector, BackoffHandlesUnseenContexts) {
+  NgramConfig config;
+  config.order = 3;
+  NgramDetector detector(config, 8);
+  detector.fit(repeated_pattern_log(10));
+  // Context never seen at order 3; backoff still yields a positive prob.
+  const std::uint32_t weird[] = {7, 7, 2};
+  EXPECT_GT(detector.probability(weird, 3), 0.0);
+  // Fully out-of-distribution next key gets the uniform floor at most.
+  EXPECT_LE(detector.probability(weird, 7), 0.4 * 0.4 * 0.4);
+}
+
+TEST(NgramDetector, TopgRanksByFrequency) {
+  NgramConfig config;
+  config.order = 1;
+  config.g = 2;
+  NgramDetector detector(config, 8);
+  chains::ParsedLog log;
+  // After 1: mostly 2, sometimes 3, once 4.
+  std::vector<chains::ParsedEvent> events;
+  auto push = [&](std::uint32_t p) {
+    events.push_back({static_cast<double>(events.size()), p});
+  };
+  for (int i = 0; i < 10; ++i) { push(1); push(2); }
+  for (int i = 0; i < 3; ++i) { push(1); push(3); }
+  push(1); push(4);
+  log.by_node[logs::NodeId{0, 0, 0, 0, 0}] = events;
+  detector.fit(log);
+  const std::uint32_t ctx[] = {1};
+  const auto top = detector.topg(ctx);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_TRUE(detector.entry_is_normal(ctx, 2));
+  EXPECT_FALSE(detector.entry_is_normal(ctx, 4));
+}
+
+TEST(NgramDetector, FlagsAnomalousSequenceNotNormalOne) {
+  NgramConfig config;
+  config.order = 2;
+  config.g = 2;
+  NgramDetector detector(config, 8);
+  detector.fit(repeated_pattern_log(20));
+  EXPECT_FALSE(detector.flags_candidate(sequence_of({1, 2, 3, 4, 5, 1, 2})));
+  EXPECT_TRUE(detector.flags_candidate(sequence_of({1, 5, 2, 4, 3, 1})));
+  EXPECT_GT(detector.anomaly_fraction(sequence_of({1, 5, 2, 4, 3, 1})), 0.4);
+  EXPECT_EQ(detector.anomaly_fraction(sequence_of({1, 2, 3, 4, 5})), 0.0);
+}
+
+TEST(NgramDetector, Validation) {
+  NgramConfig bad;
+  bad.order = 0;
+  EXPECT_THROW(NgramDetector(bad, 8), util::InvalidArgument);
+  EXPECT_THROW(NgramDetector(NgramConfig{}, 1), util::InvalidArgument);
+}
+
+TEST(DeepLogDetector, LearnsNormalPatternAndFlagsDeviation) {
+  DeepLogConfig config;
+  config.embed_dim = 8;
+  config.hidden_size = 16;
+  config.history = 4;
+  config.g = 2;
+  config.epochs = 25;
+  config.window_stride = 1;
+  util::Rng rng(1);
+  DeepLogDetector detector(config, 8, rng);
+  detector.fit(repeated_pattern_log(80));
+
+  // Normal continuation is within top-g; an off-pattern key is not.
+  const std::uint32_t window[] = {1, 2, 3, 4};
+  EXPECT_TRUE(detector.entry_is_normal(window, 5));
+  EXPECT_FALSE(detector.entry_is_normal(window, 2));
+
+  EXPECT_FALSE(detector.flags_candidate(sequence_of({1, 2, 3, 4, 5, 1, 2, 3})));
+  EXPECT_TRUE(detector.flags_candidate(sequence_of({1, 4, 2, 5, 3, 1})));
+}
+
+TEST(DeepLogDetector, AnomalyFractionBounds) {
+  DeepLogConfig config;
+  config.embed_dim = 8;
+  config.hidden_size = 16;
+  config.epochs = 2;
+  util::Rng rng(2);
+  DeepLogDetector detector(config, 8, rng);
+  detector.fit(repeated_pattern_log(20));
+  const auto frac = detector.anomaly_fraction(sequence_of({1, 2, 3, 4, 5}));
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+  // Candidates shorter than the window are never flagged.
+  EXPECT_FALSE(detector.flags_candidate(sequence_of({1})));
+  EXPECT_EQ(detector.anomaly_fraction(sequence_of({1, 2, 3})), 0.0);
+}
+
+}  // namespace
+}  // namespace desh::baseline

@@ -1,0 +1,153 @@
+// Structural invariants of the phrase catalog — the contract the generator,
+// labeler and analyzers all rely on.
+#include "logs/phrase_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace desh::logs {
+namespace {
+
+const PhraseCatalog& cat() { return PhraseCatalog::instance(); }
+
+TEST(PhraseCatalog, TemplatesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (const CatalogPhrase& p : cat().phrases()) {
+    EXPECT_FALSE(p.tmpl.empty());
+    EXPECT_TRUE(seen.insert(p.tmpl).second) << "duplicate: " << p.tmpl;
+  }
+}
+
+TEST(PhraseCatalog, LabelIndexListsArePartition) {
+  const std::size_t total = cat().safe_indices().size() +
+                            cat().unknown_indices().size() +
+                            cat().error_indices().size();
+  EXPECT_EQ(total, cat().size());
+  for (std::size_t i : cat().safe_indices())
+    EXPECT_EQ(cat().phrase(i).label, PhraseLabel::kSafe);
+  for (std::size_t i : cat().unknown_indices())
+    EXPECT_EQ(cat().phrase(i).label, PhraseLabel::kUnknown);
+  for (std::size_t i : cat().error_indices())
+    EXPECT_EQ(cat().phrase(i).label, PhraseLabel::kError);
+}
+
+TEST(PhraseCatalog, TerminalsAreErrors) {
+  EXPECT_FALSE(cat().terminal_indices().empty());
+  for (std::size_t i : cat().terminal_indices()) {
+    EXPECT_TRUE(cat().phrase(i).terminal);
+    EXPECT_EQ(cat().phrase(i).label, PhraseLabel::kError)
+        << cat().phrase(i).tmpl;
+  }
+}
+
+TEST(PhraseCatalog, Table8HasTwelveCalibratedUnknowns) {
+  ASSERT_EQ(cat().table8_phrases().size(), 12u);  // P1..P12
+  for (std::size_t i : cat().table8_phrases()) {
+    const CatalogPhrase& p = cat().phrase(i);
+    EXPECT_EQ(p.label, PhraseLabel::kUnknown) << p.tmpl;
+    ASSERT_TRUE(p.failure_contribution.has_value()) << p.tmpl;
+    EXPECT_GT(*p.failure_contribution, 0.0);
+    EXPECT_LT(*p.failure_contribution, 1.0);
+  }
+  // Spot-check the paper's extremes: P11 (DVS Verify) 60%, P8 (trap) 8%.
+  EXPECT_DOUBLE_EQ(
+      *cat().phrase(cat().index_of("DVS: Verify Filesystem *")).failure_contribution,
+      0.60);
+  EXPECT_DOUBLE_EQ(
+      *cat().phrase(cat().index_of("Trap invalid code * Error *")).failure_contribution,
+      0.08);
+}
+
+TEST(PhraseCatalog, EveryClassHasFailureAndLookalikePatterns) {
+  for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    EXPECT_GE(cat().failure_patterns(cls).size(), 3u)
+        << failure_class_name(cls);
+    EXPECT_GE(cat().lookalike_patterns(cls).size(), 2u)
+        << failure_class_name(cls);
+  }
+}
+
+TEST(PhraseCatalog, FailurePatternsEndWithTerminal) {
+  for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+    for (const ChainPattern& pattern :
+         cat().failure_patterns(static_cast<FailureClass>(c))) {
+      ASSERT_GE(pattern.phrases.size(), 6u);  // scoreable at history 5
+      EXPECT_TRUE(cat().phrase(pattern.phrases.back()).terminal);
+      // No Safe phrase participates in a failure chain.
+      for (std::size_t idx : pattern.phrases)
+        EXPECT_NE(cat().phrase(idx).label, PhraseLabel::kSafe);
+    }
+  }
+}
+
+TEST(PhraseCatalog, LookalikePatternsDoNotEndWithTerminal) {
+  for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+    for (const ChainPattern& pattern :
+         cat().lookalike_patterns(static_cast<FailureClass>(c))) {
+      EXPECT_FALSE(cat().phrase(pattern.phrases.back()).terminal);
+      // The Error/Unknown run before recovery must be scoreable (>= 6).
+      std::size_t run = 0;
+      for (std::size_t idx : pattern.phrases) {
+        if (cat().phrase(idx).label == PhraseLabel::kSafe) break;
+        ++run;
+      }
+      EXPECT_GE(run, 6u);
+    }
+  }
+}
+
+TEST(PhraseCatalog, HardLookalikeSharesFailurePrefix) {
+  // Variant 0 of each class's lookalikes replicates failure variant 0 up to
+  // (at least) the paper's decision point — the mechanism behind the FP rate.
+  for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    const auto& fail = cat().failure_patterns(cls)[0].phrases;
+    const auto& hard = cat().lookalike_patterns(cls)[0].phrases;
+    const std::size_t shared = std::min(fail.size() - 1, hard.size() - 1);
+    ASSERT_GE(shared, 5u) << failure_class_name(cls);
+    for (std::size_t i = 0; i < shared; ++i)
+      EXPECT_EQ(fail[i], hard[i])
+          << failure_class_name(cls) << " position " << i;
+  }
+}
+
+TEST(PhraseCatalog, PaperLeadTimesMatchTable7) {
+  EXPECT_DOUBLE_EQ(paper_lead_time_seconds(FailureClass::kJob), 81.52);
+  EXPECT_DOUBLE_EQ(paper_lead_time_seconds(FailureClass::kMce), 160.29);
+  EXPECT_DOUBLE_EQ(paper_lead_time_seconds(FailureClass::kFileSystem), 119.32);
+  EXPECT_DOUBLE_EQ(paper_lead_time_seconds(FailureClass::kTraps), 115.74);
+  EXPECT_DOUBLE_EQ(paper_lead_time_seconds(FailureClass::kHardware), 124.29);
+  EXPECT_DOUBLE_EQ(paper_lead_time_seconds(FailureClass::kPanic), 58.87);
+  // Panic chains are the shortest-lead class; MCE the longest (Sec 4.2).
+  for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    if (cls == FailureClass::kPanic) continue;
+    EXPECT_GT(paper_lead_time_seconds(cls),
+              paper_lead_time_seconds(FailureClass::kPanic));
+    if (cls == FailureClass::kMce) continue;
+    EXPECT_LT(paper_lead_time_seconds(cls),
+              paper_lead_time_seconds(FailureClass::kMce));
+  }
+}
+
+TEST(PhraseCatalog, IndexOfRoundTripsAndValidates) {
+  for (std::size_t i = 0; i < cat().size(); ++i)
+    EXPECT_EQ(cat().index_of(cat().phrase(i).tmpl), i);
+  EXPECT_THROW(cat().index_of("no such template"), util::InvalidArgument);
+  EXPECT_THROW(cat().phrase(cat().size()), util::InvalidArgument);
+  EXPECT_FALSE(cat().has_template("no such template"));
+}
+
+TEST(FailureClassNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t c = 0; c < kFailureClassCount; ++c)
+    names.insert(failure_class_name(static_cast<FailureClass>(c)));
+  EXPECT_EQ(names.size(), kFailureClassCount);
+}
+
+}  // namespace
+}  // namespace desh::logs

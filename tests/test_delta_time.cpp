@@ -1,0 +1,100 @@
+// DeltaT calculation, including the paper's Table 4 worked example as a
+// golden test: the MCE failure chain whose cumulative deltaTs are
+// (7.822, 6.745, 5.811, 4.582, 4.557, 0.000) seconds.
+#include "chains/delta_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::chains {
+namespace {
+
+CandidateSequence make_candidate(std::vector<double> times) {
+  CandidateSequence c;
+  c.node = logs::NodeId{0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < times.size(); ++i)
+    c.events.push_back(ParsedEvent{times[i], static_cast<std::uint32_t>(i + 1)});
+  return c;
+}
+
+TEST(DeltaTimeCalculator, Table4GoldenExample) {
+  // Table 4 timestamps: 03:59:58.466, 03:59:59.543, 04:00:00.477,
+  // 04:00:01.706, 04:00:01.731, 04:00:06.288.
+  const double base = 3 * 3600 + 59 * 60;  // 03:59:00
+  const CandidateSequence chain = make_candidate(
+      {base + 58.466, base + 59.543, base + 60.477, base + 61.706,
+       base + 61.731, base + 66.288});
+  const auto deltas = DeltaTimeCalculator::delta_seconds(chain);
+  ASSERT_EQ(deltas.size(), 6u);
+  EXPECT_NEAR(deltas[0], 7.822, 1e-9);
+  EXPECT_NEAR(deltas[1], 6.745, 1e-9);
+  EXPECT_NEAR(deltas[2], 5.811, 1e-9);
+  EXPECT_NEAR(deltas[3], 4.582, 1e-9);
+  EXPECT_NEAR(deltas[4], 4.557, 1e-9);
+  EXPECT_NEAR(deltas[5], 0.0, 1e-9);
+}
+
+TEST(DeltaTimeCalculator, TerminalAlwaysZero) {
+  const CandidateSequence chain = make_candidate({1.0, 50.0, 300.0});
+  const auto deltas = DeltaTimeCalculator::delta_seconds(chain);
+  EXPECT_EQ(deltas.back(), 0.0);
+  EXPECT_EQ(deltas.front(), 299.0);
+}
+
+TEST(DeltaTimeCalculator, MonotonicallyDecreasingForSortedChains) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> times;
+    double t = 0;
+    const int n = 3 + static_cast<int>(rng.uniform_index(10));
+    for (int i = 0; i < n; ++i) {
+      t += rng.uniform(0.1, 200.0);
+      times.push_back(t);
+    }
+    const auto deltas =
+        DeltaTimeCalculator::delta_seconds(make_candidate(times));
+    for (std::size_t i = 1; i < deltas.size(); ++i)
+      EXPECT_LT(deltas[i], deltas[i - 1]);
+    EXPECT_EQ(deltas.back(), 0.0);
+  }
+}
+
+TEST(DeltaTimeCalculator, ToChainSequenceNormalizes) {
+  const CandidateSequence chain = make_candidate({0.0, 300.0, 600.0});
+  const nn::ChainSequence seq = DeltaTimeCalculator::to_chain_sequence(chain);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_NEAR(nn::ChainModel::denormalize_dt(seq[0].dt_norm), 600.0, 1e-3);
+  EXPECT_NEAR(nn::ChainModel::denormalize_dt(seq[1].dt_norm), 300.0, 1e-3);
+  EXPECT_EQ(seq[2].dt_norm, 0.0f);
+  EXPECT_EQ(seq[0].phrase, 1u);
+  EXPECT_EQ(seq[2].phrase, 3u);
+}
+
+TEST(DeltaTimeCalculator, AdjacentEncodingUsesInterArrivalGaps) {
+  const CandidateSequence chain = make_candidate({100.0, 130.0, 190.0, 200.0});
+  const nn::ChainSequence seq =
+      DeltaTimeCalculator::to_chain_sequence_adjacent(chain);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0].dt_norm, 0.0f);  // first event has no predecessor
+  EXPECT_NEAR(nn::ChainModel::denormalize_dt(seq[1].dt_norm), 30.0, 1e-3);
+  EXPECT_NEAR(nn::ChainModel::denormalize_dt(seq[2].dt_norm), 60.0, 1e-3);
+  EXPECT_NEAR(nn::ChainModel::denormalize_dt(seq[3].dt_norm), 10.0, 1e-3);
+  // Phrases carried through identically to the cumulative encoding.
+  const nn::ChainSequence cumulative =
+      DeltaTimeCalculator::to_chain_sequence(chain);
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_EQ(seq[i].phrase, cumulative[i].phrase);
+}
+
+TEST(DeltaTimeCalculator, RejectsEmptyCandidate) {
+  CandidateSequence empty;
+  EXPECT_THROW(DeltaTimeCalculator::delta_seconds(empty),
+               util::InvalidArgument);
+  EXPECT_THROW(DeltaTimeCalculator::to_chain_sequence_adjacent(empty),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::chains

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/dense.hpp"
+#include "nn/embedding.hpp"
+#include "nn/loss.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+namespace {
+
+TEST(Dense, ForwardComputesAffineMap) {
+  util::Rng rng(1);
+  Dense layer(2, 2, rng);
+  // Overwrite weights with known values via parameters().
+  auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  Parameter* w = params[0];
+  Parameter* b = params[1];
+  w->value(0, 0) = 1;
+  w->value(0, 1) = 2;
+  w->value(1, 0) = 3;
+  w->value(1, 1) = 4;
+  b->value(0, 0) = 10;
+  b->value(0, 1) = 20;
+  tensor::Matrix x(1, 2, std::vector<float>{1, 1});
+  tensor::Matrix y;
+  layer.forward(x, y);
+  EXPECT_EQ(y(0, 0), 14.0f);  // 1*1 + 1*3 + 10
+  EXPECT_EQ(y(0, 1), 26.0f);  // 1*2 + 1*4 + 20
+}
+
+TEST(Dense, ForwardRejectsWrongWidth) {
+  util::Rng rng(2);
+  Dense layer(3, 2, rng);
+  tensor::Matrix x(1, 4), y;
+  EXPECT_THROW(layer.forward(x, y), util::InvalidArgument);
+}
+
+TEST(Dense, GradcheckWeightsBiasAndInput) {
+  util::Rng rng(3);
+  Dense layer(4, 3, rng);
+  tensor::Matrix x(2, 4);
+  for (float& v : x.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  tensor::Matrix target(2, 3);
+  for (float& v : target.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+
+  auto loss_fn = [&] {
+    tensor::Matrix y;
+    layer.forward_inference(x, y);
+    return static_cast<double>(MeanSquaredError::forward(y, target));
+  };
+
+  tensor::Matrix y, dy, dx;
+  layer.forward(x, y);
+  MeanSquaredError::forward_backward(y, target, dy);
+  zero_grads(layer.parameters());
+  layer.backward(dy, dx);
+
+  for (Parameter* p : layer.parameters())
+    testutil::expect_matches_numeric_gradient(p->value, p->grad, loss_fn);
+  // Input gradient.
+  testutil::expect_matches_numeric_gradient(x, dx, loss_fn);
+}
+
+TEST(Embedding, ForwardGathersRows) {
+  util::Rng rng(4);
+  Embedding embed(5, 3, rng);
+  const std::uint32_t ids[] = {4, 0, 4};
+  tensor::Matrix out;
+  embed.forward(ids, out);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(out(0, c), out(2, c));
+    EXPECT_EQ(out(0, c), embed.vector(4)[c]);
+  }
+}
+
+TEST(Embedding, RejectsOutOfVocabulary) {
+  util::Rng rng(5);
+  Embedding embed(3, 2, rng);
+  const std::uint32_t bad[] = {3};
+  tensor::Matrix out;
+  EXPECT_THROW(embed.forward(bad, out), util::InvalidArgument);
+  EXPECT_THROW(embed.vector(7), util::InvalidArgument);
+}
+
+TEST(Embedding, BackwardScattersAndAccumulatesDuplicates) {
+  util::Rng rng(6);
+  Embedding embed(4, 2, rng);
+  const std::uint32_t ids[] = {1, 1, 3};
+  tensor::Matrix out;
+  embed.forward(ids, out);
+  tensor::Matrix dout(3, 2, std::vector<float>{1, 2, 10, 20, 5, 6});
+  embed.backward(dout);
+  Parameter* table = embed.parameters()[0];
+  EXPECT_EQ(table->grad(1, 0), 11.0f);  // duplicate id accumulates
+  EXPECT_EQ(table->grad(1, 1), 22.0f);
+  EXPECT_EQ(table->grad(3, 0), 5.0f);
+  EXPECT_EQ(table->grad(0, 0), 0.0f);
+}
+
+TEST(Embedding, LoadPretrainedRequiresMatchingShape) {
+  util::Rng rng(7);
+  Embedding embed(4, 2, rng);
+  tensor::Matrix good(4, 2, 0.5f);
+  embed.load_pretrained(good);
+  EXPECT_EQ(embed.vector(2)[0], 0.5f);
+  tensor::Matrix bad(4, 3);
+  EXPECT_THROW(embed.load_pretrained(bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::nn

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "logs/drain_miner.hpp"
+#include "logs/generator.hpp"
+#include "logs/syslog.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::logs {
+namespace {
+
+TEST(DrainMiner, GroupsNumberVariantsOfOneMessage) {
+  DrainMiner miner;
+  const auto a = miner.add("Job 123 started by user 88");
+  const auto b = miner.add("Job 999 started by user 17");
+  const auto c = miner.add("Job 5 started by user 404");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(miner.template_count(), 1u);
+  EXPECT_EQ(miner.template_text(a), "Job * started by user *");
+}
+
+TEST(DrainMiner, SeparatesDistinctMessages) {
+  DrainMiner miner;
+  const auto a = miner.add("LustreError 0x99 failed");
+  const auto b = miner.add("Kernel panic - not syncing now");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(miner.template_count(), 2u);
+}
+
+TEST(DrainMiner, GeneralizesVariableTailTokens) {
+  DrainMiner::Config config;
+  config.similarity_threshold = 0.5;
+  DrainMiner miner(config);
+  const auto a = miner.add("mount device sda failed with timeout");
+  const auto b = miner.add("mount device sdb failed with busy");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(miner.template_text(a), "mount device * failed with *");
+}
+
+TEST(DrainMiner, MatchDoesNotLearn) {
+  DrainMiner miner;
+  miner.add("alpha beta gamma delta");
+  const std::size_t before = miner.template_count();
+  EXPECT_NE(miner.match("alpha beta gamma delta"), DrainMiner::kNoMatch);
+  EXPECT_EQ(miner.match("totally different message here"),
+            DrainMiner::kNoMatch);
+  EXPECT_EQ(miner.template_count(), before);
+}
+
+TEST(DrainMiner, ValidatesInputs) {
+  DrainMiner::Config bad;
+  bad.tree_depth = 0;
+  EXPECT_THROW(DrainMiner{bad}, util::InvalidArgument);
+  bad = DrainMiner::Config{};
+  bad.similarity_threshold = 0.0;
+  EXPECT_THROW(DrainMiner{bad}, util::InvalidArgument);
+  DrainMiner miner;
+  EXPECT_THROW(miner.add("   "), util::InvalidArgument);
+  EXPECT_THROW(miner.template_text(42), util::InvalidArgument);
+  EXPECT_EQ(miner.match("   "), DrainMiner::kNoMatch);
+}
+
+TEST(DrainMiner, RecoversCatalogGroupingOnGeneratedMessages) {
+  // Render each catalog phrase several times with random dynamics: Drain
+  // must map all renders of a phrase to one learned template id.
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  DrainMiner miner;
+  util::Rng rng(4242);
+  std::size_t agreement = 0, total = 0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const CatalogPhrase& phrase = catalog.phrase(i);
+    std::set<std::uint32_t> ids;
+    for (int r = 0; r < 6; ++r)
+      ids.insert(miner.add(SyntheticCraySource::render_message(phrase, rng)));
+    if (ids.size() == 1) ++agreement;
+    ++total;
+  }
+  // Messages whose dynamic part varies in token count can split into a few
+  // groups; the bulk must still be grouped perfectly.
+  EXPECT_GT(static_cast<double>(agreement) / static_cast<double>(total), 0.75);
+}
+
+TEST(Syslog, ParsesCanonicalLine) {
+  const auto record =
+      parse_syslog_line("Mar 15 10:47:39 c0-0c0s0n2 hwerr: protocol error");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->node.to_string(), "c0-0c0s0n2");
+  EXPECT_EQ(record->message, "hwerr: protocol error");
+  // Mar 15 = day-of-year 73 (non-leap).
+  EXPECT_DOUBLE_EQ(record->timestamp,
+                   (73.0 * 24 + 10) * 3600 + 47 * 60 + 39);
+}
+
+TEST(Syslog, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_syslog_line("").has_value());
+  EXPECT_FALSE(parse_syslog_line("continuation of previous").has_value());
+  EXPECT_FALSE(parse_syslog_line("Xyz 15 10:47:39 c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 99 10:47:39 c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 15 10:99:39 c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 15 10:47:39 not-a-node m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 15 10:47:39 c0-0c0s0n2").has_value());
+}
+
+TEST(Syslog, FormatParseRoundTrip) {
+  LogRecord record;
+  record.timestamp = (73.0 * 24 + 10) * 3600 + 47 * 60 + 39;
+  record.node = NodeId::parse("c1-0c2s10n3");
+  record.message = "LustreError 0x12 something";
+  const std::string line = format_syslog_line(record);
+  EXPECT_EQ(line, "Mar 15 10:47:39 c1-0c2s10n3 LustreError 0x12 something");
+  const auto back = parse_syslog_line(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->timestamp, record.timestamp);
+  EXPECT_EQ(back->node, record.node);
+  EXPECT_EQ(back->message, record.message);
+}
+
+TEST(Syslog, LoadsFileSkippingJunk) {
+  const std::string path = ::testing::TempDir() + "/desh_syslog.log";
+  {
+    std::ofstream os(path);
+    os << "Jan  2 00:00:10 c0-0c0s0n1 second event\n"
+       << "garbage line without structure\n"
+       << "Jan  1 23:59:50 c0-0c0s0n0 first event\n";
+  }
+  const LogCorpus corpus = load_syslog_file(path);
+  ASSERT_EQ(corpus.size(), 2u);  // junk skipped
+  EXPECT_LT(corpus[0].timestamp, corpus[1].timestamp);  // sorted
+  EXPECT_EQ(corpus[0].message, "first event");
+  std::remove(path.c_str());
+  EXPECT_THROW(load_syslog_file("/nonexistent/sys.log"), util::IoError);
+}
+
+}  // namespace
+}  // namespace desh::logs

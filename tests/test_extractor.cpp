@@ -1,0 +1,166 @@
+#include "chains/extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace desh::chains {
+namespace {
+
+// Crafted vocabulary with one phrase per label category.
+struct Fixture {
+  logs::PhraseVocab vocab;
+  std::uint32_t safe, unknown, error, terminal;
+  Fixture() {
+    safe = vocab.add("Wait4Boot");
+    unknown = vocab.add("LustreError *");
+    error = vocab.add("Call Trace:");
+    terminal = vocab.add("cb_node_unavailable");
+  }
+};
+
+ParsedLog make_log(const std::vector<ParsedEvent>& events,
+                   logs::NodeId node = {0, 0, 0, 0, 0}) {
+  ParsedLog log;
+  log.by_node[node] = events;
+  log.event_count = events.size();
+  return log;
+}
+
+TEST(ChainExtractor, FiltersSafeAndFormsFailureChain) {
+  Fixture f;
+  PhraseLabeler labeler(f.vocab);
+  // U U safe U U U E terminal — safe phrase must not break the run.
+  std::vector<ParsedEvent> events = {
+      {0.0, f.unknown},  {10.0, f.unknown}, {15.0, f.safe},
+      {20.0, f.unknown}, {30.0, f.unknown}, {40.0, f.unknown},
+      {50.0, f.error},   {60.0, f.terminal}};
+  ChainExtractor extractor;
+  const auto candidates = extractor.extract(make_log(events), labeler);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_TRUE(candidates[0].ends_with_terminal);
+  EXPECT_EQ(candidates[0].events.size(), 7u);  // safe dropped
+  EXPECT_EQ(candidates[0].start_time(), 0.0);
+  EXPECT_EQ(candidates[0].end_time(), 60.0);
+}
+
+TEST(ChainExtractor, SplitsOnLargeGaps) {
+  Fixture f;
+  PhraseLabeler labeler(f.vocab);
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 6; ++i)
+    events.push_back({i * 10.0, f.unknown});
+  // 1000 s of silence, then another scoreable run.
+  for (int i = 0; i < 6; ++i)
+    events.push_back({1100.0 + i * 10.0, f.unknown});
+  ChainExtractor extractor;
+  const auto candidates = extractor.extract(make_log(events), labeler);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_FALSE(candidates[0].ends_with_terminal);
+  EXPECT_FALSE(candidates[1].ends_with_terminal);
+}
+
+TEST(ChainExtractor, TerminalHardStopsSequence) {
+  Fixture f;
+  PhraseLabeler labeler(f.vocab);
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 6; ++i) events.push_back({i * 5.0, f.unknown});
+  events.push_back({30.0, f.terminal});
+  // Post-reboot noise follows immediately; must belong to a new candidate.
+  for (int i = 0; i < 6; ++i) events.push_back({35.0 + i * 5.0, f.unknown});
+  ChainExtractor extractor;
+  const auto candidates = extractor.extract(make_log(events), labeler);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_TRUE(candidates[0].ends_with_terminal);
+  EXPECT_EQ(candidates[0].events.size(), 7u);
+  EXPECT_FALSE(candidates[1].ends_with_terminal);
+}
+
+TEST(ChainExtractor, DropsRunsBelowMinLength) {
+  Fixture f;
+  PhraseLabeler labeler(f.vocab);
+  std::vector<ParsedEvent> events = {
+      {0.0, f.unknown}, {5.0, f.unknown}, {10.0, f.error}};
+  ChainExtractor extractor;
+  EXPECT_TRUE(extractor.extract(make_log(events), labeler).empty());
+}
+
+TEST(ChainExtractor, MaintenanceBurstIsNotAFailure) {
+  Fixture f;
+  PhraseLabeler labeler(f.vocab);
+  ParsedLog log;
+  // Ten nodes emit the same terminal within seconds: a coordinated
+  // shutdown. Each also has a scoreable prelude so length is not the filter.
+  for (std::uint8_t n = 0; n < 10; ++n) {
+    logs::NodeId node{0, 0, 0, static_cast<std::uint8_t>(n / 4),
+                      static_cast<std::uint8_t>(n % 4)};
+    std::vector<ParsedEvent> events;
+    for (int i = 0; i < 6; ++i)
+      events.push_back({100.0 + i, f.unknown});
+    events.push_back({110.0 + n * 0.5, f.terminal});
+    log.by_node[node] = events;
+  }
+  ChainExtractor extractor;
+  const auto candidates = extractor.extract(log, labeler);
+  ASSERT_EQ(candidates.size(), 10u);
+  for (const auto& c : candidates)
+    EXPECT_FALSE(c.ends_with_terminal)
+        << "coordinated shutdown misread as failure";
+}
+
+TEST(ChainExtractor, IsolatedTerminalStillAFailure) {
+  Fixture f;
+  PhraseLabeler labeler(f.vocab);
+  ParsedLog log;
+  // One node fails alone (plus one unrelated terminal far away in time —
+  // below the node threshold).
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 6; ++i) events.push_back({100.0 + i, f.unknown});
+  events.push_back({110.0, f.terminal});
+  log.by_node[logs::NodeId{0, 0, 0, 0, 0}] = events;
+  log.by_node[logs::NodeId{0, 0, 0, 0, 1}] = {
+      {4000.0, f.unknown}, {4001.0, f.unknown}, {4002.0, f.unknown},
+      {4003.0, f.unknown}, {4004.0, f.unknown}, {4005.0, f.terminal}};
+  ChainExtractor extractor;
+  const auto candidates = extractor.extract(log, labeler);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_TRUE(candidates[0].ends_with_terminal);
+  EXPECT_TRUE(candidates[1].ends_with_terminal);
+}
+
+TEST(ChainExtractor, DeterministicOrderByNode) {
+  Fixture f;
+  PhraseLabeler labeler(f.vocab);
+  ParsedLog log;
+  std::vector<ParsedEvent> run;
+  for (int i = 0; i < 6; ++i) run.push_back({i * 1.0, f.unknown});
+  log.by_node[logs::NodeId{0, 0, 1, 0, 0}] = run;
+  log.by_node[logs::NodeId{0, 0, 0, 0, 0}] = run;
+  ChainExtractor extractor;
+  const auto candidates = extractor.extract(log, labeler);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_LT(candidates[0].node, candidates[1].node);
+}
+
+TEST(ChainExtractor, FailureChainsFilter) {
+  Fixture f;
+  CandidateSequence with_terminal;
+  with_terminal.ends_with_terminal = true;
+  CandidateSequence without;
+  without.ends_with_terminal = false;
+  const auto chains =
+      ChainExtractor::failure_chains({with_terminal, without, with_terminal});
+  EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(ChainExtractor, ConfigValidation) {
+  ExtractorConfig bad;
+  bad.gap_seconds = 0;
+  EXPECT_THROW(ChainExtractor{bad}, util::InvalidArgument);
+  bad = ExtractorConfig{};
+  bad.min_length = 1;
+  EXPECT_THROW(ChainExtractor{bad}, util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::chains

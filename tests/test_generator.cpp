@@ -1,0 +1,249 @@
+#include "logs/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "logs/template_miner.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace desh::logs {
+namespace {
+
+SyntheticLog generate_tiny(std::uint64_t seed = 42) {
+  return SyntheticCraySource(profile_tiny(seed)).generate();
+}
+
+TEST(SyntheticCraySource, TopologyMatchesCrayPackaging) {
+  SyntheticCraySource source(profile_tiny());
+  const auto& nodes = source.nodes();
+  EXPECT_EQ(nodes.size(), profile_tiny().node_count);
+  for (const NodeId& n : nodes) {
+    EXPECT_LT(n.chassis, 3);
+    EXPECT_LT(n.slot, 16);
+    EXPECT_LT(n.node, 4);
+  }
+  // All distinct.
+  auto sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(SyntheticCraySource, DeterministicForSameSeed) {
+  const SyntheticLog a = generate_tiny(7);
+  const SyntheticLog b = generate_tiny(7);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].timestamp, b.records[i].timestamp);
+    EXPECT_EQ(a.records[i].message, b.records[i].message);
+  }
+  EXPECT_EQ(a.truth.failures.size(), b.truth.failures.size());
+}
+
+TEST(SyntheticCraySource, DifferentSeedsProduceDifferentLogs) {
+  const SyntheticLog a = generate_tiny(1);
+  const SyntheticLog b = generate_tiny(2);
+  bool any_difference = a.records.size() != b.records.size();
+  for (std::size_t i = 0; !any_difference && i < a.records.size(); ++i)
+    any_difference = a.records[i].message != b.records[i].message;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticCraySource, RecordsAreTimeSortedAndInRange) {
+  const SyntheticLog log = generate_tiny();
+  ASSERT_FALSE(log.records.empty());
+  for (std::size_t i = 1; i < log.records.size(); ++i)
+    EXPECT_LE(log.records[i - 1].timestamp, log.records[i].timestamp);
+  EXPECT_LE(log.records.back().timestamp, log.truth.duration_seconds + 1.0);
+}
+
+TEST(SyntheticCraySource, FailureCountsNearProfile) {
+  const SystemProfile profile = profile_tiny();
+  const SyntheticLog log = generate_tiny();
+  // Placement can drop a few on saturation, never add.
+  EXPECT_LE(log.truth.failures.size(), profile.failure_count + 18);  // +coverage
+  EXPECT_GE(log.truth.failures.size(), profile.failure_count * 8 / 10);
+  EXPECT_LE(log.truth.lookalikes.size(), profile.lookalike_count);
+  EXPECT_GE(log.truth.lookalikes.size(), profile.lookalike_count * 7 / 10);
+  EXPECT_EQ(log.truth.maintenance.size(), profile.maintenance_windows);
+}
+
+TEST(SyntheticCraySource, EveryPatternVariantAppearsInTraining) {
+  const SyntheticLog log = generate_tiny();
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  std::map<std::pair<std::size_t, std::size_t>, int> train_counts;
+  for (const FailureEvent& f : log.truth.failures)
+    if (f.terminal_time < log.truth.split_time && !f.novel)
+      ++train_counts[{static_cast<std::size_t>(f.failure_class), f.variant}];
+  for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    for (std::size_t v = 0; v < catalog.failure_patterns(cls).size(); ++v)
+      EXPECT_GE((train_counts[{c, v}]), 1)
+          << failure_class_name(cls) << " variant " << v;
+  }
+}
+
+TEST(SyntheticCraySource, NovelFlagsOnlyInTestWindow) {
+  const SyntheticLog log = generate_tiny();
+  std::size_t test_count = 0, novel_count = 0;
+  for (const FailureEvent& f : log.truth.failures) {
+    if (f.novel) {
+      ++novel_count;
+      EXPECT_GE(f.terminal_time, log.truth.split_time);
+    }
+    if (f.terminal_time >= log.truth.split_time) ++test_count;
+  }
+  // Exact-count assignment: round(fraction * test failures).
+  const auto expected = static_cast<std::size_t>(std::round(
+      profile_tiny().novel_failure_fraction * static_cast<double>(test_count)));
+  EXPECT_EQ(novel_count, expected);
+  EXPECT_EQ(log.truth.test_failure_count(), test_count);
+}
+
+TEST(SyntheticCraySource, NoSameNodeAnomalyOverlap) {
+  const SyntheticLog log = generate_tiny();
+  struct Window {
+    double start, end;
+  };
+  std::map<NodeId, std::vector<Window>> windows;
+  for (const FailureEvent& f : log.truth.failures)
+    windows[f.node].push_back({f.start_time, f.terminal_time});
+  for (const LookalikeEvent& l : log.truth.lookalikes)
+    windows[l.node].push_back({l.start_time, l.end_time});
+  for (auto& [node, w] : windows) {
+    std::sort(w.begin(), w.end(),
+              [](const Window& a, const Window& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < w.size(); ++i)
+      EXPECT_GT(w[i].start, w[i - 1].end) << node.to_string();
+  }
+}
+
+TEST(SyntheticCraySource, ChainAnchorTimingMatchesLeadDesign) {
+  // The phrase at index 4 (the decision point after 5 observed phrases)
+  // must sit roughly the class's Table 7 lead time before the terminal.
+  SystemProfile profile = profile_tiny();
+  profile.failure_count = 120;  // more samples for a tight mean
+  const SyntheticLog log = SyntheticCraySource(profile).generate();
+
+  // Recover per-failure anchor gaps from the raw records.
+  std::array<util::RunningStats, kFailureClassCount> anchor_gap;
+  for (const FailureEvent& f : log.truth.failures) {
+    if (f.novel) continue;
+    std::vector<double> times;
+    for (const LogRecord& r : log.records) {
+      if (!(r.node == f.node)) continue;
+      if (r.timestamp < f.start_time - 0.5 ||
+          r.timestamp > f.terminal_time + 0.5)
+        continue;
+      // Only chain phrases (Error/Unknown) count; benign noise interleaves.
+      const std::string tmpl = TemplateMiner::extract(r.message);
+      const PhraseCatalog& cat = PhraseCatalog::instance();
+      if (!cat.has_template(tmpl)) continue;
+      if (cat.phrase(cat.index_of(tmpl)).label == PhraseLabel::kSafe) continue;
+      times.push_back(r.timestamp);
+    }
+    if (times.size() < 6) continue;
+    std::sort(times.begin(), times.end());
+    anchor_gap[static_cast<std::size_t>(f.failure_class)].add(times.back() -
+                                                              times[4]);
+  }
+  for (std::size_t c = 0; c < kFailureClassCount; ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    if (anchor_gap[c].count() < 8) continue;  // class too rare this seed
+    const double target = paper_lead_time_seconds(cls);
+    EXPECT_NEAR(anchor_gap[c].mean(), target, target * 0.35)
+        << failure_class_name(cls);
+  }
+}
+
+TEST(SyntheticCraySource, Table8ContributionsApproximateTargets) {
+  // Use a bigger trace for stable ratios.
+  SystemProfile profile = profile_tiny();
+  profile.failure_count = 150;
+  profile.node_count = 48;
+  profile.duration_hours = 24.0;
+  const SyntheticLog log = SyntheticCraySource(profile).generate();
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+
+  std::map<std::string, std::pair<std::size_t, std::size_t>> counts;
+  std::map<NodeId, std::vector<std::pair<double, double>>> windows;
+  for (const FailureEvent& f : log.truth.failures)
+    windows[f.node].emplace_back(f.start_time - 1.0, f.terminal_time + 1.0);
+  for (const LogRecord& r : log.records) {
+    const std::string tmpl = TemplateMiner::extract(r.message);
+    if (!catalog.has_template(tmpl)) continue;
+    const CatalogPhrase& p = catalog.phrase(catalog.index_of(tmpl));
+    if (!p.failure_contribution) continue;
+    auto& [total, in_fail] = counts[tmpl];
+    ++total;
+    for (const auto& [s, e] : windows[r.node])
+      if (r.timestamp >= s && r.timestamp <= e) {
+        ++in_fail;
+        break;
+      }
+  }
+  std::size_t checked = 0;
+  for (const auto& [tmpl, pair] : counts) {
+    const auto& [total, in_fail] = pair;
+    if (total < 25) continue;  // too rare for a ratio test
+    const double target = *catalog.phrase(catalog.index_of(tmpl))
+                               .failure_contribution;
+    const double measured = static_cast<double>(in_fail) / total;
+    EXPECT_NEAR(measured, target, 0.15) << tmpl;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6u);  // a majority of Table 8 phrases were verifiable
+}
+
+TEST(SyntheticCraySource, MaintenanceShutdownsAreCoordinated) {
+  const SyntheticLog log = generate_tiny();
+  for (const MaintenanceEvent& m : log.truth.maintenance) {
+    EXPECT_GE(m.nodes.size(), 3u);
+    // Every affected node logs "System: halted" near the window.
+    for (const NodeId& node : m.nodes) {
+      bool found = false;
+      for (const LogRecord& r : log.records) {
+        if (r.node == node && std::abs(r.timestamp - m.time) < 60.0 &&
+            TemplateMiner::extract(r.message) == "System: halted")
+          found = true;
+      }
+      EXPECT_TRUE(found) << node.to_string();
+    }
+  }
+}
+
+TEST(SyntheticCraySource, ProfilesValidated) {
+  SystemProfile bad = profile_tiny();
+  bad.node_count = 2;
+  EXPECT_THROW((SyntheticCraySource(bad)), util::InvalidArgument);
+  bad = profile_tiny();
+  bad.duration_hours = 0;
+  EXPECT_THROW((SyntheticCraySource(bad)), util::InvalidArgument);
+}
+
+TEST(SystemProfiles, PresetsMatchTable1) {
+  const auto profiles = all_system_profiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "M1");
+  EXPECT_EQ(profiles[0].machine_type, "Cray XC30");
+  EXPECT_EQ(profiles[0].paper_nodes, 5600u);
+  EXPECT_EQ(profiles[1].paper_size, "150GB");
+  EXPECT_EQ(profiles[2].paper_duration, "8 months");
+  EXPECT_EQ(profiles[3].machine_type, "Cray XC40/XC30");
+  for (const SystemProfile& p : profiles) {
+    double mix_total = 0;
+    for (double w : p.class_mix) mix_total += w;
+    EXPECT_NEAR(mix_total, 1.0, 1e-9) << p.name;
+    EXPECT_GT(p.paper.recall, 80.0);
+    EXPECT_EQ(p.train_fraction, 0.3);
+  }
+  // M2 carries the Hardware/FS-heavy mix that tops Fig 7's lead times.
+  EXPECT_GT(profiles[1].class_mix[4], profiles[0].class_mix[4]);
+  EXPECT_LT(profiles[1].class_mix[5], profiles[0].class_mix[5]);
+}
+
+}  // namespace
+}  // namespace desh::logs

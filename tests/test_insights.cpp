@@ -1,0 +1,71 @@
+#include "core/insights.hpp"
+
+#include <gtest/gtest.h>
+
+namespace desh::core {
+namespace {
+
+// Crafted corpus: phrase 1 is everywhere, phrase 2 appears mostly inside
+// failure chains, phrase 3 never appears in chains.
+struct Fixture {
+  chains::ParsedLog corpus;
+  std::vector<chains::CandidateSequence> candidates;
+  logs::PhraseVocab vocab;
+
+  Fixture() {
+    vocab.add("common chatter");       // id 1
+    vocab.add("failure-bound error");  // id 2
+    vocab.add("harmless warning");     // id 3
+
+    std::vector<chains::ParsedEvent> events;
+    for (int i = 0; i < 100; ++i) events.push_back({i * 10.0, 1u});
+    for (int i = 0; i < 10; ++i) events.push_back({2000.0 + i, 2u});
+    for (int i = 0; i < 10; ++i) events.push_back({3000.0 + i, 3u});
+    corpus.by_node[logs::NodeId{0, 0, 0, 0, 0}] = events;
+    corpus.event_count = events.size();
+
+    chains::CandidateSequence chain;
+    chain.node = logs::NodeId{0, 0, 0, 0, 0};
+    chain.ends_with_terminal = true;
+    for (int i = 0; i < 8; ++i) chain.events.push_back({2000.0 + i, 2u});
+    chain.events.push_back({2010.0, 1u});
+    candidates.push_back(chain);
+
+    chains::CandidateSequence lookalike;  // non-failure: must not count
+    lookalike.node = chain.node;
+    lookalike.ends_with_terminal = false;
+    for (int i = 0; i < 8; ++i) lookalike.events.push_back({3000.0 + i, 3u});
+    candidates.push_back(lookalike);
+  }
+};
+
+TEST(FailureIndicators, RanksChainBoundPhrasesFirst) {
+  Fixture f;
+  const auto insights = failure_indicators(f.corpus, f.candidates, f.vocab);
+  ASSERT_EQ(insights.size(), 2u);  // phrases 2 and 1 appear in chains
+  EXPECT_EQ(insights[0].phrase, 2u);
+  EXPECT_EQ(insights[0].tmpl, "failure-bound error");
+  EXPECT_GT(insights[0].lift, insights[1].lift);
+  // The ubiquitous phrase has lift ~<= 1: not a failure indicator.
+  EXPECT_LT(insights[1].lift, 1.5);
+  // Phrase 3 only appears in a non-failure candidate: absent entirely.
+  for (const PhraseInsight& i : insights) EXPECT_NE(i.phrase, 3u);
+}
+
+TEST(FailureIndicators, CountsAreExact) {
+  Fixture f;
+  const auto insights = failure_indicators(f.corpus, f.candidates, f.vocab);
+  const PhraseInsight& top = insights[0];
+  EXPECT_EQ(top.chain_count, 8u);
+  EXPECT_EQ(top.corpus_count, 10u);
+}
+
+TEST(FailureIndicators, EmptyInputsYieldEmptyRanking) {
+  Fixture f;
+  EXPECT_TRUE(failure_indicators(f.corpus, {}, f.vocab).empty());
+  chains::ParsedLog empty;
+  EXPECT_TRUE(failure_indicators(empty, f.candidates, f.vocab).empty());
+}
+
+}  // namespace
+}  // namespace desh::core

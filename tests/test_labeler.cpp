@@ -1,0 +1,65 @@
+#include "chains/labeler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace desh::chains {
+namespace {
+
+using logs::PhraseLabel;
+
+TEST(PhraseLabeler, MirrorsCatalogLabels) {
+  // Table 3 exemplars.
+  EXPECT_EQ(PhraseLabeler::label_template("Wait4Boot"), PhraseLabel::kSafe);
+  EXPECT_EQ(PhraseLabeler::label_template("Mounting NID specific"),
+            PhraseLabel::kSafe);
+  EXPECT_EQ(PhraseLabeler::label_template("LustreError *"),
+            PhraseLabel::kUnknown);
+  EXPECT_EQ(PhraseLabeler::label_template("PCIe Bus Error: severity=Corrected *"),
+            PhraseLabel::kUnknown);
+  EXPECT_EQ(PhraseLabeler::label_template("Kernel panic - not syncing *"),
+            PhraseLabel::kError);
+  EXPECT_EQ(PhraseLabeler::label_template("Debug NMI detected"),
+            PhraseLabel::kError);
+  EXPECT_EQ(PhraseLabeler::label_template("cb_node_unavailable"),
+            PhraseLabel::kError);
+}
+
+TEST(PhraseLabeler, KeywordFallbackForUncataloguedTemplates) {
+  EXPECT_EQ(PhraseLabeler::label_template("service xyz panic detected"),
+            PhraseLabel::kError);
+  EXPECT_EQ(PhraseLabeler::label_template("widget error code returned"),
+            PhraseLabel::kUnknown);
+  EXPECT_EQ(PhraseLabeler::label_template("widget checkpoint written"),
+            PhraseLabel::kSafe);
+  EXPECT_EQ(PhraseLabeler::label_template("daemon watchdog timeout on link"),
+            PhraseLabel::kUnknown);
+}
+
+TEST(PhraseLabeler, TerminalDetection) {
+  EXPECT_TRUE(PhraseLabeler::is_terminal_template("cb_node_unavailable"));
+  EXPECT_TRUE(PhraseLabeler::is_terminal_template("WARNING: Node * is down"));
+  EXPECT_TRUE(PhraseLabeler::is_terminal_template("Stop NMI detected"));
+  EXPECT_FALSE(PhraseLabeler::is_terminal_template("Debug NMI detected"));
+  EXPECT_FALSE(PhraseLabeler::is_terminal_template("LustreError *"));
+  EXPECT_FALSE(PhraseLabeler::is_terminal_template("uncatalogued message"));
+}
+
+TEST(PhraseLabeler, SnapshotCoversVocabAndDefaultsUnknown) {
+  logs::PhraseVocab vocab;
+  const auto safe_id = vocab.add("Wait4Boot");
+  const auto err_id = vocab.add("Call Trace:");
+  PhraseLabeler labeler(vocab);
+  EXPECT_EQ(labeler.vocab_size(), vocab.size());
+  EXPECT_EQ(labeler.label(safe_id), PhraseLabel::kSafe);
+  EXPECT_EQ(labeler.label(err_id), PhraseLabel::kError);
+  // The <unk> sentinel is Unknown by definition.
+  EXPECT_EQ(labeler.label(logs::PhraseVocab::kUnknownId),
+            PhraseLabel::kUnknown);
+  // Ids added after the snapshot default to Unknown and non-terminal.
+  const auto later = vocab.add("added later");
+  EXPECT_EQ(labeler.label(later), PhraseLabel::kUnknown);
+  EXPECT_FALSE(labeler.is_terminal(later));
+}
+
+}  // namespace
+}  // namespace desh::chains

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, MatchesManualComputation) {
+  tensor::Matrix logits(2, 3,
+                        std::vector<float>{1.0f, 2.0f, 3.0f, 0.0f, 0.0f, 0.0f});
+  const std::uint32_t targets[] = {2, 0};
+  const float loss = SoftmaxCrossEntropy::forward(logits, targets);
+  // Row 0: -log(softmax_2), row 1: -log(1/3).
+  const float e1 = std::exp(1.0f), e2 = std::exp(2.0f), e3 = std::exp(3.0f);
+  const float expected =
+      0.5f * (-std::log(e3 / (e1 + e2 + e3)) + std::log(3.0f));
+  EXPECT_NEAR(loss, expected, 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, ForwardBackwardConsistentWithForward) {
+  tensor::Matrix logits(2, 4);
+  logits(0, 1) = 2.0f;
+  logits(1, 3) = -1.0f;
+  const std::uint32_t targets[] = {1, 0};
+  tensor::Matrix dlogits;
+  const float fb = SoftmaxCrossEntropy::forward_backward(logits, targets, dlogits);
+  EXPECT_NEAR(fb, SoftmaxCrossEntropy::forward(logits, targets), 1e-6f);
+  // Gradient rows sum to zero (softmax minus one-hot, scaled).
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (std::size_t c = 0; c < 4; ++c) sum += dlogits(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric) {
+  tensor::Matrix logits(3, 5);
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    logits.data()[i] = 0.3f * static_cast<float>(i % 7) - 1.0f;
+  const std::uint32_t targets[] = {0, 4, 2};
+  tensor::Matrix dlogits;
+  SoftmaxCrossEntropy::forward_backward(logits, targets, dlogits);
+  auto loss_fn = [&] {
+    return static_cast<double>(SoftmaxCrossEntropy::forward(logits, targets));
+  };
+  testutil::expect_matches_numeric_gradient(logits, dlogits, loss_fn, 1e-3,
+                                            1e-3);
+}
+
+TEST(SoftmaxCrossEntropy, Validation) {
+  tensor::Matrix logits(2, 3);
+  const std::uint32_t wrong_count[] = {0};
+  EXPECT_THROW(SoftmaxCrossEntropy::forward(logits, wrong_count),
+               util::InvalidArgument);
+  const std::uint32_t out_of_range[] = {0, 3};
+  EXPECT_THROW(SoftmaxCrossEntropy::forward(logits, out_of_range),
+               util::InvalidArgument);
+}
+
+TEST(MeanSquaredError, ValueAndGradient) {
+  tensor::Matrix pred(1, 2, std::vector<float>{3.0f, 1.0f});
+  tensor::Matrix target(1, 2, std::vector<float>{1.0f, 1.0f});
+  tensor::Matrix dpred;
+  const float loss = MeanSquaredError::forward_backward(pred, target, dpred);
+  EXPECT_NEAR(loss, 2.0f, 1e-6f);  // ((3-1)^2 + 0)/2
+  EXPECT_NEAR(dpred(0, 0), 2.0f, 1e-6f);  // 2*(3-1)/2
+  EXPECT_NEAR(dpred(0, 1), 0.0f, 1e-6f);
+  EXPECT_THROW(MeanSquaredError::forward(pred, tensor::Matrix(2, 2)),
+               util::InvalidArgument);
+}
+
+Parameter make_param(std::vector<float> value, std::vector<float> grad) {
+  const std::size_t value_size = value.size();
+  const std::size_t grad_size = grad.size();
+  Parameter p("p", tensor::Matrix(1, value_size, std::move(value)));
+  p.grad = tensor::Matrix(1, grad_size, std::move(grad));
+  return p;
+}
+
+TEST(Sgd, PlainStepSubtractsScaledGradient) {
+  Parameter p = make_param({1.0f, 2.0f}, {0.5f, -1.0f});
+  Sgd opt(0.1f);
+  opt.step({&p});
+  EXPECT_NEAR(p.value(0, 0), 0.95f, 1e-6f);
+  EXPECT_NEAR(p.value(0, 1), 2.1f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Parameter p = make_param({0.0f}, {1.0f});
+  Sgd opt(0.1f, 0.9f);
+  opt.step({&p});
+  EXPECT_NEAR(p.value(0, 0), -0.1f, 1e-6f);
+  // Same gradient again: velocity = 0.9*(-0.1) - 0.1 = -0.19.
+  opt.step({&p});
+  EXPECT_NEAR(p.value(0, 0), -0.29f, 1e-6f);
+}
+
+TEST(Sgd, ValidatesHyperparameters) {
+  EXPECT_THROW(Sgd(0.0f), util::InvalidArgument);
+  EXPECT_THROW(Sgd(0.1f, 1.0f), util::InvalidArgument);
+}
+
+TEST(RmsProp, FirstStepIsScaledSign) {
+  Parameter p = make_param({0.0f}, {2.0f});
+  RmsProp opt(0.01f, 0.9f, 1e-8f);
+  opt.step({&p});
+  // ms = 0.1*g^2 -> update ~ lr * g / (sqrt(0.1)*|g|) = lr/sqrt(0.1).
+  EXPECT_NEAR(p.value(0, 0), -0.01f / std::sqrt(0.1f), 1e-4f);
+}
+
+TEST(RmsProp, AdaptsToGradientScale) {
+  // Two parameters with very different gradient magnitudes receive similar
+  // effective step sizes — the defining property of RMSprop.
+  Parameter small = make_param({0.0f}, {0.01f});
+  Parameter large = make_param({0.0f}, {100.0f});
+  RmsProp opt(0.01f);
+  for (int i = 0; i < 50; ++i) {
+    small.grad(0, 0) = 0.01f;
+    large.grad(0, 0) = 100.0f;
+    opt.step({&small, &large});
+  }
+  EXPECT_NEAR(small.value(0, 0) / large.value(0, 0), 1.0, 0.05);
+}
+
+TEST(RmsProp, ValidatesHyperparameters) {
+  EXPECT_THROW(RmsProp(0.0f), util::InvalidArgument);
+  EXPECT_THROW(RmsProp(0.1f, 1.5f), util::InvalidArgument);
+  EXPECT_THROW(RmsProp(0.1f, 0.9f, 0.0f), util::InvalidArgument);
+}
+
+TEST(ClipGlobalNorm, RescalesOnlyWhenAboveLimit) {
+  Parameter a = make_param({0.0f, 0.0f}, {3.0f, 0.0f});
+  Parameter b = make_param({0.0f}, {4.0f});
+  // Global norm is 5; clip to 2.5 -> all gradients halve.
+  const float norm = clip_global_norm({&a, &b}, 2.5f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(a.grad(0, 0), 1.5f, 1e-5f);
+  EXPECT_NEAR(b.grad(0, 0), 2.0f, 1e-5f);
+  // Below the limit: untouched.
+  const float norm2 = clip_global_norm({&a, &b}, 100.0f);
+  EXPECT_NEAR(norm2, 2.5f, 1e-5f);
+  EXPECT_NEAR(a.grad(0, 0), 1.5f, 1e-5f);
+}
+
+TEST(Parameter, ZeroGradsClearsAll) {
+  Parameter a = make_param({1.0f}, {5.0f});
+  Parameter b = make_param({1.0f, 2.0f}, {5.0f, 6.0f});
+  zero_grads({&a, &b});
+  EXPECT_EQ(a.grad(0, 0), 0.0f);
+  EXPECT_EQ(b.grad(0, 1), 0.0f);
+  EXPECT_EQ(parameter_count({&a, &b}), 3u);
+}
+
+}  // namespace
+}  // namespace desh::nn

@@ -1,0 +1,184 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+namespace {
+
+std::vector<tensor::Matrix> random_sequence(std::size_t T, std::size_t B,
+                                            std::size_t I, util::Rng& rng) {
+  std::vector<tensor::Matrix> seq(T);
+  for (auto& m : seq) {
+    m.resize(B, I);
+    for (float& x : m.flat()) x = static_cast<float>(rng.uniform(-1, 1));
+  }
+  return seq;
+}
+
+TEST(LstmLayer, ForwardShapesAndBoundedOutputs) {
+  util::Rng rng(1);
+  LstmLayer layer(3, 5, rng);
+  auto inputs = random_sequence(4, 2, 3, rng);
+  LstmLayer::Cache cache;
+  std::vector<tensor::Matrix> outputs;
+  layer.forward(inputs, cache, outputs);
+  ASSERT_EQ(outputs.size(), 4u);
+  for (const auto& h : outputs) {
+    EXPECT_EQ(h.rows(), 2u);
+    EXPECT_EQ(h.cols(), 5u);
+    for (float x : h.flat()) EXPECT_LE(std::abs(x), 1.0f);  // |o*tanh(c)| <= 1
+  }
+}
+
+TEST(LstmLayer, StepInferenceMatchesSequenceForward) {
+  util::Rng rng(2);
+  LstmLayer layer(3, 4, rng);
+  auto inputs = random_sequence(5, 1, 3, rng);
+  LstmLayer::Cache cache;
+  std::vector<tensor::Matrix> outputs;
+  layer.forward(inputs, cache, outputs);
+
+  tensor::Matrix h(1, 4), c(1, 4);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    layer.step_inference(inputs[t], h, c);
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(h(0, j), outputs[t](0, j), 1e-5f) << "t=" << t;
+  }
+}
+
+TEST(LstmLayer, RejectsEmptyAndRaggedSequences) {
+  util::Rng rng(3);
+  LstmLayer layer(3, 4, rng);
+  LstmLayer::Cache cache;
+  std::vector<tensor::Matrix> outputs;
+  std::vector<tensor::Matrix> empty;
+  EXPECT_THROW(layer.forward(empty, cache, outputs), util::InvalidArgument);
+  std::vector<tensor::Matrix> ragged = {tensor::Matrix(2, 3),
+                                        tensor::Matrix(2, 4)};
+  EXPECT_THROW(layer.forward(ragged, cache, outputs), util::InvalidArgument);
+}
+
+// Gradcheck sweep over (T, B, I, H) shapes: all weight gradients and input
+// gradients must match finite differences of a sum-of-MSE loss on outputs.
+class LstmGradcheck
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(LstmGradcheck, BackwardMatchesNumericGradients) {
+  const auto [T, B, I, H] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(T * 1000 + B * 100 + I * 10 + H));
+  LstmLayer layer(I, H, rng);
+  auto inputs =
+      random_sequence(static_cast<std::size_t>(T), static_cast<std::size_t>(B),
+                      static_cast<std::size_t>(I), rng);
+  std::vector<tensor::Matrix> targets =
+      random_sequence(static_cast<std::size_t>(T), static_cast<std::size_t>(B),
+                      static_cast<std::size_t>(H), rng);
+
+  auto loss_fn = [&] {
+    LstmLayer::Cache cache;
+    std::vector<tensor::Matrix> outputs;
+    layer.forward(inputs, cache, outputs);
+    double loss = 0;
+    for (std::size_t t = 0; t < outputs.size(); ++t)
+      loss += MeanSquaredError::forward(outputs[t], targets[t]);
+    return loss;
+  };
+
+  LstmLayer::Cache cache;
+  std::vector<tensor::Matrix> outputs, douts(static_cast<std::size_t>(T)),
+      dinputs;
+  layer.forward(inputs, cache, outputs);
+  for (std::size_t t = 0; t < outputs.size(); ++t)
+    MeanSquaredError::forward_backward(outputs[t], targets[t], douts[t]);
+  zero_grads(layer.parameters());
+  layer.backward(cache, douts, dinputs);
+
+  for (Parameter* p : layer.parameters())
+    testutil::expect_matches_numeric_gradient(p->value, p->grad, loss_fn);
+  for (std::size_t t = 0; t < inputs.size(); ++t)
+    testutil::expect_matches_numeric_gradient(inputs[t], dinputs[t], loss_fn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LstmGradcheck,
+    ::testing::Values(std::make_tuple(1, 1, 2, 3), std::make_tuple(3, 2, 2, 4),
+                      std::make_tuple(5, 1, 3, 2),
+                      std::make_tuple(2, 3, 4, 5)));
+
+TEST(LstmStack, ForwardUsesAllLayers) {
+  util::Rng rng(4);
+  LstmStack stack(3, 4, 2, rng);
+  EXPECT_EQ(stack.num_layers(), 2u);
+  auto inputs = random_sequence(3, 2, 3, rng);
+  LstmStack::Cache cache;
+  std::vector<tensor::Matrix> outputs;
+  stack.forward(inputs, cache, outputs);
+  ASSERT_EQ(outputs.size(), 3u);
+  EXPECT_EQ(outputs[0].cols(), 4u);
+  ASSERT_EQ(cache.layers.size(), 2u);
+  // Layer 1's inputs are layer 0's hidden states, not the raw inputs.
+  EXPECT_EQ(cache.layers[1].inputs[0].cols(), 4u);
+}
+
+TEST(LstmStack, StepInferenceMatchesForward) {
+  util::Rng rng(5);
+  LstmStack stack(2, 3, 2, rng);
+  auto inputs = random_sequence(4, 1, 2, rng);
+  LstmStack::Cache cache;
+  std::vector<tensor::Matrix> outputs;
+  stack.forward(inputs, cache, outputs);
+
+  std::vector<tensor::Matrix> hs, cs;
+  stack.make_state(hs, cs, 1);
+  tensor::Matrix top;
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    stack.step_inference(inputs[t], hs, cs, top);
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(top(0, j), outputs[t](0, j), 1e-5f);
+  }
+}
+
+TEST(LstmStack, GradcheckTwoLayers) {
+  util::Rng rng(6);
+  LstmStack stack(2, 3, 2, rng);
+  auto inputs = random_sequence(3, 2, 2, rng);
+  auto targets = random_sequence(3, 2, 3, rng);
+
+  auto loss_fn = [&] {
+    LstmStack::Cache cache;
+    std::vector<tensor::Matrix> outputs;
+    stack.forward(inputs, cache, outputs);
+    double loss = 0;
+    for (std::size_t t = 0; t < outputs.size(); ++t)
+      loss += MeanSquaredError::forward(outputs[t], targets[t]);
+    return loss;
+  };
+
+  LstmStack::Cache cache;
+  std::vector<tensor::Matrix> outputs, douts(3), dinputs;
+  stack.forward(inputs, cache, outputs);
+  for (std::size_t t = 0; t < 3; ++t)
+    MeanSquaredError::forward_backward(outputs[t], targets[t], douts[t]);
+  zero_grads(stack.parameters());
+  stack.backward(cache, douts, dinputs);
+
+  for (Parameter* p : stack.parameters())
+    testutil::expect_matches_numeric_gradient(p->value, p->grad, loss_fn);
+  for (std::size_t t = 0; t < inputs.size(); ++t)
+    testutil::expect_matches_numeric_gradient(inputs[t], dinputs[t], loss_fn);
+}
+
+TEST(LstmStack, RequiresAtLeastOneLayer) {
+  util::Rng rng(7);
+  EXPECT_THROW(LstmStack(2, 3, 0, rng), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::nn

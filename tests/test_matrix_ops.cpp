@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::tensor {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (float& x : m.flat()) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return m;
+}
+
+// Naive reference GEMM.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0;
+      for (std::size_t l = 0; l < a.cols(); ++l) acc += a(i, l) * b(l, j);
+      out(i, j) = acc;
+    }
+  return out;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = -4.0f;
+  EXPECT_EQ(m.at(0, 1), -4.0f);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), util::InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), util::InvalidArgument);
+}
+
+TEST(Matrix, DataVectorCtorValidatesSize) {
+  EXPECT_THROW(Matrix(2, 2, std::vector<float>{1, 2, 3}),
+               util::InvalidArgument);
+  Matrix m(1, 3, std::vector<float>{1, 2, 3});
+  EXPECT_EQ(m(0, 2), 3.0f);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(1, 3, std::vector<float>{1, 2, 3});
+  Matrix b(1, 3, std::vector<float>{10, 20, 30});
+  a += b;
+  EXPECT_EQ(a(0, 1), 22.0f);
+  a -= b;
+  EXPECT_EQ(a(0, 1), 2.0f);
+  a *= 3.0f;
+  EXPECT_EQ(a(0, 2), 9.0f);
+  Matrix wrong(2, 2);
+  EXPECT_THROW(a += wrong, util::InvalidArgument);
+}
+
+TEST(Matrix, XavierStaysWithinLimit) {
+  util::Rng rng(1);
+  Matrix m = Matrix::xavier(10, 30, rng);
+  const float limit = std::sqrt(6.0f / 40.0f);
+  for (float x : m.flat()) {
+    EXPECT_LE(std::abs(x), limit);
+  }
+  // Non-degenerate: not all values identical.
+  EXPECT_NE(m(0, 0), m(5, 7));
+}
+
+TEST(Matrix, RowSpanViewsStorage) {
+  Matrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 4.0f);
+  row[0] = 42.0f;
+  EXPECT_EQ(m(1, 0), 42.0f);
+  EXPECT_THROW(m.row(2), util::InvalidArgument);
+}
+
+// Property sweep: matmul variants agree with the naive reference over shapes.
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 73 + k * 7 + n));
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix expected = naive_matmul(a, b);
+
+  Matrix out;
+  matmul(a, b, out);
+  ASSERT_EQ(out.rows(), static_cast<std::size_t>(m));
+  ASSERT_EQ(out.cols(), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out.data()[i], expected.data()[i], 1e-4f);
+
+  // A^T B via explicitly transposed input.
+  Matrix at(k, m);
+  for (int i = 0; i < m; ++i)
+    for (int l = 0; l < k; ++l) at(l, i) = a(i, l);
+  Matrix out2;
+  matmul_at_b(at, b, out2);
+  for (std::size_t i = 0; i < out2.size(); ++i)
+    EXPECT_NEAR(out2.data()[i], expected.data()[i], 1e-4f);
+
+  // A B^T via explicitly transposed input.
+  Matrix bt(n, k);
+  for (int l = 0; l < k; ++l)
+    for (int j = 0; j < n; ++j) bt(j, l) = b(l, j);
+  Matrix out3;
+  matmul_a_bt(a, bt, out3);
+  for (std::size_t i = 0; i < out3.size(); ++i)
+    EXPECT_NEAR(out3.data()[i], expected.data()[i], 1e-4f);
+
+  // Accumulating variant adds on top.
+  Matrix acc = expected;
+  matmul_acc(a, b, acc);
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    EXPECT_NEAR(acc.data()[i], 2.0f * expected.data()[i], 2e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 33, 9), std::make_tuple(40, 17, 1)));
+
+TEST(Ops, MatmulShapeValidation) {
+  Matrix a(2, 3), b(4, 2), out;
+  EXPECT_THROW(matmul(a, b, out), util::InvalidArgument);
+  Matrix acc_out(3, 2);
+  EXPECT_THROW(matmul_acc(a, Matrix(3, 2), acc_out), util::InvalidArgument);
+}
+
+TEST(Ops, AxpyAccumulates) {
+  Matrix x(1, 3, std::vector<float>{1, 2, 3});
+  Matrix y(1, 3, std::vector<float>{10, 10, 10});
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y(0, 0), 12.0f);
+  EXPECT_EQ(y(0, 2), 16.0f);
+}
+
+TEST(Ops, AddRowBias) {
+  Matrix m(2, 2, std::vector<float>{1, 2, 3, 4});
+  Matrix bias(1, 2, std::vector<float>{10, 20});
+  add_row_bias(m, bias);
+  EXPECT_EQ(m(0, 0), 11.0f);
+  EXPECT_EQ(m(1, 1), 24.0f);
+  Matrix bad(2, 2);
+  EXPECT_THROW(add_row_bias(m, bad), util::InvalidArgument);
+}
+
+TEST(Ops, SigmoidAndTanh) {
+  Matrix in(1, 3, std::vector<float>{0.0f, 100.0f, -100.0f});
+  Matrix out;
+  sigmoid(in, out);
+  EXPECT_NEAR(out(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(out(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(out(0, 2), 0.0f, 1e-6f);
+  tanh_act(in, out);
+  EXPECT_NEAR(out(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(out(0, 1), 1.0f, 1e-6f);
+  EXPECT_EQ(sigmoid_grad_from_value(0.5f), 0.25f);
+  EXPECT_EQ(tanh_grad_from_value(0.0f), 1.0f);
+}
+
+class SoftmaxWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxWidths, RowsSumToOneAndOrderPreserved) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Matrix in = random_matrix(3, GetParam(), rng);
+  Matrix out;
+  softmax_rows(in, out);
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    float sum = 0;
+    for (std::size_t c = 0; c < in.cols(); ++c) {
+      EXPECT_GT(out(r, c), 0.0f);
+      sum += out(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    EXPECT_EQ(argmax(in.row(r)), argmax(out.row(r)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxWidths,
+                         ::testing::Values(1, 2, 5, 37, 128));
+
+TEST(Ops, SoftmaxIsShiftInvariantAndStable) {
+  Matrix a(1, 3, std::vector<float>{1000.0f, 1001.0f, 1002.0f});
+  Matrix out;
+  softmax_rows(a, out);
+  float sum = 0;
+  for (std::size_t c = 0; c < 3; ++c) sum += out(0, c);
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  EXPECT_GT(out(0, 2), out(0, 1));
+}
+
+TEST(Ops, LogSumExp) {
+  const std::vector<float> row = {std::log(1.0f), std::log(2.0f),
+                                  std::log(3.0f)};
+  EXPECT_NEAR(logsumexp(row), std::log(6.0f), 1e-5f);
+  const std::vector<float> big = {1000.0f, 1000.0f};
+  EXPECT_NEAR(logsumexp(big), 1000.0f + std::log(2.0f), 1e-3f);
+}
+
+TEST(Ops, ArgmaxAndTopk) {
+  const std::vector<float> row = {0.1f, 0.9f, 0.5f, 0.7f};
+  EXPECT_EQ(argmax(row), 1u);
+  const auto top = topk(row, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+  EXPECT_THROW(topk(row, 0), util::InvalidArgument);
+  EXPECT_THROW(topk(row, 5), util::InvalidArgument);
+}
+
+TEST(Ops, ClipAndNorm) {
+  Matrix m(1, 4, std::vector<float>{-10, -1, 1, 10});
+  clip_inplace(m, 2.0f);
+  EXPECT_EQ(m(0, 0), -2.0f);
+  EXPECT_EQ(m(0, 3), 2.0f);
+  Matrix v(1, 2, std::vector<float>{3, 4});
+  EXPECT_NEAR(l2_norm(v), 5.0f, 1e-6f);
+}
+
+TEST(Ops, Dot) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {4, 5, 6};
+  EXPECT_EQ(dot(std::span<const float>(a), std::span<const float>(b)), 32.0f);
+}
+
+}  // namespace
+}  // namespace desh::tensor

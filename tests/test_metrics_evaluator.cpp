@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/metrics.hpp"
+#include "util/error.hpp"
+
+namespace desh::core {
+namespace {
+
+TEST(Metrics, Table6FormulasOnKnownCounts) {
+  // TP=40, FP=2, FN=7, TN=6 — the M1-style working example from DESIGN.md.
+  const ConfusionCounts c{40, 2, 7, 6};
+  const Metrics m = Metrics::from_counts(c);
+  EXPECT_NEAR(m.recall, 40.0 / 47.0, 1e-12);
+  EXPECT_NEAR(m.precision, 40.0 / 42.0, 1e-12);
+  EXPECT_NEAR(m.accuracy, 46.0 / 55.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2 * m.recall * m.precision / (m.recall + m.precision),
+              1e-12);
+  EXPECT_NEAR(m.fp_rate, 2.0 / 8.0, 1e-12);
+  EXPECT_NEAR(m.fn_rate, 1.0 - m.recall, 1e-12);
+}
+
+TEST(Metrics, EmptyDenominatorsYieldZero) {
+  const Metrics m = Metrics::from_counts(ConfusionCounts{});
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.accuracy, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+  EXPECT_EQ(m.fp_rate, 0.0);
+  EXPECT_EQ(m.fn_rate, 0.0);
+}
+
+TEST(Metrics, PerfectAndWorstCases) {
+  const Metrics perfect = Metrics::from_counts(ConfusionCounts{10, 0, 0, 10});
+  EXPECT_EQ(perfect.recall, 1.0);
+  EXPECT_EQ(perfect.precision, 1.0);
+  EXPECT_EQ(perfect.f1, 1.0);
+  EXPECT_EQ(perfect.fp_rate, 0.0);
+  const Metrics worst = Metrics::from_counts(ConfusionCounts{0, 10, 10, 0});
+  EXPECT_EQ(worst.recall, 0.0);
+  EXPECT_EQ(worst.accuracy, 0.0);
+  EXPECT_EQ(worst.fp_rate, 1.0);
+}
+
+// --- Evaluator with crafted candidates/predictions/truth -----------------
+
+chains::CandidateSequence make_candidate(logs::NodeId node, double end_time,
+                                         bool terminal) {
+  chains::CandidateSequence c;
+  c.node = node;
+  for (int i = 5; i >= 0; --i)
+    c.events.push_back(chains::ParsedEvent{end_time - i * 10.0, 1u});
+  c.ends_with_terminal = terminal;
+  return c;
+}
+
+FailurePrediction make_prediction(logs::NodeId node, bool flagged,
+                                  double lead) {
+  FailurePrediction p;
+  p.node = node;
+  p.flagged = flagged;
+  p.lead_seconds = lead;
+  p.predicted_lead_seconds = lead * 1.1;
+  return p;
+}
+
+TEST(Evaluator, CountsAllFourOutcomes) {
+  const logs::NodeId n1{0, 0, 0, 0, 0}, n2{0, 0, 0, 0, 1}, n3{0, 0, 0, 0, 2},
+      n4{0, 0, 0, 0, 3}, n5{0, 0, 0, 1, 0};
+  logs::GroundTruth truth;
+  truth.split_time = 1000.0;
+  truth.duration_seconds = 10000.0;
+  // Three test failures: one flagged (TP), one unflagged (FN), one whose
+  // chain never surfaced (FN via unmatched truth).
+  truth.failures.push_back(
+      {n1, 2000.0, 1900.0, logs::FailureClass::kMce, false, 0});
+  truth.failures.push_back(
+      {n2, 3000.0, 2900.0, logs::FailureClass::kPanic, false, 0});
+  truth.failures.push_back(
+      {n5, 4000.0, 3900.0, logs::FailureClass::kJob, true, 0});
+  // One training-window failure: ignored entirely.
+  truth.failures.push_back(
+      {n3, 500.0, 400.0, logs::FailureClass::kMce, false, 0});
+
+  std::vector<chains::CandidateSequence> candidates = {
+      make_candidate(n1, 2000.0, true),   // matches failure 1
+      make_candidate(n2, 3000.0, true),   // matches failure 2
+      make_candidate(n3, 5000.0, false),  // lookalike, flagged -> FP
+      make_candidate(n4, 6000.0, false),  // lookalike, unflagged -> TN
+      make_candidate(n4, 800.0, false),   // training window, ignored
+  };
+  std::vector<FailurePrediction> predictions = {
+      make_prediction(n1, true, 120.0), make_prediction(n2, false, 0.0),
+      make_prediction(n3, true, 60.0),  make_prediction(n4, false, 0.0),
+      make_prediction(n4, true, 10.0),
+  };
+
+  const SystemEvaluation eval =
+      Evaluator::evaluate(candidates, predictions, truth);
+  EXPECT_EQ(eval.counts.tp, 1u);
+  EXPECT_EQ(eval.counts.fn, 2u);  // unflagged match + never-extracted novel
+  EXPECT_EQ(eval.counts.fp, 1u);
+  EXPECT_EQ(eval.counts.tn, 1u);
+  EXPECT_EQ(eval.test_failures, 3u);
+  EXPECT_EQ(eval.novel_failures, 1u);
+  // Lead time of the single TP, classed as MCE.
+  EXPECT_EQ(eval.lead_times.count(), 1u);
+  EXPECT_DOUBLE_EQ(eval.lead_times.mean(), 120.0);
+  EXPECT_EQ(
+      eval.lead_by_class[static_cast<std::size_t>(logs::FailureClass::kMce)]
+          .count(),
+      1u);
+  EXPECT_EQ(
+      eval.lead_by_class[static_cast<std::size_t>(logs::FailureClass::kPanic)]
+          .count(),
+      0u);
+  EXPECT_DOUBLE_EQ(eval.predicted_lead_times.mean(), 132.0);
+}
+
+TEST(Evaluator, MatchingRespectsTimeTolerance) {
+  const logs::NodeId n{0, 0, 0, 0, 0};
+  logs::GroundTruth truth;
+  truth.split_time = 0.0;
+  truth.failures.push_back({n, 1000.0, 900.0, logs::FailureClass::kMce, false, 0});
+  // Candidate ends 30 s away from the terminal: no match -> candidate is FP,
+  // the failure itself is an unextracted FN.
+  std::vector<chains::CandidateSequence> candidates = {
+      make_candidate(n, 1030.0, false)};
+  std::vector<FailurePrediction> predictions = {make_prediction(n, true, 50.0)};
+  const SystemEvaluation eval =
+      Evaluator::evaluate(candidates, predictions, truth);
+  EXPECT_EQ(eval.counts.tp, 0u);
+  EXPECT_EQ(eval.counts.fp, 1u);
+  EXPECT_EQ(eval.counts.fn, 1u);
+}
+
+TEST(Evaluator, SizeMismatchThrows) {
+  logs::GroundTruth truth;
+  std::vector<chains::CandidateSequence> candidates(2);
+  std::vector<FailurePrediction> predictions(1);
+  EXPECT_THROW(Evaluator::evaluate(candidates, predictions, truth),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::core

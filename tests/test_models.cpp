@@ -1,0 +1,208 @@
+// Learning-behaviour tests for the two sequence models: both must be able to
+// memorize small deterministic corpora (the property phase 1/2 training
+// relies on) and expose sane inference APIs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/chain_model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/phrase_model.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::nn {
+namespace {
+
+PhraseModelConfig small_phrase_config() {
+  PhraseModelConfig c;
+  c.vocab_size = 8;
+  c.embed_dim = 8;
+  c.hidden_size = 16;
+  c.num_layers = 2;
+  return c;
+}
+
+TEST(PhraseModel, LearnsDeterministicCycle) {
+  util::Rng rng(1);
+  PhraseModel model(small_phrase_config(), rng);
+  // Deterministic cycle 0 1 2 3 4 5 6 7 0 1 ...
+  std::vector<std::vector<std::uint32_t>> windows;
+  for (std::uint32_t start = 0; start < 8; ++start) {
+    std::vector<std::uint32_t> w(6);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = (start + static_cast<std::uint32_t>(i)) % 8;
+    windows.push_back(w);
+  }
+  Sgd opt(0.5f, 0.9f);
+  float loss = 0;
+  for (int epoch = 0; epoch < 150; ++epoch)
+    loss = model.train_batch(windows, /*steps=*/1, opt);
+  EXPECT_LT(loss, 0.1f);
+  EXPECT_GT(model.evaluate_top1(windows, 5), 0.99);
+}
+
+TEST(PhraseModel, MultiStepPredictionFollowsCycle) {
+  util::Rng rng(2);
+  PhraseModel model(small_phrase_config(), rng);
+  std::vector<std::vector<std::uint32_t>> windows;
+  for (std::uint32_t start = 0; start < 8; ++start) {
+    std::vector<std::uint32_t> w(8);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = (start + static_cast<std::uint32_t>(i)) % 8;
+    windows.push_back(w);
+  }
+  Sgd opt(0.5f, 0.9f);
+  for (int epoch = 0; epoch < 200; ++epoch)
+    model.train_batch(windows, /*steps=*/3, opt);
+
+  const std::uint32_t prefix[] = {0, 1, 2, 3};
+  const auto next = model.predict_steps(prefix, 3);
+  ASSERT_EQ(next.size(), 3u);
+  EXPECT_EQ(next[0], 4u);
+  EXPECT_EQ(next[1], 5u);
+  EXPECT_EQ(next[2], 6u);
+}
+
+TEST(PhraseModel, DistributionSumsToOne) {
+  util::Rng rng(3);
+  PhraseModel model(small_phrase_config(), rng);
+  const std::uint32_t prefix[] = {1, 2};
+  const auto probs = model.predict_distribution(prefix);
+  ASSERT_EQ(probs.size(), 8u);
+  float sum = 0;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST(PhraseModel, TopgContainsArgmax) {
+  util::Rng rng(4);
+  PhraseModel model(small_phrase_config(), rng);
+  std::vector<std::vector<std::uint32_t>> windows = {{0, 1, 2, 3}};
+  // Top-8 of an 8-vocab always contains the actual token.
+  EXPECT_EQ(model.evaluate_topg(windows, 3, 8), 1.0);
+}
+
+TEST(PhraseModel, ValidatesInputs) {
+  util::Rng rng(5);
+  PhraseModel model(small_phrase_config(), rng);
+  Sgd opt(0.1f);
+  std::vector<std::vector<std::uint32_t>> empty;
+  EXPECT_THROW(model.train_batch(empty, 1, opt), util::InvalidArgument);
+  std::vector<std::vector<std::uint32_t>> ragged = {{0, 1, 2}, {0, 1}};
+  EXPECT_THROW(model.train_batch(ragged, 1, opt), util::InvalidArgument);
+  std::vector<std::vector<std::uint32_t>> too_short = {{0}};
+  EXPECT_THROW(model.train_batch(too_short, 1, opt), util::InvalidArgument);
+}
+
+TEST(PhraseModel, ParametersSaveLoadRoundTrip) {
+  util::Rng rng(6);
+  PhraseModel a(small_phrase_config(), rng);
+  PhraseModel b(small_phrase_config(), rng);  // different init
+  const std::string path = ::testing::TempDir() + "/desh_phrase_model.bin";
+  save_parameters(a.parameters(), path);
+  load_parameters(b.parameters(), path);
+  const std::uint32_t prefix[] = {0, 1, 2};
+  const auto pa = a.predict_distribution(prefix);
+  const auto pb = b.predict_distribution(prefix);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+  std::remove(path.c_str());
+}
+
+ChainModelConfig small_chain_config() {
+  ChainModelConfig c;
+  c.vocab_size = 10;
+  c.embed_dim = 8;
+  c.hidden_size = 16;
+  c.num_layers = 2;
+  c.history = 3;
+  return c;
+}
+
+ChainSequence make_chain(std::initializer_list<std::uint32_t> phrases,
+                         double total_seconds) {
+  ChainSequence seq;
+  std::size_t n = phrases.size();
+  std::size_t i = 0;
+  for (std::uint32_t p : phrases) {
+    const double dt =
+        total_seconds * static_cast<double>(n - 1 - i) / static_cast<double>(n - 1);
+    seq.push_back(ChainStep{ChainModel::normalize_dt(dt), p});
+    ++i;
+  }
+  return seq;
+}
+
+TEST(ChainModel, NormalizeDenormalizeRoundTrip) {
+  for (double s : {0.0, 30.0, 120.0, 599.0, 1200.0}) {
+    EXPECT_NEAR(ChainModel::denormalize_dt(ChainModel::normalize_dt(s)), s,
+                1e-3);
+  }
+  // Negative predictions clamp to zero seconds.
+  EXPECT_EQ(ChainModel::denormalize_dt(-0.5f), 0.0);
+}
+
+TEST(ChainModel, LearnsChainAndScoresItLow) {
+  util::Rng rng(7);
+  ChainModel model(small_chain_config(), rng);
+  const ChainSequence chain = make_chain({1, 2, 3, 4, 5, 6}, 120.0);
+
+  // Train on all prefix windows of the chain (mirrors Phase2Trainer).
+  RmsProp opt(0.01f);
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    for (std::size_t t = 1; t < chain.size(); ++t) {
+      const std::size_t ctx = std::min<std::size_t>(t, 3);
+      ChainSequence window(chain.begin() + static_cast<std::ptrdiff_t>(t - ctx),
+                           chain.begin() + static_cast<std::ptrdiff_t>(t + 1));
+      std::vector<ChainSequence> batch = {window};
+      model.train_batch(batch, opt);
+    }
+  }
+
+  const auto scores = model.score_sequence(chain, 2);
+  ASSERT_FALSE(scores.empty());
+  for (const auto& s : scores) {
+    EXPECT_EQ(s.predicted_phrase, chain[s.position].phrase)
+        << "position " << s.position;
+    EXPECT_LT(s.score, 0.3f);
+  }
+  EXPECT_LT(model.sequence_mse(chain), 0.3f);
+
+  // A shuffled impostor with the same phrases scores clearly higher.
+  const ChainSequence impostor = make_chain({6, 3, 1, 5, 2, 4}, 120.0);
+  EXPECT_GT(model.sequence_mse(impostor), 0.5f);
+}
+
+TEST(ChainModel, ScoreSequenceRespectsMinPos) {
+  util::Rng rng(8);
+  ChainModel model(small_chain_config(), rng);
+  const ChainSequence chain = make_chain({1, 2, 3, 4, 5}, 60.0);
+  const auto s2 = model.score_sequence(chain, 2);
+  ASSERT_EQ(s2.size(), 3u);
+  EXPECT_EQ(s2.front().position, 2u);
+  EXPECT_EQ(s2.back().position, 4u);
+  const auto s4 = model.score_sequence(chain, 4);
+  ASSERT_EQ(s4.size(), 1u);
+  // Too-short sequences yield no scores and an infinite mse.
+  const ChainSequence tiny = make_chain({1, 2}, 10.0);
+  EXPECT_TRUE(model.score_sequence(tiny, 3).empty());
+  EXPECT_TRUE(std::isinf(model.sequence_mse(tiny)));
+}
+
+TEST(ChainModel, TrainBatchValidation) {
+  util::Rng rng(9);
+  ChainModel model(small_chain_config(), rng);
+  RmsProp opt(0.01f);
+  std::vector<ChainSequence> empty;
+  EXPECT_THROW(model.train_batch(empty, opt), util::InvalidArgument);
+  std::vector<ChainSequence> short_window = {make_chain({1}, 0.0)};
+  // A single-step window has no target.
+  EXPECT_THROW(model.train_batch(short_window, opt), util::InvalidArgument);
+  std::vector<ChainSequence> ragged = {make_chain({1, 2, 3}, 10.0),
+                                       make_chain({1, 2}, 10.0)};
+  EXPECT_THROW(model.train_batch(ragged, opt), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::nn

@@ -1,0 +1,84 @@
+#include "logs/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace desh::logs {
+namespace {
+
+TEST(NodeId, FormatsCanonicalCrayForm) {
+  const NodeId id{1, 0, 1, 1, 0};
+  EXPECT_EQ(id.to_string(), "c1-0c1s1n0");  // Table 2 row 1
+  const NodeId id2{4, 0, 0, 0, 2};
+  EXPECT_EQ(id2.to_string(), "c4-0c0s0n2");  // Table 2 row 2
+}
+
+TEST(NodeId, ParseAcceptsCanonicalForm) {
+  const NodeId id = NodeId::parse("c2-0c0s15n2");
+  EXPECT_EQ(id.cabinet_x, 2);
+  EXPECT_EQ(id.cabinet_y, 0);
+  EXPECT_EQ(id.chassis, 0);
+  EXPECT_EQ(id.slot, 15);
+  EXPECT_EQ(id.node, 2);
+}
+
+TEST(NodeId, ParseRejectsMalformedInput) {
+  NodeId out;
+  EXPECT_FALSE(NodeId::try_parse("", out));
+  EXPECT_FALSE(NodeId::try_parse("c1-0c1s1", out));       // missing node
+  EXPECT_FALSE(NodeId::try_parse("x1-0c1s1n0", out));     // wrong prefix
+  EXPECT_FALSE(NodeId::try_parse("c1-0c1s1n0x", out));    // trailing junk
+  EXPECT_FALSE(NodeId::try_parse("c1_0c1s1n0", out));     // wrong separator
+  EXPECT_FALSE(NodeId::try_parse("c-0c1s1n0", out));      // missing number
+  EXPECT_THROW(NodeId::parse("garbage"), util::InvalidArgument);
+}
+
+TEST(NodeId, ParseRejectsOverflow) {
+  NodeId out;
+  EXPECT_FALSE(NodeId::try_parse("c1-0c1s1n300", out));
+  EXPECT_FALSE(NodeId::try_parse("c99999-0c1s1n0", out));
+}
+
+TEST(NodeId, LocationDescriptionNamesComponents) {
+  const NodeId id{0, 0, 1, 4, 2};
+  EXPECT_EQ(id.location_description(), "cabinet 0-0, chassis 1, blade 4, node 2");
+}
+
+TEST(NodeId, OrderingAndEquality) {
+  const NodeId a{0, 0, 0, 0, 0};
+  const NodeId b{0, 0, 0, 0, 1};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, NodeId::parse("c0-0c0s0n0"));
+}
+
+TEST(NodeId, HashDistinguishesNearbyIds) {
+  std::unordered_set<NodeId> set;
+  for (std::uint8_t ch = 0; ch < 3; ++ch)
+    for (std::uint8_t sl = 0; sl < 16; ++sl)
+      for (std::uint8_t n = 0; n < 4; ++n)
+        set.insert(NodeId{0, 0, ch, sl, n});
+  EXPECT_EQ(set.size(), 3u * 16u * 4u);
+}
+
+// Property: to_string/parse round-trips over a sweep of ids.
+class NodeIdRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeIdRoundTrip, RoundTrips) {
+  const int seed = GetParam();
+  const NodeId id{static_cast<std::uint16_t>(seed % 17),
+                  static_cast<std::uint16_t>(seed % 3),
+                  static_cast<std::uint8_t>(seed % 3),
+                  static_cast<std::uint8_t>(seed % 16),
+                  static_cast<std::uint8_t>(seed % 4)};
+  EXPECT_EQ(NodeId::parse(id.to_string()), id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NodeIdRoundTrip,
+                         ::testing::Range(0, 60, 7));
+
+}  // namespace
+}  // namespace desh::logs

@@ -1,0 +1,161 @@
+// Integration tests for pipeline persistence and the streaming monitor,
+// sharing one trained pipeline fixture.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "core/evaluator.hpp"
+#include "core/monitor.hpp"
+#include "core/persistence.hpp"
+#include "core/pipeline.hpp"
+#include "logs/generator.hpp"
+#include "util/error.hpp"
+
+namespace desh::core {
+namespace {
+
+class PersistenceMonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    log_ = new logs::SyntheticLog(source.generate());
+    auto [train, test] = split_corpus(log_->records, log_->truth.split_time);
+    train_ = new logs::LogCorpus(std::move(train));
+    test_ = new logs::LogCorpus(std::move(test));
+    DeshConfig config;
+    config.phase1.epochs = 1;
+    pipeline_ = new DeshPipeline(config);
+    pipeline_->fit(*train_);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete test_;
+    delete train_;
+    delete log_;
+  }
+  static logs::SyntheticLog* log_;
+  static logs::LogCorpus* train_;
+  static logs::LogCorpus* test_;
+  static DeshPipeline* pipeline_;
+};
+
+logs::SyntheticLog* PersistenceMonitorTest::log_ = nullptr;
+logs::LogCorpus* PersistenceMonitorTest::train_ = nullptr;
+logs::LogCorpus* PersistenceMonitorTest::test_ = nullptr;
+DeshPipeline* PersistenceMonitorTest::pipeline_ = nullptr;
+
+TEST_F(PersistenceMonitorTest, SaveLoadPredictsIdentically) {
+  const std::string dir = ::testing::TempDir() + "/desh_pipeline_save";
+  save_pipeline(*pipeline_, dir);
+  DeshPipeline loaded = load_pipeline(dir);
+  EXPECT_TRUE(loaded.fitted());
+  EXPECT_EQ(loaded.vocab().size(), pipeline_->vocab().size());
+  EXPECT_EQ(loaded.training_chains().size(),
+            pipeline_->training_chains().size());
+
+  const TestRun original = pipeline_->predict(*test_);
+  const TestRun restored = loaded.predict(*test_);
+  ASSERT_EQ(original.predictions.size(), restored.predictions.size());
+  for (std::size_t i = 0; i < original.predictions.size(); ++i) {
+    EXPECT_EQ(original.predictions[i].flagged, restored.predictions[i].flagged);
+    EXPECT_DOUBLE_EQ(original.predictions[i].score,
+                     restored.predictions[i].score);
+    EXPECT_DOUBLE_EQ(original.predictions[i].lead_seconds,
+                     restored.predictions[i].lead_seconds);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PersistenceMonitorTest, SaveRequiresFittedPipeline) {
+  DeshPipeline fresh;
+  EXPECT_THROW(save_pipeline(fresh, ::testing::TempDir() + "/x"),
+               util::InvalidArgument);
+}
+
+TEST_F(PersistenceMonitorTest, LoadRejectsMissingOrCorruptDirectory) {
+  EXPECT_THROW(load_pipeline("/nonexistent/desh-dir"), util::IoError);
+  const std::string dir = ::testing::TempDir() + "/desh_pipeline_corrupt";
+  save_pipeline(*pipeline_, dir);
+  // Corrupt the config format marker.
+  {
+    std::ofstream os(dir + "/config.txt");
+    os << "format=bogus\n";
+  }
+  EXPECT_THROW(load_pipeline(dir), util::IoError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PersistenceMonitorTest, MonitorRaisesAlertsBeforeFailures) {
+  StreamingMonitor monitor(*pipeline_);
+  struct Alert {
+    logs::NodeId node;
+    double time;
+  };
+  std::vector<Alert> alerts;
+  for (const logs::LogRecord& record : *test_)
+    if (const auto alert = monitor.observe(record))
+      alerts.push_back({alert->node, alert->time});
+  EXPECT_EQ(monitor.records_seen(), test_->size());
+  EXPECT_EQ(monitor.alerts_raised(), alerts.size());
+  ASSERT_GT(alerts.size(), 0u);
+
+  // A majority of test-window failures must have an alert strictly before
+  // (or at) the terminal, on the right node, within the chain window.
+  std::size_t warned = 0, total = 0;
+  for (const logs::FailureEvent& f : log_->truth.failures) {
+    if (f.terminal_time < log_->truth.split_time || f.novel) continue;
+    ++total;
+    for (const Alert& a : alerts)
+      if (a.node == f.node && a.time >= f.start_time - 1.0 &&
+          a.time <= f.terminal_time) {
+        ++warned;
+        break;
+      }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(warned) / static_cast<double>(total), 0.5);
+}
+
+TEST_F(PersistenceMonitorTest, MonitorAlertCarriesActionableFields) {
+  StreamingMonitor monitor(*pipeline_);
+  for (const logs::LogRecord& record : *test_) {
+    const auto alert = monitor.observe(record);
+    if (!alert) continue;
+    EXPECT_GT(alert->predicted_lead_seconds, 0.0);
+    EXPECT_LE(alert->score, pipeline_->config().phase3.mse_threshold);
+    EXPECT_NE(alert->message.find(alert->node.to_string()), std::string::npos);
+    EXPECT_NE(alert->message.find("expected to fail"), std::string::npos);
+    return;  // one alert inspected is enough
+  }
+  FAIL() << "monitor never alerted";
+}
+
+TEST_F(PersistenceMonitorTest, MonitorRearmSuppressesDuplicateAlerts) {
+  MonitorConfig config;
+  config.rearm_seconds = 1e9;  // never re-arm within the trace
+  StreamingMonitor monitor(*pipeline_, config);
+  std::map<logs::NodeId, std::size_t> per_node;
+  for (const logs::LogRecord& record : *test_)
+    if (const auto alert = monitor.observe(record)) ++per_node[alert->node];
+  for (const auto& [node, count] : per_node)
+    EXPECT_EQ(count, 1u) << node.to_string();
+}
+
+TEST_F(PersistenceMonitorTest, MonitorResetClearsState) {
+  StreamingMonitor monitor(*pipeline_);
+  for (const logs::LogRecord& record : *test_) monitor.observe(record);
+  const std::size_t first_pass = monitor.alerts_raised();
+  monitor.reset();
+  for (const logs::LogRecord& record : *test_) monitor.observe(record);
+  EXPECT_EQ(monitor.alerts_raised(), 2 * first_pass);
+}
+
+TEST_F(PersistenceMonitorTest, MonitorRequiresFittedPipeline) {
+  DeshPipeline fresh;
+  EXPECT_THROW(StreamingMonitor{fresh}, util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::core

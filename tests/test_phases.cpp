@@ -1,0 +1,225 @@
+// Unit tests for the three phase drivers on small crafted data.
+#include <gtest/gtest.h>
+
+#include "core/phase1.hpp"
+#include "core/phase2.hpp"
+#include "core/phase3.hpp"
+#include "util/error.hpp"
+
+namespace desh::core {
+namespace {
+
+chains::ParsedLog cyclic_log(std::size_t vocab, std::size_t length) {
+  chains::ParsedLog log;
+  std::vector<chains::ParsedEvent> events;
+  for (std::size_t i = 0; i < length; ++i)
+    events.push_back({static_cast<double>(i),
+                      static_cast<std::uint32_t>(1 + i % (vocab - 1))});
+  log.by_node[logs::NodeId{0, 0, 0, 0, 0}] = events;
+  log.event_count = length;
+  return log;
+}
+
+TEST(Phase1Trainer, MakeWindowsRespectsStrideAndCap) {
+  chains::ParsedLog log = cyclic_log(6, 30);
+  util::Rng rng(1);
+  auto windows = Phase1Trainer::make_windows(log, 10, 2, 1000, rng);
+  EXPECT_EQ(windows.size(), (30 - 10) / 2 + 1);
+  for (const auto& w : windows) EXPECT_EQ(w.size(), 10u);
+  auto capped = Phase1Trainer::make_windows(log, 10, 2, 3, rng);
+  EXPECT_EQ(capped.size(), 3u);
+}
+
+TEST(Phase1Trainer, WindowsNeverStraddleNodes) {
+  chains::ParsedLog log;
+  std::vector<chains::ParsedEvent> a, b;
+  for (int i = 0; i < 6; ++i) a.push_back({double(i), 1u});
+  for (int i = 0; i < 6; ++i) b.push_back({double(i), 2u});
+  log.by_node[logs::NodeId{0, 0, 0, 0, 0}] = a;
+  log.by_node[logs::NodeId{0, 0, 0, 0, 1}] = b;
+  util::Rng rng(2);
+  auto windows = Phase1Trainer::make_windows(log, 5, 1, 1000, rng);
+  ASSERT_EQ(windows.size(), 4u);  // 2 per node
+  for (const auto& w : windows) {
+    // Within a window, all ids come from the same node's constant stream.
+    for (std::uint32_t id : w) EXPECT_EQ(id, w.front());
+  }
+}
+
+TEST(Phase1Trainer, LearnsCyclicStream) {
+  Phase1Config config;
+  config.embed_dim = 8;
+  config.hidden_size = 16;
+  config.history = 4;
+  config.steps = 1;
+  config.epochs = 12;
+  config.batch_size = 8;
+  config.window_stride = 1;
+  util::Rng rng(3);
+  Phase1Trainer trainer(config, 6, rng);
+  chains::ParsedLog log = cyclic_log(6, 400);
+  trainer.fit(log);
+  // A deterministic cycle is perfectly predictable.
+  EXPECT_GT(trainer.accuracy(log, 4), 0.95);
+}
+
+TEST(Phase1Trainer, FitRequiresWindows) {
+  Phase1Config config;
+  util::Rng rng(4);
+  Phase1Trainer trainer(config, 6, rng);
+  chains::ParsedLog tiny = cyclic_log(6, 3);  // shorter than history+steps
+  EXPECT_THROW(trainer.fit(tiny), util::InvalidArgument);
+}
+
+nn::ChainSequence linear_chain(std::initializer_list<std::uint32_t> phrases,
+                               double span) {
+  nn::ChainSequence seq;
+  const std::size_t n = phrases.size();
+  std::size_t i = 0;
+  for (std::uint32_t p : phrases) {
+    const double dt = span * static_cast<double>(n - 1 - i) /
+                      static_cast<double>(n - 1);
+    seq.push_back({nn::ChainModel::normalize_dt(dt), p});
+    ++i;
+  }
+  return seq;
+}
+
+TEST(Phase2Trainer, FitsChainsAndLossDrops) {
+  Phase2Config config;
+  config.embed_dim = 8;
+  config.hidden_size = 16;
+  config.epochs = 150;
+  util::Rng rng(5);
+  Phase2Trainer trainer(config, 10, rng);
+  std::vector<nn::ChainSequence> chains = {
+      linear_chain({1, 2, 3, 4, 5, 6}, 120.0),
+      linear_chain({7, 8, 9, 4, 5, 6}, 90.0)};
+  const float loss = trainer.fit(chains);
+  EXPECT_LT(loss, 0.05f);
+  EXPECT_LT(trainer.model().sequence_mse(chains[0]), 0.3f);
+  EXPECT_LT(trainer.model().sequence_mse(chains[1]), 0.3f);
+}
+
+TEST(Phase2Trainer, OnlineUpdateLearnsNewModeWithoutForgetting) {
+  Phase2Config config;
+  config.embed_dim = 8;
+  config.hidden_size = 16;
+  config.epochs = 200;
+  util::Rng rng(55);
+  Phase2Trainer trainer(config, 12, rng);
+  const nn::ChainSequence original = linear_chain({1, 2, 3, 4, 5, 6}, 120.0);
+  trainer.fit({original});
+  EXPECT_LT(trainer.model().sequence_mse(original), 0.3f);
+
+  // A mode never seen in the initial training...
+  const nn::ChainSequence fresh = linear_chain({7, 8, 9, 10, 11, 6}, 90.0);
+  EXPECT_GT(trainer.model().sequence_mse(fresh), 0.5f);
+  // ...is absorbed by an online update; the old mode survives (replay).
+  trainer.update({fresh}, 150);
+  EXPECT_LT(trainer.model().sequence_mse(fresh), 0.3f);
+  EXPECT_LT(trainer.model().sequence_mse(original), 0.3f);
+}
+
+TEST(Phase2Trainer, UpdateRequiresPriorFit) {
+  Phase2Config config;
+  util::Rng rng(56);
+  Phase2Trainer trainer(config, 12, rng);
+  EXPECT_THROW(trainer.update({linear_chain({1, 2, 3}, 10.0)}, 5),
+               util::InvalidArgument);
+}
+
+TEST(Phase2Trainer, RejectsDegenerateInput) {
+  Phase2Config config;
+  util::Rng rng(6);
+  Phase2Trainer trainer(config, 10, rng);
+  EXPECT_THROW(trainer.fit({}), util::InvalidArgument);
+  std::vector<nn::ChainSequence> single = {linear_chain({1}, 0.0)};
+  EXPECT_THROW(trainer.fit(single), util::InvalidArgument);
+}
+
+class Phase3Fixture : public ::testing::Test {
+ protected:
+  Phase3Fixture() : rng_(7), trainer_(make_config(), 10, rng_) {
+    trained_ = linear_chain({1, 2, 3, 4, 5, 6, 7}, 150.0);
+    trainer_.fit({trained_});
+  }
+  static Phase2Config make_config() {
+    Phase2Config c;
+    c.embed_dim = 8;
+    c.hidden_size = 16;
+    c.epochs = 200;
+    return c;
+  }
+  chains::CandidateSequence candidate_from(
+      std::initializer_list<std::uint32_t> phrases, double span,
+      bool terminal = true) const {
+    chains::CandidateSequence c;
+    c.node = logs::NodeId{1, 0, 2, 3, 1};
+    const std::size_t n = phrases.size();
+    std::size_t i = 0;
+    for (std::uint32_t p : phrases) {
+      const double t = 1000.0 + span * static_cast<double>(i) /
+                                    static_cast<double>(n - 1);
+      c.events.push_back({t, p});
+      ++i;
+    }
+    c.ends_with_terminal = terminal;
+    return c;
+  }
+  util::Rng rng_;
+  Phase2Trainer trainer_;
+  nn::ChainSequence trained_;
+};
+
+TEST_F(Phase3Fixture, FlagsTrainedChainWithLeadTime) {
+  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  const auto c = candidate_from({1, 2, 3, 4, 5, 6, 7}, 150.0);
+  const FailurePrediction p = predictor.decide(c);
+  EXPECT_TRUE(p.flagged);
+  EXPECT_LT(p.score, 0.5);
+  EXPECT_EQ(p.decision_position, 4u);
+  // Lead = dt at index 4 of a 7-phrase/150 s linear chain = 150 * 2/6.
+  EXPECT_NEAR(p.lead_seconds, 50.0, 1.0);
+  EXPECT_EQ(p.node.to_string(), "c1-0c2s3n1");
+  EXPECT_NE(p.warning_message().find("c1-0c2s3n1"), std::string::npos);
+  EXPECT_NE(p.warning_message().find("expected to fail"), std::string::npos);
+}
+
+TEST_F(Phase3Fixture, RejectsShuffledImpostor) {
+  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  const auto c = candidate_from({5, 1, 7, 2, 6, 3, 4}, 150.0, false);
+  const FailurePrediction p = predictor.decide(c);
+  EXPECT_FALSE(p.flagged);
+  EXPECT_GT(p.score, 0.5);
+  EXPECT_NE(p.warning_message().find("healthy"), std::string::npos);
+}
+
+TEST_F(Phase3Fixture, EarlierDecisionGivesLongerLead) {
+  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  const auto c = candidate_from({1, 2, 3, 4, 5, 6, 7}, 150.0);
+  const FailurePrediction late = predictor.decide_at(c, 5);
+  const FailurePrediction early = predictor.decide_at(c, 2);
+  EXPECT_GT(early.lead_seconds, late.lead_seconds);
+}
+
+TEST_F(Phase3Fixture, DecisionClampsToSequenceEnd) {
+  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  const auto c = candidate_from({1, 2, 3, 4, 5, 6, 7}, 150.0);
+  const FailurePrediction p = predictor.decide_at(c, 99);
+  EXPECT_EQ(p.decision_position, 6u);
+  EXPECT_NEAR(p.lead_seconds, 0.0, 1e-3);
+}
+
+TEST_F(Phase3Fixture, ConfigValidation) {
+  Phase3Config bad;
+  bad.min_position = 0;
+  EXPECT_THROW(Phase3Predictor(trainer_.model(), bad), util::InvalidArgument);
+  bad = Phase3Config{};
+  bad.decision_position = 1;
+  bad.min_position = 2;
+  EXPECT_THROW(Phase3Predictor(trainer_.model(), bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::core

@@ -1,0 +1,180 @@
+// End-to-end integration tests: raw synthetic log -> full Desh pipeline ->
+// evaluation against ground truth, on the miniature test profile.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/sensitivity.hpp"
+#include "logs/generator.hpp"
+#include "util/error.hpp"
+
+namespace desh::core {
+namespace {
+
+// One shared fixture run (training is the expensive part).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(42));
+    log_ = new logs::SyntheticLog(source.generate());
+    auto [train, test] = split_corpus(log_->records, log_->truth.split_time);
+    train_ = new logs::LogCorpus(std::move(train));
+    test_ = new logs::LogCorpus(std::move(test));
+    DeshConfig config;
+    config.phase1.epochs = 2;  // keep CI fast; accuracy asserted loosely
+    pipeline_ = new DeshPipeline(config);
+    report_ = new FitReport(pipeline_->fit(*train_));
+    run_ = new TestRun(pipeline_->predict(*test_));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    delete report_;
+    delete pipeline_;
+    delete test_;
+    delete train_;
+    delete log_;
+  }
+  static logs::SyntheticLog* log_;
+  static logs::LogCorpus* train_;
+  static logs::LogCorpus* test_;
+  static DeshPipeline* pipeline_;
+  static FitReport* report_;
+  static TestRun* run_;
+};
+
+logs::SyntheticLog* PipelineTest::log_ = nullptr;
+logs::LogCorpus* PipelineTest::train_ = nullptr;
+logs::LogCorpus* PipelineTest::test_ = nullptr;
+DeshPipeline* PipelineTest::pipeline_ = nullptr;
+FitReport* PipelineTest::report_ = nullptr;
+TestRun* PipelineTest::run_ = nullptr;
+
+TEST_F(PipelineTest, SplitIsTemporalAndComplete) {
+  EXPECT_EQ(train_->size() + test_->size(), log_->records.size());
+  for (const logs::LogRecord& r : *train_)
+    EXPECT_LT(r.timestamp, log_->truth.split_time);
+  for (const logs::LogRecord& r : *test_)
+    EXPECT_GE(r.timestamp, log_->truth.split_time);
+}
+
+TEST_F(PipelineTest, FitReportIsPopulated) {
+  EXPECT_TRUE(pipeline_->fitted());
+  EXPECT_GT(report_->train_events, 100u);
+  EXPECT_GT(report_->vocab_size, 30u);
+  EXPECT_GT(report_->failure_chains, 5u);
+  EXPECT_GE(report_->candidates, report_->failure_chains);
+  EXPECT_GT(report_->phase1_accuracy, 0.0);
+  EXPECT_GT(report_->phase2_loss, 0.0f);
+  EXPECT_LT(report_->phase2_loss, 0.5f);
+}
+
+TEST_F(PipelineTest, TrainingChainsCarryDeltaTimes) {
+  for (const nn::ChainSequence& chain : pipeline_->training_chains()) {
+    ASSERT_GE(chain.size(), 6u);
+    EXPECT_EQ(chain.back().dt_norm, 0.0f);  // terminal deltaT = 0 (Table 4)
+    for (std::size_t i = 1; i < chain.size(); ++i)
+      EXPECT_LT(chain[i].dt_norm, chain[i - 1].dt_norm + 1e-6f);
+  }
+}
+
+TEST_F(PipelineTest, PredictionsParallelCandidates) {
+  EXPECT_EQ(run_->candidates.size(), run_->predictions.size());
+  EXPECT_GT(run_->candidates.size(), 10u);
+  for (std::size_t i = 0; i < run_->candidates.size(); ++i)
+    EXPECT_EQ(run_->candidates[i].node, run_->predictions[i].node);
+}
+
+TEST_F(PipelineTest, MeetsQualityFloorOnTinyProfile) {
+  const SystemEvaluation eval =
+      Evaluator::evaluate(run_->candidates, run_->predictions, log_->truth);
+  // The tiny profile has very little training data; floors are deliberately
+  // loose — the M1..M4 bench runs assert the paper-band numbers.
+  EXPECT_GT(eval.metrics.recall, 0.45) << "TP=" << eval.counts.tp;
+  EXPECT_GT(eval.metrics.precision, 0.6);
+  EXPECT_GT(eval.counts.tp, 0u);
+  EXPECT_GT(eval.lead_times.mean(), 20.0);
+  EXPECT_LT(eval.lead_times.mean(), 400.0);
+}
+
+TEST_F(PipelineTest, SensitivitySweepTradesLeadForFalsePositives) {
+  const auto points =
+      lead_time_sensitivity(*pipeline_, *run_, log_->truth, 2, 6);
+  ASSERT_EQ(points.size(), 5u);
+  // Lead times decrease as the decision moves later.
+  EXPECT_GT(points.front().mean_lead_seconds, points.back().mean_lead_seconds);
+  for (const auto& p : points) {
+    EXPECT_GE(p.fp_rate, 0.0);
+    EXPECT_LE(p.fp_rate, 100.0);
+  }
+}
+
+TEST_F(PipelineTest, RedecideMatchesPredictAtDefaultPosition) {
+  const auto again = pipeline_->redecide(
+      run_->candidates, pipeline_->config().phase3.decision_position);
+  ASSERT_EQ(again.size(), run_->predictions.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].flagged, run_->predictions[i].flagged);
+    EXPECT_DOUBLE_EQ(again[i].score, run_->predictions[i].score);
+  }
+}
+
+TEST_F(PipelineTest, AccessorsRequireFit) {
+  DeshPipeline fresh;
+  EXPECT_FALSE(fresh.fitted());
+  EXPECT_THROW(fresh.labeler(), util::InvalidArgument);
+  EXPECT_THROW(fresh.phase1(), util::InvalidArgument);
+  EXPECT_THROW(fresh.predict(*test_), util::InvalidArgument);
+  EXPECT_THROW(fresh.redecide({}, 4), util::InvalidArgument);
+  logs::LogCorpus empty;
+  EXPECT_THROW(fresh.fit(empty), util::InvalidArgument);
+}
+
+TEST(PipelineAblation, AdjacentDtEncodingStillDetectsFailures) {
+  // The DESIGN.md decision-1 ablation path must remain functional: with
+  // inter-arrival deltaT encoding the pipeline still trains and detects a
+  // reasonable share of failures (the bench quantifies the lead-time cost).
+  logs::SyntheticCraySource source(logs::profile_tiny(77));
+  const logs::SyntheticLog log = source.generate();
+  auto [train, test] = split_corpus(log.records, log.truth.split_time);
+  DeshConfig config;
+  config.phase1.epochs = 1;
+  config.phase3.cumulative_dt = false;
+  DeshPipeline pipeline(config);
+  pipeline.fit(train);
+  // Adjacent encoding: the first step's dt is always zero.
+  for (const nn::ChainSequence& chain : pipeline.training_chains())
+    EXPECT_EQ(chain.front().dt_norm, 0.0f);
+  const TestRun run = pipeline.predict(test);
+  const SystemEvaluation eval =
+      Evaluator::evaluate(run.candidates, run.predictions, log.truth);
+  EXPECT_GT(eval.counts.tp, 0u);
+  // Lead times remain meaningful because phase 3 derives them from raw
+  // timestamps, independent of the encoding.
+  EXPECT_GT(eval.lead_times.mean(), 10.0);
+}
+
+TEST(PipelineDeterminism, SameSeedSameFitReport) {
+  logs::SyntheticCraySource source(logs::profile_tiny(11));
+  const logs::SyntheticLog log = source.generate();
+  auto [train, test] = split_corpus(log.records, log.truth.split_time);
+  DeshConfig config;
+  config.phase1.epochs = 1;
+  config.phase2.epochs = 30;
+  DeshPipeline a(config), b(config);
+  const FitReport ra = a.fit(train);
+  const FitReport rb = b.fit(train);
+  EXPECT_EQ(ra.vocab_size, rb.vocab_size);
+  EXPECT_EQ(ra.failure_chains, rb.failure_chains);
+  EXPECT_EQ(ra.phase1_loss, rb.phase1_loss);
+  EXPECT_EQ(ra.phase2_loss, rb.phase2_loss);
+  // And phase-3 decisions agree bit-for-bit.
+  const TestRun run_a = a.predict(test);
+  const TestRun run_b = b.predict(test);
+  ASSERT_EQ(run_a.predictions.size(), run_b.predictions.size());
+  for (std::size_t i = 0; i < run_a.predictions.size(); ++i)
+    EXPECT_DOUBLE_EQ(run_a.predictions[i].score, run_b.predictions[i].score);
+}
+
+}  // namespace
+}  // namespace desh::core

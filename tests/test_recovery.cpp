@@ -1,0 +1,150 @@
+#include "recovery/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace desh::recovery {
+namespace {
+
+std::vector<logs::NodeId> make_nodes(std::size_t count) {
+  std::vector<logs::NodeId> nodes;
+  for (std::size_t i = 0; i < count; ++i)
+    nodes.push_back(logs::NodeId{0, 0, static_cast<std::uint8_t>(i / 64),
+                                 static_cast<std::uint8_t>((i / 4) % 16),
+                                 static_cast<std::uint8_t>(i % 4)});
+  return nodes;
+}
+
+WorkloadConfig small_workload() {
+  WorkloadConfig w;
+  w.duration_seconds = 24 * 3600.0;
+  w.job_arrival_rate_per_hour = 6.0;
+  w.mean_job_seconds = 3600.0;
+  w.max_job_nodes = 2;
+  w.seed = 9;
+  return w;
+}
+
+TEST(ClusterSimulator, ValidatesConstruction) {
+  EXPECT_THROW(ClusterSimulator(make_nodes(2), small_workload()),
+               util::InvalidArgument);
+  WorkloadConfig bad = small_workload();
+  bad.max_job_nodes = 40;
+  EXPECT_THROW(ClusterSimulator(make_nodes(16), bad), util::InvalidArgument);
+}
+
+TEST(ClusterSimulator, NoFailuresMeansNoWasteBeyondCheckpoints) {
+  ClusterSimulator sim(make_nodes(16), small_workload());
+  const SimulationResult res =
+      sim.run(RecoveryPolicyConfig{}, "clean", {}, {});
+  EXPECT_GT(res.jobs_submitted, 50u);
+  EXPECT_EQ(res.jobs_completed, res.jobs_submitted);
+  EXPECT_EQ(res.failure_hits, 0u);
+  EXPECT_EQ(res.lost_work_seconds, 0.0);
+  EXPECT_EQ(res.quarantine_idle_seconds, 0.0);
+  // Checkpoint dilation is the only overhead and must be positive.
+  EXPECT_GT(res.overhead_seconds, 0.0);
+  // Slowdown >= 1 for every job.
+  EXPECT_GE(res.job_slowdowns.quantile(0.0), 1.0);
+}
+
+TEST(ClusterSimulator, DeterministicForSameInputs) {
+  ClusterSimulator sim(make_nodes(16), small_workload());
+  std::vector<NodeFailure> failures = {{make_nodes(16)[3], 7200.0}};
+  const auto a = sim.run(RecoveryPolicyConfig{}, "a", failures, {});
+  const auto b = sim.run(RecoveryPolicyConfig{}, "b", failures, {});
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.lost_work_seconds, b.lost_work_seconds);
+  EXPECT_EQ(a.overhead_seconds, b.overhead_seconds);
+}
+
+TEST(ClusterSimulator, FailureOnBusyNodeLosesUncheckpointedWork) {
+  // One long job on a small cluster; a failure mid-run costs work.
+  WorkloadConfig w = small_workload();
+  w.job_arrival_rate_per_hour = 1.0;
+  w.mean_job_seconds = 6 * 3600.0;
+  ClusterSimulator sim(make_nodes(8), w);
+
+  // Fail every node once mid-trace: at least one strikes a running job.
+  std::vector<NodeFailure> failures;
+  for (const logs::NodeId& n : make_nodes(8))
+    failures.push_back({n, 6 * 3600.0});
+  const auto res = sim.run(RecoveryPolicyConfig{}, "hit", failures, {});
+  EXPECT_GT(res.failure_hits, 0u);
+  EXPECT_GT(res.lost_work_seconds, 0.0);
+  EXPECT_EQ(res.failure_saves, 0u);  // reactive: nothing is ever saved
+}
+
+TEST(ClusterSimulator, AccurateWarningSavesTheJob) {
+  WorkloadConfig w = small_workload();
+  w.job_arrival_rate_per_hour = 2.0;
+  ClusterSimulator sim(make_nodes(16), w);
+
+  // Fail half the nodes; warn 120 s ahead with perfect accuracy.
+  std::vector<NodeFailure> failures;
+  for (std::size_t i = 0; i < 8; ++i)
+    failures.push_back({make_nodes(16)[i], 4 * 3600.0 + i * 1800.0});
+  const auto warnings = oracle_warnings(failures, 120.0);
+  ASSERT_EQ(warnings.size(), failures.size());
+  for (std::size_t i = 0; i < warnings.size(); ++i)
+    EXPECT_DOUBLE_EQ(warnings[i].warn_time, failures[i].fail_time - 120.0);
+
+  RecoveryPolicyConfig proactive;
+  proactive.proactive = true;
+  const auto oracle = sim.run(proactive, "oracle", failures, warnings);
+  const auto reactive = sim.run(RecoveryPolicyConfig{}, "reactive", failures, {});
+
+  // The oracle never loses work to a failure it was warned about.
+  EXPECT_EQ(oracle.failure_hits, 0u);
+  EXPECT_GT(oracle.failure_saves + oracle.migrations, 0u);
+  EXPECT_LT(oracle.lost_work_seconds, reactive.lost_work_seconds + 1.0);
+  // And wastes fewer node-seconds overall than reacting (when failures
+  // actually hit running jobs).
+  if (reactive.failure_hits > 0) {
+    EXPECT_LT(oracle.lost_work_seconds, reactive.lost_work_seconds);
+  }
+}
+
+TEST(ClusterSimulator, FalseWarningCostsAreBounded) {
+  WorkloadConfig w = small_workload();
+  ClusterSimulator sim(make_nodes(16), w);
+  RecoveryPolicyConfig proactive;
+  proactive.proactive = true;
+  // Three warnings, zero failures: each is a wasted action.
+  std::vector<FailureWarning> false_warnings = {
+      {make_nodes(16)[1], 3600.0},
+      {make_nodes(16)[5], 7200.0},
+      {make_nodes(16)[9], 10800.0}};
+  const auto res = sim.run(proactive, "fp", {}, false_warnings);
+  EXPECT_EQ(res.failure_hits, 0u);
+  EXPECT_EQ(res.failure_saves, 0u);
+  EXPECT_EQ(res.wasted_migrations, 3u);
+  EXPECT_GT(res.quarantine_idle_seconds, 0.0);
+  // Quarantine accounting: exactly three windows.
+  EXPECT_DOUBLE_EQ(res.quarantine_idle_seconds,
+                   3.0 * proactive.quarantine_seconds);
+}
+
+TEST(ClusterSimulator, ReactivePolicyIgnoresWarnings) {
+  WorkloadConfig w = small_workload();
+  ClusterSimulator sim(make_nodes(16), w);
+  const auto warnings = std::vector<FailureWarning>{{make_nodes(16)[0], 100.0}};
+  const auto res = sim.run(RecoveryPolicyConfig{}, "reactive", {}, warnings);
+  EXPECT_EQ(res.migrations, 0u);
+  EXPECT_EQ(res.quarantine_idle_seconds, 0.0);
+}
+
+TEST(ClusterSimulator, UnknownNodesInInputsAreIgnored) {
+  ClusterSimulator sim(make_nodes(8), small_workload());
+  std::vector<NodeFailure> failures = {{logs::NodeId{9, 9, 2, 2, 2}, 100.0}};
+  std::vector<FailureWarning> warnings = {{logs::NodeId{9, 9, 2, 2, 2}, 50.0}};
+  RecoveryPolicyConfig proactive;
+  proactive.proactive = true;
+  const auto res = sim.run(proactive, "foreign", failures, warnings);
+  EXPECT_EQ(res.failure_hits, 0u);
+  EXPECT_EQ(res.migrations, 0u);
+}
+
+}  // namespace
+}  // namespace desh::recovery

@@ -1,0 +1,79 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace desh::nn {
+namespace {
+
+Parameter make_param(const std::string& name, std::size_t r, std::size_t c,
+                     float seed) {
+  Parameter p(name, tensor::Matrix(r, c));
+  for (std::size_t i = 0; i < p.value.size(); ++i)
+    p.value.data()[i] = seed + static_cast<float>(i);
+  return p;
+}
+
+TEST(Serialize, RoundTripPreservesValues) {
+  Parameter a = make_param("layer.w", 2, 3, 1.0f);
+  Parameter b = make_param("layer.b", 1, 3, -5.0f);
+  const std::string path = ::testing::TempDir() + "/desh_params.bin";
+  save_parameters({&a, &b}, path);
+
+  Parameter a2("layer.w", tensor::Matrix(2, 3));
+  Parameter b2("layer.b", tensor::Matrix(1, 3));
+  load_parameters({&a2, &b2}, path);
+  for (std::size_t i = 0; i < a.value.size(); ++i)
+    EXPECT_EQ(a2.value.data()[i], a.value.data()[i]);
+  for (std::size_t i = 0; i < b.value.size(); ++i)
+    EXPECT_EQ(b2.value.data()[i], b.value.data()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DetectsNameMismatch) {
+  Parameter a = make_param("correct", 1, 2, 0.0f);
+  const std::string path = ::testing::TempDir() + "/desh_params_name.bin";
+  save_parameters({&a}, path);
+  Parameter wrong("different", tensor::Matrix(1, 2));
+  EXPECT_THROW(load_parameters({&wrong}, path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DetectsShapeMismatch) {
+  Parameter a = make_param("p", 2, 2, 0.0f);
+  const std::string path = ::testing::TempDir() + "/desh_params_shape.bin";
+  save_parameters({&a}, path);
+  Parameter wrong("p", tensor::Matrix(2, 3));
+  EXPECT_THROW(load_parameters({&wrong}, path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DetectsCountMismatchAndBadMagic) {
+  Parameter a = make_param("p", 1, 1, 0.0f);
+  Parameter b = make_param("q", 1, 1, 0.0f);
+  const std::string path = ::testing::TempDir() + "/desh_params_count.bin";
+  save_parameters({&a, &b}, path);
+  Parameter only("p", tensor::Matrix(1, 1));
+  EXPECT_THROW(load_parameters({&only}, path), util::IoError);
+
+  std::ofstream os(path, std::ios::binary);
+  os << "NOTDESH!garbage";
+  os.close();
+  Parameter any("p", tensor::Matrix(1, 1));
+  EXPECT_THROW(load_parameters({&any}, path), util::IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Parameter p("p", tensor::Matrix(1, 1));
+  EXPECT_THROW(load_parameters({&p}, "/nonexistent/model.bin"), util::IoError);
+  EXPECT_THROW(save_parameters({&p}, "/nonexistent-dir/model.bin"),
+               util::IoError);
+}
+
+}  // namespace
+}  // namespace desh::nn

@@ -1,0 +1,87 @@
+#include "embed/skipgram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::embed {
+namespace {
+
+TEST(SkipGram, ValidatesConfig) {
+  util::Rng rng(1);
+  SkipGramConfig bad;
+  bad.vocab_size = 1;
+  EXPECT_THROW(SkipGram(bad, rng), util::InvalidArgument);
+}
+
+TEST(SkipGram, CoOccurringPhrasesEndUpCloserThanUnrelatedOnes) {
+  util::Rng rng(2);
+  SkipGramConfig config;
+  config.vocab_size = 12;
+  config.dim = 8;
+  config.window_before = 2;
+  config.window_after = 2;
+  SkipGram sg(config, rng);
+
+  // Two disjoint "topics": ids {0,1,2} always co-occur, ids {6,7,8} always
+  // co-occur; the topics never mix.
+  util::Rng data_rng(3);
+  std::vector<std::vector<std::uint32_t>> sequences;
+  for (int s = 0; s < 200; ++s) {
+    std::vector<std::uint32_t> seq;
+    const std::uint32_t base = data_rng.chance(0.5) ? 0 : 6;
+    for (int i = 0; i < 12; ++i)
+      seq.push_back(base + static_cast<std::uint32_t>(data_rng.uniform_index(3)));
+    sequences.push_back(std::move(seq));
+  }
+  sg.train(sequences, /*epochs=*/3);
+
+  // Within-topic similarity beats cross-topic similarity.
+  const float within_a = sg.cosine(0, 1);
+  const float within_b = sg.cosine(6, 7);
+  const float across = sg.cosine(0, 6);
+  EXPECT_GT(within_a, across + 0.2f);
+  EXPECT_GT(within_b, across + 0.2f);
+}
+
+TEST(SkipGram, MostSimilarReturnsSortedNeighbours) {
+  util::Rng rng(4);
+  SkipGramConfig config;
+  config.vocab_size = 6;
+  config.dim = 4;
+  SkipGram sg(config, rng);
+  std::vector<std::vector<std::uint32_t>> sequences = {
+      {0, 1, 0, 1, 0, 1, 2, 3, 2, 3, 4, 5}};
+  sg.train(sequences, 2);
+  const auto sims = sg.most_similar(0, 3);
+  ASSERT_EQ(sims.size(), 3u);
+  EXPECT_GE(sims[0].second, sims[1].second);
+  EXPECT_GE(sims[1].second, sims[2].second);
+  for (const auto& [id, sim] : sims) EXPECT_NE(id, 0u);
+}
+
+TEST(SkipGram, TrainValidatesInput) {
+  util::Rng rng(5);
+  SkipGramConfig config;
+  config.vocab_size = 4;
+  SkipGram sg(config, rng);
+  std::vector<std::vector<std::uint32_t>> out_of_vocab = {{0, 9}};
+  EXPECT_THROW(sg.train(out_of_vocab, 1), util::InvalidArgument);
+  std::vector<std::vector<std::uint32_t>> empty;
+  EXPECT_THROW(sg.train(empty, 1), util::InvalidArgument);
+}
+
+TEST(SkipGram, VectorsShapeMatchesConfig) {
+  util::Rng rng(6);
+  SkipGramConfig config;
+  config.vocab_size = 7;
+  config.dim = 5;
+  SkipGram sg(config, rng);
+  EXPECT_EQ(sg.vectors().rows(), 7u);
+  EXPECT_EQ(sg.vectors().cols(), 5u);
+  EXPECT_THROW(sg.cosine(0, 9), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::embed

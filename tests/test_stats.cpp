@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace desh::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const double data[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  double sum = 0;
+  for (double x : data) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / 8.0;
+  double ss = 0;
+  for (double x : data) ss += (x - mean) * (x - mean);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), ss / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(SampleSet, MeanAndStddev) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SampleSet, QuantilesInterpolate) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 15.0);
+}
+
+TEST(SampleSet, QuantileValidation) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), InvalidArgument);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), InvalidArgument);
+  EXPECT_DOUBLE_EQ(s.quantile(0.7), 1.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillCorrect) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.5);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), InvalidArgument);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.bin_count(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace desh::util

@@ -1,0 +1,74 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace desh::util {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutDelimiter) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespace, DropsEmptyTokens) {
+  const auto parts = split_whitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWhitespace, EmptyInput) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Join, InsertsSeparators) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("LustreError: ABC"), "lustreerror: abc");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("LNet: hardware", "LNet"));
+  EXPECT_FALSE(starts_with("LNet", "LNet: "));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Contains, CaseSensitivity) {
+  EXPECT_TRUE(contains("Kernel panic - not syncing", "panic"));
+  EXPECT_FALSE(contains("Kernel panic", "PANIC"));
+  EXPECT_TRUE(contains_ci("Kernel panic", "PANIC"));
+  EXPECT_TRUE(contains_ci("anything", ""));
+}
+
+TEST(FormatFixed, RoundsToDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+  EXPECT_EQ(format_fixed(89.88, 2), "89.88");
+}
+
+}  // namespace
+}  // namespace desh::util

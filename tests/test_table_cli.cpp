@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace desh::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"System", "Recall"});
+  t.add_row({"M1", "85.1"});
+  t.add_row({"M2-long-name", "87.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| System"), std::string::npos);
+  EXPECT_NE(out.find("| M2-long-name"), std::string::npos);
+  // Every rendered line has the same width (alignment property).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, CsvRoundTripWithEscaping) {
+  TextTable t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  const std::string path = ::testing::TempDir() + "/desh_table.csv";
+  t.write_csv(path);
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(is, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(is, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, CsvFailsOnBadPath) {
+  TextTable t({"x"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/out.csv"), IoError);
+}
+
+TEST(ArgParser, ParsesAllFlagForms) {
+  const char* argv[] = {"prog", "pos1",     "--name", "value",
+                        "--key=inline", "--num",  "42",    "--enable"};
+  ArgParser args(8, argv);
+  EXPECT_EQ(args.get("name", ""), "value");
+  EXPECT_EQ(args.get("key", ""), "inline");
+  EXPECT_TRUE(args.get_bool("enable", false));
+  EXPECT_EQ(args.get_int("num", 0), 42);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(ArgParser, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, argv);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", -7), -7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParser, BoolParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=YES", "--d=off"};
+  ArgParser args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+}  // namespace
+}  // namespace desh::util

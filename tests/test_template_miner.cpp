@@ -1,0 +1,77 @@
+#include "logs/template_miner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logs/generator.hpp"
+#include "logs/phrase_catalog.hpp"
+#include "util/rng.hpp"
+
+namespace desh::logs {
+namespace {
+
+TEST(TemplateMiner, ClassifiesDynamicTokens) {
+  // Machine-generated content.
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("0x6624"));
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("Info1=0x500:"));
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("/etc/sysctl.conf"));
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("c1-0c1s1n0"));
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("20141216t162520,"));
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("[28451]:0x6624,"));
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("10.0.3.4"));
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("P1"));   // digit-dense short id
+  EXPECT_TRUE(TemplateMiner::is_dynamic_token("*"));
+
+  // Static prose, including words with a single embedded digit.
+  EXPECT_FALSE(TemplateMiner::is_dynamic_token("LustreError"));
+  EXPECT_FALSE(TemplateMiner::is_dynamic_token("Wait4Boot"));
+  EXPECT_FALSE(TemplateMiner::is_dynamic_token("severity=Corrected"));
+  EXPECT_FALSE(TemplateMiner::is_dynamic_token("gnilnd:kgnilnd"));
+  EXPECT_FALSE(TemplateMiner::is_dynamic_token("--ascii"));
+  EXPECT_FALSE(TemplateMiner::is_dynamic_token("<node_health>"));
+  EXPECT_FALSE(TemplateMiner::is_dynamic_token(""));
+}
+
+TEST(TemplateMiner, ExtractsTable2Examples) {
+  // Table 2 row 4: the hwerr message splits into static + discarded dynamic.
+  EXPECT_EQ(TemplateMiner::extract(
+                "hwerr [123]:0x4c: ssid rsp a status msg protocol err error "
+                ":Info1=0x4c00054064: Info2=0x0: Info3=0x2"),
+            "hwerr * ssid rsp a status msg protocol err error *");
+  EXPECT_EQ(TemplateMiner::extract("Running sysctl, using values from "
+                                   "/etc/sysctl.conf"),
+            "Running sysctl, using values from *");
+}
+
+TEST(TemplateMiner, CollapsesDynamicRuns) {
+  EXPECT_EQ(TemplateMiner::extract("error 0x1 0x2 0x3 done"), "error * done");
+  EXPECT_EQ(TemplateMiner::extract("12 34 56"), "*");
+}
+
+TEST(TemplateMiner, NormalizesWhitespace) {
+  EXPECT_EQ(TemplateMiner::extract("  a   b\t c  "), "a b c");
+  EXPECT_EQ(TemplateMiner::extract(""), "");
+  EXPECT_EQ(TemplateMiner::extract("   "), "");
+}
+
+// Property: rendering any catalog phrase with random dynamics and mining it
+// back must recover the catalog template exactly — this is the contract the
+// whole parsing pipeline rests on.
+class CatalogRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CatalogRoundTrip, RenderedMessageMinesBackToTemplate) {
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  const CatalogPhrase& phrase = catalog.phrase(GetParam());
+  util::Rng rng(GetParam() * 977 + 13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string raw = SyntheticCraySource::render_message(phrase, rng);
+    EXPECT_EQ(TemplateMiner::extract(raw), phrase.tmpl)
+        << "raw message: " << raw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCatalogPhrases, CatalogRoundTrip,
+    ::testing::Range<std::size_t>(0, PhraseCatalog::instance().size()));
+
+}  // namespace
+}  // namespace desh::logs

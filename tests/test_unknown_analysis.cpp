@@ -1,0 +1,50 @@
+#include "chains/unknown_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logs/generator.hpp"
+
+namespace desh::chains {
+namespace {
+
+TEST(UnknownPhraseAnalyzer, ReturnsAllTwelveTable8Phrases) {
+  logs::SyntheticCraySource source(logs::profile_tiny(5));
+  const logs::SyntheticLog log = source.generate();
+  const auto stats = UnknownPhraseAnalyzer::analyze(log.records, log.truth);
+  ASSERT_EQ(stats.size(), 12u);
+  for (const UnknownPhraseStat& s : stats) {
+    EXPECT_FALSE(s.tmpl.empty());
+    EXPECT_GT(s.paper_contribution, 0.0);
+    EXPECT_LE(s.in_failures, s.total);
+  }
+}
+
+TEST(UnknownPhraseAnalyzer, MeasuredContributionsTrackTargets) {
+  // Larger trace for stable ratios.
+  logs::SystemProfile profile = logs::profile_tiny(9);
+  profile.failure_count = 150;
+  profile.node_count = 48;
+  profile.duration_hours = 24.0;
+  logs::SyntheticCraySource source(profile);
+  const logs::SyntheticLog log = source.generate();
+  const auto stats = UnknownPhraseAnalyzer::analyze(log.records, log.truth);
+  std::size_t checked = 0;
+  for (const UnknownPhraseStat& s : stats) {
+    if (s.total < 25) continue;
+    EXPECT_NEAR(s.measured_contribution(), s.paper_contribution, 0.16)
+        << s.tmpl;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6u);
+}
+
+TEST(UnknownPhraseStat, ContributionHandlesZeroTotal) {
+  UnknownPhraseStat s;
+  EXPECT_EQ(s.measured_contribution(), 0.0);
+  s.total = 4;
+  s.in_failures = 1;
+  EXPECT_DOUBLE_EQ(s.measured_contribution(), 0.25);
+}
+
+}  // namespace
+}  // namespace desh::chains

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "logs/io.hpp"
+#include "logs/vocab.hpp"
+#include "util/error.hpp"
+
+namespace desh::logs {
+namespace {
+
+TEST(PhraseVocab, ReservesUnknownSentinel) {
+  PhraseVocab vocab;
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(vocab.decode(PhraseVocab::kUnknownId),
+            PhraseVocab::kUnknownTemplate);
+}
+
+TEST(PhraseVocab, AddIsIdempotent) {
+  PhraseVocab vocab;
+  const auto a = vocab.add("LustreError *");
+  const auto b = vocab.add("DVS: Verify Filesystem *");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.add("LustreError *"), a);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(PhraseVocab, EncodeUnknownTemplates) {
+  PhraseVocab vocab;
+  vocab.add("known");
+  EXPECT_EQ(vocab.encode("never seen"), PhraseVocab::kUnknownId);
+  EXPECT_TRUE(vocab.contains("known"));
+  EXPECT_FALSE(vocab.contains("never seen"));
+}
+
+TEST(PhraseVocab, DecodeValidatesRange) {
+  PhraseVocab vocab;
+  EXPECT_THROW(vocab.decode(42), util::InvalidArgument);
+  EXPECT_THROW(vocab.add(""), util::InvalidArgument);
+}
+
+TEST(PhraseVocab, SaveLoadPreservesIds) {
+  PhraseVocab vocab;
+  const auto a = vocab.add("alpha *");
+  const auto b = vocab.add("beta gamma");
+  const std::string path = ::testing::TempDir() + "/desh_vocab.txt";
+  vocab.save(path);
+  PhraseVocab loaded = PhraseVocab::load(path);
+  EXPECT_EQ(loaded.size(), vocab.size());
+  EXPECT_EQ(loaded.encode("alpha *"), a);
+  EXPECT_EQ(loaded.encode("beta gamma"), b);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, RoundTripsRecords) {
+  LogCorpus corpus;
+  corpus.push_back(LogRecord{12.5, NodeId{1, 0, 2, 3, 1},
+                             "LustreError [123]:0x99 something failed"});
+  corpus.push_back(LogRecord{100.000123, NodeId{0, 0, 0, 0, 0}, "Wait4Boot"});
+  const std::string path = ::testing::TempDir() + "/desh_corpus.log";
+  save_corpus(corpus, path);
+  const LogCorpus loaded = load_corpus(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_NEAR(loaded[0].timestamp, 12.5, 1e-6);
+  EXPECT_EQ(loaded[0].node, corpus[0].node);
+  EXPECT_EQ(loaded[0].message, corpus[0].message);
+  EXPECT_NEAR(loaded[1].timestamp, 100.000123, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, MissingFileThrows) {
+  EXPECT_THROW(load_corpus("/nonexistent/corpus.log"), util::IoError);
+  EXPECT_THROW(save_corpus({}, "/nonexistent-dir/corpus.log"), util::IoError);
+}
+
+TEST(CorpusIo, MalformedLineThrows) {
+  const std::string path = ::testing::TempDir() + "/desh_bad_corpus.log";
+  {
+    std::ofstream os(path);
+    os << "12.5 only-two-fields\n";
+  }
+  EXPECT_THROW(load_corpus(path), util::Error);
+  std::remove(path.c_str());
+}
+
+TEST(FormatTimestamp, RendersConsoleStyle) {
+  EXPECT_EQ(format_timestamp(0.0), "00:00:00.000000");
+  EXPECT_EQ(format_timestamp(3661.25), "01:01:01.250000");
+  // Wraps at 24h for display.
+  EXPECT_EQ(format_timestamp(86400.0 + 60.0), "00:01:00.000000");
+}
+
+}  // namespace
+}  // namespace desh::logs
