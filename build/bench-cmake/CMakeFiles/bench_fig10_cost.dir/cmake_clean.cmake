@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_cost"
+  "../bench/bench_fig10_cost.pdb"
+  "CMakeFiles/bench_fig10_cost.dir/bench_fig10_cost.cpp.o"
+  "CMakeFiles/bench_fig10_cost.dir/bench_fig10_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

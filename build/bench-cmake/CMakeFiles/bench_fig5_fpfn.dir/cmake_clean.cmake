@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_fpfn"
+  "../bench/bench_fig5_fpfn.pdb"
+  "CMakeFiles/bench_fig5_fpfn.dir/bench_fig5_fpfn.cpp.o"
+  "CMakeFiles/bench_fig5_fpfn.dir/bench_fig5_fpfn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fpfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_leadtime_class"
+  "../bench/bench_fig6_leadtime_class.pdb"
+  "CMakeFiles/bench_fig6_leadtime_class.dir/bench_fig6_leadtime_class.cpp.o"
+  "CMakeFiles/bench_fig6_leadtime_class.dir/bench_fig6_leadtime_class.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_leadtime_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_leadtime_system"
+  "../bench/bench_fig7_leadtime_system.pdb"
+  "CMakeFiles/bench_fig7_leadtime_system.dir/bench_fig7_leadtime_system.cpp.o"
+  "CMakeFiles/bench_fig7_leadtime_system.dir/bench_fig7_leadtime_system.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_leadtime_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

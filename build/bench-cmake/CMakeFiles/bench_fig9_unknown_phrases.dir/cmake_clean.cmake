@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_unknown_phrases"
+  "../bench/bench_fig9_unknown_phrases.pdb"
+  "CMakeFiles/bench_fig9_unknown_phrases.dir/bench_fig9_unknown_phrases.cpp.o"
+  "CMakeFiles/bench_fig9_unknown_phrases.dir/bench_fig9_unknown_phrases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_unknown_phrases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_recovery_impact"
+  "../bench/bench_recovery_impact.pdb"
+  "CMakeFiles/bench_recovery_impact.dir/bench_recovery_impact.cpp.o"
+  "CMakeFiles/bench_recovery_impact.dir/bench_recovery_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

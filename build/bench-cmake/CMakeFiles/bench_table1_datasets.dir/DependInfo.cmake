@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_datasets.cpp" "bench-cmake/CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/desh_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/desh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/desh_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/chains/CMakeFiles/desh_chains.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/desh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/desh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/desh_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/desh_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/desh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

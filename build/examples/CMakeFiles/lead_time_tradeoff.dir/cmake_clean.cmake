@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_time_tradeoff.dir/lead_time_tradeoff.cpp.o"
+  "CMakeFiles/lead_time_tradeoff.dir/lead_time_tradeoff.cpp.o.d"
+  "lead_time_tradeoff"
+  "lead_time_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_time_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

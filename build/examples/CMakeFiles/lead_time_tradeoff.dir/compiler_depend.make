@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lead_time_tradeoff.
+# This may be replaced when dependencies are built.

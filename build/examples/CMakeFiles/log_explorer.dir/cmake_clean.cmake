@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_explorer.dir/log_explorer.cpp.o"
+  "CMakeFiles/log_explorer.dir/log_explorer.cpp.o.d"
+  "log_explorer"
+  "log_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_failure_monitor.dir/node_failure_monitor.cpp.o"
+  "CMakeFiles/node_failure_monitor.dir/node_failure_monitor.cpp.o.d"
+  "node_failure_monitor"
+  "node_failure_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_failure_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

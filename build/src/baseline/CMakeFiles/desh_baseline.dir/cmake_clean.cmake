@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_baseline.dir/deeplog.cpp.o"
+  "CMakeFiles/desh_baseline.dir/deeplog.cpp.o.d"
+  "CMakeFiles/desh_baseline.dir/ngram.cpp.o"
+  "CMakeFiles/desh_baseline.dir/ngram.cpp.o.d"
+  "libdesh_baseline.a"
+  "libdesh_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

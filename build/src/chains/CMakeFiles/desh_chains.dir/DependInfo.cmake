@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chains/delta_time.cpp" "src/chains/CMakeFiles/desh_chains.dir/delta_time.cpp.o" "gcc" "src/chains/CMakeFiles/desh_chains.dir/delta_time.cpp.o.d"
+  "/root/repo/src/chains/extractor.cpp" "src/chains/CMakeFiles/desh_chains.dir/extractor.cpp.o" "gcc" "src/chains/CMakeFiles/desh_chains.dir/extractor.cpp.o.d"
+  "/root/repo/src/chains/labeler.cpp" "src/chains/CMakeFiles/desh_chains.dir/labeler.cpp.o" "gcc" "src/chains/CMakeFiles/desh_chains.dir/labeler.cpp.o.d"
+  "/root/repo/src/chains/parsed_log.cpp" "src/chains/CMakeFiles/desh_chains.dir/parsed_log.cpp.o" "gcc" "src/chains/CMakeFiles/desh_chains.dir/parsed_log.cpp.o.d"
+  "/root/repo/src/chains/unknown_analysis.cpp" "src/chains/CMakeFiles/desh_chains.dir/unknown_analysis.cpp.o" "gcc" "src/chains/CMakeFiles/desh_chains.dir/unknown_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logs/CMakeFiles/desh_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/desh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/desh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/desh_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_chains.dir/delta_time.cpp.o"
+  "CMakeFiles/desh_chains.dir/delta_time.cpp.o.d"
+  "CMakeFiles/desh_chains.dir/extractor.cpp.o"
+  "CMakeFiles/desh_chains.dir/extractor.cpp.o.d"
+  "CMakeFiles/desh_chains.dir/labeler.cpp.o"
+  "CMakeFiles/desh_chains.dir/labeler.cpp.o.d"
+  "CMakeFiles/desh_chains.dir/parsed_log.cpp.o"
+  "CMakeFiles/desh_chains.dir/parsed_log.cpp.o.d"
+  "CMakeFiles/desh_chains.dir/unknown_analysis.cpp.o"
+  "CMakeFiles/desh_chains.dir/unknown_analysis.cpp.o.d"
+  "libdesh_chains.a"
+  "libdesh_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/desh_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/insights.cpp" "src/core/CMakeFiles/desh_core.dir/insights.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/insights.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/desh_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/desh_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/desh_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/core/phase1.cpp" "src/core/CMakeFiles/desh_core.dir/phase1.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/phase1.cpp.o.d"
+  "/root/repo/src/core/phase2.cpp" "src/core/CMakeFiles/desh_core.dir/phase2.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/phase2.cpp.o.d"
+  "/root/repo/src/core/phase3.cpp" "src/core/CMakeFiles/desh_core.dir/phase3.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/phase3.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/desh_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/desh_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/desh_core.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chains/CMakeFiles/desh_chains.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/desh_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/desh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/desh_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/desh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/desh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_core.dir/evaluator.cpp.o"
+  "CMakeFiles/desh_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/desh_core.dir/insights.cpp.o"
+  "CMakeFiles/desh_core.dir/insights.cpp.o.d"
+  "CMakeFiles/desh_core.dir/metrics.cpp.o"
+  "CMakeFiles/desh_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/desh_core.dir/monitor.cpp.o"
+  "CMakeFiles/desh_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/desh_core.dir/persistence.cpp.o"
+  "CMakeFiles/desh_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/desh_core.dir/phase1.cpp.o"
+  "CMakeFiles/desh_core.dir/phase1.cpp.o.d"
+  "CMakeFiles/desh_core.dir/phase2.cpp.o"
+  "CMakeFiles/desh_core.dir/phase2.cpp.o.d"
+  "CMakeFiles/desh_core.dir/phase3.cpp.o"
+  "CMakeFiles/desh_core.dir/phase3.cpp.o.d"
+  "CMakeFiles/desh_core.dir/pipeline.cpp.o"
+  "CMakeFiles/desh_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/desh_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/desh_core.dir/sensitivity.cpp.o.d"
+  "libdesh_core.a"
+  "libdesh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

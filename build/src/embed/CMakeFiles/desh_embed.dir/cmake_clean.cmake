@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_embed.dir/skipgram.cpp.o"
+  "CMakeFiles/desh_embed.dir/skipgram.cpp.o.d"
+  "libdesh_embed.a"
+  "libdesh_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/drain_miner.cpp" "src/logs/CMakeFiles/desh_logs.dir/drain_miner.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/drain_miner.cpp.o.d"
+  "/root/repo/src/logs/generator.cpp" "src/logs/CMakeFiles/desh_logs.dir/generator.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/generator.cpp.o.d"
+  "/root/repo/src/logs/io.cpp" "src/logs/CMakeFiles/desh_logs.dir/io.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/io.cpp.o.d"
+  "/root/repo/src/logs/node_id.cpp" "src/logs/CMakeFiles/desh_logs.dir/node_id.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/node_id.cpp.o.d"
+  "/root/repo/src/logs/phrase_catalog.cpp" "src/logs/CMakeFiles/desh_logs.dir/phrase_catalog.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/phrase_catalog.cpp.o.d"
+  "/root/repo/src/logs/record.cpp" "src/logs/CMakeFiles/desh_logs.dir/record.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/record.cpp.o.d"
+  "/root/repo/src/logs/syslog.cpp" "src/logs/CMakeFiles/desh_logs.dir/syslog.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/syslog.cpp.o.d"
+  "/root/repo/src/logs/system_profile.cpp" "src/logs/CMakeFiles/desh_logs.dir/system_profile.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/system_profile.cpp.o.d"
+  "/root/repo/src/logs/template_miner.cpp" "src/logs/CMakeFiles/desh_logs.dir/template_miner.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/template_miner.cpp.o.d"
+  "/root/repo/src/logs/vocab.cpp" "src/logs/CMakeFiles/desh_logs.dir/vocab.cpp.o" "gcc" "src/logs/CMakeFiles/desh_logs.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/desh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_logs.dir/drain_miner.cpp.o"
+  "CMakeFiles/desh_logs.dir/drain_miner.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/generator.cpp.o"
+  "CMakeFiles/desh_logs.dir/generator.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/io.cpp.o"
+  "CMakeFiles/desh_logs.dir/io.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/node_id.cpp.o"
+  "CMakeFiles/desh_logs.dir/node_id.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/phrase_catalog.cpp.o"
+  "CMakeFiles/desh_logs.dir/phrase_catalog.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/record.cpp.o"
+  "CMakeFiles/desh_logs.dir/record.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/syslog.cpp.o"
+  "CMakeFiles/desh_logs.dir/syslog.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/system_profile.cpp.o"
+  "CMakeFiles/desh_logs.dir/system_profile.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/template_miner.cpp.o"
+  "CMakeFiles/desh_logs.dir/template_miner.cpp.o.d"
+  "CMakeFiles/desh_logs.dir/vocab.cpp.o"
+  "CMakeFiles/desh_logs.dir/vocab.cpp.o.d"
+  "libdesh_logs.a"
+  "libdesh_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_nn.dir/chain_model.cpp.o"
+  "CMakeFiles/desh_nn.dir/chain_model.cpp.o.d"
+  "CMakeFiles/desh_nn.dir/dense.cpp.o"
+  "CMakeFiles/desh_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/desh_nn.dir/embedding.cpp.o"
+  "CMakeFiles/desh_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/desh_nn.dir/loss.cpp.o"
+  "CMakeFiles/desh_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/desh_nn.dir/lstm.cpp.o"
+  "CMakeFiles/desh_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/desh_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/desh_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/desh_nn.dir/phrase_model.cpp.o"
+  "CMakeFiles/desh_nn.dir/phrase_model.cpp.o.d"
+  "CMakeFiles/desh_nn.dir/serialize.cpp.o"
+  "CMakeFiles/desh_nn.dir/serialize.cpp.o.d"
+  "libdesh_nn.a"
+  "libdesh_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

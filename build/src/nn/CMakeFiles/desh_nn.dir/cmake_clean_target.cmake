@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdesh_nn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_recovery.dir/cluster_sim.cpp.o"
+  "CMakeFiles/desh_recovery.dir/cluster_sim.cpp.o.d"
+  "libdesh_recovery.a"
+  "libdesh_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

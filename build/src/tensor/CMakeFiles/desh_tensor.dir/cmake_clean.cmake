@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/desh_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/desh_tensor.dir/ops.cpp.o"
+  "CMakeFiles/desh_tensor.dir/ops.cpp.o.d"
+  "libdesh_tensor.a"
+  "libdesh_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

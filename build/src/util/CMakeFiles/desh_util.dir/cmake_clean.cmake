@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_util.dir/cli.cpp.o"
+  "CMakeFiles/desh_util.dir/cli.cpp.o.d"
+  "CMakeFiles/desh_util.dir/rng.cpp.o"
+  "CMakeFiles/desh_util.dir/rng.cpp.o.d"
+  "CMakeFiles/desh_util.dir/stats.cpp.o"
+  "CMakeFiles/desh_util.dir/stats.cpp.o.d"
+  "CMakeFiles/desh_util.dir/strings.cpp.o"
+  "CMakeFiles/desh_util.dir/strings.cpp.o.d"
+  "CMakeFiles/desh_util.dir/table.cpp.o"
+  "CMakeFiles/desh_util.dir/table.cpp.o.d"
+  "libdesh_util.a"
+  "libdesh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_time.dir/test_delta_time.cpp.o"
+  "CMakeFiles/test_delta_time.dir/test_delta_time.cpp.o.d"
+  "test_delta_time"
+  "test_delta_time.pdb"
+  "test_delta_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

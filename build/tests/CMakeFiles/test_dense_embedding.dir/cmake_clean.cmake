@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_embedding.dir/test_dense_embedding.cpp.o"
+  "CMakeFiles/test_dense_embedding.dir/test_dense_embedding.cpp.o.d"
+  "test_dense_embedding"
+  "test_dense_embedding.pdb"
+  "test_dense_embedding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drain_syslog.dir/test_drain_syslog.cpp.o"
+  "CMakeFiles/test_drain_syslog.dir/test_drain_syslog.cpp.o.d"
+  "test_drain_syslog"
+  "test_drain_syslog.pdb"
+  "test_drain_syslog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drain_syslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

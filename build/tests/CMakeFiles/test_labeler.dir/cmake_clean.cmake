@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labeler.dir/test_labeler.cpp.o"
+  "CMakeFiles/test_labeler.dir/test_labeler.cpp.o.d"
+  "test_labeler"
+  "test_labeler.pdb"
+  "test_labeler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labeler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_ops.dir/test_matrix_ops.cpp.o"
+  "CMakeFiles/test_matrix_ops.dir/test_matrix_ops.cpp.o.d"
+  "test_matrix_ops"
+  "test_matrix_ops.pdb"
+  "test_matrix_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

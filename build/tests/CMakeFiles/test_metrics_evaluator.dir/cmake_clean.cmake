@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_evaluator.dir/test_metrics_evaluator.cpp.o"
+  "CMakeFiles/test_metrics_evaluator.dir/test_metrics_evaluator.cpp.o.d"
+  "test_metrics_evaluator"
+  "test_metrics_evaluator.pdb"
+  "test_metrics_evaluator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

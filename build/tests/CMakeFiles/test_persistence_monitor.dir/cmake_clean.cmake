@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistence_monitor.dir/test_persistence_monitor.cpp.o"
+  "CMakeFiles/test_persistence_monitor.dir/test_persistence_monitor.cpp.o.d"
+  "test_persistence_monitor"
+  "test_persistence_monitor.pdb"
+  "test_persistence_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistence_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skipgram.dir/test_skipgram.cpp.o"
+  "CMakeFiles/test_skipgram.dir/test_skipgram.cpp.o.d"
+  "test_skipgram"
+  "test_skipgram.pdb"
+  "test_skipgram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skipgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

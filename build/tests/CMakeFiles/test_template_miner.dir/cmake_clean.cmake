@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_template_miner.dir/test_template_miner.cpp.o"
+  "CMakeFiles/test_template_miner.dir/test_template_miner.cpp.o.d"
+  "test_template_miner"
+  "test_template_miner.pdb"
+  "test_template_miner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_template_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unknown_analysis.dir/test_unknown_analysis.cpp.o"
+  "CMakeFiles/test_unknown_analysis.dir/test_unknown_analysis.cpp.o.d"
+  "test_unknown_analysis"
+  "test_unknown_analysis.pdb"
+  "test_unknown_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unknown_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

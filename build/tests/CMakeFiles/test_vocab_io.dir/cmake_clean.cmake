@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vocab_io.dir/test_vocab_io.cpp.o"
+  "CMakeFiles/test_vocab_io.dir/test_vocab_io.cpp.o.d"
+  "test_vocab_io"
+  "test_vocab_io.pdb"
+  "test_vocab_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vocab_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

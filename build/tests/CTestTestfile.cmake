@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_strings[1]_include.cmake")
+include("/root/repo/build/tests/test_table_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_dense_embedding[1]_include.cmake")
+include("/root/repo/build/tests/test_lstm[1]_include.cmake")
+include("/root/repo/build/tests/test_loss_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_skipgram[1]_include.cmake")
+include("/root/repo/build/tests/test_node_id[1]_include.cmake")
+include("/root/repo/build/tests/test_template_miner[1]_include.cmake")
+include("/root/repo/build/tests/test_vocab_io[1]_include.cmake")
+include("/root/repo/build/tests/test_catalog[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_labeler[1]_include.cmake")
+include("/root/repo/build/tests/test_extractor[1]_include.cmake")
+include("/root/repo/build/tests/test_delta_time[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics_evaluator[1]_include.cmake")
+include("/root/repo/build/tests/test_phases[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_unknown_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_persistence_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_drain_syslog[1]_include.cmake")
+include("/root/repo/build/tests/test_insights[1]_include.cmake")
