@@ -11,6 +11,7 @@
 #include "logs/generator.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace desh::bench {
 
@@ -40,7 +41,8 @@ inline SystemRun run_system(const logs::SystemProfile& profile,
   auto [train, test] =
       core::split_corpus(out.log.records, out.log.truth.split_time);
   if (verbose)
-    std::cout << " " << out.log.records.size() << " records. training..."
+    std::cout << " " << out.log.records.size() << " records. training ("
+              << util::resolve_threads(config.threads) << " threads)..."
               << std::flush;
   util::Stopwatch sw;
   out.fit = out.pipeline.fit(train);

@@ -25,6 +25,11 @@ struct Phase1Config {
   float momentum = 0.9f;
   std::size_t window_stride = 2;   // subsampling stride over node streams
   std::size_t max_windows = 60000; // cap per epoch (keeps runs bounded)
+  /// Data-parallel workers (0 = DESH_THREADS env, then hardware).
+  std::size_t threads = 0;
+  /// Windows per gradient shard. Defines the deterministic reduction
+  /// numerics; results are identical at any thread count for a fixed value.
+  std::size_t grad_shard_size = 4;
 };
 
 struct Phase2Config {
@@ -36,6 +41,10 @@ struct Phase2Config {
   std::size_t batch_size = 16;
   float learning_rate = 0.005f;  // RMSprop (Table 5)
   float time_weight = 4.0f;      // weight of squared dt error in match score
+  /// Data-parallel workers (0 = DESH_THREADS env, then hardware).
+  std::size_t threads = 0;
+  /// Windows per gradient shard (see Phase1Config::grad_shard_size).
+  std::size_t grad_shard_size = 4;
 };
 
 struct Phase3Config {
@@ -68,6 +77,10 @@ struct DeshConfig {
   chains::ExtractorConfig extractor;
   SkipGramPretrainConfig skipgram;
   std::uint64_t seed = 7;
+  /// Worker count applied to every stage (phase 1/2 training, skip-gram,
+  /// phase-3 scoring) whose own `threads` is 0. 0 = DESH_THREADS env var,
+  /// then hardware concurrency.
+  std::size_t threads = 0;
 };
 
 }  // namespace desh::core

@@ -1,5 +1,7 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
+
 #include "logs/template_miner.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -19,16 +21,24 @@ StreamingMonitor::StreamingMonitor(const DeshPipeline& pipeline,
 
 void StreamingMonitor::reset() { nodes_.clear(); }
 
-std::optional<MonitorAlert> StreamingMonitor::observe(
-    const logs::LogRecord& record) {
-  ++records_seen_;
+util::ThreadPool& StreamingMonitor::pool() {
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  return *pool_;
+}
+
+std::optional<std::uint32_t> StreamingMonitor::encode_anomalous(
+    const logs::LogRecord& record) const {
   const std::string tmpl = logs::TemplateMiner::extract(record.message);
   if (tmpl.empty()) return std::nullopt;
   const std::uint32_t phrase = vocab_.encode(tmpl);
   if (pipeline_.labeler().label(phrase) == logs::PhraseLabel::kSafe)
     return std::nullopt;
+  return phrase;
+}
 
-  NodeState& state = nodes_[record.node];
+std::optional<MonitorAlert> StreamingMonitor::advance(
+    NodeState& state, const logs::LogRecord& record,
+    std::uint32_t phrase) const {
   if (!state.window.empty() &&
       record.timestamp - state.window.back().timestamp > config_.gap_seconds)
     state.window.clear();
@@ -47,7 +57,6 @@ std::optional<MonitorAlert> StreamingMonitor::observe(
   if (!prediction.flagged) return std::nullopt;
 
   state.silenced_until = record.timestamp + config_.rearm_seconds;
-  ++alerts_raised_;
   MonitorAlert alert;
   alert.node = record.node;
   alert.time = record.timestamp;
@@ -58,6 +67,70 @@ std::optional<MonitorAlert> StreamingMonitor::observe(
       " minutes, node " + record.node.to_string() + " located in " +
       record.node.location_description() + " is expected to fail";
   return alert;
+}
+
+std::optional<MonitorAlert> StreamingMonitor::observe(
+    const logs::LogRecord& record) {
+  ++records_seen_;
+  const std::optional<std::uint32_t> phrase = encode_anomalous(record);
+  if (!phrase) return std::nullopt;
+  std::optional<MonitorAlert> alert =
+      advance(nodes_[record.node], record, *phrase);
+  if (alert) ++alerts_raised_;
+  return alert;
+}
+
+std::vector<MonitorAlert> StreamingMonitor::observe_batch(
+    std::span<const logs::LogRecord> records) {
+  records_seen_ += records.size();
+
+  // (1) Parallel pre-pass: template extraction + vocabulary encoding is the
+  // per-record CPU cost and touches no monitor state.
+  std::vector<std::optional<std::uint32_t>> phrases(records.size());
+  pool().parallel_for(records.size(), [&](std::size_t i, std::size_t) {
+    phrases[i] = encode_anomalous(records[i]);
+  });
+
+  // (2) Group the anomalous records by node, preserving stream order inside
+  // each group; materialize every node's state up front so the parallel
+  // phase never rehashes the map.
+  std::vector<logs::NodeId> node_order;
+  std::unordered_map<logs::NodeId, std::vector<std::size_t>> by_node;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!phrases[i]) continue;
+    auto [it, inserted] = by_node.try_emplace(records[i].node);
+    if (inserted) {
+      node_order.push_back(records[i].node);
+      nodes_.try_emplace(records[i].node);
+    }
+    it->second.push_back(i);
+  }
+
+  // (3) Shard by node: each task replays one node's records in order against
+  // that node's state — exactly what sequential observe() would do.
+  std::vector<std::vector<std::pair<std::size_t, MonitorAlert>>> per_node(
+      node_order.size());
+  pool().parallel_for(node_order.size(), [&](std::size_t n, std::size_t) {
+    NodeState& state = nodes_.at(node_order[n]);
+    for (std::size_t i : by_node.at(node_order[n])) {
+      if (std::optional<MonitorAlert> alert =
+              advance(state, records[i], *phrases[i]))
+        per_node[n].emplace_back(i, std::move(*alert));
+    }
+  });
+
+  // (4) Merge back into record order (deterministic regardless of sharding).
+  std::vector<std::pair<std::size_t, MonitorAlert>> merged;
+  for (std::vector<std::pair<std::size_t, MonitorAlert>>& alerts : per_node)
+    for (auto& entry : alerts) merged.push_back(std::move(entry));
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<MonitorAlert> out;
+  out.reserve(merged.size());
+  for (auto& [index, alert] : merged) out.push_back(std::move(alert));
+  alerts_raised_ += out.size();
+  return out;
 }
 
 }  // namespace desh::core

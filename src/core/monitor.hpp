@@ -13,11 +13,15 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/pipeline.hpp"
+#include "util/thread_pool.hpp"
 
 namespace desh::core {
 
@@ -26,6 +30,8 @@ struct MonitorConfig {
   double gap_seconds = 420.0;
   /// Seconds a node stays silenced after alerting.
   double rearm_seconds = 600.0;
+  /// Workers for observe_batch (0 = DESH_THREADS env, then hardware).
+  std::size_t threads = 0;
 };
 
 struct MonitorAlert {
@@ -49,6 +55,15 @@ class StreamingMonitor {
   /// an alert when this record completes a failure-chain match.
   std::optional<MonitorAlert> observe(const logs::LogRecord& record);
 
+  /// Feeds a timestamp-ordered batch of records, sharding the work by node
+  /// across the worker pool: per-node state machines are independent, so
+  /// each node's records are replayed in order on one worker and the alert
+  /// streams are merged back in record order. The result — alerts and all
+  /// per-node state — is identical to calling observe() record by record,
+  /// at any thread count.
+  std::vector<MonitorAlert> observe_batch(
+      std::span<const logs::LogRecord> records);
+
   /// Drops all per-node state (e.g. at a log rotation boundary).
   void reset();
 
@@ -61,11 +76,25 @@ class StreamingMonitor {
     double silenced_until = -1.0;
   };
 
+  /// Template extraction + vocabulary/labeler gate (stateless, thread-safe).
+  /// Returns the encoded phrase, or nullopt when the record is Safe/empty.
+  std::optional<std::uint32_t> encode_anomalous(
+      const logs::LogRecord& record) const;
+
+  /// Advances one node's state machine by one record; the chain-match logic
+  /// shared by observe() and observe_batch().
+  std::optional<MonitorAlert> advance(NodeState& state,
+                                      const logs::LogRecord& record,
+                                      std::uint32_t phrase) const;
+
+  util::ThreadPool& pool();
+
   const DeshPipeline& pipeline_;
   MonitorConfig config_;
   logs::PhraseVocab vocab_;  // frozen snapshot of the training vocabulary
   Phase3Predictor predictor_;
   std::unordered_map<logs::NodeId, NodeState> nodes_;
+  std::unique_ptr<util::ThreadPool> pool_;  // lazily built for observe_batch
   std::size_t records_seen_ = 0;
   std::size_t alerts_raised_ = 0;
 };

@@ -1,7 +1,9 @@
 #include "core/phase1.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "nn/data_parallel.hpp"
 #include "nn/optimizer.hpp"
 #include "util/error.hpp"
 
@@ -43,6 +45,19 @@ float Phase1Trainer::fit(const chains::ParsedLog& train) {
   const std::size_t window_len = config_.history + config_.steps;
   nn::Sgd optimizer(config_.learning_rate, config_.momentum);
 
+  // Replica-per-worker engine, reused across every epoch of this fit. The
+  // replicas only need matching architecture; their init weights are
+  // overwritten by the master sync on each step.
+  const nn::PhraseModelConfig model_config = model_.config();
+  nn::DataParallelTrainer<nn::PhraseModel> engine(
+      model_,
+      [&model_config] {
+        util::Rng scratch(0);
+        return std::make_unique<nn::PhraseModel>(model_config, scratch);
+      },
+      config_.threads, config_.grad_shard_size);
+
+  const std::size_t steps = config_.steps;
   float last_epoch_loss = 0.0f;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     auto windows = make_windows(train, window_len, config_.window_stride,
@@ -54,8 +69,14 @@ float Phase1Trainer::fit(const chains::ParsedLog& train) {
          start += config_.batch_size) {
       const std::size_t count =
           std::min(config_.batch_size, windows.size() - start);
-      epoch_loss += model_.train_batch(
-          std::span(windows).subspan(start, count), config_.steps, optimizer);
+      epoch_loss += engine.train_step(
+          std::span<const std::vector<std::uint32_t>>(windows).subspan(start,
+                                                                       count),
+          optimizer, 5.0f,
+          [steps](nn::PhraseModel& replica,
+                  std::span<const std::vector<std::uint32_t>> shard) {
+            return replica.forward_backward(shard, steps);
+          });
       ++batches;
     }
     if (batches > 0)

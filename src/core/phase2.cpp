@@ -1,7 +1,9 @@
 #include "core/phase2.hpp"
 
 #include <map>
+#include <memory>
 
+#include "nn/data_parallel.hpp"
 #include "nn/optimizer.hpp"
 #include "util/error.hpp"
 
@@ -71,6 +73,17 @@ float Phase2Trainer::train_epochs(const std::vector<nn::ChainSequence>& chains,
 
   constexpr std::size_t kPerSignaturePerEpoch = 4;
   nn::RmsProp optimizer(learning_rate);
+
+  // Replica-per-worker engine, reused across all epochs of this fit/update.
+  const nn::ChainModelConfig model_config = model_.config();
+  nn::DataParallelTrainer<nn::ChainModel> engine(
+      model_,
+      [&model_config] {
+        util::Rng scratch(0);
+        return std::make_unique<nn::ChainModel>(model_config, scratch);
+      },
+      config_.threads, config_.grad_shard_size);
+
   float last_epoch_loss = 0.0f;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     // Draw a balanced sample, then batch it by window length.
@@ -90,8 +103,12 @@ float Phase2Trainer::train_epochs(const std::vector<nn::ChainSequence>& chains,
            start += config_.batch_size) {
         const std::size_t count =
             std::min(config_.batch_size, windows.size() - start);
-        epoch_loss += model_.train_batch(
-            std::span(windows).subspan(start, count), optimizer);
+        epoch_loss += engine.train_step(
+            std::span<const nn::ChainSequence>(windows).subspan(start, count),
+            optimizer, 5.0f,
+            [](nn::ChainModel& replica, std::span<const nn::ChainSequence> shard) {
+              return replica.forward_backward(shard);
+            });
         ++batches;
       }
     }

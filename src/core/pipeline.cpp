@@ -4,11 +4,17 @@
 #include "embed/skipgram.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace desh::core {
 
 DeshPipeline::DeshPipeline(DeshConfig config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config), rng_(config.seed) {
+  // The pipeline-wide thread count flows into every stage that has not set
+  // its own; 0 everywhere defers to DESH_THREADS / the hardware at run time.
+  if (config_.phase1.threads == 0) config_.phase1.threads = config_.threads;
+  if (config_.phase2.threads == 0) config_.phase2.threads = config_.threads;
+}
 
 const chains::PhraseLabeler& DeshPipeline::labeler() const {
   util::require(labeler_.has_value(), "DeshPipeline: fit() has not run");
@@ -56,6 +62,7 @@ FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
     embed::SkipGramConfig sg_config;
     sg_config.vocab_size = vocab_.size();
     sg_config.dim = config_.phase1.embed_dim;
+    sg_config.threads = config_.threads;
     embed::SkipGram skipgram(sg_config, rng_);
     skipgram.train(sequences, config_.skipgram.epochs);
     pretrained = skipgram.vectors();
@@ -116,10 +123,15 @@ TestRun DeshPipeline::predict(const logs::LogCorpus& test_corpus) const {
   chains::ChainExtractor extractor(config_.extractor);
   run.candidates = extractor.extract(parsed, *labeler_);
 
+  // Candidate scoring is embarrassingly parallel: decide() is const and each
+  // result lands in its own slot, so the output order is always the
+  // candidate order regardless of thread count.
   Phase3Predictor predictor(phase2_->model(), config_.phase3);
-  run.predictions.reserve(run.candidates.size());
-  for (const chains::CandidateSequence& c : run.candidates)
-    run.predictions.push_back(predictor.decide(c));
+  run.predictions.resize(run.candidates.size());
+  util::ThreadPool pool(config_.threads);
+  pool.parallel_for(run.candidates.size(), [&](std::size_t i, std::size_t) {
+    run.predictions[i] = predictor.decide(run.candidates[i]);
+  });
   return run;
 }
 
@@ -128,10 +140,11 @@ std::vector<FailurePrediction> DeshPipeline::redecide(
     std::size_t decision_position) const {
   util::require(fitted_, "DeshPipeline::redecide: fit() has not run");
   Phase3Predictor predictor(phase2_->model(), config_.phase3);
-  std::vector<FailurePrediction> out;
-  out.reserve(candidates.size());
-  for (const chains::CandidateSequence& c : candidates)
-    out.push_back(predictor.decide_at(c, decision_position));
+  std::vector<FailurePrediction> out(candidates.size());
+  util::ThreadPool pool(config_.threads);
+  pool.parallel_for(candidates.size(), [&](std::size_t i, std::size_t) {
+    out[i] = predictor.decide_at(candidates[i], decision_position);
+  });
   return out;
 }
 

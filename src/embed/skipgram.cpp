@@ -2,11 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace desh::embed {
+
+namespace {
+
+/// One shard's pending row updates: parallel arrays of (row id, table id,
+/// dim-wide delta). Applied to the weight tables in emission order after the
+/// block barrier — the deterministic shard-ordered reduction.
+struct UpdateList {
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint8_t> tables;  // 0 = w_in (targets), 1 = w_out
+  std::vector<float> deltas;         // rows.size() x dim, flattened
+
+  void clear() {
+    rows.clear();
+    tables.clear();
+    deltas.clear();
+  }
+};
+
+/// A shard's private view of the rows it has touched this block: reads see
+/// the shard's own prior writes (sequential online-SGD semantics within a
+/// shard), while other shards' writes stay invisible until the block
+/// barrier. Without this, repeated pairs inside one shard would all compute
+/// the same full-lr step from stale weights and their sum would diverge.
+class RowOverlay {
+ public:
+  void reset(const tensor::Matrix* base, std::size_t dim) {
+    base_ = base;
+    dim_ = dim;
+    rows_.clear();
+  }
+
+  float* row(std::uint32_t r) {
+    auto [it, inserted] = rows_.try_emplace(r);
+    if (inserted)
+      it->second.assign(base_->data() + r * dim_,
+                        base_->data() + (r + 1) * dim_);
+    return it->second.data();
+  }
+
+ private:
+  const tensor::Matrix* base_ = nullptr;
+  std::size_t dim_ = 0;
+  std::unordered_map<std::uint32_t, std::vector<float>> rows_;
+};
+
+}  // namespace
 
 SkipGram::SkipGram(const SkipGramConfig& config, util::Rng& rng)
     : config_(config),
@@ -17,33 +65,6 @@ SkipGram::SkipGram(const SkipGramConfig& config, util::Rng& rng)
       w_out_(config.vocab_size, config.dim, 0.0f) {
   util::require(config.vocab_size > 1, "SkipGram: vocab_size must be > 1");
   util::require(config.dim > 0, "SkipGram: dim must be > 0");
-}
-
-void SkipGram::train_pair(std::uint32_t target, std::uint32_t context, float lr,
-                          const util::AliasSampler& sampler) {
-  const std::size_t E = config_.dim;
-  float* vt = w_in_.data() + target * E;
-  std::vector<float> grad_target(E, 0.0f);
-
-  auto update = [&](std::uint32_t out_id, float label) {
-    float* vo = w_out_.data() + out_id * E;
-    float score = 0.0f;
-    for (std::size_t c = 0; c < E; ++c) score += vt[c] * vo[c];
-    const float pred = 1.0f / (1.0f + std::exp(-score));
-    const float g = lr * (label - pred);
-    for (std::size_t c = 0; c < E; ++c) {
-      grad_target[c] += g * vo[c];
-      vo[c] += g * vt[c];
-    }
-  };
-
-  update(context, 1.0f);
-  for (std::size_t n = 0; n < config_.negatives; ++n) {
-    const auto neg = static_cast<std::uint32_t>(sampler.sample(rng_));
-    if (neg == context) continue;
-    update(neg, 0.0f);
-  }
-  for (std::size_t c = 0; c < E; ++c) vt[c] += grad_target[c];
 }
 
 void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
@@ -63,27 +84,133 @@ void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
   for (double& c : counts) c = std::pow(c + 1.0, 0.75);  // +1 smooths unseen ids
   util::AliasSampler sampler(counts);
 
+  // Flatten the corpus into (sequence, offset) positions so blocks and
+  // shards are plain index ranges; the position index doubles as the
+  // learning-rate decay step, matching the sequential schedule.
+  struct Position {
+    std::uint32_t seq;
+    std::uint32_t offset;
+  };
+  std::vector<Position> positions;
+  positions.reserve(total_tokens);
+  for (std::size_t si = 0; si < sequences.size(); ++si)
+    for (std::size_t t = 0; t < sequences[si].size(); ++t)
+      positions.push_back({static_cast<std::uint32_t>(si),
+                           static_cast<std::uint32_t>(t)});
+
+  const std::size_t E = config_.dim;
+  const std::size_t block = std::max<std::size_t>(1, config_.block_positions);
+  const std::size_t shard = std::min(
+      std::max<std::size_t>(1, config_.shard_positions), block);
+  const std::size_t slots = (block + shard - 1) / shard;
+
+  // One negative-sampling stream per shard slot. Slot s serves the s-th
+  // shard of every block; blocks are separated by a barrier, so each stream
+  // is consumed by exactly one task at a time, in block order, regardless of
+  // which pool worker runs it.
+  std::vector<util::Rng> shard_rngs;
+  shard_rngs.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s)
+    shard_rngs.push_back(rng_.fork(0x5EED0000ULL + s));
+
+  util::ThreadPool pool(config_.threads);
+  std::vector<UpdateList> updates(slots);
+  std::vector<std::vector<float>> grad_scratch(slots,
+                                               std::vector<float>(E, 0.0f));
+  std::vector<RowOverlay> in_overlays(slots);
+  std::vector<RowOverlay> out_overlays(slots);
+
   const std::size_t total_steps = epochs * total_tokens;
-  std::size_t step = 0;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
-    for (const auto& seq : sequences) {
-      const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(seq.size());
-      for (std::ptrdiff_t t = 0; t < n; ++t, ++step) {
-        // Linear learning-rate decay across the whole run.
-        const float frac =
-            static_cast<float>(step) / static_cast<float>(total_steps);
-        const float lr = std::max(
-            config_.min_learning_rate,
-            config_.learning_rate * (1.0f - frac));
-        const std::ptrdiff_t lo =
-            std::max<std::ptrdiff_t>(0, t - static_cast<std::ptrdiff_t>(
-                                             config_.window_before));
-        const std::ptrdiff_t hi =
-            std::min(n - 1, t + static_cast<std::ptrdiff_t>(config_.window_after));
-        for (std::ptrdiff_t c = lo; c <= hi; ++c) {
-          if (c == t) continue;
-          train_pair(seq[static_cast<std::size_t>(t)],
-                     seq[static_cast<std::size_t>(c)], lr, sampler);
+    for (std::size_t base = 0; base < positions.size(); base += block) {
+      const std::size_t block_n = std::min(block, positions.size() - base);
+      const std::size_t active = (block_n + shard - 1) / shard;
+
+      pool.parallel_for(active, [&](std::size_t s, std::size_t) {
+        UpdateList& out = updates[s];
+        out.clear();
+        util::Rng& neg_rng = shard_rngs[s];
+        std::vector<float>& grad_target = grad_scratch[s];
+        RowOverlay& local_in = in_overlays[s];
+        RowOverlay& local_out = out_overlays[s];
+        local_in.reset(&w_in_, E);
+        local_out.reset(&w_out_, E);
+        const std::size_t begin = base + s * shard;
+        const std::size_t end = std::min(begin + shard, base + block_n);
+        for (std::size_t p = begin; p < end; ++p) {
+          const auto& seq = sequences[positions[p].seq];
+          const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(seq.size());
+          const std::ptrdiff_t t =
+              static_cast<std::ptrdiff_t>(positions[p].offset);
+          // Linear learning-rate decay across the whole run.
+          const float frac =
+              static_cast<float>(epoch * total_tokens + p) /
+              static_cast<float>(total_steps);
+          const float lr = std::max(config_.min_learning_rate,
+                                    config_.learning_rate * (1.0f - frac));
+          const std::uint32_t target = seq[static_cast<std::size_t>(t)];
+
+          const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(
+              0, t - static_cast<std::ptrdiff_t>(config_.window_before));
+          const std::ptrdiff_t hi = std::min(
+              n - 1, t + static_cast<std::ptrdiff_t>(config_.window_after));
+          for (std::ptrdiff_t c = lo; c <= hi; ++c) {
+            if (c == t) continue;
+            const std::uint32_t context = seq[static_cast<std::size_t>(c)];
+            std::fill(grad_target.begin(), grad_target.end(), 0.0f);
+            // Re-fetched per pair: the previous pair's target update must be
+            // visible, and local_in may rehash when new rows are touched.
+            float* vt = local_in.row(target);
+
+            auto emit = [&](std::uint32_t out_id, float label) {
+              float* vo = local_out.row(out_id);
+              float score = 0.0f;
+              for (std::size_t k = 0; k < E; ++k) score += vt[k] * vo[k];
+              const float pred = 1.0f / (1.0f + std::exp(-score));
+              const float g = lr * (label - pred);
+              out.rows.push_back(out_id);
+              out.tables.push_back(1);
+              for (std::size_t k = 0; k < E; ++k) {
+                const float d = g * vt[k];
+                out.deltas.push_back(d);
+                grad_target[k] += g * vo[k];
+                vo[k] += d;
+              }
+            };
+
+            emit(context, 1.0f);
+            for (std::size_t neg = 0; neg < config_.negatives; ++neg) {
+              const auto id =
+                  static_cast<std::uint32_t>(sampler.sample(neg_rng));
+              if (id == context) continue;
+              emit(id, 0.0f);
+            }
+            out.rows.push_back(target);
+            out.tables.push_back(0);
+            for (std::size_t k = 0; k < E; ++k) {
+              out.deltas.push_back(grad_target[k]);
+              vt[k] += grad_target[k];
+            }
+          }
+        }
+      });
+
+      // Shard-ordered reduction: apply every shard's update list in emission
+      // order, scaled by 1/active — parameter mixing (each shard ran a full
+      // sequential walk from the block-start weights; the merged tables are
+      // the average of the shard results). The sum without the 1/active
+      // factor overshoots and diverges when shards touch the same rows.
+      // The application sequence and scale are a pure function of the data
+      // and the block/shard sizes — never of the thread count; one active
+      // shard degenerates to exact sequential SGD.
+      const float mix = 1.0f / static_cast<float>(active);
+      for (std::size_t s = 0; s < active; ++s) {
+        const UpdateList& out = updates[s];
+        const float* d = out.deltas.data();
+        for (std::size_t i = 0; i < out.rows.size(); ++i, d += E) {
+          tensor::Matrix& table = out.tables[i] == 0 ? w_in_ : w_out_;
+          float* dst = table.data() + out.rows[i] * E;
+          for (std::size_t k = 0; k < E; ++k) dst[k] += mix * d[k];
         }
       }
     }

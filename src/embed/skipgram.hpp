@@ -24,6 +24,15 @@ struct SkipGramConfig {
   std::size_t negatives = 5;      // negative samples per positive pair
   float learning_rate = 0.05f;
   float min_learning_rate = 0.005f;
+  /// Data-parallel workers (0 = DESH_THREADS env, then hardware).
+  std::size_t threads = 0;
+  /// Corpus positions per update block. All pairs inside a block read the
+  /// block-start weights (deterministic mini-batch SGD); the block size,
+  /// not the thread count, defines the numerics.
+  std::size_t block_positions = 256;
+  /// Positions per shard within a block. Each shard slot owns a forked
+  /// Rng stream for negative sampling, so draws never depend on threads.
+  std::size_t shard_positions = 32;
 };
 
 class SkipGram {
@@ -33,6 +42,13 @@ class SkipGram {
   /// Trains for `epochs` passes over the node-wise phrase sequences.
   /// The negative-sampling distribution is rebuilt from the corpus unigram
   /// counts raised to 3/4 on the first call.
+  ///
+  /// Training is deterministic data-parallel mini-batch SGD: the corpus is
+  /// walked in fixed blocks of `block_positions`; within a block every
+  /// (target, context) pair computes its update against the block-start
+  /// weights, shards accumulate update lists independently (per-shard forked
+  /// negative-sampling streams), and the lists are applied in shard order.
+  /// Results are bit-identical at any thread count.
   void train(std::span<const std::vector<std::uint32_t>> sequences,
              std::size_t epochs);
 
@@ -51,9 +67,6 @@ class SkipGram {
   util::Rng rng_;
   tensor::Matrix w_in_;   // V x E target vectors
   tensor::Matrix w_out_;  // V x E context vectors
-
-  void train_pair(std::uint32_t target, std::uint32_t context, float lr,
-                  const util::AliasSampler& sampler);
 };
 
 }  // namespace desh::embed

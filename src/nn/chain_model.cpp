@@ -46,6 +46,15 @@ void ChainModel::build_input(const ChainStep& step, tensor::Matrix& x) const {
 
 float ChainModel::train_batch(std::span<const ChainSequence> windows,
                               Optimizer& optimizer, float clip_norm) {
+  const float loss = forward_backward(windows);
+  ParameterList params = parameters();
+  clip_global_norm(params, clip_norm);
+  optimizer.step(params);
+  zero_grads(params);
+  return loss;
+}
+
+float ChainModel::forward_backward(std::span<const ChainSequence> windows) {
   util::require(!windows.empty(), "ChainModel::train_batch: empty batch");
   util::require(windows.front().size() >= 2,
                 "ChainModel::train_batch: window needs >= 2 steps");
@@ -130,11 +139,6 @@ float ChainModel::train_batch(std::span<const ChainSequence> windows,
       for (std::size_t c = 0; c < E; ++c) dst[c] = src[c];
     }
   embed_.backward(dflat_emb);
-
-  ParameterList params = parameters();
-  clip_global_norm(params, clip_norm);
-  optimizer.step(params);
-  zero_grads(params);
   return loss;
 }
 

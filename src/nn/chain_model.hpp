@@ -65,6 +65,11 @@ class ChainModel {
   float train_batch(std::span<const ChainSequence> windows,
                     Optimizer& optimizer, float clip_norm = 5.0f);
 
+  /// Forward + backward only: accumulates gradients and returns the batch
+  /// loss without an optimizer step — the shard kernel of the data-parallel
+  /// engine (nn/data_parallel).
+  float forward_backward(std::span<const ChainSequence> windows);
+
   /// Slides over `sequence` statefully; emits one score per position t in
   /// [min_pos, size) comparing the prediction from steps [0, t) against the
   /// actual step t. `min_pos` defaults to the configured history (the

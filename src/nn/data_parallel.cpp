@@ -1,0 +1,18 @@
+#include "nn/data_parallel.hpp"
+
+#include <algorithm>
+
+namespace desh::nn {
+
+void copy_parameter_values(const ParameterList& dst, const ParameterList& src) {
+  util::require(dst.size() == src.size(),
+                "copy_parameter_values: parameter count mismatch");
+  for (std::size_t p = 0; p < dst.size(); ++p) {
+    util::require(dst[p]->value.same_shape(src[p]->value),
+                  "copy_parameter_values: shape mismatch for " + dst[p]->name);
+    std::copy_n(src[p]->value.data(), src[p]->value.size(),
+                dst[p]->value.data());
+  }
+}
+
+}  // namespace desh::nn

@@ -1,0 +1,140 @@
+// Deterministic data-parallel gradient-accumulation engine.
+//
+// Each worker owns a full model replica; an epoch's windows are cut into
+// fixed-size contiguous shards, every shard's gradients are computed on some
+// replica and copied into a per-shard buffer, and the buffers are reduced
+// into the master model's gradients in shard-index order before a single
+// optimizer step. Because the shard decomposition and the reduction order
+// are functions of the data (shard_size) and never of the worker count, a
+// training run is bit-identical at 1, 2 or N threads.
+//
+// What this engine does NOT promise: bit-identity with the legacy unsharded
+// train_batch path — sharding fixes a different (but equally deterministic)
+// floating-point summation order. The shard size, not the thread count, is
+// the numerics-defining knob (see DESIGN.md "Threading model").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+#include "nn/parameter.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace desh::nn {
+
+/// Copies parameter values between two models with identical architecture
+/// (same parameter order and shapes, e.g. master model and a replica).
+void copy_parameter_values(const ParameterList& dst, const ParameterList& src);
+
+/// Model: any type exposing ParameterList parameters(). Replicas are created
+/// once per engine (not per step) and synchronized from the master before
+/// every train_step.
+template <typename Model>
+class DataParallelTrainer {
+ public:
+  using ReplicaFactory = std::function<std::unique_ptr<Model>()>;
+
+  /// `master` must outlive the engine. `make_replica` builds an
+  /// architecture-identical model (its initial weights are irrelevant — they
+  /// are overwritten on every step). `threads` = 0 resolves via
+  /// util::resolve_threads; `shard_size` is the number of windows per
+  /// gradient shard and defines the reduction numerics.
+  DataParallelTrainer(Model& master, ReplicaFactory make_replica,
+                      std::size_t threads, std::size_t shard_size)
+      : master_(master),
+        pool_(threads),
+        shard_size_(shard_size),
+        master_params_(master.parameters()) {
+    util::require(shard_size_ >= 1,
+                  "DataParallelTrainer: shard_size must be >= 1");
+    replicas_.reserve(pool_.size());
+    replica_params_.reserve(pool_.size());
+    for (std::size_t w = 0; w < pool_.size(); ++w) {
+      replicas_.push_back(make_replica());
+      replica_params_.push_back(replicas_.back()->parameters());
+      util::require(replica_params_.back().size() == master_params_.size(),
+                    "DataParallelTrainer: replica architecture mismatch");
+    }
+  }
+
+  std::size_t threads() const { return pool_.size(); }
+  std::size_t shard_size() const { return shard_size_; }
+  util::ThreadPool& pool() { return pool_; }
+
+  /// One optimizer step over `batch`: shard -> per-replica forward/backward
+  /// (`fwd_bwd(model, shard_span) -> float loss`) -> shard-ordered weighted
+  /// gradient reduction -> clip -> step. Returns the batch-mean loss
+  /// (shard losses combined with weights shard_count/batch_count, matching
+  /// the unsharded batch-mean semantics).
+  template <typename Item, typename FwdBwd>
+  float train_step(std::span<const Item> batch, Optimizer& optimizer,
+                   float clip_norm, FwdBwd&& fwd_bwd) {
+    util::require(!batch.empty(), "DataParallelTrainer: empty batch");
+    const std::size_t shards = (batch.size() + shard_size_ - 1) / shard_size_;
+    ensure_shard_buffers(shards);
+
+    // Replicas read master weights; sync them all before dispatch (the
+    // master stepped since the previous call).
+    for (const ParameterList& params : replica_params_)
+      copy_parameter_values(params, master_params_);
+
+    pool_.parallel_for(shards, [&](std::size_t s, std::size_t w) {
+      const std::size_t begin = s * shard_size_;
+      const std::size_t count = std::min(shard_size_, batch.size() - begin);
+      const ParameterList& params = replica_params_[w];
+      zero_grads(params);
+      shard_losses_[s] =
+          static_cast<double>(fwd_bwd(*replicas_[w], batch.subspan(begin, count)));
+      std::vector<tensor::Matrix>& grads = shard_grads_[s];
+      for (std::size_t p = 0; p < params.size(); ++p) grads[p] = params[p]->grad;
+    });
+
+    // Deterministic reduction: shard order is fixed, so the floating-point
+    // sum is independent of which worker computed which shard.
+    zero_grads(master_params_);
+    double loss = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * shard_size_;
+      const std::size_t count = std::min(shard_size_, batch.size() - begin);
+      const float weight = static_cast<float>(count) /
+                           static_cast<float>(batch.size());
+      loss += static_cast<double>(weight) * shard_losses_[s];
+      for (std::size_t p = 0; p < master_params_.size(); ++p)
+        tensor::axpy(weight, shard_grads_[s][p], master_params_[p]->grad);
+    }
+    clip_global_norm(master_params_, clip_norm);
+    optimizer.step(master_params_);
+    zero_grads(master_params_);
+    return static_cast<float>(loss);
+  }
+
+ private:
+  void ensure_shard_buffers(std::size_t shards) {
+    if (shard_grads_.size() < shards) {
+      shard_grads_.resize(shards);
+      for (std::vector<tensor::Matrix>& grads : shard_grads_) {
+        grads.resize(master_params_.size());
+        for (std::size_t p = 0; p < master_params_.size(); ++p)
+          grads[p].resize(master_params_[p]->grad.rows(),
+                          master_params_[p]->grad.cols());
+      }
+    }
+    if (shard_losses_.size() < shards) shard_losses_.resize(shards);
+  }
+
+  Model& master_;
+  util::ThreadPool pool_;
+  std::size_t shard_size_;
+  ParameterList master_params_;
+  std::vector<std::unique_ptr<Model>> replicas_;
+  std::vector<ParameterList> replica_params_;
+  std::vector<std::vector<tensor::Matrix>> shard_grads_;  // reused buffers
+  std::vector<double> shard_losses_;
+};
+
+}  // namespace desh::nn

@@ -21,6 +21,16 @@ PhraseModel::PhraseModel(const PhraseModelConfig& config, util::Rng& rng)
 float PhraseModel::train_batch(
     std::span<const std::vector<std::uint32_t>> windows, std::size_t steps,
     Optimizer& optimizer, float clip_norm) {
+  const float loss = forward_backward(windows, steps);
+  ParameterList params = parameters();
+  clip_global_norm(params, clip_norm);
+  optimizer.step(params);
+  zero_grads(params);
+  return loss;
+}
+
+float PhraseModel::forward_backward(
+    std::span<const std::vector<std::uint32_t>> windows, std::size_t steps) {
   util::require(!windows.empty(), "PhraseModel::train_batch: empty batch");
   const std::size_t len = windows.front().size();
   util::require(steps >= 1 && len > steps,
@@ -84,11 +94,6 @@ float PhraseModel::train_batch(
     std::copy_n(dinputs[t].data(), B * config_.embed_dim,
                 dflat_emb.data() + t * B * config_.embed_dim);
   embed_.backward(dflat_emb);
-
-  ParameterList params = parameters();
-  clip_global_norm(params, clip_norm);
-  optimizer.step(params);
-  zero_grads(params);
   return loss;
 }
 

@@ -35,6 +35,13 @@ class PhraseModel {
                     std::size_t steps, Optimizer& optimizer,
                     float clip_norm = 5.0f);
 
+  /// Forward + backward only: accumulates gradients into the parameters and
+  /// returns the batch mean cross-entropy without taking an optimizer step.
+  /// This is the shard kernel of the data-parallel engine (nn/data_parallel);
+  /// train_batch == forward_backward + clip + step + zero_grads.
+  float forward_backward(std::span<const std::vector<std::uint32_t>> windows,
+                         std::size_t steps);
+
   /// Probability distribution over the next phrase given a prefix.
   std::vector<float> predict_distribution(
       std::span<const std::uint32_t> prefix) const;

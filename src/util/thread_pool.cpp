@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+#ifndef DESH_DEFAULT_THREADS
+#define DESH_DEFAULT_THREADS 0
+#endif
+
+namespace desh::util {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DESH_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  if (DESH_DEFAULT_THREADS > 0)
+    return static_cast<std::size_t>(DESH_DEFAULT_THREADS);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : worker_count_(resolve_threads(threads)) {
+  threads_.reserve(worker_count_ - 1);
+  for (std::size_t w = 1; w < worker_count_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  while (true) {
+    std::function<void(std::size_t)> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker_id);
+  }
+}
+
+void ThreadPool::drain(ParallelJob& job, std::size_t worker_id) {
+  while (true) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.body)(i, worker_id);
+    } catch (...) {
+      std::lock_guard lock(job.mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      std::lock_guard lock(job.mu);
+      job.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (worker_count_ == 1 || n == 1) {
+    // Serial mode: identical decomposition, no threads, exceptions propagate
+    // naturally.
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  auto job = std::make_shared<ParallelJob>();
+  job->body = &body;
+  job->n = n;
+  {
+    std::lock_guard lock(mu_);
+    require(!stopping_, "ThreadPool::parallel_for: pool is shutting down");
+    // One helper entry per pool thread; each drains items until none remain,
+    // so idle threads cost one no-op pass and busy ones share the range.
+    for (std::size_t w = 1; w < worker_count_; ++w)
+      queue_.emplace_back([job](std::size_t worker_id) { drain(*job, worker_id); });
+  }
+  cv_.notify_all();
+  drain(*job, 0);  // the caller is worker 0
+  {
+    std::unique_lock lock(job->mu);
+    job->cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->n;
+    });
+    if (job->error) std::rethrow_exception(job->error);
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  if (worker_count_ == 1) {
+    (*packaged)();
+    return future;
+  }
+  {
+    std::lock_guard lock(mu_);
+    require(!stopping_, "ThreadPool::submit: pool is shutting down");
+    queue_.emplace_back([packaged](std::size_t) { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+}  // namespace desh::util

@@ -1,0 +1,78 @@
+// Fixed-size worker pool shared by the data-parallel training engine and the
+// sharded streaming/inference paths.
+//
+// Design constraints (see DESIGN.md "Threading model"):
+//  - the pool never decides *what* is computed, only *where*: all work is
+//    expressed as index ranges whose decomposition is fixed by the caller, so
+//    results are bit-identical at any worker count;
+//  - the calling thread participates as worker 0, so a pool of size 1 spawns
+//    no threads at all and executes the exact same code path serially;
+//  - exceptions thrown by loop bodies are captured and the first one is
+//    rethrown on the calling thread after the loop completes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace desh::util {
+
+/// Resolves a requested worker count: `requested` > 0 wins; otherwise the
+/// DESH_THREADS environment variable; otherwise the compile-time default
+/// (CMake -DDESH_THREADS=N); otherwise std::thread::hardware_concurrency().
+/// Always returns at least 1.
+std::size_t resolve_threads(std::size_t requested = 0);
+
+class ThreadPool {
+ public:
+  /// Creates a pool of `threads` workers (0 = resolve_threads()). The pool
+  /// spawns `threads - 1` OS threads; the caller of parallel_for is the
+  /// remaining worker.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count including the calling thread.
+  std::size_t size() const { return worker_count_; }
+
+  /// Runs body(index, worker_id) for every index in [0, n). Work items are
+  /// claimed dynamically; worker_id is in [0, size()) and is stable for the
+  /// duration of one item (use it to pick per-worker scratch state). Blocks
+  /// until all n items finished; rethrows the first body exception.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Enqueues one task for any pool worker (the caller does not participate).
+  /// On a 1-worker pool the task runs inline. The future carries exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  struct ParallelJob {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first exception, guarded by mu
+  };
+
+  void worker_loop(std::size_t worker_id);
+  static void drain(ParallelJob& job, std::size_t worker_id);
+
+  std::size_t worker_count_ = 1;
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void(std::size_t)>> queue_;  // arg: worker_id
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace desh::util

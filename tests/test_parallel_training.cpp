@@ -1,0 +1,339 @@
+// Parallel-equivalence suite for the data-parallel training engine: every
+// trainer must produce bit-identical results at 1, 2 and 8 threads (the
+// shard decomposition, not the thread count, defines the numerics), and the
+// streaming monitor's sharded batch path must reproduce the sequential
+// alert stream exactly. Also covers the Phase2 replay buffer across
+// repeated online updates and the monitor's re-arm/gap boundary semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/phase1.hpp"
+#include "core/phase2.hpp"
+#include "core/pipeline.hpp"
+#include "embed/skipgram.hpp"
+#include "logs/generator.hpp"
+#include "logs/template_miner.hpp"
+#include "nn/parameter.hpp"
+
+namespace desh::core {
+namespace {
+
+void expect_parameters_identical(nn::ParameterList a, nn::ParameterList b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    ASSERT_EQ(a[p]->value.size(), b[p]->value.size()) << a[p]->name;
+    const float* va = a[p]->value.data();
+    const float* vb = b[p]->value.data();
+    for (std::size_t k = 0; k < a[p]->value.size(); ++k)
+      ASSERT_EQ(va[k], vb[k]) << a[p]->name << "[" << k << "]";
+  }
+}
+
+chains::ParsedLog cyclic_log(std::size_t vocab, std::size_t length) {
+  chains::ParsedLog log;
+  std::vector<chains::ParsedEvent> events;
+  for (std::size_t i = 0; i < length; ++i)
+    events.push_back({static_cast<double>(i),
+                      static_cast<std::uint32_t>(1 + i % (vocab - 1))});
+  log.by_node[logs::NodeId{0, 0, 0, 0, 0}] = events;
+  log.event_count = length;
+  return log;
+}
+
+nn::ChainSequence linear_chain(std::initializer_list<std::uint32_t> phrases,
+                               double span) {
+  nn::ChainSequence seq;
+  const std::size_t n = phrases.size();
+  std::size_t i = 0;
+  for (std::uint32_t p : phrases) {
+    const double dt = span * static_cast<double>(n - 1 - i) /
+                      static_cast<double>(n - 1);
+    seq.push_back({nn::ChainModel::normalize_dt(dt), p});
+    ++i;
+  }
+  return seq;
+}
+
+TEST(ParallelPhase1, LossAndModelBitIdenticalAcrossThreadCounts) {
+  chains::ParsedLog log = cyclic_log(6, 200);
+  auto train = [&log](std::size_t threads) {
+    Phase1Config config;
+    config.embed_dim = 8;
+    config.hidden_size = 16;
+    config.history = 4;
+    config.steps = 1;
+    config.epochs = 3;
+    config.batch_size = 8;
+    config.window_stride = 1;
+    config.threads = threads;
+    util::Rng rng(3);
+    auto trainer = std::make_unique<Phase1Trainer>(config, 6, rng);
+    const float loss = trainer->fit(log);
+    return std::make_pair(std::move(trainer), loss);
+  };
+  auto [serial, loss1] = train(1);
+  auto [two, loss2] = train(2);
+  auto [eight, loss8] = train(8);
+  EXPECT_EQ(loss1, loss2);
+  EXPECT_EQ(loss1, loss8);
+  expect_parameters_identical(serial->model().parameters(),
+                              two->model().parameters());
+  expect_parameters_identical(serial->model().parameters(),
+                              eight->model().parameters());
+  // Post-fit predictions agree too.
+  EXPECT_EQ(serial->accuracy(log, 4), two->accuracy(log, 4));
+  EXPECT_EQ(serial->accuracy(log, 4), eight->accuracy(log, 4));
+}
+
+TEST(ParallelPhase2, LossAndModelBitIdenticalAcrossThreadCounts) {
+  const std::vector<nn::ChainSequence> chains = {
+      linear_chain({1, 2, 3, 4, 5, 6}, 120.0),
+      linear_chain({7, 8, 9, 4, 5, 6}, 90.0),
+      linear_chain({2, 4, 6, 8, 1, 3}, 60.0)};
+  auto train = [&chains](std::size_t threads) {
+    Phase2Config config;
+    config.embed_dim = 8;
+    config.hidden_size = 16;
+    config.epochs = 40;
+    config.threads = threads;
+    util::Rng rng(5);
+    auto trainer = std::make_unique<Phase2Trainer>(config, 10, rng);
+    const float loss = trainer->fit(chains);
+    return std::make_pair(std::move(trainer), loss);
+  };
+  auto [serial, loss1] = train(1);
+  auto [two, loss2] = train(2);
+  auto [eight, loss8] = train(8);
+  EXPECT_EQ(loss1, loss2);
+  EXPECT_EQ(loss1, loss8);
+  expect_parameters_identical(serial->model().parameters(),
+                              two->model().parameters());
+  expect_parameters_identical(serial->model().parameters(),
+                              eight->model().parameters());
+  for (const nn::ChainSequence& c : chains) {
+    EXPECT_EQ(serial->model().sequence_mse(c), two->model().sequence_mse(c));
+    EXPECT_EQ(serial->model().sequence_mse(c), eight->model().sequence_mse(c));
+  }
+}
+
+TEST(ParallelSkipGram, VectorsBitIdenticalAcrossThreadCounts) {
+  util::Rng data_rng(3);
+  std::vector<std::vector<std::uint32_t>> sequences;
+  for (int s = 0; s < 50; ++s) {
+    std::vector<std::uint32_t> seq;
+    const std::uint32_t base = data_rng.chance(0.5) ? 0 : 6;
+    for (int i = 0; i < 12; ++i)
+      seq.push_back(base +
+                    static_cast<std::uint32_t>(data_rng.uniform_index(3)));
+    sequences.push_back(std::move(seq));
+  }
+  auto train = [&sequences](std::size_t threads) {
+    embed::SkipGramConfig config;
+    config.vocab_size = 12;
+    config.dim = 8;
+    config.window_before = 2;
+    config.window_after = 2;
+    config.threads = threads;
+    util::Rng rng(2);
+    embed::SkipGram sg(config, rng);
+    sg.train(sequences, 2);
+    return sg.vectors();
+  };
+  const tensor::Matrix serial = train(1);
+  const tensor::Matrix two = train(2);
+  const tensor::Matrix eight = train(8);
+  ASSERT_EQ(serial.size(), two.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    ASSERT_EQ(serial.data()[k], two.data()[k]) << k;
+    ASSERT_EQ(serial.data()[k], eight.data()[k]) << k;
+  }
+}
+
+TEST(ParallelPhase2Update, ReplayBufferAccumulatesAcrossUpdates) {
+  Phase2Config config;
+  config.embed_dim = 8;
+  config.hidden_size = 16;
+  config.epochs = 200;
+  util::Rng rng(55);
+  Phase2Trainer trainer(config, 14, rng);
+  const nn::ChainSequence first = linear_chain({1, 2, 3, 4, 5, 6}, 120.0);
+  trainer.fit({first});
+  ASSERT_LT(trainer.model().sequence_mse(first), 0.3f);
+
+  // Two successive online updates: the second must replay both the original
+  // training chains and the first update's chains, so nothing is forgotten.
+  const nn::ChainSequence second = linear_chain({7, 8, 9, 10, 11, 6}, 90.0);
+  trainer.update({second}, 150);
+  const nn::ChainSequence third = linear_chain({12, 13, 2, 9, 4, 6}, 60.0);
+  trainer.update({third}, 150);
+  EXPECT_LT(trainer.model().sequence_mse(first), 0.3f);
+  EXPECT_LT(trainer.model().sequence_mse(second), 0.3f);
+  EXPECT_LT(trainer.model().sequence_mse(third), 0.3f);
+}
+
+class ParallelMonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    log_ = new logs::SyntheticLog(source.generate());
+    auto [train, test] = split_corpus(log_->records, log_->truth.split_time);
+    train_ = new logs::LogCorpus(std::move(train));
+    test_ = new logs::LogCorpus(std::move(test));
+    DeshConfig config;
+    config.phase1.epochs = 1;
+    pipeline_ = new DeshPipeline(config);
+    pipeline_->fit(*train_);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete test_;
+    delete train_;
+    delete log_;
+  }
+
+  /// Replicates the monitor's anomalous-record gate with public pieces:
+  /// template extraction, frozen-vocab encoding, Safe-label filtering.
+  static bool is_anomalous(const logs::LogRecord& record) {
+    static logs::PhraseVocab frozen = pipeline_->vocab();
+    const std::string tmpl = logs::TemplateMiner::extract(record.message);
+    if (tmpl.empty()) return false;
+    const std::uint32_t phrase = frozen.encode(tmpl);
+    return pipeline_->labeler().label(phrase) != logs::PhraseLabel::kSafe;
+  }
+
+  /// The exact window of anomalous records that produced the trace's first
+  /// alert: the last `decision_position + 1` anomalous records of the
+  /// alerting node, ending at the alert record. Feeding just these to a
+  /// fresh monitor reproduces the alert at the final record.
+  static std::vector<logs::LogRecord> first_alert_window() {
+    StreamingMonitor probe(*pipeline_);
+    std::vector<logs::LogRecord> node_anomalous;
+    for (std::size_t i = 0; i < test_->size(); ++i) {
+      const auto alert = probe.observe((*test_)[i]);
+      if (!alert) continue;
+      for (std::size_t j = 0; j <= i; ++j) {
+        const logs::LogRecord& r = (*test_)[j];
+        if (r.node == alert->node && is_anomalous(r))
+          node_anomalous.push_back(r);
+      }
+      break;
+    }
+    const std::size_t needed =
+        pipeline_->config().phase3.decision_position + 1;
+    if (node_anomalous.size() < needed) return {};
+    return {node_anomalous.end() - static_cast<std::ptrdiff_t>(needed),
+            node_anomalous.end()};
+  }
+
+  static logs::SyntheticLog* log_;
+  static logs::LogCorpus* train_;
+  static logs::LogCorpus* test_;
+  static DeshPipeline* pipeline_;
+};
+
+logs::SyntheticLog* ParallelMonitorTest::log_ = nullptr;
+logs::LogCorpus* ParallelMonitorTest::train_ = nullptr;
+logs::LogCorpus* ParallelMonitorTest::test_ = nullptr;
+DeshPipeline* ParallelMonitorTest::pipeline_ = nullptr;
+
+TEST_F(ParallelMonitorTest, BatchShardedByNodeMatchesSequentialExactly) {
+  StreamingMonitor sequential(*pipeline_);
+  std::vector<MonitorAlert> seq_alerts;
+  for (const logs::LogRecord& record : *test_)
+    if (auto alert = sequential.observe(record))
+      seq_alerts.push_back(std::move(*alert));
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    MonitorConfig config;
+    config.threads = threads;
+    StreamingMonitor batched(*pipeline_, config);
+    std::vector<MonitorAlert> batch_alerts;
+    // Feed in several chunks to exercise state carried across batches.
+    const std::size_t chunk = test_->size() / 3 + 1;
+    for (std::size_t start = 0; start < test_->size(); start += chunk) {
+      const std::size_t count = std::min(chunk, test_->size() - start);
+      auto alerts = batched.observe_batch(
+          std::span<const logs::LogRecord>(*test_).subspan(start, count));
+      for (auto& a : alerts) batch_alerts.push_back(std::move(a));
+    }
+    EXPECT_EQ(batched.records_seen(), sequential.records_seen());
+    EXPECT_EQ(batched.alerts_raised(), sequential.alerts_raised());
+    ASSERT_EQ(batch_alerts.size(), seq_alerts.size()) << threads << " threads";
+    for (std::size_t i = 0; i < seq_alerts.size(); ++i) {
+      EXPECT_EQ(batch_alerts[i].node, seq_alerts[i].node);
+      EXPECT_DOUBLE_EQ(batch_alerts[i].time, seq_alerts[i].time);
+      EXPECT_DOUBLE_EQ(batch_alerts[i].score, seq_alerts[i].score);
+      EXPECT_DOUBLE_EQ(batch_alerts[i].predicted_lead_seconds,
+                       seq_alerts[i].predicted_lead_seconds);
+      EXPECT_EQ(batch_alerts[i].message, seq_alerts[i].message);
+    }
+  }
+}
+
+TEST_F(ParallelMonitorTest, RearmBoundaryIsInclusive) {
+  const std::vector<logs::LogRecord> window = first_alert_window();
+  ASSERT_FALSE(window.empty()) << "trace produced no reconstructable alert";
+  const double t_end = window.back().timestamp;
+  const double duration = t_end - window.front().timestamp;
+  const double rearm = duration + 100.0;
+
+  auto run = [&](double shift, std::size_t* alerts_at_shift) {
+    MonitorConfig config;
+    config.gap_seconds = 1e9;  // isolate re-arm behavior from gap resets
+    config.rearm_seconds = rearm;
+    StreamingMonitor monitor(*pipeline_, config);
+    std::size_t first = 0, second = 0;
+    for (const logs::LogRecord& r : window)
+      if (monitor.observe(r)) ++first;
+    EXPECT_EQ(first, 1u);  // the reconstructed window must alert on its own
+    for (logs::LogRecord r : window) {
+      r.timestamp += shift;
+      if (monitor.observe(r)) ++second;
+    }
+    *alerts_at_shift = second;
+  };
+
+  // Replaying the same window wholly inside the silence period: suppressed.
+  std::size_t silenced = 0;
+  run(rearm - 1.0, &silenced);
+  EXPECT_EQ(silenced, 0u);
+  // Ending exactly at silenced_until (= alert time + rearm_seconds): the
+  // node is re-armed at that instant and the alert fires again.
+  std::size_t rearmed = 0;
+  run(rearm, &rearmed);
+  EXPECT_EQ(rearmed, 1u);
+}
+
+TEST_F(ParallelMonitorTest, GapResetBoundaryIsExclusive) {
+  const std::vector<logs::LogRecord> window = first_alert_window();
+  ASSERT_FALSE(window.empty()) << "trace produced no reconstructable alert";
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < window.size(); ++i)
+    max_gap = std::max(max_gap,
+                       window[i].timestamp - window[i - 1].timestamp);
+  ASSERT_GT(max_gap, 0.0);
+
+  auto alerts_with_gap = [&](double gap_seconds) {
+    MonitorConfig config;
+    config.gap_seconds = gap_seconds;
+    StreamingMonitor monitor(*pipeline_, config);
+    std::size_t alerts = 0;
+    for (const logs::LogRecord& r : window)
+      if (monitor.observe(r)) ++alerts;
+    return alerts;
+  };
+
+  // A silence of exactly gap_seconds does NOT reset the window (the reset
+  // requires strictly greater), so the full window forms and alerts.
+  EXPECT_EQ(alerts_with_gap(max_gap), 1u);
+  // Any smaller threshold resets mid-window; too few events remain.
+  EXPECT_EQ(alerts_with_gap(std::nextafter(max_gap, 0.0)), 0u);
+}
+
+}  // namespace
+}  // namespace desh::core

@@ -1,0 +1,149 @@
+// Unit and stress tests for util::ThreadPool plus the Rng::fork stream
+// independence the data-parallel trainers rely on.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace desh::util {
+namespace {
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+}
+
+TEST(ResolveThreads, EnvVarAppliesWhenUnspecified) {
+  setenv("DESH_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5u);
+  EXPECT_EQ(resolve_threads(2), 2u);  // explicit still wins
+  setenv("DESH_THREADS", "garbage", 1);
+  EXPECT_GE(resolve_threads(0), 1u);  // unparsable -> fallback, never 0
+  unsetenv("DESH_THREADS");
+  EXPECT_GE(resolve_threads(0), 1u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i, std::size_t) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i, std::size_t worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);  // no lock needed: inline execution is sequential
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WorkerIdsStayWithinPoolSize) {
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  pool.parallel_for(500, [&](std::size_t, std::size_t worker) {
+    if (worker >= 3) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i, std::size_t) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ZeroAndOneTaskEdgeCases) {
+  ThreadPool pool(4);
+  int runs = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  pool.parallel_for(1, [&](std::size_t i, std::size_t) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyEpochs) {
+  // Mimics the trainers: one pool, many parallel_for rounds.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int epoch = 0; epoch < 200; ++epoch)
+    pool.parallel_for(64, [&](std::size_t i, std::size_t) {
+      total.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 200L * (63 * 64 / 2));
+}
+
+TEST(ThreadPool, ManySmallTasksStress) {
+  ThreadPool pool(8);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for(2000, [&](std::size_t, std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 50L * 2000);
+}
+
+TEST(ThreadPool, SubmitRunsTaskAndPropagatesErrors) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto ok = pool.submit([&] { ran.fetch_add(1); });
+  ok.get();
+  EXPECT_EQ(ran.load(), 1);
+  auto bad = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(RngFork, WorkerStreamsDoNotOverlap) {
+  // The trainers hand each shard slot rng.fork(base + slot). Distinct ids
+  // must give statistically disjoint streams: across 8 forks x 4096 draws
+  // of 64-bit values, any repeat would be a 1-in-2^40 coincidence.
+  Rng parent(0xDE5Bu);
+  std::set<std::uint64_t> seen;
+  std::size_t draws = 0;
+  for (std::uint64_t slot = 0; slot < 8; ++slot) {
+    Rng child = parent.fork(0x5EED0000ULL + slot);
+    for (int i = 0; i < 4096; ++i) {
+      seen.insert(child.next_u64());
+      ++draws;
+    }
+  }
+  EXPECT_EQ(seen.size(), draws);
+}
+
+TEST(RngFork, SameIdGivesSameStream) {
+  Rng a(123), b(123);
+  Rng fa = a.fork(7), fb = b.fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+}  // namespace
+}  // namespace desh::util
