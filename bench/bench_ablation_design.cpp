@@ -43,6 +43,7 @@ AblationOutcome evaluate_run(const bench::SystemRun& r) {
 }  // namespace
 
 int main() {
+  bench::print_env_header("bench_ablation_design");
   std::cout << "=== Design ablations on M1 ===\n\n";
   const logs::SystemProfile profile = logs::profile_m1();
 

@@ -14,6 +14,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_ablation_history");
   std::cout << "=== Sec 4.1 ablation: phase-1 accuracy vs history size and "
                "hidden layers ===\n\n";
 

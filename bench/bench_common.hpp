@@ -9,11 +9,38 @@
 #include "core/evaluator.hpp"
 #include "core/pipeline.hpp"
 #include "logs/generator.hpp"
+#include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
+// Injected by bench/CMakeLists.txt so every bench can state how it was
+// built — numbers from different build configurations are not comparable.
+#ifndef DESH_BUILD_TYPE_STRING
+#define DESH_BUILD_TYPE_STRING "unknown"
+#endif
+#ifndef DESH_SANITIZE_STRING
+#define DESH_SANITIZE_STRING ""
+#endif
+
 namespace desh::bench {
+
+/// One-line JSON header printed at the top of every bench identifying the
+/// measurement environment: worker count, whether telemetry was compiled
+/// in / runtime-enabled, build type, and sanitizer instrumentation. Bench
+/// trajectories recorded over time are only comparable when these match.
+inline void print_env_header(const std::string& bench_name) {
+  const char* sanitize = DESH_SANITIZE_STRING;
+  std::cout << "{\"bench\": \"" << bench_name
+            << "\", \"threads\": " << util::resolve_threads()
+            << ", \"obs_compiled\": "
+            << (obs::compiled_in() ? "true" : "false")
+            << ", \"obs_enabled\": "
+            << (obs::compiled_in() && obs::enabled() ? "true" : "false")
+            << ", \"build_type\": \"" << DESH_BUILD_TYPE_STRING
+            << "\", \"sanitize\": \"" << (*sanitize ? sanitize : "none")
+            << "\"}\n";
+}
 
 struct SystemRun {
   logs::SystemProfile profile;

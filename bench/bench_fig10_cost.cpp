@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench_common.hpp"
 #include "core/phase1.hpp"
 #include "core/pipeline.hpp"
 #include "logs/generator.hpp"
@@ -70,6 +71,7 @@ BENCHMARK(BM_Prediction)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  bench::print_env_header("bench_fig10_cost");
   std::printf(
       "=== Figure 10: Cost Analysis — prediction time vs #steps for history "
       "5 and 8 ===\n(paper shape: 3-step > 1-step; history 8 slightly above "

@@ -11,6 +11,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_fig4_prediction");
   std::cout << "=== Figure 4: Prediction Rates (Desh three-phase LSTM) ===\n"
             << "Table 5 config: phase1 2HL/HS8/3-step CCE+SGD, "
                "phase2 2HL/HS5/1-step MSE+RMSprop, threshold 0.5\n\n";

@@ -8,6 +8,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_fig5_fpfn");
   std::cout << "=== Figure 5: False Positive and False Negative Rates ===\n\n";
   util::TextTable table({"System", "FP Rate %", "(paper)", "FN Rate %",
                          "(paper)", "TP", "FP", "FN", "TN"});

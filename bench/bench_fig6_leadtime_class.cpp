@@ -11,6 +11,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_fig6_leadtime_class");
   std::cout << "=== Table 7 / Figure 6: Lead Times by Failure Class ===\n\n";
 
   std::array<util::SampleSet, logs::kFailureClassCount> pooled;

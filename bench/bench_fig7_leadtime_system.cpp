@@ -9,6 +9,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_fig7_leadtime_system");
   std::cout << "=== Figure 7: Average Lead Times per System ===\n\n";
   util::TextTable table({"System", "Avg Lead s", "StdDev s", "TPs",
                          "Predicted Lead s (model estimate)"});

@@ -14,6 +14,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_fig8_sensitivity");
   std::cout << "=== Figure 8: Lead Time vs False Positive Rate ===\n\n";
 
   // Pool the sweep across all four systems for a stable curve.

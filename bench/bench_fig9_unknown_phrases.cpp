@@ -12,6 +12,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_fig9_unknown_phrases");
   std::cout << "=== Table 8 / Figure 9: Unknown Tagged Phrases ===\n\n";
 
   // Pool occurrences across all four systems' corpora.

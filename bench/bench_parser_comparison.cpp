@@ -18,6 +18,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_parser_comparison");
   std::cout << "=== Parser comparison: rule-based TemplateMiner vs learned "
                "DrainMiner ===\n\n";
   logs::SyntheticCraySource source(logs::profile_m3());

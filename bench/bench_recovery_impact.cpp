@@ -21,6 +21,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_recovery_impact");
   std::cout << "=== Recovery impact: reactive vs Desh-guided vs oracle ===\n\n";
 
   const logs::SystemProfile profile = logs::profile_m1();

@@ -11,6 +11,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_seed_stability");
   std::cout << "=== Seed stability: M1 metrics across 5 trace seeds ===\n\n";
   util::RunningStats recall, precision, accuracy, f1, fp_rate, lead;
   util::TextTable per_seed({"Seed", "Recall %", "Precision %", "Accuracy %",

@@ -30,6 +30,7 @@ core::SystemEvaluation evaluate_flags(
 }  // namespace
 
 int main() {
+  bench::print_env_header("bench_table10_comparison");
   std::cout << "=== Tables 10/11: Desh vs DeepLog-style vs n-gram ===\n\n";
 
   core::ConfusionCounts desh_total, deeplog_total, ngram_total;

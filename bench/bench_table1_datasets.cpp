@@ -9,6 +9,7 @@
 using namespace desh;
 
 int main() {
+  bench::print_env_header("bench_table1_datasets");
   std::cout << "=== Table 1: Log Details (paper scale vs simulated scale) ===\n\n";
   util::TextTable table({"System", "Type", "Paper Duration", "Paper Size",
                          "Paper Nodes", "Sim Nodes", "Sim Hours",

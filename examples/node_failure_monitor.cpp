@@ -12,13 +12,23 @@
 // warned about ahead of time, and how early.
 //
 //   ./node_failure_monitor [--profile tiny|m1|m2|m3|m4] [--max-warnings N]
+//                          [--stats-every N] [--stats-file PATH]
+//
+// While replaying, a telemetry stats line is printed every --stats-every
+// records (records/sec, alerts so far, observe-latency p50/p95 read from the
+// desh::obs registry). --stats-file additionally flushes the full registry
+// as JSON to PATH every 2 s (obs::FileSink), the scrape surface a resident
+// monitor would expose.
 #include <iostream>
+#include <memory>
 
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
 #include "logs/generator.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 using namespace desh;
@@ -33,6 +43,26 @@ logs::SystemProfile pick_profile(const std::string& name) {
   return logs::profile_tiny(2026);
 }
 
+/// One "stats:" line from the live telemetry registry — what an operator
+/// tailing the monitor's log would watch.
+void print_stats_line(std::size_t records_seen, double elapsed_seconds) {
+  const obs::RegistrySnapshot snap = obs::registry().snapshot();
+  double alerts = 0, p50 = 0, p95 = 0;
+  for (const obs::MetricSnapshot& m : snap.metrics) {
+    if (m.name == obs::kMonitorAlertsTotal.name) alerts = m.value;
+    if (m.name == obs::kMonitorObserveSeconds.name) {
+      p50 = obs::approx_quantile(m, 0.50);
+      p95 = obs::approx_quantile(m, 0.95);
+    }
+  }
+  const double rate = elapsed_seconds > 0 ? records_seen / elapsed_seconds : 0;
+  std::cout << "stats: " << records_seen << " records, "
+            << util::format_fixed(rate, 0) << " rec/s, "
+            << static_cast<std::size_t>(alerts) << " alerts, observe p50<="
+            << util::format_fixed(p50 * 1e3, 2) << "ms p95<="
+            << util::format_fixed(p95 * 1e3, 2) << "ms\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,6 +70,14 @@ int main(int argc, char** argv) {
   const logs::SystemProfile profile = pick_profile(args.get("profile", "tiny"));
   const auto max_warnings =
       static_cast<std::size_t>(args.get_int("max-warnings", 12));
+  const auto stats_every =
+      static_cast<std::size_t>(args.get_int("stats-every", 2000));
+  const std::string stats_file = args.get("stats-file", "");
+  std::unique_ptr<obs::FileSink> sink;
+  if (obs::compiled_in() && !stats_file.empty())
+    sink = std::make_unique<obs::FileSink>(stats_file,
+                                           /*interval_seconds=*/2.0,
+                                           obs::registry());
 
   std::cout << "== Desh streaming monitor on '" << profile.name << "' ==\n";
   logs::SyntheticCraySource source(profile);
@@ -61,9 +99,13 @@ int main(int argc, char** argv) {
   };
   std::vector<Warning> warnings;
   std::size_t printed = 0;
+  std::size_t records_seen = 0;
+  util::Stopwatch replay_clock;
 
   for (const logs::LogRecord& record : test) {
     const auto alert = monitor.observe(record);
+    if (obs::compiled_in() && ++records_seen % stats_every == 0)
+      print_stats_line(records_seen, replay_clock.elapsed_seconds());
     if (!alert) continue;
     warnings.push_back({alert->node, alert->time,
                         alert->predicted_lead_seconds});

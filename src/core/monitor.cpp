@@ -3,10 +3,34 @@
 #include <algorithm>
 
 #include "logs/template_miner.hpp"
+#include "obs/catalog.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace desh::core {
+
+namespace {
+
+// Process-wide monitor telemetry (OBSERVABILITY.md "streaming monitor").
+// Cached references: registration takes the registry lock exactly once.
+struct MonitorObs {
+  obs::Counter& records = obs::registry().counter(obs::kMonitorRecordsTotal);
+  obs::Counter& alerts = obs::registry().counter(obs::kMonitorAlertsTotal);
+  obs::Gauge& nodes = obs::registry().gauge(obs::kMonitorNodesTracked);
+  obs::Gauge& window_depth =
+      obs::registry().gauge(obs::kMonitorWindowDepth);
+  obs::Histogram& observe_seconds =
+      obs::registry().histogram(obs::kMonitorObserveSeconds);
+  obs::Histogram& batch_seconds =
+      obs::registry().histogram(obs::kMonitorBatchSeconds);
+  static MonitorObs& get() {
+    static MonitorObs instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 StreamingMonitor::StreamingMonitor(const DeshPipeline& pipeline,
                                    MonitorConfig config)
@@ -47,6 +71,10 @@ std::optional<MonitorAlert> StreamingMonitor::advance(
   const std::size_t needed =
       pipeline_.config().phase3.decision_position + 1;
   while (state.window.size() > needed) state.window.pop_front();
+  // Last-writer-wins sample; with node-sharded batches concurrent writers
+  // are expected and any of their values is a valid depth reading.
+  MonitorObs::get().window_depth.set(
+      static_cast<double>(state.window.size()));
   if (record.timestamp < state.silenced_until) return std::nullopt;
   if (state.window.size() < needed) return std::nullopt;
 
@@ -71,18 +99,30 @@ std::optional<MonitorAlert> StreamingMonitor::advance(
 
 std::optional<MonitorAlert> StreamingMonitor::observe(
     const logs::LogRecord& record) {
+  MonitorObs& obs = MonitorObs::get();
+  util::Stopwatch sw;
   ++records_seen_;
+  obs.records.add();
   const std::optional<std::uint32_t> phrase = encode_anomalous(record);
-  if (!phrase) return std::nullopt;
-  std::optional<MonitorAlert> alert =
-      advance(nodes_[record.node], record, *phrase);
-  if (alert) ++alerts_raised_;
+  std::optional<MonitorAlert> alert;
+  if (phrase) {
+    alert = advance(nodes_[record.node], record, *phrase);
+    if (alert) {
+      ++alerts_raised_;
+      obs.alerts.add();
+    }
+  }
+  obs.nodes.set(static_cast<double>(nodes_.size()));
+  obs.observe_seconds.observe(sw.elapsed_seconds());
   return alert;
 }
 
 std::vector<MonitorAlert> StreamingMonitor::observe_batch(
     std::span<const logs::LogRecord> records) {
+  MonitorObs& obs = MonitorObs::get();
+  util::Stopwatch sw;
   records_seen_ += records.size();
+  obs.records.add(records.size());
 
   // (1) Parallel pre-pass: template extraction + vocabulary encoding is the
   // per-record CPU cost and touches no monitor state.
@@ -130,6 +170,9 @@ std::vector<MonitorAlert> StreamingMonitor::observe_batch(
   out.reserve(merged.size());
   for (auto& [index, alert] : merged) out.push_back(std::move(alert));
   alerts_raised_ += out.size();
+  obs.alerts.add(out.size());
+  obs.nodes.set(static_cast<double>(nodes_.size()));
+  obs.batch_seconds.observe(sw.elapsed_seconds());
   return out;
 }
 

@@ -5,6 +5,8 @@
 
 #include "nn/data_parallel.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/catalog.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace desh::core {
@@ -42,6 +44,11 @@ std::vector<std::vector<std::uint32_t>> Phase1Trainer::make_windows(
 }
 
 float Phase1Trainer::fit(const chains::ParsedLog& train) {
+  obs::TraceSpan span("phase1.fit");
+  static obs::Counter& obs_epochs =
+      obs::registry().counter(obs::kPhase1EpochsTotal);
+  static obs::Gauge& obs_epoch_loss =
+      obs::registry().gauge(obs::kPhase1EpochLoss);
   const std::size_t window_len = config_.history + config_.steps;
   nn::Sgd optimizer(config_.learning_rate, config_.momentum);
 
@@ -81,6 +88,8 @@ float Phase1Trainer::fit(const chains::ParsedLog& train) {
     }
     if (batches > 0)
       last_epoch_loss = static_cast<float>(epoch_loss / static_cast<double>(batches));
+    obs_epochs.add();
+    obs_epoch_loss.set(static_cast<double>(last_epoch_loss));
     optimizer.set_learning_rate(optimizer.learning_rate() *
                                 config_.lr_decay_per_epoch);
   }

@@ -5,6 +5,8 @@
 
 #include "nn/data_parallel.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/catalog.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace desh::core {
@@ -40,6 +42,11 @@ float Phase2Trainer::update(const std::vector<nn::ChainSequence>& new_chains,
 
 float Phase2Trainer::train_epochs(const std::vector<nn::ChainSequence>& chains,
                                   std::size_t epochs, float learning_rate) {
+  obs::TraceSpan span("phase2.train");
+  static obs::Counter& obs_epochs =
+      obs::registry().counter(obs::kPhase2EpochsTotal);
+  static obs::Gauge& obs_epoch_loss =
+      obs::registry().gauge(obs::kPhase2EpochLoss);
 
   // One training window per predictable position of every chain, with the
   // same windowing phase 3 scores with: position t is predicted from the
@@ -114,6 +121,8 @@ float Phase2Trainer::train_epochs(const std::vector<nn::ChainSequence>& chains,
     }
     last_epoch_loss =
         static_cast<float>(epoch_loss / static_cast<double>(batches));
+    obs_epochs.add();
+    obs_epoch_loss.set(static_cast<double>(last_epoch_loss));
   }
   return last_epoch_loss;
 }

@@ -2,6 +2,8 @@
 
 #include "chains/delta_time.hpp"
 #include "embed/skipgram.hpp"
+#include "obs/catalog.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -38,6 +40,9 @@ const Phase2Trainer& DeshPipeline::phase2() const {
 
 FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
   util::require(!train_corpus.empty(), "DeshPipeline::fit: empty corpus");
+  // Child spans (skipgram.train, phase1.fit, phase2.train) nest under this
+  // one, so a scrape shows the fit broken down by stage.
+  obs::TraceSpan span("pipeline.fit");
   FitReport report;
 
   // (1) Parse the raw log: static/dynamic split + phrase encoding.
@@ -115,6 +120,7 @@ FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
 
 TestRun DeshPipeline::predict(const logs::LogCorpus& test_corpus) const {
   util::require(fitted_, "DeshPipeline::predict: fit() has not run");
+  obs::TraceSpan span("pipeline.predict");
   TestRun run;
   // Vocabulary is frozen: unseen test templates encode to <unk>.
   logs::PhraseVocab frozen = vocab_;
@@ -129,9 +135,14 @@ TestRun DeshPipeline::predict(const logs::LogCorpus& test_corpus) const {
   Phase3Predictor predictor(phase2_->model(), config_.phase3);
   run.predictions.resize(run.candidates.size());
   util::ThreadPool pool(config_.threads);
+  util::Stopwatch score_timer;
   pool.parallel_for(run.candidates.size(), [&](std::size_t i, std::size_t) {
     run.predictions[i] = predictor.decide(run.candidates[i]);
   });
+  obs::registry().counter(obs::kPredictCandidatesTotal)
+      .add(run.candidates.size());
+  obs::registry().histogram(obs::kPredictScoreSeconds)
+      .observe(score_timer.elapsed_seconds());
   return run;
 }
 
@@ -142,9 +153,13 @@ std::vector<FailurePrediction> DeshPipeline::redecide(
   Phase3Predictor predictor(phase2_->model(), config_.phase3);
   std::vector<FailurePrediction> out(candidates.size());
   util::ThreadPool pool(config_.threads);
+  util::Stopwatch score_timer;
   pool.parallel_for(candidates.size(), [&](std::size_t i, std::size_t) {
     out[i] = predictor.decide_at(candidates[i], decision_position);
   });
+  obs::registry().counter(obs::kPredictCandidatesTotal).add(candidates.size());
+  obs::registry().histogram(obs::kPredictScoreSeconds)
+      .observe(score_timer.elapsed_seconds());
   return out;
 }
 

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/catalog.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace desh::embed {
@@ -70,6 +73,13 @@ SkipGram::SkipGram(const SkipGramConfig& config, util::Rng& rng)
 void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
                      std::size_t epochs) {
   util::require(epochs >= 1, "SkipGram::train: epochs must be >= 1");
+  obs::TraceSpan obs_span("skipgram.train");
+  static obs::Counter& obs_pairs =
+      obs::registry().counter(obs::kSkipgramPairsTotal);
+  static obs::Counter& obs_positions =
+      obs::registry().counter(obs::kSkipgramPositionsTotal);
+  const std::uint64_t pairs_before = obs_pairs.value();
+  util::Stopwatch obs_timer;
 
   // Unigram^(3/4) negative-sampling distribution from the corpus.
   std::vector<double> counts(config_.vocab_size, 0.0);
@@ -127,6 +137,7 @@ void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
       const std::size_t active = (block_n + shard - 1) / shard;
 
       pool.parallel_for(active, [&](std::size_t s, std::size_t) {
+        std::size_t local_pairs = 0;  // batched into the counter per shard
         UpdateList& out = updates[s];
         out.clear();
         util::Rng& neg_rng = shard_rngs[s];
@@ -156,6 +167,7 @@ void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
               n - 1, t + static_cast<std::ptrdiff_t>(config_.window_after));
           for (std::ptrdiff_t c = lo; c <= hi; ++c) {
             if (c == t) continue;
+            ++local_pairs;
             const std::uint32_t context = seq[static_cast<std::size_t>(c)];
             std::fill(grad_target.begin(), grad_target.end(), 0.0f);
             // Re-fetched per pair: the previous pair's target update must be
@@ -193,6 +205,7 @@ void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
             }
           }
         }
+        obs_pairs.add(local_pairs);
       });
 
       // Shard-ordered reduction: apply every shard's update list in emission
@@ -215,6 +228,11 @@ void SkipGram::train(std::span<const std::vector<std::uint32_t>> sequences,
       }
     }
   }
+  obs_positions.add(total_steps);
+  const double elapsed = obs_timer.elapsed_seconds();
+  if (elapsed > 0)
+    obs::registry().gauge(obs::kSkipgramPairsPerSecond)
+        .set(static_cast<double>(obs_pairs.value() - pairs_before) / elapsed);
 }
 
 float SkipGram::cosine(std::uint32_t a, std::uint32_t b) const {

@@ -21,8 +21,10 @@
 
 #include "nn/optimizer.hpp"
 #include "nn/parameter.hpp"
+#include "obs/catalog.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace desh::nn {
@@ -75,6 +77,18 @@ class DataParallelTrainer {
   float train_step(std::span<const Item> batch, Optimizer& optimizer,
                    float clip_norm, FwdBwd&& fwd_bwd) {
     util::require(!batch.empty(), "DataParallelTrainer: empty batch");
+    // Telemetry observes only (timers + counters on the step boundary);
+    // shard decomposition and reduction order are untouched, preserving
+    // bit-identical results at any thread count.
+    static obs::Counter& obs_steps =
+        obs::registry().counter(obs::kTrainStepsTotal);
+    static obs::Counter& obs_clips =
+        obs::registry().counter(obs::kTrainGradClipTotal);
+    static obs::Histogram& obs_step_seconds =
+        obs::registry().histogram(obs::kTrainStepSeconds);
+    static obs::Gauge& obs_grad_norm =
+        obs::registry().gauge(obs::kTrainGradNorm);
+    util::Stopwatch step_timer;
     const std::size_t shards = (batch.size() + shard_size_ - 1) / shard_size_;
     ensure_shard_buffers(shards);
 
@@ -107,9 +121,13 @@ class DataParallelTrainer {
       for (std::size_t p = 0; p < master_params_.size(); ++p)
         tensor::axpy(weight, shard_grads_[s][p], master_params_[p]->grad);
     }
-    clip_global_norm(master_params_, clip_norm);
+    const float grad_norm = clip_global_norm(master_params_, clip_norm);
     optimizer.step(master_params_);
     zero_grads(master_params_);
+    obs_grad_norm.set(static_cast<double>(grad_norm));
+    if (grad_norm > clip_norm) obs_clips.add();
+    obs_steps.add();
+    obs_step_seconds.observe(step_timer.elapsed_seconds());
     return static_cast<float>(loss);
   }
 

@@ -1,0 +1,118 @@
+// The complete catalog of runtime metrics Desh emits. Every instrumented
+// call site registers through one of these MetricDef constants, and
+// kCatalog enumerates them all, so:
+//   - metric names/kinds/units live in exactly one place;
+//   - the exporter golden test can assert that OBSERVABILITY.md documents
+//     every metric the code can emit (iterate kCatalog, grep the doc);
+//   - adding a metric without cataloging it here is a compile error at the
+//     call site (registry methods take a MetricDef, not a bare string).
+// Keep OBSERVABILITY.md's taxonomy table in sync with this file.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace desh::obs {
+
+// --- training (DataParallelTrainer: phases 1 and 2) ----------------------
+inline constexpr MetricDef kTrainStepsTotal{
+    "desh_train_steps_total", "counter", "steps",
+    "Optimizer steps taken by the data-parallel training engine"};
+inline constexpr MetricDef kTrainGradClipTotal{
+    "desh_train_grad_clip_total", "counter", "steps",
+    "Training steps whose global gradient norm exceeded the clip threshold"};
+inline constexpr MetricDef kTrainStepSeconds{
+    "desh_train_step_seconds", "histogram", "seconds",
+    "Wall time of one train_step (shard dispatch + reduction + step)"};
+inline constexpr MetricDef kTrainGradNorm{
+    "desh_train_grad_norm", "gauge", "l2",
+    "Pre-clip global gradient norm of the most recent training step"};
+inline constexpr MetricDef kPhase1EpochsTotal{
+    "desh_phase1_epochs_total", "counter", "epochs",
+    "Phase-1 (phrase LSTM) training epochs completed"};
+inline constexpr MetricDef kPhase1EpochLoss{
+    "desh_phase1_epoch_loss", "gauge", "loss",
+    "Mean phase-1 batch loss of the most recent epoch"};
+inline constexpr MetricDef kPhase2EpochsTotal{
+    "desh_phase2_epochs_total", "counter", "epochs",
+    "Phase-2 (chain model) training epochs completed"};
+inline constexpr MetricDef kPhase2EpochLoss{
+    "desh_phase2_epoch_loss", "gauge", "loss",
+    "Mean phase-2 batch loss of the most recent epoch"};
+
+// --- skip-gram embedding pre-training ------------------------------------
+inline constexpr MetricDef kSkipgramPairsTotal{
+    "desh_skipgram_pairs_total", "counter", "pairs",
+    "(target, context) pairs processed by SkipGram::train"};
+inline constexpr MetricDef kSkipgramPositionsTotal{
+    "desh_skipgram_positions_total", "counter", "positions",
+    "Corpus positions walked by SkipGram::train (epochs x tokens)"};
+inline constexpr MetricDef kSkipgramPairsPerSecond{
+    "desh_skipgram_pairs_per_second", "gauge", "pairs/s",
+    "Throughput of the most recent SkipGram::train call"};
+
+// --- streaming monitor (the resident deployment surface) -----------------
+inline constexpr MetricDef kMonitorRecordsTotal{
+    "desh_monitor_records_total", "counter", "records",
+    "Log records ingested by StreamingMonitor (observe + observe_batch)"};
+inline constexpr MetricDef kMonitorAlertsTotal{
+    "desh_monitor_alerts_total", "counter", "alerts",
+    "Failure alerts raised by StreamingMonitor"};
+inline constexpr MetricDef kMonitorNodesTracked{
+    "desh_monitor_nodes_tracked", "gauge", "nodes",
+    "Nodes with live window state in the monitor"};
+inline constexpr MetricDef kMonitorWindowDepth{
+    "desh_monitor_window_depth", "gauge", "events",
+    "Anomalous-event window depth of the most recently advanced node"};
+inline constexpr MetricDef kMonitorObserveSeconds{
+    "desh_monitor_observe_seconds", "histogram", "seconds",
+    "End-to-end latency of one observe() call (parse + encode + match)"};
+inline constexpr MetricDef kMonitorBatchSeconds{
+    "desh_monitor_batch_seconds", "histogram", "seconds",
+    "End-to-end latency of one observe_batch() call"};
+
+// --- phase-3 scoring (pipeline predict/redecide) --------------------------
+inline constexpr MetricDef kPredictCandidatesTotal{
+    "desh_predict_candidates_total", "counter", "candidates",
+    "Candidate sequences scored by the phase-3 predictor"};
+inline constexpr MetricDef kPredictScoreSeconds{
+    "desh_predict_score_seconds", "histogram", "seconds",
+    "Wall time of one parallel candidate-scoring pass"};
+
+// --- worker pool ----------------------------------------------------------
+inline constexpr MetricDef kPoolWorkers{
+    "desh_pool_workers", "gauge", "threads",
+    "Worker count of the most recently constructed ThreadPool"};
+inline constexpr MetricDef kPoolParallelJobsTotal{
+    "desh_pool_parallel_jobs_total", "counter", "jobs",
+    "parallel_for jobs executed across all pools"};
+inline constexpr MetricDef kPoolParallelForSeconds{
+    "desh_pool_parallel_for_seconds", "histogram", "seconds",
+    "Wall time of one parallel_for call (all items, caller included)"};
+inline constexpr MetricDef kPoolTasksTotal{
+    "desh_pool_tasks_total", "counter", "tasks",
+    "submit() tasks executed across all pools"};
+inline constexpr MetricDef kPoolTaskSeconds{
+    "desh_pool_task_seconds", "histogram", "seconds",
+    "Execution time of one submit() task"};
+inline constexpr MetricDef kPoolQueueWaitSeconds{
+    "desh_pool_queue_wait_seconds", "histogram", "seconds",
+    "Time a submit() task spent queued before a worker picked it up"};
+inline constexpr MetricDef kPoolWorkerBusySeconds{
+    "desh_pool_worker_busy_seconds", "gauge", "seconds",
+    "Cumulative busy time per worker slot (label: worker index; "
+    "utilization = busy / (wall x workers))"};
+
+/// Everything above, for exhaustive iteration (docs test, exporters demo).
+inline constexpr const MetricDef* kCatalog[] = {
+    &kTrainStepsTotal,      &kTrainGradClipTotal,  &kTrainStepSeconds,
+    &kTrainGradNorm,        &kPhase1EpochsTotal,   &kPhase1EpochLoss,
+    &kPhase2EpochsTotal,    &kPhase2EpochLoss,     &kSkipgramPairsTotal,
+    &kSkipgramPositionsTotal, &kSkipgramPairsPerSecond,
+    &kMonitorRecordsTotal,  &kMonitorAlertsTotal,  &kMonitorNodesTracked,
+    &kMonitorWindowDepth,   &kMonitorObserveSeconds, &kMonitorBatchSeconds,
+    &kPredictCandidatesTotal, &kPredictScoreSeconds, &kPoolWorkers,
+    &kPoolParallelJobsTotal, &kPoolParallelForSeconds, &kPoolTasksTotal,
+    &kPoolTaskSeconds,      &kPoolQueueWaitSeconds, &kPoolWorkerBusySeconds,
+};
+
+}  // namespace desh::obs

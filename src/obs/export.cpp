@@ -1,0 +1,193 @@
+#include "obs/export.hpp"
+
+#if DESH_OBS_ENABLED
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace desh::obs {
+
+namespace {
+
+/// Shortest-faithful double formatting ("%.9g" strips trailing noise while
+/// round-tripping every value the registry produces) — keeps the golden
+/// exporter tests byte-stable across platforms.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// `{label="value"}` or `{label="value",extra}` rendering for prometheus.
+std::string promql_labels(const MetricSnapshot& m,
+                          const std::string& extra = {}) {
+  std::string inner;
+  if (!m.label_key.empty())
+    inner = m.label_key + "=\"" + m.label_value + "\"";
+  if (!extra.empty()) {
+    if (!inner.empty()) inner += ",";
+    inner += extra;
+  }
+  return inner.empty() ? std::string() : "{" + inner + "}";
+}
+
+}  // namespace
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(m.name) + "\"";
+    if (!m.label_key.empty())
+      out += ", \"" + json_escape(m.label_key) + "\": \"" +
+             json_escape(m.label_value) + "\"";
+    out += ", \"kind\": \"" + m.kind + "\", \"unit\": \"" +
+           json_escape(m.unit) + "\"";
+    if (m.kind == "histogram") {
+      out += ", \"buckets\": [";
+      for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+        if (b > 0) out += ", ";
+        const std::string le =
+            b < m.bounds.size() ? fmt(m.bounds[b]) : "\"+Inf\"";
+        out += "{\"le\": " + le + ", \"count\": " +
+               std::to_string(m.bucket_counts[b]) + "}";
+      }
+      out += "], \"sum\": " + fmt(m.sum) +
+             ", \"count\": " + std::to_string(m.count);
+    } else if (m.kind == "counter") {
+      out += ", \"value\": " + std::to_string(m.count);
+    } else {
+      out += ", \"value\": " + fmt(m.value);
+    }
+    out += "}";
+  }
+  out += "\n  ],\n  \"spans\": [";
+  first = true;
+  for (const auto& [path, stats] : snapshot.spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"path\": \"" + json_escape(path) +
+           "\", \"count\": " + std::to_string(stats.count) +
+           ", \"total_seconds\": " + fmt(stats.total_seconds) +
+           ", \"min_seconds\": " + fmt(stats.min_seconds) +
+           ", \"max_seconds\": " + fmt(stats.max_seconds) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  std::string last_family;  // HELP/TYPE once per family, not per label
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.name != last_family) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + m.kind + "\n";
+      last_family = m.name;
+    }
+    if (m.kind == "histogram") {
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+        cumulative += m.bucket_counts[b];
+        const std::string le =
+            b < m.bounds.size() ? fmt(m.bounds[b]) : "+Inf";
+        out += m.name + "_bucket" +
+               promql_labels(m, "le=\"" + le + "\"") + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += m.name + "_sum" + promql_labels(m) + " " + fmt(m.sum) + "\n";
+      out += m.name + "_count" + promql_labels(m) + " " +
+             std::to_string(m.count) + "\n";
+    } else if (m.kind == "counter") {
+      out += m.name + promql_labels(m) + " " + std::to_string(m.count) + "\n";
+    } else {
+      out += m.name + promql_labels(m) + " " + fmt(m.value) + "\n";
+    }
+  }
+  if (!snapshot.spans.empty()) {
+    out += "# HELP desh_span_seconds TraceSpan wall time by call path\n";
+    out += "# TYPE desh_span_seconds summary\n";
+    for (const auto& [path, stats] : snapshot.spans) {
+      const std::string label = "{span=\"" + path + "\"}";
+      out += "desh_span_seconds_count" + label + " " +
+             std::to_string(stats.count) + "\n";
+      out += "desh_span_seconds_sum" + label + " " +
+             fmt(stats.total_seconds) + "\n";
+      out += "desh_span_seconds_min" + label + " " + fmt(stats.min_seconds) +
+             "\n";
+      out += "desh_span_seconds_max" + label + " " + fmt(stats.max_seconds) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+double approx_quantile(const MetricSnapshot& histogram, double q) {
+  if (histogram.count == 0) return 0;
+  const double rank = q * static_cast<double>(histogram.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < histogram.bucket_counts.size(); ++b) {
+    cumulative += histogram.bucket_counts[b];
+    if (static_cast<double>(cumulative) >= rank)
+      return b < histogram.bounds.size()
+                 ? histogram.bounds[b]
+                 : (histogram.bounds.empty() ? 0 : histogram.bounds.back());
+  }
+  return histogram.bounds.empty() ? 0 : histogram.bounds.back();
+}
+
+FileSink::FileSink(std::string path, double interval_seconds,
+                   MetricsRegistry& registry)
+    : path_(std::move(path)),
+      interval_seconds_(interval_seconds > 0 ? interval_seconds : 10.0),
+      registry_(registry) {
+  thread_ = std::thread([this] {
+    std::unique_lock lock(mu_);
+    while (!stopping_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(interval_seconds_),
+                   [this] { return stopping_; });
+      if (stopping_) break;
+      lock.unlock();
+      flush_now();
+      lock.lock();
+    }
+  });
+}
+
+FileSink::~FileSink() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  flush_now();  // final snapshot so short-lived processes still report
+}
+
+void FileSink::flush_now() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // sink is best-effort; never throw from telemetry
+    out << to_json(registry_.snapshot());
+  }
+  std::rename(tmp.c_str(), path_.c_str());
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace desh::obs
+
+#endif  // DESH_OBS_ENABLED

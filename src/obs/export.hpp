@@ -1,0 +1,78 @@
+// Exporters for MetricsRegistry snapshots: a JSON document (machine
+// consumption, periodic file flush), the Prometheus text exposition format
+// (scraping a resident monitor), and a background flush-to-file sink.
+// Output is deterministic for a given snapshot — metrics sorted by
+// (name, label), fixed number formatting — so golden tests can compare
+// exact strings. Sample output for both formats is in OBSERVABILITY.md.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace desh::obs {
+
+#if DESH_OBS_ENABLED
+
+/// Renders a snapshot as one JSON document (keys: "metrics", "spans").
+std::string to_json(const RegistrySnapshot& snapshot);
+
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): # HELP / # TYPE headers, cumulative `le` buckets, spans as
+/// desh_span_seconds_* series labeled by path.
+std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+/// Approximate quantile (q in [0,1]) of a histogram snapshot: the upper
+/// bound of the bucket holding the q-th observation. 0 when empty.
+double approx_quantile(const MetricSnapshot& histogram, double q);
+
+/// Background sink: writes to_json(registry.snapshot()) to `path`
+/// (atomically, via rename of a .tmp) every `interval_seconds`, plus a
+/// final flush on destruction. Intended for a resident monitor whose stats
+/// are tailed by an external collector.
+class FileSink {
+ public:
+  FileSink(std::string path, double interval_seconds,
+           MetricsRegistry& registry = MetricsRegistry::instance());
+  ~FileSink();
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  /// Synchronous flush (also what the background thread calls).
+  void flush_now();
+  std::uint64_t flush_count() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string path_;
+  double interval_seconds_;
+  MetricsRegistry& registry_;
+  std::atomic<std::uint64_t> flushes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+#else  // !DESH_OBS_ENABLED
+
+inline std::string to_json(const RegistrySnapshot&) { return "{}"; }
+inline std::string to_prometheus(const RegistrySnapshot&) { return ""; }
+inline double approx_quantile(const MetricSnapshot&, double) { return 0; }
+
+class FileSink {
+ public:
+  FileSink(std::string, double,
+           MetricsRegistry& = MetricsRegistry::instance()) {}
+  void flush_now() {}
+  std::uint64_t flush_count() const { return 0; }
+};
+
+#endif  // DESH_OBS_ENABLED
+
+}  // namespace desh::obs

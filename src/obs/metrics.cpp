@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#if DESH_OBS_ENABLED
+
+#include <algorithm>
+
+#include "obs/export.hpp"
+
+namespace desh::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::mutex g_sink_mu;
+std::unique_ptr<FileSink> g_sink;  // guarded by g_sink_mu
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void configure(const DeshObsConfig& config) {
+  g_enabled.store(config.enabled, std::memory_order_relaxed);
+  std::lock_guard lock(g_sink_mu);
+  g_sink.reset();  // stop (and final-flush) any previous sink first
+  if (!config.flush_path.empty())
+    g_sink = std::make_unique<FileSink>(config.flush_path,
+                                        config.flush_interval_seconds);
+}
+
+namespace detail {
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (Shard& s : shards_) {
+    s.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) s.buckets[b] = 0;
+  }
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& s = shards_[detail::thread_shard()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_)
+    for (std::size_t b = 0; b < out.size(); ++b)
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_)
+    total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0;
+  for (const Shard& s : shards_)
+    total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> latency_buckets() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2, 0.1,    0.25, 0.5,  1.0,    2.5,  5.0,  10.0,
+          25.0, 50.0,   100.0};
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const MetricDef& def, std::string_view kind, std::string_view label_key,
+    std::string_view label_value) {
+  // The caller holds mu_.
+  std::string key = std::string(def.name) + '\0' + std::string(label_value);
+  auto [it, inserted] = entries_.try_emplace(std::move(key));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.def = def;
+    entry.label_key = std::string(label_key);
+    entry.label_value = std::string(label_value);
+  }
+  (void)kind;
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(const MetricDef& def,
+                                  std::string_view label_key,
+                                  std::string_view label_value) {
+  std::lock_guard lock(mu_);
+  Entry& entry = find_or_create(def, "counter", label_key, label_value);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const MetricDef& def, std::string_view label_key,
+                              std::string_view label_value) {
+  std::lock_guard lock(mu_);
+  Entry& entry = find_or_create(def, "gauge", label_key, label_value);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const MetricDef& def,
+                                      std::vector<double> bounds,
+                                      std::string_view label_key,
+                                      std::string_view label_value) {
+  std::lock_guard lock(mu_);
+  Entry& entry = find_or_create(def, "histogram", label_key, label_value);
+  if (!entry.histogram)
+    entry.histogram = std::make_unique<Histogram>(
+        bounds.empty() ? latency_buckets() : std::move(bounds));
+  return *entry.histogram;
+}
+
+void MetricsRegistry::record_span(const std::string& path, double seconds) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  SpanStats& stats = spans_[path];
+  if (stats.count == 0 || seconds < stats.min_seconds)
+    stats.min_seconds = seconds;
+  if (stats.count == 0 || seconds > stats.max_seconds)
+    stats.max_seconds = seconds;
+  ++stats.count;
+  stats.total_seconds += seconds;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot out;
+  std::lock_guard lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = entry.def.name;
+    m.label_key = entry.label_key;
+    m.label_value = entry.label_value;
+    m.kind = entry.def.kind;
+    m.unit = entry.def.unit;
+    m.help = entry.def.help;
+    if (entry.counter) {
+      m.value = static_cast<double>(entry.counter->value());
+      m.count = entry.counter->value();
+    } else if (entry.gauge) {
+      m.value = entry.gauge->value();
+    } else if (entry.histogram) {
+      m.bounds = entry.histogram->bounds();
+      m.bucket_counts = entry.histogram->bucket_counts();
+      m.count = entry.histogram->count();
+      m.sum = entry.histogram->sum();
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  // std::map iteration is already (name, label) ordered via the key.
+  for (const auto& [path, stats] : spans_) out.spans.emplace_back(path, stats);
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+  spans_.clear();
+}
+
+}  // namespace desh::obs
+
+#endif  // DESH_OBS_ENABLED

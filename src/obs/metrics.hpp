@@ -1,0 +1,311 @@
+// Runtime telemetry for the resident Desh monitor (counters, gauges,
+// histograms) — distinct from the *evaluation* metrics in core/metrics.*,
+// which score predictions against ground truth. These metrics describe the
+// process itself: how many records flowed, how long steps took, how busy the
+// worker pool is. See OBSERVABILITY.md for the full taxonomy.
+//
+// Design constraints:
+//  - zero dependencies beyond the standard library (util links *against*
+//    this library, not the other way around);
+//  - lock-free fast path: counters and histograms write to per-thread
+//    shards (cacheline-padded relaxed atomics) that are only summed on
+//    scrape, so the hot paths never contend on a mutex;
+//  - observation never feeds back into computation: telemetry cannot change
+//    training numerics, so the PR-1 parallel-equivalence guarantees hold
+//    with telemetry on or off;
+//  - compile-out switch: building with -DDESH_OBS=OFF (CMake) defines
+//    DESH_OBS_ENABLED=0 and every type below becomes an empty inline no-op,
+//    so instrumented call sites cost nothing, not even a branch;
+//  - runtime switch: obs::configure({.enabled = false}) turns recording off
+//    behind a single relaxed atomic-bool load per call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef DESH_OBS_ENABLED
+#define DESH_OBS_ENABLED 1
+#endif
+
+namespace desh::obs {
+
+/// True when the library was built with telemetry compiled in.
+constexpr bool compiled_in() { return DESH_OBS_ENABLED != 0; }
+
+/// Static description of one metric family. Every metric the code emits is
+/// declared once in catalog.hpp; the exporter test cross-checks the catalog
+/// against OBSERVABILITY.md so the documentation cannot rot silently.
+struct MetricDef {
+  const char* name;  // prometheus-style snake_case family name
+  const char* kind;  // "counter" | "gauge" | "histogram"
+  const char* unit;  // "1", "seconds", "records", ...
+  const char* help;  // one-line human description
+};
+
+/// Process-wide runtime configuration. `flush_path` non-empty starts a
+/// background sink writing a JSON snapshot every `flush_interval_seconds`.
+struct DeshObsConfig {
+  bool enabled = true;
+  std::string flush_path;
+  double flush_interval_seconds = 10.0;
+};
+
+#if DESH_OBS_ENABLED
+
+/// Applies `config` process-wide (runtime on/off + optional file sink).
+void configure(const DeshObsConfig& config);
+
+/// Runtime master switch (relaxed load; true by default).
+bool enabled();
+
+namespace detail {
+inline constexpr std::size_t kShards = 8;
+
+/// Stable per-thread shard slot in [0, kShards). Threads are assigned
+/// round-robin on first use; two threads may share a slot (the atomics make
+/// that safe — sharding is a contention optimisation, not a partition).
+std::size_t thread_shard();
+
+struct alignas(64) PaddedCount {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Sum over shards. Concurrent snapshots are monotonic (each shard is an
+  /// atomic that only grows) but may trail in-flight increments.
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::PaddedCount shards_[detail::kShards];
+};
+
+/// Last-writer-wins floating-point level (also supports add() for
+/// accumulating quantities like busy-seconds).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) {
+    if (!enabled()) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. A value lands in the first bucket whose upper
+/// bound is >= value (prometheus `le` semantics); values above the last
+/// bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, +Inf last).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[detail::kShards];
+};
+
+/// Exponential latency ladder from 100us to ~100s — the default bounds for
+/// every *_seconds histogram in the catalog.
+std::vector<double> latency_buckets();
+
+/// Aggregated statistics of one TraceSpan path (see trace.hpp).
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+};
+
+/// Point-in-time copy of one metric, for the exporters.
+struct MetricSnapshot {
+  std::string name;
+  std::string label_key;    // empty = unlabeled
+  std::string label_value;
+  std::string kind;
+  std::string unit;
+  std::string help;
+  double value = 0;                        // counter/gauge
+  std::vector<double> bounds;              // histogram only
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;              // sorted by (name, label)
+  std::vector<std::pair<std::string, SpanStats>> spans;  // sorted by path
+};
+
+/// Registry of live metrics. Registration (slow path) takes a mutex and
+/// returns a reference that stays valid for the registry's lifetime — call
+/// sites cache it in a function-local static and never look it up again.
+/// reset() zeroes values but never invalidates references.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const MetricDef& def, std::string_view label_key = {},
+                   std::string_view label_value = {});
+  Gauge& gauge(const MetricDef& def, std::string_view label_key = {},
+               std::string_view label_value = {});
+  /// Empty `bounds` means latency_buckets().
+  Histogram& histogram(const MetricDef& def, std::vector<double> bounds = {},
+                       std::string_view label_key = {},
+                       std::string_view label_value = {});
+
+  /// Called by TraceSpan on scope exit.
+  void record_span(const std::string& path, double seconds);
+
+  RegistrySnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct Entry {
+    MetricDef def;
+    std::string label_key, label_value;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(const MetricDef& def, std::string_view kind,
+                        std::string_view label_key,
+                        std::string_view label_value);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;      // key: name + '\0' + label
+  std::map<std::string, SpanStats> spans_;
+};
+
+#else  // !DESH_OBS_ENABLED — every type collapses to an inline no-op.
+
+inline void configure(const DeshObsConfig&) {}
+inline bool enabled() { return false; }
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  void add(double) {}
+  double value() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}) {}
+  void observe(double) {}
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> empty;
+    return empty;
+  }
+  std::vector<std::uint64_t> bucket_counts() const { return {}; }
+  std::uint64_t count() const { return 0; }
+  double sum() const { return 0; }
+  void reset() {}
+};
+
+inline std::vector<double> latency_buckets() { return {}; }
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+};
+
+struct MetricSnapshot {
+  std::string name, label_key, label_value, kind, unit, help;
+  double value = 0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+  std::vector<std::pair<std::string, SpanStats>> spans;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() {
+    static MetricsRegistry r;
+    return r;
+  }
+  Counter& counter(const MetricDef&, std::string_view = {},
+                   std::string_view = {}) {
+    static Counter c;
+    return c;
+  }
+  Gauge& gauge(const MetricDef&, std::string_view = {},
+               std::string_view = {}) {
+    static Gauge g;
+    return g;
+  }
+  Histogram& histogram(const MetricDef&, std::vector<double> = {},
+                       std::string_view = {}, std::string_view = {}) {
+    static Histogram h{std::vector<double>{}};
+    return h;
+  }
+  void record_span(const std::string&, double) {}
+  RegistrySnapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+#endif  // DESH_OBS_ENABLED
+
+/// Shorthand for MetricsRegistry::instance().
+inline MetricsRegistry& registry() { return MetricsRegistry::instance(); }
+
+}  // namespace desh::obs

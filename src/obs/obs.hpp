@@ -1,0 +1,10 @@
+// Umbrella header for the desh::obs runtime telemetry subsystem:
+// MetricsRegistry (metrics.hpp), the metric catalog (catalog.hpp), RAII
+// TraceSpan scoped timers (trace.hpp) and the JSON/Prometheus/file-sink
+// exporters (export.hpp). See OBSERVABILITY.md for the operator guide.
+#pragma once
+
+#include "obs/catalog.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,43 @@
+#include "obs/trace.hpp"
+
+#if DESH_OBS_ENABLED
+
+#include <chrono>
+
+namespace desh::obs {
+
+namespace {
+
+thread_local TraceSpan* t_current = nullptr;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(std::string_view name) : parent_(t_current) {
+  path_ = parent_ ? parent_->path_ + "/" + std::string(name)
+                  : std::string(name);
+  // The nesting stack is always maintained (so children created after a
+  // runtime re-enable still get correct paths); only timing is gated.
+  start_seconds_ = enabled() ? now_seconds() : -1.0;
+  t_current = this;
+}
+
+TraceSpan::~TraceSpan() {
+  t_current = parent_;
+  if (start_seconds_ < 0) return;
+  MetricsRegistry::instance().record_span(path_,
+                                          now_seconds() - start_seconds_);
+}
+
+std::string TraceSpan::current_path() {
+  return t_current ? t_current->path_ : std::string();
+}
+
+}  // namespace desh::obs
+
+#endif  // DESH_OBS_ENABLED

@@ -1,0 +1,56 @@
+// RAII scoped timers with parent/child nesting, recorded into the global
+// MetricsRegistry as per-path SpanStats (count / total / min / max).
+//
+// A span's path is its name appended to the enclosing span's path on the
+// same thread ("pipeline.fit/phase1.fit/..."), so one aggregate per *call
+// path* accumulates — cheap enough to leave on in production, structured
+// enough to see where a fit() spent its time. Nesting is tracked with one
+// thread_local pointer; when telemetry is compiled out the whole class is
+// an empty inline no-op.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace desh::obs {
+
+#if DESH_OBS_ENABLED
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Full path of this span ("parent/child/...").
+  const std::string& path() const { return path_; }
+
+  /// Path of the innermost live span on this thread ("" when none) —
+  /// exposed for the nesting tests.
+  static std::string current_path();
+
+ private:
+  TraceSpan* parent_;
+  std::string path_;
+  double start_seconds_;  // steady-clock seconds; negative when disabled
+};
+
+#else
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view) {}
+  const std::string& path() const {
+    static const std::string empty;
+    return empty;
+  }
+  static std::string current_path() { return {}; }
+};
+
+#endif  // DESH_OBS_ENABLED
+
+}  // namespace desh::obs

@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/catalog.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 #ifndef DESH_DEFAULT_THREADS
 #define DESH_DEFAULT_THREADS 0
@@ -26,6 +28,12 @@ std::size_t resolve_threads(std::size_t requested) {
 
 ThreadPool::ThreadPool(std::size_t threads)
     : worker_count_(resolve_threads(threads)) {
+  obs::registry().gauge(obs::kPoolWorkers)
+      .set(static_cast<double>(worker_count_));
+  worker_busy_.reserve(worker_count_);
+  for (std::size_t w = 0; w < worker_count_; ++w)
+    worker_busy_.push_back(&obs::registry().gauge(
+        obs::kPoolWorkerBusySeconds, "worker", std::to_string(w)));
   threads_.reserve(worker_count_ - 1);
   for (std::size_t w = 1; w < worker_count_; ++w)
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -55,6 +63,7 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
 }
 
 void ThreadPool::drain(ParallelJob& job, std::size_t worker_id) {
+  Stopwatch busy;
   while (true) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
@@ -69,15 +78,24 @@ void ThreadPool::drain(ParallelJob& job, std::size_t worker_id) {
       job.cv.notify_all();
     }
   }
+  worker_busy_[worker_id]->add(busy.elapsed_seconds());
 }
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  static obs::Counter& jobs_total =
+      obs::registry().counter(obs::kPoolParallelJobsTotal);
+  static obs::Histogram& job_seconds =
+      obs::registry().histogram(obs::kPoolParallelForSeconds);
+  Stopwatch sw;
   if (worker_count_ == 1 || n == 1) {
     // Serial mode: identical decomposition, no threads, exceptions propagate
     // naturally.
     for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    worker_busy_[0]->add(sw.elapsed_seconds());
+    jobs_total.add();
+    job_seconds.observe(sw.elapsed_seconds());
     return;
   }
   auto job = std::make_shared<ParallelJob>();
@@ -89,7 +107,8 @@ void ThreadPool::parallel_for(
     // One helper entry per pool thread; each drains items until none remain,
     // so idle threads cost one no-op pass and busy ones share the range.
     for (std::size_t w = 1; w < worker_count_; ++w)
-      queue_.emplace_back([job](std::size_t worker_id) { drain(*job, worker_id); });
+      queue_.emplace_back(
+          [this, job](std::size_t worker_id) { drain(*job, worker_id); });
   }
   cv_.notify_all();
   drain(*job, 0);  // the caller is worker 0
@@ -100,20 +119,41 @@ void ThreadPool::parallel_for(
     });
     if (job->error) std::rethrow_exception(job->error);
   }
+  jobs_total.add();
+  job_seconds.observe(sw.elapsed_seconds());
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  static obs::Counter& tasks_total =
+      obs::registry().counter(obs::kPoolTasksTotal);
+  static obs::Histogram& task_seconds =
+      obs::registry().histogram(obs::kPoolTaskSeconds);
+  static obs::Histogram& queue_wait =
+      obs::registry().histogram(obs::kPoolQueueWaitSeconds);
   auto packaged =
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> future = packaged->get_future();
   if (worker_count_ == 1) {
+    Stopwatch sw;
     (*packaged)();
+    queue_wait.observe(0.0);  // inline execution never queues
+    task_seconds.observe(sw.elapsed_seconds());
+    worker_busy_[0]->add(sw.elapsed_seconds());
+    tasks_total.add();
     return future;
   }
   {
     std::lock_guard lock(mu_);
     require(!stopping_, "ThreadPool::submit: pool is shutting down");
-    queue_.emplace_back([packaged](std::size_t) { (*packaged)(); });
+    queue_.emplace_back([this, packaged,
+                         enqueued = Stopwatch()](std::size_t worker_id) {
+      queue_wait.observe(enqueued.elapsed_seconds());
+      Stopwatch sw;
+      (*packaged)();
+      task_seconds.observe(sw.elapsed_seconds());
+      worker_busy_[worker_id]->add(sw.elapsed_seconds());
+      tasks_total.add();
+    });
   }
   cv_.notify_one();
   return future;

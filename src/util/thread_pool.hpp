@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace desh::util {
 
 /// Resolves a requested worker count: `requested` > 0 wins; otherwise the
@@ -65,9 +67,13 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t worker_id);
-  static void drain(ParallelJob& job, std::size_t worker_id);
+  void drain(ParallelJob& job, std::size_t worker_id);
 
   std::size_t worker_count_ = 1;
+  /// Per-worker-slot busy-time gauges, cached at construction so the hot
+  /// paths never take the registry lock (telemetry observes, never steers:
+  /// work claiming is unchanged, so determinism guarantees hold).
+  std::vector<obs::Gauge*> worker_busy_;
   std::vector<std::thread> threads_;
   std::deque<std::function<void(std::size_t)>> queue_;  // arg: worker_id
   std::mutex mu_;

@@ -1,0 +1,125 @@
+// docs-check: validates that the repository's markdown documentation does
+// not rot. Two classes of reference are checked in every *.md at the repo
+// root (run via ctest, label `docs`):
+//   1. relative markdown links `[text](path)` — http(s)/mailto/# anchors
+//      are skipped, anchors are stripped, and the target must exist;
+//   2. backtick file references like `src/obs` or `bench/bench_common.hpp`
+//      — the path must exist, where a trailing `.*` (glob over header/source
+//      pairs) accepts any file in the directory sharing the stem.
+// SNIPPETS.md (verbatim exemplar code from other repositories) and ISSUE.md
+// (transient per-PR task text that may name files before they exist) are
+// exempt. This is the check that would have caught the repository-layout
+// table missing src/recovery and src/obs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef DESH_SOURCE_DIR
+#define DESH_SOURCE_DIR "."
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kRepoRoot{DESH_SOURCE_DIR};
+
+std::vector<fs::path> doc_files() {
+  std::vector<fs::path> docs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(kRepoRoot)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".md")
+      continue;
+    const std::string name = entry.path().filename().string();
+    if (name == "SNIPPETS.md" || name == "ISSUE.md") continue;
+    docs.push_back(entry.path());
+  }
+  return docs;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// True when `ref` (relative to the repo root) resolves: exact file or
+/// directory, or — for `dir/stem.*` style references — any file in `dir`
+/// whose name starts with `stem`.
+bool reference_resolves(std::string ref) {
+  while (!ref.empty() && (ref.back() == '/' || ref.back() == '.'))
+    ref.pop_back();
+  if (ref.empty()) return false;
+  if (fs::exists(kRepoRoot / ref)) return true;
+  const fs::path as_path = kRepoRoot / ref;
+  const fs::path dir = as_path.parent_path();
+  const std::string stem = as_path.filename().string();
+  if (!fs::is_directory(dir)) return false;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir))
+    if (entry.path().filename().string().rfind(stem, 0) == 0) return true;
+  return false;
+}
+
+TEST(DocsCheck, DocFilesFound) {
+  ASSERT_FALSE(doc_files().empty()) << "no markdown files at " << kRepoRoot;
+}
+
+TEST(DocsCheck, RelativeMarkdownLinksResolve) {
+  const std::regex link_re(R"(\]\(([^)]+)\))");
+  for (const fs::path& doc : doc_files()) {
+    const std::string text = read_file(doc);
+    for (std::sregex_iterator it(text.begin(), text.end(), link_re), end;
+         it != end; ++it) {
+      std::string target = (*it)[1].str();
+      if (target.rfind("http://", 0) == 0 ||
+          target.rfind("https://", 0) == 0 ||
+          target.rfind("mailto:", 0) == 0 || target[0] == '#')
+        continue;
+      target = target.substr(0, target.find('#'));  // strip anchor
+      if (target.empty()) continue;
+      EXPECT_TRUE(reference_resolves(target))
+          << doc.filename().string() << ": broken link target '" << target
+          << "'";
+    }
+  }
+}
+
+TEST(DocsCheck, BacktickedPathReferencesResolve) {
+  // Only paths rooted in a real source tree are checked; prose backticks
+  // (`DeshPipeline`, `--flags`) never match.
+  const std::regex path_re(
+      R"(`((?:src|tests|bench|examples|tools)/[A-Za-z0-9_.\*/-]*)`)");
+  for (const fs::path& doc : doc_files()) {
+    const std::string text = read_file(doc);
+    for (std::sregex_iterator it(text.begin(), text.end(), path_re), end;
+         it != end; ++it) {
+      std::string ref = (*it)[1].str();
+      // `dir/stem.*` references the stem's header/source pair.
+      if (ref.size() >= 2 && ref.compare(ref.size() - 2, 2, ".*") == 0)
+        ref.resize(ref.size() - 2);
+      EXPECT_TRUE(reference_resolves(ref))
+          << doc.filename().string() << ": file reference `" << (*it)[1]
+          << "` does not resolve";
+    }
+  }
+}
+
+TEST(DocsCheck, LayoutTableCoversEverySourceSubsystem) {
+  // The README repository-layout table must name every src/ subdirectory —
+  // the exact drift this PR fixes (src/recovery, src/obs were missing).
+  const std::string readme = read_file(kRepoRoot / "README.md");
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(kRepoRoot / "src")) {
+    if (!entry.is_directory()) continue;
+    const std::string ref = "`src/" + entry.path().filename().string() + "`";
+    EXPECT_NE(readme.find(ref), std::string::npos)
+        << "README.md layout table is missing " << ref;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// MetricsRegistry semantics: counter/gauge/histogram behavior, per-thread
+// shard correctness under concurrent increments (run under TSan via the
+// `sanitize` ctest label), and snapshot-during-write consistency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+using namespace desh;
+
+namespace {
+
+constexpr obs::MetricDef kTestCounter{"test_registry_counter", "counter", "1",
+                                      "test counter"};
+constexpr obs::MetricDef kTestGauge{"test_registry_gauge", "gauge", "1",
+                                    "test gauge"};
+constexpr obs::MetricDef kTestHist{"test_registry_hist", "histogram",
+                                   "seconds", "test histogram"};
+
+class ObsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+    obs::configure({});  // enabled, no sink
+  }
+  obs::MetricsRegistry registry_;  // fresh instance per test
+};
+
+TEST_F(ObsRegistryTest, CounterAddsAndResets) {
+  obs::Counter& c = registry_.counter(kTestCounter);
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsRegistryTest, RegistrationIsIdempotent) {
+  obs::Counter& a = registry_.counter(kTestCounter);
+  obs::Counter& b = registry_.counter(kTestCounter);
+  EXPECT_EQ(&a, &b) << "same name must return the same metric";
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST_F(ObsRegistryTest, LabeledMetricsAreDistinct) {
+  obs::Gauge& w0 = registry_.gauge(kTestGauge, "worker", "0");
+  obs::Gauge& w1 = registry_.gauge(kTestGauge, "worker", "1");
+  EXPECT_NE(&w0, &w1);
+  w0.set(1.0);
+  w1.set(2.0);
+  EXPECT_DOUBLE_EQ(w0.value(), 1.0);
+  EXPECT_DOUBLE_EQ(w1.value(), 2.0);
+}
+
+TEST_F(ObsRegistryTest, GaugeSetAndAdd) {
+  obs::Gauge& g = registry_.gauge(kTestGauge);
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.25);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set(-3.0);  // set overrides accumulated state
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST_F(ObsRegistryTest, HistogramBucketSemantics) {
+  // Prometheus `le` semantics: a value lands in the first bucket whose
+  // upper bound is >= value; above the last bound -> +Inf bucket.
+  obs::Histogram& h = registry_.histogram(kTestHist, {1.0, 2.0, 4.0});
+  h.observe(0.5);   // le=1
+  h.observe(1.0);   // le=1 (boundary inclusive)
+  h.observe(1.5);   // le=2
+  h.observe(4.0);   // le=4
+  h.observe(100.0); // +Inf
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST_F(ObsRegistryTest, HistogramDefaultsToLatencyBuckets) {
+  obs::Histogram& h = registry_.histogram(kTestHist);
+  EXPECT_EQ(h.bounds(), obs::latency_buckets());
+}
+
+TEST_F(ObsRegistryTest, RuntimeDisableStopsRecording) {
+  obs::Counter& c = registry_.counter(kTestCounter);
+  obs::Gauge& g = registry_.gauge(kTestGauge);
+  obs::Histogram& h = registry_.histogram(kTestHist, {1.0});
+  obs::DeshObsConfig off;
+  off.enabled = false;
+  obs::configure(off);
+  c.add(5);
+  g.set(5);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  obs::configure({});
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST_F(ObsRegistryTest, ConcurrentCounterIncrements) {
+  obs::Counter& c = registry_.counter(kTestCounter);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsRegistryTest, ConcurrentHistogramObservations) {
+  obs::Histogram& h = registry_.histogram(kTestHist, {0.25, 0.5, 1.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(0.1 * static_cast<double>(t % 4));  // hits several buckets
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST_F(ObsRegistryTest, SnapshotDuringWritesIsMonotonic) {
+  obs::Counter& c = registry_.counter(kTestCounter);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.add();
+  });
+  // Counter reads must never tear or go backwards while a writer runs.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = c.value();
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(c.value(), c.value());
+}
+
+TEST_F(ObsRegistryTest, SnapshotCollectsAllKinds) {
+  registry_.counter(kTestCounter).add(3);
+  registry_.gauge(kTestGauge).set(1.25);
+  registry_.histogram(kTestHist, {1.0}).observe(0.5);
+  registry_.record_span("a/b", 0.125);
+  const obs::RegistrySnapshot snap = registry_.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  ASSERT_EQ(snap.spans.size(), 1u);
+  // Sorted by name: counter < gauge < hist (alphabetical).
+  EXPECT_EQ(snap.metrics[0].name, "test_registry_counter");
+  EXPECT_EQ(snap.metrics[0].count, 3u);
+  EXPECT_EQ(snap.metrics[1].name, "test_registry_gauge");
+  EXPECT_DOUBLE_EQ(snap.metrics[1].value, 1.25);
+  EXPECT_EQ(snap.metrics[2].name, "test_registry_hist");
+  EXPECT_EQ(snap.metrics[2].count, 1u);
+  EXPECT_EQ(snap.spans[0].first, "a/b");
+  EXPECT_EQ(snap.spans[0].second.count, 1u);
+}
+
+TEST_F(ObsRegistryTest, ResetZeroesButKeepsReferences) {
+  obs::Counter& c = registry_.counter(kTestCounter);
+  obs::Histogram& h = registry_.histogram(kTestHist, {1.0});
+  c.add(9);
+  h.observe(0.5);
+  registry_.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);  // the cached reference is still live
+  EXPECT_EQ(registry_.counter(kTestCounter).value(), 1u);
+}
+
+}  // namespace

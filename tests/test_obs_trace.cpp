@@ -1,0 +1,113 @@
+// TraceSpan RAII scoped timers: parent/child path nesting, aggregation into
+// the global registry's span stats, and runtime-disable behavior.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/obs.hpp"
+
+using namespace desh;
+
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+    obs::configure({});
+    obs::registry().reset();
+  }
+
+  static obs::SpanStats find_span(const std::string& path) {
+    for (const auto& [p, stats] : obs::registry().snapshot().spans)
+      if (p == path) return stats;
+    return {};
+  }
+};
+
+TEST_F(ObsTraceTest, PathNestsParentChild) {
+  EXPECT_EQ(obs::TraceSpan::current_path(), "");
+  {
+    obs::TraceSpan outer("fit");
+    EXPECT_EQ(outer.path(), "fit");
+    EXPECT_EQ(obs::TraceSpan::current_path(), "fit");
+    {
+      obs::TraceSpan mid("phase1");
+      EXPECT_EQ(mid.path(), "fit/phase1");
+      obs::TraceSpan inner("step");
+      EXPECT_EQ(inner.path(), "fit/phase1/step");
+      EXPECT_EQ(obs::TraceSpan::current_path(), "fit/phase1/step");
+    }
+    // Children destroyed: back to the outer scope.
+    EXPECT_EQ(obs::TraceSpan::current_path(), "fit");
+  }
+  EXPECT_EQ(obs::TraceSpan::current_path(), "");
+}
+
+TEST_F(ObsTraceTest, SiblingsShareParentPath) {
+  obs::TraceSpan outer("run");
+  {
+    obs::TraceSpan a("a");
+    EXPECT_EQ(a.path(), "run/a");
+  }
+  {
+    obs::TraceSpan b("b");
+    EXPECT_EQ(b.path(), "run/b");
+  }
+}
+
+TEST_F(ObsTraceTest, StatsAggregatePerPath) {
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceSpan outer("agg");
+    obs::TraceSpan inner("child");
+  }
+  const obs::SpanStats outer = find_span("agg");
+  const obs::SpanStats inner = find_span("agg/child");
+  EXPECT_EQ(outer.count, 3u);
+  EXPECT_EQ(inner.count, 3u);
+  EXPECT_GE(outer.total_seconds, inner.total_seconds);
+  EXPECT_GE(outer.max_seconds, outer.min_seconds);
+  EXPECT_GE(outer.min_seconds, 0.0);
+}
+
+TEST_F(ObsTraceTest, NestingIsPerThread) {
+  obs::TraceSpan outer("main_thread");
+  std::string other_path;
+  std::thread worker([&] {
+    obs::TraceSpan span("worker_thread");
+    other_path = span.path();
+  });
+  worker.join();
+  // The worker's span does not inherit this thread's live span as parent.
+  EXPECT_EQ(other_path, "worker_thread");
+  EXPECT_EQ(obs::TraceSpan::current_path(), "main_thread");
+}
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothingButKeepNesting) {
+  obs::DeshObsConfig off;
+  off.enabled = false;
+  obs::configure(off);
+  {
+    obs::TraceSpan outer("off");
+    obs::TraceSpan inner("child");
+    // Paths still nest (cheap pointer bookkeeping)...
+    EXPECT_EQ(inner.path(), "off/child");
+  }
+  obs::configure({});
+  // ...but nothing was recorded.
+  EXPECT_EQ(find_span("off").count, 0u);
+  EXPECT_EQ(find_span("off/child").count, 0u);
+}
+
+TEST_F(ObsTraceTest, MinMaxTrackExtremes) {
+  obs::registry().record_span("manual", 0.5);
+  obs::registry().record_span("manual", 0.1);
+  obs::registry().record_span("manual", 0.9);
+  const obs::SpanStats stats = find_span("manual");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.min_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(stats.max_seconds, 0.9);
+  EXPECT_DOUBLE_EQ(stats.total_seconds, 1.5);
+}
+
+}  // namespace
