@@ -1,0 +1,220 @@
+// Serving-engine throughput: micro-batched InferenceServer vs per-record
+// StreamingMonitor::observe(), on a decide-dense stream (every record is
+// anomalous, every full window is scored — the model-bound regime where a
+// saturated cluster actually lives).
+//
+// The batching lever is cross-node width: K interleaved nodes give the
+// round-based decide K-row GEMMs instead of K separate matrix-vector
+// passes. The bench sweeps K, checks the alert streams stay byte-identical
+// to sequential replay, and reports records/sec.
+//
+//   ./bench_serve_throughput [--records N] [--smoke]
+//
+// --smoke shrinks the sweep and additionally exercises the admission /
+// backpressure / shed / hot-reload paths (the ctest wiring runs this mode).
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/monitor.hpp"
+#include "desh.hpp"
+#include "logs/template_miner.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+using namespace desh;
+
+namespace {
+
+/// Fails the bench loudly — this binary doubles as a ctest smoke check.
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAIL: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+core::DeshPipeline train_pipeline(const logs::SyntheticLog& log) {
+  core::DeshConfig config;
+  config.phase1.epochs = 1;  // phase 1 only feeds the labeler here
+  // Production-scale phase 2: a chain model whose weights (~4 MB) outgrow
+  // L2, putting per-record decides in the memory-bound regime micro-batching
+  // exists for. Chain QUALITY is irrelevant to a throughput bench, so a few
+  // epochs suffice.
+  config.phase2.embed_dim = 256;
+  config.phase2.hidden_size = 256;
+  config.phase2.epochs = 4;
+  config.skipgram.enabled = false;
+  auto pipeline = core::DeshPipeline::create(config);
+  check(pipeline.ok(), "pipeline config rejected");
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  pipeline.value().fit(train);
+  return std::move(pipeline).value();
+}
+
+/// Anomalous message texts the fitted labeler will NOT gate out, so every
+/// stream record advances a window and (once deep enough) costs a decide.
+std::vector<std::string> anomalous_messages(
+    const core::DeshPipeline& pipeline, const logs::LogCorpus& corpus) {
+  std::vector<std::string> out;
+  for (const logs::LogRecord& record : corpus) {
+    const std::string tmpl = logs::TemplateMiner::extract(record.message);
+    if (tmpl.empty()) continue;
+    const std::uint32_t phrase = pipeline.vocab().encode(tmpl);
+    if (pipeline.labeler().label(phrase) == logs::PhraseLabel::kSafe) continue;
+    out.push_back(record.message);
+    if (out.size() >= 64) break;
+  }
+  check(!out.empty(), "no anomalous messages in corpus");
+  return out;
+}
+
+/// N records round-robin across K nodes, 1 s apart — the decide-dense
+/// interleaving a saturated cluster produces.
+logs::LogCorpus make_stream(const std::vector<std::string>& messages,
+                            std::size_t n, std::size_t k) {
+  logs::LogCorpus out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    logs::LogRecord r;
+    r.timestamp = static_cast<double>(i);
+    r.node.cabinet_x = static_cast<std::uint16_t>(i % k);
+    r.node.node = 1;
+    r.message = messages[i % messages.size()];
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+core::MonitorConfig stream_monitor_config() {
+  core::MonitorConfig mc;
+  mc.gap_seconds = 1e9;    // the 1 s synthetic cadence never resets windows
+  mc.rearm_seconds = 0;    // alerts do not silence: decide on every record
+  mc.threads = 1;          // isolate GEMM batching from thread parallelism
+  return mc;
+}
+
+bool same_alerts(const std::vector<core::MonitorAlert>& a,
+                 const std::vector<core::MonitorAlert>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i].node == b[i].node) || a[i].time != b[i].time ||
+        a[i].score != b[i].score ||
+        a[i].predicted_lead_seconds != b[i].predicted_lead_seconds ||
+        a[i].message != b[i].message)
+      return false;
+  return true;
+}
+
+/// One sweep point: sequential observe() vs the manual-pump server on the
+/// same stream. Returns {baseline_rps, serve_rps} and checks equivalence.
+std::pair<double, double> run_width(const core::DeshPipeline& pipeline,
+                                    const logs::LogCorpus& stream) {
+  std::vector<core::MonitorAlert> base_alerts;
+  util::Stopwatch sw;
+  core::StreamingMonitor monitor(pipeline, stream_monitor_config());
+  for (const logs::LogRecord& record : stream)
+    if (auto alert = monitor.observe(record))
+      base_alerts.push_back(std::move(*alert));
+  const double base_seconds = sw.elapsed_seconds();
+
+  serve::ServeConfig config;
+  config.queue_capacity = stream.size();
+  config.max_batch = 256;
+  config.start_collector = false;  // manual pump: deterministic, same thread
+  config.monitor = stream_monitor_config();
+  sw.reset();
+  auto server = serve::InferenceServer::create(pipeline, config);
+  check(server.ok(), "server rejected");
+  serve::InferenceServer& srv = *server.value();
+  check(srv.submit_batch(stream) == stream.size(), "records rejected");
+  while (srv.pump() != 0) {
+  }
+  const double serve_seconds = sw.elapsed_seconds();
+  check(same_alerts(base_alerts, srv.poll_alerts()),
+        "serve alerts diverge from sequential replay");
+
+  const double n = static_cast<double>(stream.size());
+  return {n / base_seconds, n / serve_seconds};
+}
+
+/// Admission, backpressure, shed and hot-reload on a toy server — the
+/// contract checks the ctest smoke run exists for.
+void smoke_contracts(const core::DeshPipeline& pipeline,
+                     const std::vector<std::string>& messages) {
+  serve::ServeConfig config;
+  config.queue_capacity = 8;
+  config.max_batch = 2;
+  config.shed_watermark = 0.5;  // shed down to 4 queued after each pump
+  config.start_collector = false;
+  config.monitor = stream_monitor_config();
+  auto server = serve::InferenceServer::create(pipeline, config);
+  check(server.ok(), "smoke server rejected");
+  serve::InferenceServer& srv = *server.value();
+
+  const logs::LogCorpus stream = make_stream(messages, 12, 4);
+  std::size_t accepted = 0, rejected = 0;
+  for (const logs::LogRecord& r : stream)
+    (srv.submit(r) == serve::Admission::kAccepted ? accepted : rejected)++;
+  check(accepted == 8 && rejected == 4, "backpressure miscounted");
+  check(srv.pump() == 2, "pump width");
+  // 6 left > watermark 4: two shed, oldest first.
+  serve::ServeStats stats = srv.stats();
+  check(stats.shed == 2 && stats.queue_depth == 4, "shed policy miscounted");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "desh_bench_serve_model")
+          .string();
+  check(core::try_save_pipeline(pipeline, dir).ok(), "snapshot save");
+  check(srv.swap_model(dir).ok(), "swap_model");
+  srv.drain();  // pumps the backlog and installs the staged model
+  stats = srv.stats();
+  check(stats.reloads == 1 && stats.queue_depth == 0, "hot reload");
+  check(!srv.swap_model("/nonexistent/desh-dir").ok(),
+        "swap_model must fail on a missing directory");
+  srv.stop();
+  check(srv.submit(stream[0]) == serve::Admission::kStopped,
+        "submit after stop");
+  std::cout << "smoke contracts: admission/backpressure/shed/reload ok\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const std::size_t n =
+      static_cast<std::size_t>(args.get_int("records", smoke ? 320 : 4096));
+  bench::print_env_header("serve_throughput");
+
+  logs::SyntheticCraySource source(logs::profile_tiny(2024));
+  const logs::SyntheticLog log = source.generate();
+  const core::DeshPipeline pipeline = train_pipeline(log);
+  const std::vector<std::string> messages =
+      anomalous_messages(pipeline, log.records);
+
+  smoke_contracts(pipeline, messages);
+
+  const std::vector<std::size_t> widths =
+      smoke ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  std::cout << "width | observe rec/s | serve rec/s | speedup\n";
+  double speedup_at_8 = 0;
+  for (const std::size_t k : widths) {
+    const logs::LogCorpus stream = make_stream(messages, n, k);
+    const auto [base_rps, serve_rps] = run_width(pipeline, stream);
+    const double speedup = serve_rps / base_rps;
+    if (k >= 8 && speedup_at_8 == 0) speedup_at_8 = speedup;
+    std::cout << util::format_fixed(static_cast<double>(k), 0) << " | "
+              << util::format_fixed(base_rps, 0) << " | "
+              << util::format_fixed(serve_rps, 0) << " | "
+              << util::format_fixed(speedup, 2) << "x\n";
+  }
+  check(speedup_at_8 >= 2.0,
+        "micro-batching must be >= 2x sequential observe at width >= 8");
+  std::cout << "serve speedup at width >= 8: "
+            << util::format_fixed(speedup_at_8, 2) << "x (>= 2x required)\n";
+  return 0;
+}

@@ -11,8 +11,8 @@
 #include <iostream>
 
 #include "core/evaluator.hpp"
-#include "core/pipeline.hpp"
 #include "core/sensitivity.hpp"
+#include "desh.hpp"
 #include "logs/generator.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"

@@ -16,6 +16,7 @@
 #include "chains/extractor.hpp"
 #include "chains/unknown_analysis.hpp"
 #include "core/insights.hpp"
+#include "desh.hpp"
 #include "embed/skipgram.hpp"
 #include "logs/generator.hpp"
 #include "logs/io.hpp"

@@ -22,8 +22,7 @@
 #include <iostream>
 #include <memory>
 
-#include "core/monitor.hpp"
-#include "core/pipeline.hpp"
+#include "desh.hpp"
 #include "logs/generator.hpp"
 #include "obs/obs.hpp"
 #include "util/cli.hpp"

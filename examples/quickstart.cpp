@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "core/evaluator.hpp"
-#include "core/pipeline.hpp"
+#include "desh.hpp"
 #include "logs/generator.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"

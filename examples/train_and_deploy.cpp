@@ -16,9 +16,7 @@
 #include <filesystem>
 #include <iostream>
 
-#include "core/monitor.hpp"
-#include "core/persistence.hpp"
-#include "core/pipeline.hpp"
+#include "desh.hpp"
 #include "logs/generator.hpp"
 #include "logs/io.hpp"
 #include "logs/syslog.hpp"
@@ -41,17 +39,26 @@ int train_stage(const std::string& corpus_path, const std::string& model_dir) {
             << report.failure_chains << " failure chains, phase1 acc "
             << util::format_fixed(report.phase1_accuracy * 100, 1) << "% ["
             << util::format_fixed(sw.elapsed_seconds(), 1) << "s]\n";
-  core::save_pipeline(pipeline, model_dir);
+  if (core::Expected<void> saved = core::try_save_pipeline(pipeline, model_dir);
+      !saved) {
+    std::cerr << "[train] save failed: " << saved.error().message << "\n";
+    return 1;
+  }
   std::cout << "[train] model saved to " << model_dir << "\n";
   return 0;
 }
 
 int deploy_stage(const std::string& syslog_path, const std::string& model_dir) {
   std::cout << "[deploy] loading model from " << model_dir << "\n";
-  core::DeshPipeline pipeline = core::load_pipeline(model_dir);
+  core::Expected<core::DeshPipeline> pipeline =
+      core::try_load_pipeline(model_dir);
+  if (!pipeline) {
+    std::cerr << "[deploy] load failed: " << pipeline.error().message << "\n";
+    return 1;
+  }
   std::cout << "[deploy] monitoring " << syslog_path << "\n";
   const logs::LogCorpus stream = logs::load_syslog_file(syslog_path);
-  core::StreamingMonitor monitor(pipeline);
+  core::StreamingMonitor monitor(pipeline.value());
   for (const logs::LogRecord& record : stream)
     if (const auto alert = monitor.observe(record))
       std::cout << "  ALERT: " << alert->message << "\n";

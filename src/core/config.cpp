@@ -1,0 +1,94 @@
+#include "core/config.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace desh::core {
+
+namespace {
+
+/// Collects "field.path: problem" lines for one phase's shared knobs.
+struct Checker {
+  std::vector<std::string> out;
+
+  void positive(const char* field, std::size_t v) {
+    if (v == 0) out.push_back(std::string(field) + ": must be > 0");
+  }
+  void positive(const char* field, double v) {
+    if (!(v > 0.0) || !std::isfinite(v))
+      out.push_back(std::string(field) + ": must be positive and finite, got " +
+                    util::format_fixed(v, 4));
+  }
+  void non_negative(const char* field, double v) {
+    if (!(v >= 0.0) || !std::isfinite(v))
+      out.push_back(std::string(field) +
+                    ": must be non-negative and finite, got " +
+                    util::format_fixed(v, 4));
+  }
+  void unit_interval(const char* field, double v) {
+    if (!(v >= 0.0 && v <= 1.0))
+      out.push_back(std::string(field) + ": must be within [0, 1], got " +
+                    util::format_fixed(v, 4));
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> DeshConfig::validate() const {
+  Checker c;
+
+  c.positive("phase1.embed_dim", phase1.embed_dim);
+  c.positive("phase1.hidden_size", phase1.hidden_size);
+  c.positive("phase1.num_layers", phase1.num_layers);
+  c.positive("phase1.history", phase1.history);
+  c.positive("phase1.steps", phase1.steps);
+  c.positive("phase1.epochs", phase1.epochs);
+  c.positive("phase1.batch_size", phase1.batch_size);
+  c.positive("phase1.window_stride", phase1.window_stride);
+  c.positive("phase1.grad_shard_size", phase1.grad_shard_size);
+  c.positive("phase1.learning_rate",
+             static_cast<double>(phase1.learning_rate));
+  c.unit_interval("phase1.lr_decay_per_epoch",
+                  static_cast<double>(phase1.lr_decay_per_epoch));
+  c.unit_interval("phase1.momentum", static_cast<double>(phase1.momentum));
+
+  c.positive("phase2.embed_dim", phase2.embed_dim);
+  c.positive("phase2.hidden_size", phase2.hidden_size);
+  c.positive("phase2.num_layers", phase2.num_layers);
+  c.positive("phase2.history", phase2.history);
+  c.positive("phase2.epochs", phase2.epochs);
+  c.positive("phase2.batch_size", phase2.batch_size);
+  c.positive("phase2.grad_shard_size", phase2.grad_shard_size);
+  c.positive("phase2.learning_rate",
+             static_cast<double>(phase2.learning_rate));
+  c.non_negative("phase2.time_weight",
+                 static_cast<double>(phase2.time_weight));
+
+  c.unit_interval("phase3.mse_threshold",
+                  static_cast<double>(phase3.mse_threshold));
+  c.positive("phase3.min_position", phase3.min_position);
+  // The lead-time window runs from min_position up to the decision point;
+  // an inverted window would make phase 3 score zero positions.
+  if (phase3.decision_position < phase3.min_position)
+    c.out.push_back(
+        "phase3.decision_position: lead-time window inverted (decision_"
+        "position " +
+        std::to_string(phase3.decision_position) + " < min_position " +
+        std::to_string(phase3.min_position) + ")");
+
+  c.positive("extractor.gap_seconds", extractor.gap_seconds);
+  if (extractor.min_length < 2)
+    c.out.push_back("extractor.min_length: must be >= 2, got " +
+                    std::to_string(extractor.min_length));
+  c.positive("extractor.maintenance_node_threshold",
+             extractor.maintenance_node_threshold);
+  c.positive("extractor.maintenance_window_seconds",
+             extractor.maintenance_window_seconds);
+
+  if (skipgram.enabled) c.positive("skipgram.epochs", skipgram.epochs);
+
+  return c.out;
+}
+
+}  // namespace desh::core

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "chains/extractor.hpp"
 
@@ -81,6 +83,14 @@ struct DeshConfig {
   /// phase-3 scoring) whose own `threads` is 0. 0 = DESH_THREADS env var,
   /// then hardware concurrency.
   std::size_t threads = 0;
+
+  /// Checks every field and returns ALL violations (not just the first) as
+  /// "field.path: problem" messages, e.g.
+  ///   "phase3.mse_threshold: must be within [0, 1], got 1.5".
+  /// Empty result = the config is usable. DeshPipeline and
+  /// serve::InferenceServer reject invalid configs up front with this list
+  /// instead of surfacing bad values as NaN losses mid-fit.
+  std::vector<std::string> validate() const;
 };
 
 }  // namespace desh::core

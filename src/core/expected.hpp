@@ -1,0 +1,110 @@
+// Value-or-error result type for the redesigned public surface (desh.hpp).
+//
+// The original façade leaked util::IoError / util::InvalidArgument through
+// every entry point, which forced callers to wrap the whole API in try/catch
+// and made error taxonomy an exception-class detail. Expected<T> makes the
+// failure mode part of the signature: persistence, config validation and the
+// serve engine return Expected and never throw for I/O or config problems.
+// Exceptions remain for genuine programming errors (violated preconditions
+// such as reading value() from an errored Expected).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace desh::core {
+
+/// Stable error taxonomy of the public API. Codes are coarse on purpose:
+/// callers branch on the code and show `message` (which carries the detail,
+/// e.g. the offending field path or file name) to a human.
+enum class ErrorCode {
+  kInvalidArgument,  // a documented precondition was violated by the caller
+  kInvalidConfig,    // DeshConfig/ServeConfig validation failed
+  kIo,               // filesystem problem (open/read/write/create)
+  kFormatVersion,    // persisted artifact written by an incompatible version
+  kUnavailable,      // the component is stopped / not ready for the call
+};
+
+constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kInvalidConfig: return "invalid_config";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kFormatVersion: return "format_version";
+    case ErrorCode::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+/// One failure: a machine-checkable code plus a human-oriented message.
+struct Error {
+  ErrorCode code = ErrorCode::kInvalidArgument;
+  std::string message;
+};
+
+/// Value-or-Error. Implicitly constructible from either side so functions
+/// `return value;` or `return Error{...};` directly.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// Accessing the wrong side is a programming error, reported through the
+  /// usual precondition channel (util::InvalidArgument).
+  T& value() & {
+    util::require(ok(), "Expected::value: holds an error: " + error_text());
+    return std::get<0>(v_);
+  }
+  const T& value() const& {
+    util::require(ok(), "Expected::value: holds an error: " + error_text());
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    util::require(ok(), "Expected::value: holds an error: " + error_text());
+    return std::get<0>(std::move(v_));
+  }
+
+  const Error& error() const {
+    util::require(!ok(), "Expected::error: holds a value");
+    return std::get<1>(v_);
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::string error_text() const {
+    return ok() ? std::string() : std::get<1>(v_).message;
+  }
+  std::variant<T, Error> v_;
+};
+
+/// Success-or-Error for side-effecting entry points (save, swap, ...).
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() = default;  // success
+  Expected(Error error) : error_(std::move(error)), ok_(false) {}
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const Error& error() const {
+    util::require(!ok_, "Expected::error: holds a value");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+}  // namespace desh::core

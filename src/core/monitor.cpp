@@ -60,7 +60,7 @@ std::optional<std::uint32_t> StreamingMonitor::encode_anomalous(
   return phrase;
 }
 
-std::optional<MonitorAlert> StreamingMonitor::advance(
+std::optional<chains::CandidateSequence> StreamingMonitor::advance_window(
     NodeState& state, const logs::LogRecord& record,
     std::uint32_t phrase) const {
   if (!state.window.empty() &&
@@ -81,7 +81,12 @@ std::optional<MonitorAlert> StreamingMonitor::advance(
   chains::CandidateSequence candidate;
   candidate.node = record.node;
   candidate.events.assign(state.window.begin(), state.window.end());
-  const FailurePrediction prediction = predictor_.decide(candidate);
+  return candidate;
+}
+
+std::optional<MonitorAlert> StreamingMonitor::settle(
+    NodeState& state, const logs::LogRecord& record,
+    const FailurePrediction& prediction) const {
   if (!prediction.flagged) return std::nullopt;
 
   state.silenced_until = record.timestamp + config_.rearm_seconds;
@@ -95,6 +100,20 @@ std::optional<MonitorAlert> StreamingMonitor::advance(
       " minutes, node " + record.node.to_string() + " located in " +
       record.node.location_description() + " is expected to fail";
   return alert;
+}
+
+std::optional<MonitorAlert> StreamingMonitor::advance(
+    NodeState& state, const logs::LogRecord& record,
+    std::uint32_t phrase) const {
+  const std::optional<chains::CandidateSequence> candidate =
+      advance_window(state, record, phrase);
+  if (!candidate) return std::nullopt;
+  return settle(state, record, predictor_.decide(*candidate));
+}
+
+std::size_t StreamingMonitor::window_depth(const logs::NodeId& node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.window.size();
 }
 
 std::optional<MonitorAlert> StreamingMonitor::observe(
@@ -146,18 +165,60 @@ std::vector<MonitorAlert> StreamingMonitor::observe_batch(
     it->second.push_back(i);
   }
 
-  // (3) Shard by node: each task replays one node's records in order against
-  // that node's state — exactly what sequential observe() would do.
+  // (3) Round-based replay. A node's decide() outcome feeds back into its
+  // own state (re-arm silence), so records within a node stay strictly
+  // sequential — but nodes never interact, so each round (a) advances every
+  // active node's state machine to its next decide-ready window in
+  // parallel, then (b) scores all pending candidates in one decide_batch
+  // GEMM pass and applies the outcomes. Bit-identical to per-record
+  // advance(), with model cost amortized across concurrently alive nodes.
+  struct NodeCursor {
+    std::size_t next = 0;  // position in the node's record-index list
+    std::optional<chains::CandidateSequence> pending;
+    std::size_t pending_record = 0;
+  };
   std::vector<std::vector<std::pair<std::size_t, MonitorAlert>>> per_node(
       node_order.size());
-  pool().parallel_for(node_order.size(), [&](std::size_t n, std::size_t) {
-    NodeState& state = nodes_.at(node_order[n]);
-    for (std::size_t i : by_node.at(node_order[n])) {
-      if (std::optional<MonitorAlert> alert =
-              advance(state, records[i], *phrases[i]))
-        per_node[n].emplace_back(i, std::move(*alert));
+  std::vector<NodeCursor> cursors(node_order.size());
+  std::vector<std::size_t> active(node_order.size());
+  for (std::size_t n = 0; n < node_order.size(); ++n) active[n] = n;
+  while (!active.empty()) {
+    pool().parallel_for(active.size(), [&](std::size_t a, std::size_t) {
+      const std::size_t n = active[a];
+      NodeCursor& cursor = cursors[n];
+      NodeState& state = nodes_.at(node_order[n]);
+      const std::vector<std::size_t>& indices = by_node.at(node_order[n]);
+      while (cursor.next < indices.size()) {
+        const std::size_t i = indices[cursor.next++];
+        if (std::optional<chains::CandidateSequence> candidate =
+                advance_window(state, records[i], *phrases[i])) {
+          cursor.pending = std::move(candidate);
+          cursor.pending_record = i;
+          break;
+        }
+      }
+    });
+
+    std::vector<std::size_t> deciding;
+    std::vector<const chains::CandidateSequence*> candidates;
+    for (std::size_t n : active) {
+      if (!cursors[n].pending) continue;  // exhausted: drops out this round
+      deciding.push_back(n);
+      candidates.push_back(&*cursors[n].pending);
     }
-  });
+    if (deciding.empty()) break;
+    const std::vector<FailurePrediction> outcomes =
+        predictor_.decide_batch(candidates);
+    for (std::size_t d = 0; d < deciding.size(); ++d) {
+      const std::size_t n = deciding[d];
+      const std::size_t i = cursors[n].pending_record;
+      if (std::optional<MonitorAlert> alert =
+              settle(nodes_.at(node_order[n]), records[i], outcomes[d]))
+        per_node[n].emplace_back(i, std::move(*alert));
+      cursors[n].pending.reset();
+    }
+    active = std::move(deciding);
+  }
 
   // (4) Merge back into record order (deterministic regardless of sharding).
   std::vector<std::pair<std::size_t, MonitorAlert>> merged;

@@ -58,9 +58,12 @@ class StreamingMonitor {
   /// Feeds a timestamp-ordered batch of records, sharding the work by node
   /// across the worker pool: per-node state machines are independent, so
   /// each node's records are replayed in order on one worker and the alert
-  /// streams are merged back in record order. The result — alerts and all
-  /// per-node state — is identical to calling observe() record by record,
-  /// at any thread count.
+  /// streams are merged back in record order. Chain-model evaluations are
+  /// coalesced across nodes into GEMM-wide passes (Phase3Predictor::
+  /// decide_batch), so per-record model cost amortizes with the number of
+  /// concurrently advancing nodes. The result — alerts and all per-node
+  /// state — is identical to calling observe() record by record, at any
+  /// thread count and any batch width.
   std::vector<MonitorAlert> observe_batch(
       std::span<const logs::LogRecord> records);
 
@@ -69,6 +72,9 @@ class StreamingMonitor {
 
   std::size_t records_seen() const { return records_seen_; }
   std::size_t alerts_raised() const { return alerts_raised_; }
+  /// Current anomalous-window depth of `node` (0 when untracked) — the
+  /// serve engine's risk signal for lowest-risk-first load shedding.
+  std::size_t window_depth(const logs::NodeId& node) const;
 
  private:
   struct NodeState {
@@ -81,8 +87,23 @@ class StreamingMonitor {
   std::optional<std::uint32_t> encode_anomalous(
       const logs::LogRecord& record) const;
 
-  /// Advances one node's state machine by one record; the chain-match logic
-  /// shared by observe() and observe_batch().
+  /// First half of the per-record state machine: slides the node's window,
+  /// applies the gap/silence/depth gates, and — when the window is deep
+  /// enough to decide — returns the candidate to score. No model call here,
+  /// so observe_batch can coalesce many nodes' candidates into one
+  /// decide_batch pass.
+  std::optional<chains::CandidateSequence> advance_window(
+      NodeState& state, const logs::LogRecord& record,
+      std::uint32_t phrase) const;
+
+  /// Second half: applies a decide() outcome to the node (re-arm silence)
+  /// and renders the operator alert when the chain matched.
+  std::optional<MonitorAlert> settle(NodeState& state,
+                                     const logs::LogRecord& record,
+                                     const FailurePrediction& prediction) const;
+
+  /// advance_window + decide + settle — one record end to end, the
+  /// sequential path used by observe().
   std::optional<MonitorAlert> advance(NodeState& state,
                                       const logs::LogRecord& record,
                                       std::uint32_t phrase) const;

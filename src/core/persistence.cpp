@@ -14,10 +14,13 @@ namespace {
 
 namespace fs = std::filesystem;
 
-void write_config(const DeshConfig& c, const std::string& path) {
+constexpr const char* kFormatPrefix = "desh-pipeline-";
+
+Expected<void> write_config(const DeshConfig& c, const std::string& path) {
   std::ofstream os(path);
-  if (!os) throw util::IoError("save_pipeline: cannot open " + path);
-  os << "format=desh-pipeline-1\n"
+  if (!os)
+    return Error{ErrorCode::kIo, "save_pipeline: cannot open " + path};
+  os << "format=" << kFormatPrefix << kPipelineFormatVersion << "\n"
      << "p1.embed_dim=" << c.phase1.embed_dim << "\n"
      << "p1.hidden_size=" << c.phase1.hidden_size << "\n"
      << "p1.num_layers=" << c.phase1.num_layers << "\n"
@@ -31,6 +34,10 @@ void write_config(const DeshConfig& c, const std::string& path) {
      << "p3.mse_threshold=" << c.phase3.mse_threshold << "\n"
      << "p3.min_position=" << c.phase3.min_position << "\n"
      << "p3.decision_position=" << c.phase3.decision_position << "\n"
+     // Version 2 additions: the phase-3 deltaT encoding flag, so an
+     // adjacent-gap ablation model cannot be replayed with cumulative
+     // semantics after a reload.
+     << "p3.cumulative_dt=" << (c.phase3.cumulative_dt ? 1 : 0) << "\n"
      << "ex.gap_seconds=" << c.extractor.gap_seconds << "\n"
      << "ex.min_length=" << c.extractor.min_length << "\n"
      << "ex.maintenance_node_threshold=" << c.extractor.maintenance_node_threshold
@@ -38,12 +45,15 @@ void write_config(const DeshConfig& c, const std::string& path) {
      << "ex.maintenance_window_seconds=" << c.extractor.maintenance_window_seconds
      << "\n"
      << "seed=" << c.seed << "\n";
-  if (!os) throw util::IoError("save_pipeline: write failed for " + path);
+  if (!os)
+    return Error{ErrorCode::kIo, "save_pipeline: write failed for " + path};
+  return {};
 }
 
-DeshConfig read_config(const std::string& path) {
+Expected<DeshConfig> read_config(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw util::IoError("load_pipeline: cannot open " + path);
+  if (!is)
+    return Error{ErrorCode::kIo, "load_pipeline: cannot open " + path};
   std::map<std::string, std::string> kv;
   std::string line;
   while (std::getline(is, line)) {
@@ -51,46 +61,93 @@ DeshConfig read_config(const std::string& path) {
     if (eq == std::string::npos) continue;
     kv[line.substr(0, eq)] = line.substr(eq + 1);
   }
-  if (kv["format"] != "desh-pipeline-1")
-    throw util::IoError("load_pipeline: unrecognized format in " + path);
+
+  const std::string format = kv["format"];
+  if (format.rfind(kFormatPrefix, 0) != 0)
+    return Error{ErrorCode::kIo,
+                 "load_pipeline: unrecognized format '" + format + "' in " +
+                     path};
+  std::uint32_t version = 0;
+  try {
+    version = static_cast<std::uint32_t>(
+        std::stoul(format.substr(std::string(kFormatPrefix).size())));
+  } catch (const std::exception&) {
+    return Error{ErrorCode::kIo,
+                 "load_pipeline: unrecognized format '" + format + "' in " +
+                     path};
+  }
+  if (version > kPipelineFormatVersion)
+    return Error{ErrorCode::kFormatVersion,
+                 "load_pipeline: " + path + " was written as format version " +
+                     std::to_string(version) + "; this build reads versions " +
+                     std::to_string(kOldestReadablePipelineFormat) + "-" +
+                     std::to_string(kPipelineFormatVersion) +
+                     " (upgrade Desh to load it)"};
+  if (version < kOldestReadablePipelineFormat)
+    return Error{ErrorCode::kFormatVersion,
+                 "load_pipeline: " + path + " uses retired format version " +
+                     std::to_string(version)};
+
+  bool missing = false;
+  std::string missing_key;
   auto u = [&](const std::string& key) -> std::size_t {
     auto it = kv.find(key);
-    if (it == kv.end())
-      throw util::IoError("load_pipeline: missing key '" + key + "'");
+    if (it == kv.end()) {
+      if (!missing) missing_key = key;
+      missing = true;
+      return 0;
+    }
     return static_cast<std::size_t>(std::stoull(it->second));
   };
   auto f = [&](const std::string& key) -> float {
     auto it = kv.find(key);
-    if (it == kv.end())
-      throw util::IoError("load_pipeline: missing key '" + key + "'");
+    if (it == kv.end()) {
+      if (!missing) missing_key = key;
+      missing = true;
+      return 0;
+    }
     return std::stof(it->second);
   };
   DeshConfig c;
-  c.phase1.embed_dim = u("p1.embed_dim");
-  c.phase1.hidden_size = u("p1.hidden_size");
-  c.phase1.num_layers = u("p1.num_layers");
-  c.phase1.history = u("p1.history");
-  c.phase1.steps = u("p1.steps");
-  c.phase2.embed_dim = u("p2.embed_dim");
-  c.phase2.hidden_size = u("p2.hidden_size");
-  c.phase2.num_layers = u("p2.num_layers");
-  c.phase2.history = u("p2.history");
-  c.phase2.time_weight = f("p2.time_weight");
-  c.phase3.mse_threshold = f("p3.mse_threshold");
-  c.phase3.min_position = u("p3.min_position");
-  c.phase3.decision_position = u("p3.decision_position");
-  c.extractor.gap_seconds = f("ex.gap_seconds");
-  c.extractor.min_length = u("ex.min_length");
-  c.extractor.maintenance_node_threshold = u("ex.maintenance_node_threshold");
-  c.extractor.maintenance_window_seconds = f("ex.maintenance_window_seconds");
-  c.seed = u("seed");
+  try {
+    c.phase1.embed_dim = u("p1.embed_dim");
+    c.phase1.hidden_size = u("p1.hidden_size");
+    c.phase1.num_layers = u("p1.num_layers");
+    c.phase1.history = u("p1.history");
+    c.phase1.steps = u("p1.steps");
+    c.phase2.embed_dim = u("p2.embed_dim");
+    c.phase2.hidden_size = u("p2.hidden_size");
+    c.phase2.num_layers = u("p2.num_layers");
+    c.phase2.history = u("p2.history");
+    c.phase2.time_weight = f("p2.time_weight");
+    c.phase3.mse_threshold = f("p3.mse_threshold");
+    c.phase3.min_position = u("p3.min_position");
+    c.phase3.decision_position = u("p3.decision_position");
+    // Version 1 predates the deltaT-encoding flag; those models were always
+    // trained with the paper's cumulative encoding.
+    c.phase3.cumulative_dt = version >= 2 ? u("p3.cumulative_dt") != 0 : true;
+    c.extractor.gap_seconds = f("ex.gap_seconds");
+    c.extractor.min_length = u("ex.min_length");
+    c.extractor.maintenance_node_threshold =
+        u("ex.maintenance_node_threshold");
+    c.extractor.maintenance_window_seconds =
+        f("ex.maintenance_window_seconds");
+    c.seed = u("seed");
+  } catch (const std::exception&) {
+    return Error{ErrorCode::kIo,
+                 "load_pipeline: corrupt numeric value in " + path};
+  }
+  if (missing)
+    return Error{ErrorCode::kIo,
+                 "load_pipeline: missing key '" + missing_key + "' in " + path};
   return c;
 }
 
-void write_chains(const std::vector<nn::ChainSequence>& chains,
-                  const std::string& path) {
+Expected<void> write_chains(const std::vector<nn::ChainSequence>& chains,
+                            const std::string& path) {
   std::ofstream os(path);
-  if (!os) throw util::IoError("save_pipeline: cannot open " + path);
+  if (!os)
+    return Error{ErrorCode::kIo, "save_pipeline: cannot open " + path};
   os.precision(9);
   for (const nn::ChainSequence& chain : chains) {
     for (std::size_t i = 0; i < chain.size(); ++i) {
@@ -99,7 +156,9 @@ void write_chains(const std::vector<nn::ChainSequence>& chains,
     }
     os << '\n';
   }
-  if (!os) throw util::IoError("save_pipeline: write failed for " + path);
+  if (!os)
+    return Error{ErrorCode::kIo, "save_pipeline: write failed for " + path};
+  return {};
 }
 
 std::vector<nn::ChainSequence> read_chains(const std::string& path) {
@@ -123,39 +182,88 @@ std::vector<nn::ChainSequence> read_chains(const std::string& path) {
   return chains;
 }
 
+/// Maps exceptions escaping the legacy serialization helpers (vocab and
+/// parameter files throw util::IoError) onto the Expected taxonomy.
+Error from_exception(const std::exception& e) {
+  if (dynamic_cast<const util::InvalidArgument*>(&e))
+    return {ErrorCode::kInvalidArgument, e.what()};
+  return {ErrorCode::kIo, e.what()};
+}
+
 }  // namespace
 
-void save_pipeline(const DeshPipeline& pipeline, const std::string& directory) {
-  util::require(pipeline.fitted_, "save_pipeline: pipeline is not fitted");
+Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
+                                 const std::string& directory) {
+  if (!pipeline.fitted_)
+    return Error{ErrorCode::kInvalidArgument,
+                 "save_pipeline: pipeline is not fitted"};
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec)
-    throw util::IoError("save_pipeline: cannot create directory " + directory);
-  write_config(pipeline.config_, directory + "/config.txt");
-  pipeline.vocab_.save(directory + "/vocab.txt");
-  nn::save_parameters(pipeline.phase1_->model().parameters(),
-                      directory + "/phase1.bin");
-  nn::save_parameters(pipeline.phase2_->model().parameters(),
-                      directory + "/phase2.bin");
-  write_chains(pipeline.training_chains_, directory + "/chains.txt");
+    return Error{ErrorCode::kIo,
+                 "save_pipeline: cannot create directory " + directory};
+  if (Expected<void> r = write_config(pipeline.config_,
+                                      directory + "/config.txt");
+      !r)
+    return r;
+  try {
+    pipeline.vocab_.save(directory + "/vocab.txt");
+    nn::save_parameters(pipeline.phase1_->model().parameters(),
+                        directory + "/phase1.bin");
+    nn::save_parameters(pipeline.phase2_->model().parameters(),
+                        directory + "/phase2.bin");
+  } catch (const std::exception& e) {
+    return from_exception(e);
+  }
+  return write_chains(pipeline.training_chains_, directory + "/chains.txt");
+}
+
+Expected<DeshPipeline> try_load_pipeline(const std::string& directory) {
+  Expected<DeshConfig> config = read_config(directory + "/config.txt");
+  if (!config) return config.error();
+  const std::vector<std::string> violations = config.value().validate();
+  if (!violations.empty()) {
+    std::string joined =
+        "load_pipeline: stored config in " + directory + " is invalid:";
+    for (const std::string& v : violations) joined += "\n  " + v;
+    return Error{ErrorCode::kInvalidConfig, std::move(joined)};
+  }
+  try {
+    DeshPipeline pipeline(config.value());
+    pipeline.vocab_ = logs::PhraseVocab::load(directory + "/vocab.txt");
+    pipeline.labeler_.emplace(pipeline.vocab_);
+    pipeline.phase1_ = std::make_unique<Phase1Trainer>(
+        config.value().phase1, pipeline.vocab_.size(), pipeline.rng_);
+    nn::load_parameters(pipeline.phase1_->model().parameters(),
+                        directory + "/phase1.bin");
+    pipeline.phase2_ = std::make_unique<Phase2Trainer>(
+        config.value().phase2, pipeline.vocab_.size(), pipeline.rng_);
+    nn::load_parameters(pipeline.phase2_->model().parameters(),
+                        directory + "/phase2.bin");
+    pipeline.training_chains_ = read_chains(directory + "/chains.txt");
+    pipeline.fitted_ = true;
+    return pipeline;
+  } catch (const std::exception& e) {
+    return from_exception(e);
+  }
+}
+
+// Deprecated throwing wrappers: behave exactly like the pre-redesign
+// functions (InvalidArgument for unfitted saves, IoError for I/O problems).
+void save_pipeline(const DeshPipeline& pipeline, const std::string& directory) {
+  const Expected<void> r = try_save_pipeline(pipeline, directory);
+  if (r.ok()) return;
+  if (r.error().code == ErrorCode::kInvalidArgument)
+    throw util::InvalidArgument(r.error().message);
+  throw util::IoError(r.error().message);
 }
 
 DeshPipeline load_pipeline(const std::string& directory) {
-  const DeshConfig config = read_config(directory + "/config.txt");
-  DeshPipeline pipeline(config);
-  pipeline.vocab_ = logs::PhraseVocab::load(directory + "/vocab.txt");
-  pipeline.labeler_.emplace(pipeline.vocab_);
-  pipeline.phase1_ = std::make_unique<Phase1Trainer>(
-      config.phase1, pipeline.vocab_.size(), pipeline.rng_);
-  nn::load_parameters(pipeline.phase1_->model().parameters(),
-                      directory + "/phase1.bin");
-  pipeline.phase2_ = std::make_unique<Phase2Trainer>(
-      config.phase2, pipeline.vocab_.size(), pipeline.rng_);
-  nn::load_parameters(pipeline.phase2_->model().parameters(),
-                      directory + "/phase2.bin");
-  pipeline.training_chains_ = read_chains(directory + "/chains.txt");
-  pipeline.fitted_ = true;
-  return pipeline;
+  Expected<DeshPipeline> r = try_load_pipeline(directory);
+  if (r.ok()) return std::move(r).value();
+  if (r.error().code == ErrorCode::kInvalidArgument)
+    throw util::InvalidArgument(r.error().message);
+  throw util::IoError(r.error().message);
 }
 
 }  // namespace desh::core

@@ -2,28 +2,52 @@
 // offline", Sec 4.4), then deploy the trained predictor without retraining.
 //
 // A saved pipeline is a directory holding:
-//   config.txt    — the DeshConfig fields that shape the models
+//   config.txt    — format version stamp + the DeshConfig fields that shape
+//                   the models
 //   vocab.txt     — the phrase vocabulary (ids = line order)
 //   phase1.bin    — PhraseModel parameters
 //   phase2.bin    — ChainModel parameters
 //   chains.txt    — the deltaT-augmented training chains (for audit/debug)
 // Loading validates that the stored config matches the models' shapes; any
 // drift fails loudly at load time rather than mis-predicting silently.
+//
+// Format versioning: config.txt starts with `format=desh-pipeline-<N>`.
+// The current writer emits version 2 (which added the phase-3 deltaT
+// encoding flag); the loader accepts the current and the previous version
+// and reports ErrorCode::kFormatVersion — not a generic "unrecognized
+// format" — for artifacts written by a future Desh.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "core/expected.hpp"
 #include "core/pipeline.hpp"
 
 namespace desh::core {
 
+/// Version stamped into new saves.
+inline constexpr std::uint32_t kPipelineFormatVersion = 2;
+/// Oldest version the loader still accepts.
+inline constexpr std::uint32_t kOldestReadablePipelineFormat = 1;
+
 /// Saves a fitted pipeline under `directory` (created if absent).
-/// Throws util::InvalidArgument if the pipeline is not fitted and
-/// util::IoError on filesystem problems.
-void save_pipeline(const DeshPipeline& pipeline, const std::string& directory);
+/// Errors: kInvalidArgument (pipeline not fitted), kIo (filesystem).
+Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
+                                 const std::string& directory);
 
 /// Reconstructs a fitted pipeline from `directory`. The returned pipeline
 /// predicts identically to the one that was saved (bit-exact parameters).
+/// Errors: kIo (missing/corrupt files), kFormatVersion (artifact newer than
+/// this build), kInvalidConfig (stored config fails validation).
+Expected<DeshPipeline> try_load_pipeline(const std::string& directory);
+
+/// Pre-redesign throwing wrappers, kept for one release so existing callers
+/// compile unchanged. They throw util::InvalidArgument / util::IoError
+/// exactly as before.
+[[deprecated("use try_save_pipeline (returns core::Expected)")]]
+void save_pipeline(const DeshPipeline& pipeline, const std::string& directory);
+[[deprecated("use try_load_pipeline (returns core::Expected)")]]
 DeshPipeline load_pipeline(const std::string& directory);
 
 }  // namespace desh::core

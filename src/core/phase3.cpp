@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -29,30 +30,18 @@ FailurePrediction Phase3Predictor::decide(
   return decide_at(candidate, config_.decision_position);
 }
 
-FailurePrediction Phase3Predictor::decide_at(
-    const chains::CandidateSequence& candidate,
-    std::size_t decision_position) const {
-  util::require(!candidate.events.empty(), "Phase3Predictor: empty candidate");
+FailurePrediction Phase3Predictor::finalize(
+    const chains::CandidateSequence& candidate, std::size_t k_eff,
+    const std::vector<nn::ChainStepScore>& scores) const {
   FailurePrediction out;
   out.node = candidate.node;
   out.sequence_end_time = candidate.end_time();
-
-  const nn::ChainSequence seq =
-      config_.cumulative_dt
-          ? chains::DeltaTimeCalculator::to_chain_sequence(candidate)
-          : chains::DeltaTimeCalculator::to_chain_sequence_adjacent(candidate);
-  const std::size_t k_eff =
-      std::min(decision_position, seq.size() - 1);
   out.decision_position = k_eff;
   // Lead time comes from the raw timestamps so it stays meaningful under
   // either deltaT encoding.
   out.lead_seconds =
       candidate.end_time() - candidate.events[k_eff].timestamp;
 
-  // An earlier-than-default decision point (Fig 8 sweep) must also score
-  // earlier positions, accepting the extra ambiguity of short contexts.
-  const std::size_t min_pos = std::min(config_.min_position, k_eff);
-  const auto scores = model_.score_sequence(seq, min_pos);
   double acc = 0;
   std::size_t used = 0;
   for (const nn::ChainStepScore& s : scores) {
@@ -69,6 +58,54 @@ FailurePrediction Phase3Predictor::decide_at(
   }
   out.score = acc / static_cast<double>(used);
   out.flagged = out.score <= config_.mse_threshold;
+  return out;
+}
+
+FailurePrediction Phase3Predictor::decide_at(
+    const chains::CandidateSequence& candidate,
+    std::size_t decision_position) const {
+  util::require(!candidate.events.empty(), "Phase3Predictor: empty candidate");
+  const nn::ChainSequence seq =
+      config_.cumulative_dt
+          ? chains::DeltaTimeCalculator::to_chain_sequence(candidate)
+          : chains::DeltaTimeCalculator::to_chain_sequence_adjacent(candidate);
+  const std::size_t k_eff =
+      std::min(decision_position, seq.size() - 1);
+  // An earlier-than-default decision point (Fig 8 sweep) must also score
+  // earlier positions, accepting the extra ambiguity of short contexts.
+  const std::size_t min_pos = std::min(config_.min_position, k_eff);
+  return finalize(candidate, k_eff, model_.score_sequence(seq, min_pos));
+}
+
+std::vector<FailurePrediction> Phase3Predictor::decide_batch(
+    std::span<const chains::CandidateSequence* const> candidates) const {
+  std::vector<FailurePrediction> out(candidates.size());
+  // Convert every candidate once, then group by sequence length: k_eff and
+  // min_pos are functions of the length, so one group shares one batched
+  // GEMM scoring pass.
+  std::vector<nn::ChainSequence> seqs(candidates.size());
+  std::map<std::size_t, std::vector<std::size_t>> by_length;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    util::require(!candidates[i]->events.empty(),
+                  "Phase3Predictor: empty candidate");
+    seqs[i] =
+        config_.cumulative_dt
+            ? chains::DeltaTimeCalculator::to_chain_sequence(*candidates[i])
+            : chains::DeltaTimeCalculator::to_chain_sequence_adjacent(
+                  *candidates[i]);
+    by_length[seqs[i].size()].push_back(i);
+  }
+  for (const auto& [length, indices] : by_length) {
+    const std::size_t k_eff = std::min(config_.decision_position, length - 1);
+    const std::size_t min_pos = std::min(config_.min_position, k_eff);
+    std::vector<const nn::ChainSequence*> group;
+    group.reserve(indices.size());
+    for (std::size_t i : indices) group.push_back(&seqs[i]);
+    const std::vector<std::vector<nn::ChainStepScore>> scored =
+        model_.score_sequences(group, min_pos);
+    for (std::size_t j = 0; j < indices.size(); ++j)
+      out[indices[j]] = finalize(*candidates[indices[j]], k_eff, scored[j]);
+  }
   return out;
 }
 

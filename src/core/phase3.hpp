@@ -5,6 +5,7 @@
 // node X located in Y is expected to fail".
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,13 @@ class Phase3Predictor {
   /// Decision at the configured operating point.
   FailurePrediction decide(const chains::CandidateSequence& candidate) const;
 
+  /// Batched decide over many candidates (one per node, in the serving
+  /// micro-batcher): candidates of equal length share one GEMM-wide LSTM
+  /// pass (ChainModel::score_sequences), so per-candidate cost amortizes
+  /// with batch width. out[i] is bit-identical to decide(*candidates[i]).
+  std::vector<FailurePrediction> decide_batch(
+      std::span<const chains::CandidateSequence* const> candidates) const;
+
   /// Decision after checking exactly `decision_position` phrases — the
   /// Fig 8 lead-time/FP-rate sensitivity knob ("if failure is flagged after
   /// checking P2 or P1, we obtain 4 minutes lead time at the expense of an
@@ -52,6 +60,12 @@ class Phase3Predictor {
   const Phase3Config& config() const { return config_; }
 
  private:
+  /// Shared aggregation of per-position scores into a decision — keeps
+  /// decide_at and decide_batch numerically identical by construction.
+  FailurePrediction finalize(const chains::CandidateSequence& candidate,
+                             std::size_t k_eff,
+                             const std::vector<nn::ChainStepScore>& scores) const;
+
   const nn::ChainModel& model_;
   Phase3Config config_;
 };

@@ -10,12 +10,33 @@
 
 namespace desh::core {
 
+namespace {
+
+std::string join_violations(const std::vector<std::string>& violations) {
+  std::string joined = "DeshConfig invalid:";
+  for (const std::string& v : violations) joined += "\n  " + v;
+  return joined;
+}
+
+}  // namespace
+
 DeshPipeline::DeshPipeline(DeshConfig config)
     : config_(config), rng_(config.seed) {
+  // Reject bad values before any model is built: a zero hidden size or an
+  // out-of-range threshold used to surface only as NaN losses mid-fit.
+  const std::vector<std::string> violations = config_.validate();
+  util::require(violations.empty(), join_violations(violations));
   // The pipeline-wide thread count flows into every stage that has not set
   // its own; 0 everywhere defers to DESH_THREADS / the hardware at run time.
   if (config_.phase1.threads == 0) config_.phase1.threads = config_.threads;
   if (config_.phase2.threads == 0) config_.phase2.threads = config_.threads;
+}
+
+Expected<DeshPipeline> DeshPipeline::create(DeshConfig config) {
+  const std::vector<std::string> violations = config.validate();
+  if (!violations.empty())
+    return Error{ErrorCode::kInvalidConfig, join_violations(violations)};
+  return DeshPipeline(std::move(config));
 }
 
 const chains::PhraseLabeler& DeshPipeline::labeler() const {

@@ -18,6 +18,7 @@
 #include "chains/labeler.hpp"
 #include "chains/parsed_log.hpp"
 #include "core/config.hpp"
+#include "core/expected.hpp"
 #include "core/phase1.hpp"
 #include "core/phase2.hpp"
 #include "core/phase3.hpp"
@@ -48,7 +49,15 @@ struct TestRun {
 
 class DeshPipeline {
  public:
+  /// Validates `config` (DeshConfig::validate) and rejects bad values up
+  /// front by throwing util::InvalidArgument listing every violation.
+  /// Prefer create() on the supported surface — it reports the same
+  /// violations as an Error value instead of an exception.
   explicit DeshPipeline(DeshConfig config = {});
+
+  /// Non-throwing construction: ErrorCode::kInvalidConfig carrying all
+  /// validation violations, or a ready-to-fit pipeline.
+  static Expected<DeshPipeline> create(DeshConfig config = {});
 
   /// Offline training on the raw training corpus (the paper's first 30% of
   /// each system's logs). Builds the vocabulary, optionally pre-trains
@@ -77,8 +86,9 @@ class DeshPipeline {
   }
 
  private:
-  friend void save_pipeline(const DeshPipeline&, const std::string&);
-  friend DeshPipeline load_pipeline(const std::string&);
+  friend Expected<void> try_save_pipeline(const DeshPipeline&,
+                                          const std::string&);
+  friend Expected<DeshPipeline> try_load_pipeline(const std::string&);
 
   DeshConfig config_;
   util::Rng rng_;
@@ -90,8 +100,9 @@ class DeshPipeline {
   bool fitted_ = false;
 };
 
-void save_pipeline(const DeshPipeline& pipeline, const std::string& directory);
-DeshPipeline load_pipeline(const std::string& directory);
+Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
+                                 const std::string& directory);
+Expected<DeshPipeline> try_load_pipeline(const std::string& directory);
 
 /// Splits a corpus at `split_time`: records strictly before it are training
 /// (the paper's 30%/70% temporal split, Sec 4).

@@ -1,0 +1,96 @@
+// desh.hpp — the supported public surface of Desh, in one include.
+//
+// Everything exported here is stable API: configuration, the end-to-end
+// pipeline, the streaming monitor, the serving engine, persistence, and
+// telemetry control. Symbols in subsystem headers but NOT re-exported here
+// (trainers, tensor ops, template mining, ...) are implementation surface
+// and may change between releases.
+//
+// Error model: no entry point exported here throws for I/O or configuration
+// errors — fallible operations return core::Expected<T> (a value or an
+// Error{code, message}). Exceptions remain only for programmer errors
+// (precondition violations) and in the [[deprecated]] migration wrappers.
+//
+//   #include "desh.hpp"
+//   auto pipeline = desh::DeshPipeline::create(config);   // Expected
+//   pipeline.value().fit(train_corpus);
+//   auto server = desh::serve::InferenceServer::create(pipeline.value());
+#pragma once
+
+#include "core/config.hpp"
+#include "core/expected.hpp"
+#include "core/monitor.hpp"
+#include "core/persistence.hpp"
+#include "core/pipeline.hpp"
+#include "logs/record.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace desh {
+
+// --- errors ---------------------------------------------------------------
+/// Machine-readable failure categories carried by every Error.
+using core::ErrorCode;
+/// The failure value: an ErrorCode plus a human-readable message.
+using core::Error;
+/// Value-or-Error result of every fallible supported entry point.
+using core::Expected;
+
+// --- configuration --------------------------------------------------------
+/// Full system configuration (phases 1-3, extractor, skip-gram);
+/// DeshConfig::validate() lists every violation with its field path.
+using core::DeshConfig;
+
+// --- the offline pipeline (phases 1-3, Figure 2) --------------------------
+/// End-to-end system façade: fit() on a training corpus, predict() on a
+/// test corpus. Construct via DeshPipeline::create() (non-throwing).
+using core::DeshPipeline;
+/// Summary of one fit() run (losses, vocabulary, chain counts, timings).
+using core::FitReport;
+/// One predict() pass: candidate sequences plus their per-node predictions.
+using core::TestRun;
+/// Phase-3 verdict for one candidate, including the operator warning line.
+using core::FailurePrediction;
+
+// --- persistence ----------------------------------------------------------
+/// Writes a fitted pipeline to a directory. Errors: kIo, kInvalidArgument.
+using core::try_save_pipeline;
+/// Reads a pipeline saved by this or the previous format version. Errors:
+/// kIo, kFormatVersion (future/retired formats), kInvalidConfig.
+using core::try_load_pipeline;
+/// Newest on-disk format written, and oldest still readable.
+using core::kPipelineFormatVersion;
+using core::kOldestReadablePipelineFormat;
+
+// --- streaming deployment (Sec 4.5) ---------------------------------------
+/// Online per-record monitor over a fitted pipeline: observe() raw records,
+/// get lead-time alerts the moment a failure chain matches.
+using core::StreamingMonitor;
+/// StreamingMonitor tuning: window gap, alert re-arm, worker count.
+using core::MonitorConfig;
+/// One raised alert: node, time, predicted lead, operator message.
+using core::MonitorAlert;
+
+// --- raw log model --------------------------------------------------------
+/// One console-log line: (timestamp, node, message).
+using logs::LogRecord;
+/// A timestamp-ordered vector of LogRecords.
+using logs::LogCorpus;
+/// Physical Cray node identifier (cA-BcCsSnN), carried through to alerts.
+using logs::NodeId;
+
+// --- telemetry ------------------------------------------------------------
+/// Runtime switch and tuning for the desh::obs metric registry.
+using obs::DeshObsConfig;
+/// Enables/disables metric recording process-wide: obs::configure(...).
+namespace observability = ::desh::obs;
+
+// The serving engine is exported as the nested namespace desh::serve:
+//   serve::InferenceServer — micro-batched online inference server
+//                            (create / submit / poll_alerts / swap_model)
+//   serve::ServeConfig     — queue bound, batch width, shed policy
+//   serve::Admission       — submit() outcome (explicit backpressure)
+//   serve::ShedPolicy      — overload drop policy
+//   serve::ServeStats      — lifetime counters snapshot
+
+}  // namespace desh

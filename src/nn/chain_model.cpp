@@ -176,6 +176,60 @@ std::vector<ChainStepScore> ChainModel::score_sequence(
   return out;
 }
 
+std::vector<std::vector<ChainStepScore>> ChainModel::score_sequences(
+    std::span<const ChainSequence* const> sequences,
+    std::size_t min_pos) const {
+  std::vector<std::vector<ChainStepScore>> out(sequences.size());
+  if (sequences.empty()) return out;
+  const std::size_t W = sequences.size();
+  if (W == 1) {
+    out[0] = score_sequence(*sequences[0], min_pos);
+    return out;
+  }
+  const std::size_t L = sequences.front()->size();
+  for (const ChainSequence* seq : sequences)
+    util::require(seq->size() == L,
+                  "ChainModel::score_sequences: ragged batch");
+  min_pos = std::max<std::size_t>(min_pos, 1);
+  if (L < min_pos + 1) return out;
+
+  const std::size_t E = config_.embed_dim;
+  const std::size_t V = config_.vocab_size;
+  std::vector<tensor::Matrix> hs, cs;
+  tensor::Matrix x, top, pred;
+  for (std::size_t t = min_pos; t < L; ++t) {
+    const std::size_t ctx = std::min(t, config_.history);
+    stack_.make_state(hs, cs, W);
+    for (std::size_t i = t - ctx; i < t; ++i) {
+      x.resize(W, 1 + E);
+      for (std::size_t w = 0; w < W; ++w) {
+        const ChainStep& step = (*sequences[w])[i];
+        float* row = x.data() + w * (1 + E);
+        row[0] = step.dt_norm;
+        std::span<const float> v = embed_.vector(step.phrase);
+        for (std::size_t c = 0; c < E; ++c) row[1 + c] = v[c];
+      }
+      stack_.step_inference(x, hs, cs, top);
+    }
+    head_.forward_inference(top, pred);  // W x (1 + V)
+    for (std::size_t w = 0; w < W; ++w) {
+      const float* pr = pred.data() + w * (1 + V);
+      const ChainStep& actual = (*sequences[w])[t];
+      ChainStepScore s;
+      s.position = t;
+      s.predicted_dt = static_cast<float>(denormalize_dt(pr[0]));
+      std::span<const float> phrase_block(pr + 1, V);
+      s.predicted_phrase =
+          static_cast<std::uint32_t>(tensor::argmax(phrase_block));
+      const float dt_err = pr[0] - actual.dt_norm;
+      s.score = config_.time_weight * dt_err * dt_err +
+                (s.predicted_phrase == actual.phrase ? 0.0f : 1.0f);
+      out[w].push_back(s);
+    }
+  }
+  return out;
+}
+
 float ChainModel::sequence_mse(const ChainSequence& sequence) const {
   const auto scores = score_sequence(sequence);
   if (scores.empty()) return std::numeric_limits<float>::infinity();

@@ -82,6 +82,17 @@ class ChainModel {
     return score_sequence(sequence, config_.history);
   }
 
+  /// Batched score_sequence over W equally long sequences: each LSTM step
+  /// and the output head run once as a W-row GEMM instead of W separate
+  /// matrix-vector passes, so per-window cost amortizes with batch width.
+  /// GEMM rows are computed independently and in the same accumulation
+  /// order as the 1-row case, so out[w] is bit-identical to
+  /// score_sequence(*sequences[w], min_pos) — the serving micro-batcher
+  /// relies on this for its replay-equivalence guarantee.
+  std::vector<std::vector<ChainStepScore>> score_sequences(
+      std::span<const ChainSequence* const> sequences,
+      std::size_t min_pos) const;
+
   /// Mean match score over the scored positions; +inf if nothing scored.
   float sequence_mse(const ChainSequence& sequence) const;
 

@@ -32,14 +32,7 @@ void LstmLayer::compute_gates(const tensor::Matrix& x,
   tensor::matmul(x, wx_.value, gates);
   tensor::matmul_acc(h_prev, wh_.value, gates);
   tensor::add_row_bias(gates, b_.value);
-  // Activate in place: sigmoid on i, f, o blocks; tanh on g.
-  for (std::size_t r = 0; r < gates.rows(); ++r) {
-    float* row = gates.data() + r * 4 * h;
-    for (std::size_t c = 0; c < 4 * h; ++c) {
-      const bool is_g = (c >= 2 * h && c < 3 * h);
-      row[c] = is_g ? std::tanh(row[c]) : 1.0f / (1.0f + std::exp(-row[c]));
-    }
-  }
+  tensor::lstm_activate_gates(gates, h);
 }
 
 void LstmLayer::forward(const std::vector<tensor::Matrix>& inputs, Cache& cache,
@@ -68,20 +61,10 @@ void LstmLayer::forward(const std::vector<tensor::Matrix>& inputs, Cache& cache,
     c_t.resize(B, H);
     tc.resize(B, H);
     h_t.resize(B, H);
-    for (std::size_t r = 0; r < B; ++r) {
-      const float* gr = g4.data() + r * 4 * H;
-      const float* cp = c_prev.data() + r * H;
-      float* cr = c_t.data() + r * H;
-      float* tr = tc.data() + r * H;
-      float* hr = h_t.data() + r * H;
-      for (std::size_t j = 0; j < H; ++j) {
-        const float i = gr[j], f = gr[H + j], g = gr[2 * H + j],
-                    o = gr[3 * H + j];
-        cr[j] = f * cp[j] + i * g;
-        tr[j] = std::tanh(cr[j]);
-        hr[j] = o * tr[j];
-      }
-    }
+    for (std::size_t r = 0; r < B; ++r)
+      tensor::lstm_cell_update(g4.data() + r * 4 * H, c_prev.data() + r * H,
+                               c_t.data() + r * H, tc.data() + r * H,
+                               h_t.data() + r * H, H);
     outputs[t] = h_t;
     h_prev = h_t;
     c_prev = c_t;
@@ -156,15 +139,11 @@ void LstmLayer::step_inference(const tensor::Matrix& x, tensor::Matrix& h,
                 "LstmLayer::step_inference: state shape mismatch");
   tensor::Matrix gates;
   compute_gates(x, h, gates);
+  // In-place state step: c_prev aliases c, tanh(c) lands directly in h.
   for (std::size_t r = 0; r < B; ++r) {
-    const float* gr = gates.data() + r * 4 * H;
     float* cr = c.data() + r * H;
     float* hr = h.data() + r * H;
-    for (std::size_t j = 0; j < H; ++j) {
-      const float i = gr[j], f = gr[H + j], g = gr[2 * H + j], o = gr[3 * H + j];
-      cr[j] = f * cr[j] + i * g;
-      hr[j] = o * std::tanh(cr[j]);
-    }
+    tensor::lstm_cell_update(gates.data() + r * 4 * H, cr, cr, hr, hr, H);
   }
 }
 

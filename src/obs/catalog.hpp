@@ -102,6 +102,32 @@ inline constexpr MetricDef kPoolWorkerBusySeconds{
     "Cumulative busy time per worker slot (label: worker index; "
     "utilization = busy / (wall x workers))"};
 
+// --- serving engine (desh::serve::InferenceServer) ------------------------
+inline constexpr MetricDef kServeAdmittedTotal{
+    "desh_serve_admitted_total", "counter", "records",
+    "Records accepted into the InferenceServer ingest queue"};
+inline constexpr MetricDef kServeRejectedTotal{
+    "desh_serve_rejected_total", "counter", "records",
+    "submit() calls refused with Admission::kQueueFull (backpressure)"};
+inline constexpr MetricDef kServeShedTotal{
+    "desh_serve_shed_total", "counter", "records",
+    "Queued records dropped by the overload shed policy after admission"};
+inline constexpr MetricDef kServeQueueDepth{
+    "desh_serve_queue_depth", "gauge", "records",
+    "Ingest queue depth sampled at each micro-batch pump"};
+inline constexpr MetricDef kServeBatchWidth{
+    "desh_serve_batch_width", "histogram", "records",
+    "Records coalesced into one micro-batch (observe_batch pass)"};
+inline constexpr MetricDef kServeBatchesTotal{
+    "desh_serve_batches_total", "counter", "batches",
+    "Micro-batches pumped through the monitor by the collector"};
+inline constexpr MetricDef kServeReloadsTotal{
+    "desh_serve_reloads_total", "counter", "reloads",
+    "Hot model reloads installed via swap_model()"};
+inline constexpr MetricDef kServeAlertLatencySeconds{
+    "desh_serve_alert_latency_seconds", "histogram", "seconds",
+    "Wall time from a record's admission to the alert it triggered"};
+
 /// Everything above, for exhaustive iteration (docs test, exporters demo).
 inline constexpr const MetricDef* kCatalog[] = {
     &kTrainStepsTotal,      &kTrainGradClipTotal,  &kTrainStepSeconds,
@@ -113,6 +139,9 @@ inline constexpr const MetricDef* kCatalog[] = {
     &kPredictCandidatesTotal, &kPredictScoreSeconds, &kPoolWorkers,
     &kPoolParallelJobsTotal, &kPoolParallelForSeconds, &kPoolTasksTotal,
     &kPoolTaskSeconds,      &kPoolQueueWaitSeconds, &kPoolWorkerBusySeconds,
+    &kServeAdmittedTotal,   &kServeRejectedTotal,  &kServeShedTotal,
+    &kServeQueueDepth,      &kServeBatchWidth,     &kServeBatchesTotal,
+    &kServeReloadsTotal,    &kServeAlertLatencySeconds,
 };
 
 }  // namespace desh::obs

@@ -1,0 +1,293 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/catalog.hpp"
+
+namespace desh::serve {
+
+namespace {
+
+// Process-wide serving telemetry (OBSERVABILITY.md "serving engine").
+// Cached references: registration takes the registry lock exactly once.
+struct ServeObs {
+  obs::Counter& admitted = obs::registry().counter(obs::kServeAdmittedTotal);
+  obs::Counter& rejected = obs::registry().counter(obs::kServeRejectedTotal);
+  obs::Counter& shed = obs::registry().counter(obs::kServeShedTotal);
+  obs::Gauge& queue_depth = obs::registry().gauge(obs::kServeQueueDepth);
+  obs::Histogram& batch_width =
+      obs::registry().histogram(obs::kServeBatchWidth);
+  obs::Counter& batches = obs::registry().counter(obs::kServeBatchesTotal);
+  obs::Counter& reloads = obs::registry().counter(obs::kServeReloadsTotal);
+  obs::Histogram& alert_latency =
+      obs::registry().histogram(obs::kServeAlertLatencySeconds);
+  static ServeObs& get() {
+    static ServeObs instance;
+    return instance;
+  }
+};
+
+std::string join_violations(const std::vector<std::string>& violations) {
+  std::string out = "invalid ServeConfig:";
+  for (const std::string& v : violations) out += "\n  - " + v;
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ServeConfig::validate() const {
+  std::vector<std::string> out;
+  if (queue_capacity == 0)
+    out.push_back("serve.queue_capacity: must be positive");
+  if (max_batch == 0) out.push_back("serve.max_batch: must be positive");
+  if (!(shed_watermark > 0.0) || shed_watermark > 1.0)
+    out.push_back("serve.shed_watermark: must be in (0, 1]");
+  if (!(monitor.gap_seconds > 0))
+    out.push_back("serve.monitor.gap_seconds: must be positive");
+  if (monitor.rearm_seconds < 0)
+    out.push_back("serve.monitor.rearm_seconds: must be non-negative");
+  return out;
+}
+
+core::Expected<std::unique_ptr<InferenceServer>> InferenceServer::create(
+    std::shared_ptr<const core::DeshPipeline> pipeline, ServeConfig config) {
+  if (!pipeline)
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "InferenceServer: null pipeline"};
+  if (!pipeline->fitted())
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "InferenceServer: pipeline is not fitted"};
+  const std::vector<std::string> violations = config.validate();
+  if (!violations.empty())
+    return core::Error{core::ErrorCode::kInvalidConfig,
+                       join_violations(violations)};
+  return std::unique_ptr<InferenceServer>(
+      new InferenceServer(std::move(pipeline), std::move(config)));
+}
+
+core::Expected<std::unique_ptr<InferenceServer>> InferenceServer::create(
+    const core::DeshPipeline& pipeline, ServeConfig config) {
+  // Non-owning alias: lifetime is the caller's promise (see header).
+  return create(std::shared_ptr<const core::DeshPipeline>(
+                    &pipeline, [](const core::DeshPipeline*) {}),
+                std::move(config));
+}
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<const core::DeshPipeline> pipeline, ServeConfig config)
+    : config_(std::move(config)),
+      pipeline_(std::move(pipeline)),
+      monitor_(std::make_unique<core::StreamingMonitor>(*pipeline_,
+                                                        config_.monitor)) {
+  if (config_.start_collector)
+    collector_ = std::thread([this] { collector_loop(); });
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+Admission InferenceServer::submit(const logs::LogRecord& record) {
+  ServeObs& obs = ServeObs::get();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return Admission::kStopped;
+    if (queue_.size() >= config_.queue_capacity) {
+      ++stats_.rejected;
+      obs.rejected.add();
+      return Admission::kQueueFull;
+    }
+    queue_.push_back({record, std::chrono::steady_clock::now()});
+    ++stats_.admitted;
+    obs.admitted.add();
+  }
+  work_cv_.notify_one();
+  return Admission::kAccepted;
+}
+
+std::size_t InferenceServer::submit_batch(
+    std::span<const logs::LogRecord> records) {
+  std::size_t accepted = 0;
+  for (const logs::LogRecord& record : records) {
+    const Admission a = submit(record);
+    if (a == Admission::kAccepted) ++accepted;
+    if (a == Admission::kStopped) break;
+  }
+  return accepted;
+}
+
+std::vector<core::MonitorAlert> InferenceServer::poll_alerts() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<core::MonitorAlert> out = std::move(alerts_);
+  alerts_.clear();
+  return out;
+}
+
+ServeStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServeStats out = stats_;
+  out.queue_depth = queue_.size();
+  return out;
+}
+
+core::Expected<void> InferenceServer::swap_model(
+    const std::string& directory) {
+  core::Expected<core::DeshPipeline> loaded =
+      core::try_load_pipeline(directory);
+  if (!loaded) return loaded.error();
+  auto fresh = std::make_shared<const core::DeshPipeline>(
+      std::move(loaded).value());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_)
+      return core::Error{core::ErrorCode::kUnavailable,
+                         "InferenceServer: server is stopped"};
+    staged_pipeline_ = std::move(fresh);
+  }
+  work_cv_.notify_one();
+  return {};
+}
+
+std::size_t InferenceServer::shed_limit() const {
+  return static_cast<std::size_t>(
+      config_.shed_watermark * static_cast<double>(config_.queue_capacity));
+}
+
+void InferenceServer::shed_locked() {
+  const std::size_t limit = shed_limit();
+  if (queue_.size() <= limit) return;
+  const std::size_t excess = queue_.size() - limit;
+  if (config_.shed_policy == ShedPolicy::kOldestFirst) {
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(excess));
+  } else {
+    // Rank queued records by the current anomaly-window depth of their
+    // node: shallow windows are farthest from a chain match, so their
+    // records are the least likely to contribute an alert. Stable sort
+    // keeps admission order within a depth, so the oldest of the
+    // lowest-risk records go first.
+    std::vector<std::size_t> depth(queue_.size());
+    for (std::size_t i = 0; i < queue_.size(); ++i)
+      depth[i] = monitor_->window_depth(queue_[i].record.node);
+    std::vector<std::size_t> order(queue_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(
+        order.begin(), order.end(),
+        [&](std::size_t a, std::size_t b) { return depth[a] < depth[b]; });
+    std::vector<char> drop(queue_.size(), 0);
+    for (std::size_t k = 0; k < excess; ++k) drop[order[k]] = 1;
+    std::deque<Entry> kept;
+    for (std::size_t i = 0; i < queue_.size(); ++i)
+      if (!drop[i]) kept.push_back(std::move(queue_[i]));
+    queue_ = std::move(kept);
+  }
+  stats_.shed += excess;
+  ServeObs::get().shed.add(excess);
+}
+
+std::size_t InferenceServer::pump() {
+  ServeObs& obs = ServeObs::get();
+  std::shared_ptr<const core::DeshPipeline> retiring;
+  std::vector<Entry> batch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pumping_ = true;
+    if (staged_pipeline_) {
+      // Batch boundary: no inference is in flight, so the old snapshot can
+      // retire (it is destroyed after the lock drops, via `retiring`).
+      // Window state does not survive a vocabulary change — start fresh.
+      retiring = std::move(pipeline_);
+      pipeline_ = std::move(staged_pipeline_);
+      monitor_ = std::make_unique<core::StreamingMonitor>(*pipeline_,
+                                                          config_.monitor);
+      ++stats_.reloads;
+      obs.reloads.add();
+    }
+    const std::size_t take = std::min(config_.max_batch, queue_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    shed_locked();
+    stats_.queue_depth = queue_.size();
+    obs.queue_depth.set(static_cast<double>(queue_.size()));
+  }
+
+  // Inference runs outside the queue lock: producers keep admitting while
+  // the monitor chews on this micro-batch.
+  std::vector<core::MonitorAlert> alerts;
+  if (!batch.empty()) {
+    std::vector<logs::LogRecord> records;
+    records.reserve(batch.size());
+    for (const Entry& e : batch) records.push_back(e.record);
+    alerts = monitor_->observe_batch(records);
+    obs.batch_width.observe(static_cast<double>(batch.size()));
+    obs.batches.add();
+    const auto now = std::chrono::steady_clock::now();
+    for (const core::MonitorAlert& alert : alerts) {
+      for (const Entry& e : batch) {
+        if (e.record.node == alert.node &&
+            e.record.timestamp == alert.time) {
+          obs.alert_latency.observe(
+              std::chrono::duration<double>(now - e.admitted_at).count());
+          break;
+        }
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!batch.empty()) ++stats_.batches;
+    stats_.processed += batch.size();
+    stats_.alerts += alerts.size();
+    for (core::MonitorAlert& a : alerts) alerts_.push_back(std::move(a));
+    pumping_ = false;
+  }
+  drained_cv_.notify_all();
+  return batch.size();
+}
+
+void InferenceServer::collector_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stopping_ || !queue_.empty() || staged_pipeline_ != nullptr;
+      });
+      // The predicate held, so an empty idle state here means stop: drain
+      // finished, no swap staged.
+      if (queue_.empty() && !staged_pipeline_) return;
+    }
+    pump();
+  }
+}
+
+void InferenceServer::drain() {
+  if (!collector_.joinable()) {
+    while (pump() != 0) {
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [&] {
+    return queue_.empty() && !staged_pipeline_ && !pumping_;
+  });
+}
+
+void InferenceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (collector_.joinable()) {
+    collector_.join();
+  } else {
+    // Manual-pump mode: process what was admitted before the stop.
+    while (pump() != 0) {
+    }
+  }
+}
+
+}  // namespace desh::serve

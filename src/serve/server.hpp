@@ -1,0 +1,181 @@
+// desh::serve — the micro-batched online inference engine (the deployment
+// story of Sec 4.5 turned into a service). An InferenceServer wraps a fitted
+// DeshPipeline behind a bounded ingest queue:
+//
+//   submit() ──> [bounded queue] ──> collector thread ──> observe_batch()
+//                     │                    │                    │
+//                 kQueueFull          micro-batch          poll_alerts()
+//                (backpressure)      (GEMM-batched)
+//
+// Contracts, in order of importance:
+//   - No silent drops. Every record is either processed, refused at the door
+//     (Admission::kQueueFull — explicit backpressure), or shed by the
+//     configured overload policy; refusals and sheds are counted in
+//     desh::obs (desh_serve_rejected_total / desh_serve_shed_total).
+//   - Replay equivalence. With no sheds, the alert stream is byte-identical
+//     to feeding the same records through StreamingMonitor::observe one at
+//     a time: micro-batching relies on observe_batch's round-based
+//     decide_batch, whose GEMM rows are bit-identical to the 1-row path.
+//   - Hot reload. swap_model() stages a pipeline loaded via
+//     core::try_load_pipeline; the collector installs it at the next batch
+//     boundary, so in-flight batches finish on the old model. Per-node
+//     window state is reset at install (the new model's vocabulary may
+//     encode phrases differently, so stale windows would be meaningless).
+//
+// Entry points return core::Expected — no exceptions cross this API for
+// I/O or configuration errors.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/expected.hpp"
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "logs/record.hpp"
+
+namespace desh::serve {
+
+/// What to drop when the queue stays saturated above the shed watermark.
+enum class ShedPolicy {
+  /// Drop the records that have waited longest (their lead-time value has
+  /// decayed the most).
+  kOldestFirst,
+  /// Drop records of the nodes with the shallowest anomaly windows — the
+  /// nodes farthest from a chain match, i.e. the least likely to alert.
+  kLowestRiskFirst,
+};
+
+struct ServeConfig {
+  /// Ingest queue bound; submit() refuses (kQueueFull) beyond it.
+  std::size_t queue_capacity = 4096;
+  /// Largest micro-batch handed to one observe_batch pass.
+  std::size_t max_batch = 256;
+  /// After each pump, if the queue still holds more than
+  /// watermark * capacity records, shed down to that level per the policy.
+  /// 1.0 (the default) disables shedding: backpressure only.
+  double shed_watermark = 1.0;
+  ShedPolicy shed_policy = ShedPolicy::kOldestFirst;
+  /// When false, no collector thread is started and the owner pumps
+  /// batches explicitly via pump() — deterministic mode for tests and
+  /// benchmarks (single caller only).
+  bool start_collector = true;
+  /// Monitor tuning (gap, re-arm, observe_batch worker count).
+  core::MonitorConfig monitor;
+
+  /// All violations as "field.path: problem" strings; empty when valid.
+  std::vector<std::string> validate() const;
+};
+
+/// Outcome of a submit() call — the explicit backpressure signal.
+enum class Admission { kAccepted, kQueueFull, kStopped };
+
+/// Snapshot of the server's lifetime counters (also exported via desh::obs).
+struct ServeStats {
+  std::size_t admitted = 0;   // accepted into the queue
+  std::size_t rejected = 0;   // refused with kQueueFull
+  std::size_t shed = 0;       // dropped by the overload policy
+  std::size_t processed = 0;  // fed through the monitor
+  std::size_t alerts = 0;     // alerts raised
+  std::size_t batches = 0;    // micro-batches pumped
+  std::size_t reloads = 0;    // models hot-swapped in
+  std::size_t queue_depth = 0;  // current queue occupancy
+};
+
+class InferenceServer {
+ public:
+  /// Builds a server around a fitted pipeline the server co-owns (the
+  /// snapshot stays alive across swap_model until in-flight batches end).
+  /// Errors: kInvalidArgument (null/unfitted pipeline), kInvalidConfig
+  /// (all ServeConfig violations, field-path messages).
+  static core::Expected<std::unique_ptr<InferenceServer>> create(
+      std::shared_ptr<const core::DeshPipeline> pipeline,
+      ServeConfig config = {});
+
+  /// Borrowing overload: the caller guarantees `pipeline` outlives the
+  /// server and is not re-fitted while served.
+  static core::Expected<std::unique_ptr<InferenceServer>> create(
+      const core::DeshPipeline& pipeline, ServeConfig config = {});
+
+  ~InferenceServer();  // stop()s if the owner has not
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Offers one record. kAccepted = queued; kQueueFull = bounded queue at
+  /// capacity, caller must retry/back off (the record was NOT taken);
+  /// kStopped = server no longer accepts. Thread-safe; records of one node
+  /// must be submitted in timestamp order for replay equivalence.
+  Admission submit(const logs::LogRecord& record);
+
+  /// Offers records in order, attempting each one (a mid-batch pump can
+  /// free capacity). Returns how many were accepted; refusals are counted
+  /// as rejected. Stops early only when the server is stopped.
+  std::size_t submit_batch(std::span<const logs::LogRecord> records);
+
+  /// Takes all alerts raised since the last poll, in processing order.
+  std::vector<core::MonitorAlert> poll_alerts();
+
+  /// Blocks until every admitted record has been processed (or shed) and
+  /// any staged model swap is installed. In manual-pump mode this pumps
+  /// inline.
+  void drain();
+
+  /// Stops admissions, processes what was already admitted, and joins the
+  /// collector. Idempotent; called by the destructor.
+  void stop();
+
+  /// Stages the pipeline saved in `directory` (core::try_load_pipeline) for
+  /// installation at the next batch boundary. Success means staged, not yet
+  /// installed — desh_serve_reloads_total ticks at install. Errors: any
+  /// try_load_pipeline error (kIo, kFormatVersion, kInvalidConfig, ...) or
+  /// kUnavailable after stop().
+  core::Expected<void> swap_model(const std::string& directory);
+
+  ServeStats stats() const;
+
+  /// Manual-pump mode only: coalesces and processes one micro-batch
+  /// (installing any staged swap first) and returns how many records it
+  /// processed. Single caller at a time.
+  std::size_t pump();
+
+ private:
+  InferenceServer(std::shared_ptr<const core::DeshPipeline> pipeline,
+                  ServeConfig config);
+
+  struct Entry {
+    logs::LogRecord record;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  void collector_loop();
+  /// Drops queue overflow down to the shed watermark. Caller holds mu_.
+  void shed_locked();
+  std::size_t shed_limit() const;
+
+  ServeConfig config_;
+  std::shared_ptr<const core::DeshPipeline> pipeline_;
+  std::unique_ptr<core::StreamingMonitor> monitor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // queue non-empty / swap staged / stop
+  std::condition_variable drained_cv_;  // queue empty and pump idle
+  std::deque<Entry> queue_;
+  std::vector<core::MonitorAlert> alerts_;
+  std::shared_ptr<const core::DeshPipeline> staged_pipeline_;
+  ServeStats stats_;
+  bool stopping_ = false;
+  bool pumping_ = false;
+
+  std::thread collector_;
+};
+
+}  // namespace desh::serve

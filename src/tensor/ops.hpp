@@ -5,12 +5,61 @@
 // OpenMP when available (shape-checked, single allocation for the output).
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "tensor/matrix.hpp"
 
 namespace desh::tensor {
+
+/// Branch-free expf: Cephes-style range reduction plus a degree-5
+/// polynomial, accurate to a few ulp over the clamped domain [-87, 87]
+/// (outputs saturate outside it; NaN saturates too instead of propagating).
+/// Pure float/int arithmetic — no libm call, no control flow — so
+/// element-wise loops over it auto-vectorize; scalar libm exp/tanh in the
+/// LSTM gate activations would otherwise dominate per-record serving
+/// latency. Results are identical for every call site within a build, which
+/// is all the replay-equivalence guarantees require.
+inline float fast_expf(float x) {
+  // |x| <= 87 (e^87 ~ 6e37 < FLT_MAX, exponent bias below stays valid).
+  // The clamp runs in the integer domain — non-negative IEEE floats order
+  // as ints — because a float ternary/std::min would defeat if-conversion
+  // under strict IEEE and block vectorization.
+  const std::int32_t ai = std::min(std::bit_cast<std::int32_t>(std::fabs(x)),
+                                   std::bit_cast<std::int32_t>(87.0f));
+  x = std::copysign(std::bit_cast<float>(ai), x);
+  // n = round(x / ln 2) via the 1.5 * 2^23 magic shift (round-to-nearest).
+  const float shifted = x * 1.44269504088896341f + 12582912.0f;
+  const float n = shifted - 12582912.0f;
+  // r = x - n * ln 2, with ln 2 split hi/lo to keep the reduction exact.
+  float r = x - n * 0.693359375f;
+  r -= n * -2.12194440e-4f;
+  // e^r on [-ln2/2, ln2/2] (Cephes expf coefficients).
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = (p * r) * r + r + 1.0f;
+  // Scale by 2^n through the exponent field.
+  const std::int32_t biased = static_cast<std::int32_t>(n) + 127;
+  return p * std::bit_cast<float>(biased << 23);
+}
+
+/// 1 / (1 + e^-x) on top of fast_expf; vectorizable, saturates to {0, 1}.
+inline float fast_sigmoid(float x) { return 1.0f / (1.0f + fast_expf(-x)); }
+
+/// tanh(x) = (e^2x - 1) / (e^2x + 1) on top of fast_expf; vectorizable,
+/// saturates to +/-1 for |x| > 43.5.
+inline float fast_tanh(float x) {
+  const float e = fast_expf(2.0f * x);
+  return (e - 1.0f) / (e + 1.0f);
+}
 
 /// out = A * B. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
@@ -30,6 +79,18 @@ void add_row_bias(Matrix& m, const Matrix& bias);
 /// Element-wise activations (out resized to match input).
 void sigmoid(const Matrix& in, Matrix& out);
 void tanh_act(const Matrix& in, Matrix& out);
+/// In-place LSTM gate activation over a (rows x 4h) gate matrix laid out as
+/// [i | f | g | o]: sigmoid on i,f [0,2h), tanh on g [2h,3h), sigmoid on
+/// o [3h,4h). Lives here (not in nn) so the element loops compile under the
+/// same ISA-dispatched clones as the GEMM kernel.
+void lstm_activate_gates(Matrix& gates, std::size_t hidden);
+/// Fused LSTM cell update over one row of width `hidden`, from the activated
+/// gate row `gates` (4h wide, [i | f | g | o]):
+///   c = f (.) c_prev + i (.) g;  tanh_c = tanh(c);  h = o (.) tanh_c.
+/// `c_prev` may alias `c` (in-place state step) and `tanh_c` may alias `h`
+/// (when the tanh intermediate is not cached).
+void lstm_cell_update(const float* gates, const float* c_prev, float* c,
+                      float* tanh_c, float* h, std::size_t hidden);
 /// d/dx sigmoid given the *activated* value s: s * (1 - s).
 float sigmoid_grad_from_value(float s);
 /// d/dx tanh given the *activated* value t: 1 - t^2.

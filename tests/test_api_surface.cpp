@@ -1,0 +1,143 @@
+// The redesigned public surface: core::Expected semantics, exhaustive
+// config validation, the non-throwing construction/persistence entry
+// points, and the desh.hpp umbrella exports. Compiling this file against
+// ONLY the umbrella header (plus gtest) is itself part of the contract.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+#include "desh.hpp"
+#include "util/error.hpp"
+
+namespace desh {
+namespace {
+
+// --- Expected<T> ----------------------------------------------------------
+
+TEST(Expected, HoldsValueOrError) {
+  Expected<int> ok = 7;
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+
+  Expected<int> bad = Error{ErrorCode::kIo, "disk on fire"};
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kIo);
+  EXPECT_EQ(bad.error().message, "disk on fire");
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, VoidSpecializationAndMoveOut) {
+  Expected<void> ok;
+  EXPECT_TRUE(ok.ok());
+  Expected<void> bad = Error{ErrorCode::kUnavailable, "later"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kUnavailable);
+
+  Expected<std::string> s = std::string("payload");
+  const std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Expected, ErrorCodesHaveNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(ErrorCode::kInvalidConfig), "invalid_config");
+  EXPECT_STREQ(to_string(ErrorCode::kIo), "io");
+  EXPECT_STREQ(to_string(ErrorCode::kFormatVersion), "format_version");
+  EXPECT_STREQ(to_string(ErrorCode::kUnavailable), "unavailable");
+}
+
+// --- DeshConfig::validate -------------------------------------------------
+
+TEST(ConfigValidate, DefaultsAreValid) {
+  EXPECT_TRUE(DeshConfig{}.validate().empty());
+}
+
+TEST(ConfigValidate, ReportsAllViolationsWithFieldPaths) {
+  DeshConfig config;
+  config.phase1.hidden_size = 0;
+  config.phase2.learning_rate = -1.0f;
+  config.phase3.mse_threshold = 1.5f;
+  config.phase3.min_position = 0;
+  config.extractor.min_length = 1;
+  const std::vector<std::string> violations = config.validate();
+  ASSERT_GE(violations.size(), 5u);  // every bad field, not just the first
+  auto has = [&](const std::string& path) {
+    for (const std::string& v : violations)
+      if (v.find(path) != std::string::npos) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("phase1.hidden_size"));
+  EXPECT_TRUE(has("phase2.learning_rate"));
+  EXPECT_TRUE(has("phase3.mse_threshold"));
+  EXPECT_TRUE(has("phase3.min_position"));
+  EXPECT_TRUE(has("extractor.min_length"));
+}
+
+TEST(ConfigValidate, CatchesInvertedLeadTimeWindow) {
+  DeshConfig config;
+  config.phase3.min_position = 5;
+  config.phase3.decision_position = 3;
+  const std::vector<std::string> violations = config.validate();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("phase3.decision_position"), std::string::npos);
+}
+
+// --- construction entry points --------------------------------------------
+
+TEST(PipelineCreate, ReturnsInvalidConfigWithEveryViolation) {
+  DeshConfig config;
+  config.phase2.hidden_size = 0;
+  config.phase3.mse_threshold = -2.0f;
+  const Expected<DeshPipeline> pipeline = DeshPipeline::create(config);
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.error().code, ErrorCode::kInvalidConfig);
+  EXPECT_NE(pipeline.error().message.find("phase2.hidden_size"),
+            std::string::npos);
+  EXPECT_NE(pipeline.error().message.find("phase3.mse_threshold"),
+            std::string::npos);
+}
+
+TEST(PipelineCreate, AcceptsValidConfig) {
+  EXPECT_TRUE(DeshPipeline::create(DeshConfig{}).ok());
+}
+
+TEST(PipelineCreate, LegacyConstructorThrowsOnInvalidConfig) {
+  DeshConfig config;
+  config.phase1.epochs = 0;
+  EXPECT_THROW(DeshPipeline{config}, util::InvalidArgument);
+}
+
+// --- umbrella exports -----------------------------------------------------
+
+// Instantiating every exported type through its desh:: alias proves the
+// umbrella header exports the supported surface by itself.
+TEST(UmbrellaHeader, ExportsTheSupportedSurface) {
+  [[maybe_unused]] DeshConfig config;
+  [[maybe_unused]] FitReport fit;
+  [[maybe_unused]] TestRun run;
+  [[maybe_unused]] FailurePrediction prediction;
+  [[maybe_unused]] MonitorConfig monitor_config;
+  [[maybe_unused]] MonitorAlert alert;
+  [[maybe_unused]] LogRecord record;
+  [[maybe_unused]] LogCorpus corpus;
+  [[maybe_unused]] NodeId node;
+  [[maybe_unused]] DeshObsConfig obs_config;
+  [[maybe_unused]] serve::ServeConfig serve_config;
+  [[maybe_unused]] serve::ServeStats serve_stats;
+  [[maybe_unused]] serve::Admission admission = serve::Admission::kAccepted;
+  [[maybe_unused]] serve::ShedPolicy policy = serve::ShedPolicy::kOldestFirst;
+  static_assert(kPipelineFormatVersion >= kOldestReadablePipelineFormat);
+  // The fallible persistence surface is the Expected-returning one.
+  static_assert(std::is_same_v<decltype(try_load_pipeline("")),
+                               Expected<DeshPipeline>>);
+  static_assert(std::is_same_v<decltype(try_save_pipeline(
+                                   std::declval<const DeshPipeline&>(), "")),
+                               Expected<void>>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace desh

@@ -1,15 +1,15 @@
-// Integration tests for pipeline persistence and the streaming monitor,
-// sharing one trained pipeline fixture.
+// Integration tests for pipeline persistence (the versioned on-disk format
+// and its Expected-based API) and the streaming monitor, sharing one
+// trained pipeline fixture.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 
 #include "core/evaluator.hpp"
-#include "core/monitor.hpp"
-#include "core/persistence.hpp"
-#include "core/pipeline.hpp"
+#include "desh.hpp"
 #include "logs/generator.hpp"
 #include "util/error.hpp"
 
@@ -48,8 +48,10 @@ DeshPipeline* PersistenceMonitorTest::pipeline_ = nullptr;
 
 TEST_F(PersistenceMonitorTest, SaveLoadPredictsIdentically) {
   const std::string dir = ::testing::TempDir() + "/desh_pipeline_save";
-  save_pipeline(*pipeline_, dir);
-  DeshPipeline loaded = load_pipeline(dir);
+  ASSERT_TRUE(try_save_pipeline(*pipeline_, dir).ok());
+  Expected<DeshPipeline> restored_pipeline = try_load_pipeline(dir);
+  ASSERT_TRUE(restored_pipeline.ok());
+  DeshPipeline loaded = std::move(restored_pipeline).value();
   EXPECT_TRUE(loaded.fitted());
   EXPECT_EQ(loaded.vocab().size(), pipeline_->vocab().size());
   EXPECT_EQ(loaded.training_chains().size(),
@@ -70,22 +72,120 @@ TEST_F(PersistenceMonitorTest, SaveLoadPredictsIdentically) {
 
 TEST_F(PersistenceMonitorTest, SaveRequiresFittedPipeline) {
   DeshPipeline fresh;
-  EXPECT_THROW(save_pipeline(fresh, ::testing::TempDir() + "/x"),
-               util::InvalidArgument);
+  const Expected<void> r = try_save_pipeline(fresh, ::testing::TempDir() + "/x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
 }
 
 TEST_F(PersistenceMonitorTest, LoadRejectsMissingOrCorruptDirectory) {
-  EXPECT_THROW(load_pipeline("/nonexistent/desh-dir"), util::IoError);
+  const Expected<DeshPipeline> missing =
+      try_load_pipeline("/nonexistent/desh-dir");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kIo);
+
   const std::string dir = ::testing::TempDir() + "/desh_pipeline_corrupt";
-  save_pipeline(*pipeline_, dir);
+  ASSERT_TRUE(try_save_pipeline(*pipeline_, dir).ok());
   // Corrupt the config format marker.
   {
     std::ofstream os(dir + "/config.txt");
     os << "format=bogus\n";
   }
-  EXPECT_THROW(load_pipeline(dir), util::IoError);
+  const Expected<DeshPipeline> corrupt = try_load_pipeline(dir);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.error().code, ErrorCode::kIo);
   std::filesystem::remove_all(dir);
 }
+
+namespace {
+/// Rewrites config.txt in `dir` through `edit(lines)`.
+void edit_config(const std::string& dir,
+                 const std::function<void(std::vector<std::string>&)>& edit) {
+  const std::string path = dir + "/config.txt";
+  std::vector<std::string> lines;
+  {
+    std::ifstream is(path);
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+  }
+  edit(lines);
+  std::ofstream os(path);
+  for (const std::string& line : lines) os << line << "\n";
+}
+}  // namespace
+
+TEST_F(PersistenceMonitorTest, LoadsPreviousFormatVersionWithDefaults) {
+  const std::string dir = ::testing::TempDir() + "/desh_pipeline_v1";
+  ASSERT_TRUE(try_save_pipeline(*pipeline_, dir).ok());
+  // Rewrite the current save as a faithful version-1 file: old format
+  // stamp, no p3.cumulative_dt key (v1 predates the flag).
+  edit_config(dir, [](std::vector<std::string>& lines) {
+    std::vector<std::string> kept;
+    for (std::string& line : lines) {
+      if (line.rfind("format=", 0) == 0) line = "format=desh-pipeline-1";
+      if (line.rfind("p3.cumulative_dt=", 0) == 0) continue;
+      kept.push_back(std::move(line));
+    }
+    lines = std::move(kept);
+  });
+  Expected<DeshPipeline> loaded = try_load_pipeline(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  // v1 models were always trained with the paper's cumulative encoding.
+  EXPECT_TRUE(loaded.value().config().phase3.cumulative_dt);
+  EXPECT_EQ(loaded.value().vocab().size(), pipeline_->vocab().size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PersistenceMonitorTest, CurrentFormatRoundTripsCumulativeDtFlag) {
+  const std::string dir = ::testing::TempDir() + "/desh_pipeline_v2";
+  ASSERT_TRUE(try_save_pipeline(*pipeline_, dir).ok());
+  // Flip the v2-only key on disk and confirm it actually drives the
+  // restored config (adjacent-gap ablation models must not silently
+  // replay with cumulative semantics).
+  edit_config(dir, [](std::vector<std::string>& lines) {
+    for (std::string& line : lines)
+      if (line.rfind("p3.cumulative_dt=", 0) == 0) line = "p3.cumulative_dt=0";
+  });
+  Expected<DeshPipeline> loaded = try_load_pipeline(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_FALSE(loaded.value().config().phase3.cumulative_dt);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PersistenceMonitorTest, FutureFormatVersionIsAClearError) {
+  const std::string dir = ::testing::TempDir() + "/desh_pipeline_future";
+  ASSERT_TRUE(try_save_pipeline(*pipeline_, dir).ok());
+  edit_config(dir, [](std::vector<std::string>& lines) {
+    for (std::string& line : lines)
+      if (line.rfind("format=", 0) == 0)
+        line = "format=desh-pipeline-" +
+               std::to_string(kPipelineFormatVersion + 1);
+  });
+  const Expected<DeshPipeline> loaded = try_load_pipeline(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kFormatVersion);
+  // The message must name the versions involved, not just say "bad format".
+  EXPECT_NE(loaded.error().message.find(
+                std::to_string(kPipelineFormatVersion + 1)),
+            std::string::npos);
+  EXPECT_NE(loaded.error().message.find("upgrade"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// The pre-redesign throwing API must keep compiling and behaving unchanged
+// for one release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(PersistenceMonitorTest, DeprecatedThrowingWrappersStillWork) {
+  const std::string dir = ::testing::TempDir() + "/desh_pipeline_deprecated";
+  save_pipeline(*pipeline_, dir);
+  const DeshPipeline loaded = load_pipeline(dir);
+  EXPECT_TRUE(loaded.fitted());
+  EXPECT_THROW(load_pipeline("/nonexistent/desh-dir"), util::IoError);
+  DeshPipeline fresh;
+  EXPECT_THROW(save_pipeline(fresh, dir), util::InvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+#pragma GCC diagnostic pop
 
 TEST_F(PersistenceMonitorTest, MonitorRaisesAlertsBeforeFailures) {
   StreamingMonitor monitor(*pipeline_);

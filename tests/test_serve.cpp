@@ -1,0 +1,371 @@
+// desh::serve contract tests: replay equivalence (micro-batched serving ==
+// sequential observe), explicit backpressure, shed policies, hot model
+// reload, and up-front config rejection. Shares one trained pipeline
+// fixture (the tiny profile with a cheap phase 1).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "desh.hpp"
+#include "logs/generator.hpp"
+#include "logs/template_miner.hpp"
+
+namespace desh::serve {
+namespace {
+
+using core::DeshPipeline;
+using core::Expected;
+using core::MonitorAlert;
+using core::StreamingMonitor;
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    logs::SyntheticLog log = source.generate();
+    auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+    test_ = new logs::LogCorpus(std::move(test));
+    core::DeshConfig config;
+    config.phase1.epochs = 1;
+    pipeline_ = new DeshPipeline(config);
+    pipeline_->fit(train);
+
+    // Reconstruct one node's "alert script": every record of the node that
+    // raises the stream's first alert, up to and including the trigger —
+    // replaying just these records reproduces that alert (per-node state
+    // never depends on other nodes).
+    StreamingMonitor probe(*pipeline_);
+    alert_script_ = new logs::LogCorpus();
+    for (const logs::LogRecord& record : *test_) {
+      const auto alert = probe.observe(record);
+      if (alert) {
+        logs::LogCorpus script;
+        for (const logs::LogRecord& r : *test_) {
+          if (r.node == alert->node) script.push_back(r);
+          if (&r == &record) break;
+        }
+        *alert_script_ = std::move(script);
+        break;
+      }
+    }
+    ASSERT_GE(alert_script_->size(), 2u) << "fixture stream never alerted";
+
+    // Safe filler: records whose phrase the labeler gates out, so they
+    // never build window state (risk 0 for the shed policy).
+    safe_fillers_ = new logs::LogCorpus();
+    for (const logs::LogRecord& record : *test_) {
+      const std::string tmpl = logs::TemplateMiner::extract(record.message);
+      if (tmpl.empty() || pipeline_->labeler().label(pipeline_->vocab().encode(
+                              tmpl)) == logs::PhraseLabel::kSafe) {
+        logs::LogRecord filler = record;
+        filler.node = logs::NodeId{};  // a node the alert script never uses
+        filler.node.cabinet_y = 99;
+        safe_fillers_->push_back(std::move(filler));
+        if (safe_fillers_->size() >= 6) break;
+      }
+    }
+    ASSERT_EQ(safe_fillers_->size(), 6u);
+  }
+  static void TearDownTestSuite() {
+    delete safe_fillers_;
+    delete alert_script_;
+    delete pipeline_;
+    delete test_;
+  }
+
+  /// Seeded random interleaving of the corpus that preserves each node's
+  /// record order — the only order serving guarantees anything about.
+  static logs::LogCorpus interleave(const logs::LogCorpus& corpus,
+                                    std::uint32_t seed) {
+    std::vector<logs::NodeId> node_order;
+    std::unordered_map<logs::NodeId, std::vector<const logs::LogRecord*>>
+        by_node;
+    for (const logs::LogRecord& r : corpus) {
+      auto [it, inserted] = by_node.try_emplace(r.node);
+      if (inserted) node_order.push_back(r.node);
+      it->second.push_back(&r);
+    }
+    std::vector<std::size_t> next(node_order.size(), 0);
+    std::mt19937 rng(seed);
+    logs::LogCorpus out;
+    out.reserve(corpus.size());
+    std::vector<std::size_t> alive(node_order.size());
+    for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+    while (!alive.empty()) {
+      const std::size_t pick = std::uniform_int_distribution<std::size_t>(
+          0, alive.size() - 1)(rng);
+      const std::size_t n = alive[pick];
+      out.push_back(*by_node.at(node_order[n])[next[n]++]);
+      if (next[n] == by_node.at(node_order[n]).size()) {
+        alive[pick] = alive.back();
+        alive.pop_back();
+      }
+    }
+    return out;
+  }
+
+  static logs::LogCorpus* test_;
+  static DeshPipeline* pipeline_;
+  static logs::LogCorpus* alert_script_;
+  static logs::LogCorpus* safe_fillers_;
+};
+
+logs::LogCorpus* ServeTest::test_ = nullptr;
+DeshPipeline* ServeTest::pipeline_ = nullptr;
+logs::LogCorpus* ServeTest::alert_script_ = nullptr;
+logs::LogCorpus* ServeTest::safe_fillers_ = nullptr;
+
+void expect_same_alerts(const std::vector<MonitorAlert>& expected,
+                        const std::vector<MonitorAlert>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].node, actual[i].node);
+    EXPECT_EQ(expected[i].time, actual[i].time);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+    EXPECT_EQ(expected[i].predicted_lead_seconds,
+              actual[i].predicted_lead_seconds);
+    EXPECT_EQ(expected[i].message, actual[i].message);
+  }
+}
+
+// --- replay equivalence ---------------------------------------------------
+
+TEST_F(ServeTest, MatchesSequentialReplayOnRandomInterleavings) {
+  for (const std::uint32_t seed : {11u, 42u}) {
+    const logs::LogCorpus stream = interleave(*test_, seed);
+    std::vector<MonitorAlert> base;
+    StreamingMonitor monitor(*pipeline_);
+    for (const logs::LogRecord& record : stream)
+      if (auto alert = monitor.observe(record))
+        base.push_back(std::move(*alert));
+    ASSERT_FALSE(base.empty());
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      ServeConfig config;
+      config.queue_capacity = stream.size();  // below backpressure threshold
+      config.max_batch = 64;
+      config.monitor.threads = threads;
+      Expected<std::unique_ptr<InferenceServer>> server =
+          InferenceServer::create(*pipeline_, config);
+      ASSERT_TRUE(server.ok()) << server.error().message;
+      InferenceServer& srv = *server.value();
+      EXPECT_EQ(srv.submit_batch(stream), stream.size());
+      srv.drain();
+      srv.stop();
+      expect_same_alerts(base, srv.poll_alerts());
+      const ServeStats stats = srv.stats();
+      // Zero records lost below the backpressure threshold.
+      EXPECT_EQ(stats.admitted, stream.size());
+      EXPECT_EQ(stats.processed, stream.size());
+      EXPECT_EQ(stats.rejected, 0u);
+      EXPECT_EQ(stats.shed, 0u);
+      EXPECT_EQ(stats.alerts, base.size());
+      EXPECT_GT(stats.batches, 0u);
+    }
+  }
+}
+
+// --- backpressure ---------------------------------------------------------
+
+TEST_F(ServeTest, BoundedQueueRefusesInsteadOfDropping) {
+  ServeConfig config;
+  config.queue_capacity = 4;
+  config.start_collector = false;
+  Expected<std::unique_ptr<InferenceServer>> server =
+      InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(server.ok());
+  InferenceServer& srv = *server.value();
+
+  std::size_t accepted = 0, rejected = 0;
+  for (const logs::LogRecord& record : *alert_script_)
+    (srv.submit(record) == Admission::kAccepted ? accepted : rejected)++;
+  EXPECT_EQ(accepted, std::min<std::size_t>(4, alert_script_->size()));
+  ServeStats stats = srv.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.queue_depth, accepted);
+
+  // The refusal is backpressure, not failure: draining frees capacity.
+  srv.drain();
+  EXPECT_EQ(srv.submit(alert_script_->front()), Admission::kAccepted);
+  stats = srv.stats();
+  EXPECT_EQ(stats.processed, accepted);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+// --- shed policies --------------------------------------------------------
+
+// Both shed tests stage the same overload: the alert node's script is
+// replayed except its final two records; then [penultimate, trigger,
+// 6 fillers] fill the queue to capacity 8 and one pump (max_batch 1,
+// watermark 6/8) pops the penultimate record and must shed exactly one of
+// the 7 still queued.
+class ShedFixture {
+ public:
+  ShedFixture(const DeshPipeline& pipeline, const logs::LogCorpus& script,
+              const logs::LogCorpus& fillers, ShedPolicy policy) {
+    ServeConfig config;
+    config.queue_capacity = 8;
+    config.max_batch = 1;
+    config.shed_watermark = 0.75;  // shed down to 6 queued
+    config.shed_policy = policy;
+    config.start_collector = false;
+    server_ = std::move(InferenceServer::create(pipeline, config).value());
+    // Warm up: everything but the last two script records, one at a time so
+    // the queue never crosses the watermark.
+    for (std::size_t i = 0; i + 2 < script.size(); ++i) {
+      EXPECT_EQ(server_->submit(script[i]), Admission::kAccepted);
+      server_->pump();
+    }
+    EXPECT_EQ(server_->submit(script[script.size() - 2]),
+              Admission::kAccepted);
+    EXPECT_EQ(server_->submit(script.back()), Admission::kAccepted);
+    for (const logs::LogRecord& filler : fillers)
+      EXPECT_EQ(server_->submit(filler), Admission::kAccepted);
+    EXPECT_EQ(server_->stats().queue_depth, 8u);
+    server_->pump();  // pops the penultimate record; 7 > 6 => shed one
+    server_->drain();
+  }
+  InferenceServer& server() { return *server_; }
+
+ private:
+  std::unique_ptr<InferenceServer> server_;
+};
+
+TEST_F(ServeTest, OldestFirstShedDropsTheAlertTrigger) {
+  ShedFixture fx(*pipeline_, *alert_script_, *safe_fillers_,
+                 ShedPolicy::kOldestFirst);
+  const ServeStats stats = fx.server().stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // The oldest queued record was the alert trigger — the alert is lost.
+  EXPECT_EQ(stats.alerts, 0u);
+  EXPECT_TRUE(fx.server().poll_alerts().empty());
+}
+
+TEST_F(ServeTest, LowestRiskFirstShedPreservesTheAlert) {
+  ShedFixture fx(*pipeline_, *alert_script_, *safe_fillers_,
+                 ShedPolicy::kLowestRiskFirst);
+  const ServeStats stats = fx.server().stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // The filler node has no window state (risk 0); the alert node's deep
+  // window ranks its trigger record last in the shed order.
+  EXPECT_EQ(stats.alerts, 1u);
+  const std::vector<MonitorAlert> alerts = fx.server().poll_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].node, alert_script_->front().node);
+}
+
+// --- hot model reload -----------------------------------------------------
+
+TEST_F(ServeTest, SwapModelInstallsAtBatchBoundaryAndServesOn) {
+  const std::string dir = ::testing::TempDir() + "/desh_serve_swap";
+  ASSERT_TRUE(core::try_save_pipeline(*pipeline_, dir).ok());
+
+  ServeConfig config;
+  config.queue_capacity = alert_script_->size();
+  config.start_collector = false;
+  auto owned = InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(owned.ok());
+  InferenceServer& server = *owned.value();
+
+  // Alert once on the original model.
+  server.submit_batch(*alert_script_);
+  server.drain();
+  EXPECT_EQ(server.poll_alerts().size(), 1u);
+
+  Expected<void> swap = server.swap_model(dir);
+  ASSERT_TRUE(swap.ok()) << swap.error().message;
+  EXPECT_EQ(server.stats().reloads, 0u);  // staged, not yet installed
+  server.drain();                         // install happens at a pump boundary
+  EXPECT_EQ(server.stats().reloads, 1u);
+
+  // The reloaded snapshot serves the same alert (fresh window state).
+  server.submit_batch(*alert_script_);
+  server.drain();
+  const std::vector<MonitorAlert> alerts = server.poll_alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].node, alert_script_->front().node);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServeTest, SwapModelReportsLoadErrors) {
+  ServeConfig config;
+  config.start_collector = false;
+  auto server = InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(server.ok());
+
+  const Expected<void> missing = server.value()->swap_model("/nonexistent/d");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, core::ErrorCode::kIo);
+
+  const std::string dir = ::testing::TempDir() + "/desh_serve_swap_future";
+  ASSERT_TRUE(core::try_save_pipeline(*pipeline_, dir).ok());
+  {
+    std::ifstream is(dir + "/config.txt");
+    std::string content((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+    const std::string stamp =
+        "desh-pipeline-" + std::to_string(core::kPipelineFormatVersion);
+    content.replace(content.find(stamp), stamp.size(),
+                    "desh-pipeline-" +
+                        std::to_string(core::kPipelineFormatVersion + 1));
+    std::ofstream os(dir + "/config.txt");
+    os << content;
+  }
+  const Expected<void> future = server.value()->swap_model(dir);
+  ASSERT_FALSE(future.ok());
+  EXPECT_EQ(future.error().code, core::ErrorCode::kFormatVersion);
+  EXPECT_EQ(server.value()->stats().reloads, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// --- up-front rejection ---------------------------------------------------
+
+TEST_F(ServeTest, CreateRejectsNullAndUnfittedPipelines) {
+  const Expected<std::unique_ptr<InferenceServer>> null_server =
+      InferenceServer::create(std::shared_ptr<const DeshPipeline>{});
+  ASSERT_FALSE(null_server.ok());
+  EXPECT_EQ(null_server.error().code, core::ErrorCode::kInvalidArgument);
+
+  DeshPipeline fresh;
+  const Expected<std::unique_ptr<InferenceServer>> unfitted =
+      InferenceServer::create(fresh);
+  ASSERT_FALSE(unfitted.ok());
+  EXPECT_EQ(unfitted.error().code, core::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, CreateRejectsInvalidConfigListingEveryViolation) {
+  ServeConfig config;
+  config.queue_capacity = 0;
+  config.shed_watermark = 2.0;
+  config.monitor.gap_seconds = 0;
+  const Expected<std::unique_ptr<InferenceServer>> server =
+      InferenceServer::create(*pipeline_, config);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.error().code, core::ErrorCode::kInvalidConfig);
+  EXPECT_NE(server.error().message.find("serve.queue_capacity"),
+            std::string::npos);
+  EXPECT_NE(server.error().message.find("serve.shed_watermark"),
+            std::string::npos);
+  EXPECT_NE(server.error().message.find("serve.monitor.gap_seconds"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, SubmitAfterStopIsRefused) {
+  ServeConfig config;
+  config.start_collector = false;
+  auto server = InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(server.ok());
+  server.value()->stop();
+  EXPECT_EQ(server.value()->submit(alert_script_->front()),
+            Admission::kStopped);
+  const Expected<void> swap = server.value()->swap_model("/anywhere");
+  EXPECT_FALSE(swap.ok());
+}
+
+}  // namespace
+}  // namespace desh::serve
