@@ -1,0 +1,204 @@
+// Continual monitoring: the desh::adapt closed loop end to end.
+//
+// A streaming monitor trained offline goes stale the day the cluster
+// changes — a firmware update, a new interconnect, a swapped-in blade
+// family all emit messages the trained vocabulary has never seen. This
+// example stages exactly that: it trains a champion on the synthetic
+// trace, serves the test stream through an InferenceServer with an
+// AdaptController tapped in, and injects a distribution shift halfway
+// through (a novel "widget driver fault" family the champion cannot
+// encode). Watch the loop close:
+//
+//   1. DETECT   — the OOV/novelty windows fill, breach, and latch drift
+//   2. RETRAIN  — a challenger is fitted on the bounded replay buffer,
+//                 warm-started from the champion
+//   3. VALIDATE — champion vs challenger shadow-eval on the held-out
+//                 window; the winner is decided by evidence, not recency
+//   4. SWAP     — the challenger is published to the versioned registry,
+//                 promoted, and hot-swapped into the server at a batch
+//                 boundary; a probation period guards the promotion
+//
+//   ./continual_monitor [--profile tiny|m1|m2|m3|m4] [--registry PATH]
+//
+// Retraining runs inline (background=false) so the printed timeline is
+// deterministic; production deployments set background=true and the same
+// loop runs on a dedicated thread while serving never stalls (bench_adapt
+// measures that isolation).
+#include <filesystem>
+#include <iostream>
+#include <memory>
+
+#include "desh.hpp"
+#include "logs/generator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace desh;
+
+namespace {
+
+logs::SystemProfile pick_profile(const std::string& name) {
+  if (name == "m1") return logs::profile_m1();
+  if (name == "m2") return logs::profile_m2();
+  if (name == "m3") return logs::profile_m3();
+  if (name == "m4") return logs::profile_m4();
+  return logs::profile_tiny(2026);
+}
+
+void print_drift(const adapt::DriftStatus& drift) {
+  std::cout << "  drift: oov " << util::format_fixed(drift.oov_rate, 3)
+            << " (" << drift.oov_samples << " samples), novelty "
+            << util::format_fixed(drift.novelty_rate, 3) << " ("
+            << drift.novelty_samples << " samples)";
+  if (drift.drifting()) {
+    std::cout << " — LATCHED:";
+    for (adapt::DriftSignal s : drift.latched)
+      std::cout << " " << adapt::to_string(s);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const logs::SystemProfile profile = pick_profile(args.get("profile", "tiny"));
+  const std::string registry_root = args.get(
+      "registry",
+      (std::filesystem::temp_directory_path() / "desh_continual_registry")
+          .string());
+  std::filesystem::remove_all(registry_root);
+
+  // ---- offline training: the champion --------------------------------
+  std::cout << "== Desh continual monitor on '" << profile.name << "' ==\n";
+  logs::SyntheticCraySource source(profile);
+  const logs::SyntheticLog log = source.generate();
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  std::cout << "offline training on " << train.size() << " records...\n";
+  core::DeshConfig trainer;
+  trainer.phase1.epochs = 1;  // demo budget; production keeps the default
+  auto pipeline = std::make_shared<core::DeshPipeline>(trainer);
+  const core::FitReport fit = pipeline->fit(train);
+  std::shared_ptr<const core::DeshPipeline> champion = std::move(pipeline);
+  std::cout << "champion trained: vocab " << fit.vocab_size << ", "
+            << fit.failure_chains << " failure chains\n";
+
+  // ---- the shifted stream --------------------------------------------
+  // First half: the distribution the champion was trained on. Second
+  // half: every other record is a fault family the vocabulary has never
+  // seen — the morning after the firmware update.
+  logs::LogCorpus stream;
+  std::size_t i = 0;
+  for (const logs::LogRecord& record : test) {
+    stream.push_back(record);
+    if (++i > test.size() / 2 && i % 2 == 0) {
+      logs::LogRecord novel = record;
+      novel.message = "widget driver fault on port " + std::to_string(i % 7);
+      novel.timestamp += 1e-3;
+      stream.push_back(std::move(novel));
+    }
+  }
+  std::cout << "live stream: " << stream.size() << " records, shift at record "
+            << test.size() / 2 << "\n\n";
+
+  // ---- serve + adapt --------------------------------------------------
+  serve::ServeConfig serve_config;
+  serve_config.queue_capacity = stream.size();
+  serve_config.max_batch = 128;
+  serve_config.start_collector = false;  // manual pump: deterministic demo
+  auto server =
+      std::move(serve::InferenceServer::create(*champion, serve_config))
+          .value();
+
+  adapt::AdaptOptions options;
+  options.registry_root = registry_root;
+  options.trainer = trainer;
+  options.trainer.threads = 1;
+  options.config.background = false;  // inline retrain (see file comment)
+  options.config.oov_window = 64;
+  options.config.novelty_window = 64;
+  options.config.min_window_fill = 16;
+  options.config.hysteresis = 2;
+  options.config.oov_trigger = 0.2;
+  options.config.oov_clear = 0.05;
+  options.config.replay_capacity = 1u << 16;
+  options.config.min_replay_records = 512;
+  options.config.retrain_cooldown_records = 1u << 20;
+  auto controller =
+      std::move(adapt::AdaptController::create(champion, options)).value();
+  controller->attach(*server);
+  std::cout << "registry at " << controller->registry().root()
+            << ": incumbent published + promoted as v"
+            << controller->registry().champion().value_or(0) << "\n";
+
+  std::size_t last_reloads = 0, last_retrains = 0, last_triggers = 0;
+  std::size_t last_entries = controller->registry().entries().size();
+  for (std::size_t at = 0; at < stream.size(); at += 128) {
+    const std::size_t n = std::min<std::size_t>(128, stream.size() - at);
+    for (std::size_t k = 0; k < n; ++k) (void)server->submit(stream[at + k]);
+    server->pump();
+
+    const adapt::AdaptStats stats = controller->stats();
+    if (stats.drift_triggers > last_triggers) {
+      // An inline retrain in the same pump resets the detector, so the
+      // latched signals are read from the registry note it left behind
+      // (when the challenger won and was published this chunk).
+      std::cout << "[record ~" << at + n << "] DRIFT detected";
+      if (controller->registry().entries().size() > last_entries)
+        std::cout << " (" << controller->registry().entries().back().note
+                  << ")";
+      std::cout << "\n";
+      last_triggers = stats.drift_triggers;
+    }
+    last_entries = controller->registry().entries().size();
+    if (stats.retrains > last_retrains) {
+      const adapt::ShadowReport& shadow = stats.last_shadow;
+      std::cout << "[record ~" << at + n << "] RETRAIN #" << stats.retrains
+                << " on " << stats.records_tapped
+                << "-record replay window\n"
+                << "  shadow eval (" << shadow.holdout_records
+                << " held-out records): champion score "
+                << util::format_fixed(shadow.champion_score, 3)
+                << " (coverage "
+                << util::format_fixed(shadow.champion_coverage, 3)
+                << ") vs challenger "
+                << util::format_fixed(shadow.challenger_score, 3)
+                << " (coverage "
+                << util::format_fixed(shadow.challenger_coverage, 3) << ") — "
+                << (shadow.challenger_wins ? "challenger WINS"
+                                           : "challenger rejected")
+                << "\n";
+      last_retrains = stats.retrains;
+    }
+    const std::size_t reloads = server->stats().reloads;
+    if (reloads > last_reloads) {
+      std::cout << "[record ~" << at + n << "] SWAP installed: champion is v"
+                << controller->registry().champion().value_or(0)
+                << (stats.probation_active ? " (on probation)" : "") << "\n";
+      last_reloads = reloads;
+    }
+  }
+  server->drain();
+
+  // ---- epilogue -------------------------------------------------------
+  const adapt::AdaptStats stats = controller->stats();
+  std::cout << "\n--- adaptation summary ---\n"
+            << "records tapped:  " << stats.records_tapped << "\n"
+            << "drift triggers:  " << stats.drift_triggers << "\n"
+            << "retrains:        " << stats.retrains << " ("
+            << stats.retrain_failures << " failed)\n"
+            << "promotions:      " << stats.promotions << ", rejections: "
+            << stats.rejections << ", rollbacks: " << stats.rollbacks << "\n"
+            << "champion:        v" << stats.champion_version.value_or(0)
+            << (stats.probation_active ? " (probation still running)" : "")
+            << "\n";
+  std::cout << "registry versions:";
+  for (const adapt::RegistryEntry& e : controller->registry().entries())
+    std::cout << " v" << e.version << (e.note.empty() ? "" : " [" + e.note + "]");
+  std::cout << "\n";
+  print_drift(controller->drift());
+
+  controller->stop();
+  server->stop();
+  return 0;
+}

@@ -1,0 +1,446 @@
+#include "adapt/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "logs/template_miner.hpp"
+#include "obs/catalog.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace desh::adapt {
+
+namespace {
+
+// Process-wide adaptation telemetry (OBSERVABILITY.md "online adaptation").
+// Cached references: registration takes the registry lock exactly once.
+struct AdaptObs {
+  obs::Counter& tapped =
+      obs::registry().counter(obs::kAdaptRecordsTappedTotal);
+  obs::Gauge& oov_rate = obs::registry().gauge(obs::kAdaptOovRate);
+  obs::Gauge& novelty_rate = obs::registry().gauge(obs::kAdaptNoveltyRate);
+  obs::Gauge& calibration =
+      obs::registry().gauge(obs::kAdaptCalibrationError);
+  obs::Counter& triggers =
+      obs::registry().counter(obs::kAdaptDriftTriggersTotal);
+  obs::Gauge& replay_depth = obs::registry().gauge(obs::kAdaptReplayDepth);
+  obs::Counter& retrains = obs::registry().counter(obs::kAdaptRetrainsTotal);
+  obs::Counter& retrain_failures =
+      obs::registry().counter(obs::kAdaptRetrainFailuresTotal);
+  obs::Histogram& retrain_seconds =
+      obs::registry().histogram(obs::kAdaptRetrainSeconds);
+  obs::Counter& shadow_evals =
+      obs::registry().counter(obs::kAdaptShadowEvalsTotal);
+  obs::Counter& promotions =
+      obs::registry().counter(obs::kAdaptPromotionsTotal);
+  obs::Counter& rejections =
+      obs::registry().counter(obs::kAdaptRejectionsTotal);
+  obs::Counter& rollbacks =
+      obs::registry().counter(obs::kAdaptRollbacksTotal);
+  obs::Gauge& registry_size =
+      obs::registry().gauge(obs::kAdaptRegistrySize);
+  obs::Gauge& champion_version =
+      obs::registry().gauge(obs::kAdaptChampionVersion);
+  static AdaptObs& get() {
+    static AdaptObs instance;
+    return instance;
+  }
+};
+
+std::string join_violations(const std::vector<std::string>& violations) {
+  std::string out = "AdaptController: invalid options:";
+  for (const std::string& v : violations) out += "\n  - " + v;
+  return out;
+}
+
+}  // namespace
+
+core::Expected<std::unique_ptr<AdaptController>> AdaptController::create(
+    std::shared_ptr<const core::DeshPipeline> champion,
+    AdaptOptions options) {
+  if (!champion)
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "AdaptController: null champion"};
+  if (!champion->fitted())
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "AdaptController: champion is not fitted"};
+  if (options.registry_root.empty())
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "AdaptController: empty registry_root"};
+  // One validation pass covers the challenger trainer config AND the adapt
+  // knobs — the adapt fields ride in DeshConfig::validate's "adapt." paths.
+  core::DeshConfig check = options.trainer;
+  check.adapt = options.config;
+  const std::vector<std::string> violations = check.validate();
+  if (!violations.empty())
+    return core::Error{core::ErrorCode::kInvalidConfig,
+                       join_violations(violations)};
+
+  core::Expected<ModelRegistry> registry =
+      ModelRegistry::open(options.registry_root, options.registry_capacity);
+  if (!registry) return registry.error();
+
+  std::unique_ptr<AdaptController> controller(new AdaptController(
+      std::move(champion), std::move(options),
+      std::move(registry).value()));
+  // A fresh registry gets the incumbent as version 1, immediately promoted:
+  // from the very first challenger swap there is a rollback target.
+  if (!controller->registry_.champion()) {
+    core::Expected<std::uint32_t> version = controller->registry_.publish(
+        *controller->champion_, "initial champion");
+    if (!version) return version.error();
+    core::Expected<void> promoted =
+        controller->registry_.promote(version.value());
+    if (!promoted) return promoted.error();
+  }
+  controller->stats_.champion_version = controller->registry_.champion();
+  {
+    std::lock_guard<std::mutex> lk(controller->mu_);
+    controller->export_gauges_locked();
+  }
+  return controller;
+}
+
+AdaptController::AdaptController(
+    std::shared_ptr<const core::DeshPipeline> champion, AdaptOptions options,
+    ModelRegistry registry)
+    : options_(std::move(options)),
+      detector_(options_.config),
+      replay_(options_.config.replay_capacity),
+      registry_(std::move(registry)) {
+  rebind_champion_locked(std::move(champion));
+}
+
+AdaptController::~AdaptController() { stop(); }
+
+void AdaptController::attach(serve::InferenceServer& server) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    server_ = &server;
+  }
+  server.set_tap([this](std::span<const logs::LogRecord> records,
+                        std::span<const core::MonitorAlert> alerts) {
+    on_batch(records, alerts);
+  });
+}
+
+void AdaptController::rebind_champion_locked(
+    std::shared_ptr<const core::DeshPipeline> champion) {
+  champion_ = std::move(champion);
+  // Phrase ids that appear on any trained failure chain: the complement is
+  // the novelty signal ("the failure mix contains sequences we never
+  // learned").
+  chain_phrases_.assign(champion_->vocab().size(), false);
+  for (const nn::ChainSequence& chain : champion_->training_chains())
+    for (const nn::ChainStep& step : chain)
+      if (step.phrase < chain_phrases_.size())
+        chain_phrases_[step.phrase] = true;
+}
+
+void AdaptController::export_gauges_locked() {
+  AdaptObs& o = AdaptObs::get();
+  const DriftStatus& s = detector_.status();
+  o.oov_rate.set(s.oov_rate);
+  o.novelty_rate.set(s.novelty_rate);
+  o.calibration.set(s.calibration_error);
+  o.replay_depth.set(static_cast<double>(replay_.size()));
+  o.registry_size.set(static_cast<double>(registry_.entries().size()));
+  if (stats_.champion_version)
+    o.champion_version.set(static_cast<double>(*stats_.champion_version));
+}
+
+void AdaptController::on_batch(std::span<const logs::LogRecord> records,
+                               std::span<const core::MonitorAlert> alerts) {
+  AdaptObs& o = AdaptObs::get();
+  std::string trigger_note;
+  std::optional<RetrainJob> job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.records_tapped += records.size();
+    o.tapped.add(records.size());
+    replay_.append(records);
+
+    const chains::PhraseLabeler& labeler = champion_->labeler();
+    const logs::PhraseVocab& vocab = champion_->vocab();
+    double batch_last_time = -1.0;
+    for (const logs::LogRecord& record : records) {
+      const std::string tmpl =
+          logs::TemplateMiner::extract(record.message);
+      if (tmpl.empty()) continue;
+      batch_last_time = std::max(batch_last_time, record.timestamp);
+      const std::uint32_t phrase = vocab.encode(tmpl);
+      const bool oov = phrase == logs::PhraseVocab::kUnknownId;
+      detector_.observe_record(oov);
+      if (probation_.active) {
+        ++probation_.templates;
+        if (oov) ++probation_.oov;
+      }
+      if (labeler.label(phrase) != logs::PhraseLabel::kSafe) {
+        const bool novel = oov || phrase >= chain_phrases_.size() ||
+                           !chain_phrases_[phrase];
+        detector_.observe_novelty(novel);
+      }
+      // A terminal phrase resolves the node's pending alert: the realized
+      // lead is now known, so the forecast can be graded.
+      if (!oov && labeler.is_terminal(phrase)) {
+        auto it = pending_alerts_.find(record.node);
+        if (it != pending_alerts_.end()) {
+          const double realized = record.timestamp - it->second.alert_time;
+          if (realized >= 0.0) {
+            const double err =
+                std::abs(it->second.predicted_lead_seconds - realized) /
+                std::max(realized, 1.0);
+            detector_.observe_calibration(err);
+          }
+          pending_alerts_.erase(it);
+        }
+      }
+    }
+    // New alerts open (or refresh) the node's calibration ledger entry.
+    for (const core::MonitorAlert& alert : alerts)
+      pending_alerts_[alert.node] = {alert.time,
+                                     alert.predicted_lead_seconds};
+    // Alerts whose failure never materialized within the horizon are the
+    // worst possible forecast: full-scale calibration error.
+    if (batch_last_time >= 0.0) {
+      for (auto it = pending_alerts_.begin();
+           it != pending_alerts_.end();) {
+        if (batch_last_time - it->second.alert_time >
+            options_.config.alert_horizon_seconds) {
+          detector_.observe_calibration(1.0);
+          it = pending_alerts_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    detector_.evaluate();
+
+    // Probation: the freshly promoted champion must hold its shadow-eval
+    // promise on live traffic, or the swap is undone.
+    if (probation_.active &&
+        probation_.templates >= std::min(options_.config.min_window_fill,
+                                         options_.config.probation_records)) {
+      const double rate = static_cast<double>(probation_.oov) /
+                          static_cast<double>(probation_.templates);
+      if (rate > probation_.expected_oov +
+                     options_.config.regression_margin) {
+        rollback_locked();
+      } else if (probation_.templates >=
+                 options_.config.probation_records) {
+        probation_.active = false;  // probation served, promotion final
+      }
+    }
+
+    if (should_retrain_locked()) {
+      std::vector<std::string> names;
+      for (DriftSignal s : detector_.status().latched)
+        names.emplace_back(to_string(s));
+      trigger_note = names.empty() ? std::string("scheduled")
+                                   : "drift:" + util::join(names, "+");
+      job = make_job_locked(trigger_note);
+    }
+    export_gauges_locked();
+  }
+  if (job) launch(std::move(*job));
+}
+
+bool AdaptController::should_retrain_locked() {
+  if (stopping_ || retraining_ || replay_.empty()) return false;
+  // Depth floor and cooldown first, WITHOUT consuming the drift edge: a
+  // trigger that lands too early or mid-cooldown stays pending and
+  // launches on a later batch. A replay window shallower than the floor
+  // has no complete failure chains, so the challenger fit would fail.
+  if (replay_.size() < options_.config.min_replay_records) return false;
+  const std::size_t since =
+      stats_.records_tapped - last_retrain_at_records_;
+  if (last_retrain_at_records_ != 0 &&
+      since < options_.config.retrain_cooldown_records)
+    return false;
+  const bool scheduled =
+      options_.config.schedule_every_records > 0 &&
+      since >= options_.config.schedule_every_records &&
+      last_retrain_at_records_ != stats_.records_tapped;
+  const bool drift = detector_.take_trigger();
+  if (drift) {
+    ++stats_.drift_triggers;
+    AdaptObs::get().triggers.add();
+  }
+  return drift || scheduled;
+}
+
+AdaptController::RetrainJob AdaptController::make_job_locked(
+    std::string note) {
+  retraining_ = true;
+  ++stats_.retrains;
+  AdaptObs::get().retrains.add();
+  last_retrain_at_records_ = stats_.records_tapped;
+  return RetrainJob{replay_.snapshot(), champion_, std::move(note)};
+}
+
+bool AdaptController::force_retrain() {
+  std::optional<RetrainJob> job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ || retraining_ || replay_.empty()) return false;
+    job = make_job_locked("forced");
+  }
+  launch(std::move(*job));
+  return true;
+}
+
+void AdaptController::launch(RetrainJob job) {
+  if (!options_.config.background) {
+    run_retrain(std::move(job));
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  // At most one retrain is in flight (make_job_locked requires
+  // !retraining_), so a joinable handle here is a finished thread.
+  if (retrain_thread_.joinable()) retrain_thread_.join();
+  retrain_thread_ = std::thread(
+      [this, j = std::move(job)]() mutable { run_retrain(std::move(j)); });
+}
+
+void AdaptController::run_retrain(RetrainJob job) {
+  AdaptObs& o = AdaptObs::get();
+  util::Stopwatch sw;
+  const ReplaySplit split =
+      split_replay(job.replay, options_.config.holdout_fraction);
+
+  std::optional<core::DeshPipeline> challenger;
+  try {
+    challenger.emplace(options_.trainer);
+    challenger->fit(split.train, *job.champion);
+  } catch (const std::exception&) {
+    // Typical cause: the replay window holds no complete failure chain yet.
+    // Not fatal — the stream keeps accumulating and a later trigger retries.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.retrain_failures;
+    o.retrain_failures.add();
+    o.retrain_seconds.observe(sw.elapsed_seconds());
+    retraining_ = false;
+    idle_cv_.notify_all();
+    return;
+  }
+
+  const ShadowReport report = shadow_evaluate(
+      *job.champion, *challenger, split.holdout, options_.config);
+  o.shadow_evals.add();
+  o.retrain_seconds.observe(sw.elapsed_seconds());
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.shadow_evals;
+  stats_.last_shadow = report;
+  bool done = false;
+  if (!report.challenger_wins) {
+    ++stats_.rejections;
+    o.rejections.add();
+    done = true;
+  }
+  if (!done) {
+    auto next = std::make_shared<const core::DeshPipeline>(
+        std::move(*challenger));
+    core::Expected<std::uint32_t> version =
+        registry_.publish(*next, job.note);
+    core::Expected<void> swapped;  // defaults to success
+    if (version && server_ != nullptr) swapped = server_->swap_model(next);
+    if (!version || !swapped) {
+      // Registry full of protected versions, disk trouble, or the server
+      // already stopped: the champion stays; the challenger is dropped.
+      ++stats_.retrain_failures;
+      o.retrain_failures.add();
+    } else {
+      // promote() after a successful publish can only fail on manifest
+      // I/O; the swap already happened, so keep the in-memory champion
+      // consistent with what serves either way.
+      if (core::Expected<void> promoted = registry_.promote(version.value());
+          !promoted) {
+        ++stats_.retrain_failures;
+        o.retrain_failures.add();
+      }
+      previous_champion_ = champion_;
+      rebind_champion_locked(std::move(next));
+      // The new champion is judged on its own traffic: fresh windows,
+      // fresh ledger, and a probation period pinned to its shadow promise.
+      detector_.reset();
+      pending_alerts_.clear();
+      probation_.active = true;
+      probation_.expected_oov = 1.0 - report.challenger_coverage;
+      probation_.templates = 0;
+      probation_.oov = 0;
+      ++stats_.promotions;
+      o.promotions.add();
+      stats_.champion_version = registry_.champion();
+    }
+  }
+  export_gauges_locked();
+  retraining_ = false;
+  idle_cv_.notify_all();
+}
+
+void AdaptController::rollback_locked() {
+  core::Expected<std::uint32_t> rolled = registry_.rollback();
+  if (!rolled || !previous_champion_) return;  // no target: keep serving
+  if (server_ != nullptr) {
+    // A stopped server refuses the stage; the controller still reverts its
+    // own champion so detached operation stays consistent.
+    core::Expected<void> swapped = server_->swap_model(previous_champion_);
+    (void)swapped;
+  }
+  rebind_champion_locked(std::move(previous_champion_));
+  previous_champion_.reset();
+  detector_.reset();
+  pending_alerts_.clear();
+  probation_.active = false;
+  ++stats_.rollbacks;
+  AdaptObs::get().rollbacks.add();
+  stats_.champion_version = registry_.champion();
+}
+
+void AdaptController::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return !retraining_; });
+}
+
+void AdaptController::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  wait_idle();
+  std::thread finished;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::swap(finished, retrain_thread_);
+  }
+  if (finished.joinable()) finished.join();
+  serve::InferenceServer* server = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::swap(server, server_);
+  }
+  if (server != nullptr) server->set_tap(nullptr);
+}
+
+DriftStatus AdaptController::drift() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return detector_.status();
+}
+
+AdaptStats AdaptController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AdaptStats out = stats_;
+  out.retrain_in_flight = retraining_;
+  out.probation_active = probation_.active;
+  return out;
+}
+
+std::shared_ptr<const core::DeshPipeline> AdaptController::champion() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return champion_;
+}
+
+}  // namespace desh::adapt

@@ -1,0 +1,190 @@
+// AdaptController: the closed loop of desh::adapt. Wires the pieces
+// together around a live InferenceServer:
+//
+//   serve tap ──> DriftDetector ──trigger──> BackgroundRetrainer
+//        │             │                          │ (own thread)
+//   ReplayBuffer   calibration              warm-started challenger
+//        │         ledger                        │
+//        └────── holdout window ──> shadow_evaluate ──win──> registry
+//                                        │                  publish+promote
+//                                      lose                 server swap
+//                                        │                  probation
+//                                    discard                 │regress
+//                                                          rollback
+//
+// Threading: on_batch() runs on the serve collector thread (or the pump()
+// caller); the retrain runs on its own std::thread when
+// AdaptConfig::background is true, so serving ingest never waits on a fit.
+// One retrain is in flight at a time; triggers that land mid-retrain are
+// absorbed (the drift latch stays up, so a still-drifting stream simply
+// retrains again after the cooldown). With background=false the retrain
+// runs inline in the tap — the deterministic mode the replay tests pin.
+//
+// Lifetime: the controller holds a non-owning pointer to the server it is
+// attached to; the server must outlive the controller (or stop() must be
+// called before the server is destroyed — stop() detaches the tap).
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/drift.hpp"
+#include "adapt/registry.hpp"
+#include "adapt/replay_buffer.hpp"
+#include "adapt/shadow.hpp"
+#include "core/expected.hpp"
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "serve/server.hpp"
+
+namespace desh::adapt {
+
+struct AdaptOptions {
+  /// Detection / retrain-policy knobs (validated with "adapt." field paths).
+  core::AdaptConfig config;
+  /// Config the challenger pipeline is fitted with. Use a fixed seed and
+  /// threads=1 (plus background=false above) for bit-reproducible retrains.
+  core::DeshConfig trainer;
+  /// Registry root directory (created if absent).
+  std::string registry_root;
+  std::size_t registry_capacity = 4;
+};
+
+/// Lifetime counters + latest lifecycle facts (also exported as
+/// desh_adapt_*).
+struct AdaptStats {
+  std::size_t records_tapped = 0;
+  std::size_t drift_triggers = 0;
+  std::size_t retrains = 0;          // launched
+  std::size_t retrain_failures = 0;  // abandoned (e.g. no chains in replay)
+  std::size_t shadow_evals = 0;
+  std::size_t promotions = 0;
+  std::size_t rejections = 0;
+  std::size_t rollbacks = 0;
+  bool retrain_in_flight = false;
+  bool probation_active = false;
+  std::optional<std::uint32_t> champion_version;
+  /// Last completed shadow evaluation (valid when shadow_evals > 0).
+  ShadowReport last_shadow;
+};
+
+class AdaptController {
+ public:
+  /// Validates options, opens (or resumes) the registry and — when the
+  /// registry has no champion yet — publishes `champion` as version 1 and
+  /// promotes it, so a rollback target chain exists from the first swap.
+  /// Errors: kInvalidArgument (null/unfitted champion, empty registry
+  /// root), kInvalidConfig (all adapt.*/trainer violations), plus registry
+  /// I/O errors.
+  [[nodiscard]] static core::Expected<std::unique_ptr<AdaptController>>
+  create(std::shared_ptr<const core::DeshPipeline> champion,
+         AdaptOptions options);
+
+  ~AdaptController();  // stop()s if the owner has not
+
+  AdaptController(const AdaptController&) = delete;
+  AdaptController& operator=(const AdaptController&) = delete;
+
+  /// Installs this controller as `server`'s tap and as the swap target for
+  /// promotions/rollbacks. The server must outlive the controller (see the
+  /// file comment). Detached controllers still work via direct on_batch()
+  /// calls — swaps then only update the controller's own champion.
+  void attach(serve::InferenceServer& server);
+
+  /// The tap body: drift bookkeeping, replay append, calibration ledger,
+  /// probation check, retrain trigger. Also callable directly (tests,
+  /// replay harnesses) with any batch of processed records + their alerts.
+  void on_batch(std::span<const logs::LogRecord> records,
+                std::span<const core::MonitorAlert> alerts);
+
+  /// Launches a retrain now (ops override), bypassing drift state, schedule
+  /// and cooldown. Returns false when one is already in flight or the
+  /// replay buffer is empty. Honors AdaptConfig::background.
+  bool force_retrain();
+
+  /// Blocks until no retrain is in flight (the in-flight one, if any,
+  /// completes and applies its verdict).
+  void wait_idle();
+
+  /// Joins any in-flight retrain and detaches the tap. Idempotent; called
+  /// by the destructor.
+  void stop();
+
+  DriftStatus drift() const;
+  AdaptStats stats() const;
+  std::shared_ptr<const core::DeshPipeline> champion() const;
+  /// Registry access for inspection/audit. Not synchronized with an
+  /// in-flight retrain: call wait_idle() first for a stable view.
+  const ModelRegistry& registry() const { return registry_; }
+
+ private:
+  AdaptController(std::shared_ptr<const core::DeshPipeline> champion,
+                  AdaptOptions options, ModelRegistry registry);
+
+  struct PendingAlert {
+    double alert_time = 0.0;
+    double predicted_lead_seconds = 0.0;
+  };
+
+  struct Probation {
+    bool active = false;
+    double expected_oov = 0.0;  // challenger's holdout OOV at promotion
+    std::size_t templates = 0;  // templates seen since the swap
+    std::size_t oov = 0;        // of which OOV under the new champion
+  };
+
+  /// Everything a retrain needs, snapshotted under mu_ at launch.
+  struct RetrainJob {
+    logs::LogCorpus replay;
+    std::shared_ptr<const core::DeshPipeline> champion;
+    std::string note;
+  };
+
+  /// Rebuilds the champion-derived caches (chain phrase set). Caller holds
+  /// mu_.
+  void rebind_champion_locked(
+      std::shared_ptr<const core::DeshPipeline> champion);
+  /// Trigger policy for this batch. Caller holds mu_.
+  bool should_retrain_locked();
+  /// Builds the snapshot and flips retraining_. Caller holds mu_.
+  RetrainJob make_job_locked(std::string note);
+  /// Dispatches the job: dedicated thread (background) or inline. Caller
+  /// must NOT hold mu_.
+  void launch(RetrainJob job);
+  /// Fit + shadow eval + (publish/promote/swap | reject). Runs WITHOUT mu_
+  /// (on the retrain thread in background mode, inline otherwise).
+  void run_retrain(RetrainJob job);
+  /// Probation regression: registry rollback + swap the prior champion
+  /// back in. Caller holds mu_.
+  void rollback_locked();
+  void export_gauges_locked();
+
+  const AdaptOptions options_;
+  serve::InferenceServer* server_ = nullptr;  // non-owning; see attach()
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;  // retraining_ became false
+  std::shared_ptr<const core::DeshPipeline> champion_;
+  std::shared_ptr<const core::DeshPipeline> previous_champion_;
+  std::vector<bool> chain_phrases_;  // champion phrase id -> on a chain
+  DriftDetector detector_;
+  ReplayBuffer replay_;
+  ModelRegistry registry_;
+  std::unordered_map<logs::NodeId, PendingAlert> pending_alerts_;
+  Probation probation_;
+  AdaptStats stats_;
+  std::size_t last_retrain_at_records_ = 0;
+  bool retraining_ = false;
+  bool stopping_ = false;
+
+  std::thread retrain_thread_;
+};
+
+}  // namespace desh::adapt

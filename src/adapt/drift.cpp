@@ -1,0 +1,125 @@
+#include "adapt/drift.hpp"
+
+#include <algorithm>
+
+namespace desh::adapt {
+
+const char* to_string(DriftSignal signal) {
+  switch (signal) {
+    case DriftSignal::kOovRate: return "oov_rate";
+    case DriftSignal::kNoveltyRate: return "novelty_rate";
+    case DriftSignal::kCalibrationError: return "calibration_error";
+  }
+  return "unknown";
+}
+
+void DriftDetector::Signal::configure(std::size_t capacity) {
+  window.assign(capacity, 0.0f);
+  reset();
+}
+
+void DriftDetector::Signal::push(float sample) {
+  if (count == window.size()) {
+    sum -= window[next];  // evict the oldest
+  } else {
+    ++count;
+  }
+  window[next] = sample;
+  sum += sample;
+  next = (next + 1) % window.size();
+}
+
+double DriftDetector::Signal::mean() const {
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count);
+}
+
+bool DriftDetector::Signal::evaluate(double trigger, double clear,
+                                     std::size_t hysteresis,
+                                     std::size_t min_fill) {
+  // An empty or barely-filled window has no statistical standing: it can
+  // neither breach nor clear a latch.
+  if (count < std::min(min_fill, window.size())) return false;
+  const double m = mean();
+  if (m >= trigger) {
+    breaches = std::min(breaches + 1, hysteresis);
+    if (!latched && breaches >= hysteresis) {
+      latched = true;
+      return true;
+    }
+  } else {
+    breaches = 0;
+    if (latched && m <= clear) latched = false;
+  }
+  return false;
+}
+
+void DriftDetector::Signal::reset() {
+  std::fill(window.begin(), window.end(), 0.0f);
+  next = 0;
+  count = 0;
+  sum = 0.0;
+  breaches = 0;
+  latched = false;
+}
+
+DriftDetector::DriftDetector(const core::AdaptConfig& config)
+    : config_(config) {
+  oov_.configure(config_.oov_window);
+  novelty_.configure(config_.novelty_window);
+  calibration_.configure(config_.calibration_window);
+}
+
+void DriftDetector::observe_record(bool oov) {
+  oov_.push(oov ? 1.0f : 0.0f);
+}
+
+void DriftDetector::observe_novelty(bool novel) {
+  novelty_.push(novel ? 1.0f : 0.0f);
+}
+
+void DriftDetector::observe_calibration(double relative_error) {
+  calibration_.push(
+      static_cast<float>(std::clamp(relative_error, 0.0, 1.0)));
+}
+
+void DriftDetector::evaluate() {
+  bool edge = false;
+  edge |= oov_.evaluate(config_.oov_trigger, config_.oov_clear,
+                        config_.hysteresis, config_.min_window_fill);
+  edge |= novelty_.evaluate(config_.novelty_trigger, config_.novelty_clear,
+                            config_.hysteresis, config_.min_window_fill);
+  edge |= calibration_.evaluate(config_.calibration_trigger,
+                                config_.calibration_clear,
+                                config_.hysteresis, config_.min_window_fill);
+  if (edge) trigger_pending_ = true;
+
+  status_.oov_rate = oov_.mean();
+  status_.novelty_rate = novelty_.mean();
+  status_.calibration_error = calibration_.mean();
+  status_.oov_samples = oov_.count;
+  status_.novelty_samples = novelty_.count;
+  status_.calibration_samples = calibration_.count;
+  status_.latched.clear();
+  if (oov_.latched) status_.latched.push_back(DriftSignal::kOovRate);
+  if (novelty_.latched)
+    status_.latched.push_back(DriftSignal::kNoveltyRate);
+  if (calibration_.latched)
+    status_.latched.push_back(DriftSignal::kCalibrationError);
+}
+
+bool DriftDetector::take_trigger() {
+  const bool t = trigger_pending_;
+  trigger_pending_ = false;
+  return t;
+}
+
+void DriftDetector::reset() {
+  oov_.reset();
+  novelty_.reset();
+  calibration_.reset();
+  status_ = DriftStatus{};
+  trigger_pending_ = false;
+}
+
+}  // namespace desh::adapt

@@ -1,0 +1,101 @@
+// DriftDetector: the sensing half of desh::adapt (DESIGN.md "Online
+// adaptation"). Three sliding-window signals summarize how far live traffic
+// has walked away from what the champion pipeline was trained on:
+//
+//   oov rate          — fraction of tapped templates the champion vocabulary
+//                       encodes to <unk> (Table 8's unknown-phrase growth);
+//   novelty rate      — fraction of anomalous (non-Safe) phrases absent from
+//                       every trained failure chain (the failure MIX shifted
+//                       even if the words did not);
+//   calibration error — mean relative |predicted - realized| lead time over
+//                       resolved alerts (the model still fires, but its
+//                       clock is wrong).
+//
+// Each signal latches "drifting" only after `hysteresis` consecutive
+// evaluations at/above its trigger threshold with at least `min_window_fill`
+// samples in its window, and un-latches only when the statistic falls to
+// the (lower) clear threshold — a dead band, so one borderline batch cannot
+// flap the retrain loop. The detector is pure bookkeeping: no locks, no
+// model calls; AdaptController owns the mapping from records/alerts to
+// observe_*() samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace desh::adapt {
+
+enum class DriftSignal { kOovRate, kNoveltyRate, kCalibrationError };
+
+const char* to_string(DriftSignal signal);
+
+/// Point-in-time view of every signal (also exported as desh_adapt_*).
+struct DriftStatus {
+  double oov_rate = 0.0;
+  double novelty_rate = 0.0;
+  double calibration_error = 0.0;
+  std::size_t oov_samples = 0;
+  std::size_t novelty_samples = 0;
+  std::size_t calibration_samples = 0;
+  /// Signals currently latched as drifting (post-hysteresis).
+  std::vector<DriftSignal> latched;
+  bool drifting() const { return !latched.empty(); }
+};
+
+class DriftDetector {
+ public:
+  /// `config` is trusted here; DeshConfig::validate() vets it upstream.
+  explicit DriftDetector(const core::AdaptConfig& config);
+
+  /// One tapped record with a non-empty template (oov = encoded to <unk>).
+  void observe_record(bool oov);
+  /// One anomalous phrase (novel = not on any trained failure chain).
+  void observe_novelty(bool novel);
+  /// One resolved/expired alert's relative lead error, clamped to [0, 1].
+  void observe_calibration(double relative_error);
+
+  /// Applies thresholds + hysteresis to the current windows. Call once per
+  /// tapped batch; cheap (three window means).
+  void evaluate();
+
+  /// Rising edge of any latch since the last call — the retrain trigger.
+  /// Consumes the edge; the latch itself stays up until the signal clears.
+  bool take_trigger();
+
+  const DriftStatus& status() const { return status_; }
+
+  /// Forgets all windows, latches and hysteresis state (e.g. after a model
+  /// swap: the new champion must be judged on its own traffic).
+  void reset();
+
+ private:
+  /// One signal's sliding window + latch state machine.
+  struct Signal {
+    std::vector<float> window;  // ring buffer of samples
+    std::size_t next = 0;       // ring cursor
+    std::size_t count = 0;      // valid samples (<= window.size())
+    double sum = 0.0;           // running sum of the valid samples
+    std::size_t breaches = 0;   // consecutive evaluations at/above trigger
+    bool latched = false;
+
+    void configure(std::size_t capacity);
+    void push(float sample);
+    double mean() const;
+    /// Returns true on the latch's rising edge.
+    bool evaluate(double trigger, double clear, std::size_t hysteresis,
+                  std::size_t min_fill);
+    void reset();
+  };
+
+  core::AdaptConfig config_;
+  Signal oov_;
+  Signal novelty_;
+  Signal calibration_;
+  DriftStatus status_;
+  bool trigger_pending_ = false;
+};
+
+}  // namespace desh::adapt

@@ -1,0 +1,190 @@
+#include "adapt/registry.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/persistence.hpp"
+
+namespace desh::adapt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+core::Error io_error(const std::string& what) {
+  return core::Error{core::ErrorCode::kIo, "ModelRegistry: " + what};
+}
+
+}  // namespace
+
+core::Expected<ModelRegistry> ModelRegistry::open(std::string root,
+                                                  std::size_t capacity) {
+  if (capacity == 0)
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "ModelRegistry: capacity must be positive"};
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) return io_error("cannot create root '" + root + "': " + ec.message());
+  ModelRegistry registry(std::move(root), capacity);
+  if (fs::exists(fs::path(registry.root_) / "MANIFEST")) {
+    core::Expected<void> loaded = registry.load_manifest();
+    if (!loaded) return loaded.error();
+  }
+  return registry;
+}
+
+std::string ModelRegistry::directory_of(std::uint32_t version) const {
+  return (fs::path(root_) / ("v" + std::to_string(version))).string();
+}
+
+bool ModelRegistry::has_version(std::uint32_t version) const {
+  for (const RegistryEntry& e : entries_)
+    if (e.version == version) return true;
+  return false;
+}
+
+core::Expected<void> ModelRegistry::write_manifest() const {
+  // Write-then-rename so a crash mid-write never leaves a torn MANIFEST.
+  const fs::path path = fs::path(root_) / "MANIFEST";
+  const fs::path tmp = fs::path(root_) / "MANIFEST.tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) return io_error("cannot write " + tmp.string());
+    os << "format=desh-registry-" << kRegistryFormatVersion << "\n";
+    os << "next_version=" << next_version_ << "\n";
+    if (champion_) os << "champion=" << *champion_ << "\n";
+    if (previous_) os << "previous=" << *previous_ << "\n";
+    for (const RegistryEntry& e : entries_)
+      os << "entry=" << e.version << " " << e.note << "\n";
+    if (!os.good()) return io_error("short write to " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return io_error("cannot install MANIFEST: " + ec.message());
+  return {};
+}
+
+core::Expected<void> ModelRegistry::load_manifest() {
+  const fs::path path = fs::path(root_) / "MANIFEST";
+  std::ifstream is(path);
+  if (!is) return io_error("cannot read " + path.string());
+
+  std::string line;
+  if (!std::getline(is, line))
+    return io_error("empty MANIFEST in " + root_);
+  const std::string prefix = "format=desh-registry-";
+  if (line.rfind(prefix, 0) != 0)
+    return io_error("MANIFEST missing format stamp in " + root_);
+  const std::uint32_t version =
+      static_cast<std::uint32_t>(std::stoul(line.substr(prefix.size())));
+  if (version > kRegistryFormatVersion)
+    return core::Error{
+        core::ErrorCode::kFormatVersion,
+        "ModelRegistry: MANIFEST format " + std::to_string(version) +
+            " is newer than this build's " +
+            std::to_string(kRegistryFormatVersion)};
+
+  entries_.clear();
+  champion_.reset();
+  previous_.reset();
+  next_version_ = 1;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      return io_error("malformed MANIFEST line '" + line + "'");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "next_version") {
+      next_version_ = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "champion") {
+      champion_ = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "previous") {
+      previous_ = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "entry") {
+      std::istringstream fields(value);
+      RegistryEntry entry;
+      fields >> entry.version;
+      if (fields.fail())
+        return io_error("malformed entry line '" + line + "'");
+      std::getline(fields, entry.note);
+      if (!entry.note.empty() && entry.note.front() == ' ')
+        entry.note.erase(entry.note.begin());
+      entries_.push_back(std::move(entry));
+    } else {
+      return io_error("unknown MANIFEST key '" + key + "'");
+    }
+  }
+  return {};
+}
+
+core::Expected<void> ModelRegistry::evict_one() {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const std::uint32_t v = entries_[i].version;
+    if (champion_ && *champion_ == v) continue;
+    if (previous_ && *previous_ == v) continue;
+    std::error_code ec;
+    fs::remove_all(directory_of(v), ec);
+    if (ec)
+      return io_error("cannot evict v" + std::to_string(v) + ": " +
+                      ec.message());
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return {};
+  }
+  return core::Error{
+      core::ErrorCode::kUnavailable,
+      "ModelRegistry: at capacity (" + std::to_string(capacity_) +
+          ") and every retained version is champion or rollback target"};
+}
+
+core::Expected<std::uint32_t> ModelRegistry::publish(
+    const core::DeshPipeline& pipeline, std::string note) {
+  if (entries_.size() >= capacity_) {
+    core::Expected<void> evicted = evict_one();
+    if (!evicted) return evicted.error();
+  }
+  const std::uint32_t version = next_version_;
+  core::Expected<void> saved =
+      core::try_save_pipeline(pipeline, directory_of(version));
+  if (!saved) return saved.error();
+  ++next_version_;
+  entries_.push_back({version, std::move(note)});
+  core::Expected<void> manifest = write_manifest();
+  if (!manifest) return manifest.error();
+  return version;
+}
+
+core::Expected<void> ModelRegistry::promote(std::uint32_t version) {
+  if (!has_version(version))
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "ModelRegistry: unknown version " +
+                           std::to_string(version)};
+  if (champion_ && *champion_ == version) return {};
+  previous_ = champion_;
+  champion_ = version;
+  return write_manifest();
+}
+
+core::Expected<std::uint32_t> ModelRegistry::rollback() {
+  if (!previous_)
+    return core::Error{core::ErrorCode::kUnavailable,
+                       "ModelRegistry: no previous champion to roll back to"};
+  const std::uint32_t target = *previous_;
+  champion_ = target;
+  previous_.reset();  // no ping-pong: a second rollback needs a new promote
+  core::Expected<void> manifest = write_manifest();
+  if (!manifest) return manifest.error();
+  return target;
+}
+
+core::Expected<core::DeshPipeline> ModelRegistry::load(
+    std::uint32_t version) const {
+  if (!has_version(version))
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "ModelRegistry: unknown version " +
+                           std::to_string(version)};
+  return core::try_load_pipeline(directory_of(version));
+}
+
+}  // namespace desh::adapt

@@ -1,0 +1,102 @@
+// ModelRegistry: versioned, persisted pipeline snapshots with a champion
+// pointer — the audit trail and rollback substrate of desh::adapt.
+//
+// On-disk layout (root directory):
+//   MANIFEST        — format stamp + entry list + champion/previous markers
+//   v<N>/           — one core::try_save_pipeline directory per version
+//                     (the PR-3 `desh-pipeline-2` format, unchanged)
+//
+// The MANIFEST has its own format stamp (`format=desh-registry-1`) so the
+// registry layout can evolve independently of the pipeline snapshot format;
+// a future-format manifest reports ErrorCode::kFormatVersion just like a
+// future pipeline snapshot would.
+//
+// Retention: at most `capacity` versions. Publishing past capacity evicts
+// the oldest version that is neither the champion nor the previous champion
+// (both must survive for rollback); when every retained version is
+// protected, publish() fails with kUnavailable instead of silently
+// widening the registry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/expected.hpp"
+#include "core/pipeline.hpp"
+
+namespace desh::adapt {
+
+/// Manifest format stamped into new registries.
+inline constexpr std::uint32_t kRegistryFormatVersion = 1;
+
+struct RegistryEntry {
+  std::uint32_t version = 0;
+  std::string note;  // free-form provenance, e.g. "drift:oov_rate"
+};
+
+class ModelRegistry {
+ public:
+  /// Opens (or initializes) the registry rooted at `root`. An existing
+  /// MANIFEST is loaded and validated; a fresh directory starts empty.
+  /// Errors: kIo (unwritable root, corrupt manifest), kFormatVersion
+  /// (manifest written by a future Desh), kInvalidArgument (capacity 0).
+  [[nodiscard]] static core::Expected<ModelRegistry> open(
+      std::string root, std::size_t capacity = 4);
+
+  /// Persists `pipeline` as the next version (snapshot + manifest update)
+  /// and returns its version number. Does NOT change the champion.
+  /// Errors: kIo, kUnavailable (at capacity with nothing evictable), plus
+  /// anything core::try_save_pipeline reports.
+  [[nodiscard]] core::Expected<std::uint32_t> publish(
+      const core::DeshPipeline& pipeline, std::string note);
+
+  /// Marks `version` as champion; the old champion becomes the rollback
+  /// target. Errors: kInvalidArgument (unknown version), kIo.
+  [[nodiscard]] core::Expected<void> promote(std::uint32_t version);
+
+  /// Reverts to the previous champion and returns its version. The
+  /// rolled-back version stays in the registry (for the post-mortem) but
+  /// loses its champion mark; the rollback target slot is cleared, so two
+  /// rollbacks in a row fail rather than ping-pong.
+  /// Errors: kUnavailable (no previous champion recorded), kIo.
+  [[nodiscard]] core::Expected<std::uint32_t> rollback();
+
+  /// Reconstructs the pipeline stored as `version`.
+  /// Errors: kInvalidArgument (unknown version) + try_load_pipeline's.
+  [[nodiscard]] core::Expected<core::DeshPipeline> load(
+      std::uint32_t version) const;
+
+  std::optional<std::uint32_t> champion() const { return champion_; }
+  std::optional<std::uint32_t> previous_champion() const {
+    return previous_;
+  }
+  /// Oldest-first; versions are strictly increasing but not contiguous
+  /// after evictions.
+  const std::vector<RegistryEntry>& entries() const { return entries_; }
+  std::size_t capacity() const { return capacity_; }
+  const std::string& root() const { return root_; }
+  /// Snapshot directory of `version` (exists only for retained entries).
+  std::string directory_of(std::uint32_t version) const;
+
+ private:
+  ModelRegistry(std::string root, std::size_t capacity)
+      : root_(std::move(root)), capacity_(capacity) {}
+
+  core::Expected<void> write_manifest() const;
+  core::Expected<void> load_manifest();
+  /// Drops the oldest unprotected entry; kUnavailable when all protected.
+  core::Expected<void> evict_one();
+  bool has_version(std::uint32_t version) const;
+
+  std::string root_;
+  std::size_t capacity_ = 4;
+  std::uint32_t next_version_ = 1;
+  std::vector<RegistryEntry> entries_;
+  std::optional<std::uint32_t> champion_;
+  std::optional<std::uint32_t> previous_;
+};
+
+}  // namespace desh::adapt

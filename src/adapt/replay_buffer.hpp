@@ -1,0 +1,69 @@
+// ReplayBuffer: the bounded FIFO of recent raw serve-path records the
+// background retrainer learns from. Raw LogRecords (not phrase ids) are
+// kept on purpose: the whole point of retraining is that the champion's
+// vocabulary no longer covers the traffic, so the challenger must re-parse
+// the messages and grow its own vocabulary from them.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <span>
+
+#include "logs/record.hpp"
+
+namespace desh::adapt {
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void append(const logs::LogRecord& record) {
+    if (buffer_.size() == capacity_) buffer_.pop_front();
+    buffer_.push_back(record);
+  }
+
+  void append(std::span<const logs::LogRecord> records) {
+    for (const logs::LogRecord& r : records) append(r);
+  }
+
+  /// Copy of the whole buffer, oldest first — what a retrain snapshots
+  /// before releasing the controller lock.
+  logs::LogCorpus snapshot() const {
+    return logs::LogCorpus(buffer_.begin(), buffer_.end());
+  }
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return buffer_.empty(); }
+  void clear() { buffer_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<logs::LogRecord> buffer_;
+};
+
+/// Temporal train/holdout split for shadow evaluation: the most recent
+/// `holdout_fraction` of `corpus` is the held-out window (never seen by the
+/// challenger), the rest is its training data. At least one record lands on
+/// each side when the corpus has two or more.
+struct ReplaySplit {
+  logs::LogCorpus train;
+  logs::LogCorpus holdout;
+};
+
+inline ReplaySplit split_replay(const logs::LogCorpus& corpus,
+                                double holdout_fraction) {
+  ReplaySplit out;
+  if (corpus.empty()) return out;
+  std::size_t holdout_count = static_cast<std::size_t>(
+      static_cast<double>(corpus.size()) * holdout_fraction);
+  holdout_count = std::max<std::size_t>(holdout_count, 1);
+  holdout_count = std::min(holdout_count, corpus.size() - 1);
+  const std::size_t cut = corpus.size() - holdout_count;
+  out.train.assign(corpus.begin(), corpus.begin() + cut);
+  out.holdout.assign(corpus.begin() + cut, corpus.end());
+  return out;
+}
+
+}  // namespace desh::adapt

@@ -1,0 +1,65 @@
+#include "adapt/shadow.hpp"
+
+#include "chains/parsed_log.hpp"
+#include "logs/template_miner.hpp"
+#include "logs/vocab.hpp"
+
+namespace desh::adapt {
+
+namespace {
+
+struct ModelScore {
+  double accuracy = 0.0;
+  double coverage = 0.0;
+};
+
+ModelScore score_model(const core::DeshPipeline& pipeline,
+                       const logs::LogCorpus& holdout) {
+  ModelScore out;
+  // Coverage under this model's (frozen) vocabulary.
+  logs::PhraseVocab frozen = pipeline.vocab();
+  std::size_t templates = 0, known = 0;
+  for (const logs::LogRecord& r : holdout) {
+    const std::string tmpl = logs::TemplateMiner::extract(r.message);
+    if (tmpl.empty()) continue;
+    ++templates;
+    if (frozen.encode(tmpl) != logs::PhraseVocab::kUnknownId) ++known;
+  }
+  if (templates > 0)
+    out.coverage =
+        static_cast<double>(known) / static_cast<double>(templates);
+
+  chains::ParsedLog parsed =
+      chains::parse_corpus(holdout, frozen, /*grow_vocab=*/false);
+  out.accuracy =
+      pipeline.phase1().accuracy(parsed, pipeline.config().phase1.history);
+  return out;
+}
+
+}  // namespace
+
+ShadowReport shadow_evaluate(const core::DeshPipeline& champion,
+                             const core::DeshPipeline& challenger,
+                             const logs::LogCorpus& holdout,
+                             const core::AdaptConfig& config) {
+  ShadowReport report;
+  report.holdout_records = holdout.size();
+  // Too little evidence to dethrone the incumbent.
+  if (holdout.size() < challenger.config().phase1.history + 2) return report;
+
+  const ModelScore champ = score_model(champion, holdout);
+  const ModelScore chall = score_model(challenger, holdout);
+  report.champion_accuracy = champ.accuracy;
+  report.challenger_accuracy = chall.accuracy;
+  report.champion_coverage = champ.coverage;
+  report.challenger_coverage = chall.coverage;
+  const double w = config.oov_improvement_weight;
+  report.champion_score = champ.accuracy + w * champ.coverage;
+  report.challenger_score = chall.accuracy + w * chall.coverage;
+  report.challenger_wins =
+      report.challenger_score >
+      report.champion_score + config.min_score_gain;
+  return report;
+}
+
+}  // namespace desh::adapt

@@ -1,0 +1,46 @@
+// Shadow evaluation: champion vs challenger on a held-out recent window of
+// live traffic, with no ground-truth failure labels required. Two scores a
+// deployment can always compute are combined:
+//
+//   accuracy   — phase-1 next-phrase top-1 accuracy on the held-out window
+//                (each model parses the window under its OWN vocabulary:
+//                the question is "how well does this model speak the
+//                current traffic", not "how well does it speak the other
+//                model's encoding");
+//   coverage   — 1 - OOV rate of the held-out templates under the model's
+//                vocabulary (a model that maps live traffic to <unk>
+//                cannot match chains no matter how sharp its LSTM is).
+//
+//   score = accuracy + oov_improvement_weight * coverage
+//
+// The challenger wins only when its score beats the champion's by at least
+// `min_score_gain` — ties keep the incumbent, so a retrain that learned
+// nothing new never churns the serving model.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "logs/record.hpp"
+
+namespace desh::adapt {
+
+struct ShadowReport {
+  double champion_accuracy = 0.0;
+  double challenger_accuracy = 0.0;
+  double champion_coverage = 0.0;    // 1 - oov rate on the held-out window
+  double challenger_coverage = 0.0;
+  double champion_score = 0.0;
+  double challenger_score = 0.0;
+  std::size_t holdout_records = 0;
+  bool challenger_wins = false;
+};
+
+/// Scores both fitted pipelines on `holdout`. An empty or too-short window
+/// (fewer events than one phase-1 history+1) is no evidence: the challenger
+/// loses by default.
+ShadowReport shadow_evaluate(const core::DeshPipeline& champion,
+                             const core::DeshPipeline& challenger,
+                             const logs::LogCorpus& holdout,
+                             const core::AdaptConfig& config);
+
+}  // namespace desh::adapt

@@ -88,6 +88,47 @@ std::vector<std::string> DeshConfig::validate() const {
 
   if (skipgram.enabled) c.positive("skipgram.epochs", skipgram.epochs);
 
+  c.positive("adapt.oov_window", adapt.oov_window);
+  c.positive("adapt.novelty_window", adapt.novelty_window);
+  c.positive("adapt.calibration_window", adapt.calibration_window);
+  c.positive("adapt.min_window_fill", adapt.min_window_fill);
+  c.unit_interval("adapt.oov_trigger", adapt.oov_trigger);
+  c.unit_interval("adapt.oov_clear", adapt.oov_clear);
+  c.unit_interval("adapt.novelty_trigger", adapt.novelty_trigger);
+  c.unit_interval("adapt.novelty_clear", adapt.novelty_clear);
+  c.unit_interval("adapt.calibration_trigger", adapt.calibration_trigger);
+  c.unit_interval("adapt.calibration_clear", adapt.calibration_clear);
+  // Each latch needs a dead band: clear above trigger would re-latch the
+  // instant the signal clears.
+  auto dead_band = [&c](const char* field, double clear, double trigger) {
+    if (clear > trigger)
+      c.out.push_back(std::string(field) + ": clear threshold " +
+                      util::format_fixed(clear, 4) + " must be <= trigger " +
+                      util::format_fixed(trigger, 4));
+  };
+  dead_band("adapt.oov_clear", adapt.oov_clear, adapt.oov_trigger);
+  dead_band("adapt.novelty_clear", adapt.novelty_clear,
+            adapt.novelty_trigger);
+  dead_band("adapt.calibration_clear", adapt.calibration_clear,
+            adapt.calibration_trigger);
+  c.positive("adapt.hysteresis", adapt.hysteresis);
+  c.positive("adapt.replay_capacity", adapt.replay_capacity);
+  c.positive("adapt.min_replay_records", adapt.min_replay_records);
+  if (adapt.min_replay_records > adapt.replay_capacity)
+    c.out.push_back(
+        "adapt.min_replay_records: must be <= adapt.replay_capacity (" +
+        std::to_string(adapt.replay_capacity) + "), got " +
+        std::to_string(adapt.min_replay_records));
+  if (!(adapt.holdout_fraction > 0.0 && adapt.holdout_fraction < 1.0))
+    c.out.push_back("adapt.holdout_fraction: must be within (0, 1), got " +
+                    util::format_fixed(adapt.holdout_fraction, 4));
+  c.non_negative("adapt.min_score_gain", adapt.min_score_gain);
+  c.non_negative("adapt.oov_improvement_weight",
+                 adapt.oov_improvement_weight);
+  c.positive("adapt.probation_records", adapt.probation_records);
+  c.non_negative("adapt.regression_margin", adapt.regression_margin);
+  c.positive("adapt.alert_horizon_seconds", adapt.alert_horizon_seconds);
+
   return c.out;
 }
 

@@ -72,12 +72,81 @@ struct SkipGramPretrainConfig {
   std::size_t epochs = 2;
 };
 
+/// Knobs for the online-adaptation loop (src/adapt): drift detection over
+/// the live serve stream, bounded replay buffering, challenger shadow
+/// evaluation and post-swap probation. Lives in core so DeshConfig can
+/// carry + validate it without core depending on desh::adapt.
+struct AdaptConfig {
+  // --- drift windows (sliding, per-signal sample counts) ---
+  /// Phrase OOV-rate window: one sample per tapped record with a non-empty
+  /// template (1 = encoded to <unk> under the champion vocabulary).
+  std::size_t oov_window = 512;
+  /// Chain-novelty window: one sample per anomalous (non-Safe) phrase
+  /// (1 = phrase absent from every trained failure chain).
+  std::size_t novelty_window = 256;
+  /// Lead-time calibration window: one sample per resolved or expired alert
+  /// (relative |predicted - realized| lead error, clamped to [0, 1]).
+  std::size_t calibration_window = 32;
+  /// Minimum samples in a window before its signal may breach. An empty or
+  /// barely-filled window never triggers drift.
+  std::size_t min_window_fill = 64;
+
+  // --- thresholds + hysteresis ---
+  /// A signal breaches when its window statistic >= trigger; a latched
+  /// signal clears when it falls back <= clear (clear <= trigger, so the
+  /// latch has a dead band instead of flapping around one threshold).
+  double oov_trigger = 0.25;
+  double oov_clear = 0.10;
+  double novelty_trigger = 0.35;
+  double novelty_clear = 0.15;
+  double calibration_trigger = 0.50;
+  double calibration_clear = 0.25;
+  /// Consecutive breached evaluations before a signal latches as drifting.
+  std::size_t hysteresis = 3;
+
+  // --- replay buffer + retrain policy ---
+  /// Bounded FIFO of raw tapped records the challenger retrains on.
+  std::size_t replay_capacity = 8192;
+  /// Drift/scheduled retrains wait until the replay buffer holds at least
+  /// this many records — a too-shallow window has no complete failure
+  /// chains to learn from, so the fit would fail. A pending drift trigger
+  /// survives the wait; force_retrain() bypasses it (ops override).
+  std::size_t min_replay_records = 1024;
+  /// Minimum tapped records between two retrain launches (drift or
+  /// schedule), so a persistent breach cannot retrain in a tight loop.
+  std::size_t retrain_cooldown_records = 1024;
+  /// Scheduled retrain every N tapped records; 0 = drift-triggered only.
+  std::size_t schedule_every_records = 0;
+  /// true: retrain on a dedicated background thread (serving never stalls);
+  /// false: retrain inline in the tap (deterministic replay / tests).
+  bool background = true;
+
+  // --- shadow evaluation + probation ---
+  /// Most-recent fraction of the replay buffer held out from challenger
+  /// training and used to score champion vs challenger.
+  double holdout_fraction = 0.25;
+  /// Challenger must beat the champion's shadow score by at least this.
+  double min_score_gain = 0.0;
+  /// Weight of OOV coverage (1 - oov_rate) next to phase-1 next-phrase
+  /// accuracy in the shadow score.
+  double oov_improvement_weight = 0.5;
+  /// Tapped records after a swap during which the new champion is on
+  /// probation: regression there rolls back to the previous version.
+  std::size_t probation_records = 512;
+  /// Probation OOV rate above (challenger holdout OOV + margin) = regress.
+  double regression_margin = 0.10;
+  /// Seconds after which an unresolved alert expires and contributes a
+  /// full-scale (1.0) calibration error sample.
+  double alert_horizon_seconds = 1800.0;
+};
+
 struct DeshConfig {
   Phase1Config phase1;
   Phase2Config phase2;
   Phase3Config phase3;
   chains::ExtractorConfig extractor;
   SkipGramPretrainConfig skipgram;
+  AdaptConfig adapt;
   std::uint64_t seed = 7;
   /// Worker count applied to every stage (phase 1/2 training, skip-gram,
   /// phase-3 scoring) whose own `threads` is 0. 0 = DESH_THREADS env var,
@@ -90,7 +159,7 @@ struct DeshConfig {
   /// Empty result = the config is usable. DeshPipeline and
   /// serve::InferenceServer reject invalid configs up front with this list
   /// instead of surfacing bad values as NaN losses mid-fit.
-  std::vector<std::string> validate() const;
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 }  // namespace desh::core

@@ -1,6 +1,7 @@
 #include "core/monitor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "logs/template_miner.hpp"
 #include "obs/catalog.hpp"
@@ -32,6 +33,19 @@ struct MonitorObs {
 
 }  // namespace
 
+std::vector<std::string> MonitorConfig::validate(
+    std::string_view prefix) const {
+  std::vector<std::string> out;
+  const std::string p(prefix);
+  if (!(gap_seconds > 0) || !std::isfinite(gap_seconds))
+    out.push_back(p + ".gap_seconds: must be positive and finite, got " +
+                  util::format_fixed(gap_seconds, 4));
+  if (!(rearm_seconds >= 0) || !std::isfinite(rearm_seconds))
+    out.push_back(p + ".rearm_seconds: must be non-negative and finite, got " +
+                  util::format_fixed(rearm_seconds, 4));
+  return out;
+}
+
 StreamingMonitor::StreamingMonitor(const DeshPipeline& pipeline,
                                    MonitorConfig config)
     : pipeline_(pipeline),
@@ -39,8 +53,11 @@ StreamingMonitor::StreamingMonitor(const DeshPipeline& pipeline,
       vocab_(pipeline.vocab()),
       predictor_(pipeline.phase2().model(), pipeline.config().phase3) {
   util::require(pipeline.fitted(), "StreamingMonitor: pipeline is not fitted");
-  util::require(config_.gap_seconds > 0 && config_.rearm_seconds >= 0,
-                "StreamingMonitor: bad config");
+  // Report every violation, not just the first: a caller fixing fields one
+  // rejection at a time gets the whole list up front.
+  const std::vector<std::string> violations = config_.validate();
+  util::require(violations.empty(), "StreamingMonitor: invalid config: " +
+                                        util::join(violations, "; "));
 }
 
 void StreamingMonitor::reset() { nodes_.clear(); }

@@ -17,6 +17,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,13 @@ struct MonitorConfig {
   double rearm_seconds = 600.0;
   /// Workers for observe_batch (0 = DESH_THREADS env, then hardware).
   std::size_t threads = 0;
+
+  /// Returns ALL violations as "<prefix>.field: problem" messages (empty =
+  /// usable), mirroring DeshConfig::validate(). ServeConfig::validate()
+  /// reuses it with prefix "serve.monitor"; the StreamingMonitor
+  /// constructor reports the full joined list instead of one opaque blob.
+  [[nodiscard]] std::vector<std::string> validate(
+      std::string_view prefix = "monitor") const;
 };
 
 struct MonitorAlert {

@@ -33,14 +33,15 @@ inline constexpr std::uint32_t kOldestReadablePipelineFormat = 1;
 
 /// Saves a fitted pipeline under `directory` (created if absent).
 /// Errors: kInvalidArgument (pipeline not fitted), kIo (filesystem).
-Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
-                                 const std::string& directory);
+[[nodiscard]] Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
+                                               const std::string& directory);
 
 /// Reconstructs a fitted pipeline from `directory`. The returned pipeline
 /// predicts identically to the one that was saved (bit-exact parameters).
 /// Errors: kIo (missing/corrupt files), kFormatVersion (artifact newer than
 /// this build), kInvalidConfig (stored config fails validation).
-Expected<DeshPipeline> try_load_pipeline(const std::string& directory);
+[[nodiscard]] Expected<DeshPipeline> try_load_pipeline(
+    const std::string& directory);
 
 /// Pre-redesign throwing wrappers, kept for one release so existing callers
 /// compile unchanged. They throw util::InvalidArgument / util::IoError

@@ -2,6 +2,7 @@
 
 #include "chains/delta_time.hpp"
 #include "embed/skipgram.hpp"
+#include "nn/warm_start.hpp"
 #include "obs/catalog.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -49,6 +50,11 @@ Phase1Trainer& DeshPipeline::phase1() {
   return *phase1_;
 }
 
+const Phase1Trainer& DeshPipeline::phase1() const {
+  util::require(phase1_ != nullptr, "DeshPipeline: fit() has not run");
+  return *phase1_;
+}
+
 Phase2Trainer& DeshPipeline::phase2() {
   util::require(phase2_ != nullptr, "DeshPipeline: fit() has not run");
   return *phase2_;
@@ -60,6 +66,38 @@ const Phase2Trainer& DeshPipeline::phase2() const {
 }
 
 FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
+  return fit_impl(train_corpus, nullptr);
+}
+
+FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus,
+                            const DeshPipeline& warm_from) {
+  util::require(warm_from.fitted(),
+                "DeshPipeline::fit: warm_from is not fitted");
+  util::require(&warm_from != this,
+                "DeshPipeline::fit: cannot warm-start from self");
+  return fit_impl(train_corpus, &warm_from);
+}
+
+namespace {
+
+/// challenger id -> champion id (kNoWarmSource when the champion never saw
+/// the phrase). <unk> maps to <unk>: both sides reserve id 0 for it.
+std::vector<std::uint32_t> build_warm_id_map(const logs::PhraseVocab& dst,
+                                             const logs::PhraseVocab& src) {
+  std::vector<std::uint32_t> map(dst.size(), nn::kNoWarmSource);
+  map[logs::PhraseVocab::kUnknownId] = logs::PhraseVocab::kUnknownId;
+  for (std::uint32_t id = 0; id < dst.size(); ++id) {
+    if (id == logs::PhraseVocab::kUnknownId) continue;
+    const std::uint32_t s = src.encode(dst.decode(id));
+    if (s != logs::PhraseVocab::kUnknownId) map[id] = s;
+  }
+  return map;
+}
+
+}  // namespace
+
+FitReport DeshPipeline::fit_impl(const logs::LogCorpus& train_corpus,
+                                 const DeshPipeline* warm_from) {
   util::require(!train_corpus.empty(), "DeshPipeline::fit: empty corpus");
   // Child spans (skipgram.train, phase1.fit, phase2.train) nest under this
   // one, so a scrape shows the fit broken down by stage.
@@ -71,6 +109,13 @@ FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
       chains::parse_corpus(train_corpus, vocab_, /*grow_vocab=*/true);
   report.train_events = parsed.event_count;
   report.vocab_size = vocab_.size();
+
+  // Warm start: ids are assigned in first-seen order, so the same template
+  // almost never has the same id in this vocabulary and warm_from's — the
+  // copy below remaps by template, not by index.
+  std::vector<std::uint32_t> warm_map;
+  if (warm_from != nullptr)
+    warm_map = build_warm_id_map(vocab_, warm_from->vocab());
 
   // (2) Optional skip-gram pre-training of the phrase embedding space
   // (Sec 3.1: word2vec-style vectors with an asymmetric 8/3 window).
@@ -101,6 +146,13 @@ FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
     phase1_ = std::make_unique<Phase1Trainer>(config_.phase1, vocab_.size(),
                                               rng_);
     if (!pretrained.empty()) phase1_->model().embedding().load_pretrained(pretrained);
+    // Warm start wins over skip-gram init for phrases the champion trained
+    // on; new phrases keep the skip-gram (or fresh) vectors.
+    if (warm_from != nullptr)
+      nn::warm_start_parameters(phase1_->model().parameters(),
+                                warm_from->phase1().model().parameters(),
+                                warm_map, vocab_.size(),
+                                warm_from->vocab().size());
     report.phase1_loss = phase1_->fit(parsed);
     report.phase1_accuracy = phase1_->accuracy(parsed, config_.phase1.history);
     report.phase1_seconds = sw.elapsed_seconds();
@@ -131,6 +183,11 @@ FitReport DeshPipeline::fit(const logs::LogCorpus& train_corpus) {
     if (!pretrained.empty() &&
         config_.phase2.embed_dim == config_.phase1.embed_dim)
       phase2_->model().embedding().load_pretrained(pretrained);
+    if (warm_from != nullptr)
+      nn::warm_start_parameters(phase2_->model().parameters(),
+                                warm_from->phase2().model().parameters(),
+                                warm_map, vocab_.size(),
+                                warm_from->vocab().size());
     report.phase2_loss = phase2_->fit(training_chains_);
     report.phase2_seconds = sw.elapsed_seconds();
   }

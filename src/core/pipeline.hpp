@@ -57,12 +57,24 @@ class DeshPipeline {
 
   /// Non-throwing construction: ErrorCode::kInvalidConfig carrying all
   /// validation violations, or a ready-to-fit pipeline.
-  static Expected<DeshPipeline> create(DeshConfig config = {});
+  [[nodiscard]] static Expected<DeshPipeline> create(DeshConfig config = {});
 
   /// Offline training on the raw training corpus (the paper's first 30% of
   /// each system's logs). Builds the vocabulary, optionally pre-trains
   /// skip-gram embeddings, trains phases 1 and 2.
   FitReport fit(const logs::LogCorpus& train_corpus);
+
+  /// Warm-started fit for online adaptation (DESIGN.md "Online
+  /// adaptation"): same stages as fit(), but after each model is built its
+  /// weights are seeded from `warm_from`'s trained values via
+  /// nn::warm_start_parameters — embedding rows and head columns are
+  /// remapped across the two vocabularies (this pipeline's vocabulary is
+  /// rebuilt from `train_corpus`, so ids differ), LSTM weights copy
+  /// verbatim, and phrases `warm_from` never saw keep their fresh
+  /// initialization. `warm_from` must be fitted. Deterministic: for a fixed
+  /// corpus, config and warm_from, the result is bit-identical.
+  FitReport fit(const logs::LogCorpus& train_corpus,
+                const DeshPipeline& warm_from);
 
   /// Phase-3 inference over a raw test corpus. Requires fit() first.
   TestRun predict(const logs::LogCorpus& test_corpus) const;
@@ -78,6 +90,7 @@ class DeshPipeline {
   const logs::PhraseVocab& vocab() const { return vocab_; }
   const chains::PhraseLabeler& labeler() const;
   Phase1Trainer& phase1();
+  const Phase1Trainer& phase1() const;
   Phase2Trainer& phase2();
   const Phase2Trainer& phase2() const;
   /// Training failure chains (deltaT-augmented) — phase 2's input.
@@ -90,6 +103,9 @@ class DeshPipeline {
                                           const std::string&);
   friend Expected<DeshPipeline> try_load_pipeline(const std::string&);
 
+  FitReport fit_impl(const logs::LogCorpus& train_corpus,
+                     const DeshPipeline* warm_from);
+
   DeshConfig config_;
   util::Rng rng_;
   logs::PhraseVocab vocab_;
@@ -100,9 +116,10 @@ class DeshPipeline {
   bool fitted_ = false;
 };
 
-Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
-                                 const std::string& directory);
-Expected<DeshPipeline> try_load_pipeline(const std::string& directory);
+[[nodiscard]] Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
+                                               const std::string& directory);
+[[nodiscard]] Expected<DeshPipeline> try_load_pipeline(
+    const std::string& directory);
 
 /// Splits a corpus at `split_time`: records strictly before it are training
 /// (the paper's 30%/70% temporal split, Sec 4).

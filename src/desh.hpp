@@ -17,6 +17,8 @@
 //   auto server = desh::serve::InferenceServer::create(pipeline.value());
 #pragma once
 
+#include "adapt/controller.hpp"
+#include "adapt/registry.hpp"
 #include "core/config.hpp"
 #include "core/expected.hpp"
 #include "core/monitor.hpp"
@@ -87,10 +89,24 @@ namespace observability = ::desh::obs;
 
 // The serving engine is exported as the nested namespace desh::serve:
 //   serve::InferenceServer — micro-batched online inference server
-//                            (create / submit / poll_alerts / swap_model)
+//                            (create / submit / poll_alerts / swap_model /
+//                            set_tap)
 //   serve::ServeConfig     — queue bound, batch width, shed policy
 //   serve::Admission       — submit() outcome (explicit backpressure)
 //   serve::ShedPolicy      — overload drop policy
 //   serve::ServeStats      — lifetime counters snapshot
+
+// Online adaptation is exported as the nested namespace desh::adapt:
+//   adapt::AdaptController — drift detection + background retraining +
+//                            validated swap, closed-loop around a server
+//   adapt::AdaptOptions    — adapt knobs, challenger trainer config,
+//                            registry root/capacity
+//   adapt::AdaptStats      — lifecycle counters snapshot
+//   adapt::DriftDetector   — standalone sliding-window drift signals
+//   adapt::DriftStatus     — point-in-time signal view
+//   adapt::ModelRegistry   — versioned snapshots, promote/rollback
+//   adapt::ShadowReport    — champion-vs-challenger held-out scores
+// The detection thresholds themselves live in core::AdaptConfig
+// (DeshConfig::adapt), so they validate with every other config field.
 
 }  // namespace desh

@@ -245,4 +245,10 @@ ParameterList ChainModel::parameters() {
   return out;
 }
 
+ConstParameterList ChainModel::parameters() const {
+  // Same stable order as the mutable overload, re-exposed read-only.
+  ParameterList p = const_cast<ChainModel*>(this)->parameters();
+  return ConstParameterList(p.begin(), p.end());
+}
+
 }  // namespace desh::nn

@@ -104,6 +104,7 @@ class ChainModel {
   Embedding& embedding() { return embed_; }
   const ChainModelConfig& config() const { return config_; }
   ParameterList parameters();
+  ConstParameterList parameters() const;
 
  private:
   ChainModelConfig config_;

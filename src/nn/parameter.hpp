@@ -25,6 +25,9 @@ struct Parameter {
 
 /// Non-owning view over a model's parameters in a stable order.
 using ParameterList = std::vector<Parameter*>;
+/// Read-only variant: what a const model exposes (e.g. the champion side of
+/// nn::warm_start_parameters).
+using ConstParameterList = std::vector<const Parameter*>;
 
 inline void zero_grads(const ParameterList& params) {
   for (Parameter* p : params) p->zero_grad();

@@ -179,4 +179,10 @@ ParameterList PhraseModel::parameters() {
   return out;
 }
 
+ConstParameterList PhraseModel::parameters() const {
+  // Same stable order as the mutable overload, re-exposed read-only.
+  ParameterList p = const_cast<PhraseModel*>(this)->parameters();
+  return ConstParameterList(p.begin(), p.end());
+}
+
 }  // namespace desh::nn

@@ -63,6 +63,7 @@ class PhraseModel {
 
   const PhraseModelConfig& config() const { return config_; }
   ParameterList parameters();
+  ConstParameterList parameters() const;
 
  private:
   PhraseModelConfig config_;

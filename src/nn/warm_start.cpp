@@ -1,0 +1,78 @@
+#include "nn/warm_start.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+namespace {
+
+std::uint32_t map_id(std::span<const std::uint32_t> id_map, std::size_t i) {
+  if (i >= id_map.size()) return kNoWarmSource;
+  return id_map[i];
+}
+
+/// Copies src row `sr` cols [0, n) into dst row `dr`.
+void copy_row(tensor::Matrix& dst, std::size_t dr, const tensor::Matrix& src,
+              std::size_t sr, std::size_t n) {
+  std::copy_n(src.data() + sr * src.cols(), n, dst.data() + dr * dst.cols());
+}
+
+void remap_rows(tensor::Matrix& dst, const tensor::Matrix& src,
+                std::span<const std::uint32_t> id_map) {
+  const std::size_t n = std::min(dst.cols(), src.cols());
+  for (std::size_t r = 0; r < dst.rows(); ++r) {
+    const std::uint32_t s = map_id(id_map, r);
+    if (s == kNoWarmSource || s >= src.rows()) continue;
+    copy_row(dst, r, src, s, n);
+  }
+}
+
+/// `offset`: first vocabulary column (1 for the phase-2 [dt | phrases] head,
+/// 0 for the phase-1 softmax head). Columns below the offset copy verbatim.
+void remap_cols(tensor::Matrix& dst, const tensor::Matrix& src,
+                std::span<const std::uint32_t> id_map, std::size_t offset) {
+  const std::size_t rows = std::min(dst.rows(), src.rows());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < offset; ++c) dst(r, c) = src(r, c);
+    for (std::size_t c = offset; c < dst.cols(); ++c) {
+      const std::uint32_t s = map_id(id_map, c - offset);
+      if (s == kNoWarmSource || offset + s >= src.cols()) continue;
+      dst(r, c) = src(r, offset + s);
+    }
+  }
+}
+
+void copy_overlap(tensor::Matrix& dst, const tensor::Matrix& src) {
+  const std::size_t rows = std::min(dst.rows(), src.rows());
+  const std::size_t cols = std::min(dst.cols(), src.cols());
+  for (std::size_t r = 0; r < rows; ++r) copy_row(dst, r, src, r, cols);
+}
+
+}  // namespace
+
+void warm_start_parameters(const ParameterList& dst,
+                           const ConstParameterList& src,
+                           std::span<const std::uint32_t> id_map,
+                           std::size_t dst_vocab, std::size_t src_vocab) {
+  util::require(dst.size() == src.size(),
+                "warm_start_parameters: parameter count mismatch");
+  util::require(dst_vocab > 0 && src_vocab > 0,
+                "warm_start_parameters: empty vocabulary");
+  for (std::size_t p = 0; p < dst.size(); ++p) {
+    tensor::Matrix& d = dst[p]->value;
+    const tensor::Matrix& s = src[p]->value;
+    if (d.rows() == dst_vocab && s.rows() == src_vocab) {
+      remap_rows(d, s, id_map);
+    } else if (d.cols() == dst_vocab && s.cols() == src_vocab) {
+      remap_cols(d, s, id_map, /*offset=*/0);
+    } else if (d.cols() == dst_vocab + 1 && s.cols() == src_vocab + 1) {
+      remap_cols(d, s, id_map, /*offset=*/1);
+    } else {
+      copy_overlap(d, s);
+    }
+  }
+}
+
+}  // namespace desh::nn

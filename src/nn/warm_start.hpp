@@ -1,0 +1,54 @@
+// Warm-starting a challenger model from a champion's trained weights
+// (desh::adapt's background retrainer, DESIGN.md "Online adaptation").
+//
+// A challenger pipeline rebuilt from a replay buffer sees a *different*
+// vocabulary than the champion: template ids are assigned in first-seen
+// order, so the same phrase usually carries a different id in the two
+// models, and genuinely new phrases exist only in the challenger. A naive
+// same-index parameter copy would therefore graft the wrong embedding row /
+// head column onto most phrases. warm_start_parameters() instead takes an
+// id map (challenger id -> champion id, built from the two vocabularies)
+// and remaps every vocabulary-indexed dimension while copying the
+// vocabulary-independent LSTM weights verbatim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/parameter.hpp"
+
+namespace desh::nn {
+
+/// Sentinel in the id map: this destination id has no source counterpart
+/// (a phrase the champion never saw) — its freshly initialized (or
+/// skip-gram pre-trained) weights are kept.
+inline constexpr std::uint32_t kNoWarmSource = 0xffffffffu;
+
+/// Copies trained values from `src` (champion) into `dst` (challenger),
+/// pairing parameters by position — both lists must come from identically
+/// architected models, so counts and names match even though
+/// vocabulary-sized dimensions may differ.
+///
+/// Per parameter pair, the vocabulary-aware dispatch is dimensional:
+///   - rows == vocab on both sides (embedding tables): row r of dst copies
+///     row id_map[r] of src; unmapped rows are left untouched;
+///   - cols == vocab on both sides (phase-1 softmax head W and b): column
+///     c of dst copies column id_map[c] of src;
+///   - cols == vocab + 1 on both sides (phase-2 head: [dt | phrase block]):
+///     column 0 copies verbatim, column 1 + c remaps like the above;
+///   - identical shapes otherwise (LSTM stacks, hidden-sized biases):
+///     verbatim copy;
+///   - anything else: the overlapping top-left sub-matrix copies — the
+///     conservative fallback for architecture-config drift between
+///     champion and challenger (e.g. an operator widened hidden_size).
+///
+/// `id_map[i]` is the src id for dst id `i`, or kNoWarmSource. `i` may
+/// exceed id_map.size() when the destination vocabulary grew past the map
+/// (treated as unmapped). Gradients are untouched; call zero_grads before
+/// training as usual.
+void warm_start_parameters(const ParameterList& dst,
+                           const ConstParameterList& src,
+                           std::span<const std::uint32_t> id_map,
+                           std::size_t dst_vocab, std::size_t src_vocab);
+
+}  // namespace desh::nn

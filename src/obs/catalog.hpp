@@ -128,6 +128,57 @@ inline constexpr MetricDef kServeAlertLatencySeconds{
     "desh_serve_alert_latency_seconds", "histogram", "seconds",
     "Wall time from a record's admission to the alert it triggered"};
 
+// --- online adaptation (desh::adapt) --------------------------------------
+inline constexpr MetricDef kAdaptRecordsTappedTotal{
+    "desh_adapt_records_tapped_total", "counter", "records",
+    "Serve-path records consumed by the AdaptController tap"};
+inline constexpr MetricDef kAdaptOovRate{
+    "desh_adapt_oov_rate", "gauge", "fraction",
+    "Sliding-window fraction of templates the champion vocabulary encodes "
+    "to <unk>"};
+inline constexpr MetricDef kAdaptNoveltyRate{
+    "desh_adapt_novelty_rate", "gauge", "fraction",
+    "Sliding-window fraction of anomalous phrases absent from every "
+    "trained failure chain"};
+inline constexpr MetricDef kAdaptCalibrationError{
+    "desh_adapt_calibration_error", "gauge", "fraction",
+    "Sliding-window mean relative lead-time error of resolved alerts "
+    "(expired alerts count as 1.0)"};
+inline constexpr MetricDef kAdaptDriftTriggersTotal{
+    "desh_adapt_drift_triggers_total", "counter", "triggers",
+    "Drift latches raised by the DriftDetector (post-hysteresis)"};
+inline constexpr MetricDef kAdaptReplayDepth{
+    "desh_adapt_replay_depth", "gauge", "records",
+    "Current occupancy of the bounded replay buffer"};
+inline constexpr MetricDef kAdaptRetrainsTotal{
+    "desh_adapt_retrains_total", "counter", "retrains",
+    "Challenger retrains launched (drift-triggered, scheduled or forced)"};
+inline constexpr MetricDef kAdaptRetrainFailuresTotal{
+    "desh_adapt_retrain_failures_total", "counter", "retrains",
+    "Challenger retrains abandoned (e.g. no failure chains in the replay "
+    "buffer)"};
+inline constexpr MetricDef kAdaptRetrainSeconds{
+    "desh_adapt_retrain_seconds", "histogram", "seconds",
+    "Wall time of one challenger retrain (fit + shadow evaluation)"};
+inline constexpr MetricDef kAdaptShadowEvalsTotal{
+    "desh_adapt_shadow_evals_total", "counter", "evaluations",
+    "Champion-vs-challenger shadow evaluations on the held-out window"};
+inline constexpr MetricDef kAdaptPromotionsTotal{
+    "desh_adapt_promotions_total", "counter", "promotions",
+    "Challengers that beat the champion and were swapped into serving"};
+inline constexpr MetricDef kAdaptRejectionsTotal{
+    "desh_adapt_rejections_total", "counter", "rejections",
+    "Challengers that lost the shadow evaluation and were discarded"};
+inline constexpr MetricDef kAdaptRollbacksTotal{
+    "desh_adapt_rollbacks_total", "counter", "rollbacks",
+    "Post-swap probation regressions rolled back to the previous version"};
+inline constexpr MetricDef kAdaptRegistrySize{
+    "desh_adapt_registry_size", "gauge", "versions",
+    "Pipeline snapshots currently retained by the ModelRegistry"};
+inline constexpr MetricDef kAdaptChampionVersion{
+    "desh_adapt_champion_version", "gauge", "version",
+    "Registry version number of the pipeline currently serving"};
+
 /// Everything above, for exhaustive iteration (docs test, exporters demo).
 inline constexpr const MetricDef* kCatalog[] = {
     &kTrainStepsTotal,      &kTrainGradClipTotal,  &kTrainStepSeconds,
@@ -142,6 +193,12 @@ inline constexpr const MetricDef* kCatalog[] = {
     &kServeAdmittedTotal,   &kServeRejectedTotal,  &kServeShedTotal,
     &kServeQueueDepth,      &kServeBatchWidth,     &kServeBatchesTotal,
     &kServeReloadsTotal,    &kServeAlertLatencySeconds,
+    &kAdaptRecordsTappedTotal, &kAdaptOovRate,      &kAdaptNoveltyRate,
+    &kAdaptCalibrationError, &kAdaptDriftTriggersTotal, &kAdaptReplayDepth,
+    &kAdaptRetrainsTotal,   &kAdaptRetrainFailuresTotal,
+    &kAdaptRetrainSeconds,  &kAdaptShadowEvalsTotal, &kAdaptPromotionsTotal,
+    &kAdaptRejectionsTotal, &kAdaptRollbacksTotal, &kAdaptRegistrySize,
+    &kAdaptChampionVersion,
 };
 
 }  // namespace desh::obs

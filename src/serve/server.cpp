@@ -43,10 +43,9 @@ std::vector<std::string> ServeConfig::validate() const {
   if (max_batch == 0) out.push_back("serve.max_batch: must be positive");
   if (!(shed_watermark > 0.0) || shed_watermark > 1.0)
     out.push_back("serve.shed_watermark: must be in (0, 1]");
-  if (!(monitor.gap_seconds > 0))
-    out.push_back("serve.monitor.gap_seconds: must be positive");
-  if (monitor.rearm_seconds < 0)
-    out.push_back("serve.monitor.rearm_seconds: must be non-negative");
+  // One source of truth for the monitor's field checks.
+  for (std::string& v : monitor.validate("serve.monitor"))
+    out.push_back(std::move(v));
   return out;
 }
 
@@ -134,17 +133,32 @@ core::Expected<void> InferenceServer::swap_model(
   core::Expected<core::DeshPipeline> loaded =
       core::try_load_pipeline(directory);
   if (!loaded) return loaded.error();
-  auto fresh = std::make_shared<const core::DeshPipeline>(
-      std::move(loaded).value());
+  return swap_model(std::make_shared<const core::DeshPipeline>(
+      std::move(loaded).value()));
+}
+
+core::Expected<void> InferenceServer::swap_model(
+    std::shared_ptr<const core::DeshPipeline> pipeline) {
+  if (!pipeline)
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "InferenceServer: null pipeline"};
+  if (!pipeline->fitted())
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "InferenceServer: pipeline is not fitted"};
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_)
       return core::Error{core::ErrorCode::kUnavailable,
                          "InferenceServer: server is stopped"};
-    staged_pipeline_ = std::move(fresh);
+    staged_pipeline_ = std::move(pipeline);
   }
   work_cv_.notify_one();
   return {};
+}
+
+void InferenceServer::set_tap(Tap tap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  tap_ = std::move(tap);
 }
 
 std::size_t InferenceServer::shed_limit() const {
@@ -216,8 +230,8 @@ std::size_t InferenceServer::pump() {
   // Inference runs outside the queue lock: producers keep admitting while
   // the monitor chews on this micro-batch.
   std::vector<core::MonitorAlert> alerts;
+  std::vector<logs::LogRecord> records;
   if (!batch.empty()) {
-    std::vector<logs::LogRecord> records;
     records.reserve(batch.size());
     for (const Entry& e : batch) records.push_back(e.record);
     alerts = monitor_->observe_batch(records);
@@ -234,6 +248,18 @@ std::size_t InferenceServer::pump() {
         }
       }
     }
+  }
+
+  if (!batch.empty()) {
+    // Tap before the alerts move into the poll buffer. Copied out under the
+    // lock, invoked outside it: the tap may be slow (drift bookkeeping,
+    // replay appends) without ever blocking submit().
+    Tap tap;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      tap = tap_;
+    }
+    if (tap) tap(records, alerts);
   }
 
   {

@@ -30,6 +30,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -72,7 +73,7 @@ struct ServeConfig {
   core::MonitorConfig monitor;
 
   /// All violations as "field.path: problem" strings; empty when valid.
-  std::vector<std::string> validate() const;
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Outcome of a submit() call — the explicit backpressure signal.
@@ -92,18 +93,28 @@ struct ServeStats {
 
 class InferenceServer {
  public:
+  /// Post-batch observer: receives every micro-batch's processed records
+  /// and the alerts that batch raised, in processing order, after each
+  /// pump. Runs on the collector thread (or the pump() caller in manual
+  /// mode) OUTSIDE the queue lock, so a slow tap delays the next batch but
+  /// never blocks submit(). Shed and rejected records are never tapped.
+  /// This is the feed desh::adapt's drift detector and replay buffer
+  /// consume.
+  using Tap = std::function<void(std::span<const logs::LogRecord>,
+                                 std::span<const core::MonitorAlert>)>;
+
   /// Builds a server around a fitted pipeline the server co-owns (the
   /// snapshot stays alive across swap_model until in-flight batches end).
   /// Errors: kInvalidArgument (null/unfitted pipeline), kInvalidConfig
   /// (all ServeConfig violations, field-path messages).
-  static core::Expected<std::unique_ptr<InferenceServer>> create(
-      std::shared_ptr<const core::DeshPipeline> pipeline,
-      ServeConfig config = {});
+  [[nodiscard]] static core::Expected<std::unique_ptr<InferenceServer>>
+  create(std::shared_ptr<const core::DeshPipeline> pipeline,
+         ServeConfig config = {});
 
   /// Borrowing overload: the caller guarantees `pipeline` outlives the
   /// server and is not re-fitted while served.
-  static core::Expected<std::unique_ptr<InferenceServer>> create(
-      const core::DeshPipeline& pipeline, ServeConfig config = {});
+  [[nodiscard]] static core::Expected<std::unique_ptr<InferenceServer>>
+  create(const core::DeshPipeline& pipeline, ServeConfig config = {});
 
   ~InferenceServer();  // stop()s if the owner has not
 
@@ -138,7 +149,19 @@ class InferenceServer {
   /// installed — desh_serve_reloads_total ticks at install. Errors: any
   /// try_load_pipeline error (kIo, kFormatVersion, kInvalidConfig, ...) or
   /// kUnavailable after stop().
-  core::Expected<void> swap_model(const std::string& directory);
+  [[nodiscard]] core::Expected<void> swap_model(const std::string& directory);
+
+  /// In-memory overload: stages an already-built fitted pipeline (e.g. a
+  /// promoted challenger from adapt::ModelRegistry) without a disk
+  /// round-trip. Same batch-boundary install and window-state reset as the
+  /// directory overload. Errors: kInvalidArgument (null/unfitted),
+  /// kUnavailable after stop().
+  [[nodiscard]] core::Expected<void> swap_model(
+      std::shared_ptr<const core::DeshPipeline> pipeline);
+
+  /// Installs (or clears, with nullptr) the post-batch tap. Takes effect
+  /// from the next pump; thread-safe.
+  void set_tap(Tap tap);
 
   ServeStats stats() const;
 
@@ -170,6 +193,7 @@ class InferenceServer {
   std::condition_variable drained_cv_;  // queue empty and pump idle
   std::deque<Entry> queue_;
   std::vector<core::MonitorAlert> alerts_;
+  Tap tap_;  // guarded by mu_; copied out before invocation
   std::shared_ptr<const core::DeshPipeline> staged_pipeline_;
   ServeStats stats_;
   bool stopping_ = false;

@@ -1,0 +1,481 @@
+// AdaptController closed-loop tests: drift detection on a shifted stream,
+// inline (deterministic) retraining, challenger rejection, validated
+// promotion through the registry + server swap, probation rollback, and
+// bit-identical replay. The fixture trains one tiny-profile champion and
+// builds one drifted stream: the test corpus with a novel fault family
+// (absent from the champion's vocabulary) injected after every other
+// record.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "desh.hpp"
+#include "logs/generator.hpp"
+#include "logs/template_miner.hpp"
+#include "logs/vocab.hpp"
+
+namespace desh::adapt {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::DeshPipeline;
+using core::ErrorCode;
+using core::Expected;
+using core::MonitorAlert;
+
+class AdaptTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    logs::SyntheticLog log = source.generate();
+    auto [train, test] =
+        core::split_corpus(log.records, log.truth.split_time);
+    core::DeshConfig config;
+    config.phase1.epochs = 1;
+    auto fitted = std::make_shared<DeshPipeline>(config);
+    fitted->fit(train);
+    champion_ = new std::shared_ptr<const DeshPipeline>(std::move(fitted));
+
+    // The drifted stream: after every other test record, a clone carrying a
+    // novel fault message ("fault" labels it anomalous; the digits collapse
+    // to one template the champion has never seen).
+    stream_ = new logs::LogCorpus();
+    std::size_t i = 0;
+    for (const logs::LogRecord& record : test) {
+      stream_->push_back(record);
+      if (++i % 2 == 0) {
+        logs::LogRecord novel = record;
+        novel.message =
+            "widget driver fault on port " + std::to_string(i % 7);
+        novel.timestamp += 1e-3;
+        stream_->push_back(std::move(novel));
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete stream_;
+    delete champion_;
+  }
+
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/desh_adapt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// Deterministic single-swap options: inline retrain, single-threaded
+  /// challenger, fixed seed, and a cooldown long enough that at most one
+  /// retrain fires per test.
+  AdaptOptions options() const {
+    AdaptOptions o;
+    o.registry_root = root_;
+    o.trainer.phase1.epochs = 1;
+    o.trainer.threads = 1;
+    o.config.background = false;
+    o.config.oov_window = 64;
+    o.config.novelty_window = 64;
+    o.config.min_window_fill = 16;
+    o.config.hysteresis = 2;
+    o.config.oov_trigger = 0.2;
+    o.config.oov_clear = 0.05;
+    o.config.replay_capacity = 1u << 16;
+    // Deep enough for complete failure chains (the tiny-profile stream has
+    // none in its first ~200 records), early enough that the swap happens
+    // mid-stream.
+    o.config.min_replay_records = 512;
+    o.config.retrain_cooldown_records = 1u << 20;
+    o.config.probation_records = 64;
+    o.config.regression_margin = 0.10;
+    return o;
+  }
+
+  /// options() with drift detection effectively off: every window is
+  /// deeper than the whole stream, so no signal ever reaches min_fill and
+  /// only force_retrain() can launch. For tests that drive the swap
+  /// explicitly.
+  AdaptOptions quiet_options() const {
+    AdaptOptions o = options();
+    o.config.oov_window = 1u << 16;
+    o.config.novelty_window = 1u << 16;
+    o.config.calibration_window = 1u << 16;
+    o.config.min_window_fill = 1u << 16;
+    return o;
+  }
+
+  /// Replays `corpus` through on_batch in `batch` sized chunks (no alerts).
+  static void feed(AdaptController& controller,
+                   const logs::LogCorpus& corpus, std::size_t batch) {
+    for (std::size_t at = 0; at < corpus.size(); at += batch) {
+      const std::size_t n = std::min(batch, corpus.size() - at);
+      controller.on_batch(std::span(corpus.data() + at, n), {});
+    }
+  }
+
+  /// A burst of one repeated message the CURRENT champion cannot know
+  /// ("stall" labels it anomalous), timestamped after the stream's end.
+  static logs::LogCorpus regression_burst(std::size_t count) {
+    logs::LogCorpus burst;
+    logs::LogRecord base = stream_->back();
+    for (std::size_t i = 0; i < count; ++i) {
+      logs::LogRecord r = base;
+      r.message = "gizmo cache stall detected lane " + std::to_string(i % 5);
+      r.timestamp += 1.0 + static_cast<double>(i);
+      burst.push_back(std::move(r));
+    }
+    return burst;
+  }
+
+  static std::shared_ptr<const DeshPipeline>* champion_;
+  static logs::LogCorpus* stream_;
+  std::string root_;
+};
+
+std::shared_ptr<const DeshPipeline>* AdaptTest::champion_ = nullptr;
+logs::LogCorpus* AdaptTest::stream_ = nullptr;
+
+// --- construction ----------------------------------------------------------
+
+TEST_F(AdaptTest, CreateRejectsBadArguments) {
+  AdaptOptions opts = options();
+  const auto null_champion = AdaptController::create(nullptr, opts);
+  ASSERT_FALSE(null_champion.ok());
+  EXPECT_EQ(null_champion.error().code, ErrorCode::kInvalidArgument);
+
+  const auto unfitted = AdaptController::create(
+      std::make_shared<const DeshPipeline>(), opts);
+  ASSERT_FALSE(unfitted.ok());
+  EXPECT_EQ(unfitted.error().code, ErrorCode::kInvalidArgument);
+
+  AdaptOptions no_root = options();
+  no_root.registry_root.clear();
+  const auto rootless = AdaptController::create(*champion_, no_root);
+  ASSERT_FALSE(rootless.ok());
+  EXPECT_EQ(rootless.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AdaptTest, CreateListsEveryAdaptConfigViolationWithFieldPaths) {
+  AdaptOptions bad = options();
+  bad.config.oov_window = 0;
+  bad.config.oov_clear = 0.9;  // above oov_trigger: dead band inverted
+  bad.config.holdout_fraction = 1.5;
+  const auto controller = AdaptController::create(*champion_, bad);
+  ASSERT_FALSE(controller.ok());
+  EXPECT_EQ(controller.error().code, ErrorCode::kInvalidConfig);
+  EXPECT_NE(controller.error().message.find("adapt.oov_window"),
+            std::string::npos);
+  EXPECT_NE(controller.error().message.find("adapt.oov_clear"),
+            std::string::npos);
+  EXPECT_NE(controller.error().message.find("adapt.holdout_fraction"),
+            std::string::npos);
+}
+
+TEST_F(AdaptTest, CreatePublishesTheIncumbentAsVersionOne) {
+  auto controller = AdaptController::create(*champion_, options());
+  ASSERT_TRUE(controller.ok()) << controller.error().message;
+  const ModelRegistry& registry = controller.value()->registry();
+  ASSERT_TRUE(registry.champion().has_value());
+  EXPECT_EQ(*registry.champion(), 1u);
+  ASSERT_EQ(registry.entries().size(), 1u);
+  EXPECT_EQ(registry.entries()[0].note, "initial champion");
+  const AdaptStats stats = controller.value()->stats();
+  ASSERT_TRUE(stats.champion_version.has_value());
+  EXPECT_EQ(*stats.champion_version, 1u);
+  EXPECT_EQ(controller.value()->champion().get(), champion_->get());
+}
+
+// --- the closed loop, detached (no server) ---------------------------------
+
+TEST_F(AdaptTest, DriftTriggerRetrainsAndPromotesACoveringChallenger) {
+  auto controller =
+      std::move(AdaptController::create(*champion_, options())).value();
+  feed(*controller, *stream_, 64);
+  controller->wait_idle();
+
+  const AdaptStats stats = controller->stats();
+  EXPECT_EQ(stats.records_tapped, stream_->size());
+  EXPECT_GE(stats.drift_triggers, 1u);
+  EXPECT_EQ(stats.retrains, 1u);  // the cooldown absorbs later triggers
+  EXPECT_EQ(stats.shadow_evals, 1u);
+  EXPECT_EQ(stats.retrain_failures, 0u);
+  ASSERT_EQ(stats.promotions, 1u)
+      << "challenger must win: champion accuracy "
+      << stats.last_shadow.champion_accuracy << " coverage "
+      << stats.last_shadow.champion_coverage << " vs challenger accuracy "
+      << stats.last_shadow.challenger_accuracy << " coverage "
+      << stats.last_shadow.challenger_coverage;
+  EXPECT_EQ(stats.rejections, 0u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+  EXPECT_TRUE(stats.last_shadow.challenger_wins);
+  EXPECT_GT(stats.last_shadow.challenger_coverage,
+            stats.last_shadow.champion_coverage);
+
+  // Registry: v2 published with drift provenance and crowned; v1 retained
+  // as the rollback target.
+  const ModelRegistry& registry = controller->registry();
+  ASSERT_EQ(registry.entries().size(), 2u);
+  EXPECT_EQ(*registry.champion(), 2u);
+  ASSERT_TRUE(registry.previous_champion().has_value());
+  EXPECT_EQ(*registry.previous_champion(), 1u);
+  EXPECT_EQ(registry.entries()[1].note.rfind("drift:", 0), 0u)
+      << registry.entries()[1].note;
+
+  // The new champion actually speaks the shifted traffic.
+  const std::shared_ptr<const DeshPipeline> promoted =
+      controller->champion();
+  EXPECT_NE(promoted.get(), champion_->get());
+  const std::string novel_template =
+      logs::TemplateMiner::extract("widget driver fault on port 3");
+  EXPECT_EQ((*champion_)->vocab().encode(novel_template),
+            logs::PhraseVocab::kUnknownId);
+  EXPECT_NE(promoted->vocab().encode(novel_template),
+            logs::PhraseVocab::kUnknownId);
+}
+
+TEST_F(AdaptTest, ChallengerThatCannotWinIsRejected) {
+  AdaptOptions opts = quiet_options();   // we force the retrain
+  opts.config.min_score_gain = 1e6;      // nothing can clear this bar
+  auto controller =
+      std::move(AdaptController::create(*champion_, opts)).value();
+  EXPECT_FALSE(controller->force_retrain()) << "empty replay must refuse";
+  feed(*controller, *stream_, 64);
+  ASSERT_TRUE(controller->force_retrain());
+  controller->wait_idle();
+
+  const AdaptStats stats = controller->stats();
+  EXPECT_EQ(stats.retrains, 1u);
+  EXPECT_EQ(stats.shadow_evals, 1u);
+  EXPECT_EQ(stats.rejections, 1u);
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_FALSE(stats.last_shadow.challenger_wins);
+  // The loser leaves no trace: registry unchanged, champion untouched.
+  EXPECT_EQ(controller->registry().entries().size(), 1u);
+  EXPECT_EQ(*controller->registry().champion(), 1u);
+  EXPECT_EQ(controller->champion().get(), champion_->get());
+}
+
+// --- the closed loop, attached to a live server ----------------------------
+
+TEST_F(AdaptTest, RegressionDuringProbationRollsBackChampionAndServer) {
+  // The swap is forced at stream end, so probation sees only the burst.
+  AdaptOptions opts = quiet_options();
+  serve::ServeConfig serve_config;
+  serve_config.queue_capacity = stream_->size();
+  serve_config.max_batch = 128;
+  serve_config.start_collector = false;
+  auto server =
+      std::move(serve::InferenceServer::create(*champion_, serve_config)
+                    .value());
+  auto controller =
+      std::move(AdaptController::create(*champion_, opts)).value();
+  controller->attach(*server);
+
+  // Phase 1: stream everything, then retrain; the challenger covers the
+  // shifted traffic, wins the shadow eval and the server installs it at
+  // the next batch boundary.
+  for (std::size_t at = 0; at < stream_->size(); at += 128) {
+    const std::size_t n = std::min<std::size_t>(128, stream_->size() - at);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(server->submit((*stream_)[at + i]),
+                serve::Admission::kAccepted);
+    server->pump();
+  }
+  ASSERT_TRUE(controller->force_retrain());
+  controller->wait_idle();
+  server->drain();  // installs the staged challenger
+  ASSERT_EQ(controller->stats().promotions, 1u);
+  ASSERT_EQ(*controller->registry().champion(), 2u);
+  ASSERT_EQ(server->stats().reloads, 1u);
+  ASSERT_TRUE(controller->stats().probation_active);
+
+  // Phase 2: during probation the traffic shifts AGAIN, to a family even
+  // the fresh challenger has never seen. Its holdout promise is broken, so
+  // the controller rolls the registry and the server back to version 1.
+  const logs::LogCorpus burst = regression_burst(96);
+  for (const logs::LogRecord& r : burst)
+    ASSERT_EQ(server->submit(r), serve::Admission::kAccepted);
+  server->pump();   // tap sees the burst; rollback stages the old champion
+  server->drain();  // boundary: the rollback snapshot installs
+
+  const AdaptStats stats = controller->stats();
+  EXPECT_EQ(stats.rollbacks, 1u);
+  EXPECT_FALSE(stats.probation_active);
+  ASSERT_TRUE(stats.champion_version.has_value());
+  EXPECT_EQ(*stats.champion_version, 1u);
+  EXPECT_EQ(*controller->registry().champion(), 1u);
+  EXPECT_FALSE(controller->registry().previous_champion().has_value());
+  EXPECT_EQ(controller->champion().get(), champion_->get());
+  EXPECT_EQ(server->stats().reloads, 2u);
+
+  controller->stop();
+  server->stop();
+}
+
+// --- determinism -----------------------------------------------------------
+
+std::vector<std::pair<std::string, std::string>> snapshot_bytes(
+    const std::string& dir) {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream is(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    files.emplace_back(fs::relative(entry.path(), dir).string(),
+                       std::move(bytes));
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST_F(AdaptTest, FixedSeedSingleThreadedRetrainIsBitIdentical) {
+  // Two full detect->retrain->promote runs from the same champion and the
+  // same stream, in separate registries: the persisted challenger
+  // snapshots must match byte for byte (fixed seed, threads=1, inline
+  // retrain).
+  std::vector<std::string> roots = {root_ + "_a", root_ + "_b"};
+  for (const std::string& root : roots) {
+    fs::remove_all(root);
+    AdaptOptions opts = options();
+    opts.registry_root = root;
+    auto controller =
+        std::move(AdaptController::create(*champion_, opts)).value();
+    feed(*controller, *stream_, 64);
+    ASSERT_EQ(controller->stats().promotions, 1u);
+    ASSERT_EQ(*controller->registry().champion(), 2u);
+  }
+  const auto a = snapshot_bytes(roots[0] + "/v2");
+  const auto b = snapshot_bytes(roots[1] + "/v2");
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second)
+        << "snapshot file " << a[i].first << " differs between runs";
+  }
+  for (const std::string& root : roots) fs::remove_all(root);
+}
+
+void expect_same_alerts(const std::vector<MonitorAlert>& expected,
+                        const std::vector<MonitorAlert>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].node, actual[i].node);
+    EXPECT_EQ(expected[i].time, actual[i].time);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+    EXPECT_EQ(expected[i].predicted_lead_seconds,
+              actual[i].predicted_lead_seconds);
+    EXPECT_EQ(expected[i].message, actual[i].message);
+  }
+}
+
+TEST_F(AdaptTest, ServeMatchesSequentialObserveAcrossALiveSwap) {
+  const std::size_t kBatch = 64;
+  serve::ServeConfig serve_config;
+  serve_config.queue_capacity = stream_->size();
+  serve_config.max_batch = kBatch;
+  serve_config.start_collector = false;
+  auto server =
+      std::move(serve::InferenceServer::create(*champion_, serve_config)
+                    .value());
+  auto controller =
+      std::move(AdaptController::create(*champion_, options())).value();
+  controller->attach(*server);
+
+  // Chunked submit+pump; record which chunk the promoted model installed
+  // at (reloads increments at the START of that chunk's pump, so that
+  // chunk and everything after it ran under the new model, with fresh
+  // window state).
+  std::size_t swap_chunk = 0, chunks = 0;
+  for (std::size_t at = 0; at < stream_->size(); at += kBatch) {
+    const std::size_t n = std::min(kBatch, stream_->size() - at);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(server->submit((*stream_)[at + i]),
+                serve::Admission::kAccepted);
+    const std::size_t reloads_before = server->stats().reloads;
+    server->pump();
+    ++chunks;
+    if (server->stats().reloads > reloads_before) swap_chunk = chunks;
+  }
+  ASSERT_GT(swap_chunk, 0u) << "the stream must cause exactly one swap";
+  ASSERT_EQ(server->stats().reloads, 1u);
+  const std::vector<MonitorAlert> served = server->poll_alerts();
+
+  // Reference: sequential observe under the champion up to the swap
+  // boundary, then under the promoted pipeline with fresh windows.
+  const std::shared_ptr<const DeshPipeline> promoted =
+      controller->champion();
+  std::vector<MonitorAlert> expected;
+  core::StreamingMonitor before(**champion_, serve_config.monitor);
+  core::StreamingMonitor after(*promoted, serve_config.monitor);
+  std::size_t chunk = 0;
+  for (std::size_t at = 0; at < stream_->size(); at += kBatch) {
+    const std::size_t n = std::min(kBatch, stream_->size() - at);
+    ++chunk;
+    core::StreamingMonitor& monitor = chunk < swap_chunk ? before : after;
+    for (std::size_t i = 0; i < n; ++i)
+      if (auto alert = monitor.observe((*stream_)[at + i]))
+        expected.push_back(std::move(*alert));
+  }
+  ASSERT_FALSE(expected.empty()) << "fixture stream never alerted";
+  expect_same_alerts(expected, served);
+
+  controller->stop();
+  server->stop();
+}
+
+// --- background mode (TSan surface) ----------------------------------------
+
+TEST_F(AdaptTest, BackgroundRetrainNeverBlocksTheTapThread) {
+  AdaptOptions opts = quiet_options();  // force_retrain drives this test
+  opts.config.background = true;
+  serve::ServeConfig serve_config;
+  serve_config.queue_capacity = 4096;
+  auto server =
+      std::move(serve::InferenceServer::create(*champion_, serve_config)
+                    .value());  // collector thread running
+  auto controller =
+      std::move(AdaptController::create(*champion_, opts)).value();
+  controller->attach(*server);
+
+  // Prime the replay, launch a background retrain, and keep the ingest
+  // path busy while it runs: tap (collector thread), retrain thread, and
+  // this thread's stats()/drift() reads all race under TSan's eye.
+  const std::size_t half = std::min<std::size_t>(512, stream_->size() / 2);
+  for (std::size_t i = 0; i < half; ++i)
+    server->submit((*stream_)[i]);
+  server->drain();
+  ASSERT_TRUE(controller->force_retrain());
+  EXPECT_FALSE(controller->force_retrain()) << "one retrain in flight";
+  for (std::size_t i = half; i < 2 * half; ++i) {
+    server->submit((*stream_)[i]);
+    if (i % 64 == 0) {
+      (void)controller->stats();
+      (void)controller->drift();
+    }
+  }
+  server->drain();
+  controller->wait_idle();
+  const AdaptStats stats = controller->stats();
+  EXPECT_EQ(stats.retrains, 1u);
+  EXPECT_FALSE(stats.retrain_in_flight);
+  EXPECT_EQ(stats.shadow_evals + stats.retrain_failures, 1u);
+  EXPECT_EQ(stats.records_tapped, 2 * half);
+
+  // stop() detaches the tap: later traffic is served but no longer tapped.
+  controller->stop();
+  server->submit((*stream_)[0]);
+  server->drain();
+  EXPECT_EQ(controller->stats().records_tapped, 2 * half);
+  server->stop();
+}
+
+}  // namespace
+}  // namespace desh::adapt

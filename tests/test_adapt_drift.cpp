@@ -1,0 +1,259 @@
+// desh::adapt sensing-layer unit tests: DriftDetector edge cases (empty
+// window, constant stream, all-OOV burst, dead-band hysteresis) plus the
+// ReplayBuffer / split_replay plumbing the retrainer snapshots from.
+// Everything here is pure bookkeeping — no pipeline, no model fits.
+#include <gtest/gtest.h>
+
+#include "adapt/drift.hpp"
+#include "adapt/replay_buffer.hpp"
+#include "logs/record.hpp"
+
+namespace desh::adapt {
+namespace {
+
+core::AdaptConfig small_config() {
+  core::AdaptConfig config;
+  config.oov_window = 16;
+  config.novelty_window = 16;
+  config.calibration_window = 8;
+  config.min_window_fill = 4;
+  config.oov_trigger = 0.5;
+  config.oov_clear = 0.2;
+  config.novelty_trigger = 0.5;
+  config.novelty_clear = 0.2;
+  config.calibration_trigger = 0.5;
+  config.calibration_clear = 0.2;
+  config.hysteresis = 2;
+  return config;
+}
+
+// --- edge case: empty window ----------------------------------------------
+
+TEST(DriftDetector, EmptyWindowNeverTriggers) {
+  DriftDetector detector(small_config());
+  for (int i = 0; i < 100; ++i) detector.evaluate();
+  EXPECT_FALSE(detector.take_trigger());
+  EXPECT_FALSE(detector.status().drifting());
+  EXPECT_EQ(detector.status().oov_samples, 0u);
+  EXPECT_EQ(detector.status().oov_rate, 0.0);
+}
+
+TEST(DriftDetector, BelowMinFillNeverTriggersEvenAtFullScale) {
+  core::AdaptConfig config = small_config();
+  DriftDetector detector(config);
+  // min_window_fill - 1 all-OOV samples: maximal statistic, no evidence.
+  for (std::size_t i = 0; i + 1 < config.min_window_fill; ++i) {
+    detector.observe_record(true);
+    detector.evaluate();
+  }
+  EXPECT_EQ(detector.status().oov_rate, 1.0);
+  EXPECT_FALSE(detector.take_trigger());
+  EXPECT_FALSE(detector.status().drifting());
+}
+
+// --- edge case: constant in-vocabulary stream ------------------------------
+
+TEST(DriftDetector, ConstantHealthyStreamNeverTriggers) {
+  DriftDetector detector(small_config());
+  for (int i = 0; i < 500; ++i) {
+    detector.observe_record(false);
+    detector.observe_novelty(false);
+    detector.observe_calibration(0.0);
+    detector.evaluate();
+  }
+  EXPECT_FALSE(detector.take_trigger());
+  EXPECT_FALSE(detector.status().drifting());
+  EXPECT_EQ(detector.status().oov_rate, 0.0);
+  EXPECT_EQ(detector.status().novelty_rate, 0.0);
+  EXPECT_EQ(detector.status().calibration_error, 0.0);
+}
+
+// --- edge case: all-OOV burst ----------------------------------------------
+
+TEST(DriftDetector, AllOovBurstLatchesAfterHysteresis) {
+  core::AdaptConfig config = small_config();
+  DriftDetector detector(config);
+  // Fill to min_window_fill with OOV samples, then count evaluations until
+  // the latch: exactly `hysteresis` consecutive breached evaluations.
+  for (std::size_t i = 0; i < config.min_window_fill; ++i)
+    detector.observe_record(true);
+  detector.evaluate();  // breach 1 of 2
+  EXPECT_FALSE(detector.status().drifting());
+  EXPECT_FALSE(detector.take_trigger());
+  detector.evaluate();  // breach 2 of 2 -> latch
+  EXPECT_TRUE(detector.status().drifting());
+  ASSERT_EQ(detector.status().latched.size(), 1u);
+  EXPECT_EQ(detector.status().latched[0], DriftSignal::kOovRate);
+
+  // The rising edge is consumed exactly once; the latch itself stays up.
+  EXPECT_TRUE(detector.take_trigger());
+  EXPECT_FALSE(detector.take_trigger());
+  detector.evaluate();
+  EXPECT_TRUE(detector.status().drifting());
+  EXPECT_FALSE(detector.take_trigger());
+}
+
+// --- dead band -------------------------------------------------------------
+
+TEST(DriftDetector, DeadBandHoldsLatchUntilClearThreshold) {
+  core::AdaptConfig config = small_config();  // trigger 0.5, clear 0.2
+  DriftDetector detector(config);
+  for (std::size_t i = 0; i < config.oov_window; ++i)
+    detector.observe_record(true);
+  for (std::size_t i = 0; i < config.hysteresis; ++i) detector.evaluate();
+  ASSERT_TRUE(detector.status().drifting());
+  EXPECT_TRUE(detector.take_trigger());
+
+  // Dilute the window to ~0.3: between clear (0.2) and trigger (0.5).
+  // Borderline traffic must not flap the latch.
+  for (std::size_t i = 0; i < 11; ++i) detector.observe_record(false);
+  detector.evaluate();
+  EXPECT_GT(detector.status().oov_rate, config.oov_clear);
+  EXPECT_LT(detector.status().oov_rate, config.oov_trigger);
+  EXPECT_TRUE(detector.status().drifting()) << "latch dropped in dead band";
+  EXPECT_FALSE(detector.take_trigger()) << "no new rising edge in dead band";
+
+  // Dilute below clear: the latch releases, and a fresh burst re-arms it
+  // (a second rising edge).
+  for (std::size_t i = 0; i < 16; ++i) detector.observe_record(false);
+  detector.evaluate();
+  EXPECT_LE(detector.status().oov_rate, config.oov_clear);
+  EXPECT_FALSE(detector.status().drifting());
+  for (std::size_t i = 0; i < 16; ++i) detector.observe_record(true);
+  for (std::size_t i = 0; i < config.hysteresis; ++i) detector.evaluate();
+  EXPECT_TRUE(detector.take_trigger());
+}
+
+TEST(DriftDetector, NonConsecutiveBreachesDoNotLatch) {
+  core::AdaptConfig config = small_config();
+  DriftDetector detector(config);
+  for (int round = 0; round < 10; ++round) {
+    // One breached evaluation...
+    for (int i = 0; i < 16; ++i) detector.observe_record(true);
+    detector.evaluate();
+    ASSERT_FALSE(detector.status().drifting());
+    // ...interrupted before the second: the consecutive count restarts.
+    for (int i = 0; i < 16; ++i) detector.observe_record(false);
+    detector.evaluate();
+  }
+  EXPECT_FALSE(detector.take_trigger());
+}
+
+// --- the other signals share the state machine -----------------------------
+
+TEST(DriftDetector, NoveltyAndCalibrationLatchIndependently) {
+  core::AdaptConfig config = small_config();
+  DriftDetector detector(config);
+  for (std::size_t i = 0; i < 8; ++i) {
+    detector.observe_novelty(true);
+    detector.observe_calibration(0.9);
+  }
+  for (std::size_t i = 0; i < config.hysteresis; ++i) detector.evaluate();
+  ASSERT_EQ(detector.status().latched.size(), 2u);
+  EXPECT_EQ(detector.status().latched[0], DriftSignal::kNoveltyRate);
+  EXPECT_EQ(detector.status().latched[1], DriftSignal::kCalibrationError);
+  EXPECT_EQ(detector.status().oov_samples, 0u);
+  EXPECT_TRUE(detector.take_trigger());
+}
+
+TEST(DriftDetector, CalibrationSamplesClampToUnitInterval) {
+  DriftDetector detector(small_config());
+  for (int i = 0; i < 8; ++i) detector.observe_calibration(25.0);
+  detector.evaluate();
+  EXPECT_EQ(detector.status().calibration_error, 1.0);
+  detector.reset();
+  for (int i = 0; i < 8; ++i) detector.observe_calibration(-3.0);
+  detector.evaluate();
+  EXPECT_EQ(detector.status().calibration_error, 0.0);
+}
+
+TEST(DriftDetector, ResetForgetsWindowsAndLatches) {
+  core::AdaptConfig config = small_config();
+  DriftDetector detector(config);
+  for (std::size_t i = 0; i < 16; ++i) detector.observe_record(true);
+  for (std::size_t i = 0; i < config.hysteresis; ++i) detector.evaluate();
+  ASSERT_TRUE(detector.status().drifting());
+  detector.reset();
+  EXPECT_FALSE(detector.status().drifting());
+  EXPECT_EQ(detector.status().oov_samples, 0u);
+  EXPECT_EQ(detector.status().oov_rate, 0.0);
+  EXPECT_FALSE(detector.take_trigger()) << "reset must clear a pending edge";
+  for (int i = 0; i < 100; ++i) detector.evaluate();
+  EXPECT_FALSE(detector.take_trigger());
+}
+
+TEST(DriftDetector, SlidingWindowForgetsOldSamples) {
+  core::AdaptConfig config = small_config();  // oov_window = 16
+  DriftDetector detector(config);
+  for (std::size_t i = 0; i < 16; ++i) detector.observe_record(true);
+  detector.evaluate();
+  EXPECT_EQ(detector.status().oov_rate, 1.0);
+  // 16 healthy samples push every OOV sample out of the ring.
+  for (std::size_t i = 0; i < 16; ++i) detector.observe_record(false);
+  detector.evaluate();
+  EXPECT_EQ(detector.status().oov_rate, 0.0);
+  EXPECT_EQ(detector.status().oov_samples, 16u);
+}
+
+TEST(DriftSignalNames, AreStable) {
+  EXPECT_STREQ(to_string(DriftSignal::kOovRate), "oov_rate");
+  EXPECT_STREQ(to_string(DriftSignal::kNoveltyRate), "novelty_rate");
+  EXPECT_STREQ(to_string(DriftSignal::kCalibrationError),
+               "calibration_error");
+}
+
+// --- replay buffer ---------------------------------------------------------
+
+logs::LogRecord record_at(double t) {
+  logs::LogRecord r;
+  r.timestamp = t;
+  r.message = "msg " + std::to_string(t);
+  return r;
+}
+
+TEST(ReplayBuffer, BoundedFifoEvictsOldestFirst) {
+  ReplayBuffer buffer(3);
+  EXPECT_TRUE(buffer.empty());
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0}) buffer.append(record_at(t));
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.capacity(), 3u);
+  const logs::LogCorpus snap = buffer.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].timestamp, 3.0);  // oldest retained, oldest first
+  EXPECT_EQ(snap[2].timestamp, 5.0);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(SplitReplay, HoldsOutTheMostRecentFraction) {
+  logs::LogCorpus corpus;
+  for (int t = 0; t < 8; ++t) corpus.push_back(record_at(t));
+  const ReplaySplit split = split_replay(corpus, 0.25);
+  ASSERT_EQ(split.train.size(), 6u);
+  ASSERT_EQ(split.holdout.size(), 2u);
+  EXPECT_EQ(split.train.front().timestamp, 0.0);
+  EXPECT_EQ(split.holdout.front().timestamp, 6.0);  // the recent tail
+  EXPECT_EQ(split.holdout.back().timestamp, 7.0);
+}
+
+TEST(SplitReplay, GuaranteesBothSidesWhenPossible) {
+  logs::LogCorpus empty;
+  EXPECT_TRUE(split_replay(empty, 0.25).train.empty());
+  EXPECT_TRUE(split_replay(empty, 0.25).holdout.empty());
+
+  logs::LogCorpus one{record_at(1.0)};
+  const ReplaySplit single = split_replay(one, 0.25);
+  // A lone record cannot land on both sides; training data wins.
+  EXPECT_EQ(single.train.size() + single.holdout.size(), 1u);
+
+  logs::LogCorpus two{record_at(1.0), record_at(2.0)};
+  const ReplaySplit pair = split_replay(two, 0.01);
+  EXPECT_EQ(pair.train.size(), 1u);  // rounding never empties a side
+  EXPECT_EQ(pair.holdout.size(), 1u);
+  const ReplaySplit top_heavy = split_replay(two, 0.99);
+  EXPECT_EQ(top_heavy.train.size(), 1u);
+  EXPECT_EQ(top_heavy.holdout.size(), 1u);
+}
+
+}  // namespace
+}  // namespace desh::adapt

@@ -1,0 +1,205 @@
+// ModelRegistry contract tests: publish/promote/load round-trips, manifest
+// persistence across reopen, rollback semantics (including the no-ping-pong
+// rule), capacity eviction that never touches the rollback chain, and
+// format-version rejection. Shares one trained tiny-profile pipeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "adapt/registry.hpp"
+#include "core/pipeline.hpp"
+#include "logs/generator.hpp"
+
+namespace desh::adapt {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::DeshPipeline;
+using core::ErrorCode;
+using core::Expected;
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    logs::SyntheticLog log = source.generate();
+    auto [train, test] =
+        core::split_corpus(log.records, log.truth.split_time);
+    core::DeshConfig config;
+    config.phase1.epochs = 1;
+    pipeline_ = new DeshPipeline(config);
+    pipeline_->fit(train);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/desh_registry_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static DeshPipeline* pipeline_;
+  std::string root_;
+};
+
+DeshPipeline* RegistryTest::pipeline_ = nullptr;
+
+TEST_F(RegistryTest, OpenRejectsZeroCapacity) {
+  const Expected<ModelRegistry> registry = ModelRegistry::open(root_, 0);
+  ASSERT_FALSE(registry.ok());
+  EXPECT_EQ(registry.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RegistryTest, FreshRegistryStartsEmpty) {
+  Expected<ModelRegistry> registry = ModelRegistry::open(root_, 4);
+  ASSERT_TRUE(registry.ok()) << registry.error().message;
+  EXPECT_TRUE(registry.value().entries().empty());
+  EXPECT_FALSE(registry.value().champion().has_value());
+  EXPECT_FALSE(registry.value().previous_champion().has_value());
+  EXPECT_EQ(registry.value().capacity(), 4u);
+  EXPECT_EQ(registry.value().root(), root_);
+}
+
+TEST_F(RegistryTest, PublishPromoteLoadRoundTrip) {
+  ModelRegistry registry = std::move(ModelRegistry::open(root_, 4)).value();
+  const Expected<std::uint32_t> v1 =
+      registry.publish(*pipeline_, "initial champion");
+  ASSERT_TRUE(v1.ok()) << v1.error().message;
+  EXPECT_EQ(v1.value(), 1u);
+  // publish() records provenance but does NOT crown the snapshot.
+  ASSERT_EQ(registry.entries().size(), 1u);
+  EXPECT_EQ(registry.entries()[0].note, "initial champion");
+  EXPECT_FALSE(registry.champion().has_value());
+
+  ASSERT_TRUE(registry.promote(1).ok());
+  ASSERT_TRUE(registry.champion().has_value());
+  EXPECT_EQ(*registry.champion(), 1u);
+  EXPECT_FALSE(registry.previous_champion().has_value());
+
+  const Expected<DeshPipeline> loaded = registry.load(1);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_TRUE(loaded.value().fitted());
+  EXPECT_EQ(loaded.value().vocab().size(), pipeline_->vocab().size());
+  EXPECT_TRUE(fs::exists(registry.directory_of(1)));
+}
+
+TEST_F(RegistryTest, ReopenRestoresManifestState) {
+  {
+    ModelRegistry registry =
+        std::move(ModelRegistry::open(root_, 4)).value();
+    ASSERT_TRUE(registry.publish(*pipeline_, "initial champion").ok());
+    ASSERT_TRUE(registry.promote(1).ok());
+    ASSERT_TRUE(registry.publish(*pipeline_, "drift:oov_rate").ok());
+    ASSERT_TRUE(registry.promote(2).ok());
+  }
+  Expected<ModelRegistry> reopened = ModelRegistry::open(root_, 4);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().message;
+  ModelRegistry& registry = reopened.value();
+  ASSERT_EQ(registry.entries().size(), 2u);
+  EXPECT_EQ(registry.entries()[0].version, 1u);
+  EXPECT_EQ(registry.entries()[1].version, 2u);
+  EXPECT_EQ(registry.entries()[1].note, "drift:oov_rate");
+  ASSERT_TRUE(registry.champion().has_value());
+  EXPECT_EQ(*registry.champion(), 2u);
+  ASSERT_TRUE(registry.previous_champion().has_value());
+  EXPECT_EQ(*registry.previous_champion(), 1u);
+  // next_version survives the reopen: no version number is ever reissued.
+  const Expected<std::uint32_t> v3 = registry.publish(*pipeline_, "later");
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3.value(), 3u);
+}
+
+TEST_F(RegistryTest, RollbackRevertsOnceThenRequiresANewPromote) {
+  ModelRegistry registry = std::move(ModelRegistry::open(root_, 4)).value();
+  ASSERT_TRUE(registry.publish(*pipeline_, "v1").ok());
+  ASSERT_TRUE(registry.promote(1).ok());
+  ASSERT_TRUE(registry.publish(*pipeline_, "v2").ok());
+  ASSERT_TRUE(registry.promote(2).ok());
+  ASSERT_EQ(*registry.previous_champion(), 1u);
+
+  const Expected<std::uint32_t> rolled = registry.rollback();
+  ASSERT_TRUE(rolled.ok()) << rolled.error().message;
+  EXPECT_EQ(rolled.value(), 1u);
+  EXPECT_EQ(*registry.champion(), 1u);
+  // The regressed version stays for the post-mortem, but the rollback slot
+  // is spent: a second rollback cannot ping-pong back to it.
+  ASSERT_EQ(registry.entries().size(), 2u);
+  EXPECT_EQ(registry.entries()[1].version, 2u);
+  EXPECT_FALSE(registry.previous_champion().has_value());
+  const Expected<std::uint32_t> again = registry.rollback();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, ErrorCode::kUnavailable);
+
+  // A fresh promote re-arms the chain.
+  ASSERT_TRUE(registry.promote(2).ok());
+  EXPECT_EQ(*registry.champion(), 2u);
+  EXPECT_EQ(*registry.previous_champion(), 1u);
+}
+
+TEST_F(RegistryTest, PromoteAndLoadRejectUnknownVersions) {
+  ModelRegistry registry = std::move(ModelRegistry::open(root_, 4)).value();
+  ASSERT_TRUE(registry.publish(*pipeline_, "v1").ok());
+  const Expected<void> promoted = registry.promote(9);
+  ASSERT_FALSE(promoted.ok());
+  EXPECT_EQ(promoted.error().code, ErrorCode::kInvalidArgument);
+  const Expected<DeshPipeline> loaded = registry.load(9);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RegistryTest, EvictionSkipsChampionAndRollbackTarget) {
+  ModelRegistry registry = std::move(ModelRegistry::open(root_, 2)).value();
+  ASSERT_TRUE(registry.publish(*pipeline_, "v1").ok());
+  ASSERT_TRUE(registry.promote(1).ok());
+  ASSERT_TRUE(registry.publish(*pipeline_, "v2").ok());
+
+  // At capacity. v1 is champion (protected); v2 is the oldest evictable.
+  ASSERT_TRUE(registry.publish(*pipeline_, "v3").ok());
+  ASSERT_EQ(registry.entries().size(), 2u);
+  EXPECT_EQ(registry.entries()[0].version, 1u);
+  EXPECT_EQ(registry.entries()[1].version, 3u);
+  EXPECT_TRUE(fs::exists(registry.directory_of(1)));
+  EXPECT_FALSE(fs::exists(registry.directory_of(2)))
+      << "evicted snapshot directory must be removed";
+
+  // champion=3, previous=1: every retained version is protected, so a
+  // further publish refuses instead of widening the registry.
+  ASSERT_TRUE(registry.promote(3).ok());
+  const Expected<std::uint32_t> overflow =
+      registry.publish(*pipeline_, "v4");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(registry.entries().size(), 2u);
+}
+
+TEST_F(RegistryTest, FutureManifestFormatIsRejected) {
+  fs::create_directories(root_);
+  std::ofstream os(root_ + "/MANIFEST");
+  os << "format=desh-registry-" << (kRegistryFormatVersion + 1) << "\n";
+  os << "next_version=1\n";
+  os.close();
+  const Expected<ModelRegistry> registry = ModelRegistry::open(root_, 4);
+  ASSERT_FALSE(registry.ok());
+  EXPECT_EQ(registry.error().code, ErrorCode::kFormatVersion);
+}
+
+TEST_F(RegistryTest, CorruptManifestIsAnIoError) {
+  fs::create_directories(root_);
+  std::ofstream os(root_ + "/MANIFEST");
+  os << "format=desh-registry-" << kRegistryFormatVersion << "\n";
+  os << "this line has no key value structure\n";
+  os.close();
+  const Expected<ModelRegistry> registry = ModelRegistry::open(root_, 4);
+  ASSERT_FALSE(registry.ok());
+  EXPECT_EQ(registry.error().code, ErrorCode::kIo);
+}
+
+}  // namespace
+}  // namespace desh::adapt

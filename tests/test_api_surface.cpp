@@ -85,6 +85,55 @@ TEST(ConfigValidate, CatchesInvertedLeadTimeWindow) {
   EXPECT_NE(violations[0].find("phase3.decision_position"), std::string::npos);
 }
 
+TEST(ConfigValidate, CoversAdaptFieldsWithPaths) {
+  DeshConfig config;
+  config.adapt.oov_window = 0;
+  config.adapt.novelty_trigger = 1.5;
+  config.adapt.calibration_clear = 0.8;  // above trigger: dead band inverted
+  config.adapt.hysteresis = 0;
+  config.adapt.holdout_fraction = 0.0;
+  config.adapt.regression_margin = -0.1;
+  const std::vector<std::string> violations = config.validate();
+  ASSERT_GE(violations.size(), 6u);  // every bad field, not just the first
+  auto has = [&](const std::string& path) {
+    for (const std::string& v : violations)
+      if (v.find(path) != std::string::npos) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("adapt.oov_window"));
+  EXPECT_TRUE(has("adapt.novelty_trigger"));
+  EXPECT_TRUE(has("adapt.calibration_clear"));
+  EXPECT_TRUE(has("adapt.hysteresis"));
+  EXPECT_TRUE(has("adapt.holdout_fraction"));
+  EXPECT_TRUE(has("adapt.regression_margin"));
+}
+
+TEST(ConfigValidate, AdaptDefaultsFormAValidDeadBand) {
+  const DeshConfig config;
+  EXPECT_LE(config.adapt.oov_clear, config.adapt.oov_trigger);
+  EXPECT_LE(config.adapt.novelty_clear, config.adapt.novelty_trigger);
+  EXPECT_LE(config.adapt.calibration_clear,
+            config.adapt.calibration_trigger);
+  EXPECT_TRUE(config.validate().empty());
+}
+
+// MonitorConfig::validate is the shared path both StreamingMonitor and
+// serve's up-front checks report through — every violation, with a
+// caller-chosen prefix.
+TEST(ConfigValidate, MonitorConfigReportsAllViolationsWithPrefix) {
+  MonitorConfig config;
+  config.gap_seconds = 0.0;
+  config.rearm_seconds = -5.0;
+  const std::vector<std::string> defaults = config.validate();
+  ASSERT_EQ(defaults.size(), 2u);
+  EXPECT_NE(defaults[0].find("monitor.gap_seconds"), std::string::npos);
+  EXPECT_NE(defaults[1].find("monitor.rearm_seconds"), std::string::npos);
+  const std::vector<std::string> prefixed = config.validate("serve.monitor");
+  ASSERT_EQ(prefixed.size(), 2u);
+  EXPECT_NE(prefixed[0].find("serve.monitor.gap_seconds"),
+            std::string::npos);
+}
+
 // --- construction entry points --------------------------------------------
 
 TEST(PipelineCreate, ReturnsInvalidConfigWithEveryViolation) {
@@ -129,6 +178,13 @@ TEST(UmbrellaHeader, ExportsTheSupportedSurface) {
   [[maybe_unused]] serve::ServeStats serve_stats;
   [[maybe_unused]] serve::Admission admission = serve::Admission::kAccepted;
   [[maybe_unused]] serve::ShedPolicy policy = serve::ShedPolicy::kOldestFirst;
+  [[maybe_unused]] adapt::AdaptOptions adapt_options;
+  [[maybe_unused]] adapt::AdaptStats adapt_stats;
+  [[maybe_unused]] adapt::DriftStatus drift_status;
+  [[maybe_unused]] adapt::ShadowReport shadow_report;
+  [[maybe_unused]] adapt::RegistryEntry registry_entry;
+  static_assert(std::is_same_v<decltype(DeshConfig{}.adapt),
+                               core::AdaptConfig>);
   static_assert(kPipelineFormatVersion >= kOldestReadablePipelineFormat);
   // The fallible persistence surface is the Expected-returning one.
   static_assert(std::is_same_v<decltype(try_load_pipeline("")),
