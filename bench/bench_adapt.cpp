@@ -139,8 +139,16 @@ void bench_ingest_isolation(
 
   // 1-CPU containers timeshare the two threads; the floor keeps scheduler
   // jitter on a sub-microsecond baseline from failing the assertion.
+#ifdef DESH_TSAN
+  // TSan serializes instrumented threads far more aggressively (~10x), so
+  // the retrain thread steals bigger timeslices from ingest. This run
+  // checks for races, not latency isolation — widen both knobs.
+  const double floor = 200e-6;
+  const double bound = 5.0 * std::max(p99_base, floor);
+#else
   const double floor = 20e-6;
   const double bound = 1.5 * std::max(p99_base, floor);
+#endif
   std::cout << "ingest p99: baseline " << util::format_fixed(p99_base * 1e6, 2)
             << " us, during retrain "
             << util::format_fixed(p99_during * 1e6, 2) << " us (bound "

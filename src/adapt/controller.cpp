@@ -85,18 +85,23 @@ core::Expected<std::unique_ptr<AdaptController>> AdaptController::create(
       std::move(champion), std::move(options),
       std::move(registry).value()));
   // A fresh registry gets the incumbent as version 1, immediately promoted:
-  // from the very first challenger swap there is a rollback target.
-  if (!controller->registry_.champion()) {
-    core::Expected<std::uint32_t> version = controller->registry_.publish(
-        *controller->champion_, "initial champion");
-    if (!version) return version.error();
-    core::Expected<void> promoted =
-        controller->registry_.promote(version.value());
-    if (!promoted) return promoted.error();
-  }
-  controller->stats_.champion_version = controller->registry_.champion();
+  // from the very first challenger swap there is a rollback target. No other
+  // thread can see the controller yet, but the lock keeps the analysis (and
+  // the invariant) uniform.
   {
-    std::lock_guard<std::mutex> lk(controller->mu_);
+    util::LockGuard lk(controller->mu_);
+    if (!controller->registry_.champion()) {
+      core::Expected<std::uint32_t> version = controller->registry_.publish(
+          *controller->champion_, "initial champion");
+      if (!version) return version.error();
+      core::Expected<void> promoted =
+          controller->registry_.promote(version.value());
+      if (!promoted) return promoted.error();
+    }
+  }
+  {
+    util::LockGuard lk(controller->mu_);
+    controller->stats_.champion_version = controller->registry_.champion();
     controller->export_gauges_locked();
   }
   return controller;
@@ -109,6 +114,9 @@ AdaptController::AdaptController(
       detector_(options_.config),
       replay_(options_.config.replay_capacity),
       registry_(std::move(registry)) {
+  // Single-threaded construction; the lock exists for the analysis and
+  // costs one uncontended acquire.
+  util::LockGuard lk(mu_);
   rebind_champion_locked(std::move(champion));
 }
 
@@ -116,7 +124,7 @@ AdaptController::~AdaptController() { stop(); }
 
 void AdaptController::attach(serve::InferenceServer& server) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     server_ = &server;
   }
   server.set_tap([this](std::span<const logs::LogRecord> records,
@@ -156,7 +164,7 @@ void AdaptController::on_batch(std::span<const logs::LogRecord> records,
   std::string trigger_note;
   std::optional<RetrainJob> job;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     stats_.records_tapped += records.size();
     o.tapped.add(records.size());
     replay_.append(records);
@@ -283,7 +291,7 @@ AdaptController::RetrainJob AdaptController::make_job_locked(
 bool AdaptController::force_retrain() {
   std::optional<RetrainJob> job;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     if (stopping_ || retraining_ || replay_.empty()) return false;
     job = make_job_locked("forced");
   }
@@ -296,7 +304,7 @@ void AdaptController::launch(RetrainJob job) {
     run_retrain(std::move(job));
     return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   // At most one retrain is in flight (make_job_locked requires
   // !retraining_), so a joinable handle here is a finished thread.
   if (retrain_thread_.joinable()) retrain_thread_.join();
@@ -317,7 +325,7 @@ void AdaptController::run_retrain(RetrainJob job) {
   } catch (const std::exception&) {
     // Typical cause: the replay window holds no complete failure chain yet.
     // Not fatal — the stream keeps accumulating and a later trigger retries.
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     ++stats_.retrain_failures;
     o.retrain_failures.add();
     o.retrain_seconds.observe(sw.elapsed_seconds());
@@ -331,7 +339,7 @@ void AdaptController::run_retrain(RetrainJob job) {
   o.shadow_evals.add();
   o.retrain_seconds.observe(sw.elapsed_seconds());
 
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   ++stats_.shadow_evals;
   stats_.last_shadow = report;
   bool done = false;
@@ -401,37 +409,38 @@ void AdaptController::rollback_locked() {
 }
 
 void AdaptController::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] { return !retraining_; });
+  util::UniqueLock lk(mu_);
+  // Inline predicate loop so the analysis sees retraining_ read under mu_.
+  while (retraining_) idle_cv_.wait(lk);
 }
 
 void AdaptController::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     stopping_ = true;
   }
   wait_idle();
   std::thread finished;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     std::swap(finished, retrain_thread_);
   }
   if (finished.joinable()) finished.join();
   serve::InferenceServer* server = nullptr;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     std::swap(server, server_);
   }
   if (server != nullptr) server->set_tap(nullptr);
 }
 
 DriftStatus AdaptController::drift() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   return detector_.status();
 }
 
 AdaptStats AdaptController::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   AdaptStats out = stats_;
   out.retrain_in_flight = retraining_;
   out.probation_active = probation_.active;
@@ -439,7 +448,7 @@ AdaptStats AdaptController::stats() const {
 }
 
 std::shared_ptr<const core::DeshPipeline> AdaptController::champion() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   return champion_;
 }
 

@@ -25,9 +25,7 @@
 // called before the server is destroyed — stop() detaches the tap).
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -43,6 +41,7 @@
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
 #include "serve/server.hpp"
+#include "util/sync.hpp"
 
 namespace desh::adapt {
 
@@ -120,9 +119,13 @@ class AdaptController {
   DriftStatus drift() const;
   AdaptStats stats() const;
   std::shared_ptr<const core::DeshPipeline> champion() const;
-  /// Registry access for inspection/audit. Not synchronized with an
-  /// in-flight retrain: call wait_idle() first for a stable view.
-  const ModelRegistry& registry() const { return registry_; }
+  /// Registry access for inspection/audit. Unsynchronized BY DESIGN — the
+  /// documented contract is "call wait_idle() first for a stable view", so
+  /// the analysis is suppressed rather than taking mu_ here (holding the
+  /// lock for the returned reference's lifetime is impossible anyway).
+  const ModelRegistry& registry() const DESH_NO_THREAD_SAFETY_ANALYSIS {
+    return registry_;
+  }
 
  private:
   AdaptController(std::shared_ptr<const core::DeshPipeline> champion,
@@ -147,44 +150,46 @@ class AdaptController {
     std::string note;
   };
 
-  /// Rebuilds the champion-derived caches (chain phrase set). Caller holds
-  /// mu_.
+  /// Rebuilds the champion-derived caches (chain phrase set).
   void rebind_champion_locked(
-      std::shared_ptr<const core::DeshPipeline> champion);
-  /// Trigger policy for this batch. Caller holds mu_.
-  bool should_retrain_locked();
-  /// Builds the snapshot and flips retraining_. Caller holds mu_.
-  RetrainJob make_job_locked(std::string note);
-  /// Dispatches the job: dedicated thread (background) or inline. Caller
-  /// must NOT hold mu_.
-  void launch(RetrainJob job);
-  /// Fit + shadow eval + (publish/promote/swap | reject). Runs WITHOUT mu_
-  /// (on the retrain thread in background mode, inline otherwise).
-  void run_retrain(RetrainJob job);
+      std::shared_ptr<const core::DeshPipeline> champion) DESH_REQUIRES(mu_);
+  /// Trigger policy for this batch.
+  bool should_retrain_locked() DESH_REQUIRES(mu_);
+  /// Builds the snapshot and flips retraining_.
+  RetrainJob make_job_locked(std::string note) DESH_REQUIRES(mu_);
+  /// Dispatches the job: dedicated thread (background) or inline.
+  void launch(RetrainJob job) DESH_EXCLUDES(mu_);
+  /// Fit + shadow eval + (publish/promote/swap | reject). Runs on the
+  /// retrain thread in background mode, inline otherwise; takes mu_ itself.
+  void run_retrain(RetrainJob job) DESH_EXCLUDES(mu_);
   /// Probation regression: registry rollback + swap the prior champion
-  /// back in. Caller holds mu_.
-  void rollback_locked();
-  void export_gauges_locked();
+  /// back in.
+  void rollback_locked() DESH_REQUIRES(mu_);
+  void export_gauges_locked() DESH_REQUIRES(mu_);
 
   const AdaptOptions options_;
-  serve::InferenceServer* server_ = nullptr;  // non-owning; see attach()
+  serve::InferenceServer* server_  // non-owning; see attach()
+      DESH_GUARDED_BY(mu_) = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;  // retraining_ became false
-  std::shared_ptr<const core::DeshPipeline> champion_;
-  std::shared_ptr<const core::DeshPipeline> previous_champion_;
-  std::vector<bool> chain_phrases_;  // champion phrase id -> on a chain
-  DriftDetector detector_;
-  ReplayBuffer replay_;
-  ModelRegistry registry_;
-  std::unordered_map<logs::NodeId, PendingAlert> pending_alerts_;
-  Probation probation_;
-  AdaptStats stats_;
-  std::size_t last_retrain_at_records_ = 0;
-  bool retraining_ = false;
-  bool stopping_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar idle_cv_;  // retraining_ became false
+  std::shared_ptr<const core::DeshPipeline> champion_ DESH_GUARDED_BY(mu_);
+  std::shared_ptr<const core::DeshPipeline> previous_champion_
+      DESH_GUARDED_BY(mu_);
+  /// Champion phrase id -> on a chain.
+  std::vector<bool> chain_phrases_ DESH_GUARDED_BY(mu_);
+  DriftDetector detector_ DESH_GUARDED_BY(mu_);
+  ReplayBuffer replay_ DESH_GUARDED_BY(mu_);
+  ModelRegistry registry_ DESH_GUARDED_BY(mu_);
+  std::unordered_map<logs::NodeId, PendingAlert> pending_alerts_
+      DESH_GUARDED_BY(mu_);
+  Probation probation_ DESH_GUARDED_BY(mu_);
+  AdaptStats stats_ DESH_GUARDED_BY(mu_);
+  std::size_t last_retrain_at_records_ DESH_GUARDED_BY(mu_) = 0;
+  bool retraining_ DESH_GUARDED_BY(mu_) = false;
+  bool stopping_ DESH_GUARDED_BY(mu_) = false;
 
-  std::thread retrain_thread_;
+  std::thread retrain_thread_ DESH_GUARDED_BY(mu_);
 };
 
 }  // namespace desh::adapt

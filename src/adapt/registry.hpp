@@ -16,6 +16,11 @@
 // (both must survive for rollback); when every retained version is
 // protected, publish() fails with kUnavailable instead of silently
 // widening the registry.
+//
+// Threading: externally synchronized. The registry holds no lock of its own;
+// AdaptController owns the only instance and guards it with its mu_
+// (DESH_GUARDED_BY in controller.hpp). The registry() accessor documents the
+// one sanctioned unsynchronized read path.
 #pragma once
 
 #include <cstdint>

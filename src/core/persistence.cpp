@@ -163,6 +163,7 @@ Expected<void> write_chains(const std::vector<nn::ChainSequence>& chains,
 
 std::vector<nn::ChainSequence> read_chains(const std::string& path) {
   std::ifstream is(path);
+  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
   if (!is) throw util::IoError("load_pipeline: cannot open " + path);
   std::vector<nn::ChainSequence> chains;
   std::string line;
@@ -254,7 +255,9 @@ void save_pipeline(const DeshPipeline& pipeline, const std::string& directory) {
   const Expected<void> r = try_save_pipeline(pipeline, directory);
   if (r.ok()) return;
   if (r.error().code == ErrorCode::kInvalidArgument)
+    // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
     throw util::InvalidArgument(r.error().message);
+  // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
   throw util::IoError(r.error().message);
 }
 
@@ -262,7 +265,9 @@ DeshPipeline load_pipeline(const std::string& directory) {
   Expected<DeshPipeline> r = try_load_pipeline(directory);
   if (r.ok()) return std::move(r).value();
   if (r.error().code == ErrorCode::kInvalidArgument)
+    // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
     throw util::InvalidArgument(r.error().message);
+  // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
   throw util::IoError(r.error().message);
 }
 

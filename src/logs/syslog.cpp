@@ -77,6 +77,7 @@ std::string format_syslog_line(const LogRecord& record) {
 
 LogCorpus load_syslog_file(const std::string& path) {
   std::ifstream is(path);
+  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
   if (!is) throw util::IoError("load_syslog_file: cannot open " + path);
   LogCorpus corpus;
   std::string line;

@@ -26,6 +26,7 @@ T read_pod(std::ifstream& is) {
 
 void save_parameters(const ParameterList& params, const std::string& path) {
   std::ofstream os(path, std::ios::binary);
+  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
   if (!os) throw util::IoError("save_parameters: cannot open " + path);
   os.write(kMagic, sizeof(kMagic));
   write_pod<std::uint64_t>(os, params.size());
@@ -37,33 +38,40 @@ void save_parameters(const ParameterList& params, const std::string& path) {
     os.write(reinterpret_cast<const char*>(p->value.data()),
              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
   }
+  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
   if (!os) throw util::IoError("save_parameters: write failed for " + path);
 }
 
 void load_parameters(const ParameterList& params, const std::string& path) {
   std::ifstream is(path, std::ios::binary);
+  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
   if (!is) throw util::IoError("load_parameters: cannot open " + path);
   char magic[8];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    // desh-lint: allow(throw-discipline) legacy throwing I/O helper
     throw util::IoError("load_parameters: bad magic in " + path);
   const auto count = read_pod<std::uint64_t>(is);
   if (count != params.size())
+    // desh-lint: allow(throw-discipline) legacy throwing I/O helper
     throw util::IoError("load_parameters: parameter count mismatch in " + path);
   for (Parameter* p : params) {
     const auto name_len = read_pod<std::uint32_t>(is);
     std::string name(name_len, '\0');
     is.read(name.data(), name_len);
     if (name != p->name)
+      // desh-lint: allow(throw-discipline) legacy throwing I/O helper
       throw util::IoError("load_parameters: expected parameter '" + p->name +
                           "' but archive has '" + name + "'");
     const auto rows = read_pod<std::uint64_t>(is);
     const auto cols = read_pod<std::uint64_t>(is);
     if (rows != p->value.rows() || cols != p->value.cols())
+      // desh-lint: allow(throw-discipline) legacy throwing I/O helper
       throw util::IoError("load_parameters: shape mismatch for '" + p->name +
                           "'");
     is.read(reinterpret_cast<char*>(p->value.data()),
             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    // desh-lint: allow(throw-discipline) legacy throwing I/O helper
     if (!is) throw util::IoError("load_parameters: truncated archive " + path);
   }
 }

@@ -155,11 +155,14 @@ FileSink::FileSink(std::string path, double interval_seconds,
       interval_seconds_(interval_seconds > 0 ? interval_seconds : 10.0),
       registry_(registry) {
   thread_ = std::thread([this] {
-    std::unique_lock lock(mu_);
+    util::UniqueLock lock(mu_);
+    // Inline predicate loop (not a wait_for predicate lambda) so the
+    // thread-safety analysis sees stopping_ read under mu_.
     while (!stopping_) {
-      cv_.wait_for(lock, std::chrono::duration<double>(interval_seconds_),
-                   [this] { return stopping_; });
+      const bool notified = cv_.wait_for(
+          lock, std::chrono::duration<double>(interval_seconds_));
       if (stopping_) break;
+      if (notified) continue;  // spurious wake: re-check without flushing
       lock.unlock();
       flush_now();
       lock.lock();
@@ -169,7 +172,7 @@ FileSink::FileSink(std::string path, double interval_seconds,
 
 FileSink::~FileSink() {
   {
-    std::lock_guard lock(mu_);
+    util::LockGuard lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -185,6 +188,8 @@ void FileSink::flush_now() {
     out << to_json(registry_.snapshot());
   }
   std::rename(tmp.c_str(), path_.c_str());
+  // ordering: relaxed — progress statistic only; the snapshot file itself
+  // is published by the rename above (see flush_count()).
   flushes_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -6,12 +6,11 @@
 // exact strings. Sample output for both formats is in OBSERVABILITY.md.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace desh::obs {
 
@@ -45,6 +44,9 @@ class FileSink {
   /// Synchronous flush (also what the background thread calls).
   void flush_now();
   std::uint64_t flush_count() const {
+    // ordering: relaxed — a progress statistic for tests/operators; the
+    // flushed file itself is published by the rename syscall, not this
+    // counter.
     return flushes_.load(std::memory_order_relaxed);
   }
 
@@ -53,9 +55,9 @@ class FileSink {
   double interval_seconds_;
   MetricsRegistry& registry_;
   std::atomic<std::uint64_t> flushes_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stopping_ DESH_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

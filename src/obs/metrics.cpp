@@ -10,15 +10,22 @@ namespace desh::obs {
 
 namespace {
 std::atomic<bool> g_enabled{true};
-std::mutex g_sink_mu;
-std::unique_ptr<FileSink> g_sink;  // guarded by g_sink_mu
+util::Mutex g_sink_mu;
+std::unique_ptr<FileSink> g_sink DESH_GUARDED_BY(g_sink_mu);
 }  // namespace
 
-bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+bool enabled() {
+  // ordering: relaxed — the master switch is advisory; a probe racing a
+  // configure() may record (or skip) one extra sample, which telemetry
+  // tolerates by design.
+  return g_enabled.load(std::memory_order_relaxed);
+}
 
 void configure(const DeshObsConfig& config) {
+  // ordering: relaxed — see enabled(); the sink handoff below is ordered by
+  // g_sink_mu, not by this flag.
   g_enabled.store(config.enabled, std::memory_order_relaxed);
-  std::lock_guard lock(g_sink_mu);
+  util::LockGuard lock(g_sink_mu);
   g_sink.reset();  // stop (and final-flush) any previous sink first
   if (!config.flush_path.empty())
     g_sink = std::make_unique<FileSink>(config.flush_path,
@@ -28,6 +35,8 @@ void configure(const DeshObsConfig& config) {
 namespace detail {
 std::size_t thread_shard() {
   static std::atomic<std::size_t> next{0};
+  // ordering: relaxed — a round-robin ticket; two threads sharing a slot is
+  // already allowed (sharding is a contention optimisation, not a partition).
   thread_local const std::size_t slot =
       next.fetch_add(1, std::memory_order_relaxed) % kShards;
   return slot;
@@ -48,6 +57,10 @@ void Histogram::observe(double v) {
   const std::size_t bucket = static_cast<std::size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   Shard& s = shards_[detail::thread_shard()];
+  // ordering: relaxed — bucket/count/sum are three independent statistics; a
+  // concurrent scrape may see count ahead of sum (or vice versa), which the
+  // snapshot contract allows (estimates, not a transaction). Upgrading the
+  // trio to release/acquire would still not make them atomic together.
   s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   s.count.fetch_add(1, std::memory_order_relaxed);
   s.sum.fetch_add(v, std::memory_order_relaxed);
@@ -55,6 +68,8 @@ void Histogram::observe(double v) {
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  // ordering: relaxed — scrape path; see observe() for why the per-shard
+  // trio is only eventually consistent.
   for (const Shard& s : shards_)
     for (std::size_t b = 0; b < out.size(); ++b)
       out[b] += s.buckets[b].load(std::memory_order_relaxed);
@@ -63,6 +78,7 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 
 std::uint64_t Histogram::count() const {
   std::uint64_t total = 0;
+  // ordering: relaxed — scrape path, estimate by contract.
   for (const Shard& s : shards_)
     total += s.count.load(std::memory_order_relaxed);
   return total;
@@ -70,12 +86,14 @@ std::uint64_t Histogram::count() const {
 
 double Histogram::sum() const {
   double total = 0;
+  // ordering: relaxed — scrape path, estimate by contract.
   for (const Shard& s : shards_)
     total += s.sum.load(std::memory_order_relaxed);
   return total;
 }
 
 void Histogram::reset() {
+  // ordering: relaxed — reset is test-harness-only (see Counter::reset).
   for (Shard& s : shards_) {
     for (std::size_t b = 0; b <= bounds_.size(); ++b)
       s.buckets[b].store(0, std::memory_order_relaxed);
@@ -114,7 +132,7 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
 Counter& MetricsRegistry::counter(const MetricDef& def,
                                   std::string_view label_key,
                                   std::string_view label_value) {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   Entry& entry = find_or_create(def, "counter", label_key, label_value);
   if (!entry.counter) entry.counter = std::make_unique<Counter>();
   return *entry.counter;
@@ -122,7 +140,7 @@ Counter& MetricsRegistry::counter(const MetricDef& def,
 
 Gauge& MetricsRegistry::gauge(const MetricDef& def, std::string_view label_key,
                               std::string_view label_value) {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   Entry& entry = find_or_create(def, "gauge", label_key, label_value);
   if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
   return *entry.gauge;
@@ -132,7 +150,7 @@ Histogram& MetricsRegistry::histogram(const MetricDef& def,
                                       std::vector<double> bounds,
                                       std::string_view label_key,
                                       std::string_view label_value) {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   Entry& entry = find_or_create(def, "histogram", label_key, label_value);
   if (!entry.histogram)
     entry.histogram = std::make_unique<Histogram>(
@@ -142,7 +160,7 @@ Histogram& MetricsRegistry::histogram(const MetricDef& def,
 
 void MetricsRegistry::record_span(const std::string& path, double seconds) {
   if (!enabled()) return;
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   SpanStats& stats = spans_[path];
   if (stats.count == 0 || seconds < stats.min_seconds)
     stats.min_seconds = seconds;
@@ -154,7 +172,7 @@ void MetricsRegistry::record_span(const std::string& path, double seconds) {
 
 RegistrySnapshot MetricsRegistry::snapshot() const {
   RegistrySnapshot out;
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   for (const auto& [key, entry] : entries_) {
     MetricSnapshot m;
     m.name = entry.def.name;
@@ -182,7 +200,7 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   for (auto& [key, entry] : entries_) {
     if (entry.counter) entry.counter->reset();
     if (entry.gauge) entry.gauge->reset();

@@ -24,10 +24,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+// Header-only, std-only — adds no link dependency, so the "obs sits at the
+// bottom of the stack" layering survives (util links against obs, never the
+// reverse).
+#include "util/sync.hpp"
 
 #ifndef DESH_OBS_ENABLED
 #define DESH_OBS_ENABLED 1
@@ -82,16 +86,23 @@ class Counter {
  public:
   void add(std::uint64_t n = 1) {
     if (!enabled()) return;
+    // ordering: relaxed — a statistics increment publishes nothing; readers
+    // only need eventual per-shard totals, never cross-thread ordering.
     shards_[detail::thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
   }
   /// Sum over shards. Concurrent snapshots are monotonic (each shard is an
   /// atomic that only grows) but may trail in-flight increments.
   std::uint64_t value() const {
     std::uint64_t total = 0;
+    // ordering: relaxed — the sum is a point-in-time estimate by contract
+    // (monotonic but trailing); acquire would buy nothing because no
+    // non-atomic data is published through the counter.
     for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
     return total;
   }
   void reset() {
+    // ordering: relaxed — reset is test-harness-only and never runs
+    // concurrently with a reader that needs a coherent total.
     for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
   }
 
@@ -103,16 +114,28 @@ class Counter {
 /// accumulating quantities like busy-seconds).
 class Gauge {
  public:
+  // A gauge is a single atomic level with no dependent data:
+  // last-writer-wins is the documented semantics and no reader infers
+  // anything from the value but the value itself, so every access below is
+  // relaxed.
   void set(double v) {
     if (!enabled()) return;
+    // ordering: relaxed — see class comment.
     value_.store(v, std::memory_order_relaxed);
   }
   void add(double d) {
     if (!enabled()) return;
+    // ordering: relaxed — see class comment.
     value_.fetch_add(d, std::memory_order_relaxed);
   }
-  double value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  double value() const {
+    // ordering: relaxed — see class comment.
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    // ordering: relaxed — see class comment.
+    value_.store(0.0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> value_{0.0};
@@ -213,11 +236,14 @@ class MetricsRegistry {
   };
   Entry& find_or_create(const MetricDef& def, std::string_view kind,
                         std::string_view label_key,
-                        std::string_view label_value);
+                        std::string_view label_value) DESH_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;      // key: name + '\0' + label
-  std::map<std::string, SpanStats> spans_;
+  mutable util::Mutex mu_;
+  // The registration/scrape slow paths lock; the returned Counter/Gauge/
+  // Histogram references are internally atomic, so call sites never lock.
+  std::map<std::string, Entry> entries_  // key: name + '\0' + label
+      DESH_GUARDED_BY(mu_);
+  std::map<std::string, SpanStats> spans_ DESH_GUARDED_BY(mu_);
 };
 
 #else  // !DESH_OBS_ENABLED — every type collapses to an inline no-op.

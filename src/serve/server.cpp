@@ -88,7 +88,7 @@ InferenceServer::~InferenceServer() { stop(); }
 Admission InferenceServer::submit(const logs::LogRecord& record) {
   ServeObs& obs = ServeObs::get();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     if (stopping_) return Admission::kStopped;
     if (queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
@@ -115,14 +115,14 @@ std::size_t InferenceServer::submit_batch(
 }
 
 std::vector<core::MonitorAlert> InferenceServer::poll_alerts() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   std::vector<core::MonitorAlert> out = std::move(alerts_);
   alerts_.clear();
   return out;
 }
 
 ServeStats InferenceServer::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   ServeStats out = stats_;
   out.queue_depth = queue_.size();
   return out;
@@ -146,7 +146,7 @@ core::Expected<void> InferenceServer::swap_model(
     return core::Error{core::ErrorCode::kInvalidArgument,
                        "InferenceServer: pipeline is not fitted"};
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     if (stopping_)
       return core::Error{core::ErrorCode::kUnavailable,
                          "InferenceServer: server is stopped"};
@@ -157,7 +157,7 @@ core::Expected<void> InferenceServer::swap_model(
 }
 
 void InferenceServer::set_tap(Tap tap) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   tap_ = std::move(tap);
 }
 
@@ -203,7 +203,7 @@ std::size_t InferenceServer::pump() {
   std::shared_ptr<const core::DeshPipeline> retiring;
   std::vector<Entry> batch;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     pumping_ = true;
     if (staged_pipeline_) {
       // Batch boundary: no inference is in flight, so the old snapshot can
@@ -256,14 +256,14 @@ std::size_t InferenceServer::pump() {
     // replay appends) without ever blocking submit().
     Tap tap;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      util::LockGuard lk(mu_);
       tap = tap_;
     }
     if (tap) tap(records, alerts);
   }
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     if (!batch.empty()) ++stats_.batches;
     stats_.processed += batch.size();
     stats_.alerts += alerts.size();
@@ -277,10 +277,11 @@ std::size_t InferenceServer::pump() {
 void InferenceServer::collector_loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] {
-        return stopping_ || !queue_.empty() || staged_pipeline_ != nullptr;
-      });
+      util::UniqueLock lk(mu_);
+      // Inline predicate loop so the thread-safety analysis sees the
+      // guarded reads happen under mu_.
+      while (!stopping_ && queue_.empty() && staged_pipeline_ == nullptr)
+        work_cv_.wait(lk);
       // The predicate held, so an empty idle state here means stop: drain
       // finished, no swap staged.
       if (queue_.empty() && !staged_pipeline_) return;
@@ -295,15 +296,14 @@ void InferenceServer::drain() {
     }
     return;
   }
-  std::unique_lock<std::mutex> lk(mu_);
-  drained_cv_.wait(lk, [&] {
-    return queue_.empty() && !staged_pipeline_ && !pumping_;
-  });
+  util::UniqueLock lk(mu_);
+  while (!queue_.empty() || staged_pipeline_ != nullptr || pumping_)
+    drained_cv_.wait(lk);
 }
 
 void InferenceServer::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::LockGuard lk(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();

@@ -27,12 +27,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -42,6 +40,7 @@
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
 #include "logs/record.hpp"
+#include "util/sync.hpp"
 
 namespace desh::serve {
 
@@ -180,24 +179,31 @@ class InferenceServer {
   };
 
   void collector_loop();
-  /// Drops queue overflow down to the shed watermark. Caller holds mu_.
-  void shed_locked();
+  /// Drops queue overflow down to the shed watermark.
+  void shed_locked() DESH_REQUIRES(mu_);
   std::size_t shed_limit() const;
 
   ServeConfig config_;
+  // pipeline_/monitor_ are pump-serialized, not mutex-guarded: they are
+  // swapped inside pump() under mu_ (batch boundary) but *read* by the same
+  // single pumper outside the lock while inference runs. Annotating them
+  // DESH_GUARDED_BY(mu_) would be a lie — the contract is "one pump() at a
+  // time" (collector thread, or the manual-mode caller), enforced by
+  // pumping_ below.
   std::shared_ptr<const core::DeshPipeline> pipeline_;
   std::unique_ptr<core::StreamingMonitor> monitor_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;     // queue non-empty / swap staged / stop
-  std::condition_variable drained_cv_;  // queue empty and pump idle
-  std::deque<Entry> queue_;
-  std::vector<core::MonitorAlert> alerts_;
-  Tap tap_;  // guarded by mu_; copied out before invocation
-  std::shared_ptr<const core::DeshPipeline> staged_pipeline_;
-  ServeStats stats_;
-  bool stopping_ = false;
-  bool pumping_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;     // queue non-empty / swap staged / stop
+  util::CondVar drained_cv_;  // queue empty and pump idle
+  std::deque<Entry> queue_ DESH_GUARDED_BY(mu_);
+  std::vector<core::MonitorAlert> alerts_ DESH_GUARDED_BY(mu_);
+  Tap tap_ DESH_GUARDED_BY(mu_);  // copied out before invocation
+  std::shared_ptr<const core::DeshPipeline> staged_pipeline_
+      DESH_GUARDED_BY(mu_);
+  ServeStats stats_ DESH_GUARDED_BY(mu_);
+  bool stopping_ DESH_GUARDED_BY(mu_) = false;
+  bool pumping_ DESH_GUARDED_BY(mu_) = false;
 
   std::thread collector_;
 };

@@ -29,6 +29,7 @@ class IoError : public Error {
 /// Throws InvalidArgument with `what` when `cond` is false. Used to express
 /// preconditions in public APIs (kept in release builds, unlike assert).
 inline void require(bool cond, const std::string& what) {
+  // desh-lint: allow(throw-discipline) require() is the sanctioned thrower
   if (!cond) throw InvalidArgument(what);
 }
 

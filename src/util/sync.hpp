@@ -1,0 +1,167 @@
+// Synchronization wrappers with Clang thread-safety (capability) annotations
+// — the statically checked locking layer every Desh subsystem uses instead of
+// raw <mutex> primitives (desh_lint rule `raw-sync` enforces this; the one
+// std::mutex instance in the tree lives inside Mutex below).
+//
+// On Clang the annotations turn the locking conventions PR1–PR4 established
+// by hand into compile errors: a field marked DESH_GUARDED_BY(mu_) cannot be
+// read or written without mu_ held, and a function marked DESH_REQUIRES(mu_)
+// cannot be called without it. The build enables
+// -Wthread-safety -Werror=thread-safety, so a violation fails the Clang CI
+// leg (tests/compile_fail proves the rejection actually fires). On GCC every
+// macro expands to nothing and the wrappers are zero-cost forwarding shims —
+// same codegen as the raw primitives they replace.
+//
+// This header is deliberately header-only and standard-library-only: util
+// links against obs, never the reverse, yet obs' registry locks through
+// these wrappers too. A header with no link dependency keeps that layering
+// intact (see src/obs/CMakeLists.txt).
+//
+// Idiom summary (DESIGN.md "Correctness tooling"):
+//   util::Mutex mu_;
+//   int depth_ DESH_GUARDED_BY(mu_);            // field needs mu_
+//   void pump_locked() DESH_REQUIRES(mu_);      // caller must hold mu_
+//   { util::LockGuard lock(mu_); ++depth_; }    // scoped acquire
+//   util::UniqueLock lk(mu_);                   // relockable scope (CondVar)
+//   while (!ready_) cv_.wait(lk);               // inline predicate loop, so
+//                                               // the analysis sees the lock
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros. Active only under Clang's -Wthread-safety analysis;
+// no-ops everywhere else (GCC has no equivalent attribute family).
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define DESH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DESH_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" names it in
+/// diagnostics).
+#define DESH_CAPABILITY(x) DESH_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define DESH_SCOPED_CAPABILITY DESH_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be accessed while holding `x`.
+#define DESH_GUARDED_BY(x) DESH_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define DESH_PT_GUARDED_BY(x) DESH_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held by the caller.
+#define DESH_REQUIRES(...) \
+  DESH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define DESH_ACQUIRE(...) \
+  DESH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities (no longer held on return).
+#define DESH_RELEASE(...) \
+  DESH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `result`.
+#define DESH_TRY_ACQUIRE(result, ...) \
+  DESH_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/// Function must be called WITHOUT the listed capabilities (deadlock guard).
+#define DESH_EXCLUDES(...) DESH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Returns a reference to the capability guarding the annotated object.
+#define DESH_RETURN_CAPABILITY(x) DESH_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch for functions whose locking discipline the analysis cannot
+/// express (document why at every use site).
+#define DESH_NO_THREAD_SAFETY_ANALYSIS \
+  DESH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace desh::util {
+
+/// Annotated exclusive mutex. Same semantics and cost as the std::mutex it
+/// wraps; lock()/unlock()/try_lock() satisfy the Cpp17Lockable requirements
+/// (tests/test_sync.cpp pins the equivalence).
+class DESH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DESH_ACQUIRE() { mu_.lock(); }
+  void unlock() DESH_RELEASE() { mu_.unlock(); }
+  bool try_lock() DESH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for CondVar's native wait. Intentionally not
+  /// public API for locking — going around the annotations defeats them.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;  // desh-lint: allow(raw-sync) the one wrapped instance
+};
+
+/// RAII lock for the plain acquire-in-ctor / release-in-dtor case —
+/// std::lock_guard with the scoped-capability annotation.
+class DESH_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) DESH_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() DESH_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that can be dropped and re-taken mid-scope (FileSink's flush
+/// loop) and that CondVar can wait on — std::unique_lock, annotated. Always
+/// constructed locked.
+class DESH_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DESH_ACQUIRE(mu)
+      : mu_(mu), lk_(mu.native()) {}
+  ~UniqueLock() DESH_RELEASE() {}  // lk_ releases iff still held
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void unlock() DESH_RELEASE() { lk_.unlock(); }
+  void lock() DESH_ACQUIRE() { lk_.lock(); }
+
+  /// The wrapped handle, for CondVar only.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lk_;  // desh-lint: allow(raw-sync) wrapped
+};
+
+/// Condition variable over Mutex/UniqueLock. No predicate overloads on
+/// purpose: a predicate lambda is analyzed as its own function, where Clang
+/// cannot see the held lock, so guarded reads inside it would warn. Callers
+/// write the standard inline loop instead, which the analysis understands:
+///
+///   util::UniqueLock lk(mu_);
+///   while (!condition_involving_guarded_state()) cv_.wait(lk);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lk` and blocks; re-acquired on return. Spurious
+  /// wakeups happen — always wait in a predicate loop.
+  void wait(UniqueLock& lk) { cv_.wait(lk.native()); }
+
+  /// wait() with a timeout; returns false on timeout, true when notified
+  /// (or spuriously woken) earlier.
+  template <typename Rep, typename Period>
+  bool wait_for(UniqueLock& lk,
+                const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lk.native(), timeout) == std::cv_status::no_timeout;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // desh-lint: allow(raw-sync) wrapped
+};
+
+}  // namespace desh::util

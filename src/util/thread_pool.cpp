@@ -41,7 +41,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -52,8 +52,8 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
   while (true) {
     std::function<void(std::size_t)> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -65,16 +65,22 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
 void ThreadPool::drain(ParallelJob& job, std::size_t worker_id) {
   Stopwatch busy;
   while (true) {
+    // ordering: relaxed — `next` is only a work-claim ticket counter; the
+    // job's body/n fields were published by the queue mutex at enqueue.
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) break;
     try {
       (*job.body)(i, worker_id);
     } catch (...) {
-      std::lock_guard lock(job.mu);
+      LockGuard lock(job.mu);
       if (!job.error) job.error = std::current_exception();
     }
+    // ordering: acq_rel — the release half publishes this item's body
+    // writes to the parallel_for caller (whose wait loop loads `done` with
+    // acquire); the acquire half chains earlier items through the counter's
+    // release sequence.
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
-      std::lock_guard lock(job.mu);
+      LockGuard lock(job.mu);
       job.cv.notify_all();
     }
   }
@@ -102,7 +108,7 @@ void ThreadPool::parallel_for(
   job->body = &body;
   job->n = n;
   {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     require(!stopping_, "ThreadPool::parallel_for: pool is shutting down");
     // One helper entry per pool thread; each drains items until none remain,
     // so idle threads cost one no-op pass and busy ones share the range.
@@ -113,10 +119,11 @@ void ThreadPool::parallel_for(
   cv_.notify_all();
   drain(*job, 0);  // the caller is worker 0
   {
-    std::unique_lock lock(job->mu);
-    job->cv.wait(lock, [&] {
-      return job->done.load(std::memory_order_acquire) == job->n;
-    });
+    UniqueLock lock(job->mu);
+    // ordering: acquire — pairs with drain()'s acq_rel fetch_add so every
+    // worker's body writes happen-before the caller returns.
+    while (job->done.load(std::memory_order_acquire) != job->n)
+      job->cv.wait(lock);
     if (job->error) std::rethrow_exception(job->error);
   }
   jobs_total.add();
@@ -143,7 +150,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     return future;
   }
   {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     require(!stopping_, "ThreadPool::submit: pool is shutting down");
     queue_.emplace_back([this, packaged,
                          enqueued = Stopwatch()](std::size_t worker_id) {

@@ -11,16 +11,15 @@
 //    rethrown on the calling thread after the loop completes.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace desh::util {
 
@@ -61,9 +60,9 @@ class ThreadPool {
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;  // first exception, guarded by mu
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error DESH_GUARDED_BY(mu);  // first exception only
   };
 
   void worker_loop(std::size_t worker_id);
@@ -75,10 +74,11 @@ class ThreadPool {
   /// work claiming is unchanged, so determinism guarantees hold).
   std::vector<obs::Gauge*> worker_busy_;
   std::vector<std::thread> threads_;
-  std::deque<std::function<void(std::size_t)>> queue_;  // arg: worker_id
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void(std::size_t)>> queue_  // arg: worker_id
+      DESH_GUARDED_BY(mu_);
+  bool stopping_ DESH_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace desh::util

@@ -1,0 +1,34 @@
+# Expected-to-fail compile check for the thread-safety annotations.
+# Invoked by ctest (label `lint`) as:
+#   cmake -DCLANGXX=<clang++> -DREPO_SRC=<repo>/src -DCASE_DIR=<this dir>
+#         -P check.cmake
+# Passes iff the positive control compiles AND the violation case is
+# rejected *by the thread-safety analysis* (not by an unrelated error).
+set(FLAGS -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    -I${REPO_SRC})
+
+execute_process(
+  COMMAND ${CLANGXX} ${FLAGS} ${CASE_DIR}/guarded_access_ok.cpp
+  RESULT_VARIABLE ok_result
+  ERROR_VARIABLE ok_stderr)
+if(NOT ok_result EQUAL 0)
+  message(FATAL_ERROR
+    "positive control failed to compile — toolchain problem, the "
+    "expected-failure below would prove nothing:\n${ok_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CLANGXX} ${FLAGS} ${CASE_DIR}/guarded_access_violation.cpp
+  RESULT_VARIABLE bad_result
+  ERROR_VARIABLE bad_stderr)
+if(bad_result EQUAL 0)
+  message(FATAL_ERROR
+    "unannotated guarded access COMPILED — the thread-safety analysis is "
+    "not rejecting violations")
+endif()
+if(NOT bad_stderr MATCHES "thread-safety")
+  message(FATAL_ERROR
+    "violation case failed for the wrong reason (expected a thread-safety "
+    "diagnostic):\n${bad_stderr}")
+endif()
+message(STATUS "thread-safety analysis rejects unannotated guarded access")

@@ -1,0 +1,19 @@
+// Positive control for check.cmake: identical shape to the violation case,
+// but the guarded field is read under its lock — must compile clean. If
+// this fails, the toolchain (not the annotation) is broken, and the
+// expected-failure result from the violation case would prove nothing.
+#include "util/sync.hpp"
+
+class Account {
+ public:
+  int balance() const {
+    desh::util::LockGuard lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable desh::util::Mutex mu_;
+  int balance_ DESH_GUARDED_BY(mu_) = 0;
+};
+
+int probe() { return Account{}.balance(); }

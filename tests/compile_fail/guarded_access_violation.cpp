@@ -1,0 +1,16 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror=thread-safety:
+// reads a DESH_GUARDED_BY field without holding its mutex. The paired
+// check.cmake asserts the rejection actually happens (a no-op macro
+// expansion would let this slip through silently).
+#include "util/sync.hpp"
+
+class Account {
+ public:
+  int balance() const { return balance_; }  // BAD: mu_ not held
+
+ private:
+  mutable desh::util::Mutex mu_;
+  int balance_ DESH_GUARDED_BY(mu_) = 0;
+};
+
+int probe() { return Account{}.balance(); }

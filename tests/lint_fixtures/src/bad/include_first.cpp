@@ -1,0 +1,6 @@
+// Seeded include-first violation: the sibling header is not included first.
+#include <vector>
+
+#include "bad/include_first.hpp"
+
+int forty_two() { return 42; }

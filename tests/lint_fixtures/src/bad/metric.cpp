@@ -1,0 +1,4 @@
+// Seeded metric-catalog violation: a metric string no catalog declares.
+#include <string>
+
+std::string undeclared_metric() { return "desh_phantom_total"; }

@@ -1,0 +1,6 @@
+// Seeded ordering-comment violation: a relaxed load with no justification.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+int peek() { return g_counter.load(std::memory_order_relaxed); }

@@ -1,0 +1,4 @@
+// Seeded raw-sync violation: a std::mutex outside util/sync.hpp.
+#include <mutex>
+
+std::mutex g_bad_mutex;

@@ -1,0 +1,4 @@
+// Seeded rng-discipline violation: libc rand outside util/rng.
+#include <cstdlib>
+
+int roll() { return std::rand(); }

@@ -1,0 +1,4 @@
+// Seeded throw-discipline violation: an unwaived throw.
+#include <stdexcept>
+
+void explode() { throw std::runtime_error("boom"); }

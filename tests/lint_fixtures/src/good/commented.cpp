@@ -1,0 +1,19 @@
+// Negative space for the scrubber: rule-triggering text inside comments and
+// string literals must NOT fire. std::mutex, throw, std::rand() — all prose.
+#include <atomic>
+#include <string>
+
+// A proper ordering comment covers a contiguous block of atomics:
+std::atomic<int> g_a{0}, g_b{0};
+
+int covered() {
+  // ordering: relaxed — fixture statistics, nothing published.
+  const int a = g_a.load(std::memory_order_relaxed);
+  const int b = g_b.load(std::memory_order_relaxed);
+  return a + b;
+}
+
+std::string prose() { return "this throw and std::mutex are just words"; }
+
+// seq_cst is the default and needs no comment:
+int strict() { return g_a.load(std::memory_order_seq_cst); }

@@ -1,0 +1,28 @@
+// Every rule violated once — and waived once. This file must stay silent.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+// desh-lint: allow(raw-sync) fixture: waiver on the line above
+std::mutex g_waived_mutex;
+
+void waived_throw() {
+  // desh-lint: allow(throw-discipline) fixture: waiver on the line above
+  throw std::runtime_error("waived");
+}
+
+int waived_rand() { return std::rand(); }  // desh-lint: allow(rng-discipline)
+
+std::string waived_metric() {
+  // desh-lint: allow(metric-catalog) fixture: waiver on the line above
+  return "desh_waived_total";
+}
+
+std::atomic<int> g_level{0};
+
+int waived_ordering() {
+  // desh-lint: allow(ordering-comment) fixture: no ordering: text here
+  return g_level.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,5 @@
+// Fixture catalog: two declared metric families.
+#pragma once
+
+inline constexpr const char* kFixtureTotal = "desh_fixture_total";
+inline constexpr const char* kFixtureSeconds = "desh_fixture_seconds";

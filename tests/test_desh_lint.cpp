@@ -1,0 +1,132 @@
+// tools/desh_lint behavioral contract, pinned against the fixture tree in
+// tests/lint_fixtures/ (one seeded violation per rule + one waived
+// counterpart per rule):
+//   - every rule fires EXACTLY once, at the seeded file;
+//   - waivers suppress (src/good/ stays silent);
+//   - exit codes are stable: 0 clean, 1 findings, 2 usage error;
+//   - the --json report shape is machine-readable and stable.
+// The real tree staying clean is a separate ctest (desh_lint_tree, label
+// `lint`) so a convention regression points at the offending file, not at
+// this fixture test.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs `DESH_LINT_BIN <args>`, capturing stdout. The capture file is
+/// pid-unique: ctest runs each TEST as its own process, and a shared path
+/// would race under `ctest -j`.
+RunResult run_lint(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "/desh_lint_out." +
+                               std::to_string(::getpid()) + ".txt";
+  const std::string cmd =
+      std::string(DESH_LINT_BIN) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream is(out_path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  result.output = buffer.str();
+  std::remove(out_path.c_str());
+  return result;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(DeshLint, EveryRuleFiresExactlyOnceOnTheFixtureTree) {
+  const RunResult r =
+      run_lint("--root " + std::string(DESH_LINT_FIXTURE) + " --json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const struct {
+    const char* rule;
+    const char* file;
+  } expected[] = {
+      {"metric-catalog", "src/bad/metric.cpp"},
+      {"throw-discipline", "src/bad/throw.cpp"},
+      {"raw-sync", "src/bad/rawsync.cpp"},
+      {"rng-discipline", "src/bad/rng.cpp"},
+      {"include-first", "src/bad/include_first.cpp"},
+      {"ordering-comment", "src/bad/ordering.cpp"},
+  };
+  for (const auto& e : expected) {
+    EXPECT_EQ(count_occurrences(
+                  r.output, "\"rule\": \"" + std::string(e.rule) + "\""),
+              1u)
+        << "rule " << e.rule << " did not fire exactly once:\n"
+        << r.output;
+    EXPECT_NE(r.output.find(e.file), std::string::npos)
+        << "rule " << e.rule << " did not point at " << e.file << ":\n"
+        << r.output;
+  }
+  // 6 rules, 6 findings — nothing extra fired.
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 6u) << r.output;
+}
+
+TEST(DeshLint, WaiversSuppressEveryRule) {
+  const RunResult r =
+      run_lint("--root " + std::string(DESH_LINT_FIXTURE) + " --json");
+  // src/good/ holds one waived violation per rule plus comment/string
+  // decoys; none may appear in the report.
+  EXPECT_EQ(r.output.find("src/good/"), std::string::npos) << r.output;
+}
+
+TEST(DeshLint, JsonReportShapeIsStable) {
+  const RunResult r =
+      run_lint("--root " + std::string(DESH_LINT_FIXTURE) + " --json");
+  ASSERT_FALSE(r.output.empty());
+  EXPECT_EQ(r.output.front(), '[');
+  EXPECT_EQ(r.output[r.output.size() - 2], ']');  // trailing newline after ]
+  // Every finding carries the full field set, in stable order.
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 6u);
+  EXPECT_EQ(count_occurrences(r.output, "\"file\""), 6u);
+  EXPECT_EQ(count_occurrences(r.output, "\"line\""), 6u);
+  EXPECT_EQ(count_occurrences(r.output, "\"message\""), 6u);
+  // Findings are sorted by (file, line, rule): include_first.cpp first.
+  EXPECT_LT(r.output.find("include_first.cpp"), r.output.find("metric.cpp"));
+}
+
+TEST(DeshLint, TextReportNamesRuleAndLocation) {
+  const RunResult r =
+      run_lint("--root " + std::string(DESH_LINT_FIXTURE));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("src/bad/throw.cpp:4: [throw-discipline]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("desh_lint: 6 findings"), std::string::npos)
+      << r.output;
+}
+
+TEST(DeshLint, RealTreeIsCleanAndExitsZero) {
+  const RunResult r = run_lint("--root " + std::string(DESH_SOURCE_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(DeshLint, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_lint("--no-such-flag").exit_code, 2);
+  // A root without src/ is a configuration error, not "clean".
+  EXPECT_EQ(run_lint("--root " + ::testing::TempDir()).exit_code, 2);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// util/sync.hpp: the annotated wrappers must behave exactly like the std
+// primitives they wrap — lock/unlock/try_lock semantics, RAII scoping,
+// CondVar wakeups — because every subsystem's locking now routes through
+// them. The *static* side (annotation violations rejected under Clang) is
+// covered by tests/compile_fail; this file pins the runtime side.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace {
+
+using desh::util::CondVar;
+using desh::util::LockGuard;
+using desh::util::Mutex;
+using desh::util::UniqueLock;
+
+TEST(Sync, TryLockMatchesStdMutexSemantics) {
+  Mutex mu;
+  // Uncontended: try_lock succeeds and takes ownership.
+  ASSERT_TRUE(mu.try_lock());
+  // Contended (from another thread — self-try_lock is UB on std::mutex):
+  // try_lock must fail and must NOT block.
+  std::atomic<int> result{-1};
+  std::thread t([&] { result = mu.try_lock() ? 1 : 0; });
+  t.join();
+  EXPECT_EQ(result.load(), 0);
+  mu.unlock();
+  // Released: another thread can take it again.
+  std::thread t2([&] {
+    if (mu.try_lock()) {
+      result = 2;
+      mu.unlock();
+    }
+  });
+  t2.join();
+  EXPECT_EQ(result.load(), 2);
+}
+
+TEST(Sync, LockGuardExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  int counter = 0;  // non-atomic on purpose: the lock is the protection
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        LockGuard lock(mu);
+        ++counter;
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(Sync, LockGuardReleasesOnScopeExit) {
+  Mutex mu;
+  { LockGuard lock(mu); }
+  EXPECT_TRUE(mu.try_lock());  // scope exit released it
+  mu.unlock();
+}
+
+TEST(Sync, UniqueLockRelocksMidScope) {
+  Mutex mu;
+  UniqueLock lock(mu);  // constructed locked
+  lock.unlock();
+  EXPECT_TRUE(mu.try_lock());  // really released
+  mu.unlock();
+  lock.lock();  // re-acquire through the wrapper
+  std::atomic<bool> other_got_it{false};
+  std::thread t([&] { other_got_it = mu.try_lock(); });
+  t.join();
+  EXPECT_FALSE(other_got_it.load());  // really held again
+  // Destructor releases the re-acquired lock — no deadlock, next line runs.
+}
+
+TEST(Sync, CondVarWaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    UniqueLock lock(mu);
+    while (!ready) cv.wait(lock);  // the inline-loop idiom sync.hpp documents
+  });
+  {
+    LockGuard lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();  // hangs (and times out the test) if the wakeup is lost
+  SUCCEED();
+}
+
+TEST(Sync, CondVarWaitForTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  UniqueLock lock(mu);
+  const bool notified = cv.wait_for(lock, std::chrono::milliseconds(10));
+  EXPECT_FALSE(notified);  // nobody notified: timeout path returns false
+}
+
+TEST(Sync, CondVarNotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i)
+    waiters.emplace_back([&] {
+      UniqueLock lock(mu);
+      while (!go) cv.wait(lock);
+      ++woke;
+    });
+  {
+    LockGuard lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+}  // namespace

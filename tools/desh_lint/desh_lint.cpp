@@ -1,0 +1,558 @@
+// desh_lint — the repo-specific static checker behind `ctest -L lint`.
+//
+// Enforces the project conventions that a generic compiler/tidy pass cannot
+// express, by tokenizing every file under <root>/src:
+//
+//   metric-catalog     every `desh_*` metric string used in code exists in
+//                      src/obs/catalog.hpp AND OBSERVABILITY.md, and every
+//                      catalog/doc name is real (no rot in either direction).
+//                      The desh_span_seconds family (emitted directly by
+//                      obs/export.cpp, not a registry metric) and the
+//                      _bucket/_sum/_count histogram suffixes are understood.
+//   throw-discipline   `throw` requires an explicit waiver: the error
+//                      taxonomy is core::Expected; the only sanctioned
+//                      throwers are the legacy serialization helpers and the
+//                      [[deprecated]] compatibility wrappers, each of which
+//                      carries a waiver comment naming this rule.
+//   raw-sync           std::mutex / std::lock_guard / std::unique_lock /
+//                      std::condition_variable / std::scoped_lock /
+//                      std::shared_mutex appear only inside util/sync.hpp —
+//                      everything else locks through the annotated wrappers.
+//   rng-discipline     no std::rand / srand / std::random_device /
+//                      time(nullptr) seeding outside util/rng: randomness is
+//                      deterministic and seeded explicitly (PR-1 guarantee).
+//   include-first      every src .cpp whose sibling header exists includes
+//                      that header FIRST, so each header is proven
+//                      self-contained by its own translation unit.
+//   ordering-comment   every non-seq_cst std::memory_order_* argument
+//                      carries a justifying comment containing "ordering:"
+//                      on the same line or directly above the contiguous
+//                      block of atomic statements it belongs to.
+//
+// Waivers: a comment containing `desh-lint: allow(<rule>)` on the same line
+// or the line above suppresses that rule for that line.
+//
+// Usage: desh_lint [--root <repo-root>] [--json]
+// Exit:  0 = clean, 1 = findings, 2 = usage/configuration error.
+// --json prints a machine-readable findings array (stable field order:
+// rule, file, line, message) to stdout; the default is one
+// `file:line: [rule] message` text line per finding.
+//
+// Standard-library-only on purpose: the tool must build before (and
+// independently of) every desh library it audits.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative, '/'-separated
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// One source line split into the three views the rules need.
+struct ScrubbedLine {
+  std::string code;     // comments and literal *contents* blanked out
+  std::string comment;  // concatenated comment text on this line
+  std::vector<std::string> strings;  // string-literal contents, in order
+};
+
+/// Strips comments and literals, tracking block-comment state across lines.
+/// Raw strings and digit separators are rare enough in this tree to ignore.
+class Scrubber {
+ public:
+  ScrubbedLine scrub(const std::string& line) {
+    ScrubbedLine out;
+    out.code.reserve(line.size());
+    std::string current_string;
+    enum class State { kCode, kString, kChar, kBlockComment };
+    State state = in_block_ ? State::kBlockComment : State::kCode;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            out.comment += line.substr(i + 2);
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            out.code += '"';
+            state = State::kString;
+            current_string.clear();
+          } else if (c == '\'') {
+            out.code += '\'';
+            state = State::kChar;
+          } else {
+            out.code += c;
+          }
+          break;
+        case State::kString:
+          if (c == '\\' && next != '\0') {
+            current_string += c;
+            current_string += next;
+            ++i;
+          } else if (c == '"') {
+            out.code += '"';
+            out.strings.push_back(current_string);
+            state = State::kCode;
+          } else {
+            current_string += c;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\' && next != '\0') {
+            ++i;
+          } else if (c == '\'') {
+            out.code += '\'';
+            state = State::kCode;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          } else {
+            out.comment += c;
+          }
+          break;
+      }
+    }
+    in_block_ = state == State::kBlockComment;
+    // An unterminated string at end-of-line (multi-line concatenation does
+    // not exist for plain literals) — treat as closed.
+    if (state == State::kString) out.strings.push_back(current_string);
+    return out;
+  }
+
+ private:
+  bool in_block_ = false;
+};
+
+struct SourceFile {
+  std::string rel_path;              // '/'-separated, repo-relative
+  std::vector<std::string> raw;      // original lines
+  std::vector<ScrubbedLine> lines;   // scrubbed views, same indexing
+};
+
+bool read_file(const fs::path& path, std::vector<std::string>& lines) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return true;
+}
+
+/// All start positions where `needle` occurs in `code` as a whole token.
+std::vector<std::size_t> find_tokens(const std::string& code,
+                                     const std::string& needle) {
+  std::vector<std::size_t> hits;
+  for (std::size_t pos = code.find(needle); pos != std::string::npos;
+       pos = code.find(needle, pos + 1)) {
+    // For qualified names (std::mutex) the "token" check only applies to
+    // the boundary characters of the full spelling.
+    auto is_ident = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    const bool left_ok = pos == 0 || (!is_ident(code[pos - 1]) &&
+                                      code[pos - 1] != ':');
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+  }
+  return hits;
+}
+
+bool waived(const SourceFile& f, std::size_t idx, const std::string& rule) {
+  const std::string needle = "desh-lint: allow(" + rule + ")";
+  if (f.lines[idx].comment.find(needle) != std::string::npos) return true;
+  return idx > 0 &&
+         f.lines[idx - 1].comment.find(needle) != std::string::npos;
+}
+
+std::vector<std::string> desh_tokens(const std::string& text) {
+  std::vector<std::string> out;
+  const std::string prefix = "desh_";
+  for (std::size_t pos = text.find(prefix); pos != std::string::npos;
+       pos = text.find(prefix, pos + 1)) {
+    if (pos > 0) {
+      const char before = text[pos - 1];
+      if (std::isalnum(static_cast<unsigned char>(before)) || before == '_')
+        continue;
+    }
+    std::size_t end = pos;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_'))
+      ++end;
+    // A '.' right after the token means a file name (desh_stats.json in a
+    // usage example), not a metric family.
+    if (end < text.size() && text[end] == '.') continue;
+    out.push_back(text.substr(pos, end - pos));
+  }
+  return out;
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  bool load() {
+    const fs::path src = root_ / "src";
+    if (!fs::is_directory(src)) {
+      std::cerr << "desh_lint: no src/ under " << root_ << "\n";
+      return false;
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h")
+        paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      SourceFile f;
+      f.rel_path = fs::relative(p, root_).generic_string();
+      if (!read_file(p, f.raw)) {
+        std::cerr << "desh_lint: cannot read " << p << "\n";
+        return false;
+      }
+      Scrubber scrubber;
+      f.lines.reserve(f.raw.size());
+      for (const std::string& line : f.raw)
+        f.lines.push_back(scrubber.scrub(line));
+      files_.push_back(std::move(f));
+    }
+    return true;
+  }
+
+  void run() {
+    check_metric_catalog();
+    for (const SourceFile& f : files_) {
+      check_throw_discipline(f);
+      check_raw_sync(f);
+      check_rng_discipline(f);
+      check_include_first(f);
+      check_ordering_comment(f);
+    }
+    std::stable_sort(findings_.begin(), findings_.end(),
+                     [](const Finding& a, const Finding& b) {
+                       if (a.file != b.file) return a.file < b.file;
+                       if (a.line != b.line) return a.line < b.line;
+                       return a.rule < b.rule;
+                     });
+  }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+
+ private:
+  void add(const SourceFile& f, std::size_t idx, const std::string& rule,
+           std::string message) {
+    if (waived(f, idx, rule)) return;
+    findings_.push_back({rule, f.rel_path, idx + 1, std::move(message)});
+  }
+
+  const SourceFile* file(const std::string& rel) const {
+    for (const SourceFile& f : files_)
+      if (f.rel_path == rel) return &f;
+    return nullptr;
+  }
+
+  // -- metric-catalog -------------------------------------------------------
+
+  static bool span_family(const std::string& name) {
+    return name == "desh_span_seconds" ||
+           name.rfind("desh_span_seconds_", 0) == 0;
+  }
+
+  /// Strips one prometheus histogram suffix if doing so lands on `names`.
+  static std::string normalize(const std::string& name,
+                               const std::set<std::string>& names) {
+    if (names.count(name)) return name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string base = name.substr(0, name.size() - s.size());
+        if (names.count(base)) return base;
+      }
+    }
+    return name;
+  }
+
+  void check_metric_catalog() {
+    const std::string catalog_rel = "src/obs/catalog.hpp";
+    const SourceFile* catalog = file(catalog_rel);
+    if (catalog == nullptr) {
+      findings_.push_back({"metric-catalog", catalog_rel, 0,
+                           "catalog file missing — cannot cross-check "
+                           "metric names"});
+      return;
+    }
+    // Catalog = every desh_* string literal in catalog.hpp.
+    std::set<std::string> catalog_names;
+    std::map<std::string, std::size_t> catalog_lines;
+    for (std::size_t i = 0; i < catalog->lines.size(); ++i)
+      for (const std::string& literal : catalog->lines[i].strings)
+        for (const std::string& t : desh_tokens(literal)) {
+          catalog_names.insert(t);
+          catalog_lines.emplace(t, i + 1);
+        }
+
+    // Doc = every desh_* token in OBSERVABILITY.md. `desh_lint` names this
+    // tool, not a metric.
+    std::vector<std::string> doc_raw;
+    const fs::path doc_path = root_ / "OBSERVABILITY.md";
+    if (!read_file(doc_path, doc_raw)) {
+      findings_.push_back({"metric-catalog", "OBSERVABILITY.md", 0,
+                           "OBSERVABILITY.md missing — metric names "
+                           "must be documented there"});
+      return;
+    }
+    std::set<std::string> doc_names;
+    std::map<std::string, std::size_t> doc_lines;
+    for (std::size_t i = 0; i < doc_raw.size(); ++i)
+      for (const std::string& t : desh_tokens(doc_raw[i])) {
+        if (t == "desh_lint" || t == "desh_") continue;
+        doc_names.insert(t);
+        doc_lines.emplace(t, i + 1);
+      }
+
+    // 1. Every catalog name is documented.
+    for (const std::string& name : catalog_names)
+      if (!doc_names.count(name))
+        findings_.push_back({"metric-catalog", catalog_rel,
+                             catalog_lines[name],
+                             "metric '" + name +
+                                 "' is in the catalog but not documented "
+                                 "in OBSERVABILITY.md"});
+    // 2. Every doc token resolves to a catalog name (modulo histogram
+    //    suffixes) or the span family.
+    for (const std::string& name : doc_names) {
+      if (span_family(name)) continue;
+      if (!catalog_names.count(normalize(name, catalog_names)))
+        findings_.push_back({"metric-catalog", "OBSERVABILITY.md",
+                             doc_lines[name],
+                             "documented metric '" + name +
+                                 "' does not exist in src/obs/catalog.hpp"});
+    }
+    // 3. Every desh_* literal used by code is a real catalog name.
+    for (const SourceFile& f : files_) {
+      if (f.rel_path == catalog_rel) continue;
+      for (std::size_t i = 0; i < f.lines.size(); ++i)
+        for (const std::string& literal : f.lines[i].strings)
+          for (const std::string& t : desh_tokens(literal)) {
+            if (span_family(t)) continue;
+            if (!catalog_names.count(normalize(t, catalog_names)))
+              add(f, i, "metric-catalog",
+                  "metric string '" + t +
+                      "' is not declared in src/obs/catalog.hpp");
+          }
+    }
+  }
+
+  // -- throw-discipline -----------------------------------------------------
+
+  void check_throw_discipline(const SourceFile& f) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i)
+      if (!find_tokens(f.lines[i].code, "throw").empty())
+        add(f, i, "throw-discipline",
+            "`throw` outside the sanctioned legacy paths — return "
+            "core::Expected, or waive with a comment naming this rule");
+  }
+
+  // -- raw-sync -------------------------------------------------------------
+
+  void check_raw_sync(const SourceFile& f) {
+    if (f.rel_path == "src/util/sync.hpp") return;  // the one wrapper site
+    static const char* kPrimitives[] = {
+        "std::mutex",          "std::lock_guard",   "std::unique_lock",
+        "std::condition_variable", "std::scoped_lock", "std::shared_mutex",
+        "std::shared_lock",    "std::recursive_mutex"};
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& code = f.lines[i].code;
+      if (code.find("#include") != std::string::npos) continue;
+      for (const char* primitive : kPrimitives)
+        if (!find_tokens(code, primitive).empty())
+          add(f, i, "raw-sync",
+              std::string(primitive) +
+                  " outside util/sync.hpp — use util::Mutex / "
+                  "util::LockGuard / util::UniqueLock / util::CondVar");
+    }
+  }
+
+  // -- rng-discipline -------------------------------------------------------
+
+  void check_rng_discipline(const SourceFile& f) {
+    if (f.rel_path == "src/util/rng.hpp" ||
+        f.rel_path == "src/util/rng.cpp")
+      return;
+    static const char* kSources[] = {"std::rand", "srand",
+                                     "std::random_device",
+                                     "random_device"};
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& code = f.lines[i].code;
+      for (const char* source : kSources)
+        if (!find_tokens(code, source).empty()) {
+          add(f, i, "rng-discipline",
+              std::string(source) +
+                  " outside util/rng — randomness must be deterministic "
+                  "and explicitly seeded (util::Rng)");
+          break;  // one finding per line even if both spellings match
+        }
+      if (code.find("time(nullptr)") != std::string::npos ||
+          code.find("time(NULL)") != std::string::npos)
+        add(f, i, "rng-discipline",
+            "wall-clock seeding (time(nullptr)) outside util/rng breaks "
+            "reproducibility");
+    }
+  }
+
+  // -- include-first --------------------------------------------------------
+
+  void check_include_first(const SourceFile& f) {
+    if (f.rel_path.size() < 4 ||
+        f.rel_path.compare(f.rel_path.size() - 4, 4, ".cpp") != 0)
+      return;
+    const std::string hpp_rel =
+        f.rel_path.substr(0, f.rel_path.size() - 4) + ".hpp";
+    if (file(hpp_rel) == nullptr) return;  // no sibling header to prove
+    // The expected spelling is the src/-relative path ("obs/metrics.hpp").
+    const std::string expected = hpp_rel.substr(std::string("src/").size());
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& code = f.lines[i].code;
+      const std::size_t pos = code.find("#include");
+      if (pos == std::string::npos) continue;
+      const bool first_is_own =
+          !f.lines[i].strings.empty() && f.lines[i].strings[0] == expected;
+      if (!first_is_own)
+        add(f, i, "include-first",
+            "first include must be the file's own header \"" + expected +
+                "\" so that header is proven self-contained");
+      return;  // only the first include directive matters
+    }
+  }
+
+  // -- ordering-comment -----------------------------------------------------
+
+  /// Lines the upward scan for a justifying comment may step over: blank
+  /// or comment-only lines, sibling atomic statements in the same run, and
+  /// loop headers / lone braces around them. One "ordering:" comment covers
+  /// the whole contiguous block of atomics it precedes.
+  static bool transparent(const ScrubbedLine& line) {
+    std::string code = line.code;
+    code.erase(std::remove_if(code.begin(), code.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               code.end());
+    if (code.empty()) return true;
+    if (code.find("memory_order") != std::string::npos) return true;
+    if (code.rfind("for(", 0) == 0 || code.rfind("while(", 0) == 0)
+      return true;
+    if (code.back() == '=') return true;  // assignment continues below
+    return code.find_first_not_of("{}();") == std::string::npos;
+  }
+
+  void check_ordering_comment(const SourceFile& f) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& code = f.lines[i].code;
+      const std::size_t pos = code.find("std::memory_order_");
+      if (pos == std::string::npos) continue;
+      if (code.find("std::memory_order_seq_cst") != std::string::npos)
+        continue;  // the safe default needs no justification
+      bool justified =
+          f.lines[i].comment.find("ordering:") != std::string::npos;
+      for (std::size_t j = i, steps = 0; !justified && j > 0 && steps < 12;
+           ++steps) {
+        --j;
+        if (f.lines[j].comment.find("ordering:") != std::string::npos) {
+          justified = true;
+        } else if (!transparent(f.lines[j])) {
+          break;  // unrelated code: the comment above it covers that, not us
+        }
+      }
+      if (!justified)
+        add(f, i, "ordering-comment",
+            "non-seq_cst memory ordering without a justifying "
+            "\"ordering:\" comment on or directly above the statement");
+    }
+  }
+
+  fs::path root_;
+  std::vector<SourceFile> files_;
+  std::vector<Finding> findings_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: desh_lint [--root <repo-root>] [--json]\n";
+      return 0;
+    } else {
+      std::cerr << "desh_lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  Linter linter(root);
+  if (!linter.load()) return 2;
+  linter.run();
+
+  const std::vector<Finding>& findings = linter.findings();
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i ? ",\n " : "\n ") << "{\"rule\": \""
+                << json_escape(f.rule) << "\", \"file\": \""
+                << json_escape(f.file) << "\", \"line\": " << f.line
+                << ", \"message\": \"" << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]\n" : "\n]\n");
+  } else {
+    for (const Finding& f : findings)
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    if (!findings.empty())
+      std::cout << "desh_lint: " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}
