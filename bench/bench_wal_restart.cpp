@@ -1,0 +1,232 @@
+// WAL restart performance: how long InferenceServer::create() spends in the
+// restore path (newest checkpoint + tail replay through observe()) as the
+// un-checkpointed tail grows. The interesting number is replay throughput:
+// restore cost is replay-dominated, so MTTR after a crash is tail_records /
+// replay_rps — this bench pins that rate and starts the BENCH_wal.json
+// trajectory.
+//
+//   ./bench_wal_restart [--tails 0,10000,100000] [--out BENCH_wal.json]
+//                       [--smoke]
+//
+// Each sweep point builds a fresh log: a fixed prefix of records, one
+// explicit checkpoint, then exactly `tail` more records — so the restore
+// replays `tail` records, no more, no less (checked). --smoke shrinks the
+// tails (the ctest wiring runs this mode); the JSON snapshot is written
+// either way.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/monitor.hpp"
+#include "desh.hpp"
+#include "logs/template_miner.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+using namespace desh;
+
+namespace {
+
+/// Fails the bench loudly — this binary doubles as a ctest smoke check.
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAIL: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+core::DeshPipeline train_pipeline(const logs::SyntheticLog& log) {
+  core::DeshConfig config;
+  config.phase1.epochs = 1;
+  config.skipgram.enabled = false;
+  auto pipeline = core::DeshPipeline::create(config);
+  check(pipeline.ok(), "pipeline config rejected");
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  pipeline.value().fit(train);
+  return std::move(pipeline).value();
+}
+
+/// Anomalous message texts the fitted labeler will NOT gate out — replay
+/// cost is only honest if every replayed record actually advances a window.
+std::vector<std::string> anomalous_messages(
+    const core::DeshPipeline& pipeline, const logs::LogCorpus& corpus) {
+  std::vector<std::string> out;
+  for (const logs::LogRecord& record : corpus) {
+    const std::string tmpl = logs::TemplateMiner::extract(record.message);
+    if (tmpl.empty()) continue;
+    const std::uint32_t phrase = pipeline.vocab().encode(tmpl);
+    if (pipeline.labeler().label(phrase) == logs::PhraseLabel::kSafe) continue;
+    out.push_back(record.message);
+    if (out.size() >= 64) break;
+  }
+  check(!out.empty(), "no anomalous messages in corpus");
+  return out;
+}
+
+/// N records round-robin across 8 nodes, 1 s apart.
+logs::LogCorpus make_stream(const std::vector<std::string>& messages,
+                            std::size_t n) {
+  logs::LogCorpus out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    logs::LogRecord r;
+    r.timestamp = static_cast<double>(i);
+    r.node.cabinet_x = static_cast<std::uint16_t>(i % 8);
+    r.node.node = 1;
+    r.message = messages[i % messages.size()];
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+core::MonitorConfig stream_monitor_config() {
+  core::MonitorConfig mc;
+  mc.gap_seconds = 1e9;  // the 1 s synthetic cadence never resets windows
+  mc.rearm_seconds = 0;  // alerts do not silence: decide on every record
+  mc.threads = 1;
+  return mc;
+}
+
+serve::ServeConfig wal_config(const std::string& dir, std::size_t capacity) {
+  serve::ServeConfig config;
+  config.queue_capacity = capacity;
+  config.max_batch = 256;
+  config.start_collector = false;
+  config.monitor = stream_monitor_config();
+  config.wal.directory = dir;
+  config.wal.flush_every_records = 64;
+  config.wal.checkpoint_every_records = 0;  // explicit checkpoints only
+  return config;
+}
+
+struct Point {
+  std::size_t tail = 0;
+  double restore_seconds = 0;
+  double replay_rps = 0;  // tail / restore_seconds (0 tail: 0)
+};
+
+/// One sweep point: populate a fresh log (prefix, checkpoint, tail), then
+/// time a cold InferenceServer::create() against it.
+Point run_tail(const core::DeshPipeline& pipeline,
+               const std::vector<std::string>& messages, std::size_t tail,
+               const std::filesystem::path& dir) {
+  constexpr std::size_t kPrefix = 256;
+  std::filesystem::remove_all(dir);
+  const logs::LogCorpus stream = make_stream(messages, kPrefix + tail);
+
+  {  // writer run: everything before the checkpoint is folded into it
+    auto server =
+        serve::InferenceServer::create(pipeline, wal_config(dir.string(), stream.size()));
+    check(server.ok(), "writer server rejected");
+    serve::InferenceServer& srv = *server.value();
+    logs::LogCorpus prefix(stream.begin(), stream.begin() + kPrefix);
+    logs::LogCorpus rest(stream.begin() + kPrefix, stream.end());
+    check(srv.submit_batch(prefix) == kPrefix, "prefix rejected");
+    while (srv.pump() != 0) {
+    }
+    check(srv.wal_checkpoint_now().ok(), "checkpoint failed");
+    check(srv.submit_batch(rest) == rest.size(), "tail rejected");
+    while (srv.pump() != 0) {
+    }
+    srv.stop();  // flushes: the whole tail is on disk
+  }
+
+  util::Stopwatch sw;
+  auto restored =
+      serve::InferenceServer::create(pipeline, wal_config(dir.string(), 16));
+  Point point;
+  point.tail = tail;
+  point.restore_seconds = sw.elapsed_seconds();
+  check(restored.ok(), "restore rejected");
+  const serve::InferenceServer::WalStats stats = restored.value()->wal_stats();
+  check(stats.checkpoint_seq == kPrefix, "checkpoint not restored");
+  check(stats.replayed == tail, "tail length diverged from replay count");
+  check(stats.applied_seq == kPrefix + tail, "applied_seq after restore");
+  restored.value()->stop();
+  if (tail > 0)
+    point.replay_rps = static_cast<double>(tail) / point.restore_seconds;
+  return point;
+}
+
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6f", value);
+  return buffer;
+}
+
+/// The BENCH_wal.json snapshot: env fields matching the stdout header plus
+/// one entry per sweep point, so successive runs diff cleanly.
+void write_snapshot(const std::string& path, bool smoke,
+                    const std::vector<Point>& points) {
+  std::ofstream os(path, std::ios::trunc);
+  check(static_cast<bool>(os), "cannot write " + path);
+  const char* sanitize = DESH_SANITIZE_STRING;
+  os << "{\n"
+     << "  \"bench\": \"wal_restart\",\n"
+     << "  \"build_type\": \"" << DESH_BUILD_TYPE_STRING << "\",\n"
+     << "  \"sanitize\": \"" << (*sanitize ? sanitize : "none") << "\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    os << "    {\"tail_records\": " << p.tail << ", \"restore_seconds\": "
+       << json_double(p.restore_seconds) << ", \"replay_records_per_second\": "
+       << json_double(p.replay_rps) << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  check(static_cast<bool>(os), "short write to " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const std::string out = args.get("out", "BENCH_wal.json");
+  std::vector<std::size_t> tails = smoke
+                                       ? std::vector<std::size_t>{0, 1000, 5000}
+                                       : std::vector<std::size_t>{0, 10000,
+                                                                  100000};
+  if (args.has("tails")) {
+    tails.clear();
+    for (const std::string& part :
+         util::split(args.get("tails", ""), ','))
+      tails.push_back(std::strtoull(part.c_str(), nullptr, 10));
+    check(!tails.empty(), "--tails expects a comma-separated list");
+  }
+  bench::print_env_header("wal_restart");
+
+  logs::SyntheticCraySource source(logs::profile_tiny(2024));
+  const logs::SyntheticLog log = source.generate();
+  const core::DeshPipeline pipeline = train_pipeline(log);
+  const std::vector<std::string> messages =
+      anomalous_messages(pipeline, log.records);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "desh_bench_wal_restart";
+
+  std::cout << "tail records | restore s | replay rec/s\n";
+  std::vector<Point> points;
+  for (const std::size_t tail : tails) {
+    const Point point = run_tail(pipeline, messages, tail, dir);
+    std::cout << point.tail << " | "
+              << util::format_fixed(point.restore_seconds, 4) << " | "
+              << util::format_fixed(point.replay_rps, 0) << "\n";
+    points.push_back(point);
+  }
+  std::filesystem::remove_all(dir);
+
+  // A 0-record tail must restore from the checkpoint alone — if it ever
+  // costs as much as a 1000+-record replay, the checkpoint path regressed.
+  check(points.size() >= 2 &&
+            points.front().restore_seconds <= points.back().restore_seconds,
+        "checkpoint-only restore slower than the longest replay");
+  write_snapshot(out, smoke, points);
+  std::cout << "snapshot written: " << out << "\n";
+  return 0;
+}

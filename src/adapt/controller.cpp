@@ -6,12 +6,21 @@
 
 #include "logs/template_miner.hpp"
 #include "obs/catalog.hpp"
+#include "util/bytes.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace desh::adapt {
 
 namespace {
+
+// "adapt" WAL checkpoint section: magic + format version + optional
+// champion registry version + replay-buffer records. The replay buffer is
+// the one piece of adapt state that cannot be rebuilt from the registry or
+// the log tail alone — losing it across a crash would silently gut the
+// next retrain's training window.
+constexpr std::string_view kAdaptBlobMagic = "DESHADPT";
+constexpr std::uint32_t kAdaptBlobFormat = 1;
 
 // Process-wide adaptation telemetry (OBSERVABILITY.md "online adaptation").
 // Cached references: registration takes the registry lock exactly once.
@@ -131,6 +140,92 @@ void AdaptController::attach(serve::InferenceServer& server) {
                         std::span<const core::MonitorAlert> alerts) {
     on_batch(records, alerts);
   });
+  if (server.wal_stats().enabled) {
+    // Registering delivers a recovered "adapt" section immediately, on this
+    // thread — the replay buffer is refilled before attach returns. A blob
+    // from an incompatible build is skipped (restore_state rejects it); the
+    // buffer then refills organically from the tap.
+    server.wal_set_state_hook(
+        "adapt", [this] { return serialize_state(); },
+        [this](const std::string& blob) {
+          static_cast<void>(restore_state(blob));
+        });
+  }
+}
+
+std::string AdaptController::serialize_state() const {
+  util::LockGuard lk(mu_);
+  std::string out;
+  out.append(kAdaptBlobMagic);
+  util::put_u32(out, kAdaptBlobFormat);
+  util::put_u8(out, stats_.champion_version ? 1 : 0);
+  util::put_u32(out, stats_.champion_version.value_or(0));
+  util::put_u64(out, replay_.size());
+  for (const logs::LogRecord& r : replay_.snapshot()) {
+    util::put_f64(out, r.timestamp);
+    util::put_u16(out, r.node.cabinet_x);
+    util::put_u16(out, r.node.cabinet_y);
+    util::put_u8(out, r.node.chassis);
+    util::put_u8(out, r.node.slot);
+    util::put_u8(out, r.node.node);
+    util::put_bytes(out, r.message);
+  }
+  return out;
+}
+
+core::Expected<void> AdaptController::restore_state(std::string_view blob) {
+  const auto fail = [](const char* what) {
+    return core::Error{core::ErrorCode::kFormatVersion,
+                       std::string("adapt checkpoint: ") + what};
+  };
+  if (blob.size() < kAdaptBlobMagic.size() ||
+      blob.substr(0, kAdaptBlobMagic.size()) != kAdaptBlobMagic)
+    return fail("bad magic");
+  util::ByteReader reader(blob.substr(kAdaptBlobMagic.size()));
+  std::uint32_t format = 0;
+  if (!reader.get_u32(format) || format != kAdaptBlobFormat)
+    return fail("unsupported format version");
+  std::uint8_t has_version = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!reader.get_u8(has_version) || !reader.get_u32(version) ||
+      !reader.get_u64(count))
+    return fail("truncated header");
+  logs::LogCorpus records;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    logs::LogRecord r;
+    bool ok = reader.get_f64(r.timestamp);
+    ok = ok && reader.get_u16(r.node.cabinet_x);
+    ok = ok && reader.get_u16(r.node.cabinet_y);
+    ok = ok && reader.get_u8(r.node.chassis);
+    ok = ok && reader.get_u8(r.node.slot);
+    ok = ok && reader.get_u8(r.node.node);
+    ok = ok && reader.get_bytes(r.message);
+    if (!ok) return fail("truncated record");
+    records.push_back(std::move(r));
+  }
+  if (!reader.done()) return fail("trailing bytes");
+  util::LockGuard lk(mu_);
+  replay_.clear();
+  replay_.append(records);
+  export_gauges_locked();
+  return {};
+}
+
+std::optional<std::uint32_t> AdaptController::checkpoint_champion_version(
+    std::string_view blob) {
+  if (blob.size() < kAdaptBlobMagic.size() ||
+      blob.substr(0, kAdaptBlobMagic.size()) != kAdaptBlobMagic)
+    return std::nullopt;
+  util::ByteReader reader(blob.substr(kAdaptBlobMagic.size()));
+  std::uint32_t format = 0;
+  std::uint8_t has_version = 0;
+  std::uint32_t version = 0;
+  if (!reader.get_u32(format) || format != kAdaptBlobFormat ||
+      !reader.get_u8(has_version) || !reader.get_u32(version))
+    return std::nullopt;
+  if (has_version == 0) return std::nullopt;
+  return version;
 }
 
 void AdaptController::rebind_champion_locked(
@@ -431,7 +526,13 @@ void AdaptController::stop() {
     util::LockGuard lk(mu_);
     std::swap(server, server_);
   }
-  if (server != nullptr) server->set_tap(nullptr);
+  if (server != nullptr) {
+    server->set_tap(nullptr);
+    // Null hooks: later checkpoints skip the "adapt" section instead of
+    // serializing through a dangling controller.
+    if (server->wal_stats().enabled)
+      server->wal_set_state_hook("adapt", nullptr, nullptr);
+  }
 }
 
 DriftStatus AdaptController::drift() const {

@@ -25,10 +25,12 @@
 // called before the server is destroyed — stop() detaches the tap).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -95,7 +97,33 @@ class AdaptController {
   /// promotions/rollbacks. The server must outlive the controller (see the
   /// file comment). Detached controllers still work via direct on_batch()
   /// calls — swaps then only update the controller's own champion.
+  ///
+  /// When the server's WAL is enabled, also registers the "adapt" state
+  /// hook: the controller's replay buffer and champion registry version
+  /// ride in every fuzzy checkpoint, and a restored "adapt" section refills
+  /// the replay buffer on the spot (wal_set_state_hook delivers it before
+  /// attach returns). The champion *pipeline* is not swapped by a restore —
+  /// reload the checkpointed version from the registry first (see
+  /// checkpoint_champion_version) and construct the controller with it.
   void attach(serve::InferenceServer& server);
+
+  /// Serializes the durable slice of controller state (the "adapt" WAL
+  /// checkpoint section): champion registry version + replay-buffer
+  /// records. Thread-safe; also callable directly by tests.
+  std::string serialize_state() const;
+
+  /// Restores serialize_state() output: refills the replay buffer (the
+  /// current contents are replaced). Rejects unknown blobs with
+  /// kFormatVersion and leaves the buffer untouched on error.
+  [[nodiscard]] core::Expected<void> restore_state(std::string_view blob);
+
+  /// The champion registry version recorded in an "adapt" checkpoint blob
+  /// (InferenceServer::wal_restored_state("adapt")), if the blob is valid
+  /// and a champion was promoted when it was taken. Lets an application
+  /// reload that exact version from the ModelRegistry before constructing
+  /// the controller, closing the crash-restart loop.
+  static std::optional<std::uint32_t> checkpoint_champion_version(
+      std::string_view blob);
 
   /// The tap body: drift bookkeeping, replay append, calibration ledger,
   /// probation check, retrain trigger. Also callable directly (tests,
@@ -112,8 +140,9 @@ class AdaptController {
   /// completes and applies its verdict).
   void wait_idle();
 
-  /// Joins any in-flight retrain and detaches the tap. Idempotent; called
-  /// by the destructor.
+  /// Joins any in-flight retrain, detaches the tap, and clears the "adapt"
+  /// WAL state hook (later checkpoints stop carrying a stale section).
+  /// Idempotent; called by the destructor.
   void stop();
 
   DriftStatus drift() const;

@@ -35,6 +35,17 @@ struct Checker {
 
 }  // namespace
 
+std::vector<std::string> WalConfig::validate(std::string_view prefix) const {
+  std::vector<std::string> out;
+  if (directory.empty()) return out;  // disabled: the other knobs are moot
+  const std::string p(prefix);
+  if (flush_every_records == 0)
+    out.push_back(p + ".flush_every_records: must be > 0");
+  if (keep_checkpoints == 0)
+    out.push_back(p + ".keep_checkpoints: must be > 0");
+  return out;
+}
+
 std::vector<std::string> DeshConfig::validate() const {
   Checker c;
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "chains/extractor.hpp"
@@ -138,6 +139,31 @@ struct AdaptConfig {
   /// Seconds after which an unresolved alert expires and contributes a
   /// full-scale (1.0) calibration error sample.
   double alert_horizon_seconds = 1800.0;
+};
+
+/// Knobs for the durable event log + checkpoint/restore layer (src/wal).
+/// Lives in core so serve::ServeConfig can carry + validate it without
+/// serve depending on desh::wal's internals. Durability is opt-in: an
+/// empty directory disables the log entirely (zero write-path cost).
+struct WalConfig {
+  /// Log directory (segments + checkpoints). Empty = WAL disabled.
+  std::string directory;
+  /// Group-commit interval: the log flushes once this many records are
+  /// staged. 1 = flush every record (smallest loss window, slowest).
+  std::size_t flush_every_records = 64;
+  /// Write a fuzzy checkpoint every N processed records. 0 = only on
+  /// explicit wal_checkpoint_now() calls.
+  std::size_t checkpoint_every_records = 8192;
+  /// Checkpoints retained by GC; older ones and their fully-covered log
+  /// segments are deleted.
+  std::size_t keep_checkpoints = 2;
+
+  /// Returns ALL violations as "<prefix>.field: problem" messages (empty =
+  /// usable), mirroring MonitorConfig::validate(). ServeConfig::validate()
+  /// reuses it with prefix "serve.wal". A default-constructed (disabled)
+  /// config is always valid.
+  [[nodiscard]] std::vector<std::string> validate(
+      std::string_view prefix = "wal") const;
 };
 
 struct DeshConfig {

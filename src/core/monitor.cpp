@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "logs/template_miner.hpp"
 #include "obs/catalog.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -61,6 +63,107 @@ StreamingMonitor::StreamingMonitor(const DeshPipeline& pipeline,
 }
 
 void StreamingMonitor::reset() { nodes_.clear(); }
+
+namespace {
+// Blob magic for serialize_state()/restore_state(). Versioned like every
+// other on-disk format (core::kPipelineFormatVersion, the registry
+// MANIFEST): a future layout change bumps the trailing digit and old
+// blobs are rejected cleanly instead of misparsed.
+constexpr std::string_view kMonitorBlobMagic = "DESHMON1";
+}  // namespace
+
+std::string StreamingMonitor::serialize_state() const {
+  std::string out(kMonitorBlobMagic);
+  util::put_u64(out, vocab_.size());
+  util::put_u64(out, pipeline_.config().phase3.decision_position);
+  util::put_u64(out, records_seen_);
+  util::put_u64(out, alerts_raised_);
+  // Sorted node order: the blob must be a pure function of the monitor
+  // state, not of unordered_map iteration order, so that equal states
+  // checkpoint to equal bytes.
+  std::vector<const std::pair<const logs::NodeId, NodeState>*> entries;
+  entries.reserve(nodes_.size());
+  for (const auto& entry : nodes_) entries.push_back(&entry);
+  const auto key = [](const logs::NodeId& n) {
+    return std::make_tuple(n.cabinet_x, n.cabinet_y, n.chassis, n.slot,
+                           n.node);
+  };
+  std::sort(entries.begin(), entries.end(),
+            [&](const auto* a, const auto* b) {
+              return key(a->first) < key(b->first);
+            });
+  util::put_u64(out, entries.size());
+  for (const auto* entry : entries) {
+    const logs::NodeId& node = entry->first;
+    const NodeState& state = entry->second;
+    util::put_u16(out, node.cabinet_x);
+    util::put_u16(out, node.cabinet_y);
+    util::put_u8(out, node.chassis);
+    util::put_u8(out, node.slot);
+    util::put_u8(out, node.node);
+    util::put_f64(out, state.silenced_until);
+    util::put_u32(out, static_cast<std::uint32_t>(state.window.size()));
+    for (const chains::ParsedEvent& event : state.window) {
+      util::put_f64(out, event.timestamp);
+      util::put_u32(out, event.phrase);
+    }
+  }
+  return out;
+}
+
+Expected<void> StreamingMonitor::restore_state(std::string_view blob) {
+  const auto fail = [this](const char* what) -> Expected<void> {
+    reset();  // never leave a half-restored monitor behind
+    return Error{ErrorCode::kFormatVersion,
+                 std::string("StreamingMonitor::restore_state: ") + what};
+  };
+  if (blob.size() < kMonitorBlobMagic.size() ||
+      blob.substr(0, kMonitorBlobMagic.size()) != kMonitorBlobMagic)
+    return fail("bad magic");
+  util::ByteReader reader(blob.substr(kMonitorBlobMagic.size()));
+  std::uint64_t vocab_size = 0;
+  std::uint64_t decision_position = 0;
+  std::uint64_t records_seen = 0;
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t node_count = 0;
+  if (!reader.get_u64(vocab_size) || !reader.get_u64(decision_position) ||
+      !reader.get_u64(records_seen) || !reader.get_u64(alerts_raised) ||
+      !reader.get_u64(node_count))
+    return fail("truncated header");
+  // Window contents are phrase ids under ONE vocabulary and are judged at
+  // ONE decision depth; state from a different model would be silently
+  // meaningless, so reject it (the caller falls back to full replay).
+  if (vocab_size != vocab_.size())
+    return fail("blob was taken under a different vocabulary");
+  if (decision_position != pipeline_.config().phase3.decision_position)
+    return fail("blob was taken under a different decision position");
+
+  std::unordered_map<logs::NodeId, NodeState> restored;
+  restored.reserve(node_count);
+  for (std::uint64_t n = 0; n < node_count; ++n) {
+    logs::NodeId node;
+    NodeState state;
+    std::uint32_t window_len = 0;
+    if (!reader.get_u16(node.cabinet_x) || !reader.get_u16(node.cabinet_y) ||
+        !reader.get_u8(node.chassis) || !reader.get_u8(node.slot) ||
+        !reader.get_u8(node.node) || !reader.get_f64(state.silenced_until) ||
+        !reader.get_u32(window_len))
+      return fail("truncated node entry");
+    for (std::uint32_t i = 0; i < window_len; ++i) {
+      chains::ParsedEvent event;
+      if (!reader.get_f64(event.timestamp) || !reader.get_u32(event.phrase))
+        return fail("truncated window event");
+      state.window.push_back(event);
+    }
+    restored[node] = std::move(state);
+  }
+  if (!reader.done()) return fail("trailing bytes");
+
+  nodes_ = std::move(restored);
+  records_seen_ = records_seen;
+  alerts_raised_ = alerts_raised;
+  return {};
+}
 
 util::ThreadPool& StreamingMonitor::pool() {
   if (!pool_) pool_ = std::make_unique<util::ThreadPool>(config_.threads);

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/expected.hpp"
 #include "core/pipeline.hpp"
 #include "util/thread_pool.hpp"
 
@@ -77,6 +78,21 @@ class StreamingMonitor {
 
   /// Drops all per-node state (e.g. at a log rotation boundary).
   void reset();
+
+  /// Serializes the complete observable state — every node's window and
+  /// silence deadline plus the lifetime counters — into an opaque blob for
+  /// the durability layer's fuzzy checkpoints (src/wal). Deterministic:
+  /// nodes are emitted in sorted NodeId order, doubles as exact bit
+  /// images, so equal states yield equal blobs. The blob embeds the
+  /// vocabulary size and decision position it was taken under; restore
+  /// rejects a blob from a different model.
+  std::string serialize_state() const;
+
+  /// Inverse of serialize_state(): replaces all per-node state and
+  /// counters with the blob's. Total — arbitrary bytes yield an error
+  /// (kFormatVersion), never a crash; on error the monitor is left reset()
+  /// so the caller can fall back to a full replay from the log.
+  [[nodiscard]] Expected<void> restore_state(std::string_view blob);
 
   std::size_t records_seen() const { return records_seen_; }
   std::size_t alerts_raised() const { return alerts_raised_; }

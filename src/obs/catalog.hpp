@@ -128,6 +128,40 @@ inline constexpr MetricDef kServeAlertLatencySeconds{
     "desh_serve_alert_latency_seconds", "histogram", "seconds",
     "Wall time from a record's admission to the alert it triggered"};
 
+// --- durability (desh::wal via serve integration) -------------------------
+inline constexpr MetricDef kWalAppendedTotal{
+    "desh_wal_appended_total", "counter", "records",
+    "Event records staged into the write-ahead log"};
+inline constexpr MetricDef kWalFlushesTotal{
+    "desh_wal_flushes_total", "counter", "flushes",
+    "Group commits: pending WAL records handed to the kernel in one write"};
+inline constexpr MetricDef kWalFlushSeconds{
+    "desh_wal_flush_seconds", "histogram", "seconds",
+    "Wall time of one WAL group-commit flush"};
+inline constexpr MetricDef kWalCommittedSeq{
+    "desh_wal_committed_seq", "gauge", "seq",
+    "Highest WAL sequence number guaranteed durable (flushed to the log)"};
+inline constexpr MetricDef kWalCheckpointsTotal{
+    "desh_wal_checkpoints_total", "counter", "checkpoints",
+    "Fuzzy checkpoints written (periodic + explicit wal_checkpoint_now)"};
+inline constexpr MetricDef kWalCheckpointSeconds{
+    "desh_wal_checkpoint_seconds", "histogram", "seconds",
+    "Wall time of one checkpoint (serialize + write + rename + GC)"};
+inline constexpr MetricDef kWalReplayedRecordsTotal{
+    "desh_wal_replayed_records_total", "counter", "records",
+    "Log-tail records replayed through the monitor during restore"};
+inline constexpr MetricDef kWalRecoveriesTotal{
+    "desh_wal_recoveries_total", "counter", "recoveries",
+    "Server startups that restored state from an existing WAL directory"};
+inline constexpr MetricDef kWalTornFramesTotal{
+    "desh_wal_torn_frames_total", "counter", "events",
+    "Corruption events (torn/truncated/bit-rotted tails, stale segments) "
+    "detected and discarded during recovery"};
+inline constexpr MetricDef kWalIoErrorsTotal{
+    "desh_wal_io_errors_total", "counter", "errors",
+    "WAL write-path I/O failures (serving continued without durability "
+    "for the affected records)"};
+
 // --- online adaptation (desh::adapt) --------------------------------------
 inline constexpr MetricDef kAdaptRecordsTappedTotal{
     "desh_adapt_records_tapped_total", "counter", "records",
@@ -193,6 +227,10 @@ inline constexpr const MetricDef* kCatalog[] = {
     &kServeAdmittedTotal,   &kServeRejectedTotal,  &kServeShedTotal,
     &kServeQueueDepth,      &kServeBatchWidth,     &kServeBatchesTotal,
     &kServeReloadsTotal,    &kServeAlertLatencySeconds,
+    &kWalAppendedTotal,     &kWalFlushesTotal,     &kWalFlushSeconds,
+    &kWalCommittedSeq,      &kWalCheckpointsTotal, &kWalCheckpointSeconds,
+    &kWalReplayedRecordsTotal, &kWalRecoveriesTotal, &kWalTornFramesTotal,
+    &kWalIoErrorsTotal,
     &kAdaptRecordsTappedTotal, &kAdaptOovRate,      &kAdaptNoveltyRate,
     &kAdaptCalibrationError, &kAdaptDriftTriggersTotal, &kAdaptReplayDepth,
     &kAdaptRetrainsTotal,   &kAdaptRetrainFailuresTotal,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/catalog.hpp"
+#include "util/stopwatch.hpp"
 
 namespace desh::serve {
 
@@ -28,6 +29,32 @@ struct ServeObs {
   }
 };
 
+// Process-wide durability telemetry (OBSERVABILITY.md "durability").
+// Cached references: registration takes the registry lock exactly once.
+struct WalObs {
+  obs::Counter& appended = obs::registry().counter(obs::kWalAppendedTotal);
+  obs::Counter& flushes = obs::registry().counter(obs::kWalFlushesTotal);
+  obs::Histogram& flush_seconds =
+      obs::registry().histogram(obs::kWalFlushSeconds);
+  obs::Gauge& committed_seq =
+      obs::registry().gauge(obs::kWalCommittedSeq);
+  obs::Counter& checkpoints =
+      obs::registry().counter(obs::kWalCheckpointsTotal);
+  obs::Histogram& checkpoint_seconds =
+      obs::registry().histogram(obs::kWalCheckpointSeconds);
+  obs::Counter& replayed =
+      obs::registry().counter(obs::kWalReplayedRecordsTotal);
+  obs::Counter& recoveries =
+      obs::registry().counter(obs::kWalRecoveriesTotal);
+  obs::Counter& torn_frames =
+      obs::registry().counter(obs::kWalTornFramesTotal);
+  obs::Counter& io_errors = obs::registry().counter(obs::kWalIoErrorsTotal);
+  static WalObs& get() {
+    static WalObs instance;
+    return instance;
+  }
+};
+
 std::string join_violations(const std::vector<std::string>& violations) {
   std::string out = "invalid ServeConfig:";
   for (const std::string& v : violations) out += "\n  - " + v;
@@ -43,8 +70,10 @@ std::vector<std::string> ServeConfig::validate() const {
   if (max_batch == 0) out.push_back("serve.max_batch: must be positive");
   if (!(shed_watermark > 0.0) || shed_watermark > 1.0)
     out.push_back("serve.shed_watermark: must be in (0, 1]");
-  // One source of truth for the monitor's field checks.
+  // One source of truth for the monitor's and the WAL's field checks.
   for (std::string& v : monitor.validate("serve.monitor"))
+    out.push_back(std::move(v));
+  for (std::string& v : wal.validate("serve.wal"))
     out.push_back(std::move(v));
   return out;
 }
@@ -61,8 +90,14 @@ core::Expected<std::unique_ptr<InferenceServer>> InferenceServer::create(
   if (!violations.empty())
     return core::Error{core::ErrorCode::kInvalidConfig,
                        join_violations(violations)};
-  return std::unique_ptr<InferenceServer>(
+  std::unique_ptr<InferenceServer> server(
       new InferenceServer(std::move(pipeline), std::move(config)));
+  // Recovery runs to completion BEFORE the collector exists: restore +
+  // tail replay may touch every pump-serialized member without a lock.
+  core::Expected<void> recovered = server->init_wal();
+  if (!recovered.ok()) return recovered.error();
+  server->start();
+  return server;
 }
 
 core::Expected<std::unique_ptr<InferenceServer>> InferenceServer::create(
@@ -78,9 +113,64 @@ InferenceServer::InferenceServer(
     : config_(std::move(config)),
       pipeline_(std::move(pipeline)),
       monitor_(std::make_unique<core::StreamingMonitor>(*pipeline_,
-                                                        config_.monitor)) {
+                                                        config_.monitor)) {}
+
+void InferenceServer::start() {
   if (config_.start_collector)
     collector_ = std::thread([this] { collector_loop(); });
+}
+
+core::Expected<void> InferenceServer::init_wal() {
+  if (config_.wal.directory.empty()) return {};
+  WalObs& obs = WalObs::get();
+
+  wal::LogOptions options;
+  options.directory = config_.wal.directory;
+  options.flush_every_records = config_.wal.flush_every_records;
+  options.keep_checkpoints = config_.wal.keep_checkpoints;
+  // A checkpoint is acceptable iff its monitor blob restores under THIS
+  // pipeline (matching vocabulary + decision position). The probe restores
+  // in place: the last accepted candidate leaves the monitor holding its
+  // state, and a failed probe leaves it reset — exactly the fallback
+  // semantics we want (older checkpoint, or full replay from seq 1).
+  core::Expected<std::unique_ptr<wal::DurableLog>> opened = wal::DurableLog::open(
+      options, [this](const wal::CheckpointData& candidate) {
+        const std::string* blob = candidate.find("monitor");
+        return blob != nullptr && monitor_->restore_state(*blob).ok();
+      });
+  if (!opened.ok()) return opened.error();
+  wal_ = std::move(opened.value());
+
+  const wal::RecoveredState& recovered = wal_->recovered();
+  // Replay the tail through the exact path live records take, collecting
+  // the re-raised alerts with their seqs for the driver's dedup.
+  for (const wal::EventFrame& frame : recovered.tail) {
+    if (std::optional<core::MonitorAlert> alert =
+            monitor_->observe(frame.record))
+      wal_replayed_alerts_.emplace_back(frame.seq, std::move(*alert));
+  }
+  wal_applied_seq_ = recovered.last_seq;
+
+  if (recovered.checkpoint_seq > 0 || !recovered.tail.empty())
+    obs.recoveries.add();
+  obs.replayed.add(recovered.tail.size());
+  obs.torn_frames.add(recovered.torn_frames);
+  obs.committed_seq.set(static_cast<double>(wal_->committed_seq()));
+
+  WalStats snapshot;
+  snapshot.enabled = true;
+  snapshot.committed_seq = wal_->committed_seq();
+  snapshot.applied_seq = wal_applied_seq_;
+  snapshot.checkpoint_seq = recovered.checkpoint_seq;
+  snapshot.replayed = recovered.tail.size();
+  snapshot.torn_frames = recovered.torn_frames;
+  {
+    util::LockGuard lk(mu_);
+    wal_snapshot_ = snapshot;
+    for (const auto& [name, blob] : recovered.checkpoint.sections)
+      if (name != "monitor") wal_restored_sections_.emplace_back(name, blob);
+  }
+  return {};
 }
 
 InferenceServer::~InferenceServer() { stop(); }
@@ -202,6 +292,7 @@ std::size_t InferenceServer::pump() {
   ServeObs& obs = ServeObs::get();
   std::shared_ptr<const core::DeshPipeline> retiring;
   std::vector<Entry> batch;
+  bool swapped = false;
   {
     util::LockGuard lk(mu_);
     pumping_ = true;
@@ -215,6 +306,7 @@ std::size_t InferenceServer::pump() {
                                                           config_.monitor);
       ++stats_.reloads;
       obs.reloads.add();
+      swapped = true;
     }
     const std::size_t take = std::min(config_.max_batch, queue_.size());
     batch.reserve(take);
@@ -225,6 +317,29 @@ std::size_t InferenceServer::pump() {
     shed_locked();
     stats_.queue_depth = queue_.size();
     obs.queue_depth.set(static_cast<double>(queue_.size()));
+  }
+
+  // Write-ahead: the batch is staged into the log BEFORE inference, in
+  // processing order, so the on-disk record stream is exactly the stream
+  // the monitor consumes (shed records were dropped from the queue above
+  // and are never logged). Group commit flushes on the configured
+  // interval. An I/O failure is counted and serving continues — the
+  // affected records lose durability, never processing.
+  std::uint64_t wal_io_failures = 0;
+  if (wal_ && !batch.empty()) {
+    WalObs& wobs = WalObs::get();
+    for (const Entry& e : batch) wal_->append(e.record);
+    wobs.appended.add(batch.size());
+    util::Stopwatch flush_sw;
+    core::Expected<bool> flushed = wal_->maybe_flush();
+    if (!flushed.ok()) {
+      ++wal_io_failures;
+      wobs.io_errors.add();
+    } else if (flushed.value()) {
+      wobs.flushes.add();
+      wobs.flush_seconds.observe(flush_sw.elapsed_seconds());
+      wobs.committed_seq.set(static_cast<double>(wal_->committed_seq()));
+    }
   }
 
   // Inference runs outside the queue lock: producers keep admitting while
@@ -262,16 +377,135 @@ std::size_t InferenceServer::pump() {
     if (tap) tap(records, alerts);
   }
 
+  bool checkpoint_due = false;
   {
     util::LockGuard lk(mu_);
     if (!batch.empty()) ++stats_.batches;
     stats_.processed += batch.size();
     stats_.alerts += alerts.size();
     for (core::MonitorAlert& a : alerts) alerts_.push_back(std::move(a));
+    if (wal_) {
+      wal_applied_seq_ = wal_->next_seq() - 1;
+      wal_records_since_ckpt_ += batch.size();
+      checkpoint_due = wal_checkpoint_requested_;
+      wal_checkpoint_requested_ = false;
+      if (config_.wal.checkpoint_every_records > 0 &&
+          wal_records_since_ckpt_ >= config_.wal.checkpoint_every_records)
+        checkpoint_due = true;
+      // A model swap resets the monitor, so the previous checkpoint no
+      // longer describes reachable state: checkpoint immediately so replay
+      // never crosses a model change.
+      if (swapped) checkpoint_due = true;
+      wal_snapshot_.appended = wal_->counters().appended;
+      wal_snapshot_.flushes = wal_->counters().flushes;
+      wal_snapshot_.committed_seq = wal_->committed_seq();
+      wal_snapshot_.applied_seq = wal_applied_seq_;
+      wal_snapshot_.io_errors += wal_io_failures;
+    }
     pumping_ = false;
+  }
+  if (checkpoint_due) {
+    if (core::Expected<void> ckpt = do_wal_checkpoint(); !ckpt.ok()) {
+      WalObs::get().io_errors.add();
+      util::LockGuard lk(mu_);
+      ++wal_snapshot_.io_errors;
+    }
   }
   drained_cv_.notify_all();
   return batch.size();
+}
+
+core::Expected<void> InferenceServer::do_wal_checkpoint() {
+  WalObs& wobs = WalObs::get();
+  util::Stopwatch sw;
+  std::vector<std::pair<std::string, WalHook>> hooks;
+  {
+    util::LockGuard lk(mu_);
+    hooks = wal_hooks_;
+  }
+  // The save hooks run on the pump thread OUTSIDE the queue lock (like the
+  // tap): a slow serializer delays the next batch, never submit(), and a
+  // hook may call back into public server methods without deadlocking.
+  std::vector<std::pair<std::string, std::string>> sections;
+  sections.emplace_back("monitor", monitor_->serialize_state());
+  for (const auto& [name, hook] : hooks)
+    if (hook.save) sections.emplace_back(name, hook.save());
+  core::Expected<void> written =
+      wal_->write_checkpoint_and_rotate(std::move(sections));
+  wal_records_since_ckpt_ = 0;
+  if (!written.ok()) return written.error();
+  wobs.checkpoints.add();
+  wobs.checkpoint_seconds.observe(sw.elapsed_seconds());
+  wobs.committed_seq.set(static_cast<double>(wal_->committed_seq()));
+  {
+    util::LockGuard lk(mu_);
+    wal_snapshot_.checkpoints = wal_->counters().checkpoints;
+    wal_snapshot_.flushes = wal_->counters().flushes;
+    wal_snapshot_.committed_seq = wal_->committed_seq();
+  }
+  return {};
+}
+
+InferenceServer::WalStats InferenceServer::wal_stats() const {
+  util::LockGuard lk(mu_);
+  return wal_snapshot_;
+}
+
+void InferenceServer::wal_set_state_hook(std::string name, WalSaveHook save,
+                                         WalRestoreHook restore) {
+  std::optional<std::string> pending;
+  {
+    util::LockGuard lk(mu_);
+    bool replaced = false;
+    for (auto& [hook_name, hook] : wal_hooks_) {
+      if (hook_name == name) {
+        hook = WalHook{save, restore};
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) wal_hooks_.emplace_back(name, WalHook{save, restore});
+    for (const auto& [section_name, blob] : wal_restored_sections_) {
+      if (section_name == name) {
+        pending = blob;
+        break;
+      }
+    }
+  }
+  // Deliver the recovered blob outside the lock, on the caller's thread.
+  if (pending && restore) restore(*pending);
+}
+
+std::optional<std::string> InferenceServer::wal_restored_state(
+    std::string_view name) const {
+  util::LockGuard lk(mu_);
+  for (const auto& [section_name, blob] : wal_restored_sections_)
+    if (section_name == name) return blob;
+  return std::nullopt;
+}
+
+core::Expected<void> InferenceServer::wal_checkpoint_now() {
+  if (!wal_)
+    return core::Error{core::ErrorCode::kUnavailable,
+                       "InferenceServer: WAL is disabled"};
+  bool queued = false;
+  {
+    util::LockGuard lk(mu_);
+    if (stopping_)
+      return core::Error{core::ErrorCode::kUnavailable,
+                         "InferenceServer: server is stopped"};
+    if (collector_.joinable()) {
+      wal_checkpoint_requested_ = true;
+      queued = true;
+    }
+  }
+  if (queued) {
+    work_cv_.notify_one();
+    return {};
+  }
+  // Manual-pump mode: the caller IS the single pumper, so an inline
+  // checkpoint honors the pump-serialization contract.
+  return do_wal_checkpoint();
 }
 
 void InferenceServer::collector_loop() {
@@ -280,11 +514,13 @@ void InferenceServer::collector_loop() {
       util::UniqueLock lk(mu_);
       // Inline predicate loop so the thread-safety analysis sees the
       // guarded reads happen under mu_.
-      while (!stopping_ && queue_.empty() && staged_pipeline_ == nullptr)
+      while (!stopping_ && queue_.empty() && staged_pipeline_ == nullptr &&
+             !wal_checkpoint_requested_)
         work_cv_.wait(lk);
-      // The predicate held, so an empty idle state here means stop: drain
-      // finished, no swap staged.
-      if (queue_.empty() && !staged_pipeline_) return;
+      // Nothing left to do and the server is stopping: exit. (A checkpoint
+      // request pending at stop is dropped — stop() flushes the log, so
+      // the state is fully recoverable from replay alone.)
+      if (stopping_ && queue_.empty() && staged_pipeline_ == nullptr) return;
     }
     pump();
   }
@@ -313,6 +549,28 @@ void InferenceServer::stop() {
     // Manual-pump mode: process what was admitted before the stop.
     while (pump() != 0) {
     }
+  }
+  // The pump is quiesced (collector joined / manual pumping done), so the
+  // WAL may be touched from this thread: commit the unflushed tail so an
+  // orderly shutdown loses nothing.
+  if (wal_) {
+    core::Expected<bool> flushed = [&]() -> core::Expected<bool> {
+      if (wal_->pending_records() == 0) return false;
+      core::Expected<void> f = wal_->flush();
+      if (!f.ok()) return f.error();
+      return true;
+    }();
+    util::LockGuard lk(mu_);
+    if (!flushed.ok()) {
+      ++wal_snapshot_.io_errors;
+      WalObs::get().io_errors.add();
+    } else if (flushed.value()) {
+      WalObs& wobs = WalObs::get();
+      wobs.flushes.add();
+      wobs.committed_seq.set(static_cast<double>(wal_->committed_seq()));
+    }
+    wal_snapshot_.flushes = wal_->counters().flushes;
+    wal_snapshot_.committed_seq = wal_->committed_seq();
   }
 }
 

@@ -21,6 +21,16 @@
 //     boundary, so in-flight batches finish on the old model. Per-node
 //     window state is reset at install (the new model's vocabulary may
 //     encode phrases differently, so stale windows would be meaningless).
+//   - Durability (opt-in via ServeConfig::wal). Every processed record is
+//     appended to a write-ahead log before inference, group-committed on
+//     the configured flush interval, and folded into periodic fuzzy
+//     checkpoints of monitor + subsystem state. create() on a non-empty
+//     WAL directory restores the newest valid checkpoint and replays the
+//     log tail through the same observe path, reproducing the pre-crash
+//     decision stream byte-for-byte (DESIGN.md "Durability"; proven by
+//     tests/crashsim). A record is durable exactly when
+//     wal_stats().committed_seq >= its seq — ack downstream effects on
+//     that, not on submit() returning.
 //
 // Entry points return core::Expected — no exceptions cross this API for
 // I/O or configuration errors.
@@ -31,16 +41,21 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/expected.hpp"
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
 #include "logs/record.hpp"
 #include "util/sync.hpp"
+#include "wal/wal.hpp"
 
 namespace desh::serve {
 
@@ -70,6 +85,8 @@ struct ServeConfig {
   bool start_collector = true;
   /// Monitor tuning (gap, re-arm, observe_batch worker count).
   core::MonitorConfig monitor;
+  /// Durability layer (src/wal). Disabled unless `wal.directory` is set.
+  core::WalConfig wal;
 
   /// All violations as "field.path: problem" strings; empty when valid.
   [[nodiscard]] std::vector<std::string> validate() const;
@@ -164,6 +181,57 @@ class InferenceServer {
 
   ServeStats stats() const;
 
+  // --- durability (ServeConfig::wal; see the header comment) --------------
+
+  /// Lifetime durability counters; `enabled` is false (and everything else
+  /// zero) when the WAL is off. Exported as desh_wal_* metrics too.
+  struct WalStats {
+    bool enabled = false;
+    std::uint64_t appended = 0;        // records staged into the log
+    std::uint64_t committed_seq = 0;   // highest durable seq
+    std::uint64_t applied_seq = 0;     // highest seq fed to the monitor
+    std::uint64_t checkpoint_seq = 0;  // seq of the restored checkpoint
+    std::uint64_t flushes = 0;         // group commits
+    std::uint64_t checkpoints = 0;     // checkpoints written this run
+    std::uint64_t replayed = 0;        // tail records replayed at startup
+    std::uint64_t torn_frames = 0;     // corruption events seen at restore
+    std::uint64_t io_errors = 0;       // write-path failures (kept serving)
+  };
+  WalStats wal_stats() const;
+
+  /// Alerts the startup replay re-raised, each paired with the seq of the
+  /// record that raised it. They are NOT queued for poll_alerts() — the
+  /// pre-crash process already delivered alerts up to committed_seq, so
+  /// re-delivery is the driver's call (dedup by seq; see tests/crashsim).
+  const std::vector<std::pair<std::uint64_t, core::MonitorAlert>>&
+  wal_replayed_alerts() const {
+    return wal_replayed_alerts_;
+  }
+
+  /// Serializes a subsystem's state into a named checkpoint section;
+  /// called on the pump thread at checkpoint time, outside the queue lock.
+  using WalSaveHook = std::function<std::string()>;
+  /// Receives that section's blob after a restore.
+  using WalRestoreHook = std::function<void(const std::string&)>;
+
+  /// Registers a named state hook (e.g. desh::adapt's replay buffer +
+  /// champion pointer). If the startup restore recovered a section with
+  /// this name, `restore` is invoked with it immediately, on the calling
+  /// thread, before this returns. Re-registering a name replaces the hook.
+  void wal_set_state_hook(std::string name, WalSaveHook save,
+                          WalRestoreHook restore);
+
+  /// The named section from the restored checkpoint, if any — for callers
+  /// that need recovered state *before* wiring hooks (e.g. reloading the
+  /// checkpointed champion model to construct the server with).
+  std::optional<std::string> wal_restored_state(std::string_view name) const;
+
+  /// Forces a checkpoint. Manual-pump mode: runs inline (the caller is the
+  /// single pumper) and returns the write's outcome. Collector mode:
+  /// stages a request the collector honors at the next batch boundary and
+  /// returns immediately. kUnavailable when the WAL is disabled/stopped.
+  [[nodiscard]] core::Expected<void> wal_checkpoint_now();
+
   /// Manual-pump mode only: coalesces and processes one micro-batch
   /// (installing any staged swap first) and returns how many records it
   /// processed. Single caller at a time.
@@ -183,6 +251,17 @@ class InferenceServer {
   void shed_locked() DESH_REQUIRES(mu_);
   std::size_t shed_limit() const;
 
+  /// create()-time only: opens the WAL, restores the newest acceptable
+  /// checkpoint into the monitor, replays the log tail. Runs before the
+  /// collector thread exists, so it may touch pump-serialized state.
+  [[nodiscard]] core::Expected<void> init_wal();
+  /// Starts the collector thread (create()-time, after init_wal()).
+  void start();
+  /// Pump-thread only: flush + write checkpoint (monitor blob + hook
+  /// sections) + rotate + GC.
+  [[nodiscard]] core::Expected<void> do_wal_checkpoint()
+      DESH_EXCLUDES(mu_);
+
   ServeConfig config_;
   // pipeline_/monitor_ are pump-serialized, not mutex-guarded: they are
   // swapped inside pump() under mu_ (batch boundary) but *read* by the same
@@ -192,6 +271,16 @@ class InferenceServer {
   // pumping_ below.
   std::shared_ptr<const core::DeshPipeline> pipeline_;
   std::unique_ptr<core::StreamingMonitor> monitor_;
+  // The durable log and its replay bookkeeping are pump-serialized too:
+  // written by init_wal() before any thread exists, then touched only
+  // inside pump() / do_wal_checkpoint() (pump thread). Cross-thread reads
+  // go through wal_snapshot_ below, refreshed under mu_ at each pump.
+  std::unique_ptr<wal::DurableLog> wal_;
+  std::uint64_t wal_applied_seq_ = 0;        // highest seq observed
+  std::uint64_t wal_records_since_ckpt_ = 0;  // periodic-checkpoint budget
+  // Set once by init_wal(), const afterwards (safe to return by reference).
+  std::vector<std::pair<std::uint64_t, core::MonitorAlert>>
+      wal_replayed_alerts_;
 
   mutable util::Mutex mu_;
   util::CondVar work_cv_;     // queue non-empty / swap staged / stop
@@ -204,6 +293,21 @@ class InferenceServer {
   ServeStats stats_ DESH_GUARDED_BY(mu_);
   bool stopping_ DESH_GUARDED_BY(mu_) = false;
   bool pumping_ DESH_GUARDED_BY(mu_) = false;
+  /// Cross-thread-readable copy of the WAL counters (see wal_ above).
+  WalStats wal_snapshot_ DESH_GUARDED_BY(mu_);
+  /// wal_checkpoint_now() request, honored at the next batch boundary.
+  bool wal_checkpoint_requested_ DESH_GUARDED_BY(mu_) = false;
+  struct WalHook {
+    WalSaveHook save;
+    WalRestoreHook restore;
+  };
+  /// Registered state hooks, in registration order (copied out before the
+  /// save calls, which run outside the lock).
+  std::vector<std::pair<std::string, WalHook>> wal_hooks_
+      DESH_GUARDED_BY(mu_);
+  /// Non-monitor sections of the restored checkpoint, keyed by name.
+  std::vector<std::pair<std::string, std::string>> wal_restored_sections_
+      DESH_GUARDED_BY(mu_);
 
   std::thread collector_;
 };

@@ -1,0 +1,101 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+namespace desh::util {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v & 0xFFu));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    put_u8(out, static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    put_u8(out, static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+bool ByteReader::get_u8(std::uint8_t& out) {
+  if (remaining() < 1) return false;
+  out = static_cast<std::uint8_t>(bytes_[pos_++]);
+  return true;
+}
+
+bool ByteReader::get_u16(std::uint16_t& out) {
+  if (remaining() < 2) return false;
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i)
+    v |= static_cast<std::uint16_t>(
+             static_cast<std::uint8_t>(
+                 bytes_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos_ += 2;
+  out = v;
+  return true;
+}
+
+bool ByteReader::get_u32(std::uint32_t& out) {
+  if (remaining() < 4) return false;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(
+                 bytes_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos_ += 4;
+  out = v;
+  return true;
+}
+
+bool ByteReader::get_u64(std::uint64_t& out) {
+  if (remaining() < 8) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(
+                 bytes_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos_ += 8;
+  out = v;
+  return true;
+}
+
+bool ByteReader::get_f64(double& out) {
+  std::uint64_t bits = 0;
+  if (!get_u64(bits)) return false;
+  std::memcpy(&out, &bits, sizeof out);
+  return true;
+}
+
+bool ByteReader::get_bytes(std::string& out) {
+  std::uint32_t len = 0;
+  if (!get_u32(len)) return false;
+  if (remaining() < len) {
+    pos_ -= 4;  // leave the reader where it was: nothing was consumed
+    return false;
+  }
+  out.assign(bytes_.substr(pos_, len));
+  pos_ += len;
+  return true;
+}
+
+}  // namespace desh::util

@@ -1,0 +1,48 @@
+// Portable little-endian byte packing, shared by every on-disk format
+// (wal segments/checkpoints, the monitor's checkpoint blob). Integers are
+// written byte-by-byte so the encoding is identical on any host; doubles
+// travel as their u64 bit image, so a round trip is bit-exact — required
+// wherever restored state must reproduce decisions byte-for-byte.
+//
+// Reads are total: every ByteReader::get_* is bounds-checked and returns
+// false instead of reading past the end, so decoders built on it can be
+// fed arbitrary bytes (fuzzed, truncated, bit-rotted) without crashing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace desh::util {
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_f64(std::string& out, double v);
+/// u32 length prefix + the bytes.
+void put_bytes(std::string& out, std::string_view bytes);
+
+/// Bounds-checked sequential reader over a byte buffer. Every get_*
+/// returns false (leaving `out` untouched) instead of reading past the
+/// end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool get_u8(std::uint8_t& out);
+  bool get_u16(std::uint16_t& out);
+  bool get_u32(std::uint32_t& out);
+  bool get_u64(std::uint64_t& out);
+  bool get_f64(double& out);
+  bool get_bytes(std::string& out);  // u32 len + len bytes
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace desh::util

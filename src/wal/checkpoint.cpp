@@ -1,0 +1,201 @@
+#include "wal/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "wal/codec.hpp"
+#include "wal/crash_points.hpp"
+
+namespace desh::wal {
+namespace {
+
+constexpr std::string_view kMagic = "DESHCKPT";
+constexpr std::string_view kPrefix = "ckpt-";
+constexpr std::string_view kSuffix = ".ckpt";
+constexpr std::size_t kSeqDigits = 20;
+
+std::string checkpoint_name(std::uint64_t seq) {
+  std::string digits = std::to_string(seq);
+  std::string name(kPrefix);
+  name.append(kSeqDigits - digits.size(), '0');
+  name += digits;
+  name += kSuffix;
+  return name;
+}
+
+/// Parses `ckpt-<20 digits>.ckpt`; returns false for anything else.
+bool parse_checkpoint_name(const std::string& name, std::uint64_t& seq) {
+  if (name.size() != kPrefix.size() + kSeqDigits + kSuffix.size())
+    return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0)
+    return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < kSeqDigits; ++i) {
+    const char c = name[kPrefix.size() + i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  seq = value;
+  return true;
+}
+
+core::Error io_error(const std::string& what,
+                     const std::filesystem::path& path) {
+  return core::Error{core::ErrorCode::kIo,
+                     what + " " + path.string() + ": " +
+                         std::strerror(errno)};
+}
+
+}  // namespace
+
+const std::string* CheckpointData::find(std::string_view name) const {
+  for (const auto& [section_name, blob] : sections)
+    if (section_name == name) return &blob;
+  return nullptr;
+}
+
+std::string encode_checkpoint(const CheckpointData& data) {
+  std::string out;
+  out.append(kMagic);
+  put_u32(out, kCheckpointFormatVersion);
+  put_u64(out, data.seq);
+  put_u32(out, static_cast<std::uint32_t>(data.sections.size()));
+  for (const auto& [name, blob] : data.sections) {
+    put_bytes(out, name);
+    put_bytes(out, blob);
+  }
+  put_u32(out, crc32(out));
+  return out;
+}
+
+core::Expected<CheckpointData> decode_checkpoint(std::string_view bytes) {
+  const auto corrupt = [](const char* what) {
+    return core::Error{core::ErrorCode::kFormatVersion,
+                       std::string("checkpoint: ") + what};
+  };
+  if (bytes.size() < kMagic.size() + 4 + 8 + 4 + 4)
+    return corrupt("file too short");
+  if (bytes.substr(0, kMagic.size()) != kMagic)
+    return corrupt("bad magic");
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  ByteReader trailer(bytes.substr(bytes.size() - 4));
+  std::uint32_t expect_crc = 0;
+  if (!trailer.get_u32(expect_crc) || crc32(body) != expect_crc)
+    return corrupt("CRC mismatch");
+  ByteReader reader(body.substr(kMagic.size()));
+  CheckpointData data;
+  std::uint32_t format = 0;
+  std::uint32_t n_sections = 0;
+  if (!reader.get_u32(format) || format != kCheckpointFormatVersion)
+    return corrupt("unsupported format version");
+  if (!reader.get_u64(data.seq) || !reader.get_u32(n_sections))
+    return corrupt("truncated header");
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    std::string name;
+    std::string blob;
+    if (!reader.get_bytes(name) || !reader.get_bytes(blob))
+      return corrupt("truncated section");
+    data.sections.emplace_back(std::move(name), std::move(blob));
+  }
+  if (!reader.done()) return corrupt("trailing bytes");
+  return data;
+}
+
+core::Expected<void> write_checkpoint(const std::filesystem::path& dir,
+                                      const CheckpointData& data) {
+  const std::string bytes = encode_checkpoint(data);
+  const std::filesystem::path final_path = dir / checkpoint_name(data.seq);
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp";
+  // POSIX fd I/O so the bytes are handed to the kernel before the rename
+  // is attempted; an abrupt exit at the crash point below must leave the
+  // complete temp file behind, not a libc-buffered fraction of it.
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) return io_error("open", tmp_path);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const core::Error err = io_error("write", tmp_path);
+      ::close(fd);
+      return err;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) return io_error("close", tmp_path);
+  crash_point("wal.checkpoint.rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec)
+    return core::Error{core::ErrorCode::kIo,
+                       "rename " + tmp_path.string() + " -> " +
+                           final_path.string() + ": " + ec.message()};
+  return {};
+}
+
+core::Expected<CheckpointData> read_checkpoint(
+    const std::filesystem::path& file) {
+  std::ifstream is(file, std::ios::binary);
+  if (!is)
+    return core::Error{core::ErrorCode::kIo,
+                       "cannot open checkpoint " + file.string()};
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return decode_checkpoint(buffer.str());
+}
+
+std::vector<std::pair<std::uint64_t, std::filesystem::path>> list_checkpoints(
+    const std::filesystem::path& dir) {
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::uint64_t seq = 0;
+    if (parse_checkpoint_name(entry.path().filename().string(), seq))
+      found.emplace_back(seq, entry.path());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+core::Expected<CheckpointData> load_latest_checkpoint(
+    const std::filesystem::path& dir,
+    const std::function<bool(const CheckpointData&)>& acceptable) {
+  auto checkpoints = list_checkpoints(dir);
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    core::Expected<CheckpointData> loaded = read_checkpoint(it->second);
+    if (!loaded.ok()) continue;  // corrupt — fall back to an older one
+    if (acceptable && !acceptable(loaded.value())) continue;
+    return loaded;
+  }
+  // No usable checkpoint: recovery starts from an empty state at seq 0.
+  return CheckpointData{};
+}
+
+std::uint64_t gc_checkpoints(const std::filesystem::path& dir,
+                             std::size_t keep) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp")
+      std::filesystem::remove(entry.path(), ec);
+  }
+  auto checkpoints = list_checkpoints(dir);
+  if (keep == 0) keep = 1;
+  while (checkpoints.size() > keep) {
+    std::filesystem::remove(checkpoints.front().second, ec);
+    checkpoints.erase(checkpoints.begin());
+  }
+  return checkpoints.empty() ? 0 : checkpoints.front().first;
+}
+
+}  // namespace desh::wal

@@ -1,0 +1,83 @@
+// Fuzzy checkpoints of recoverable state (DESIGN.md "Durability").
+//
+// A checkpoint captures the full recoverable state as of WAL sequence
+// number `seq`: every record with seq' <= seq is folded into the blobs,
+// every record after it must be replayed from the log tail. Sections are
+// opaque named blobs ("monitor", "adapt", ...) so subsystems own their own
+// encodings; the checkpoint layer only frames them.
+//
+// File format (`ckpt-<seq, zero-padded to 20>.ckpt`):
+//
+//   "DESHCKPT" [u32 format=1] [u64 seq] [u32 n_sections]
+//   n_sections x { [u32 name_len][name] [u32 blob_len][blob] }
+//   [u32 crc32 of everything before it]
+//
+// Durability idiom is write-then-rename, same as the model registry's
+// MANIFEST: the bytes land in `<file>.tmp`, are closed, then renamed into
+// place. A crash before the rename leaves only a `.tmp` orphan that the
+// next GC sweep removes; a crash after it leaves a whole, CRC-valid file.
+// There is never a moment where a reader can observe a half-written
+// checkpoint under its final name.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/expected.hpp"
+
+namespace desh::wal {
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+struct CheckpointData {
+  std::uint64_t seq = 0;
+  /// (section name, opaque blob), in write order.
+  std::vector<std::pair<std::string, std::string>> sections;
+
+  /// Returns the blob for `name`, or nullptr if the section is absent.
+  const std::string* find(std::string_view name) const;
+};
+
+/// Serializes `data` (without the filename) into the on-disk byte layout.
+std::string encode_checkpoint(const CheckpointData& data);
+
+/// Inverse of encode_checkpoint. Total: arbitrary bytes yield an error,
+/// never a crash or a throw.
+core::Expected<CheckpointData> decode_checkpoint(std::string_view bytes);
+
+/// Writes `data` to `dir/ckpt-<seq>.ckpt` via write-then-rename.
+core::Expected<void> write_checkpoint(const std::filesystem::path& dir,
+                                      const CheckpointData& data);
+
+/// Reads and validates one checkpoint file.
+core::Expected<CheckpointData> read_checkpoint(
+    const std::filesystem::path& file);
+
+/// All well-named checkpoint files in `dir`, ascending by seq. Files that
+/// merely *look* like checkpoints are included; validity is decided by
+/// read_checkpoint.
+std::vector<std::pair<std::uint64_t, std::filesystem::path>> list_checkpoints(
+    const std::filesystem::path& dir);
+
+/// Loads the newest checkpoint in `dir` that both parses and satisfies
+/// `acceptable` (e.g. "the monitor blob matches this pipeline's vocab").
+/// Older checkpoints are tried in turn — a corrupt or incompatible newest
+/// checkpoint degrades recovery (longer replay), never blocks it. Returns
+/// an empty optional-like Expected carrying seq==0 and no sections when no
+/// usable checkpoint exists.
+core::Expected<CheckpointData> load_latest_checkpoint(
+    const std::filesystem::path& dir,
+    const std::function<bool(const CheckpointData&)>& acceptable);
+
+/// Deletes all but the newest `keep` checkpoints plus any `.tmp` orphans
+/// from interrupted writes. Returns the smallest surviving checkpoint seq
+/// (0 when none survive) so the log can drop fully-covered segments.
+std::uint64_t gc_checkpoints(const std::filesystem::path& dir,
+                             std::size_t keep);
+
+}  // namespace desh::wal

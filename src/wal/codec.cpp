@@ -1,0 +1,94 @@
+#include "wal/codec.hpp"
+
+#include <array>
+
+namespace desh::wal {
+namespace {
+
+/// CRC32 lookup table for the IEEE polynomial, built once at startup.
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> kTable = build_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes)
+    c = kTable[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_frame(std::uint64_t seq, const logs::LogRecord& record,
+                  std::string& out) {
+  std::string payload;
+  payload.reserve(29 + record.message.size());
+  put_u8(payload, kEventFrame);
+  put_u64(payload, seq);
+  put_f64(payload, record.timestamp);
+  put_u16(payload, record.node.cabinet_x);
+  put_u16(payload, record.node.cabinet_y);
+  put_u8(payload, record.node.chassis);
+  put_u8(payload, record.node.slot);
+  put_u8(payload, record.node.node);
+  put_bytes(payload, record.message);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.append(payload);
+}
+
+DecodeResult decode_frame(std::string_view bytes) {
+  DecodeResult result;
+  ByteReader header(bytes);
+  std::uint32_t payload_len = 0;
+  std::uint32_t expect_crc = 0;
+  if (!header.get_u32(payload_len) || !header.get_u32(expect_crc)) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
+  if (payload_len > kMaxFramePayload) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  if (bytes.size() - 8 < payload_len) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
+  const std::string_view payload = bytes.substr(8, payload_len);
+  if (crc32(payload) != expect_crc) {
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  ByteReader body(payload);
+  std::uint8_t type = 0;
+  EventFrame frame;
+  const bool ok = body.get_u8(type) && type == kEventFrame &&
+                  body.get_u64(frame.seq) &&
+                  body.get_f64(frame.record.timestamp) &&
+                  body.get_u16(frame.record.node.cabinet_x) &&
+                  body.get_u16(frame.record.node.cabinet_y) &&
+                  body.get_u8(frame.record.node.chassis) &&
+                  body.get_u8(frame.record.node.slot) &&
+                  body.get_u8(frame.record.node.node) &&
+                  body.get_bytes(frame.record.message) && body.done();
+  if (!ok) {
+    // The CRC matched but the body doesn't parse as an event frame — an
+    // unknown type tag or internal inconsistency. Corruption either way.
+    result.status = DecodeStatus::kCorrupt;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.consumed = 8 + payload_len;
+  result.frame = std::move(frame);
+  return result;
+}
+
+}  // namespace desh::wal

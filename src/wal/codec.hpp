@@ -1,0 +1,82 @@
+// Binary codec of the durable event log (DESIGN.md "Durability").
+//
+// A WAL frame is length-prefixed and CRC32-framed so that a torn tail (the
+// process died mid-write, the disk dropped a sector, a byte rotted) is
+// *detected* instead of replayed as garbage:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload_len bytes]
+//
+// The payload is one event record:
+//
+//   [u8 type=kEventFrame][u64 seq][f64 timestamp][NodeId (7 bytes)]
+//   [u32 message_len][message bytes]
+//
+// All integers are little-endian, written byte-by-byte so the format is
+// identical on any host. `seq` is the log sequence number (LSN): 1-based,
+// strictly contiguous within a log — a valid-CRC frame whose seq breaks the
+// chain is treated as corruption by the scanner, not silently accepted.
+//
+// Every decode path is bounds-checked and total: arbitrary bytes NEVER
+// crash the decoder (pinned by the fuzz test in tests/test_wal.cpp); they
+// produce DecodeStatus::kCorrupt / kTruncated instead. No decode path
+// throws — errors travel as values (core::Expected discipline, enforced for
+// this directory by desh_lint's `wal-expected` rule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "logs/record.hpp"
+#include "util/bytes.hpp"
+
+namespace desh::wal {
+
+// The byte-level primitives live in util::bytes (shared with the monitor's
+// checkpoint blob); the wal namespace re-exports them for its callers.
+using util::ByteReader;
+using util::put_bytes;
+using util::put_f64;
+using util::put_u16;
+using util::put_u32;
+using util::put_u64;
+using util::put_u8;
+
+/// Frame payload type tags (u8). Only events exist today; the tag leaves
+/// room for control frames without a format break.
+inline constexpr std::uint8_t kEventFrame = 1;
+
+/// Hard ceiling on one frame's payload (a console log line is < 1 KiB; a
+/// length prefix beyond this is corruption, not a huge record).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// IEEE CRC32 (polynomial 0xEDB88320), the framing checksum.
+std::uint32_t crc32(std::string_view bytes);
+
+/// One decoded event frame.
+struct EventFrame {
+  std::uint64_t seq = 0;
+  logs::LogRecord record;
+};
+
+/// Appends the framed encoding of (seq, record) to `out`.
+void encode_frame(std::uint64_t seq, const logs::LogRecord& record,
+                  std::string& out);
+
+enum class DecodeStatus {
+  kOk,         // one whole frame decoded; `consumed` bytes were used
+  kTruncated,  // the buffer ends mid-frame (a torn tail)
+  kCorrupt,    // CRC mismatch, bad type tag, or an impossible length
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kCorrupt;
+  std::size_t consumed = 0;  // valid only for kOk
+  EventFrame frame;          // valid only for kOk
+};
+
+/// Decodes the frame starting at `bytes[0]`. Total: never crashes, never
+/// reads out of bounds, never throws — any input yields a DecodeResult.
+DecodeResult decode_frame(std::string_view bytes);
+
+}  // namespace desh::wal

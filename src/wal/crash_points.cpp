@@ -1,0 +1,32 @@
+#include "wal/crash_points.hpp"
+
+#include <atomic>
+
+namespace desh::wal {
+namespace {
+
+// Atomic so a hook installed before server start is visible to the pump
+// thread without extra synchronization; the harness never swaps hooks
+// while the server is live.
+std::atomic<CrashHook> g_hook{nullptr};
+
+}  // namespace
+
+void set_crash_hook(CrashHook hook) {
+  // ordering: release pairs with the acquire loads below so a hook set
+  // before the server starts is fully constructed when a pump observes it.
+  g_hook.store(hook, std::memory_order_release);
+}
+
+bool crash_hook_installed() {
+  // ordering: acquire pairs with the release store in set_crash_hook.
+  return g_hook.load(std::memory_order_acquire) != nullptr;
+}
+
+void crash_point(const char* point) {
+  // ordering: acquire pairs with the release store in set_crash_hook.
+  if (CrashHook hook = g_hook.load(std::memory_order_acquire))
+    hook(point);
+}
+
+}  // namespace desh::wal

@@ -1,0 +1,34 @@
+// Deterministic crash injection for the durability test harness
+// (tests/crashsim/). Production code compiles the hook to a null-check
+// no-op; the crashsim child installs a hook that calls std::_Exit at the
+// Nth hit of a named point, which models an abrupt process death (no
+// destructors, no stdio flush) at an exact byte boundary in the WAL's
+// write path. Timing-based kills cannot pin a crash between two ::write
+// calls; a named point can, which is what makes the torn-tail cases
+// reproducible.
+//
+// Named points (all in src/wal):
+//   wal.append.staged      — record framed into the pending buffer, not
+//                            yet handed to the kernel
+//   wal.flush.partial      — first chunk of a flush written, second not
+//   wal.commit.acked       — all bytes written, commit bookkeeping not
+//                            yet updated (post-commit-pre-ack)
+//   wal.checkpoint.rename  — checkpoint temp file complete, rename pending
+#pragma once
+
+namespace desh::wal {
+
+using CrashHook = void (*)(const char* point);
+
+/// Installs (or clears, with nullptr) the process-wide crash hook.
+/// Test-only; never called by production code.
+void set_crash_hook(CrashHook hook);
+
+/// True once a hook has been installed. Lets the WAL pick crash-safe
+/// defaults only when a harness is actually driving it.
+bool crash_hook_installed();
+
+/// Fires the hook for `point` if one is installed; a no-op otherwise.
+void crash_point(const char* point);
+
+}  // namespace desh::wal

@@ -1,0 +1,149 @@
+// Append-only durable event log with checkpoint-anchored recovery
+// (DESIGN.md "Durability").
+//
+// On disk a log is a directory of segment files plus checkpoint files:
+//
+//   wal-<start_seq, zero-padded to 20>.log   (codec.hpp frames)
+//   ckpt-<seq, zero-padded to 20>.ckpt       (checkpoint.hpp)
+//
+// Each segment opens with a 16-byte header — "DESHWAL1" magic + u64
+// start_seq (LE) — followed by CRC32-framed event records whose sequence
+// numbers run contiguously from start_seq. Segments rotate at every
+// checkpoint, so only the *last* segment can ever hold a torn tail: all
+// earlier segments were sealed by a completed flush.
+//
+// Write path (group commit): append() frames the record into an in-memory
+// pending buffer and assigns the next seq; flush() hands the whole buffer
+// to the kernel with POSIX ::write and only then advances committed_seq.
+// A record is DURABLE (will survive an abrupt process death) exactly when
+// committed_seq >= its seq — callers that acknowledge work downstream must
+// gate on committed_seq (the serve driver in tests/crashsim does).
+//
+// Recovery invariant: a checkpoint at seq K is only ever written after the
+// log is flushed through K. Hence committed_seq >= checkpoint_seq at all
+// times, and restart = load newest valid checkpoint (K) + replay frames
+// (K, last_valid]. Replaying through the same deterministic observe path
+// reproduces the pre-crash decision stream byte-for-byte — pinned by
+// tests/crashsim.
+//
+// Threading: DurableLog is NOT internally synchronized. The serve
+// integration drives it only from the pump-serialized section of
+// InferenceServer::pump (same contract as pipeline_/monitor_); standalone
+// users must serialize calls themselves.
+//
+// Durability scope: flushes reach the kernel page cache (::write), which
+// survives any process death — the failure model Desh's monitor restart
+// story (and the crashsim harness) is about. Surviving a kernel panic or
+// power cut would additionally need fdatasync per group commit; see
+// DESIGN.md for why that trade was made.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/expected.hpp"
+#include "logs/record.hpp"
+#include "wal/checkpoint.hpp"
+#include "wal/codec.hpp"
+
+namespace desh::wal {
+
+struct LogOptions {
+  std::filesystem::path directory;
+  /// Group-commit interval: maybe_flush() flushes once this many records
+  /// are pending. 1 = flush every record (slow, minimal loss window).
+  std::size_t flush_every_records = 64;
+  /// How many checkpoints survive GC (older ones + their segments drop).
+  std::size_t keep_checkpoints = 2;
+};
+
+/// Everything open() reconstructed from disk.
+struct RecoveredState {
+  /// K: highest seq folded into the restored checkpoint (0 = none found).
+  std::uint64_t checkpoint_seq = 0;
+  /// Highest contiguous valid seq found across checkpoint and log.
+  std::uint64_t last_seq = 0;
+  /// Records in (checkpoint_seq, last_seq], ready to replay in order.
+  std::vector<EventFrame> tail;
+  /// Section blobs from the restored checkpoint (empty when none).
+  CheckpointData checkpoint;
+  /// Invalid frames discarded at the tail (torn writes, bit rot).
+  std::uint64_t torn_frames = 0;
+  /// Segment files visited during the scan.
+  std::uint64_t segments_scanned = 0;
+};
+
+/// Monotonic write-path counters, cheap to copy out for metrics.
+struct LogCounters {
+  std::uint64_t appended = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t checkpoints = 0;
+};
+
+class DurableLog {
+ public:
+  /// Opens (creating the directory if needed) and recovers the log.
+  /// `checkpoint_acceptable` lets the caller veto stale checkpoints (wrong
+  /// vocab size, wrong format) — vetoed ones fall back to older files or
+  /// to full replay from seq 1. Pass nullptr to accept any valid file.
+  static core::Expected<std::unique_ptr<DurableLog>> open(
+      const LogOptions& options,
+      std::function<bool(const CheckpointData&)> checkpoint_acceptable);
+
+  ~DurableLog();
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+
+  const RecoveredState& recovered() const { return recovered_; }
+  const LogCounters& counters() const { return counters_; }
+
+  /// Stages `record` in the pending buffer; returns its assigned seq.
+  /// Not durable until the next flush().
+  std::uint64_t append(const logs::LogRecord& record);
+
+  /// Writes every pending record to the segment. On success,
+  /// committed_seq() == the last appended seq.
+  core::Expected<void> flush();
+
+  /// Group commit: flush() iff pending_records() >= flush_every_records.
+  /// Returns whether a flush happened.
+  core::Expected<bool> maybe_flush();
+
+  /// Flushes, then writes a checkpoint at committed_seq() with `sections`,
+  /// rotates to a fresh segment, and GCs checkpoints + fully-covered
+  /// segments. The flush-before-write ordering is what maintains the
+  /// recovery invariant (committed_seq >= checkpoint_seq).
+  core::Expected<void> write_checkpoint_and_rotate(
+      std::vector<std::pair<std::string, std::string>> sections);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Highest seq guaranteed durable (all records <= it are on disk).
+  std::uint64_t committed_seq() const { return committed_seq_; }
+  std::uint64_t pending_records() const { return pending_count_; }
+  std::uint64_t last_checkpoint_seq() const { return last_checkpoint_seq_; }
+
+ private:
+  DurableLog() = default;
+
+  core::Expected<void> open_segment(std::uint64_t start_seq);
+  core::Expected<void> scan_segments();
+
+  LogOptions options_;
+  RecoveredState recovered_;
+  LogCounters counters_;
+
+  int fd_ = -1;                      // current segment, append position
+  std::filesystem::path fd_path_;    // its path (for error messages)
+  std::string pending_;              // staged frames awaiting group commit
+  std::uint64_t pending_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t committed_seq_ = 0;
+  std::uint64_t last_checkpoint_seq_ = 0;
+};
+
+}  // namespace desh::wal

@@ -1,0 +1,195 @@
+// crashsim child: the process the crash-injection harness kills and
+// restarts (tests/crashsim/test_crashsim.cpp is the driver).
+//
+// It serves an input stream through a WAL-enabled InferenceServer in
+// manual-pump mode, one record per pump, and writes every DURABLE decision
+// to the alerts file: an alert is acknowledged only once
+// wal_stats().committed_seq covers the record that raised it — exactly the
+// contract a real downstream consumer must follow. On startup it first
+// acknowledges the replayed alert stream (durable by definition), then
+// resumes the input from the first un-logged record.
+//
+// --crash POINT:N installs a wal crash hook that calls std::_Exit(42) on
+// the Nth hit of the named point — an abrupt death with no destructors, no
+// flushes, no atexit: the closest a unit test gets to kill -9 while keeping
+// the run deterministic.
+//
+// Protocol (all files line-oriented):
+//   input:  <hexfloat ts>\t<node>\t<message>          one record per line
+//   alerts: <seq>|<node>|<hexfloat time>|<hexfloat lead>|<hexfloat score>|
+//           <message>                                  appended, ack-order
+//   status: checkpoint_seq=K committed_seq=C applied_seq=A replayed=R
+//           torn=T                                     written post-restore
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/persistence.hpp"
+#include "logs/record.hpp"
+#include "serve/server.hpp"
+#include "wal/crash_points.hpp"
+
+namespace {
+
+const char* g_crash_point = nullptr;  // null = never crash
+int g_crash_on_hit = 0;
+int g_hits = 0;
+
+void crash_hook(const char* point) {
+  if (g_crash_point != nullptr && std::strcmp(point, g_crash_point) == 0 &&
+      ++g_hits == g_crash_on_hit)
+    std::_Exit(42);
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "crashsim_child: %s\n", message.c_str());
+  return 1;
+}
+
+std::optional<std::vector<desh::logs::LogRecord>> read_input(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::vector<desh::logs::LogRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 =
+        tab1 == std::string::npos ? tab1 : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) return std::nullopt;
+    desh::logs::LogRecord record;
+    record.timestamp = std::strtod(line.c_str(), nullptr);
+    if (!desh::logs::NodeId::try_parse(
+            std::string_view(line).substr(tab1 + 1, tab2 - tab1 - 1),
+            record.node))
+      return std::nullopt;
+    record.message = line.substr(tab2 + 1);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string alert_line(std::uint64_t seq,
+                       const desh::core::MonitorAlert& alert) {
+  char numbers[128];
+  std::snprintf(numbers, sizeof numbers, "%llu|%s|%a|%a|%a|",
+                static_cast<unsigned long long>(seq),
+                alert.node.to_string().c_str(), alert.time,
+                alert.predicted_lead_seconds, alert.score);
+  return std::string(numbers) + alert.message;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string pipeline_dir, wal_dir, input_path, alerts_path, status_path;
+  std::size_t flush_every = 4;
+  std::size_t checkpoint_every = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--pipeline") pipeline_dir = next();
+    else if (arg == "--wal") wal_dir = next();
+    else if (arg == "--input") input_path = next();
+    else if (arg == "--alerts") alerts_path = next();
+    else if (arg == "--status") status_path = next();
+    else if (arg == "--flush-every") flush_every = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--checkpoint-every") checkpoint_every = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--crash") {
+      static std::string spec;  // must outlive main's loop (g_crash_point)
+      spec = next();
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos)
+        return fail("--crash expects POINT:N");
+      g_crash_on_hit = std::atoi(spec.c_str() + colon + 1);
+      spec.resize(colon);
+      g_crash_point = spec.c_str();
+    } else {
+      return fail("unknown argument: " + arg);
+    }
+  }
+  if (pipeline_dir.empty() || wal_dir.empty() || input_path.empty() ||
+      alerts_path.empty() || status_path.empty())
+    return fail(
+        "usage: crashsim_child --pipeline DIR --wal DIR --input FILE "
+        "--alerts FILE --status FILE [--crash POINT:N] [--flush-every N] "
+        "[--checkpoint-every N]");
+
+  const auto input = read_input(input_path);
+  if (!input) return fail("cannot read input " + input_path);
+
+  desh::core::Expected<desh::core::DeshPipeline> pipeline =
+      desh::core::try_load_pipeline(pipeline_dir);
+  if (!pipeline.ok()) return fail(pipeline.error().message);
+
+  desh::wal::set_crash_hook(&crash_hook);
+
+  desh::serve::ServeConfig config;
+  config.queue_capacity = 16;
+  config.max_batch = 1;  // one record per pump: exact alert->seq attribution
+  config.start_collector = false;
+  config.wal.directory = wal_dir;
+  config.wal.flush_every_records = flush_every;
+  config.wal.checkpoint_every_records = checkpoint_every;
+  desh::core::Expected<std::unique_ptr<desh::serve::InferenceServer>>
+      created = desh::serve::InferenceServer::create(pipeline.value(), config);
+  if (!created.ok()) return fail(created.error().message);
+  desh::serve::InferenceServer& server = *created.value();
+
+  const desh::serve::InferenceServer::WalStats restored = server.wal_stats();
+  {
+    std::ofstream status(status_path, std::ios::trunc);
+    status << "checkpoint_seq=" << restored.checkpoint_seq
+           << " committed_seq=" << restored.committed_seq
+           << " applied_seq=" << restored.applied_seq
+           << " replayed=" << restored.replayed
+           << " torn=" << restored.torn_frames << "\n";
+  }
+
+  std::ofstream alerts(alerts_path, std::ios::trunc);
+  if (!alerts) return fail("cannot write " + alerts_path);
+  // The replayed decision stream is durable by construction: every one of
+  // these alerts came from a record at seq <= committed_seq.
+  for (const auto& [seq, alert] : server.wal_replayed_alerts())
+    alerts << alert_line(seq, alert) << "\n";
+  alerts.flush();
+
+  // Resume after the last logged record. Input line i (0-based) carries
+  // WAL seq i+1: the server assigns seqs contiguously from 1 in submit
+  // order, and manual mode pumps exactly what was submitted.
+  std::vector<std::pair<std::uint64_t, std::string>> unacked;
+  for (std::size_t i = restored.applied_seq; i < input->size(); ++i) {
+    if (server.submit((*input)[i]) != desh::serve::Admission::kAccepted)
+      return fail("submit refused at record " + std::to_string(i));
+    server.pump();
+    const std::uint64_t seq = static_cast<std::uint64_t>(i) + 1;
+    for (const desh::core::MonitorAlert& alert : server.poll_alerts())
+      unacked.emplace_back(seq, alert_line(seq, alert));
+    // Acknowledge only what the group commit has made durable — an alert
+    // written here must survive any later crash point.
+    const std::uint64_t committed = server.wal_stats().committed_seq;
+    while (!unacked.empty() && unacked.front().first <= committed) {
+      alerts << unacked.front().second << "\n";
+      alerts.flush();
+      unacked.erase(unacked.begin());
+    }
+  }
+  server.stop();  // flushes the WAL tail: everything becomes durable
+  const std::uint64_t committed = server.wal_stats().committed_seq;
+  while (!unacked.empty() && unacked.front().first <= committed) {
+    alerts << unacked.front().second << "\n";
+    alerts.flush();
+    unacked.erase(unacked.begin());
+  }
+  if (!unacked.empty())
+    return fail("records left unacked after a clean stop");
+  return 0;
+}

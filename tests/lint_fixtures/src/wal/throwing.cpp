@@ -1,0 +1,10 @@
+// Seeds the one NON-WAIVABLE rule. Both waivers below are spelled out:
+// the throw-discipline one IS honored (that rule stays waivable), the
+// wal-expected one is ignored — the finding the fixture test pins is proof
+// that src/wal cannot opt out of the Expected error taxonomy.
+#include <stdexcept>
+
+void wal_fixture_throwing() {
+  // desh-lint: allow(throw-discipline) desh-lint: allow(wal-expected)
+  throw std::runtime_error("src/wal must return core::Expected instead");
+}

@@ -1,8 +1,9 @@
 // tools/desh_lint behavioral contract, pinned against the fixture tree in
 // tests/lint_fixtures/ (one seeded violation per rule + one waived
-// counterpart per rule):
+// counterpart per rule; wal-expected's seed carries its own waiver, which
+// must NOT work):
 //   - every rule fires EXACTLY once, at the seeded file;
-//   - waivers suppress (src/good/ stays silent);
+//   - waivers suppress (src/good/ stays silent) — except wal-expected;
 //   - exit codes are stable: 0 clean, 1 findings, 2 usage error;
 //   - the --json report shape is machine-readable and stable.
 // The real tree staying clean is a separate ctest (desh_lint_tree, label
@@ -68,6 +69,7 @@ TEST(DeshLint, EveryRuleFiresExactlyOnceOnTheFixtureTree) {
       {"rng-discipline", "src/bad/rng.cpp"},
       {"include-first", "src/bad/include_first.cpp"},
       {"ordering-comment", "src/bad/ordering.cpp"},
+      {"wal-expected", "src/wal/throwing.cpp"},
   };
   for (const auto& e : expected) {
     EXPECT_EQ(count_occurrences(
@@ -79,8 +81,9 @@ TEST(DeshLint, EveryRuleFiresExactlyOnceOnTheFixtureTree) {
         << "rule " << e.rule << " did not point at " << e.file << ":\n"
         << r.output;
   }
-  // 6 rules, 6 findings — nothing extra fired.
-  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 6u) << r.output;
+  // 7 rules, 7 findings — nothing extra fired (in particular the waived
+  // throw-discipline on the wal fixture line stayed waived).
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 7u) << r.output;
 }
 
 TEST(DeshLint, WaiversSuppressEveryRule) {
@@ -98,10 +101,10 @@ TEST(DeshLint, JsonReportShapeIsStable) {
   EXPECT_EQ(r.output.front(), '[');
   EXPECT_EQ(r.output[r.output.size() - 2], ']');  // trailing newline after ]
   // Every finding carries the full field set, in stable order.
-  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 6u);
-  EXPECT_EQ(count_occurrences(r.output, "\"file\""), 6u);
-  EXPECT_EQ(count_occurrences(r.output, "\"line\""), 6u);
-  EXPECT_EQ(count_occurrences(r.output, "\"message\""), 6u);
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 7u);
+  EXPECT_EQ(count_occurrences(r.output, "\"file\""), 7u);
+  EXPECT_EQ(count_occurrences(r.output, "\"line\""), 7u);
+  EXPECT_EQ(count_occurrences(r.output, "\"message\""), 7u);
   // Findings are sorted by (file, line, rule): include_first.cpp first.
   EXPECT_LT(r.output.find("include_first.cpp"), r.output.find("metric.cpp"));
 }
@@ -113,7 +116,7 @@ TEST(DeshLint, TextReportNamesRuleAndLocation) {
   EXPECT_NE(r.output.find("src/bad/throw.cpp:4: [throw-discipline]"),
             std::string::npos)
       << r.output;
-  EXPECT_NE(r.output.find("desh_lint: 6 findings"), std::string::npos)
+  EXPECT_NE(r.output.find("desh_lint: 7 findings"), std::string::npos)
       << r.output;
 }
 

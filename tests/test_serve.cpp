@@ -195,6 +195,47 @@ TEST_F(ServeTest, BoundedQueueRefusesInsteadOfDropping) {
   EXPECT_EQ(stats.shed, 0u);
 }
 
+TEST_F(ServeTest, QueueFullRecoveryAfterDrainLosesNoDecisions) {
+  // A caller that treats kQueueFull as "pump, then retry the SAME record"
+  // must get the identical decision stream to sequential replay: refusal
+  // plus recovery loses nothing and reorders nothing.
+  std::vector<MonitorAlert> base;
+  StreamingMonitor monitor(*pipeline_);
+  for (const logs::LogRecord& record : *alert_script_)
+    if (auto alert = monitor.observe(record))
+      base.push_back(std::move(*alert));
+  ASSERT_FALSE(base.empty());
+
+  ServeConfig config;
+  config.queue_capacity = 3;  // far smaller than the script: fills repeatedly
+  config.max_batch = 2;
+  config.start_collector = false;
+  Expected<std::unique_ptr<InferenceServer>> server =
+      InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(server.ok());
+  InferenceServer& srv = *server.value();
+
+  std::size_t refused = 0;
+  for (std::size_t i = 0; i < alert_script_->size(); ++i) {
+    const Admission first = srv.submit((*alert_script_)[i]);
+    if (first == Admission::kAccepted) continue;
+    ASSERT_EQ(first, Admission::kQueueFull);
+    ++refused;
+    ASSERT_GT(srv.pump(), 0u);  // the drain that makes room...
+    // ...after which the refused record is admitted on retry.
+    ASSERT_EQ(srv.submit((*alert_script_)[i]), Admission::kAccepted);
+  }
+  EXPECT_GT(refused, 0u) << "queue never filled: the cycle went untested";
+  srv.drain();
+  srv.stop();
+  expect_same_alerts(base, srv.poll_alerts());
+  const ServeStats stats = srv.stats();
+  EXPECT_EQ(stats.processed, alert_script_->size());
+  EXPECT_EQ(stats.admitted, alert_script_->size());
+  EXPECT_EQ(stats.rejected, refused);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
 // --- shed policies --------------------------------------------------------
 
 // Both shed tests stage the same overload: the alert node's script is

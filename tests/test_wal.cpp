@@ -1,0 +1,675 @@
+// desh::wal contract tests: the frame codec round-trips arbitrary records
+// and its decoder is total (fuzzed with seeded util::Rng mutations), fuzzy
+// checkpoints publish atomically and fall back past corrupt/vetoed files,
+// DurableLog recovery truncates torn tails instead of replaying garbage,
+// monitor state blobs reproduce decisions bit-for-bit, and the serve
+// integration restores checkpoint + tail into an identical alert stream.
+// The process-kill side of the story lives in tests/crashsim/.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "desh.hpp"
+#include "logs/generator.hpp"
+#include "util/rng.hpp"
+#include "wal/checkpoint.hpp"
+#include "wal/codec.hpp"
+#include "wal/wal.hpp"
+
+namespace desh::wal {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::DeshPipeline;
+using core::ErrorCode;
+using core::Expected;
+using core::MonitorAlert;
+using core::StreamingMonitor;
+
+/// Seeded arbitrary LogRecord: timestamps spanning magnitudes, node ids
+/// across the full field ranges, messages from empty to multi-KiB with
+/// arbitrary (including NUL) bytes.
+logs::LogRecord arbitrary_record(util::Rng& rng) {
+  logs::LogRecord r;
+  r.timestamp = rng.uniform(-1e9, 1e9);
+  r.node.cabinet_x = static_cast<std::uint16_t>(rng.uniform_index(1u << 16));
+  r.node.cabinet_y = static_cast<std::uint16_t>(rng.uniform_index(1u << 16));
+  r.node.chassis = static_cast<std::uint8_t>(rng.uniform_index(256));
+  r.node.slot = static_cast<std::uint8_t>(rng.uniform_index(256));
+  r.node.node = static_cast<std::uint8_t>(rng.uniform_index(256));
+  const std::size_t len = rng.uniform_index(4096);
+  r.message.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    r.message.push_back(static_cast<char>(rng.uniform_index(256)));
+  return r;
+}
+
+// --- codec ----------------------------------------------------------------
+
+TEST(WalCodec, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("desh"), crc32("Desh"));
+}
+
+TEST(WalCodec, FrameRoundTripsArbitraryRecords) {
+  util::Rng rng(0xDE5D0001);
+  for (int i = 0; i < 200; ++i) {
+    const logs::LogRecord in = arbitrary_record(rng);
+    const std::uint64_t seq = rng.next_u64();
+    std::string bytes;
+    encode_frame(seq, in, bytes);
+    const DecodeResult out = decode_frame(bytes);
+    ASSERT_EQ(out.status, DecodeStatus::kOk);
+    EXPECT_EQ(out.consumed, bytes.size());
+    EXPECT_EQ(out.frame.seq, seq);
+    // Bit-exact: the f64 travels as its u64 bit image.
+    EXPECT_EQ(out.frame.record.timestamp, in.timestamp);
+    EXPECT_EQ(out.frame.record.node, in.node);
+    EXPECT_EQ(out.frame.record.message, in.message);
+  }
+}
+
+TEST(WalCodec, ConcatenatedFramesDecodeInSequence) {
+  util::Rng rng(0xDE5D0002);
+  std::vector<logs::LogRecord> records;
+  std::string bytes;
+  for (std::uint64_t seq = 1; seq <= 32; ++seq) {
+    records.push_back(arbitrary_record(rng));
+    encode_frame(seq, records.back(), bytes);
+  }
+  std::size_t offset = 0;
+  for (std::uint64_t seq = 1; seq <= 32; ++seq) {
+    const DecodeResult out =
+        decode_frame(std::string_view(bytes).substr(offset));
+    ASSERT_EQ(out.status, DecodeStatus::kOk);
+    EXPECT_EQ(out.frame.seq, seq);
+    EXPECT_EQ(out.frame.record.message, records[seq - 1].message);
+    offset += out.consumed;
+  }
+  EXPECT_EQ(offset, bytes.size());
+}
+
+// The decoder's totality contract: ANY byte mutation of a valid frame —
+// bit flips, truncations, random garbage — yields a DecodeResult, never a
+// crash, and a flip inside the protected region never decodes as kOk.
+TEST(WalCodec, DecodeNeverCrashesOnMutatedFrames) {
+  util::Rng rng(0xDE5D0003);
+  for (int round = 0; round < 50; ++round) {
+    std::string frame;
+    encode_frame(rng.next_u64(), arbitrary_record(rng), frame);
+
+    // Single-bit flips: the CRC (over the payload) or the prefix sanity
+    // checks must reject every one.
+    for (int i = 0; i < 40; ++i) {
+      std::string mutated = frame;
+      const std::size_t at = rng.uniform_index(mutated.size());
+      mutated[at] = static_cast<char>(
+          mutated[at] ^ static_cast<char>(1u << rng.uniform_index(8)));
+      const DecodeResult out = decode_frame(mutated);
+      EXPECT_NE(out.status, DecodeStatus::kOk)
+          << "bit flip at byte " << at << " decoded as a valid frame";
+    }
+
+    // Truncations at every boundary the prefix can claim.
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t cut = rng.uniform_index(frame.size());
+      const DecodeResult out =
+          decode_frame(std::string_view(frame).substr(0, cut));
+      EXPECT_NE(out.status, DecodeStatus::kOk);
+    }
+
+    // Random garbage buffers (including empty).
+    std::string garbage;
+    const std::size_t len = rng.uniform_index(64);
+    for (std::size_t i = 0; i < len; ++i)
+      garbage.push_back(static_cast<char>(rng.uniform_index(256)));
+    const DecodeResult out = decode_frame(garbage);
+    EXPECT_NE(out.status, DecodeStatus::kOk);
+  }
+}
+
+TEST(WalCodec, DecodeRejectsOversizedLengthAsCorrupt) {
+  std::string bytes;
+  put_u32(bytes, kMaxFramePayload + 1);  // impossible length prefix
+  put_u32(bytes, 0);
+  bytes.append(16, 'x');
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::kCorrupt);
+}
+
+TEST(WalCodec, DecodeRejectsUnknownFrameType) {
+  logs::LogRecord r;
+  r.message = "ok";
+  std::string bytes;
+  encode_frame(7, r, bytes);
+  // Rewrite the type tag (first payload byte, at offset 8) and fix up the
+  // CRC so only the tag is wrong.
+  std::string payload = bytes.substr(8);
+  payload[0] = static_cast<char>(0xEE);
+  std::string forged;
+  put_u32(forged, static_cast<std::uint32_t>(payload.size()));
+  put_u32(forged, crc32(payload));
+  forged += payload;
+  EXPECT_EQ(decode_frame(forged).status, DecodeStatus::kCorrupt);
+}
+
+// --- checkpoints ----------------------------------------------------------
+
+class WalDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("desh_wal_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(WalDirTest, CheckpointRoundTripsThroughDisk) {
+  CheckpointData data;
+  data.seq = 12345;
+  data.sections.emplace_back("monitor", std::string("blob\0with nul", 13));
+  data.sections.emplace_back("adapt", "");
+  ASSERT_TRUE(write_checkpoint(dir_, data).ok());
+  EXPECT_TRUE(fs::exists(dir_ / "ckpt-00000000000000012345.ckpt"));
+
+  const Expected<CheckpointData> back =
+      read_checkpoint(dir_ / "ckpt-00000000000000012345.ckpt");
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().seq, 12345u);
+  ASSERT_EQ(back.value().sections.size(), 2u);
+  ASSERT_NE(back.value().find("monitor"), nullptr);
+  EXPECT_EQ(*back.value().find("monitor"), std::string("blob\0with nul", 13));
+  ASSERT_NE(back.value().find("adapt"), nullptr);
+  EXPECT_EQ(back.value().find("missing"), nullptr);
+}
+
+TEST_F(WalDirTest, CorruptCheckpointBytesAreRejectedNotTrusted) {
+  CheckpointData data;
+  data.seq = 9;
+  data.sections.emplace_back("monitor", "state");
+  const std::string good = encode_checkpoint(data);
+  ASSERT_TRUE(decode_checkpoint(good).ok());
+
+  util::Rng rng(0xDE5D0004);
+  for (int i = 0; i < 64; ++i) {  // bit flips anywhere, incl. the trailer
+    std::string bad = good;
+    const std::size_t at = rng.uniform_index(bad.size());
+    bad[at] = static_cast<char>(
+        bad[at] ^ static_cast<char>(1u << rng.uniform_index(8)));
+    const Expected<CheckpointData> out = decode_checkpoint(bad);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, ErrorCode::kFormatVersion);
+  }
+  for (std::size_t cut = 0; cut < good.size(); ++cut)
+    EXPECT_FALSE(decode_checkpoint(std::string_view(good).substr(0, cut))
+                     .ok());
+}
+
+TEST_F(WalDirTest, LoadLatestFallsBackPastCorruptAndVetoedFiles) {
+  for (const std::uint64_t seq : {5u, 9u, 13u}) {
+    CheckpointData data;
+    data.seq = seq;
+    data.sections.emplace_back("tag", std::to_string(seq));
+    ASSERT_TRUE(write_checkpoint(dir_, data).ok());
+  }
+  // Corrupt the newest on disk.
+  {
+    std::ofstream os(dir_ / "ckpt-00000000000000000013.ckpt",
+                     std::ios::binary | std::ios::trunc);
+    os << "not a checkpoint";
+  }
+  // Veto seq 9: the loader must land on 5.
+  const Expected<CheckpointData> picked = load_latest_checkpoint(
+      dir_, [](const CheckpointData& c) { return c.seq != 9; });
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ(picked.value().seq, 5u);
+
+  // Veto everything: recovery starts empty at seq 0.
+  const Expected<CheckpointData> none = load_latest_checkpoint(
+      dir_, [](const CheckpointData&) { return false; });
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().seq, 0u);
+  EXPECT_TRUE(none.value().sections.empty());
+}
+
+TEST_F(WalDirTest, GcKeepsNewestCheckpointsAndSweepsTmpOrphans) {
+  for (const std::uint64_t seq : {2u, 4u, 6u, 8u}) {
+    CheckpointData data;
+    data.seq = seq;
+    ASSERT_TRUE(write_checkpoint(dir_, data).ok());
+  }
+  {  // a crashed write-then-rename leaves a .tmp orphan behind
+    std::ofstream os(dir_ / "ckpt-00000000000000000099.ckpt.tmp");
+    os << "torn";
+  }
+  EXPECT_EQ(gc_checkpoints(dir_, 2), 6u);
+  const auto left = list_checkpoints(dir_);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0].first, 6u);
+  EXPECT_EQ(left[1].first, 8u);
+  for (const auto& entry : fs::directory_iterator(dir_))
+    EXPECT_NE(entry.path().extension(), ".tmp");
+}
+
+// --- DurableLog recovery --------------------------------------------------
+
+logs::LogRecord simple_record(std::uint64_t i) {
+  logs::LogRecord r;
+  r.timestamp = static_cast<double>(i) * 0.25;
+  r.node.cabinet_x = 1;
+  r.node.node = static_cast<std::uint8_t>(i % 4);
+  r.message = "event " + std::to_string(i);
+  return r;
+}
+
+TEST_F(WalDirTest, AppendFlushReopenReplaysEverythingInOrder) {
+  LogOptions options;
+  options.directory = dir_;
+  options.flush_every_records = 4;
+  {
+    Expected<std::unique_ptr<DurableLog>> log =
+        DurableLog::open(options, nullptr);
+    ASSERT_TRUE(log.ok()) << log.error().message;
+    DurableLog& wal = *log.value();
+    EXPECT_EQ(wal.recovered().last_seq, 0u);
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+      EXPECT_EQ(wal.append(simple_record(i)), i);
+      const Expected<bool> flushed = wal.maybe_flush();
+      ASSERT_TRUE(flushed.ok());
+      // Group commit: a flush happens exactly every 4th append.
+      EXPECT_EQ(flushed.value(), i % 4 == 0);
+    }
+    EXPECT_EQ(wal.committed_seq(), 8u);
+    EXPECT_EQ(wal.pending_records(), 2u);
+    // Destructor best-effort-flushes the pending tail.
+  }
+  Expected<std::unique_ptr<DurableLog>> reopened =
+      DurableLog::open(options, nullptr);
+  ASSERT_TRUE(reopened.ok());
+  const RecoveredState& recovered = reopened.value()->recovered();
+  EXPECT_EQ(recovered.checkpoint_seq, 0u);
+  EXPECT_EQ(recovered.last_seq, 10u);
+  EXPECT_EQ(recovered.torn_frames, 0u);
+  ASSERT_EQ(recovered.tail.size(), 10u);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(recovered.tail[i - 1].seq, i);
+    EXPECT_EQ(recovered.tail[i - 1].record.message,
+              "event " + std::to_string(i));
+  }
+  EXPECT_EQ(reopened.value()->next_seq(), 11u);
+}
+
+TEST_F(WalDirTest, TornTailIsTruncatedAndTheLogStaysAppendable) {
+  LogOptions options;
+  options.directory = dir_;
+  options.flush_every_records = 1;
+  {
+    auto log = DurableLog::open(options, nullptr);
+    ASSERT_TRUE(log.ok());
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+      log.value()->append(simple_record(i));
+      ASSERT_TRUE(log.value()->flush().ok());
+    }
+  }
+  // Tear the last frame: chop 3 bytes off the segment, as a mid-write
+  // death would.
+  const auto segment = dir_ / "wal-00000000000000000001.log";
+  ASSERT_TRUE(fs::exists(segment));
+  fs::resize_file(segment, fs::file_size(segment) - 3);
+
+  {
+    auto reopened = DurableLog::open(options, nullptr);
+    ASSERT_TRUE(reopened.ok());
+    const RecoveredState& recovered = reopened.value()->recovered();
+    EXPECT_EQ(recovered.last_seq, 5u);
+    EXPECT_EQ(recovered.tail.size(), 5u);
+    EXPECT_GE(recovered.torn_frames, 1u);
+    // Seq stays contiguous: the torn record's number is reassigned.
+    EXPECT_EQ(reopened.value()->append(simple_record(6)), 6u);
+    ASSERT_TRUE(reopened.value()->flush().ok());
+  }
+  auto again = DurableLog::open(options, nullptr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->recovered().last_seq, 6u);
+  EXPECT_EQ(again.value()->recovered().torn_frames, 0u);
+}
+
+TEST_F(WalDirTest, BitRotInTheTailIsDetectedAndDropped) {
+  LogOptions options;
+  options.directory = dir_;
+  {
+    auto log = DurableLog::open(options, nullptr);
+    ASSERT_TRUE(log.ok());
+    for (std::uint64_t i = 1; i <= 4; ++i)
+      log.value()->append(simple_record(i));
+    ASSERT_TRUE(log.value()->flush().ok());
+  }
+  const auto segment = dir_ / "wal-00000000000000000001.log";
+  // Flip one bit near the end of the file (inside the last frame).
+  const std::uintmax_t size = fs::file_size(segment);
+  {
+    std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(size - 5));
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(size - 5));
+    f.put(static_cast<char>(byte ^ 0x10));
+  }
+  auto reopened = DurableLog::open(options, nullptr);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->recovered().last_seq, 3u);
+  EXPECT_GE(reopened.value()->recovered().torn_frames, 1u);
+}
+
+TEST_F(WalDirTest, CheckpointRotatesSegmentsAndGcsCoveredOnes) {
+  LogOptions options;
+  options.directory = dir_;
+  options.keep_checkpoints = 1;
+  {
+    auto log = DurableLog::open(options, nullptr);
+    ASSERT_TRUE(log.ok());
+    DurableLog& wal = *log.value();
+    for (std::uint64_t i = 1; i <= 5; ++i) wal.append(simple_record(i));
+    ASSERT_TRUE(wal.write_checkpoint_and_rotate(
+                       {{"tag", "first"}})
+                    .ok());
+    EXPECT_EQ(wal.last_checkpoint_seq(), 5u);
+    for (std::uint64_t i = 6; i <= 8; ++i) wal.append(simple_record(i));
+    ASSERT_TRUE(wal.write_checkpoint_and_rotate(
+                       {{"tag", "second"}})
+                    .ok());
+    EXPECT_EQ(wal.last_checkpoint_seq(), 8u);
+    for (std::uint64_t i = 9; i <= 9; ++i) wal.append(simple_record(i));
+    ASSERT_TRUE(wal.flush().ok());
+    EXPECT_EQ(wal.counters().checkpoints, 2u);
+  }
+  // keep_checkpoints=1: only the seq-8 checkpoint and the segments after
+  // it survive.
+  EXPECT_EQ(list_checkpoints(dir_).size(), 1u);
+  auto reopened = DurableLog::open(options, nullptr);
+  ASSERT_TRUE(reopened.ok());
+  const RecoveredState& recovered = reopened.value()->recovered();
+  EXPECT_EQ(recovered.checkpoint_seq, 8u);
+  EXPECT_EQ(recovered.last_seq, 9u);
+  ASSERT_EQ(recovered.tail.size(), 1u);  // only (8, 9] replays
+  EXPECT_EQ(recovered.tail[0].seq, 9u);
+  ASSERT_NE(recovered.checkpoint.find("tag"), nullptr);
+  EXPECT_EQ(*recovered.checkpoint.find("tag"), "second");
+}
+
+TEST_F(WalDirTest, OpenRejectsAnEmptyDirectoryPath) {
+  const Expected<std::unique_ptr<DurableLog>> log =
+      DurableLog::open(LogOptions{}, nullptr);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.error().code, ErrorCode::kInvalidArgument);
+}
+
+// --- monitor + serve integration -----------------------------------------
+
+class WalServeTest : public WalDirTest {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    logs::SyntheticLog log = source.generate();
+    auto [train, test] =
+        core::split_corpus(log.records, log.truth.split_time);
+    test_ = new logs::LogCorpus(std::move(test));
+    core::DeshConfig config;
+    config.phase1.epochs = 1;
+    auto fitted = std::make_shared<DeshPipeline>(config);
+    fitted->fit(train);
+    shared_ = new std::shared_ptr<const DeshPipeline>(std::move(fitted));
+    pipeline_ = shared_->get();
+  }
+  static void TearDownTestSuite() {
+    delete shared_;
+    pipeline_ = nullptr;
+    delete test_;
+  }
+
+  static std::vector<MonitorAlert> sequential_alerts(
+      const logs::LogCorpus& records, StreamingMonitor& monitor) {
+    std::vector<MonitorAlert> alerts;
+    for (const logs::LogRecord& record : records)
+      if (auto alert = monitor.observe(record))
+        alerts.push_back(std::move(*alert));
+    return alerts;
+  }
+
+  static void expect_same_alerts(const std::vector<MonitorAlert>& expected,
+                                 const std::vector<MonitorAlert>& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].node, actual[i].node);
+      EXPECT_EQ(expected[i].time, actual[i].time);
+      EXPECT_EQ(expected[i].score, actual[i].score);
+      EXPECT_EQ(expected[i].predicted_lead_seconds,
+                actual[i].predicted_lead_seconds);
+      EXPECT_EQ(expected[i].message, actual[i].message);
+    }
+  }
+
+  static logs::LogCorpus* test_;
+  static std::shared_ptr<const DeshPipeline>* shared_;  // co-ownable handle
+  static const DeshPipeline* pipeline_;
+};
+
+logs::LogCorpus* WalServeTest::test_ = nullptr;
+std::shared_ptr<const DeshPipeline>* WalServeTest::shared_ = nullptr;
+const DeshPipeline* WalServeTest::pipeline_ = nullptr;
+
+TEST_F(WalServeTest, MonitorStateBlobReproducesDecisionsBitForBit) {
+  const std::size_t half = test_->size() / 2;
+  const logs::LogCorpus part1(test_->begin(), test_->begin() + half);
+  const logs::LogCorpus part2(test_->begin() + half, test_->end());
+
+  StreamingMonitor golden(*pipeline_);
+  std::vector<MonitorAlert> golden1 = sequential_alerts(part1, golden);
+  const std::string blob = golden.serialize_state();
+
+  StreamingMonitor restored(*pipeline_);
+  const Expected<void> ok = restored.restore_state(blob);
+  ASSERT_TRUE(ok.ok()) << ok.error().message;
+  // The restored monitor must finish the stream EXACTLY like the
+  // uninterrupted one — same alerts, same bits.
+  expect_same_alerts(sequential_alerts(part2, golden),
+                     sequential_alerts(part2, restored));
+
+  // And the blob is deterministic: re-serializing the restored state
+  // yields the same bytes (sorted node order, bit-image floats).
+  StreamingMonitor reserialized(*pipeline_);
+  ASSERT_TRUE(reserialized.restore_state(blob).ok());
+  EXPECT_EQ(reserialized.serialize_state(), blob);
+}
+
+TEST_F(WalServeTest, MonitorRejectsBlobsFromADifferentModel) {
+  StreamingMonitor monitor(*pipeline_);
+  for (std::size_t i = 0; i < 16 && i < test_->size(); ++i)
+    monitor.observe((*test_)[i]);
+  std::string blob = monitor.serialize_state();
+  // Forge the embedded vocab size (u64 right after the 8-byte magic).
+  blob[8] = static_cast<char>(blob[8] ^ 0x01);
+  const Expected<void> rejected = monitor.restore_state(blob);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kFormatVersion);
+
+  const Expected<void> garbage = monitor.restore_state("not a blob");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.error().code, ErrorCode::kFormatVersion);
+}
+
+TEST_F(WalServeTest, ServerRestartReplaysTheFullDecisionStream) {
+  serve::ServeConfig config;
+  config.queue_capacity = test_->size();
+  config.start_collector = false;
+  config.wal.directory = dir_.string();
+  config.wal.flush_every_records = 32;
+  config.wal.checkpoint_every_records = 0;  // no checkpoints: full replay
+
+  std::vector<MonitorAlert> golden;
+  {
+    StreamingMonitor monitor(*pipeline_);
+    golden = sequential_alerts(*test_, monitor);
+    ASSERT_FALSE(golden.empty());
+  }
+  {
+    auto server = serve::InferenceServer::create(*pipeline_, config);
+    ASSERT_TRUE(server.ok()) << server.error().message;
+    EXPECT_EQ(server.value()->submit_batch(*test_), test_->size());
+    server.value()->drain();
+    server.value()->stop();  // flushes the WAL tail
+    expect_same_alerts(golden, server.value()->poll_alerts());
+    const serve::InferenceServer::WalStats stats =
+        server.value()->wal_stats();
+    EXPECT_TRUE(stats.enabled);
+    EXPECT_EQ(stats.appended, test_->size());
+    EXPECT_EQ(stats.committed_seq, test_->size());
+    EXPECT_EQ(stats.io_errors, 0u);
+    EXPECT_GT(stats.flushes, 0u);
+  }
+  // Restart: every logged record replays through the same observe path and
+  // the pre-crash alert stream comes back byte-for-byte.
+  auto restarted = serve::InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(restarted.ok()) << restarted.error().message;
+  const serve::InferenceServer::WalStats stats =
+      restarted.value()->wal_stats();
+  EXPECT_EQ(stats.checkpoint_seq, 0u);
+  EXPECT_EQ(stats.replayed, test_->size());
+  std::vector<MonitorAlert> replayed;
+  for (const auto& [seq, alert] : restarted.value()->wal_replayed_alerts()) {
+    EXPECT_GE(seq, 1u);
+    EXPECT_LE(seq, static_cast<std::uint64_t>(test_->size()));
+    replayed.push_back(alert);
+  }
+  expect_same_alerts(golden, replayed);
+  // Replayed alerts are NOT re-queued for poll_alerts.
+  EXPECT_TRUE(restarted.value()->poll_alerts().empty());
+}
+
+TEST_F(WalServeTest, CheckpointRestoreContinuesTheStreamSeamlessly) {
+  const std::size_t half = test_->size() / 2;
+  const logs::LogCorpus part1(test_->begin(), test_->begin() + half);
+  const logs::LogCorpus part2(test_->begin() + half, test_->end());
+
+  StreamingMonitor golden_monitor(*pipeline_);
+  sequential_alerts(part1, golden_monitor);
+  const std::vector<MonitorAlert> golden2 =
+      sequential_alerts(part2, golden_monitor);
+
+  serve::ServeConfig config;
+  config.queue_capacity = test_->size();
+  config.start_collector = false;
+  config.wal.directory = dir_.string();
+  config.wal.checkpoint_every_records = 0;
+  {
+    auto server = serve::InferenceServer::create(*pipeline_, config);
+    ASSERT_TRUE(server.ok());
+    EXPECT_EQ(server.value()->submit_batch(part1), part1.size());
+    server.value()->drain();
+    const Expected<void> ckpt = server.value()->wal_checkpoint_now();
+    ASSERT_TRUE(ckpt.ok()) << ckpt.error().message;
+    EXPECT_EQ(server.value()->wal_stats().checkpoints, 1u);
+    server.value()->stop();
+  }
+  // Restart lands on the checkpoint: nothing to replay, and the restored
+  // monitor state carries every per-node window across the restart.
+  auto restarted = serve::InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(restarted.ok()) << restarted.error().message;
+  const serve::InferenceServer::WalStats stats =
+      restarted.value()->wal_stats();
+  EXPECT_EQ(stats.checkpoint_seq, part1.size());
+  EXPECT_EQ(stats.replayed, 0u);
+  EXPECT_TRUE(restarted.value()->wal_replayed_alerts().empty());
+
+  EXPECT_EQ(restarted.value()->submit_batch(part2), part2.size());
+  restarted.value()->drain();
+  restarted.value()->stop();
+  expect_same_alerts(golden2, restarted.value()->poll_alerts());
+}
+
+TEST_F(WalServeTest, WalConfigViolationsSurfaceWithFieldPaths) {
+  serve::ServeConfig config;
+  config.wal.directory = dir_.string();
+  config.wal.flush_every_records = 0;
+  config.wal.keep_checkpoints = 0;
+  const auto server = serve::InferenceServer::create(*pipeline_, config);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.error().code, ErrorCode::kInvalidConfig);
+  EXPECT_NE(server.error().message.find("serve.wal.flush_every_records"),
+            std::string::npos);
+  EXPECT_NE(server.error().message.find("serve.wal.keep_checkpoints"),
+            std::string::npos);
+
+  // An empty directory means "disabled" — the other fields are ignored.
+  core::WalConfig off;
+  off.flush_every_records = 0;
+  EXPECT_TRUE(off.validate().empty());
+}
+
+TEST_F(WalServeTest, WalDisabledServersReportSoAndRefuseCheckpoints) {
+  serve::ServeConfig config;
+  config.start_collector = false;
+  auto server = serve::InferenceServer::create(*pipeline_, config);
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server.value()->wal_stats().enabled);
+  EXPECT_FALSE(server.value()->wal_restored_state("monitor").has_value());
+  const Expected<void> ckpt = server.value()->wal_checkpoint_now();
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.error().code, ErrorCode::kUnavailable);
+}
+
+// --- adapt state hook -----------------------------------------------------
+
+TEST_F(WalServeTest, AdaptStateBlobRoundTripsAndNamesTheChampion) {
+  const std::shared_ptr<const DeshPipeline> champion = *shared_;
+  adapt::AdaptOptions options;
+  options.registry_root = (dir_ / "registry_a").string();
+  options.trainer.phase1.epochs = 1;
+  options.trainer.threads = 1;
+  options.config.background = false;
+  auto a = adapt::AdaptController::create(champion, options);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  const std::size_t n = std::min<std::size_t>(test_->size(), 64);
+  a.value()->on_batch(std::span(test_->data(), n), {});
+  const std::string blob = a.value()->serialize_state();
+
+  // The blob names the champion's registry version — the handle an app
+  // uses to reload the right model before reconstructing the loop.
+  const std::optional<std::uint32_t> version =
+      adapt::AdaptController::checkpoint_champion_version(blob);
+  ASSERT_TRUE(version.has_value());
+  EXPECT_EQ(*version, 1u);
+  EXPECT_FALSE(
+      adapt::AdaptController::checkpoint_champion_version("junk").has_value());
+
+  options.registry_root = (dir_ / "registry_b").string();
+  auto b = adapt::AdaptController::create(champion, options);
+  ASSERT_TRUE(b.ok());
+  const Expected<void> restored = b.value()->restore_state(blob);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  // Round trip: the restored replay buffer re-serializes to the same bytes.
+  EXPECT_EQ(b.value()->serialize_state(), blob);
+
+  const Expected<void> rejected = b.value()->restore_state("DESHWRONG");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kFormatVersion);
+  a.value()->stop();
+  b.value()->stop();
+}
+
+}  // namespace
+}  // namespace desh::wal

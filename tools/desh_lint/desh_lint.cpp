@@ -28,9 +28,14 @@
 //                      carries a justifying comment containing "ordering:"
 //                      on the same line or directly above the contiguous
 //                      block of atomic statements it belongs to.
+//   wal-expected       no `throw` anywhere under src/wal/: the durability
+//                      boundary reports I/O failures as core::Expected so a
+//                      half-applied recovery can never unwind past it. This
+//                      rule is NON-WAIVABLE — an allow() comment is ignored.
 //
 // Waivers: a comment containing `desh-lint: allow(<rule>)` on the same line
-// or the line above suppresses that rule for that line.
+// or the line above suppresses that rule for that line (every rule except
+// wal-expected).
 //
 // Usage: desh_lint [--root <repo-root>] [--json]
 // Exit:  0 = clean, 1 = findings, 2 = usage/configuration error.
@@ -254,6 +259,7 @@ class Linter {
       check_rng_discipline(f);
       check_include_first(f);
       check_ordering_comment(f);
+      check_wal_expected(f);
     }
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const Finding& a, const Finding& b) {
@@ -495,6 +501,23 @@ class Linter {
             "non-seq_cst memory ordering without a justifying "
             "\"ordering:\" comment on or directly above the statement");
     }
+  }
+
+  // -- wal-expected ---------------------------------------------------------
+
+  /// src/wal is the crash-consistency boundary: an exception escaping an
+  /// I/O error path can abort recovery with state half-applied, which is
+  /// exactly the failure mode the WAL exists to rule out. Findings are
+  /// pushed directly — NOT through add() — so `desh-lint: allow(...)`
+  /// comments cannot waive this rule.
+  void check_wal_expected(const SourceFile& f) {
+    if (f.rel_path.rfind("src/wal/", 0) != 0) return;
+    for (std::size_t i = 0; i < f.lines.size(); ++i)
+      if (!find_tokens(f.lines[i].code, "throw").empty())
+        findings_.push_back(
+            {"wal-expected", f.rel_path, i + 1,
+             "`throw` inside src/wal — I/O error paths must return "
+             "core::Expected; this rule cannot be waived"});
   }
 
   fs::path root_;
