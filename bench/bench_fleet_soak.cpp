@@ -1,0 +1,303 @@
+// Fleet soak: one FleetController vs a node space far too large for a
+// single monitor's comfort — >= 100k distinct nodes streamed through N
+// shards. Two claims are asserted, not just printed:
+//
+//   - Admission p99 holds. FleetController::submit is a route + bounded
+//     queue push; its p99 (read back from the fleet's own health()
+//     quantiles) must stay in the millisecond range no matter how many
+//     records are in flight behind it.
+//   - Throughput scales with shard count — WHEN the hardware can run the
+//     shard collectors in parallel. Each point runs S collector threads
+//     plus the submitter; on boxes with fewer cores than that, the sweep
+//     still runs but the assertion degrades to a floor ("sharding must not
+//     collapse throughput"), because there is nothing to scale onto.
+//
+//   ./bench_fleet_soak [--nodes 100000] [--records 200000]
+//                      [--shards 1,2,4] [--out BENCH_fleet.json] [--smoke]
+//
+// --smoke shrinks the fleet (the ctest wiring runs this mode); the JSON
+// snapshot is written either way, extending the BENCH_*.json trajectory
+// started by BENCH_wal.json (see EXPERIMENTS.md "BENCH trajectory").
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "desh.hpp"
+#include "logs/template_miner.hpp"
+#include "util/cli.hpp"
+
+using namespace desh;
+
+namespace {
+
+/// Fails the bench loudly — this binary doubles as a ctest smoke check.
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAIL: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+core::DeshPipeline train_pipeline(const logs::SyntheticLog& log) {
+  core::DeshConfig config;
+  config.phase1.epochs = 1;
+  config.skipgram.enabled = false;
+  auto pipeline = core::DeshPipeline::create(config);
+  check(pipeline.ok(), "pipeline config rejected");
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  pipeline.value().fit(train);
+  return std::move(pipeline).value();
+}
+
+/// Anomalous message texts the fitted labeler will NOT gate out — the soak
+/// is only honest if every record builds window state and reaches the
+/// decision path.
+std::vector<std::string> anomalous_messages(
+    const core::DeshPipeline& pipeline, const logs::LogCorpus& corpus) {
+  std::vector<std::string> out;
+  for (const logs::LogRecord& record : corpus) {
+    const std::string tmpl = logs::TemplateMiner::extract(record.message);
+    if (tmpl.empty()) continue;
+    const std::uint32_t phrase = pipeline.vocab().encode(tmpl);
+    if (pipeline.labeler().label(phrase) == logs::PhraseLabel::kSafe) continue;
+    out.push_back(record.message);
+    if (out.size() >= 64) break;
+  }
+  check(!out.empty(), "no anomalous messages in corpus");
+  return out;
+}
+
+/// `node_count` distinct physical node ids in a fixed scan order.
+std::vector<logs::NodeId> synthetic_fleet(std::size_t node_count) {
+  std::vector<logs::NodeId> out;
+  out.reserve(node_count);
+  for (std::uint16_t x = 0; out.size() < node_count; ++x)
+    for (std::uint16_t y = 0; y < 8 && out.size() < node_count; ++y)
+      for (std::uint8_t c = 0; c < 3 && out.size() < node_count; ++c)
+        for (std::uint8_t s = 0; s < 16 && out.size() < node_count; ++s)
+          for (std::uint8_t n = 0; n < 4 && out.size() < node_count; ++n)
+            out.push_back(logs::NodeId{x, y, c, s, n});
+  return out;
+}
+
+/// `records` anomalous records round-robin across the whole node fleet,
+/// 1 s apart (non-decreasing overall, increasing per node).
+logs::LogCorpus make_stream(const std::vector<logs::NodeId>& nodes,
+                            const std::vector<std::string>& messages,
+                            std::size_t records) {
+  logs::LogCorpus out;
+  out.reserve(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    logs::LogRecord r;
+    r.timestamp = static_cast<double>(i);
+    r.node = nodes[i % nodes.size()];
+    r.message = messages[i % messages.size()];
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+struct Point {
+  std::size_t shards = 0;
+  double wall_seconds = 0;
+  double records_per_second = 0;
+  double submit_p50_seconds = 0;
+  double submit_p99_seconds = 0;
+  std::size_t alerts = 0;
+  double shard_balance = 0;  // max/min per-shard processed (1.0 = perfect)
+};
+
+/// Non-owning shared_ptr over a stack pipeline (the fleet's create()
+/// signature shares model ownership; the bench keeps it on main's frame).
+std::shared_ptr<const core::DeshPipeline> share(
+    const core::DeshPipeline& pipeline) {
+  return {&pipeline, [](const core::DeshPipeline*) {}};
+}
+
+/// One sweep point: an S-shard fleet (collector threads on) absorbing the
+/// whole stream, timed from first submit to drain-complete.
+Point run_shards(const core::DeshPipeline& pipeline,
+                 const logs::LogCorpus& stream, std::size_t shards) {
+  fleet::FleetOptions options;
+  options.fleet.shards = shards;
+  options.shard.queue_capacity = stream.size();  // soak, not backpressure
+  options.shard.max_batch = 256;
+  options.shard.monitor.gap_seconds = 1e9;  // the cadence never resets state
+  options.shard.monitor.rearm_seconds = 0;
+  options.shard.monitor.threads = 1;  // shards ARE the parallelism
+  auto created = fleet::FleetController::create(share(pipeline), options);
+  check(created.ok(), "fleet rejected: " +
+                          (created.ok() ? std::string() :
+                                          created.error().message));
+  fleet::FleetController& fleet = *created.value();
+
+  util::Stopwatch sw;
+  check(fleet.submit_batch(stream) == stream.size(), "records rejected");
+  fleet.drain();
+  Point point;
+  point.shards = shards;
+  point.wall_seconds = sw.elapsed_seconds();
+  fleet.stop();
+
+  const fleet::FleetHealth health = fleet.health();
+  check(health.totals.admitted == stream.size(), "admitted != submitted");
+  check(health.totals.processed == stream.size(), "processed != submitted");
+  check(health.totals.rejected == 0, "unexpected backpressure");
+  check(health.totals.shed == 0, "unexpected shedding");
+  point.records_per_second =
+      static_cast<double>(stream.size()) / point.wall_seconds;
+  point.submit_p50_seconds = health.submit_p50_seconds;
+  point.submit_p99_seconds = health.submit_p99_seconds;
+  point.alerts = health.totals.alerts;
+  std::size_t min_processed = stream.size(), max_processed = 0;
+  for (const fleet::ShardHealth& shard : health.per_shard) {
+    min_processed = std::min(min_processed, shard.serve.processed);
+    max_processed = std::max(max_processed, shard.serve.processed);
+  }
+  point.shard_balance =
+      min_processed == 0 ? 0.0
+                         : static_cast<double>(max_processed) /
+                               static_cast<double>(min_processed);
+  return point;
+}
+
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6f", value);
+  return buffer;
+}
+
+/// The BENCH_fleet.json snapshot: env fields matching the stdout header
+/// plus one entry per shard-count point, so successive runs diff cleanly.
+void write_snapshot(const std::string& path, bool smoke, std::size_t nodes,
+                    std::size_t records, bool scaling_asserted,
+                    const std::vector<Point>& points) {
+  std::ofstream os(path, std::ios::trunc);
+  check(static_cast<bool>(os), "cannot write " + path);
+  const char* sanitize = DESH_SANITIZE_STRING;
+  os << "{\n"
+     << "  \"bench\": \"fleet_soak\",\n"
+     << "  \"build_type\": \"" << DESH_BUILD_TYPE_STRING << "\",\n"
+     << "  \"sanitize\": \"" << (*sanitize ? sanitize : "none") << "\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"nodes\": " << nodes << ",\n"
+     << "  \"records\": " << records << ",\n"
+     << "  \"scaling_asserted\": " << (scaling_asserted ? "true" : "false")
+     << ",\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    os << "    {\"shards\": " << p.shards
+       << ", \"wall_seconds\": " << json_double(p.wall_seconds)
+       << ", \"records_per_second\": " << json_double(p.records_per_second)
+       << ", \"submit_p50_seconds\": " << json_double(p.submit_p50_seconds)
+       << ", \"submit_p99_seconds\": " << json_double(p.submit_p99_seconds)
+       << ", \"alerts\": " << p.alerts
+       << ", \"shard_balance\": " << json_double(p.shard_balance) << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  check(static_cast<bool>(os), "short write to " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const std::string out = args.get("out", "BENCH_fleet.json");
+  std::size_t node_count = smoke ? 5000 : 100000;
+  std::size_t record_count = smoke ? 20000 : 200000;
+  if (args.has("nodes"))
+    node_count = std::strtoull(args.get("nodes", "").c_str(), nullptr, 10);
+  if (args.has("records"))
+    record_count = std::strtoull(args.get("records", "").c_str(), nullptr, 10);
+  std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4};
+  if (args.has("shards")) {
+    shard_counts.clear();
+    for (const std::string& part : util::split(args.get("shards", ""), ','))
+      shard_counts.push_back(std::strtoull(part.c_str(), nullptr, 10));
+    check(!shard_counts.empty(), "--shards expects a comma-separated list");
+  }
+  check(record_count >= node_count, "--records must be >= --nodes");
+  bench::print_env_header("fleet_soak");
+
+  logs::SyntheticCraySource source(logs::profile_tiny(2024));
+  const logs::SyntheticLog log = source.generate();
+  const core::DeshPipeline pipeline = train_pipeline(log);
+  const std::vector<std::string> messages =
+      anomalous_messages(pipeline, log.records);
+  const std::vector<logs::NodeId> nodes = synthetic_fleet(node_count);
+  const logs::LogCorpus stream = make_stream(nodes, messages, record_count);
+  std::cout << node_count << " nodes, " << record_count << " records\n";
+
+  std::cout << "shards | wall s | rec/s | submit p99 s | balance\n";
+  std::vector<Point> points;
+  for (const std::size_t shards : shard_counts) {
+    const Point point = run_shards(pipeline, stream, shards);
+    std::cout << point.shards << " | "
+              << util::format_fixed(point.wall_seconds, 2) << " | "
+              << util::format_fixed(point.records_per_second, 0) << " | "
+              << util::format_fixed(point.submit_p99_seconds, 6) << " | "
+              << util::format_fixed(point.shard_balance, 2) << "\n";
+    points.push_back(point);
+  }
+
+  // Admission p99 holds at every point. The bound is an upper-bound bucket
+  // estimate from the fleet's own latency ladder; TSan's ~10x slowdown
+  // gets a proportionally relaxed bound (that run checks races, not time).
+#ifdef DESH_TSAN
+  const double p99_bound = 0.1;
+#else
+  const double p99_bound = 0.01;
+#endif
+  for (const Point& point : points)
+    check(point.submit_p99_seconds <= p99_bound,
+          "submit p99 " + util::format_fixed(point.submit_p99_seconds, 6) +
+              "s exceeds " + util::format_fixed(p99_bound, 3) + "s at " +
+              std::to_string(point.shards) + " shards");
+
+  // Consistent hashing must spread a >= 100k-node space near-evenly.
+  for (const Point& point : points)
+    if (point.shards > 1)
+      check(point.shard_balance > 0 && point.shard_balance < 2.0,
+            "per-shard load imbalance at " + std::to_string(point.shards) +
+                " shards");
+
+  // Scaling: only assertable when the box can actually run the largest
+  // fleet's collectors plus the submitter concurrently.
+  const Point& first = points.front();
+  const Point& last = points.back();
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool can_scale =
+      points.size() >= 2 && last.shards > first.shards &&
+      cores >= last.shards + 1;
+#ifdef DESH_TSAN
+  const bool scaling_asserted = false;
+  check(last.records_per_second >= 0.2 * first.records_per_second,
+        "sharding collapsed throughput under TSan");
+#else
+  const bool scaling_asserted = can_scale;
+  if (can_scale)
+    check(last.records_per_second >= 1.15 * first.records_per_second,
+          "throughput did not scale from " + std::to_string(first.shards) +
+              " to " + std::to_string(last.shards) + " shards");
+  else
+    // Too few cores to scale onto: sharding must still not collapse.
+    check(last.records_per_second >= 0.4 * first.records_per_second,
+          "sharding overhead collapsed throughput");
+#endif
+
+  write_snapshot(out, smoke, node_count, record_count, scaling_asserted,
+                 points);
+  std::cout << "snapshot written: " << out << "\n";
+  return 0;
+}

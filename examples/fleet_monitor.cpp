@@ -1,0 +1,180 @@
+// Fleet-scale serving demo: the desh::fleet layer run the way a site
+// operator would, exercising every runbook in FLEET.md on live traffic.
+//
+//   1. Train a pipeline offline on the first 30% of the trace.
+//   2. Stand up a FleetController: N consistent-hash-routed shards, each
+//      an InferenceServer with its own WAL directory under --wal-root.
+//   3. Replay the test stream through submit(), honoring backpressure.
+//   4. Mid-stream, run the drain -> restart-from-WAL runbook on shard 0:
+//      its nodes fail over, the shard restores from its own log, and its
+//      nodes route home again — ingestion never stops.
+//   5. Later, roll out a model snapshot fleet-wide with rolling_reload()
+//      under a probation probe (the adapt promotion path).
+//   6. Print the merged FleetHealth: per-shard counters, submit p99, and
+//      the top-K soonest-predicted failures — the operator's page.
+//
+//   ./fleet_monitor [--profile tiny|m1|m2|m3|m4] [--shards N]
+//                   [--wal-root DIR] [--max-warnings N]
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "desh.hpp"
+#include "logs/generator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+using namespace desh;
+
+namespace {
+logs::SystemProfile pick_profile(const std::string& name) {
+  if (name == "m1") return logs::profile_m1();
+  if (name == "m2") return logs::profile_m2();
+  if (name == "m3") return logs::profile_m3();
+  if (name == "m4") return logs::profile_m4();
+  return logs::profile_tiny(2026);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const logs::SystemProfile profile = pick_profile(args.get("profile", "tiny"));
+  const auto shard_count = static_cast<std::size_t>(args.get_int("shards", 3));
+  const auto max_warnings =
+      static_cast<std::size_t>(args.get_int("max-warnings", 6));
+  const std::string wal_root = args.get(
+      "wal-root",
+      (std::filesystem::temp_directory_path() / "desh_fleet_monitor_wal")
+          .string());
+  std::filesystem::remove_all(wal_root);  // a fresh demo, not a recovery
+
+  std::cout << "== Desh fleet on '" << profile.name << "' (" << shard_count
+            << " shards) ==\n";
+  logs::SyntheticCraySource source(profile);
+  const logs::SyntheticLog log = source.generate();
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+
+  std::cout << "offline training on " << train.size() << " records...\n";
+  auto pipeline = std::make_shared<core::DeshPipeline>();
+  const core::FitReport fit = pipeline->fit(train);
+  std::cout << "trained: vocab " << fit.vocab_size << ", "
+            << fit.failure_chains << " failure chains\n";
+
+  // The snapshot that rolling_reload() installs fleet-wide below — in a
+  // real deployment this is the adapt::ModelRegistry's promoted version.
+  const std::string model_dir =
+      (std::filesystem::temp_directory_path() / "desh_fleet_monitor_model")
+          .string();
+  if (auto saved = core::try_save_pipeline(*pipeline, model_dir); !saved) {
+    std::cerr << "snapshot save failed: " << saved.error().message << "\n";
+    return 1;
+  }
+
+  fleet::FleetOptions options;
+  options.fleet.shards = shard_count;
+  options.fleet.wal_root = wal_root;  // one WAL directory per shard
+  options.shard.queue_capacity = 4096;
+  auto created = fleet::FleetController::create(pipeline, options);
+  if (!created) {
+    std::cerr << "fleet rejected: " << created.error().message << "\n";
+    return 1;
+  }
+  fleet::FleetController& fleet = *created.value();
+
+  std::cout << "--- serving " << test.size() << " test records ---\n";
+  std::vector<core::MonitorAlert> alerts;
+  bool restarted = false;
+  bool reloaded = false;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    // FLEET.md runbook, step by step: drain shard 0 (its nodes fail over
+    // clockwise), restart it over its own WAL, and let routing bring its
+    // nodes home. The rest of the fleet serves throughout.
+    if (!restarted && i == test.size() / 3) {
+      restarted = true;
+      if (auto drained = fleet.drain_shard(0); !drained) {
+        std::cerr << "drain_shard: " << drained.error().message << "\n";
+      } else if (auto back = fleet.restart_shard(0); !back) {
+        std::cerr << "restart_shard: " << back.error().message << "\n";
+      } else {
+        const auto wal = fleet.health().per_shard[0].wal;
+        std::cout << "[" << logs::format_timestamp(test[i].timestamp)
+                  << "] shard 0 drained + restarted from " << wal_root
+                  << "/shard-0 (replayed " << wal.replayed
+                  << " tail records)\n";
+      }
+    }
+    // Fleet-wide model rollout with probation: every shard must pass the
+    // probe or every shard rolls back — never a half-installed fleet.
+    if (!reloaded && i == (2 * test.size()) / 3) {
+      reloaded = true;
+      auto next = core::try_load_pipeline(model_dir);
+      if (!next) {
+        std::cerr << "snapshot load failed: " << next.error().message << "\n";
+      } else {
+        auto handoff = std::make_shared<core::DeshPipeline>(
+            std::move(next).value());
+        auto probe = [](std::size_t, serve::InferenceServer& server)
+            -> core::Expected<void> {
+          if (server.stats().reloads == 0)
+            return core::Error{core::ErrorCode::kUnavailable,
+                               "swap did not install"};
+          return {};
+        };
+        if (auto rolled = fleet.rolling_reload(handoff, probe); !rolled)
+          std::cerr << "rolling_reload rolled back: "
+                    << rolled.error().message << "\n";
+        else
+          std::cout << "[" << logs::format_timestamp(test[i].timestamp)
+                    << "] rolling reload passed probation on every shard\n";
+      }
+    }
+    while (fleet.submit(test[i]) == serve::Admission::kQueueFull)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (i % 4096 == 0)
+      for (core::MonitorAlert& a : fleet.poll_alerts())
+        alerts.push_back(std::move(a));
+  }
+  fleet.drain();
+  for (core::MonitorAlert& a : fleet.poll_alerts())
+    alerts.push_back(std::move(a));
+
+  std::size_t printed = 0;
+  for (const core::MonitorAlert& alert : alerts) {
+    if (printed >= max_warnings) break;
+    std::cout << "[" << logs::format_timestamp(alert.time)
+              << "] WARNING: " << alert.message << "\n";
+    ++printed;
+  }
+  if (alerts.size() > printed)
+    std::cout << "... and " << alerts.size() - printed
+              << " further warnings suppressed (--max-warnings)\n";
+
+  const fleet::FleetHealth health = fleet.health();
+  fleet.stop();
+  std::cout << "\n--- fleet health ---\n"
+            << "shards " << health.active_shards << "/" << health.shards
+            << " active; admitted " << health.totals.admitted
+            << ", processed " << health.totals.processed << ", alerts "
+            << health.totals.alerts << ", reloads " << health.totals.reloads
+            << "\nwal committed " << health.wal_committed_records
+            << " records (replayed " << health.wal_replayed_records
+            << " on restart); submit p99 "
+            << util::format_fixed(health.submit_p99_seconds * 1e6, 1)
+            << " us\nper shard:";
+  for (const fleet::ShardHealth& shard : health.per_shard)
+    std::cout << "\n  [" << shard.shard << "] "
+              << (shard.active ? "active" : "drained") << " processed "
+              << shard.serve.processed << " alerts " << shard.serve.alerts;
+  std::cout << "\ntop at-risk nodes (horizon "
+            << util::format_fixed(options.fleet.alert_horizon_seconds, 0)
+            << " s):\n";
+  if (health.top_at_risk.empty()) std::cout << "  (none)\n";
+  for (const fleet::AtRiskNode& node : health.top_at_risk)
+    std::cout << "  " << node.node.to_string() << " on shard "
+              << node.shard << ", predicted failure at "
+              << logs::format_timestamp(node.predicted_failure_time) << " ("
+              << util::format_fixed(node.predicted_lead_seconds / 60.0, 1)
+              << " min lead)\n";
+  return 0;
+}

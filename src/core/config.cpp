@@ -46,6 +46,20 @@ std::vector<std::string> WalConfig::validate(std::string_view prefix) const {
   return out;
 }
 
+std::vector<std::string> FleetConfig::validate(std::string_view prefix) const {
+  std::vector<std::string> out;
+  const std::string p(prefix);
+  if (shards == 0) out.push_back(p + ".shards: must be > 0");
+  if (ring_points_per_shard == 0)
+    out.push_back(p + ".ring_points_per_shard: must be > 0");
+  if (at_risk_top_k == 0) out.push_back(p + ".at_risk_top_k: must be > 0");
+  if (!(alert_horizon_seconds > 0.0) || !std::isfinite(alert_horizon_seconds))
+    out.push_back(p + ".alert_horizon_seconds: must be positive and finite, "
+                      "got " +
+                  util::format_fixed(alert_horizon_seconds, 4));
+  return out;
+}
+
 std::vector<std::string> DeshConfig::validate() const {
   Checker c;
 

@@ -166,6 +166,36 @@ struct WalConfig {
       std::string_view prefix = "wal") const;
 };
 
+/// Knobs for sharded fleet-scale serving (src/fleet): how many independent
+/// monitor/server shards a FleetController runs, the consistent-hash ring
+/// geometry, per-shard durability, and the cluster-health view. Lives in
+/// core so fleet::FleetOptions can carry + validate it without core
+/// depending on desh::fleet (mirroring WalConfig / AdaptConfig).
+struct FleetConfig {
+  /// Independent shard replicas (InferenceServer + StreamingMonitor each).
+  std::size_t shards = 4;
+  /// Consistent-hash ring points per shard. More points = tighter balance
+  /// (relative shard-load spread ~ 1/sqrt(points)) at a small routing-table
+  /// cost; 128 keeps the worst shard within a few percent of the mean.
+  std::size_t ring_points_per_shard = 128;
+  /// Root directory for per-shard write-ahead logs (`<root>/shard-<i>`).
+  /// Empty = durability off for every shard. When set, the per-shard
+  /// ServeConfig template must leave its own wal.directory empty — the
+  /// fleet derives each shard's directory from this root.
+  std::string wal_root;
+  /// Nodes reported in the cluster-health top-at-risk view.
+  std::size_t at_risk_top_k = 16;
+  /// Seconds after which an unrefreshed alert drops out of the at-risk
+  /// view (measured in stream time, like adapt's alert horizon).
+  double alert_horizon_seconds = 1800.0;
+
+  /// Returns ALL violations as "<prefix>.field: problem" messages (empty =
+  /// usable), mirroring WalConfig::validate(). fleet::FleetOptions reuses
+  /// it with prefix "fleet".
+  [[nodiscard]] std::vector<std::string> validate(
+      std::string_view prefix = "fleet") const;
+};
+
 struct DeshConfig {
   Phase1Config phase1;
   Phase2Config phase2;

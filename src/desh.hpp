@@ -24,6 +24,7 @@
 #include "core/monitor.hpp"
 #include "core/persistence.hpp"
 #include "core/pipeline.hpp"
+#include "fleet/controller.hpp"
 #include "logs/record.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
@@ -108,5 +109,19 @@ namespace observability = ::desh::obs;
 //   adapt::ShadowReport    — champion-vs-challenger held-out scores
 // The detection thresholds themselves live in core::AdaptConfig
 // (DeshConfig::adapt), so they validate with every other config field.
+
+// Fleet-scale serving is exported as the nested namespace desh::fleet:
+//   fleet::FleetController — N consistent-hash-routed serving shards
+//                            behind one submit/poll surface, with
+//                            drain/restart-from-WAL per shard and rolling
+//                            model reload with probation rollback
+//   fleet::FleetOptions    — topology (core::FleetConfig) + the per-shard
+//                            serve::ServeConfig template
+//   fleet::ShardRouter     — the standalone consistent-hash ring
+//   fleet::FleetAggregator — cluster-health merge (top-K at-risk nodes,
+//                            per-shard admission/shed/latency stats)
+//   fleet::FleetHealth     — the merged dashboard view
+// The topology knobs live in core::FleetConfig so they validate with every
+// other config field. FLEET.md is the operations handbook.
 
 }  // namespace desh

@@ -1,0 +1,127 @@
+#include "fleet/aggregator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace desh::fleet {
+
+namespace {
+
+/// Stable ordering for health views: soonest predicted failure first,
+/// NodeId fields as the deterministic tie-break.
+bool at_risk_before(const AtRiskNode& a, const AtRiskNode& b) {
+  if (a.predicted_failure_time != b.predicted_failure_time)
+    return a.predicted_failure_time < b.predicted_failure_time;
+  return a.node < b.node;
+}
+
+/// Upper-bound quantile over prometheus-style cumulative-by-bucket counts:
+/// the bound of the first bucket whose cumulative count reaches q*total.
+/// The +Inf bucket reports the last finite bound (the estimate saturates).
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target)
+      return i < bounds.size() ? bounds[i] : bounds.back();
+  }
+  return bounds.back();
+}
+
+}  // namespace
+
+const std::vector<double>& submit_latency_bounds() {
+  // 1 us .. 1 s in a 1-2-5 ladder: submit() is a queue admission (lock +
+  // push), so the action lives well under a millisecond; the top decades
+  // only catch pathological contention.
+  static const std::vector<double> bounds{
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4,
+      5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 1.0};
+  return bounds;
+}
+
+FleetAggregator::FleetAggregator(core::FleetConfig config)
+    : config_(std::move(config)) {}
+
+void FleetAggregator::on_batch(std::size_t shard,
+                               std::span<const logs::LogRecord> records,
+                               std::span<const core::MonitorAlert> alerts) {
+  if (records.empty() && alerts.empty()) return;
+  util::LockGuard lk(mu_);
+  if (!records.empty())
+    stream_time_ = std::max(stream_time_, records.back().timestamp);
+  for (const core::MonitorAlert& alert : alerts) {
+    AtRiskNode entry;
+    entry.node = alert.node;
+    entry.shard = shard;
+    entry.alert_time = alert.time;
+    entry.predicted_lead_seconds = alert.predicted_lead_seconds;
+    entry.predicted_failure_time = alert.time + alert.predicted_lead_seconds;
+    entry.message = alert.message;
+    table_[alert.node] = std::move(entry);  // re-alert replaces
+    stream_time_ = std::max(stream_time_, alert.time);
+  }
+}
+
+std::vector<AtRiskNode> FleetAggregator::shard_at_risk(
+    std::size_t shard) const {
+  std::vector<AtRiskNode> out;
+  {
+    util::LockGuard lk(mu_);
+    for (const auto& [node, entry] : table_) {
+      if (entry.shard != shard) continue;
+      if (stream_time_ - entry.alert_time > config_.alert_horizon_seconds)
+        continue;  // expired: the predicted window has long passed
+      out.push_back(entry);
+    }
+  }
+  std::sort(out.begin(), out.end(), at_risk_before);
+  return out;
+}
+
+void FleetAggregator::forget_shard(std::size_t shard) {
+  util::LockGuard lk(mu_);
+  for (auto it = table_.begin(); it != table_.end();)
+    it = it->second.shard == shard ? table_.erase(it) : std::next(it);
+}
+
+FleetHealth FleetAggregator::merge(const core::FleetConfig& config,
+                                   std::vector<ShardHealth> shards) {
+  FleetHealth out;
+  out.shards = shards.size();
+  std::vector<std::uint64_t> latency(submit_latency_bounds().size() + 1, 0);
+  for (ShardHealth& s : shards) {
+    if (s.active) ++out.active_shards;
+    out.totals.admitted += s.serve.admitted;
+    out.totals.rejected += s.serve.rejected;
+    out.totals.shed += s.serve.shed;
+    out.totals.processed += s.serve.processed;
+    out.totals.alerts += s.serve.alerts;
+    out.totals.batches += s.serve.batches;
+    out.totals.reloads += s.serve.reloads;
+    out.totals.queue_depth += s.serve.queue_depth;
+    out.wal_committed_records += s.wal.committed_seq;
+    out.wal_replayed_records += s.wal.replayed;
+    for (std::size_t i = 0;
+         i < latency.size() && i < s.submit_latency_counts.size(); ++i)
+      latency[i] += s.submit_latency_counts[i];
+    for (AtRiskNode& n : s.at_risk) out.top_at_risk.push_back(std::move(n));
+    s.at_risk.clear();
+  }
+  out.submit_p50_seconds =
+      bucket_quantile(submit_latency_bounds(), latency, 0.50);
+  out.submit_p99_seconds =
+      bucket_quantile(submit_latency_bounds(), latency, 0.99);
+  std::sort(out.top_at_risk.begin(), out.top_at_risk.end(), at_risk_before);
+  if (out.top_at_risk.size() > config.at_risk_top_k)
+    out.top_at_risk.resize(config.at_risk_top_k);
+  out.per_shard = std::move(shards);
+  return out;
+}
+
+}  // namespace desh::fleet

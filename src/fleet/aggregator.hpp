@@ -1,0 +1,118 @@
+// FleetAggregator: cluster-health views over N serving shards.
+//
+// Two halves, deliberately separable:
+//
+//   - A live tracker fed by every shard's post-batch tap: it maintains the
+//     fleet-wide at-risk table (one entry per node with an unexpired
+//     failure alert, keyed on the alert's own stream time so the view works
+//     on replayed history as well as live traffic) and the stream clock.
+//   - A pure merge: given per-shard health snapshots (serve counters, WAL
+//     counters, submit-latency buckets, at-risk contributions), produce the
+//     single FleetHealth a dashboard renders — summed counters, merged
+//     latency quantiles, and the top-K soonest predicted failures across
+//     the whole machine. merge() is static and side-effect-free so its
+//     correctness is table-driven testable without running any server.
+//
+// Threading: on_batch() is called concurrently from every shard's collector
+// thread; the tracker guards its table with its own mutex and NEVER calls
+// back into the fleet/serve layer (lock order: controller -> aggregator,
+// never the reverse).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/monitor.hpp"
+#include "logs/node_id.hpp"
+#include "logs/record.hpp"
+#include "serve/server.hpp"
+#include "util/sync.hpp"
+
+namespace desh::fleet {
+
+/// One node in the at-risk view: the alert that put it there, and when the
+/// model expects the failure.
+struct AtRiskNode {
+  logs::NodeId node;
+  std::size_t shard = 0;
+  double alert_time = 0.0;               // stream time of the alert
+  double predicted_lead_seconds = 0.0;   // model's deltaT forecast
+  double predicted_failure_time = 0.0;   // alert_time + lead
+  std::string message;                   // operator-facing alert line
+};
+
+/// Upper bounds (seconds) of the submit-latency buckets every shard
+/// records; the last implicit bucket is +Inf. Fixed here (not taken from
+/// desh::obs) so FleetHealth works identically with telemetry compiled out.
+const std::vector<double>& submit_latency_bounds();
+
+/// Point-in-time health of one shard, as assembled by FleetController.
+struct ShardHealth {
+  std::size_t shard = 0;
+  bool active = true;  // false while drained out of the ring
+  serve::ServeStats serve;
+  serve::InferenceServer::WalStats wal;
+  /// submit() wall-time counts per submit_latency_bounds() bucket
+  /// (+Inf last, so size = bounds + 1).
+  std::vector<std::uint64_t> submit_latency_counts;
+  /// This shard's unexpired alert-backed nodes.
+  std::vector<AtRiskNode> at_risk;
+};
+
+/// The merged cluster view.
+struct FleetHealth {
+  std::size_t shards = 0;
+  std::size_t active_shards = 0;
+  /// Field-wise sums of every shard's ServeStats.
+  serve::ServeStats totals;
+  /// Records durable across all shard WALs (sum of committed seqs) and
+  /// records replayed by shard restarts — the fleet's durability pulse.
+  std::uint64_t wal_committed_records = 0;
+  std::uint64_t wal_replayed_records = 0;
+  /// Upper-bound quantile estimates over the merged submit-latency
+  /// histogram (0 when nothing was measured).
+  double submit_p50_seconds = 0.0;
+  double submit_p99_seconds = 0.0;
+  /// The K nodes with the soonest predicted failures, fleet-wide, sorted
+  /// by predicted_failure_time (ties: NodeId order).
+  std::vector<AtRiskNode> top_at_risk;
+  std::vector<ShardHealth> per_shard;
+};
+
+class FleetAggregator {
+ public:
+  explicit FleetAggregator(core::FleetConfig config);
+
+  /// Tap feed from shard `shard`: advances the stream clock to the batch's
+  /// last timestamp and upserts one at-risk entry per alert (a re-alerting
+  /// node replaces its previous entry). Thread-safe.
+  void on_batch(std::size_t shard,
+                std::span<const logs::LogRecord> records,
+                std::span<const core::MonitorAlert> alerts);
+
+  /// `shard`'s unexpired at-risk entries (alert younger than the horizon at
+  /// the current stream clock), sorted by predicted_failure_time.
+  std::vector<AtRiskNode> shard_at_risk(std::size_t shard) const;
+
+  /// Drops `shard`'s entries — a restarted shard's window state is gone,
+  /// so its stale alerts must not linger in the view.
+  void forget_shard(std::size_t shard);
+
+  /// The pure merge: counters summed, latency buckets added then read as
+  /// upper-bound quantiles, at-risk lists k-way merged and truncated to
+  /// config.at_risk_top_k.
+  static FleetHealth merge(const core::FleetConfig& config,
+                           std::vector<ShardHealth> shards);
+
+ private:
+  const core::FleetConfig config_;
+  mutable util::Mutex mu_;
+  double stream_time_ DESH_GUARDED_BY(mu_) = 0.0;
+  std::unordered_map<logs::NodeId, AtRiskNode> table_ DESH_GUARDED_BY(mu_);
+};
+
+}  // namespace desh::fleet

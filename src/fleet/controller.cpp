@@ -1,0 +1,393 @@
+#include "fleet/controller.hpp"
+
+#include <chrono>
+#include <iterator>
+
+#include "obs/catalog.hpp"
+#include "util/strings.hpp"
+
+namespace desh::fleet {
+
+namespace {
+
+// Call sites cache the registry lookups in function-local statics (the
+// registry idiom: registration locks once, recording never does).
+obs::Gauge& shards_active_gauge() {
+  static obs::Gauge& g = obs::registry().gauge(obs::kFleetShardsActive);
+  return g;
+}
+obs::Counter& routed_total() {
+  static obs::Counter& c = obs::registry().counter(obs::kFleetRoutedTotal);
+  return c;
+}
+obs::Counter& rerouted_total() {
+  static obs::Counter& c = obs::registry().counter(obs::kFleetReroutedTotal);
+  return c;
+}
+obs::Counter& drains_total() {
+  static obs::Counter& c = obs::registry().counter(obs::kFleetDrainsTotal);
+  return c;
+}
+obs::Counter& restarts_total() {
+  static obs::Counter& c = obs::registry().counter(obs::kFleetRestartsTotal);
+  return c;
+}
+obs::Counter& reloads_total() {
+  static obs::Counter& c = obs::registry().counter(obs::kFleetReloadsTotal);
+  return c;
+}
+obs::Counter& reload_rollbacks_total() {
+  static obs::Counter& c =
+      obs::registry().counter(obs::kFleetReloadRollbacksTotal);
+  return c;
+}
+obs::Histogram& submit_seconds() {
+  static obs::Histogram& h =
+      obs::registry().histogram(obs::kFleetSubmitSeconds,
+                                submit_latency_bounds());
+  return h;
+}
+obs::Gauge& at_risk_gauge() {
+  static obs::Gauge& g = obs::registry().gauge(obs::kFleetAtRiskNodes);
+  return g;
+}
+
+}  // namespace
+
+std::vector<std::string> FleetOptions::validate() const {
+  std::vector<std::string> out = fleet.validate("fleet");
+  for (std::string& v : shard.validate())
+    out.push_back("shard." + std::move(v));
+  if (!fleet.wal_root.empty() && !shard.wal.directory.empty())
+    out.push_back(
+        "fleet.wal_root: mutually exclusive with shard.wal.directory "
+        "(per-shard directories are derived from wal_root)");
+  if (fleet.wal_root.empty() && !shard.wal.directory.empty() &&
+      fleet.shards > 1)
+    out.push_back(
+        "shard.wal.directory: " + std::to_string(fleet.shards) +
+        " shards cannot share one WAL directory; set fleet.wal_root and "
+        "each shard gets its own");
+  return out;
+}
+
+FleetController::FleetController(
+    FleetOptions options, std::shared_ptr<const core::DeshPipeline> pipeline)
+    : options_(std::move(options)),
+      aggregator_(options_.fleet),
+      router_(options_.fleet.shards, options_.fleet.ring_points_per_shard),
+      pipeline_(std::move(pipeline)),
+      submit_latency_(options_.fleet.shards,
+                      std::vector<std::uint64_t>(
+                          submit_latency_bounds().size() + 1, 0)) {
+  shards_active_gauge().set(static_cast<double>(options_.fleet.shards));
+}
+
+FleetController::~FleetController() { stop(); }
+
+core::Expected<std::unique_ptr<FleetController>> FleetController::create(
+    std::shared_ptr<const core::DeshPipeline> pipeline, FleetOptions options) {
+  const std::vector<std::string> violations = options.validate();
+  if (!violations.empty())
+    return core::Error{core::ErrorCode::kInvalidConfig,
+                       "invalid FleetOptions:\n  - " +
+                           util::join(violations, "\n  - ")};
+  std::unique_ptr<FleetController> fleet(
+      new FleetController(std::move(options), pipeline));
+  {
+    util::LockGuard lk(fleet->mu_);
+    fleet->servers_.reserve(fleet->options_.fleet.shards);
+    for (std::size_t shard = 0; shard < fleet->options_.fleet.shards;
+         ++shard) {
+      core::Expected<std::unique_ptr<serve::InferenceServer>> server =
+          fleet->make_server(shard, pipeline);
+      if (!server) return server.error();
+      fleet->servers_.push_back(std::move(server).value());
+    }
+  }
+  return fleet;
+}
+
+std::string FleetController::shard_wal_dir(std::size_t shard) const {
+  return options_.fleet.wal_root + "/shard-" + std::to_string(shard);
+}
+
+core::Expected<std::unique_ptr<serve::InferenceServer>>
+FleetController::make_server(
+    std::size_t shard, std::shared_ptr<const core::DeshPipeline> pipeline) {
+  serve::ServeConfig config = options_.shard;
+  if (!options_.fleet.wal_root.empty())
+    config.wal.directory = shard_wal_dir(shard);
+  core::Expected<std::unique_ptr<serve::InferenceServer>> server =
+      serve::InferenceServer::create(std::move(pipeline), std::move(config));
+  if (!server)
+    return core::Error{server.error().code,
+                       "fleet shard " + std::to_string(shard) + ": " +
+                           server.error().message};
+  server.value()->set_tap(
+      [this, shard](std::span<const logs::LogRecord> records,
+                    std::span<const core::MonitorAlert> alerts) {
+        // Collector-thread context. Touch only the aggregator's own mutex
+        // and the leaf tap_mu_ — NEVER mu_ (see the header's lock order:
+        // drain_shard holds mu_ while waiting for this very pump).
+        aggregator_.on_batch(shard, records, alerts);
+        ShardTap tap;
+        {
+          util::LockGuard lk(tap_mu_);
+          tap = user_tap_;
+        }
+        if (tap) tap(shard, records, alerts);
+      });
+  return server;
+}
+
+serve::Admission FleetController::submit(const logs::LogRecord& record) {
+  util::LockGuard lk(mu_);
+  if (stopped_) return serve::Admission::kStopped;
+  const Placement placement = router_.place(record.node);
+  const auto start = std::chrono::steady_clock::now();
+  const serve::Admission admission = servers_[placement.shard]->submit(record);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  record_submit_locked(placement.shard, placement.failover, seconds);
+  return admission;
+}
+
+std::size_t FleetController::submit_batch(
+    std::span<const logs::LogRecord> records) {
+  std::size_t accepted = 0;
+  for (const logs::LogRecord& record : records) {
+    const serve::Admission admission = submit(record);
+    if (admission == serve::Admission::kAccepted)
+      ++accepted;
+    else if (admission == serve::Admission::kStopped)
+      break;
+  }
+  return accepted;
+}
+
+void FleetController::record_submit_locked(std::size_t shard, bool failover,
+                                           double seconds) {
+  routed_total().add();
+  if (failover) rerouted_total().add();
+  submit_seconds().observe(seconds);
+  const std::vector<double>& bounds = submit_latency_bounds();
+  std::size_t bucket = bounds.size();  // +Inf unless a bound catches it
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (seconds <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++submit_latency_[shard][bucket];
+}
+
+std::vector<core::MonitorAlert> FleetController::poll_alerts() {
+  util::LockGuard lk(mu_);
+  std::vector<core::MonitorAlert> out;
+  for (const std::unique_ptr<serve::InferenceServer>& server : servers_) {
+    std::vector<core::MonitorAlert> alerts = server->poll_alerts();
+    out.insert(out.end(), std::make_move_iterator(alerts.begin()),
+               std::make_move_iterator(alerts.end()));
+  }
+  return out;
+}
+
+void FleetController::drain() {
+  util::LockGuard lk(mu_);
+  for (const std::unique_ptr<serve::InferenceServer>& server : servers_)
+    server->drain();
+}
+
+void FleetController::stop() {
+  util::LockGuard lk(mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (const std::unique_ptr<serve::InferenceServer>& server : servers_)
+    server->stop();
+}
+
+std::size_t FleetController::pump() {
+  util::LockGuard lk(mu_);
+  std::size_t processed = 0;
+  for (const std::unique_ptr<serve::InferenceServer>& server : servers_)
+    processed += server->pump();
+  return processed;
+}
+
+std::size_t FleetController::shard_count() const {
+  util::LockGuard lk(mu_);
+  return router_.shard_count();
+}
+
+std::size_t FleetController::active_count() const {
+  util::LockGuard lk(mu_);
+  return router_.active_count();
+}
+
+bool FleetController::is_active(std::size_t shard) const {
+  util::LockGuard lk(mu_);
+  return shard < router_.shard_count() && router_.is_active(shard);
+}
+
+std::size_t FleetController::shard_of(const logs::NodeId& node) const {
+  util::LockGuard lk(mu_);
+  return router_.shard_for(node);
+}
+
+core::Expected<void> FleetController::drain_shard(std::size_t shard) {
+  util::LockGuard lk(mu_);
+  if (shard >= servers_.size())
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "fleet.drain_shard: no shard " + std::to_string(shard)};
+  if (!router_.is_active(shard))
+    return core::Error{core::ErrorCode::kUnavailable,
+                       "fleet.drain_shard: shard " + std::to_string(shard) +
+                           " is already drained"};
+  if (!router_.deactivate(shard))
+    return core::Error{core::ErrorCode::kUnavailable,
+                       "fleet.drain_shard: refusing to drain the last "
+                       "active shard"};
+  servers_[shard]->drain();
+  drains_total().add();
+  shards_active_gauge().set(static_cast<double>(router_.active_count()));
+  return {};
+}
+
+core::Expected<void> FleetController::restart_shard(std::size_t shard) {
+  util::LockGuard lk(mu_);
+  if (shard >= servers_.size())
+    return core::Error{
+        core::ErrorCode::kInvalidArgument,
+        "fleet.restart_shard: no shard " + std::to_string(shard)};
+  if (router_.is_active(shard))
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "fleet.restart_shard: shard " + std::to_string(shard) +
+                           " is still in the ring; drain_shard it first"};
+  // Stop the incumbent so its WAL is committed and closed before the
+  // successor opens the same directory for restore + replay.
+  servers_[shard]->stop();
+  core::Expected<std::unique_ptr<serve::InferenceServer>> next =
+      make_server(shard, pipeline_);
+  if (!next)
+    // The shard stays out of the ring with its old server stopped; the
+    // operator fixes the cause and retries (stop() is idempotent).
+    return core::Error{next.error().code,
+                       "fleet.restart_shard: " + next.error().message};
+  servers_[shard] = std::move(next).value();
+  // The shard's at-risk entries describe the pre-restart monitor; drop
+  // them, then re-seed from what the WAL tail replay re-raised (alert
+  // re-delivery itself stays the driver's call, per serve's contract).
+  aggregator_.forget_shard(shard);
+  const std::vector<std::pair<std::uint64_t, core::MonitorAlert>>& replayed =
+      servers_[shard]->wal_replayed_alerts();
+  if (!replayed.empty()) {
+    std::vector<core::MonitorAlert> alerts;
+    alerts.reserve(replayed.size());
+    for (const auto& [seq, alert] : replayed) alerts.push_back(alert);
+    aggregator_.on_batch(shard, {}, alerts);
+  }
+  router_.activate(shard);
+  restarts_total().add();
+  shards_active_gauge().set(static_cast<double>(router_.active_count()));
+  return {};
+}
+
+core::Expected<void> FleetController::reload_shard_locked(
+    std::size_t shard, std::shared_ptr<const core::DeshPipeline> pipeline) {
+  core::Expected<void> staged =
+      servers_[shard]->swap_model(std::move(pipeline));
+  if (!staged)
+    return core::Error{staged.error().code,
+                       "fleet shard " + std::to_string(shard) + ": " +
+                           staged.error().message};
+  servers_[shard]->drain();  // lands the install at a batch boundary
+  return {};
+}
+
+core::Expected<void> FleetController::rolling_reload(
+    std::shared_ptr<const core::DeshPipeline> next, const Probe& probe) {
+  if (!next)
+    return core::Error{core::ErrorCode::kInvalidArgument,
+                       "fleet.rolling_reload: null pipeline"};
+  util::LockGuard lk(mu_);
+  if (stopped_)
+    return core::Error{core::ErrorCode::kUnavailable,
+                       "fleet.rolling_reload: fleet is stopped"};
+  const std::shared_ptr<const core::DeshPipeline> prev = pipeline_;
+  for (std::size_t shard = 0; shard < servers_.size(); ++shard) {
+    core::Expected<void> outcome = reload_shard_locked(shard, next);
+    if (outcome && probe) {
+      core::Expected<void> probation = probe(shard, *servers_[shard]);
+      if (!probation)
+        outcome = core::Error{core::ErrorCode::kUnavailable,
+                              "fleet.rolling_reload: shard " +
+                                  std::to_string(shard) +
+                                  " failed probation: " +
+                                  probation.error().message};
+    }
+    if (!outcome) {
+      // Roll every shard reloaded so far — including the failing one —
+      // back to the previous model, so the fleet never serves a mix.
+      std::string message = outcome.error().message;
+      for (std::size_t back = 0; back <= shard; ++back) {
+        core::Expected<void> restored = reload_shard_locked(back, prev);
+        if (!restored)
+          message += "; rollback of shard " + std::to_string(back) +
+                     " also failed: " + restored.error().message;
+      }
+      reload_rollbacks_total().add();
+      return core::Error{outcome.error().code, std::move(message)};
+    }
+  }
+  pipeline_ = std::move(next);
+  reloads_total().add();
+  return {};
+}
+
+void FleetController::set_shard_tap(ShardTap tap) {
+  util::LockGuard lk(tap_mu_);
+  user_tap_ = std::move(tap);
+}
+
+ShardHealth FleetController::shard_health_locked(std::size_t shard) const {
+  ShardHealth out;
+  out.shard = shard;
+  out.active = router_.is_active(shard);
+  out.serve = servers_[shard]->stats();
+  out.wal = servers_[shard]->wal_stats();
+  out.submit_latency_counts = submit_latency_[shard];
+  out.at_risk = aggregator_.shard_at_risk(shard);
+  return out;
+}
+
+FleetHealth FleetController::health() const {
+  std::vector<ShardHealth> shards;
+  {
+    util::LockGuard lk(mu_);
+    shards.reserve(servers_.size());
+    for (std::size_t shard = 0; shard < servers_.size(); ++shard)
+      shards.push_back(shard_health_locked(shard));
+  }
+  FleetHealth merged =
+      FleetAggregator::merge(options_.fleet, std::move(shards));
+  std::size_t at_risk = 0;
+  for (const ShardHealth& s : merged.per_shard) at_risk += s.at_risk.size();
+  at_risk_gauge().set(static_cast<double>(at_risk));
+  return merged;
+}
+
+std::shared_ptr<const core::DeshPipeline> FleetController::pipeline() const {
+  util::LockGuard lk(mu_);
+  return pipeline_;
+}
+
+std::vector<std::pair<std::uint64_t, core::MonitorAlert>>
+FleetController::shard_replayed_alerts(std::size_t shard) const {
+  util::LockGuard lk(mu_);
+  if (shard >= servers_.size()) return {};
+  return servers_[shard]->wal_replayed_alerts();
+}
+
+}  // namespace desh::fleet

@@ -1,0 +1,209 @@
+// FleetController: N independent serving shards behind one front door.
+//
+// One InferenceServer + StreamingMonitor pair holds the window state of one
+// shard's nodes; the controller owns N of them plus the ShardRouter that
+// consistent-hashes every record's NodeId to its shard. Because a node's
+// whole stream flows through exactly one shard in order, the fleet inherits
+// serve's replay-equivalence contract per shard: with no sheds, each
+// shard's alert stream is byte-identical to feeding that shard's substream
+// through a lone StreamingMonitor (tests/test_fleet.cpp pins this,
+// including across a rolling model reload).
+//
+// Lifecycle operations (the FLEET.md runbook surface):
+//   - drain_shard(): pull a shard out of the ring (its nodes fail over to
+//     clockwise neighbors) and wait until its queue is empty.
+//   - restart_shard(): stop a drained shard's server and recreate it over
+//     the shard's own WAL directory — restore + tail replay, exactly the
+//     single-server crash-recovery path — then return it to the ring.
+//   - rolling_reload(): install a new model shard by shard (stage + drain
+//     so the swap lands at a batch boundary), run the caller's probation
+//     probe against the reloaded shard, and on the first probe failure
+//     roll every already-reloaded shard back to the previous model.
+//
+// Locking (the order is load-bearing; see DESIGN.md "Fleet architecture"):
+//   - mu_ guards the router, the shard servers and the latency buckets.
+//     Server calls are made WHILE HOLDING mu_ (order: fleet -> serve) so a
+//     concurrent restart_shard can never free a server under a submit.
+//   - The per-shard tap runs on each shard's collector thread and feeds
+//     the aggregator (its own mutex) and the user tap (tap_mu_). It must
+//     NEVER take mu_: drain_shard holds mu_ while waiting for the shard's
+//     queue to empty, and emptying the queue requires pumping, which calls
+//     the tap — tap -> mu_ would deadlock the drain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/expected.hpp"
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/router.hpp"
+#include "logs/record.hpp"
+#include "serve/server.hpp"
+#include "util/sync.hpp"
+
+namespace desh::fleet {
+
+/// Fleet topology plus the per-shard serving template. When
+/// `fleet.wal_root` is set, each shard serves over its own WAL directory
+/// `<wal_root>/shard-<i>`; `shard.wal.directory` must then stay empty (N
+/// shards sharing one log would corrupt each other's recovery).
+struct FleetOptions {
+  core::FleetConfig fleet;
+  serve::ServeConfig shard;
+
+  /// All violations as "field.path: problem" strings; empty when valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+class FleetController {
+ public:
+  /// Post-batch observer over the whole fleet: the per-shard tap feed with
+  /// the shard index attached. Runs on shard collector threads (or the
+  /// pump() caller in manual mode); must not call back into the controller.
+  using ShardTap = std::function<void(std::size_t shard,
+                                      std::span<const logs::LogRecord>,
+                                      std::span<const core::MonitorAlert>)>;
+
+  /// Probation check run against each shard right after its reload.
+  /// Returning an error rolls the whole fleet back to the previous model.
+  /// Runs with the fleet lock held: the server reference is stable for the
+  /// duration, and the probe may use it freely (submit/pump/drain/
+  /// poll_alerts) but must not call back into the controller.
+  using Probe = std::function<core::Expected<void>(
+      std::size_t shard, serve::InferenceServer& server)>;
+
+  /// Builds the router and one InferenceServer per shard, all serving
+  /// `pipeline`. Shards with a WAL directory restore + replay exactly like
+  /// a standalone server. Errors: kInvalidConfig (FleetOptions violations),
+  /// plus anything serve::InferenceServer::create returns, prefixed with
+  /// the failing shard.
+  [[nodiscard]] static core::Expected<std::unique_ptr<FleetController>>
+  create(std::shared_ptr<const core::DeshPipeline> pipeline,
+         FleetOptions options = {});
+
+  ~FleetController();  // stop()s if the owner has not
+
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  /// Routes one record to its shard and offers it there. The admission
+  /// outcome is the shard server's (kQueueFull is per-shard backpressure).
+  /// Records of one node must arrive in timestamp order, as with a single
+  /// server.
+  serve::Admission submit(const logs::LogRecord& record);
+
+  /// submit() in order for each record; returns how many were accepted.
+  std::size_t submit_batch(std::span<const logs::LogRecord> records);
+
+  /// Takes all alerts raised since the last poll, grouped by shard in
+  /// shard-index order (each group in that shard's processing order).
+  std::vector<core::MonitorAlert> poll_alerts();
+
+  /// Blocks until every shard's queue is empty and staged swaps installed.
+  void drain();
+
+  /// Stops every shard. Idempotent; called by the destructor.
+  void stop();
+
+  /// Manual-pump mode only: pumps one micro-batch on every shard; returns
+  /// total records processed. Single caller at a time.
+  std::size_t pump();
+
+  std::size_t shard_count() const;
+  std::size_t active_count() const;
+  bool is_active(std::size_t shard) const;
+  /// The active shard currently owning `node`.
+  std::size_t shard_of(const logs::NodeId& node) const;
+
+  /// Pulls `shard` out of the ring and drains its queue. Its nodes fail
+  /// over to their clockwise ring neighbors (fresh window state there — a
+  /// failover is a monitor restart for those nodes, never a wrong-order
+  /// merge). Errors: kInvalidArgument (bad index), kUnavailable (already
+  /// drained, or it is the last active shard).
+  [[nodiscard]] core::Expected<void> drain_shard(std::size_t shard);
+
+  /// Recreates a DRAINED shard's server over its WAL directory (restore +
+  /// tail replay when durable) serving the fleet's current pipeline, drops
+  /// the shard's stale at-risk entries, and returns it to the ring.
+  /// Errors: kInvalidArgument (bad index / shard not drained), or the
+  /// server-create error — the shard then stays out of the ring with its
+  /// old server stopped, and restart_shard may be retried.
+  [[nodiscard]] core::Expected<void> restart_shard(std::size_t shard);
+
+  /// Installs `next` shard by shard: stage via swap_model, drain to land
+  /// the install at a batch boundary, then run `probe` (when given) as
+  /// probation. On the first failure every already-reloaded shard is
+  /// rolled back to the previous model and the error is returned
+  /// (kUnavailable naming the failing shard, wrapping the probe's
+  /// message). Serialized with all other lifecycle calls.
+  [[nodiscard]] core::Expected<void> rolling_reload(
+      std::shared_ptr<const core::DeshPipeline> next, const Probe& probe = {});
+
+  /// Installs (or clears, with nullptr) the fleet-wide post-batch tap.
+  void set_shard_tap(ShardTap tap);
+
+  /// Merged cluster view: per-shard serve/WAL counters, fleet submit
+  /// latency quantiles, and the top-K soonest predicted failures.
+  FleetHealth health() const;
+
+  /// The pipeline the fleet currently serves (the last successful
+  /// rolling_reload's model, or the create()-time one).
+  std::shared_ptr<const core::DeshPipeline> pipeline() const;
+
+  /// The alerts `shard`'s last restart replayed from its WAL tail, paired
+  /// with the originating record seqs (see InferenceServer's re-delivery
+  /// contract).
+  std::vector<std::pair<std::uint64_t, core::MonitorAlert>>
+  shard_replayed_alerts(std::size_t shard) const;
+
+ private:
+  FleetController(FleetOptions options,
+                  std::shared_ptr<const core::DeshPipeline> pipeline);
+
+  std::string shard_wal_dir(std::size_t shard) const;
+  /// Builds one shard server (per-shard WAL directory applied) and wires
+  /// its tap. Not locked: used at create() time and under mu_ by
+  /// restart_shard (the new server is not visible to other threads yet).
+  [[nodiscard]] core::Expected<std::unique_ptr<serve::InferenceServer>>
+  make_server(std::size_t shard,
+              std::shared_ptr<const core::DeshPipeline> pipeline);
+  /// swap + drain one shard so the install lands at a batch boundary.
+  [[nodiscard]] core::Expected<void> reload_shard_locked(
+      std::size_t shard, std::shared_ptr<const core::DeshPipeline> pipeline)
+      DESH_REQUIRES(mu_);
+  void record_submit_locked(std::size_t shard, bool failover, double seconds)
+      DESH_REQUIRES(mu_);
+  ShardHealth shard_health_locked(std::size_t shard) const DESH_REQUIRES(mu_);
+
+  const FleetOptions options_;
+  /// Fed by shard taps on collector threads; own mutex (see file comment).
+  FleetAggregator aggregator_;
+
+  mutable util::Mutex tap_mu_;  // leaf lock of the tap path
+  ShardTap user_tap_ DESH_GUARDED_BY(tap_mu_);
+
+  mutable util::Mutex mu_;
+  ShardRouter router_ DESH_GUARDED_BY(mu_);
+  std::shared_ptr<const core::DeshPipeline> pipeline_ DESH_GUARDED_BY(mu_);
+  /// Per-shard submit-latency counts over submit_latency_bounds()
+  /// (+Inf last) — kept here, not in desh::obs, so FleetHealth quantiles
+  /// survive DESH_OBS=OFF.
+  std::vector<std::vector<std::uint64_t>> submit_latency_
+      DESH_GUARDED_BY(mu_);
+  bool stopped_ DESH_GUARDED_BY(mu_) = false;
+  /// Declared last: destroyed first, so collector threads (which call the
+  /// taps referencing aggregator_/tap_mu_) are joined before anything the
+  /// taps touch goes away.
+  std::vector<std::unique_ptr<serve::InferenceServer>> servers_
+      DESH_GUARDED_BY(mu_);
+};
+
+}  // namespace desh::fleet

@@ -1,0 +1,91 @@
+#include "fleet/router.hpp"
+
+#include <algorithm>
+
+namespace desh::fleet {
+
+namespace {
+
+/// splitmix64 finalizer: a fixed, well-mixed 64-bit permutation. The ring
+/// must hash identically on every platform forever — per-shard WAL
+/// directories outlive processes — so no std::hash here.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t pack(const logs::NodeId& node) {
+  return (static_cast<std::uint64_t>(node.cabinet_x) << 48) |
+         (static_cast<std::uint64_t>(node.cabinet_y) << 32) |
+         (static_cast<std::uint64_t>(node.chassis) << 16) |
+         (static_cast<std::uint64_t>(node.slot) << 8) |
+         static_cast<std::uint64_t>(node.node);
+}
+
+}  // namespace
+
+std::uint64_t ShardRouter::node_point(const logs::NodeId& node) {
+  return mix64(pack(node));
+}
+
+ShardRouter::ShardRouter(std::size_t shards,
+                         std::size_t ring_points_per_shard) {
+  if (shards == 0) shards = 1;
+  if (ring_points_per_shard == 0) ring_points_per_shard = 1;
+  active_.assign(shards, true);
+  active_count_ = shards;
+  ring_.reserve(shards * ring_points_per_shard);
+  for (std::size_t s = 0; s < shards; ++s)
+    for (std::size_t p = 0; p < ring_points_per_shard; ++p)
+      // Point identity is (shard, replica) — stable under shard-count-
+      // independent seeds so shard s's arcs never depend on how many other
+      // shards exist... except through ring interleaving, which is the
+      // consistent-hashing deal.
+      ring_.push_back({mix64((static_cast<std::uint64_t>(s) << 32) | p),
+                       static_cast<std::uint32_t>(s)});
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+bool ShardRouter::deactivate(std::size_t shard) {
+  if (shard >= active_.size() || !active_[shard]) return false;
+  if (active_count_ == 1) return false;  // never black-hole the fleet
+  active_[shard] = false;
+  --active_count_;
+  return true;
+}
+
+bool ShardRouter::activate(std::size_t shard) {
+  if (shard >= active_.size() || active_[shard]) return false;
+  active_[shard] = true;
+  ++active_count_;
+  return true;
+}
+
+Placement ShardRouter::place(const logs::NodeId& node) const {
+  const std::uint64_t h = node_point(node);
+  // First ring point clockwise from h (wrapping), then walk past points of
+  // inactive shards. active_count_ >= 1 always, so the walk terminates.
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(ring_.begin(), ring_.end(), h,
+                       [](const Point& p, std::uint64_t value) {
+                         return p.hash < value;
+                       }) -
+      ring_.begin());
+  Placement out;
+  for (std::size_t step = 0; step < ring_.size(); ++step, ++i) {
+    if (i == ring_.size()) i = 0;
+    if (active_[ring_[i].shard]) {
+      out.shard = ring_[i].shard;
+      return out;
+    }
+    out.failover = true;  // the ring-home (first clockwise) shard was out
+  }
+  out.shard = 0;  // unreachable: active_count_ >= 1
+  return out;
+}
+
+}  // namespace desh::fleet

@@ -1,0 +1,85 @@
+// ShardRouter: consistent-hash placement of node-ids onto shard replicas.
+//
+// A real site watches 10^5-10^6 nodes; one StreamingMonitor cannot hold
+// that much window state, so desh::fleet partitions the node space across N
+// independent shards. The router is the partition function, and it must
+// satisfy two contracts the rest of the fleet leans on:
+//
+//   - Affinity. A node maps to exactly one shard for as long as the
+//     topology is unchanged, so every record of a node's stream flows
+//     through the same monitor in order — the property that makes per-shard
+//     serving byte-equivalent to per-shard sequential observe().
+//   - Minimal disruption. Deactivating a shard (drain) remaps ONLY the
+//     nodes that shard owned; every other node keeps its placement. This
+//     is the classic consistent-hashing guarantee: each shard owns
+//     `ring_points_per_shard` pseudo-random arcs of a 64-bit hash ring, a
+//     node belongs to the first active point clockwise from its own hash,
+//     and removing one shard's points only hands its arcs to the clockwise
+//     neighbors.
+//
+// Hashing is a fixed splitmix64 finalizer over the packed NodeId — fully
+// deterministic across runs, platforms and standard libraries (std::hash is
+// deliberately not used), so a fleet restarted tomorrow routes exactly like
+// the fleet that wrote yesterday's per-shard WALs.
+//
+// Threading: externally synchronized. FleetController owns the only
+// instance and guards it with its own mutex; the standalone class is
+// const-queryable from one thread at a time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logs/node_id.hpp"
+
+namespace desh::fleet {
+
+/// Where a record was placed and why — submit() telemetry distinguishes
+/// ring-home routing from failover while the home shard is draining.
+struct Placement {
+  std::size_t shard = 0;  // the shard that receives the record
+  bool failover = false;  // true when the ring-home shard was inactive
+};
+
+class ShardRouter {
+ public:
+  /// Builds the ring. Counts are clamped to >= 1 (FleetConfig::validate()
+  /// rejects zeros before a controller ever constructs a router).
+  ShardRouter(std::size_t shards, std::size_t ring_points_per_shard);
+
+  std::size_t shard_count() const { return active_.size(); }
+  std::size_t active_count() const { return active_count_; }
+  bool is_active(std::size_t shard) const { return active_[shard]; }
+
+  /// Removes `shard`'s ring points from routing (its nodes fail over to
+  /// their clockwise neighbors). No-op when already inactive. The LAST
+  /// active shard cannot be deactivated (the fleet would black-hole).
+  /// Returns false when refused.
+  bool deactivate(std::size_t shard);
+  /// Restores `shard`'s ring points; its original nodes come home. No-op
+  /// (returning false) when already active.
+  bool activate(std::size_t shard);
+
+  /// The active shard owning `node`, plus whether that took a failover hop.
+  Placement place(const logs::NodeId& node) const;
+  /// Shorthand for place().shard.
+  std::size_t shard_for(const logs::NodeId& node) const {
+    return place(node).shard;
+  }
+
+  /// Deterministic 64-bit point of a node on the ring (exposed so tests
+  /// can reason about arc ownership directly).
+  static std::uint64_t node_point(const logs::NodeId& node);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+
+  std::vector<Point> ring_;  // sorted by hash; ties broken by shard
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace desh::fleet

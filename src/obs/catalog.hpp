@@ -213,6 +213,38 @@ inline constexpr MetricDef kAdaptChampionVersion{
     "desh_adapt_champion_version", "gauge", "version",
     "Registry version number of the pipeline currently serving"};
 
+// --- fleet serving (desh::fleet) ------------------------------------------
+inline constexpr MetricDef kFleetShardsActive{
+    "desh_fleet_shards_active", "gauge", "shards",
+    "Shards currently in the routing ring (total minus drained)"};
+inline constexpr MetricDef kFleetRoutedTotal{
+    "desh_fleet_routed_total", "counter", "records",
+    "Records routed to a shard by FleetController::submit"};
+inline constexpr MetricDef kFleetReroutedTotal{
+    "desh_fleet_rerouted_total", "counter", "records",
+    "Routed records whose ring-home shard was drained (failover placement "
+    "to a clockwise neighbor)"};
+inline constexpr MetricDef kFleetDrainsTotal{
+    "desh_fleet_drains_total", "counter", "drains",
+    "Shards pulled out of the ring and drained via drain_shard()"};
+inline constexpr MetricDef kFleetRestartsTotal{
+    "desh_fleet_restarts_total", "counter", "restarts",
+    "Shard servers recreated over their WAL directory via restart_shard()"};
+inline constexpr MetricDef kFleetReloadsTotal{
+    "desh_fleet_reloads_total", "counter", "reloads",
+    "Rolling model reloads completed across every shard"};
+inline constexpr MetricDef kFleetReloadRollbacksTotal{
+    "desh_fleet_reload_rollbacks_total", "counter", "rollbacks",
+    "Rolling reloads aborted by a probation failure and rolled back to the "
+    "previous model"};
+inline constexpr MetricDef kFleetSubmitSeconds{
+    "desh_fleet_submit_seconds", "histogram", "seconds",
+    "Wall time of one routed submit (route + shard queue admission)"};
+inline constexpr MetricDef kFleetAtRiskNodes{
+    "desh_fleet_at_risk_nodes", "gauge", "nodes",
+    "Nodes with an unexpired failure alert fleet-wide, sampled at each "
+    "health() call"};
+
 /// Everything above, for exhaustive iteration (docs test, exporters demo).
 inline constexpr const MetricDef* kCatalog[] = {
     &kTrainStepsTotal,      &kTrainGradClipTotal,  &kTrainStepSeconds,
@@ -237,6 +269,9 @@ inline constexpr const MetricDef* kCatalog[] = {
     &kAdaptRetrainSeconds,  &kAdaptShadowEvalsTotal, &kAdaptPromotionsTotal,
     &kAdaptRejectionsTotal, &kAdaptRollbacksTotal, &kAdaptRegistrySize,
     &kAdaptChampionVersion,
+    &kFleetShardsActive,    &kFleetRoutedTotal,    &kFleetReroutedTotal,
+    &kFleetDrainsTotal,     &kFleetRestartsTotal,  &kFleetReloadsTotal,
+    &kFleetReloadRollbacksTotal, &kFleetSubmitSeconds, &kFleetAtRiskNodes,
 };
 
 }  // namespace desh::obs

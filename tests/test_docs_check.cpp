@@ -10,6 +10,8 @@
 // (transient per-PR task text that may name files before they exist) are
 // exempt. This is the check that would have caught the repository-layout
 // table missing src/recovery and src/obs.
+// Two coverage contracts ride along: every ROADMAP "## Open items" entry
+// and every desh_bench() binary must be referenced from EXPERIMENTS.md.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -107,6 +109,50 @@ TEST(DocsCheck, BacktickedPathReferencesResolve) {
           << "` does not resolve";
     }
   }
+}
+
+TEST(DocsCheck, RoadmapOpenItemsCoveredByExperiments) {
+  // Every numbered, bold-titled entry under ROADMAP.md "## Open items"
+  // must be accounted for in EXPERIMENTS.md (its "Roadmap coverage"
+  // section) — landed items point at their bench rows, open items state
+  // what the gate will be. This stops the roadmap and the measurement
+  // record drifting apart.
+  const std::string roadmap = read_file(kRepoRoot / "ROADMAP.md");
+  const std::string experiments = read_file(kRepoRoot / "EXPERIMENTS.md");
+  const std::size_t begin = roadmap.find("## Open items");
+  ASSERT_NE(begin, std::string::npos) << "ROADMAP.md lost '## Open items'";
+  std::size_t end = roadmap.find("\n## ", begin);
+  if (end == std::string::npos) end = roadmap.size();
+  const std::string open_items = roadmap.substr(begin, end - begin);
+  const std::regex title_re(R"(\n\s*\d+\.\s+\*\*([^*]+)\*\*)");
+  std::size_t entries = 0;
+  for (std::sregex_iterator
+           it(open_items.begin(), open_items.end(), title_re),
+       last;
+       it != last; ++it, ++entries) {
+    const std::string title = (*it)[1].str();
+    EXPECT_NE(experiments.find(title), std::string::npos)
+        << "EXPERIMENTS.md does not cover ROADMAP open item '" << title
+        << "'";
+  }
+  EXPECT_GT(entries, 0u) << "no bold-titled entries under '## Open items'";
+}
+
+TEST(DocsCheck, BenchBinariesCoveredByExperiments) {
+  // Every bench binary registered via desh_bench() must have a row (or at
+  // least a backticked mention) in EXPERIMENTS.md — a bench whose purpose
+  // and expected runtime are undocumented is a bench nobody reruns.
+  const std::string cmake = read_file(kRepoRoot / "bench" / "CMakeLists.txt");
+  const std::string experiments = read_file(kRepoRoot / "EXPERIMENTS.md");
+  const std::regex bench_re(R"(desh_bench\(([A-Za-z0-9_]+)\))");
+  std::size_t benches = 0;
+  for (std::sregex_iterator it(cmake.begin(), cmake.end(), bench_re), last;
+       it != last; ++it, ++benches) {
+    const std::string name = "`" + (*it)[1].str() + "`";
+    EXPECT_NE(experiments.find(name), std::string::npos)
+        << "EXPERIMENTS.md does not reference bench binary " << name;
+  }
+  EXPECT_GT(benches, 0u) << "no desh_bench() registrations found";
 }
 
 TEST(DocsCheck, LayoutTableCoversEverySourceSubsystem) {

@@ -1,0 +1,654 @@
+// desh::fleet contract tests: router determinism / balance / minimal
+// disruption, drain-then-reassign, rolling reload with probation rollback,
+// aggregator merge correctness, per-shard serve-vs-observe equivalence
+// (including across a rolling model reload), and per-shard WAL restart.
+// Shares one trained pipeline fixture (tiny profile, cheap phase 1).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "desh.hpp"
+#include "logs/generator.hpp"
+
+namespace desh::fleet {
+namespace {
+
+using core::DeshPipeline;
+using core::Expected;
+using core::MonitorAlert;
+using core::StreamingMonitor;
+
+/// Borrowing shared_ptr over the fixture pipeline (it outlives every test).
+std::shared_ptr<const DeshPipeline> share(const DeshPipeline* pipeline) {
+  return {pipeline, [](const DeshPipeline*) {}};
+}
+
+/// Distinct physical node ids in a fixed scan order (cabinet-major), as many
+/// as requested — the synthetic fleet for routing tests and the soak bench.
+std::vector<logs::NodeId> synthetic_nodes(std::size_t count) {
+  std::vector<logs::NodeId> out;
+  out.reserve(count);
+  for (std::uint16_t x = 0; out.size() < count; ++x)
+    for (std::uint16_t y = 0; y < 8 && out.size() < count; ++y)
+      for (std::uint8_t c = 0; c < 3 && out.size() < count; ++c)
+        for (std::uint8_t s = 0; s < 16 && out.size() < count; ++s)
+          for (std::uint8_t n = 0; n < 4 && out.size() < count; ++n)
+            out.push_back(logs::NodeId{x, y, c, s, n});
+  return out;
+}
+
+FleetOptions manual_options(std::size_t shards) {
+  FleetOptions options;
+  options.fleet.shards = shards;
+  options.shard.start_collector = false;
+  options.shard.queue_capacity = std::size_t{1} << 16;
+  return options;
+}
+
+void expect_same_alerts(const std::vector<MonitorAlert>& expected,
+                        const std::vector<MonitorAlert>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].node, actual[i].node);
+    EXPECT_EQ(expected[i].time, actual[i].time);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+    EXPECT_EQ(expected[i].predicted_lead_seconds,
+              actual[i].predicted_lead_seconds);
+    EXPECT_EQ(expected[i].message, actual[i].message);
+  }
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    logs::SyntheticLog log = source.generate();
+    auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+    test_ = new logs::LogCorpus(std::move(test));
+    core::DeshConfig config;
+    config.phase1.epochs = 1;
+    pipeline_ = new DeshPipeline(config);
+    pipeline_->fit(train);
+    // A second fitted pipeline (distinct object) so reload tests can tell
+    // "previous model" and "next model" apart by identity.
+    pipeline2_ = new DeshPipeline(config);
+    pipeline2_->fit(train);
+
+    // One node's "alert script": every record of the node that raises the
+    // stream's first alert, up to and including the trigger.
+    StreamingMonitor probe(*pipeline_);
+    alert_script_ = new logs::LogCorpus();
+    for (const logs::LogRecord& record : *test_) {
+      const auto alert = probe.observe(record);
+      if (alert) {
+        logs::LogCorpus script;
+        for (const logs::LogRecord& r : *test_) {
+          if (r.node == alert->node) script.push_back(r);
+          if (&r == &record) break;
+        }
+        *alert_script_ = std::move(script);
+        break;
+      }
+    }
+    ASSERT_GE(alert_script_->size(), 2u) << "fixture stream never alerted";
+  }
+  static void TearDownTestSuite() {
+    delete alert_script_;
+    delete pipeline2_;
+    delete pipeline_;
+    delete test_;
+  }
+
+  /// Seeded random interleaving that preserves each node's record order —
+  /// the only order serving guarantees anything about.
+  static logs::LogCorpus interleave(const logs::LogCorpus& corpus,
+                                    std::uint32_t seed) {
+    std::vector<logs::NodeId> node_order;
+    std::unordered_map<logs::NodeId, std::vector<const logs::LogRecord*>>
+        by_node;
+    for (const logs::LogRecord& r : corpus) {
+      auto [it, inserted] = by_node.try_emplace(r.node);
+      if (inserted) node_order.push_back(r.node);
+      it->second.push_back(&r);
+    }
+    std::vector<std::size_t> next(node_order.size(), 0);
+    std::mt19937 rng(seed);
+    logs::LogCorpus out;
+    out.reserve(corpus.size());
+    std::vector<std::size_t> alive(node_order.size());
+    for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+    while (!alive.empty()) {
+      const std::size_t pick = std::uniform_int_distribution<std::size_t>(
+          0, alive.size() - 1)(rng);
+      const std::size_t n = alive[pick];
+      out.push_back(*by_node.at(node_order[n])[next[n]++]);
+      if (next[n] == by_node.at(node_order[n]).size()) {
+        alive[pick] = alive.back();
+        alive.pop_back();
+      }
+    }
+    return out;
+  }
+
+  /// The per-shard reference decision stream: each shard's substream fed
+  /// through a lone StreamingMonitor, one monitor per shard.
+  static std::vector<std::vector<MonitorAlert>> sequential_reference(
+      const DeshPipeline& pipeline, const FleetController& fleet,
+      const logs::LogCorpus& stream, std::size_t shards) {
+    std::vector<std::vector<MonitorAlert>> out(shards);
+    std::vector<std::unique_ptr<StreamingMonitor>> monitors;
+    for (std::size_t s = 0; s < shards; ++s)
+      monitors.push_back(std::make_unique<StreamingMonitor>(pipeline));
+    for (const logs::LogRecord& record : stream) {
+      const std::size_t shard = fleet.shard_of(record.node);
+      if (auto alert = monitors[shard]->observe(record))
+        out[shard].push_back(std::move(*alert));
+    }
+    return out;
+  }
+
+  static logs::LogCorpus* test_;
+  static DeshPipeline* pipeline_;
+  static DeshPipeline* pipeline2_;
+  static logs::LogCorpus* alert_script_;
+};
+
+logs::LogCorpus* FleetTest::test_ = nullptr;
+DeshPipeline* FleetTest::pipeline_ = nullptr;
+DeshPipeline* FleetTest::pipeline2_ = nullptr;
+logs::LogCorpus* FleetTest::alert_script_ = nullptr;
+
+// --- router: determinism --------------------------------------------------
+
+TEST(FleetRouter, PlacementIsDeterministicAcrossInstances) {
+  const std::vector<logs::NodeId> nodes = synthetic_nodes(1000);
+  ShardRouter a(4, 128), b(4, 128);
+  for (const logs::NodeId& node : nodes)
+    ASSERT_EQ(a.shard_for(node), b.shard_for(node));
+}
+
+TEST(FleetRouter, NodePointsArePinnedForever) {
+  // Per-shard WAL directories outlive processes, so the ring hash may NEVER
+  // change across platforms or releases. These literals pin the splitmix64
+  // ring; if this test fails, the change breaks every deployed fleet's
+  // shard-to-WAL mapping — fix the code, not the constants.
+  EXPECT_EQ(ShardRouter::node_point(logs::NodeId{0, 0, 0, 0, 0}),
+            16294208416658607535ULL);
+  EXPECT_EQ(ShardRouter::node_point(logs::NodeId{1, 0, 1, 1, 0}),
+            6465759643743628917ULL);
+  EXPECT_EQ(ShardRouter::node_point(logs::NodeId{12, 3, 2, 15, 3}),
+            2089154518533636586ULL);
+}
+
+// --- router: balance ------------------------------------------------------
+
+TEST(FleetRouter, BalancesHundredThousandNodesAcrossShards) {
+  const std::size_t kNodes = 100000;
+  const std::size_t kShards = 4;
+  const std::vector<logs::NodeId> nodes = synthetic_nodes(kNodes);
+  ShardRouter router(kShards, 128);
+  std::vector<std::size_t> counts(kShards, 0);
+  for (const logs::NodeId& node : nodes) ++counts[router.shard_for(node)];
+
+  // A consistent-hash ring with P points per shard has per-shard load
+  // rel-std ~ 1/sqrt(P) (~9% at P=128) — looser than multinomial, so the
+  // bounds are ring bounds, not counting-statistics bounds. Everything here
+  // is deterministic; the margins are ~3x the expected deviation.
+  const double expected = static_cast<double>(kNodes) / kShards;
+  double chi2 = 0.0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const double diff = static_cast<double>(counts[s]) - expected;
+    chi2 += diff * diff / expected;
+    EXPECT_GT(counts[s], static_cast<std::size_t>(0.7 * expected))
+        << "shard " << s << " starved";
+    EXPECT_LT(counts[s], static_cast<std::size_t>(1.3 * expected))
+        << "shard " << s << " overloaded";
+  }
+  // E[chi2] ~ (S-1) * n/S * (1/P) * S ~ n/P ~ 780; allow 3x.
+  EXPECT_LT(chi2, 2400.0);
+}
+
+// --- router: minimal disruption -------------------------------------------
+
+TEST(FleetRouter, DrainRemapsOnlyTheDrainedShardsNodes) {
+  const std::vector<logs::NodeId> nodes = synthetic_nodes(20000);
+  ShardRouter router(4, 128);
+  std::vector<std::size_t> before;
+  before.reserve(nodes.size());
+  for (const logs::NodeId& node : nodes)
+    before.push_back(router.shard_for(node));
+
+  const std::size_t drained = 2;
+  ASSERT_TRUE(router.deactivate(drained));
+  EXPECT_EQ(router.active_count(), 3u);
+  std::size_t remapped = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Placement placement = router.place(nodes[i]);
+    if (before[i] == drained) {
+      // The drained shard's nodes fail over, visibly marked as such.
+      EXPECT_NE(placement.shard, drained);
+      EXPECT_TRUE(placement.failover);
+      ++remapped;
+    } else {
+      // Everyone else keeps their placement — the consistent-hash contract.
+      EXPECT_EQ(placement.shard, before[i]);
+      EXPECT_FALSE(placement.failover);
+    }
+  }
+  EXPECT_GT(remapped, 0u);
+
+  ASSERT_TRUE(router.activate(drained));
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    ASSERT_EQ(router.shard_for(nodes[i]), before[i]);
+}
+
+TEST(FleetRouter, RefusesToDrainTheLastActiveShard) {
+  ShardRouter router(3, 16);
+  EXPECT_TRUE(router.deactivate(0));
+  EXPECT_FALSE(router.deactivate(0));  // already out
+  EXPECT_TRUE(router.deactivate(1));
+  EXPECT_FALSE(router.deactivate(2));  // never black-hole the fleet
+  EXPECT_TRUE(router.is_active(2));
+  EXPECT_EQ(router.active_count(), 1u);
+}
+
+// --- options validation ---------------------------------------------------
+
+TEST_F(FleetTest, CreateRejectsInvalidOptionsListingEveryViolation) {
+  FleetOptions options;
+  options.fleet.shards = 0;
+  options.fleet.at_risk_top_k = 0;
+  options.shard.queue_capacity = 0;
+  const Expected<std::unique_ptr<FleetController>> fleet =
+      FleetController::create(share(pipeline_), options);
+  ASSERT_FALSE(fleet.ok());
+  EXPECT_EQ(fleet.error().code, core::ErrorCode::kInvalidConfig);
+  EXPECT_NE(fleet.error().message.find("fleet.shards"), std::string::npos);
+  EXPECT_NE(fleet.error().message.find("fleet.at_risk_top_k"),
+            std::string::npos);
+  EXPECT_NE(fleet.error().message.find("shard.serve.queue_capacity"),
+            std::string::npos);
+}
+
+TEST_F(FleetTest, CreateRejectsSharedWalDirectoryAcrossShards) {
+  FleetOptions options = manual_options(2);
+  options.shard.wal.directory = ::testing::TempDir() + "/desh_fleet_one_wal";
+  Expected<std::unique_ptr<FleetController>> fleet =
+      FleetController::create(share(pipeline_), options);
+  ASSERT_FALSE(fleet.ok());
+  EXPECT_EQ(fleet.error().code, core::ErrorCode::kInvalidConfig);
+
+  options.fleet.wal_root = ::testing::TempDir() + "/desh_fleet_wal_root";
+  fleet = FleetController::create(share(pipeline_), options);
+  ASSERT_FALSE(fleet.ok());
+  EXPECT_NE(fleet.error().message.find("mutually exclusive"),
+            std::string::npos);
+}
+
+// --- per-shard serve-vs-observe equivalence -------------------------------
+
+TEST_F(FleetTest, PerShardServingMatchesSequentialObserve) {
+  const std::size_t kShards = 3;
+  const logs::LogCorpus stream = interleave(*test_, 42);
+  Expected<std::unique_ptr<FleetController>> created =
+      FleetController::create(share(pipeline_), manual_options(kShards));
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  FleetController& fleet = *created.value();
+
+  const std::vector<std::vector<MonitorAlert>> reference =
+      sequential_reference(*pipeline_, fleet, stream, kShards);
+  std::size_t reference_alerts = 0;
+  for (const auto& shard : reference) reference_alerts += shard.size();
+  ASSERT_GT(reference_alerts, 0u);
+
+  std::vector<std::vector<MonitorAlert>> tapped(kShards);
+  fleet.set_shard_tap([&tapped](std::size_t shard,
+                                std::span<const logs::LogRecord> records,
+                                std::span<const MonitorAlert> alerts) {
+    (void)records;
+    for (const MonitorAlert& alert : alerts) tapped[shard].push_back(alert);
+  });
+
+  ASSERT_EQ(fleet.submit_batch(stream), stream.size());
+  fleet.drain();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    expect_same_alerts(reference[s], tapped[s]);
+  }
+
+  const FleetHealth health = fleet.health();
+  EXPECT_EQ(health.totals.admitted, stream.size());
+  EXPECT_EQ(health.totals.processed, stream.size());
+  EXPECT_EQ(health.totals.rejected, 0u);
+  EXPECT_EQ(health.totals.shed, 0u);
+  EXPECT_EQ(health.totals.alerts, reference_alerts);
+  EXPECT_EQ(health.shards, kShards);
+  EXPECT_EQ(health.active_shards, kShards);
+  EXPECT_GT(health.submit_p99_seconds, 0.0);
+  EXPECT_FALSE(health.top_at_risk.empty());
+}
+
+TEST_F(FleetTest, EquivalenceHoldsAcrossRollingReload) {
+  const std::size_t kShards = 2;
+  const logs::LogCorpus stream = interleave(*test_, 7);
+  const std::size_t half = stream.size() / 2;
+  Expected<std::unique_ptr<FleetController>> created =
+      FleetController::create(share(pipeline_), manual_options(kShards));
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  FleetController& fleet = *created.value();
+
+  // Reference: the swap resets per-node windows at the install boundary, so
+  // each shard's stream is "old monitor over the pre-swap substream, then a
+  // FRESH new-model monitor over the post-swap substream".
+  const logs::LogCorpus first(stream.begin(), stream.begin() + half);
+  const logs::LogCorpus second(stream.begin() + half, stream.end());
+  std::vector<std::vector<MonitorAlert>> expected =
+      sequential_reference(*pipeline_, fleet, first, kShards);
+  const std::vector<std::vector<MonitorAlert>> after =
+      sequential_reference(*pipeline2_, fleet, second, kShards);
+  for (std::size_t s = 0; s < kShards; ++s)
+    expected[s].insert(expected[s].end(), after[s].begin(), after[s].end());
+
+  std::vector<std::vector<MonitorAlert>> tapped(kShards);
+  fleet.set_shard_tap([&tapped](std::size_t shard,
+                                std::span<const logs::LogRecord> records,
+                                std::span<const MonitorAlert> alerts) {
+    (void)records;
+    for (const MonitorAlert& alert : alerts) tapped[shard].push_back(alert);
+  });
+
+  ASSERT_EQ(fleet.submit_batch(first), first.size());
+  fleet.drain();  // batch boundary: the reload lands exactly here
+  const Expected<void> reload = fleet.rolling_reload(share(pipeline2_));
+  ASSERT_TRUE(reload.ok()) << reload.error().message;
+  EXPECT_EQ(fleet.pipeline().get(), pipeline2_);
+  ASSERT_EQ(fleet.submit_batch(second), second.size());
+  fleet.drain();
+
+  for (std::size_t s = 0; s < kShards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    expect_same_alerts(expected[s], tapped[s]);
+  }
+}
+
+TEST_F(FleetTest, CollectorModeMatchesReferenceEndToEnd) {
+  const std::size_t kShards = 2;
+  const logs::LogCorpus stream = interleave(*test_, 11);
+  FleetOptions options;
+  options.fleet.shards = kShards;
+  options.shard.queue_capacity = stream.size();  // no backpressure
+  Expected<std::unique_ptr<FleetController>> created =
+      FleetController::create(share(pipeline_), options);
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  FleetController& fleet = *created.value();
+
+  const std::vector<std::vector<MonitorAlert>> reference =
+      sequential_reference(*pipeline_, fleet, stream, kShards);
+
+  ASSERT_EQ(fleet.submit_batch(stream), stream.size());
+  fleet.drain();
+  fleet.stop();
+
+  // poll_alerts groups by shard in shard-index order, each group in that
+  // shard's (deterministic) processing order — so the merged stream equals
+  // the per-shard references concatenated.
+  std::vector<MonitorAlert> expected;
+  for (const std::vector<MonitorAlert>& shard : reference)
+    expected.insert(expected.end(), shard.begin(), shard.end());
+  expect_same_alerts(expected, fleet.poll_alerts());
+}
+
+// --- drain / reassign -----------------------------------------------------
+
+TEST_F(FleetTest, DrainShardFailsOverItsNodesAndRefusesTheLast) {
+  const std::size_t kShards = 3;
+  Expected<std::unique_ptr<FleetController>> created =
+      FleetController::create(share(pipeline_), manual_options(kShards));
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  FleetController& fleet = *created.value();
+
+  const logs::NodeId node = alert_script_->front().node;
+  const std::size_t home = fleet.shard_of(node);
+  ASSERT_TRUE(fleet.drain_shard(home).ok());
+  EXPECT_FALSE(fleet.is_active(home));
+  EXPECT_EQ(fleet.active_count(), kShards - 1);
+  EXPECT_NE(fleet.shard_of(node), home);
+
+  // Records now land on the failover shard and still serve.
+  ASSERT_EQ(fleet.submit_batch(*alert_script_), alert_script_->size());
+  fleet.drain();
+  EXPECT_EQ(fleet.poll_alerts().size(), 1u);
+  EXPECT_EQ(fleet.health().per_shard[home].serve.processed, 0u);
+
+  const Expected<void> again = fleet.drain_shard(home);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, core::ErrorCode::kUnavailable);
+
+  // Drain down to one shard; the last one is refused.
+  std::size_t active = kShards - 1;
+  for (std::size_t s = 0; s < kShards && active > 1; ++s)
+    if (fleet.is_active(s)) {
+      ASSERT_TRUE(fleet.drain_shard(s).ok());
+      --active;
+    }
+  for (std::size_t s = 0; s < kShards; ++s)
+    if (fleet.is_active(s)) {
+      const Expected<void> last = fleet.drain_shard(s);
+      ASSERT_FALSE(last.ok());
+      EXPECT_EQ(last.error().code, core::ErrorCode::kUnavailable);
+    }
+  EXPECT_EQ(fleet.active_count(), 1u);
+}
+
+// --- rolling reload -------------------------------------------------------
+
+TEST_F(FleetTest, RollingReloadInstallsOnEveryShard) {
+  const std::size_t kShards = 3;
+  Expected<std::unique_ptr<FleetController>> created =
+      FleetController::create(share(pipeline_), manual_options(kShards));
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  FleetController& fleet = *created.value();
+
+  std::vector<std::size_t> probed;
+  const Expected<void> reload = fleet.rolling_reload(
+      share(pipeline2_),
+      [&probed](std::size_t shard, serve::InferenceServer& server)
+          -> Expected<void> {
+        // Probation passes; the reloaded shard must already be installed.
+        EXPECT_EQ(server.stats().reloads, 1u);
+        probed.push_back(shard);
+        return {};
+      });
+  ASSERT_TRUE(reload.ok()) << reload.error().message;
+  EXPECT_EQ(fleet.pipeline().get(), pipeline2_);
+  EXPECT_EQ(probed, (std::vector<std::size_t>{0, 1, 2}));
+  const FleetHealth health = fleet.health();
+  for (const ShardHealth& shard : health.per_shard)
+    EXPECT_EQ(shard.serve.reloads, 1u);
+}
+
+TEST_F(FleetTest, RollingReloadRollsEveryShardBackOnProbationFailure) {
+  const std::size_t kShards = 3;
+  Expected<std::unique_ptr<FleetController>> created =
+      FleetController::create(share(pipeline_), manual_options(kShards));
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  FleetController& fleet = *created.value();
+
+  const Expected<void> reload = fleet.rolling_reload(
+      share(pipeline2_),
+      [](std::size_t shard, serve::InferenceServer&) -> Expected<void> {
+        if (shard == 1)
+          return core::Error{core::ErrorCode::kUnavailable,
+                             "injected probation failure"};
+        return {};
+      });
+  ASSERT_FALSE(reload.ok());
+  EXPECT_EQ(reload.error().code, core::ErrorCode::kUnavailable);
+  EXPECT_NE(reload.error().message.find("shard 1"), std::string::npos);
+  EXPECT_NE(reload.error().message.find("injected probation failure"),
+            std::string::npos);
+
+  // The previous model still serves everywhere: shards 0 and 1 were
+  // reloaded forward then rolled back (2 installs); shard 2 never moved.
+  EXPECT_EQ(fleet.pipeline().get(), pipeline_);
+  const FleetHealth health = fleet.health();
+  EXPECT_EQ(health.per_shard[0].serve.reloads, 2u);
+  EXPECT_EQ(health.per_shard[1].serve.reloads, 2u);
+  EXPECT_EQ(health.per_shard[2].serve.reloads, 0u);
+
+  // The fleet still serves the original decision stream after rollback.
+  ASSERT_EQ(fleet.submit_batch(*alert_script_), alert_script_->size());
+  fleet.drain();
+  EXPECT_EQ(fleet.poll_alerts().size(), 1u);
+}
+
+// --- per-shard WAL restart ------------------------------------------------
+
+TEST_F(FleetTest, RestartShardRestoresFromItsOwnWal) {
+  const std::string root = ::testing::TempDir() + "/desh_fleet_wal";
+  std::filesystem::remove_all(root);
+  FleetOptions options = manual_options(2);
+  options.fleet.wal_root = root;
+  options.shard.wal.flush_every_records = 1;  // commit every record
+  Expected<std::unique_ptr<FleetController>> created =
+      FleetController::create(share(pipeline_), options);
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  FleetController& fleet = *created.value();
+
+  const logs::NodeId node = alert_script_->front().node;
+  const std::size_t home = fleet.shard_of(node);
+  ASSERT_EQ(fleet.submit_batch(*alert_script_), alert_script_->size());
+  fleet.drain();
+  ASSERT_EQ(fleet.poll_alerts().size(), 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(root + "/shard-" + std::to_string(home)));
+  EXPECT_GT(fleet.health().wal_committed_records, 0u);
+
+  // Restart requires a drain first.
+  const Expected<void> premature = fleet.restart_shard(home);
+  ASSERT_FALSE(premature.ok());
+  EXPECT_EQ(premature.error().code, core::ErrorCode::kInvalidArgument);
+
+  ASSERT_TRUE(fleet.drain_shard(home).ok());
+  const Expected<void> restarted = fleet.restart_shard(home);
+  ASSERT_TRUE(restarted.ok()) << restarted.error().message;
+  EXPECT_TRUE(fleet.is_active(home));
+
+  // The recreated shard replayed its own log tail: the alert decision is
+  // reproduced (not re-queued — re-delivery stays the driver's call) and
+  // the at-risk view is re-seeded from the replay.
+  const auto replayed = fleet.shard_replayed_alerts(home);
+  ASSERT_FALSE(replayed.empty());
+  EXPECT_EQ(replayed.back().second.node, node);
+  const FleetHealth health = fleet.health();
+  EXPECT_GT(health.wal_replayed_records, 0u);
+  ASSERT_FALSE(health.top_at_risk.empty());
+  EXPECT_EQ(health.top_at_risk[0].node, node);
+  EXPECT_EQ(health.top_at_risk[0].shard, home);
+
+  // And the restarted shard serves on: its node is routed home again.
+  EXPECT_EQ(fleet.shard_of(node), home);
+  std::filesystem::remove_all(root);
+}
+
+// --- aggregator -----------------------------------------------------------
+
+TEST(FleetAggregatorTest, MergeSumsCountersAndComputesQuantiles) {
+  core::FleetConfig config;
+  config.at_risk_top_k = 2;
+  const std::size_t buckets = submit_latency_bounds().size() + 1;
+
+  ShardHealth a;
+  a.shard = 0;
+  a.serve.admitted = 100;
+  a.serve.processed = 90;
+  a.serve.rejected = 5;
+  a.serve.shed = 5;
+  a.serve.alerts = 2;
+  a.wal.committed_seq = 50;
+  a.wal.replayed = 3;
+  a.submit_latency_counts.assign(buckets, 0);
+  a.submit_latency_counts[0] = 10;  // 10 submits <= 1us
+  a.at_risk.push_back({logs::NodeId{1, 0, 0, 0, 0}, 0, 100.0, 900.0, 1000.0,
+                       "late failure"});
+
+  ShardHealth b;
+  b.shard = 1;
+  b.active = false;  // drained
+  b.serve.admitted = 40;
+  b.serve.processed = 40;
+  b.serve.alerts = 1;
+  b.wal.committed_seq = 25;
+  b.submit_latency_counts.assign(buckets, 0);
+  b.submit_latency_counts[4] = 10;  // 10 submits <= 20us
+  b.at_risk.push_back({logs::NodeId{2, 0, 0, 0, 0}, 1, 100.0, 100.0, 200.0,
+                       "soonest failure"});
+  b.at_risk.push_back({logs::NodeId{3, 0, 0, 0, 0}, 1, 100.0, 400.0, 500.0,
+                       "middle failure"});
+
+  const FleetHealth merged = FleetAggregator::merge(config, {a, b});
+  EXPECT_EQ(merged.shards, 2u);
+  EXPECT_EQ(merged.active_shards, 1u);
+  EXPECT_EQ(merged.totals.admitted, 140u);
+  EXPECT_EQ(merged.totals.processed, 130u);
+  EXPECT_EQ(merged.totals.rejected, 5u);
+  EXPECT_EQ(merged.totals.shed, 5u);
+  EXPECT_EQ(merged.totals.alerts, 3u);
+  EXPECT_EQ(merged.wal_committed_records, 75u);
+  EXPECT_EQ(merged.wal_replayed_records, 3u);
+  // 20 observations: 10 at <=1us, 10 at <=20us. The upper-bound p50 is the
+  // first bucket reaching 10 cumulative; p99 needs 19.8 -> the 20us bucket.
+  EXPECT_DOUBLE_EQ(merged.submit_p50_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(merged.submit_p99_seconds, 2e-5);
+  // Top-K = 2 soonest predicted failures fleet-wide, sorted.
+  ASSERT_EQ(merged.top_at_risk.size(), 2u);
+  EXPECT_EQ(merged.top_at_risk[0].message, "soonest failure");
+  EXPECT_EQ(merged.top_at_risk[1].message, "middle failure");
+  ASSERT_EQ(merged.per_shard.size(), 2u);
+  EXPECT_EQ(merged.per_shard[1].shard, 1u);
+}
+
+TEST(FleetAggregatorTest, AtRiskTableUpsertsExpiresAndForgets) {
+  core::FleetConfig config;
+  config.alert_horizon_seconds = 100.0;
+  FleetAggregator aggregator(config);
+
+  const logs::NodeId node{1, 0, 1, 1, 0};
+  MonitorAlert alert;
+  alert.node = node;
+  alert.time = 10.0;
+  alert.predicted_lead_seconds = 60.0;
+  alert.message = "first";
+  aggregator.on_batch(0, {}, std::span<const MonitorAlert>(&alert, 1));
+  ASSERT_EQ(aggregator.shard_at_risk(0).size(), 1u);
+
+  // A re-alert replaces the node's entry (no duplicates).
+  alert.time = 20.0;
+  alert.message = "second";
+  aggregator.on_batch(0, {}, std::span<const MonitorAlert>(&alert, 1));
+  std::vector<AtRiskNode> at_risk = aggregator.shard_at_risk(0);
+  ASSERT_EQ(at_risk.size(), 1u);
+  EXPECT_EQ(at_risk[0].message, "second");
+  EXPECT_DOUBLE_EQ(at_risk[0].predicted_failure_time, 80.0);
+
+  // The stream clock advances with observed records; past the horizon the
+  // entry expires out of the view.
+  logs::LogRecord tick;
+  tick.timestamp = 121.0;  // 121 - 20 > 100
+  tick.node = logs::NodeId{9, 9, 0, 0, 0};
+  aggregator.on_batch(1, std::span<const logs::LogRecord>(&tick, 1), {});
+  EXPECT_TRUE(aggregator.shard_at_risk(0).empty());
+
+  // forget_shard drops a restarted shard's entries entirely.
+  alert.time = 122.0;
+  aggregator.on_batch(0, {}, std::span<const MonitorAlert>(&alert, 1));
+  ASSERT_EQ(aggregator.shard_at_risk(0).size(), 1u);
+  aggregator.forget_shard(0);
+  EXPECT_TRUE(aggregator.shard_at_risk(0).empty());
+}
+
+}  // namespace
+}  // namespace desh::fleet
