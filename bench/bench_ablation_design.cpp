@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "core/phase3.hpp"
+#include "nn/inference_backend.hpp"
 #include "util/table.hpp"
 
 using namespace desh;
@@ -57,7 +58,8 @@ int main() {
   for (const float threshold : {0.15f, 0.3f, 0.5f, 0.7f, 0.9f, 1.2f}) {
     core::Phase3Config p3 = base.pipeline.config().phase3;
     p3.mse_threshold = threshold;
-    core::Phase3Predictor predictor(base.pipeline.phase2().model(), p3);
+    const nn::ReferenceBackend backend(base.pipeline.phase2().model());
+    core::Phase3Predictor predictor(backend, p3);
     std::vector<core::FailurePrediction> predictions;
     for (const chains::CandidateSequence& c : base.run.candidates)
       predictions.push_back(predictor.decide(c));

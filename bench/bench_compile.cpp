@@ -1,0 +1,265 @@
+// Compiled-inference gate: the load-time model compiler (src/compile) must
+// actually buy its keep on the single-stream decision path. Three claims are
+// asserted, not just printed:
+//
+//   - Speed. Per-decision latency through the compiled engine must beat the
+//     reference engine by >= 2x in an uninstrumented Release build (the only
+//     configuration where kernel timings mean anything). Sanitized builds
+//     still require the compiled engine not to be SLOWER (floor 1.0), and a
+//     TSan build only reports — its ~10x slowdown is not a kernel property.
+//   - Accuracy. The quantized engines' mean absolute per-step score delta
+//     against the reference engine (compile::mean_score_delta, the same
+//     statistic the calibration gate uses) stays within
+//     CompileConfig::max_accuracy_delta; the fp32 compiled engine stays
+//     within float-reassociation noise.
+//   - Decisions. Over the full candidate set, the fp32 compiled engine must
+//     flip no flag vs the reference engine; quantized engines report their
+//     flip count in the snapshot.
+//
+//   ./bench_compile [--iters N] [--out BENCH_compile.json] [--smoke]
+//
+// --smoke shrinks the iteration count (the ctest wiring runs this mode); the
+// BENCH_compile.json snapshot is written either way, extending the
+// BENCH_*.json trajectory (see EXPERIMENTS.md "BENCH trajectory").
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "compile/backend.hpp"
+#include "desh.hpp"
+#include "util/cli.hpp"
+
+using namespace desh;
+
+namespace {
+
+/// Fails the bench loudly — this binary doubles as a ctest smoke check.
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAIL: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+core::DeshPipeline train_pipeline(const logs::SyntheticLog& log,
+                                  logs::LogCorpus& test_out) {
+  core::DeshConfig config;
+  config.phase1.epochs = 1;
+  config.skipgram.enabled = false;
+  auto pipeline = core::DeshPipeline::create(config);
+  check(pipeline.ok(), "pipeline config rejected");
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  pipeline.value().fit(train);
+  test_out = std::move(test);
+  return std::move(pipeline).value();
+}
+
+struct EnginePoint {
+  std::string name;            // backend->name(): what actually got built
+  std::string requested;       // config asked for (differs on fallback)
+  double ns_per_decision = 0;
+  double speedup_vs_reference = 0;
+  double mean_score_delta = 0;   // vs reference, calibration statistic
+  std::size_t flags_changed = 0; // decide() flag flips vs reference
+};
+
+/// Single-stream decision latency: one candidate at a time through
+/// Phase3Predictor::decide (the serving hot path), `iters` passes over the
+/// whole candidate set, best-of-3 to shed scheduler noise.
+double time_decisions(const core::Phase3Predictor& predictor,
+                      const std::vector<chains::CandidateSequence>& candidates,
+                      std::size_t iters) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::Stopwatch sw;
+    for (std::size_t i = 0; i < iters; ++i)
+      for (const chains::CandidateSequence& candidate : candidates)
+        (void)predictor.decide(candidate);
+    best = std::min(best, sw.elapsed_seconds());
+  }
+  return best * 1e9 / static_cast<double>(iters * candidates.size());
+}
+
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6f", value);
+  return buffer;
+}
+
+/// The BENCH_compile.json snapshot: env fields matching the stdout header
+/// plus one entry per engine, so successive runs diff cleanly.
+void write_snapshot(const std::string& path, bool smoke, std::size_t iters,
+                    std::size_t decisions, bool speedup_asserted,
+                    const std::vector<EnginePoint>& points) {
+  std::ofstream os(path, std::ios::trunc);
+  check(static_cast<bool>(os), "cannot write " + path);
+  const char* sanitize = DESH_SANITIZE_STRING;
+  os << "{\n"
+     << "  \"bench\": \"compile\",\n"
+     << "  \"build_type\": \"" << DESH_BUILD_TYPE_STRING << "\",\n"
+     << "  \"sanitize\": \"" << (*sanitize ? sanitize : "none") << "\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"iterations\": " << iters << ",\n"
+     << "  \"decisions_per_pass\": " << decisions << ",\n"
+     << "  \"speedup_asserted\": " << (speedup_asserted ? "true" : "false")
+     << ",\n"
+     << "  \"engines\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const EnginePoint& p = points[i];
+    os << "    {\"name\": \"" << p.name << "\", \"requested\": \""
+       << p.requested << "\", \"ns_per_decision\": "
+       << json_double(p.ns_per_decision) << ", \"speedup_vs_reference\": "
+       << json_double(p.speedup_vs_reference) << ", \"mean_score_delta\": "
+       << json_double(p.mean_score_delta)
+       << ", \"flags_changed\": " << p.flags_changed << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  check(static_cast<bool>(os), "short write to " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const std::string out = args.get("out", "BENCH_compile.json");
+  std::size_t iters = smoke ? 4 : 32;
+  if (args.has("iters"))
+    iters = std::strtoull(args.get("iters", "").c_str(), nullptr, 10);
+  check(iters > 0, "--iters must be positive");
+  bench::print_env_header("compile");
+
+  logs::SyntheticCraySource source(logs::profile_tiny(2024));
+  const logs::SyntheticLog log = source.generate();
+  logs::LogCorpus test;
+  const core::DeshPipeline pipeline = train_pipeline(log, test);
+  const core::TestRun run = pipeline.predict(test);
+  check(!run.candidates.empty(), "no candidate sequences in test split");
+  const std::vector<nn::ChainSequence>& calibration =
+      pipeline.training_chains();
+  check(!calibration.empty(), "no training chains for the delta statistic");
+  std::cout << run.candidates.size() << " candidates, " << calibration.size()
+            << " calibration chains, " << iters << " passes\n";
+
+  // The engines under test: the requested config and what it should build.
+  struct Request {
+    std::string label;
+    core::CompileConfig config;
+  };
+  std::vector<Request> requests(4);
+  requests[0].label = "reference";
+  requests[1].label = "compiled";
+  requests[1].config.backend = core::BackendKind::kCompiled;
+  requests[2].label = "compiled+int8";
+  requests[2].config.backend = core::BackendKind::kCompiled;
+  requests[2].config.quant = core::QuantMode::kInt8;
+  requests[3].label = "compiled+int16";
+  requests[3].config.backend = core::BackendKind::kCompiled;
+  requests[3].config.quant = core::QuantMode::kInt16;
+
+  std::cout << "engine | ns/decision | speedup | score delta | flips\n";
+  std::vector<EnginePoint> points;
+  std::shared_ptr<const nn::InferenceBackend> reference;
+  std::vector<core::FailurePrediction> reference_decisions;
+  for (const Request& request : requests) {
+    auto built = pipeline.make_backend(request.config);
+    check(built.ok(), request.label + " rejected: " +
+                          (built.ok() ? std::string() : built.error().message));
+    const std::shared_ptr<const nn::InferenceBackend> backend =
+        std::move(built).value();
+    const core::Phase3Predictor predictor(*backend,
+                                          pipeline.config().phase3);
+
+    EnginePoint point;
+    point.name = std::string(backend->name());
+    point.requested = request.label;
+    point.ns_per_decision = time_decisions(predictor, run.candidates, iters);
+    if (!reference) {
+      check(point.name == "reference", "first engine must be the reference");
+      reference = backend;
+      for (const chains::CandidateSequence& candidate : run.candidates)
+        reference_decisions.push_back(predictor.decide(candidate));
+    } else {
+      point.mean_score_delta =
+          compile::mean_score_delta(*reference, *backend, calibration);
+      for (std::size_t i = 0; i < run.candidates.size(); ++i)
+        if (predictor.decide(run.candidates[i]).flagged !=
+            reference_decisions[i].flagged)
+          ++point.flags_changed;
+    }
+    point.speedup_vs_reference =
+        points.empty() ? 1.0
+                       : points.front().ns_per_decision / point.ns_per_decision;
+    std::cout << point.requested << " | "
+              << util::format_fixed(point.ns_per_decision, 0) << " | "
+              << util::format_fixed(point.speedup_vs_reference, 2) << "x | "
+              << json_double(point.mean_score_delta) << " | "
+              << point.flags_changed << "\n";
+    points.push_back(point);
+  }
+
+  // Accuracy: quantized engines must sit within the same bound the
+  // calibration gate enforces; the fp32 program is reassociation-only.
+  const double quant_bound = core::CompileConfig{}.max_accuracy_delta;
+  for (const EnginePoint& point : points) {
+    if (point.requested == "compiled")
+      check(point.mean_score_delta <= 1e-3,
+            "fp32 compiled engine drifted: delta " +
+                json_double(point.mean_score_delta));
+    if (point.requested == "compiled+int8" ||
+        point.requested == "compiled+int16")
+      check(point.mean_score_delta <= quant_bound,
+            point.requested + " delta " + json_double(point.mean_score_delta) +
+                " exceeds " + json_double(quant_bound));
+  }
+
+  // Decisions: fp32 compiled must not flip a single flag.
+  for (const EnginePoint& point : points)
+    if (point.requested == "compiled")
+      check(point.flags_changed == 0,
+            "fp32 compiled engine flipped " +
+                std::to_string(point.flags_changed) + " decisions");
+
+  // Speed: >= 2x only means something in an uninstrumented Release build.
+  // Sanitized (non-TSan) builds keep a floor of 1.0 — the compiled engine
+  // must never be slower than the reference walk it replaces. TSan only
+  // reports (that build checks races, not kernels).
+  const std::string build_type = DESH_BUILD_TYPE_STRING;
+  const bool instrumented = *DESH_SANITIZE_STRING != '\0';
+  const bool release = build_type == "Release" ||
+                       build_type == "RelWithDebInfo";
+  const bool speedup_asserted = release && !instrumented;
+  double worst_compiled_speedup = 1e300;
+  for (const EnginePoint& point : points)
+    if (point.requested != "reference")
+      worst_compiled_speedup =
+          std::min(worst_compiled_speedup, point.speedup_vs_reference);
+#ifdef DESH_TSAN
+  std::cout << "TSan build: speedup reported, not asserted\n";
+#else
+  if (speedup_asserted)
+    check(worst_compiled_speedup >= 2.0,
+          "compiled speedup " + json_double(worst_compiled_speedup) +
+              "x below the 2x gate");
+  else
+    check(worst_compiled_speedup >= 1.0,
+          "compiled engine slower than reference under instrumentation");
+#endif
+
+  write_snapshot(out, smoke, iters, run.candidates.size(),
+#ifdef DESH_TSAN
+                 false,
+#else
+                 speedup_asserted,
+#endif
+                 points);
+  std::cout << "snapshot written: " << out << "\n";
+  return 0;
+}

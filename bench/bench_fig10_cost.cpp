@@ -11,6 +11,7 @@
 #include "core/phase1.hpp"
 #include "core/pipeline.hpp"
 #include "logs/generator.hpp"
+#include "nn/inference_backend.hpp"
 
 using namespace desh;
 
@@ -51,12 +52,12 @@ void BM_Prediction(benchmark::State& state) {
   const auto history = static_cast<std::size_t>(state.range(0));
   const auto steps = static_cast<std::size_t>(state.range(1));
   TrainedFixture& f = fixture();
-  const nn::PhraseModel& model = f.pipeline.phase1().model();
+  const nn::ReferenceBackend backend(f.pipeline.phase1().model());
   std::size_t cursor = 0;
   for (auto _ : state) {
     if (cursor + history >= f.stream.size()) cursor = 0;
     std::span<const std::uint32_t> window(f.stream.data() + cursor, history);
-    benchmark::DoNotOptimize(model.predict_steps(window, steps));
+    benchmark::DoNotOptimize(backend.predict_steps(window, steps));
     cursor += history;
   }
   state.SetLabel("history=" + std::to_string(history) +

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/phase1.hpp"
+#include "nn/inference_backend.hpp"
 #include "nn/optimizer.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
@@ -38,7 +39,8 @@ void DeepLogDetector::fit(const chains::ParsedLog& train) {
 
 bool DeepLogDetector::entry_is_normal(std::span<const std::uint32_t> window,
                                       std::uint32_t next) const {
-  const std::vector<float> probs = model_.predict_distribution(window);
+  const std::vector<float> probs =
+      nn::ReferenceBackend(model_).predict_distribution(window);
   const auto best =
       tensor::topk(std::span<const float>(probs.data(), probs.size()),
                    std::min(config_.g, probs.size()));

@@ -1,0 +1,207 @@
+#include "compile/backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "compile/emitter.hpp"
+#include "compile/vm.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::compile {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+CompiledBackend::CompiledBackend(const nn::ChainModel& chain,
+                                 const nn::PhraseModel* phrase,
+                                 Program program)
+    : chain_(&chain),
+      program_(std::move(program)),
+      vm_(program_),
+      phrase_ref_(nullptr, phrase) {
+  const nn::ChainModelConfig& config = chain.config();
+  util::require(program_.vocab == config.vocab_size &&
+                    program_.embed_dim == config.embed_dim &&
+                    program_.hidden == config.hidden_size &&
+                    program_.num_layers == config.num_layers,
+                "CompiledBackend: program dims do not match the chain model");
+}
+
+std::string_view CompiledBackend::name() const {
+  return program_.quant == core::QuantMode::kNone ? "compiled"
+                                                  : "compiled+quantized";
+}
+
+const nn::ChainModelConfig& CompiledBackend::chain_config() const {
+  return chain_->config();
+}
+
+std::vector<nn::ChainStepScore> CompiledBackend::score_sequence(
+    const nn::ChainSequence& sequence, std::size_t min_pos) const {
+  min_pos = std::max<std::size_t>(min_pos, 1);
+  std::vector<nn::ChainStepScore> out;
+  if (sequence.size() < min_pos + 1) return out;
+
+  const Vm& vm = vm_;
+  std::vector<float> arena = vm.make_arena();
+  const std::size_t V = program_.vocab;
+  const float time_weight = program_.time_weight;
+  out.reserve(sequence.size() - min_pos);
+  for (std::size_t t = min_pos; t < sequence.size(); ++t) {
+    // Same windowing as the reference walk: fresh state, then the last
+    // min(t, history) context steps.
+    const std::size_t ctx = std::min(t, program_.history);
+    vm.reset(arena);
+    for (std::size_t i = t - ctx; i < t; ++i)
+      vm.step(arena, sequence[i].dt_norm, sequence[i].phrase);
+    const std::span<const float> pred = vm.run_head(arena);
+
+    const nn::ChainStep& actual = sequence[t];
+    nn::ChainStepScore s;
+    s.position = t;
+    s.predicted_dt =
+        static_cast<float>(nn::ChainModel::denormalize_dt(pred[0]));
+    s.predicted_phrase =
+        static_cast<std::uint32_t>(tensor::argmax(pred.subspan(1, V)));
+    const float dt_err = pred[0] - actual.dt_norm;
+    s.score = time_weight * dt_err * dt_err +
+              (s.predicted_phrase == actual.phrase ? 0.0f : 1.0f);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::vector<nn::ChainStepScore>> CompiledBackend::score_sequences(
+    std::span<const nn::ChainSequence* const> sequences,
+    std::size_t min_pos) const {
+  std::vector<std::vector<nn::ChainStepScore>> out(sequences.size());
+  if (sequences.empty()) return out;
+  // Contract parity with the reference engine: batches are rectangular.
+  const std::size_t L = sequences.front()->size();
+  for (const nn::ChainSequence* seq : sequences)
+    util::require(seq->size() == L,
+                  "CompiledBackend::score_sequences: ragged batch");
+  // Each row goes through the identical single-row VM path, so batch output
+  // is bit-identical to per-row output — the replay-equivalence guarantee.
+  for (std::size_t w = 0; w < sequences.size(); ++w)
+    out[w] = score_sequence(*sequences[w], min_pos);
+  return out;
+}
+
+std::vector<float> CompiledBackend::predict_distribution(
+    std::span<const std::uint32_t> prefix) const {
+  return phrase_ref_.predict_distribution(prefix);
+}
+
+std::vector<std::uint32_t> CompiledBackend::predict_steps(
+    std::span<const std::uint32_t> prefix, std::size_t steps) const {
+  return phrase_ref_.predict_steps(prefix, steps);
+}
+
+double CompiledBackend::evaluate_topg(
+    std::span<const std::vector<std::uint32_t>> windows, std::size_t history,
+    std::size_t g) const {
+  return phrase_ref_.evaluate_topg(windows, history, g);
+}
+
+double mean_score_delta(const nn::InferenceBackend& a,
+                        const nn::InferenceBackend& b,
+                        std::span<const nn::ChainSequence> sequences) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const nn::ChainSequence& seq : sequences) {
+    const std::vector<nn::ChainStepScore> sa = a.score_sequence(seq);
+    const std::vector<nn::ChainStepScore> sb = b.score_sequence(seq);
+    util::require(sa.size() == sb.size(),
+                  "compile::mean_score_delta: engines scored different "
+                  "position counts");
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      acc += std::fabs(static_cast<double>(sa[i].score) -
+                       static_cast<double>(sb[i].score));
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+core::Expected<std::shared_ptr<const nn::InferenceBackend>> compile_backend(
+    const nn::ChainModel& chain, const nn::PhraseModel* phrase,
+    const core::CompileConfig& config,
+    std::span<const nn::ChainSequence> calibration) {
+  if (config.backend == core::BackendKind::kReference) {
+    if (config.quant != core::QuantMode::kNone)
+      return core::Error{
+          core::ErrorCode::kInvalidConfig,
+          "compile.quant: " + std::string(core::to_string(config.quant)) +
+              " quantization requires compile.backend = compiled"};
+    return std::shared_ptr<const nn::InferenceBackend>(
+        std::make_shared<nn::ReferenceBackend>(&chain, phrase));
+  }
+
+  auto& reg = obs::registry();
+  const auto emit_start = std::chrono::steady_clock::now();
+  Program program = emit_program(chain, config.quant);
+  reg.histogram(obs::kCompileEmitSeconds).observe(seconds_since(emit_start));
+  reg.counter(obs::kCompileProgramsTotal).add(1);
+  reg.gauge(obs::kCompileProgramOps)
+      .set(static_cast<double>(program.num_ops()));
+  reg.gauge(obs::kCompilePackedBytes)
+      .set(static_cast<double>(program.packed_bytes()));
+
+  if (config.quant != core::QuantMode::kNone) {
+    reg.counter(obs::kCompileQuantizedTotal).add(1);
+
+    // Calibration: replay up to calibration_records sequences through both
+    // engines and gate on the mean absolute score delta.
+    const std::size_t take =
+        std::min(calibration.size(), config.calibration_records);
+    const auto cal_start = std::chrono::steady_clock::now();
+    double delta = 0.0;
+    bool certified = false;
+    if (take > 0) {
+      const nn::ReferenceBackend reference(chain);
+      const CompiledBackend candidate(chain, phrase, program);
+      delta = mean_score_delta(reference, candidate,
+                               calibration.subspan(0, take));
+      certified = delta <= config.max_accuracy_delta;
+    }
+    reg.histogram(obs::kCompileCalibrationSeconds)
+        .observe(seconds_since(cal_start));
+    reg.gauge(obs::kCompileCalibrationDelta).set(delta);
+
+    if (!certified) {
+      reg.counter(obs::kCompileCalibrationRejectsTotal).add(1);
+      const std::string why =
+          take == 0
+              ? "no calibration sequences available"
+              : "mean score delta " + std::to_string(delta) +
+                    " exceeds compile.max_accuracy_delta " +
+                    std::to_string(config.max_accuracy_delta);
+      if (!config.fallback_on_reject)
+        return core::Error{
+            core::ErrorCode::kUnavailable,
+            "compile.quant: " + std::string(core::to_string(config.quant)) +
+                " program rejected by the calibration gate (" + why + ")"};
+      // Fall back to the fp32 compiled program: serving stays fast and the
+      // reject is visible in desh_compile_calibration_rejects_total.
+      program = emit_program(chain, core::QuantMode::kNone);
+      reg.counter(obs::kCompileProgramsTotal).add(1);
+    }
+  }
+
+  return std::shared_ptr<const nn::InferenceBackend>(
+      std::make_shared<CompiledBackend>(chain, phrase, std::move(program)));
+}
+
+}  // namespace desh::compile

@@ -1,0 +1,89 @@
+// compile::CompiledBackend + compile_backend: the compiled engines behind
+// the nn::InferenceBackend seam.
+//
+// CompiledBackend scores failure chains through the VM (compile/vm) over a
+// pre-packed Program; the phrase-LM surface (phase 1 / DeepLog) delegates to
+// the reference walk, which is off the serving hot path. Batched scoring
+// loops each row through the same single-row VM, so batch results are
+// bit-identical to single-row results by construction — the serve-vs-observe
+// replay-equivalence contract holds on compiled engines for free.
+//
+// compile_backend is the validated factory every consumer goes through
+// (DeshPipeline::make_backend wraps it): it emits the program, runs the
+// quantization calibration pass against the reference engine, applies the
+// accuracy-delta gate from core::CompileConfig, and records the
+// desh_compile_* metrics. Callers validate the CompileConfig first
+// (DeshConfig::validate / MonitorConfig::validate) — the factory re-checks
+// only what it cannot proceed without.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "compile/program.hpp"
+#include "compile/vm.hpp"
+#include "core/config.hpp"
+#include "core/expected.hpp"
+#include "nn/inference_backend.hpp"
+
+namespace desh::compile {
+
+class CompiledBackend final : public nn::InferenceBackend {
+ public:
+  /// Borrows the models (chain required, phrase optional), owns the program.
+  /// The program must have been emitted from `chain` (same dims).
+  CompiledBackend(const nn::ChainModel& chain, const nn::PhraseModel* phrase,
+                  Program program);
+  // vm_ borrows program_; copying would leave it aimed at the original.
+  CompiledBackend(const CompiledBackend&) = delete;
+  CompiledBackend& operator=(const CompiledBackend&) = delete;
+
+  std::string_view name() const override;
+
+  using nn::InferenceBackend::score_sequence;
+  std::vector<nn::ChainStepScore> score_sequence(
+      const nn::ChainSequence& sequence, std::size_t min_pos) const override;
+  std::vector<std::vector<nn::ChainStepScore>> score_sequences(
+      std::span<const nn::ChainSequence* const> sequences,
+      std::size_t min_pos) const override;
+  const nn::ChainModelConfig& chain_config() const override;
+
+  std::vector<float> predict_distribution(
+      std::span<const std::uint32_t> prefix) const override;
+  std::vector<std::uint32_t> predict_steps(
+      std::span<const std::uint32_t> prefix, std::size_t steps) const override;
+  double evaluate_topg(std::span<const std::vector<std::uint32_t>> windows,
+                       std::size_t history, std::size_t g) const override;
+
+  const Program& program() const { return program_; }
+
+ private:
+  const nn::ChainModel* chain_;
+  Program program_;
+  Vm vm_;  // built once at compile time; must be declared after program_
+  nn::ReferenceBackend phrase_ref_;  // phrase-LM surface delegation
+};
+
+/// Mean absolute per-step score delta between two engines over the given
+/// sequences (the calibration statistic; also what bench_compile reports).
+/// Sequences too short to score contribute nothing; no scored step at all
+/// returns 0 for equal emptiness.
+double mean_score_delta(const nn::InferenceBackend& a,
+                        const nn::InferenceBackend& b,
+                        std::span<const nn::ChainSequence> sequences);
+
+/// Builds the engine selected by `config`:
+///   kReference            -> nn::ReferenceBackend over the models;
+///   kCompiled             -> CompiledBackend over an fp32 program;
+///   kCompiled + quantized -> quantized program, calibrated over up to
+///     config.calibration_records of `calibration` against the reference
+///     engine; a delta above config.max_accuracy_delta rejects the program
+///     (falls back to fp32 compiled, or errors in strict mode).
+/// Errors (never throws): invalid backend/quant combination, or a strict
+/// calibration rejection (kUnavailable with the measured delta).
+core::Expected<std::shared_ptr<const nn::InferenceBackend>> compile_backend(
+    const nn::ChainModel& chain, const nn::PhraseModel* phrase,
+    const core::CompileConfig& config,
+    std::span<const nn::ChainSequence> calibration);
+
+}  // namespace desh::compile

@@ -1,0 +1,137 @@
+#include "compile/emitter.hpp"
+
+#include <span>
+#include <vector>
+
+#include "compile/quant.hpp"
+#include "tensor/matrix.hpp"
+
+namespace desh::compile {
+
+namespace {
+
+/// Quantizes the already-packed fp32 rows in place of keeping them: the
+/// fp32 staging vector is dropped after encoding.
+template <typename Packed>
+void encode_packed(Packed& p, std::vector<float>&& staged,
+                   std::size_t rows, std::size_t cols, core::QuantMode quant) {
+  switch (quant) {
+    case core::QuantMode::kNone:
+      p.rows = std::move(staged);
+      return;
+    case core::QuantMode::kInt8: {
+      p.q8.resize(rows * cols);
+      p.scales.resize(rows);
+      for (std::size_t j = 0; j < rows; ++j)
+        p.scales[j] = quantize_row(
+            std::span<const float>(staged.data() + j * cols, cols),
+            std::span<std::int8_t>(p.q8.data() + j * cols, cols));
+      return;
+    }
+    case core::QuantMode::kInt16: {
+      p.q16.resize(rows * cols);
+      p.scales.resize(rows);
+      for (std::size_t j = 0; j < rows; ++j)
+        p.scales[j] = quantize_row(
+            std::span<const float>(staged.data() + j * cols, cols),
+            std::span<std::int16_t>(p.q16.data() + j * cols, cols));
+      return;
+    }
+  }
+}
+
+OpCode lstm_step_op(core::QuantMode quant) {
+  switch (quant) {
+    case core::QuantMode::kInt8: return OpCode::kLstmStepQ8;
+    case core::QuantMode::kInt16: return OpCode::kLstmStepQ16;
+    default: return OpCode::kLstmStepF32;
+  }
+}
+
+OpCode head_op(core::QuantMode quant) {
+  switch (quant) {
+    case core::QuantMode::kInt8: return OpCode::kHeadQ8;
+    case core::QuantMode::kInt16: return OpCode::kHeadQ16;
+    default: return OpCode::kHeadF32;
+  }
+}
+
+}  // namespace
+
+Program emit_program(const nn::ChainModel& model, core::QuantMode quant) {
+  const nn::ChainModelConfig& config = model.config();
+  Program p;
+  p.quant = quant;
+  p.embed_dim = config.embed_dim;
+  p.input_width = 1 + config.embed_dim;
+  p.hidden = config.hidden_size;
+  p.num_layers = config.num_layers;
+  p.vocab = config.vocab_size;
+  p.head_out = 1 + config.vocab_size;
+  p.history = config.history;
+  p.time_weight = config.time_weight;
+
+  // Embedding table, fp32 (quantizing it buys little: one row per step vs
+  // the 4H GEMV rows, and dt/embedding inputs feed every downstream gate).
+  p.embed.resize(p.vocab * p.embed_dim);
+  for (std::size_t id = 0; id < p.vocab; ++id) {
+    std::span<const float> v =
+        model.embedding().vector(static_cast<std::uint32_t>(id));
+    for (std::size_t c = 0; c < p.embed_dim; ++c)
+      p.embed[id * p.embed_dim + c] = v[c];
+  }
+
+  // LSTM layers, packed input-row-major: packed row k holds the 4H gate
+  // weights of input element k, [wx rows | wh rows] stacked. That is exactly
+  // the training layout ((in x 4H) and (H x 4H) row-major), so packing is a
+  // straight copy — and the VM's saxpy sweep walks each 4H-wide row
+  // contiguously with no reduction dependency (compile/vm.cpp).
+  p.layers.resize(p.num_layers);
+  for (std::size_t l = 0; l < p.num_layers; ++l) {
+    const nn::LstmLayer& layer = model.stack().layer(l);
+    const tensor::Matrix& wx = layer.wx();
+    const tensor::Matrix& wh = layer.wh();
+    const std::size_t in_w = layer.input_size();
+    const std::size_t H = layer.hidden_size();
+    PackedLayer& out = p.layers[l];
+    out.in_width = in_w;
+    out.hidden = H;
+    std::vector<float> staged((in_w + H) * 4 * H);
+    for (std::size_t k = 0; k < in_w; ++k)
+      for (std::size_t j = 0; j < 4 * H; ++j)
+        staged[k * 4 * H + j] = wx(k, j);
+    for (std::size_t k = 0; k < H; ++k)
+      for (std::size_t j = 0; j < 4 * H; ++j)
+        staged[(in_w + k) * 4 * H + j] = wh(k, j);
+    out.bias.resize(4 * H);
+    for (std::size_t j = 0; j < 4 * H; ++j) out.bias[j] = layer.bias()(0, j);
+    encode_packed(out, std::move(staged), in_w + H, 4 * H, quant);
+  }
+
+  // Head: in_width rows of out_width, again the training layout of the
+  // (H x 1+V) weight verbatim.
+  {
+    const tensor::Matrix& w = model.head().weight();
+    const tensor::Matrix& b = model.head().bias();
+    p.head.in_width = p.hidden;
+    p.head.out_width = p.head_out;
+    std::vector<float> staged(p.hidden * p.head_out);
+    for (std::size_t k = 0; k < p.hidden; ++k)
+      for (std::size_t j = 0; j < p.head_out; ++j)
+        staged[k * p.head_out + j] = w(k, j);
+    p.head.bias.resize(p.head_out);
+    for (std::size_t j = 0; j < p.head_out; ++j) p.head.bias[j] = b(0, j);
+    encode_packed(p.head, std::move(staged), p.hidden, p.head_out, quant);
+  }
+
+  p.reset_ops = {Op{OpCode::kResetState, 0}};
+  p.step_ops.clear();
+  p.step_ops.push_back(Op{OpCode::kLoadInput, 0});
+  for (std::size_t l = 0; l < p.num_layers; ++l)
+    p.step_ops.push_back(
+        Op{lstm_step_op(quant), static_cast<std::uint32_t>(l)});
+  p.head_ops = {Op{head_op(quant), 0}};
+  return p;
+}
+
+}  // namespace desh::compile

@@ -1,0 +1,30 @@
+// compile::emit_program: the load-time model compiler. Lowers a fixed-shape
+// nn::ChainModel — embedding + stacked LSTM + linear head — into a flat
+// compile::Program the VM executes:
+//
+//   - weights are re-packed per gate row: row j of layer l becomes the
+//     contiguous [wx^T[j] | wh^T[j]] the fused GEMV walks linearly (the
+//     training layout strides columns 4H apart, which is what makes the
+//     reference walk slow at batch 1);
+//   - biases and the embedding table are copied fp32;
+//   - under kInt8/kInt16 each packed row is symmetrically quantized with one
+//     fp32 scale per row (compile/quant);
+//   - the op lists are emitted from the model shape: one kLoadInput plus one
+//     lstm-step op per layer for a context step, one head op for the read.
+//
+// Emission is pure (no metrics, no I/O): the compile_backend factory owns
+// timing, calibration and telemetry.
+#pragma once
+
+#include "compile/program.hpp"
+#include "core/config.hpp"
+#include "nn/chain_model.hpp"
+
+namespace desh::compile {
+
+/// Compiles `model` into a self-contained program at the given quantization
+/// mode. Deterministic: equal weights + mode produce byte-identical
+/// to_text() output (the golden-file contract).
+Program emit_program(const nn::ChainModel& model, core::QuantMode quant);
+
+}  // namespace desh::compile

@@ -1,0 +1,33 @@
+// The complete op table of the compiled-inference VM, as an x-macro so the
+// opcode enum, the mnemonic table and the text-format parser stay in sync by
+// construction (one row per op; adding an op without a mnemonic is a compile
+// error at every expansion site).
+//
+//   DESH_COMPILE_OP(name, mnemonic)
+//
+// name     — enumerator in compile::OpCode (k-prefixed, ClangTidy style)
+// mnemonic — stable token used by Program::to_text / from_text; renaming a
+//            mnemonic breaks every serialized program, so treat them as a
+//            persistence format (see FORMATS.md conventions).
+//
+// Op vocabulary: a program is three straight-line op lists (reset / step /
+// head). Steps carry the layer index in Op::arg; everything else ignores it.
+#ifndef DESH_COMPILE_OP_LIST
+#define DESH_COMPILE_OP_LIST(X)                                        \
+  /* zero every per-layer (h, c) state pair in the arena */            \
+  X(kResetState, "reset_state")                                        \
+  /* build the step input row [dt_norm | embed(phrase)] in the arena */ \
+  X(kLoadInput, "load_input")                                          \
+  /* fused gate GEMV + activations + cell update, fp32 packed rows */  \
+  X(kLstmStepF32, "lstm_step_f32")                                     \
+  /* same, int8 symmetric per-row quantized packed rows */             \
+  X(kLstmStepQ8, "lstm_step_q8")                                       \
+  /* same, int16 symmetric per-row quantized packed rows */            \
+  X(kLstmStepQ16, "lstm_step_q16")                                     \
+  /* output head GEMV from the top layer's hidden row, fp32 */         \
+  X(kHeadF32, "head_f32")                                              \
+  /* output head GEMV, int8 quantized */                               \
+  X(kHeadQ8, "head_q8")                                                \
+  /* output head GEMV, int16 quantized */                              \
+  X(kHeadQ16, "head_q16")
+#endif  // DESH_COMPILE_OP_LIST

@@ -1,0 +1,397 @@
+#include "compile/program.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+
+namespace desh::compile {
+
+namespace {
+
+constexpr std::string_view kMagic = "desh-compile-program";
+constexpr std::string_view kVersion = "v1";
+
+// Floats travel as the hex of their IEEE-754 bit pattern so the text round
+// trip is bit-exact (decimal formatting would round and break the golden
+// test as well as replay equivalence across save/load).
+std::string hex32(float f) {
+  static const char* digits = "0123456789abcdef";
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  std::string out(8, '0');
+  for (std::size_t i = 8; i-- > 0; bits >>= 4) out[i] = digits[bits & 0xF];
+  return out;
+}
+
+/// Token-stream reader with section-tagged error reporting: every parse
+/// failure names the section being read, so a truncated or hand-mangled
+/// program file is diagnosable without a hex dump.
+struct Reader {
+  std::istringstream in;
+  std::string section = "header";
+  core::Error err;
+  bool failed = false;
+
+  explicit Reader(std::string_view text) : in(std::string(text)) {}
+
+  core::Error fail(const std::string& what) {
+    if (!failed) {
+      failed = true;
+      err = core::Error{core::ErrorCode::kInvalidArgument,
+                        "compile::Program::from_text: " + section + ": " +
+                            what};
+    }
+    return err;
+  }
+
+  std::string token() {
+    std::string t;
+    if (failed) return t;
+    if (!(in >> t)) fail("unexpected end of input");
+    return t;
+  }
+
+  void expect(std::string_view keyword) {
+    const std::string t = token();
+    if (!failed && t != keyword)
+      fail("expected '" + std::string(keyword) + "', got '" + t + "'");
+  }
+
+  std::size_t size() {
+    const std::string t = token();
+    if (failed) return 0;
+    std::size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+      v = std::stoull(t, &pos);
+    } catch (...) {
+      pos = 0;
+    }
+    if (pos != t.size()) {
+      fail("expected unsigned integer, got '" + t + "'");
+      return 0;
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+  long long integer() {
+    const std::string t = token();
+    if (failed) return 0;
+    std::size_t pos = 0;
+    long long v = 0;
+    try {
+      v = std::stoll(t, &pos);
+    } catch (...) {
+      pos = 0;
+    }
+    if (pos != t.size()) {
+      fail("expected integer, got '" + t + "'");
+      return 0;
+    }
+    return v;
+  }
+
+  float f32() {
+    const std::string t = token();
+    if (failed) return 0.0f;
+    if (t.size() != 8) {
+      fail("expected 8 hex digits, got '" + t + "'");
+      return 0.0f;
+    }
+    std::uint32_t bits = 0;
+    for (char c : t) {
+      std::uint32_t d = 0;
+      if (c >= '0' && c <= '9') d = static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') d = static_cast<std::uint32_t>(c - 'a') + 10;
+      else {
+        fail("expected 8 hex digits, got '" + t + "'");
+        return 0.0f;
+      }
+      bits = (bits << 4) | d;
+    }
+    return std::bit_cast<float>(bits);
+  }
+};
+
+void write_f32s(std::ostringstream& out, const std::vector<float>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out << (i % 16 == 0 ? '\n' : ' ') << hex32(v[i]);
+  out << '\n';
+}
+
+template <typename Int>
+void write_ints(std::ostringstream& out, const std::vector<Int>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out << (i % 24 == 0 ? '\n' : ' ') << static_cast<long long>(v[i]);
+  out << '\n';
+}
+
+void read_f32s(Reader& r, std::vector<float>& v, std::size_t n) {
+  v.resize(n);
+  for (std::size_t i = 0; i < n && !r.failed; ++i) v[i] = r.f32();
+}
+
+template <typename Int>
+void read_ints(Reader& r, std::vector<Int>& v, std::size_t n) {
+  v.resize(n);
+  for (std::size_t i = 0; i < n && !r.failed; ++i) {
+    const long long raw = r.integer();
+    const Int cast = static_cast<Int>(raw);
+    if (static_cast<long long>(cast) != raw) {
+      r.fail("quantized code " + std::to_string(raw) + " out of range");
+      return;
+    }
+    v[i] = cast;
+  }
+}
+
+// Shared (de)serialization of the PackedLayer/PackedHead weight block:
+// [bias] then, per quant mode, either fp32 rows or per-row "scale + codes".
+template <typename Packed>
+void write_packed(std::ostringstream& out, const Packed& p,
+                  core::QuantMode quant, std::size_t rows, std::size_t cols) {
+  out << "bias " << p.bias.size();
+  write_f32s(out, p.bias);
+  out << "rows " << rows << ' ' << cols;
+  switch (quant) {
+    case core::QuantMode::kNone:
+      write_f32s(out, p.rows);
+      break;
+    case core::QuantMode::kInt8:
+      out << "\nscales";
+      write_f32s(out, p.scales);
+      write_ints(out, p.q8);
+      break;
+    case core::QuantMode::kInt16:
+      out << "\nscales";
+      write_f32s(out, p.scales);
+      write_ints(out, p.q16);
+      break;
+  }
+}
+
+template <typename Packed>
+void read_packed(Reader& r, Packed& p, core::QuantMode quant,
+                 std::size_t rows, std::size_t cols) {
+  r.expect("bias");
+  const std::size_t nbias = r.size();
+  read_f32s(r, p.bias, nbias);
+  r.expect("rows");
+  const std::size_t got_rows = r.size();
+  const std::size_t got_cols = r.size();
+  if (!r.failed && (got_rows != rows || got_cols != cols)) {
+    r.fail("packed shape " + std::to_string(got_rows) + "x" +
+           std::to_string(got_cols) + " does not match dims " +
+           std::to_string(rows) + "x" + std::to_string(cols));
+    return;
+  }
+  switch (quant) {
+    case core::QuantMode::kNone:
+      read_f32s(r, p.rows, rows * cols);
+      break;
+    case core::QuantMode::kInt8:
+      r.expect("scales");
+      read_f32s(r, p.scales, rows);
+      read_ints(r, p.q8, rows * cols);
+      break;
+    case core::QuantMode::kInt16:
+      r.expect("scales");
+      read_f32s(r, p.scales, rows);
+      read_ints(r, p.q16, rows * cols);
+      break;
+  }
+}
+
+void write_ops(std::ostringstream& out, std::string_view keyword,
+               const std::vector<Op>& ops) {
+  out << keyword << ' ' << ops.size() << '\n';
+  for (const Op& op : ops)
+    out << mnemonic(op.code) << ' ' << op.arg << '\n';
+}
+
+void read_ops(Reader& r, std::string_view keyword, std::vector<Op>& ops) {
+  r.section = std::string(keyword);
+  r.expect(keyword);
+  const std::size_t n = r.size();
+  ops.clear();
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n && !r.failed; ++i) {
+    const std::string t = r.token();
+    if (r.failed) return;
+    core::Expected<OpCode> code = opcode_from_mnemonic(t);
+    if (!code.ok()) {
+      r.fail("unknown op mnemonic '" + t + "'");
+      return;
+    }
+    Op op;
+    op.code = code.value();
+    op.arg = static_cast<std::uint32_t>(r.size());
+    ops.push_back(op);
+  }
+}
+
+}  // namespace
+
+std::string_view mnemonic(OpCode code) {
+  switch (code) {
+#define DESH_COMPILE_OP(name, text) \
+  case OpCode::name:                \
+    return text;
+    DESH_COMPILE_OP_LIST(DESH_COMPILE_OP)
+#undef DESH_COMPILE_OP
+  }
+  return "?";
+}
+
+core::Expected<OpCode> opcode_from_mnemonic(std::string_view token) {
+#define DESH_COMPILE_OP(name, text) \
+  if (token == text) return OpCode::name;
+  DESH_COMPILE_OP_LIST(DESH_COMPILE_OP)
+#undef DESH_COMPILE_OP
+  return core::Error{core::ErrorCode::kInvalidArgument,
+                     "compile: unknown op mnemonic '" + std::string(token) +
+                         "'"};
+}
+
+std::size_t Program::packed_bytes() const {
+  auto block = [](const auto& p) {
+    return p.rows.size() * sizeof(float) + p.q8.size() * sizeof(std::int8_t) +
+           p.q16.size() * sizeof(std::int16_t) +
+           p.scales.size() * sizeof(float) + p.bias.size() * sizeof(float);
+  };
+  std::size_t total = embed.size() * sizeof(float) + block(head);
+  for (const PackedLayer& l : layers) total += block(l);
+  return total;
+}
+
+std::string Program::to_text() const {
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "quant " << core::to_string(quant) << '\n';
+  out << "dims input_width " << input_width << " embed_dim " << embed_dim
+      << " hidden " << hidden << " layers " << num_layers << " vocab "
+      << vocab << " head_out " << head_out << " history " << history << '\n';
+  out << "time_weight " << hex32(time_weight) << '\n';
+  out << "embed " << vocab << ' ' << embed_dim;
+  write_f32s(out, embed);
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const PackedLayer& layer = layers[l];
+    out << "layer " << l << " in_width " << layer.in_width << " hidden "
+        << layer.hidden << '\n';
+    write_packed(out, layer, quant, layer.in_width + layer.hidden,
+                 4 * layer.hidden);
+  }
+  out << "head in_width " << head.in_width << " out_width " << head.out_width
+      << '\n';
+  write_packed(out, head, quant, head.in_width, head.out_width);
+  write_ops(out, "reset_ops", reset_ops);
+  write_ops(out, "step_ops", step_ops);
+  write_ops(out, "head_ops", head_ops);
+  out << "end\n";
+  return out.str();
+}
+
+core::Expected<Program> Program::from_text(std::string_view text) {
+  Reader r(text);
+  Program p;
+
+  r.expect(kMagic);
+  const std::string version = r.token();
+  if (!r.failed && version != kVersion)
+    return core::Error{core::ErrorCode::kFormatVersion,
+                       "compile::Program::from_text: unsupported version '" +
+                           version + "' (expected " + std::string(kVersion) +
+                           ")"};
+  r.expect("quant");
+  const std::string quant_token = r.token();
+  if (!r.failed) {
+    if (quant_token == "none") p.quant = core::QuantMode::kNone;
+    else if (quant_token == "int8") p.quant = core::QuantMode::kInt8;
+    else if (quant_token == "int16") p.quant = core::QuantMode::kInt16;
+    else r.fail("unknown quant mode '" + quant_token + "'");
+  }
+
+  r.section = "dims";
+  r.expect("dims");
+  r.expect("input_width");
+  p.input_width = r.size();
+  r.expect("embed_dim");
+  p.embed_dim = r.size();
+  r.expect("hidden");
+  p.hidden = r.size();
+  r.expect("layers");
+  p.num_layers = r.size();
+  r.expect("vocab");
+  p.vocab = r.size();
+  r.expect("head_out");
+  p.head_out = r.size();
+  r.expect("history");
+  p.history = r.size();
+  r.expect("time_weight");
+  p.time_weight = r.f32();
+  if (!r.failed &&
+      (p.input_width != 1 + p.embed_dim || p.head_out != 1 + p.vocab ||
+       p.hidden == 0 || p.num_layers == 0 || p.vocab == 0 || p.history == 0))
+    r.fail("inconsistent dims");
+  if (r.failed) return r.err;
+
+  r.section = "embed";
+  r.expect("embed");
+  const std::size_t ev = r.size();
+  const std::size_t ee = r.size();
+  if (!r.failed && (ev != p.vocab || ee != p.embed_dim))
+    r.fail("embed shape does not match dims");
+  read_f32s(r, p.embed, p.vocab * p.embed_dim);
+
+  p.layers.resize(p.num_layers);
+  for (std::size_t l = 0; l < p.num_layers && !r.failed; ++l) {
+    r.section = "layer " + std::to_string(l);
+    r.expect("layer");
+    const std::size_t idx = r.size();
+    if (!r.failed && idx != l) r.fail("layer index out of order");
+    PackedLayer& layer = p.layers[l];
+    r.expect("in_width");
+    layer.in_width = r.size();
+    r.expect("hidden");
+    layer.hidden = r.size();
+    const std::size_t want_in = l == 0 ? p.input_width : p.hidden;
+    if (!r.failed && (layer.in_width != want_in || layer.hidden != p.hidden))
+      r.fail("layer shape does not match dims");
+    read_packed(r, layer, p.quant, layer.in_width + layer.hidden,
+                4 * layer.hidden);
+    if (!r.failed && layer.bias.size() != 4 * layer.hidden)
+      r.fail("bias width does not match 4*hidden");
+  }
+
+  r.section = "head";
+  r.expect("head");
+  r.expect("in_width");
+  p.head.in_width = r.size();
+  r.expect("out_width");
+  p.head.out_width = r.size();
+  if (!r.failed &&
+      (p.head.in_width != p.hidden || p.head.out_width != p.head_out))
+    r.fail("head shape does not match dims");
+  read_packed(r, p.head, p.quant, p.head.in_width, p.head.out_width);
+  if (!r.failed && p.head.bias.size() != p.head.out_width)
+    r.fail("head bias width does not match out_width");
+
+  read_ops(r, "reset_ops", p.reset_ops);
+  read_ops(r, "step_ops", p.step_ops);
+  read_ops(r, "head_ops", p.head_ops);
+  for (const std::vector<Op>* ops : {&p.reset_ops, &p.step_ops, &p.head_ops})
+    for (const Op& op : *ops)
+      if (!r.failed && (op.code == OpCode::kLstmStepF32 ||
+                        op.code == OpCode::kLstmStepQ8 ||
+                        op.code == OpCode::kLstmStepQ16) &&
+          op.arg >= p.num_layers)
+        r.fail("lstm step arg " + std::to_string(op.arg) +
+               " out of range (layers = " + std::to_string(p.num_layers) +
+               ")");
+
+  r.section = "trailer";
+  r.expect("end");
+  if (r.failed) return r.err;
+  return p;
+}
+
+}  // namespace desh::compile

@@ -1,0 +1,142 @@
+// compile::Program: the flat, self-contained artifact the model compiler
+// (compile/emitter) lowers a fixed-shape ChainModel into, and the only thing
+// the VM (compile/vm) ever executes.
+//
+// A program owns everything inference needs — pre-packed weights, the fp32
+// embedding table, dims, and three straight-line op lists — so it can be
+// serialized to text, diffed in a golden test, and executed without touching
+// the nn graph it came from. Weights are packed input-row-major: packed row
+// k holds the full output row (4H gate pre-activations, or 1+V head outputs)
+// of input element k, which is the training graph's own layout, so the VM's
+// inner loop is a contiguous saxpy sweep with no serial reduction — the
+// structure compilers vectorize without fast-math (see compile/vm.cpp).
+// Quantized modes (core::QuantMode) replace the fp32 rows with symmetric
+// per-row int8/int16 codes plus one fp32 scale per packed (input) row, which
+// the VM folds into the activation; biases and the embedding table always
+// stay fp32.
+//
+// The text format round-trips bit-exactly: floats are serialized as the hex
+// of their IEEE bit pattern, so to_text(from_text(t)) == t and a re-loaded
+// program computes bit-identical results. Treat mnemonics and section
+// keywords as a persistence format.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compile/op.xmacro.hpp"
+#include "core/config.hpp"
+#include "core/expected.hpp"
+
+namespace desh::compile {
+
+enum class OpCode : std::uint8_t {
+#define DESH_COMPILE_OP(name, mnemonic) name,
+  DESH_COMPILE_OP_LIST(DESH_COMPILE_OP)
+#undef DESH_COMPILE_OP
+};
+
+/// Stable text token for one opcode (the x-macro mnemonic column).
+std::string_view mnemonic(OpCode code);
+/// Inverse of mnemonic(); error on an unknown token.
+core::Expected<OpCode> opcode_from_mnemonic(std::string_view token);
+
+/// One VM instruction. LSTM step ops carry the layer index in `arg`;
+/// every other op ignores it.
+struct Op {
+  OpCode code = OpCode::kResetState;
+  std::uint32_t arg = 0;
+};
+
+/// One LSTM layer's weights, packed for the fused gate sweep:
+/// (in_width + hidden) rows of width 4H — packed row k is input element k's
+/// gate weights, [wx rows | wh rows] stacked in training-graph order.
+/// Exactly one of {rows, q8, q16} is populated, matching the program's
+/// quant mode.
+struct PackedLayer {
+  std::size_t in_width = 0;  // 1+E for layer 0, H for deeper layers
+  std::size_t hidden = 0;
+  std::vector<float> rows;         // fp32 packed rows (quant = kNone)
+  std::vector<std::int8_t> q8;     // int8 codes (quant = kInt8)
+  std::vector<std::int16_t> q16;   // int16 codes (quant = kInt16)
+  std::vector<float> scales;       // one per packed row (quantized modes)
+  std::vector<float> bias;         // 4H, always fp32
+};
+
+/// The output head, packed the same way: in_width rows of out_width (the
+/// training graph's (H x 1+V) weight verbatim).
+struct PackedHead {
+  std::size_t in_width = 0;   // H
+  std::size_t out_width = 0;  // 1 + vocab
+  std::vector<float> rows;
+  std::vector<std::int8_t> q8;
+  std::vector<std::int16_t> q16;
+  std::vector<float> scales;
+  std::vector<float> bias;
+};
+
+struct Program {
+  core::QuantMode quant = core::QuantMode::kNone;
+
+  // Model dims + the scoring operating point, copied from ChainModelConfig
+  // so the program scores without the model.
+  std::size_t input_width = 0;  // 1 + embed_dim
+  std::size_t embed_dim = 0;
+  std::size_t hidden = 0;
+  std::size_t num_layers = 0;
+  std::size_t vocab = 0;
+  std::size_t head_out = 0;  // 1 + vocab
+  std::size_t history = 0;
+  float time_weight = 0.0f;
+
+  std::vector<float> embed;  // vocab x embed_dim, row-major, always fp32
+  std::vector<PackedLayer> layers;
+  PackedHead head;
+
+  // Straight-line op lists: reset once per scored position, step once per
+  // context element, head once to read the prediction.
+  std::vector<Op> reset_ops;
+  std::vector<Op> step_ops;
+  std::vector<Op> head_ops;
+
+  // --- scratch-arena layout (one flat float buffer per scoring call) ------
+  // [ x: input_width | gates: 4H | pred: head_out | (h,c) x num_layers
+  //   | act: staging for one packed sweep's activations ]
+  std::size_t x_offset() const { return 0; }
+  std::size_t gates_offset() const { return input_width; }
+  std::size_t pred_offset() const { return input_width + 4 * hidden; }
+  std::size_t state_offset() const { return pred_offset() + head_out; }
+  std::size_t h_offset(std::size_t layer) const {
+    return state_offset() + layer * 2 * hidden;
+  }
+  std::size_t c_offset(std::size_t layer) const {
+    return h_offset(layer) + hidden;
+  }
+  /// Contiguous staging for a sweep's per-input-row activations ([x | h] for
+  /// a gate step, with quant scales folded in), sized for the widest layer.
+  std::size_t act_offset() const {
+    return state_offset() + num_layers * 2 * hidden;
+  }
+  std::size_t act_size() const {
+    return std::max(input_width, hidden) + hidden;
+  }
+  std::size_t arena_size() const { return act_offset() + act_size(); }
+
+  std::size_t num_ops() const {
+    return reset_ops.size() + step_ops.size() + head_ops.size();
+  }
+  /// Bytes of packed parameter data (weights + scales + biases + embedding).
+  std::size_t packed_bytes() const;
+
+  /// Serializes the whole program; floats as IEEE-754 bit-pattern hex so the
+  /// round trip is bit-exact (golden-file friendly).
+  std::string to_text() const;
+  /// Parses to_text() output. All malformations are reported as errors with
+  /// the offending section, never as UB at execution time.
+  static core::Expected<Program> from_text(std::string_view text);
+};
+
+}  // namespace desh::compile

@@ -1,0 +1,63 @@
+#include "compile/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace desh::compile {
+
+namespace {
+
+template <typename Int>
+float quantize_row_impl(std::span<const float> w, std::span<Int> q,
+                        float limit) {
+  util::require(w.size() == q.size(),
+                "compile::quantize_row: code span size mismatch");
+  float max_abs = 0.0f;
+  for (float v : w) max_abs = std::max(max_abs, std::fabs(v));
+  if (max_abs == 0.0f) {
+    std::fill(q.begin(), q.end(), Int{0});
+    return 0.0f;
+  }
+  const float scale = max_abs / limit;
+  const float inv = limit / max_abs;
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    // round-to-nearest; the clamp guards the max element, whose quotient can
+    // land epsilon above `limit` after the inverse-scale multiply.
+    const float code = std::nearbyint(w[k] * inv);
+    q[k] = static_cast<Int>(std::clamp(code, -limit, limit));
+  }
+  return scale;
+}
+
+template <typename Int>
+void dequantize_row_impl(std::span<const Int> q, float scale,
+                         std::span<float> out) {
+  util::require(q.size() == out.size(),
+                "compile::dequantize_row: output span size mismatch");
+  for (std::size_t k = 0; k < q.size(); ++k)
+    out[k] = static_cast<float>(q[k]) * scale;
+}
+
+}  // namespace
+
+float quantize_row(std::span<const float> w, std::span<std::int8_t> q) {
+  return quantize_row_impl(w, q, 127.0f);
+}
+
+float quantize_row(std::span<const float> w, std::span<std::int16_t> q) {
+  return quantize_row_impl(w, q, 32767.0f);
+}
+
+void dequantize_row(std::span<const std::int8_t> q, float scale,
+                    std::span<float> out) {
+  dequantize_row_impl(q, scale, out);
+}
+
+void dequantize_row(std::span<const std::int16_t> q, float scale,
+                    std::span<float> out) {
+  dequantize_row_impl(q, scale, out);
+}
+
+}  // namespace desh::compile

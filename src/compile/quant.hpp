@@ -1,0 +1,35 @@
+// Symmetric per-row weight quantization for the compiled-inference VM.
+//
+// Weight-only: activations, biases and the embedding table stay fp32, so the
+// VM's arithmetic is `acc = (sum_k in[k] * q[k]) * scale + bias` — the codes
+// are folded back through one fp32 scale per packed row. Symmetric (no zero
+// point) because LSTM weight rows are centered by Xavier init; per-row
+// because gate rows differ in dynamic range by orders of magnitude (the
+// forget-gate block starts biased) and one tensor-wide scale would crush the
+// quiet rows.
+//
+// Codec guarantee (fuzzed in test_compile): for every element,
+//   |w - dequantize(quantize(w))| <= scale / 2 + O(limit * 2^-23) * scale,
+// with scale = max|row| / limit — the ideal half-step bound plus the fp32
+// rounding of the encode-side reciprocal (only material at int16) — and an
+// all-zero row round-trips exactly (scale 0 encodes all-zero codes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace desh::compile {
+
+/// Quantizes one packed row into int8 codes. Returns the row scale
+/// (max|w| / 127; 0 for an all-zero row). q.size() must equal w.size().
+float quantize_row(std::span<const float> w, std::span<std::int8_t> q);
+/// Same codec at int16 precision (limit 32767).
+float quantize_row(std::span<const float> w, std::span<std::int16_t> q);
+
+/// Inverse mapping: out[k] = q[k] * scale. Exact for scale 0.
+void dequantize_row(std::span<const std::int8_t> q, float scale,
+                    std::span<float> out);
+void dequantize_row(std::span<const std::int16_t> q, float scale,
+                    std::span<float> out);
+
+}  // namespace desh::compile

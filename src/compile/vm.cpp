@@ -1,0 +1,281 @@
+#include "compile/vm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+// Same ISA dispatch as tensor/ops.cpp: the kernels compile once per ISA
+// level and resolve at load time (ifunc), so the build stays baseline x86-64
+// while AVX-512/AVX2 machines get full-width vectors — without this the
+// reference walk's cloned GEMM outruns the VM on wide machines.
+#if defined(__x86_64__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define DESH_ISA_CLONES __attribute__((target_clones("avx512f", "avx2", "default")))
+#endif
+#endif
+#ifndef DESH_ISA_CLONES
+#define DESH_ISA_CLONES
+#endif
+
+namespace desh::compile {
+
+namespace {
+
+// --- fused kernels --------------------------------------------------------
+// Weights are packed input-row-major (one row per input element, outputs
+// contiguous), so every kernel is a saxpy sweep: out[j] += a * row[j] over a
+// contiguous output row. Unlike a dot-product reduction, that inner loop has
+// no serial accumulator dependency, so the compiler vectorizes it without
+// fast-math — the same structure as tensor::gemm_accumulate, which is what
+// the reference walk spends its time in. The sweep processes four input
+// rows per pass of the output row, quartering the accumulator's load/store
+// traffic (which otherwise exceeds the weight traffic); the per-(j) addition
+// order is the same as four sequential single-row passes, so unrolling does
+// not change a single bit of the result. The gate kernels then finish the
+// whole LSTM step (activations + cell update) in the same pass so no
+// intermediate ever leaves the arena. Bodies that must vectorize inside a
+// cloned caller are force-inlined (an out-of-line callee would drop back to
+// the baseline ISA).
+
+/// out += sum over m packed rows of act[k] * row_k. Weight element j of
+/// packed row k sits at rows[k * n + j] (fp32) or is static_cast from the
+/// quantized code at the same index; `act` carries any quant scale already
+/// folded in. Skips zero activations like the reference GEMM does (fresh
+/// zero state makes whole rows free).
+template <typename W>
+[[gnu::always_inline]] inline void sweep(const W* rows, const float* act,
+                                         std::size_t m,
+                                         float* __restrict out,
+                                         std::size_t n) {
+  std::size_t k = 0;
+  for (; k + 4 <= m; k += 4) {
+    const float a0 = act[k], a1 = act[k + 1];
+    const float a2 = act[k + 2], a3 = act[k + 3];
+    if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+    const W* r0 = rows + k * n;
+    const W* r1 = r0 + n;
+    const W* r2 = r1 + n;
+    const W* r3 = r2 + n;
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = out[j];
+      v += a0 * static_cast<float>(r0[j]);
+      v += a1 * static_cast<float>(r1[j]);
+      v += a2 * static_cast<float>(r2[j]);
+      v += a3 * static_cast<float>(r3[j]);
+      out[j] = v;
+    }
+  }
+  for (; k < m; ++k) {
+    const float a = act[k];
+    if (a == 0.0f) continue;
+    const W* row = rows + k * n;
+    for (std::size_t j = 0; j < n; ++j)
+      out[j] += a * static_cast<float>(row[j]);
+  }
+}
+
+/// Finishes one LSTM step from the filled (4H) gate pre-activations: i,f,o
+/// sigmoid, g tanh, then c = f.c + i.g and h = o.tanh(c), all in one loop.
+[[gnu::always_inline]] inline void activate_and_update(float* gates, float* h,
+                                                       float* c,
+                                                       std::size_t H) {
+  for (std::size_t j = 0; j < H; ++j) {
+    const float i = tensor::fast_sigmoid(gates[j]);
+    const float f = tensor::fast_sigmoid(gates[H + j]);
+    const float g = tensor::fast_tanh(gates[2 * H + j]);
+    const float o = tensor::fast_sigmoid(gates[3 * H + j]);
+    c[j] = f * c[j] + i * g;
+    h[j] = o * tensor::fast_tanh(c[j]);
+  }
+}
+
+/// Stages [in | h] contiguously (gate sweeps span both blocks), folding the
+/// per-input-row quant scales in when present.
+[[gnu::always_inline]] inline void stage_act(const PackedLayer& L,
+                                             const float* in, const float* h,
+                                             float* act) {
+  if (L.scales.empty()) {
+    std::memcpy(act, in, L.in_width * sizeof(float));
+    std::memcpy(act + L.in_width, h, L.hidden * sizeof(float));
+    return;
+  }
+  for (std::size_t k = 0; k < L.in_width; ++k) act[k] = in[k] * L.scales[k];
+  for (std::size_t k = 0; k < L.hidden; ++k)
+    act[L.in_width + k] = h[k] * L.scales[L.in_width + k];
+}
+
+template <typename W>
+[[gnu::always_inline]] inline void lstm_step_impl(const PackedLayer& L,
+                                                  const W* rows,
+                                                  const float* in, float* h,
+                                                  float* c, float* gates,
+                                                  float* act) {
+  const std::size_t H = L.hidden;
+  std::memcpy(gates, L.bias.data(), 4 * H * sizeof(float));
+  stage_act(L, in, h, act);
+  sweep(rows, act, L.in_width + H, gates, 4 * H);
+  activate_and_update(gates, h, c, H);
+}
+
+DESH_ISA_CLONES
+void lstm_step_f32(const PackedLayer& L, const float* in, float* h, float* c,
+                   float* gates, float* act) {
+  lstm_step_impl(L, L.rows.data(), in, h, c, gates, act);
+}
+
+// kLstmStepQ8 executes through the VM's widened int16 image (see Vm ctor),
+// so both quantized step ops share this kernel.
+DESH_ISA_CLONES
+void lstm_step_q(const PackedLayer& L, const std::int16_t* rows,
+                 const float* in, float* h, float* c, float* gates,
+                 float* act) {
+  lstm_step_impl(L, rows, in, h, c, gates, act);
+}
+
+template <typename W>
+[[gnu::always_inline]] inline void head_impl(const PackedHead& Hd,
+                                             const W* rows, const float* in,
+                                             float* out, float* act) {
+  std::memcpy(out, Hd.bias.data(), Hd.out_width * sizeof(float));
+  const float* a = in;
+  if (!Hd.scales.empty()) {
+    for (std::size_t k = 0; k < Hd.in_width; ++k)
+      act[k] = in[k] * Hd.scales[k];
+    a = act;
+  }
+  sweep(rows, a, Hd.in_width, out, Hd.out_width);
+}
+
+DESH_ISA_CLONES
+void head_f32(const PackedHead& Hd, const float* in, float* out, float* act) {
+  head_impl(Hd, Hd.rows.data(), in, out, act);
+}
+
+DESH_ISA_CLONES
+void head_q(const PackedHead& Hd, const std::int16_t* rows, const float* in,
+            float* out, float* act) {
+  head_impl(Hd, rows, in, out, act);
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<std::int16_t> widen(const std::vector<std::int8_t>& q8) {
+  return std::vector<std::int16_t>(q8.begin(), q8.end());
+}
+
+}  // namespace
+
+Vm::Vm(const Program& program) : program_(&program) {
+  // Validate once so exec() can index layers unchecked: layer args in
+  // range, and every op's weight encoding matching the program's quant mode
+  // (a q8 op on a non-int8 program would read an empty widened image).
+  for (const std::vector<Op>* ops :
+       {&program.reset_ops, &program.step_ops, &program.head_ops})
+    for (const Op& op : *ops) {
+      if (op.code == OpCode::kLstmStepF32 || op.code == OpCode::kLstmStepQ8 ||
+          op.code == OpCode::kLstmStepQ16)
+        util::require(op.arg < program.layers.size(),
+                      "compile::Vm: lstm step layer arg out of range");
+      const core::QuantMode want =
+          op.code == OpCode::kLstmStepQ8 || op.code == OpCode::kHeadQ8
+              ? core::QuantMode::kInt8
+          : op.code == OpCode::kLstmStepQ16 || op.code == OpCode::kHeadQ16
+              ? core::QuantMode::kInt16
+              : core::QuantMode::kNone;
+      const bool weighted = op.code != OpCode::kResetState &&
+                            op.code != OpCode::kLoadInput;
+      util::require(!weighted || want == program.quant,
+                    "compile::Vm: op '" + std::string(mnemonic(op.code)) +
+                        "' does not match program quant mode");
+    }
+  if (program.quant == core::QuantMode::kInt8) {
+    wide_layers_.reserve(program.layers.size());
+    for (const PackedLayer& layer : program.layers)
+      wide_layers_.push_back(widen(layer.q8));
+    wide_head_ = widen(program.head.q8);
+  }
+}
+
+std::vector<float> Vm::make_arena() const {
+  return std::vector<float>(program_->arena_size(), 0.0f);
+}
+
+void Vm::reset(std::span<float> arena) const {
+  exec(program_->reset_ops, arena, 0.0f, 0);
+}
+
+void Vm::step(std::span<float> arena, float dt_norm,
+              std::uint32_t phrase) const {
+  exec(program_->step_ops, arena, dt_norm, phrase);
+}
+
+std::span<const float> Vm::run_head(std::span<float> arena) const {
+  exec(program_->head_ops, arena, 0.0f, 0);
+  return arena.subspan(program_->pred_offset(), program_->head_out);
+}
+
+void Vm::exec(std::span<const Op> ops, std::span<float> arena, float dt_norm,
+              std::uint32_t phrase) const {
+  const Program& p = *program_;
+  util::require(arena.size() >= p.arena_size(),
+                "compile::Vm: arena too small for program");
+  float* const base = arena.data();
+  float* const x = base + p.x_offset();
+  float* const gates = base + p.gates_offset();
+  float* const act = base + p.act_offset();
+
+  for (const Op& op : ops) {
+    switch (op.code) {
+      case OpCode::kResetState:
+        std::fill(base + p.state_offset(), base + p.arena_size(), 0.0f);
+        break;
+      case OpCode::kLoadInput: {
+        util::require(phrase < p.vocab,
+                      "compile::Vm: phrase id out of vocabulary");
+        x[0] = dt_norm;
+        std::memcpy(x + 1, p.embed.data() + phrase * p.embed_dim,
+                    p.embed_dim * sizeof(float));
+        break;
+      }
+      case OpCode::kLstmStepF32:
+      case OpCode::kLstmStepQ8:
+      case OpCode::kLstmStepQ16: {
+        const std::size_t l = op.arg;
+        const PackedLayer& layer = p.layers[l];
+        // Layer 0 reads the input row; deeper layers read the previous
+        // layer's hidden state, already updated this step (ops run in
+        // ascending layer order by construction).
+        const float* in = l == 0 ? x : base + p.h_offset(l - 1);
+        float* h = base + p.h_offset(l);
+        float* c = base + p.c_offset(l);
+        if (op.code == OpCode::kLstmStepF32)
+          lstm_step_f32(layer, in, h, c, gates, act);
+        else if (op.code == OpCode::kLstmStepQ8)
+          lstm_step_q(layer, wide_layers_[l].data(), in, h, c, gates, act);
+        else
+          lstm_step_q(layer, layer.q16.data(), in, h, c, gates, act);
+        break;
+      }
+      case OpCode::kHeadF32:
+        head_f32(p.head, base + p.h_offset(p.num_layers - 1),
+                 base + p.pred_offset(), act);
+        break;
+      case OpCode::kHeadQ8:
+        head_q(p.head, wide_head_.data(),
+               base + p.h_offset(p.num_layers - 1), base + p.pred_offset(),
+               act);
+        break;
+      case OpCode::kHeadQ16:
+        head_q(p.head, p.head.q16.data(),
+               base + p.h_offset(p.num_layers - 1), base + p.pred_offset(),
+               act);
+        break;
+    }
+  }
+}
+
+}  // namespace desh::compile

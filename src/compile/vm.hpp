@@ -1,0 +1,63 @@
+// compile::Vm: the tiny register VM that executes a compile::Program.
+//
+// Execution model: the VM borrows a Program and interprets its three
+// straight-line op lists over a caller-owned flat float arena
+// ([x | gates | pred | (h,c) per layer], offsets from the Program). Dispatch
+// is one switch per op — a handful of ops per context step — and every
+// kernel is fused: the gate sweep accumulates wx*x and wh*h saxpy-style over
+// contiguous input-major packed rows (vectorizable, no reduction
+// dependency), and the activation + cell update happen in the same pass
+// instead of four separate Matrix ops. Combined with the arena (zero
+// allocations per step, versus the reference walk's per-step Matrix churn)
+// this is where the bench_compile speedup comes from.
+//
+// Thread safety: the VM itself is immutable after construction; all mutable
+// state lives in the arena, so one Program may be shared by any number of
+// threads as long as each uses its own arena (make_arena per scoring call).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compile/program.hpp"
+
+namespace desh::compile {
+
+class Vm {
+ public:
+  /// Borrows `program`, which must outlive the VM. Validates that every op's
+  /// layer arg is in range so execution needs no bounds checks, and builds
+  /// the execution image: int8 programs are widened to int16 codes once here
+  /// (identical values, bit-identical results), because byte->float
+  /// conversion is shuffle-bound on x86 while word->float runs at full
+  /// vector width. The stored program keeps the 4x-smaller codes; only the
+  /// VM's working copy pays for speed with memory.
+  explicit Vm(const Program& program);
+
+  /// Zero-initialized scratch arena sized for this program. One per
+  /// concurrent scoring call.
+  std::vector<float> make_arena() const;
+
+  /// Runs reset_ops: zeroes every layer's (h, c) state.
+  void reset(std::span<float> arena) const;
+  /// Runs step_ops: consumes one (dt_norm, phrase) context element.
+  void step(std::span<float> arena, float dt_norm, std::uint32_t phrase) const;
+  /// Runs head_ops and returns the prediction row [dt | phrase scores]
+  /// (a view into the arena, valid until the next VM call on it).
+  std::span<const float> run_head(std::span<float> arena) const;
+
+  const Program& program() const { return *program_; }
+
+ private:
+  void exec(std::span<const Op> ops, std::span<float> arena, float dt_norm,
+            std::uint32_t phrase) const;
+
+  const Program* program_;
+  // int8 execution image: per-layer + head q8 codes sign-extended to int16
+  // at construction (empty for fp32/int16 programs).
+  std::vector<std::vector<std::int16_t>> wide_layers_;
+  std::vector<std::int16_t> wide_head_;
+};
+
+}  // namespace desh::compile

@@ -60,6 +60,27 @@ std::vector<std::string> FleetConfig::validate(std::string_view prefix) const {
   return out;
 }
 
+std::vector<std::string> CompileConfig::validate(
+    std::string_view prefix) const {
+  std::vector<std::string> out;
+  const std::string p(prefix);
+  if (quant != QuantMode::kNone && backend != BackendKind::kCompiled)
+    out.push_back(p + ".quant: " + std::string(to_string(quant)) +
+                  " quantization requires " + p + ".backend = compiled, got " +
+                  std::string(to_string(backend)));
+  if (quant != QuantMode::kNone) {
+    if (calibration_records == 0)
+      out.push_back(p + ".calibration_records: must be > 0 when " + p +
+                    ".quant = " + std::string(to_string(quant)));
+    if (!(max_accuracy_delta >= 0.0) || !std::isfinite(max_accuracy_delta))
+      out.push_back(p +
+                    ".max_accuracy_delta: must be non-negative and finite, "
+                    "got " +
+                    util::format_fixed(max_accuracy_delta, 4));
+  }
+  return out;
+}
+
 std::vector<std::string> DeshConfig::validate() const {
   Checker c;
 
@@ -153,6 +174,30 @@ std::vector<std::string> DeshConfig::validate() const {
   c.positive("adapt.probation_records", adapt.probation_records);
   c.non_negative("adapt.regression_margin", adapt.regression_margin);
   c.positive("adapt.alert_horizon_seconds", adapt.alert_horizon_seconds);
+
+  for (std::string& msg : compile.validate("compile"))
+    c.out.push_back(std::move(msg));
+
+  // Cross-section: a quantized compiled backend re-runs its calibration pass
+  // against replayed records after every adapt hot-swap. Both sides of each
+  // constraint are named so the reader knows which section to move.
+  if (compile.backend == BackendKind::kCompiled &&
+      compile.quant != QuantMode::kNone) {
+    if (compile.calibration_records > adapt.replay_capacity)
+      c.out.push_back(
+          "compile.calibration_records: must be <= adapt.replay_capacity (" +
+          std::to_string(adapt.replay_capacity) +
+          ") or post-swap calibration can never fill, got " +
+          std::to_string(compile.calibration_records));
+    if (compile.calibration_records > adapt.min_replay_records)
+      c.out.push_back(
+          "compile.calibration_records: must be <= adapt.min_replay_records "
+          "(" +
+          std::to_string(adapt.min_replay_records) +
+          ") so every retrain that fires has enough replayed records to "
+          "recalibrate the quantized program, got " +
+          std::to_string(compile.calibration_records));
+  }
 
   return c.out;
 }

@@ -196,6 +196,59 @@ struct FleetConfig {
       std::string_view prefix = "fleet") const;
 };
 
+/// Which inference engine scores failure chains (see nn/inference_backend.hpp
+/// for the seam, src/compile for the compiled engines).
+enum class BackendKind : std::uint8_t {
+  kReference = 0,  ///< step-by-step nn graph walk; the bit-exact baseline
+  kCompiled = 1,   ///< load-time compiled flat op program run by the VM
+};
+
+/// Weight quantization applied by the model compiler (weights only;
+/// activations and the embedding table stay fp32).
+enum class QuantMode : std::uint8_t {
+  kNone = 0,
+  kInt8 = 1,   ///< symmetric per-row int8 (4x smaller packed weights)
+  kInt16 = 2,  ///< symmetric per-row int16 (2x smaller, tighter numerics)
+};
+
+constexpr std::string_view to_string(BackendKind k) {
+  return k == BackendKind::kReference ? "reference" : "compiled";
+}
+constexpr std::string_view to_string(QuantMode q) {
+  switch (q) {
+    case QuantMode::kInt8: return "int8";
+    case QuantMode::kInt16: return "int16";
+    default: return "none";
+  }
+}
+
+/// Knobs for the load-time model compiler (src/compile): which engine a
+/// consumer scores through, the quantization mode, and the calibration gate
+/// that keeps quantized numerics honest. Lives in core (mirroring WalConfig /
+/// FleetConfig) so MonitorConfig and DeshConfig can carry + validate it
+/// without depending on desh::compile.
+struct CompileConfig {
+  BackendKind backend = BackendKind::kReference;
+  /// Weight quantization; only meaningful with backend = kCompiled.
+  QuantMode quant = QuantMode::kNone;
+  /// Training chains replayed through reference vs quantized programs by the
+  /// calibration pass. More records = tighter delta estimate, slower load.
+  std::size_t calibration_records = 256;
+  /// Calibration gate: the mean absolute per-step score delta between the
+  /// reference and quantized engines must stay within this bound, or the
+  /// quantized program is rejected at compile time.
+  double max_accuracy_delta = 0.02;
+  /// Rejected quantized program: fall back to the fp32 compiled program
+  /// (true, serving stays up) or fail compilation (false, strict mode).
+  bool fallback_on_reject = true;
+
+  /// Returns ALL violations as "<prefix>.field: problem" messages (empty =
+  /// usable), mirroring WalConfig::validate(). MonitorConfig reuses it with
+  /// prefix "monitor.compile".
+  [[nodiscard]] std::vector<std::string> validate(
+      std::string_view prefix = "compile") const;
+};
+
 struct DeshConfig {
   Phase1Config phase1;
   Phase2Config phase2;
@@ -203,6 +256,9 @@ struct DeshConfig {
   chains::ExtractorConfig extractor;
   SkipGramPretrainConfig skipgram;
   AdaptConfig adapt;
+  /// Default inference engine for pipeline-level scoring (predict/redecide)
+  /// and the template each monitor shard starts from.
+  CompileConfig compile;
   std::uint64_t seed = 7;
   /// Worker count applied to every stage (phase 1/2 training, skip-gram,
   /// phase-3 scoring) whose own `threads` is 0. 0 = DESH_THREADS env var,

@@ -45,22 +45,39 @@ std::vector<std::string> MonitorConfig::validate(
   if (!(rearm_seconds >= 0) || !std::isfinite(rearm_seconds))
     out.push_back(p + ".rearm_seconds: must be non-negative and finite, got " +
                   util::format_fixed(rearm_seconds, 4));
+  for (std::string& v : compile.validate(p + ".compile"))
+    out.push_back(std::move(v));
   return out;
 }
+
+namespace {
+
+// Builds the inference engine config.compile selects. Runs from the
+// constructor's initializer list — backend_ precedes predictor_, which
+// borrows it — so the fitted-pipeline and full-config preconditions are
+// checked here, before any member that depends on them.
+std::shared_ptr<const nn::InferenceBackend> build_backend(
+    const DeshPipeline& pipeline, const MonitorConfig& config) {
+  util::require(pipeline.fitted(), "StreamingMonitor: pipeline is not fitted");
+  // Report every violation, not just the first: a caller fixing fields one
+  // rejection at a time gets the whole list up front.
+  const std::vector<std::string> violations = config.validate();
+  util::require(violations.empty(), "StreamingMonitor: invalid config: " +
+                                        util::join(violations, "; "));
+  // Compilation/calibration failures (e.g. the quantization gate rejecting
+  // with fallback disabled) surface as the Error's own message.
+  return pipeline.make_backend(config.compile).value();
+}
+
+}  // namespace
 
 StreamingMonitor::StreamingMonitor(const DeshPipeline& pipeline,
                                    MonitorConfig config)
     : pipeline_(pipeline),
       config_(config),
       vocab_(pipeline.vocab()),
-      predictor_(pipeline.phase2().model(), pipeline.config().phase3) {
-  util::require(pipeline.fitted(), "StreamingMonitor: pipeline is not fitted");
-  // Report every violation, not just the first: a caller fixing fields one
-  // rejection at a time gets the whole list up front.
-  const std::vector<std::string> violations = config_.validate();
-  util::require(violations.empty(), "StreamingMonitor: invalid config: " +
-                                        util::join(violations, "; "));
-}
+      backend_(build_backend(pipeline, config)),
+      predictor_(*backend_, pipeline.config().phase3) {}
 
 void StreamingMonitor::reset() { nodes_.clear(); }
 

@@ -34,6 +34,10 @@ struct MonitorConfig {
   double rearm_seconds = 600.0;
   /// Workers for observe_batch (0 = DESH_THREADS env, then hardware).
   std::size_t threads = 0;
+  /// Inference engine the monitor scores through (nn/inference_backend.hpp):
+  /// reference by default, or compiled / compiled+quantized. Per-shard
+  /// selection in the fleet flows through ServeConfig.monitor.compile.
+  CompileConfig compile;
 
   /// Returns ALL violations as "<prefix>.field: problem" messages (empty =
   /// usable), mirroring DeshConfig::validate(). ServeConfig::validate()
@@ -137,6 +141,9 @@ class StreamingMonitor {
   const DeshPipeline& pipeline_;
   MonitorConfig config_;
   logs::PhraseVocab vocab_;  // frozen snapshot of the training vocabulary
+  /// The engine config_.compile selected; declared before predictor_, which
+  /// borrows it.
+  std::shared_ptr<const nn::InferenceBackend> backend_;
   Phase3Predictor predictor_;
   std::unordered_map<logs::NodeId, NodeState> nodes_;
   std::unique_ptr<util::ThreadPool> pool_;  // lazily built for observe_batch

@@ -249,26 +249,4 @@ Expected<DeshPipeline> try_load_pipeline(const std::string& directory) {
   }
 }
 
-// Deprecated throwing wrappers: behave exactly like the pre-redesign
-// functions (InvalidArgument for unfitted saves, IoError for I/O problems).
-void save_pipeline(const DeshPipeline& pipeline, const std::string& directory) {
-  const Expected<void> r = try_save_pipeline(pipeline, directory);
-  if (r.ok()) return;
-  if (r.error().code == ErrorCode::kInvalidArgument)
-    // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
-    throw util::InvalidArgument(r.error().message);
-  // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
-  throw util::IoError(r.error().message);
-}
-
-DeshPipeline load_pipeline(const std::string& directory) {
-  Expected<DeshPipeline> r = try_load_pipeline(directory);
-  if (r.ok()) return std::move(r).value();
-  if (r.error().code == ErrorCode::kInvalidArgument)
-    // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
-    throw util::InvalidArgument(r.error().message);
-  // desh-lint: allow(throw-discipline) deprecated compatibility wrapper
-  throw util::IoError(r.error().message);
-}
-
 }  // namespace desh::core

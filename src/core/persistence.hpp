@@ -43,12 +43,4 @@ inline constexpr std::uint32_t kOldestReadablePipelineFormat = 1;
 [[nodiscard]] Expected<DeshPipeline> try_load_pipeline(
     const std::string& directory);
 
-/// Pre-redesign throwing wrappers, kept for one release so existing callers
-/// compile unchanged. They throw util::InvalidArgument / util::IoError
-/// exactly as before.
-[[deprecated("use try_save_pipeline (returns core::Expected)")]]
-void save_pipeline(const DeshPipeline& pipeline, const std::string& directory);
-[[deprecated("use try_load_pipeline (returns core::Expected)")]]
-DeshPipeline load_pipeline(const std::string& directory);
-
 }  // namespace desh::core

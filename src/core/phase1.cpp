@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "nn/data_parallel.hpp"
+#include "nn/inference_backend.hpp"
 #include "nn/optimizer.hpp"
 #include "obs/catalog.hpp"
 #include "obs/trace.hpp"
@@ -102,7 +103,7 @@ double Phase1Trainer::accuracy(const chains::ParsedLog& data,
   util::Rng rng(0xACCu);  // fixed seed: evaluation sampling is deterministic
   auto windows = make_windows(data, history + 1, /*stride=*/3, max_windows, rng);
   if (windows.empty()) return 0.0;
-  return model_.evaluate_top1(windows, history);
+  return nn::ReferenceBackend(model_).evaluate_top1(windows, history);
 }
 
 }  // namespace desh::core

@@ -17,9 +17,19 @@ std::string FailurePrediction::warning_message() const {
          " is expected to fail";
 }
 
+Phase3Predictor::Phase3Predictor(const nn::InferenceBackend& backend,
+                                 Phase3Config config)
+    : backend_(backend), config_(config) {
+  util::require(config_.min_position >= 1, "Phase3Predictor: min_position < 1");
+  util::require(config_.decision_position >= config_.min_position,
+                "Phase3Predictor: decision_position < min_position");
+}
+
 Phase3Predictor::Phase3Predictor(const nn::ChainModel& model,
                                  Phase3Config config)
-    : model_(model), config_(config) {
+    : owned_(std::make_shared<nn::ReferenceBackend>(model)),
+      backend_(*owned_),
+      config_(config) {
   util::require(config_.min_position >= 1, "Phase3Predictor: min_position < 1");
   util::require(config_.decision_position >= config_.min_position,
                 "Phase3Predictor: decision_position < min_position");
@@ -74,7 +84,7 @@ FailurePrediction Phase3Predictor::decide_at(
   // An earlier-than-default decision point (Fig 8 sweep) must also score
   // earlier positions, accepting the extra ambiguity of short contexts.
   const std::size_t min_pos = std::min(config_.min_position, k_eff);
-  return finalize(candidate, k_eff, model_.score_sequence(seq, min_pos));
+  return finalize(candidate, k_eff, backend_.score_sequence(seq, min_pos));
 }
 
 std::vector<FailurePrediction> Phase3Predictor::decide_batch(
@@ -102,7 +112,7 @@ std::vector<FailurePrediction> Phase3Predictor::decide_batch(
     group.reserve(indices.size());
     for (std::size_t i : indices) group.push_back(&seqs[i]);
     const std::vector<std::vector<nn::ChainStepScore>> scored =
-        model_.score_sequences(group, min_pos);
+        backend_.score_sequences(group, min_pos);
     for (std::size_t j = 0; j < indices.size(); ++j)
       out[indices[j]] = finalize(*candidates[indices[j]], k_eff, scored[j]);
   }

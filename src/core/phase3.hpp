@@ -5,6 +5,7 @@
 // node X located in Y is expected to fail".
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,7 +13,7 @@
 #include "chains/delta_time.hpp"
 #include "chains/extractor.hpp"
 #include "core/config.hpp"
-#include "nn/chain_model.hpp"
+#include "nn/inference_backend.hpp"
 
 namespace desh::core {
 
@@ -38,15 +39,26 @@ struct FailurePrediction {
 
 class Phase3Predictor {
  public:
+  /// Scores through any inference engine behind the pluggable seam —
+  /// reference, compiled or compiled+quantized are interchangeable here
+  /// (take one from DeshPipeline::make_backend). Borrows the backend.
+  Phase3Predictor(const nn::InferenceBackend& backend, Phase3Config config);
+
+  /// Deprecated shim, kept for one release: wraps `model` in an owned
+  /// nn::ReferenceBackend. Prefer the backend constructor.
+  [[deprecated(
+      "construct over an nn::InferenceBackend (e.g. "
+      "DeshPipeline::make_backend)")]]
   Phase3Predictor(const nn::ChainModel& model, Phase3Config config);
 
   /// Decision at the configured operating point.
   FailurePrediction decide(const chains::CandidateSequence& candidate) const;
 
   /// Batched decide over many candidates (one per node, in the serving
-  /// micro-batcher): candidates of equal length share one GEMM-wide LSTM
-  /// pass (ChainModel::score_sequences), so per-candidate cost amortizes
-  /// with batch width. out[i] is bit-identical to decide(*candidates[i]).
+  /// micro-batcher): candidates of equal length share one batched scoring
+  /// pass (InferenceBackend::score_sequences), so per-candidate cost
+  /// amortizes with batch width. out[i] is bit-identical to
+  /// decide(*candidates[i]) — every backend guarantees it.
   std::vector<FailurePrediction> decide_batch(
       std::span<const chains::CandidateSequence* const> candidates) const;
 
@@ -66,7 +78,10 @@ class Phase3Predictor {
                              std::size_t k_eff,
                              const std::vector<nn::ChainStepScore>& scores) const;
 
-  const nn::ChainModel& model_;
+  /// Non-null only when constructed through the deprecated model shim; keeps
+  /// the predictor copyable while the shimmed backend stays alive.
+  std::shared_ptr<const nn::InferenceBackend> owned_;
+  const nn::InferenceBackend& backend_;
   Phase3Config config_;
 };
 

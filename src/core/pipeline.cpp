@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "chains/delta_time.hpp"
+#include "compile/backend.hpp"
 #include "embed/skipgram.hpp"
 #include "nn/warm_start.hpp"
 #include "obs/catalog.hpp"
@@ -196,6 +197,21 @@ FitReport DeshPipeline::fit_impl(const logs::LogCorpus& train_corpus,
   return report;
 }
 
+Expected<std::shared_ptr<const nn::InferenceBackend>>
+DeshPipeline::make_backend(const CompileConfig& compile_config) const {
+  util::require(fitted_, "DeshPipeline::make_backend: fit() has not run");
+  const std::vector<std::string> violations = compile_config.validate();
+  if (!violations.empty()) {
+    std::string joined = "CompileConfig invalid:";
+    for (const std::string& v : violations) joined += "\n  " + v;
+    return Error{ErrorCode::kInvalidConfig, joined};
+  }
+  // Quantization calibrates against the phase-2 training chains: the same
+  // distribution phase 3 scores in production.
+  return compile::compile_backend(phase2_->model(), &phase1_->model(),
+                                  compile_config, training_chains_);
+}
+
 TestRun DeshPipeline::predict(const logs::LogCorpus& test_corpus) const {
   util::require(fitted_, "DeshPipeline::predict: fit() has not run");
   obs::TraceSpan span("pipeline.predict");
@@ -209,8 +225,11 @@ TestRun DeshPipeline::predict(const logs::LogCorpus& test_corpus) const {
 
   // Candidate scoring is embarrassingly parallel: decide() is const and each
   // result lands in its own slot, so the output order is always the
-  // candidate order regardless of thread count.
-  Phase3Predictor predictor(phase2_->model(), config_.phase3);
+  // candidate order regardless of thread count. Scoring goes through the
+  // engine DeshConfig::compile selects (reference by default).
+  std::shared_ptr<const nn::InferenceBackend> backend =
+      make_backend().value();
+  Phase3Predictor predictor(*backend, config_.phase3);
   run.predictions.resize(run.candidates.size());
   util::ThreadPool pool(config_.threads);
   util::Stopwatch score_timer;
@@ -228,7 +247,9 @@ std::vector<FailurePrediction> DeshPipeline::redecide(
     const std::vector<chains::CandidateSequence>& candidates,
     std::size_t decision_position) const {
   util::require(fitted_, "DeshPipeline::redecide: fit() has not run");
-  Phase3Predictor predictor(phase2_->model(), config_.phase3);
+  std::shared_ptr<const nn::InferenceBackend> backend =
+      make_backend().value();
+  Phase3Predictor predictor(*backend, config_.phase3);
   std::vector<FailurePrediction> out(candidates.size());
   util::ThreadPool pool(config_.threads);
   util::Stopwatch score_timer;

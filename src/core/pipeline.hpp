@@ -76,6 +76,22 @@ class DeshPipeline {
   FitReport fit(const logs::LogCorpus& train_corpus,
                 const DeshPipeline& warm_from);
 
+  /// Builds the inference engine `compile_config` selects over this
+  /// pipeline's trained models (nn/inference_backend.hpp): reference,
+  /// compiled, or compiled+quantized (calibrated against the reference
+  /// engine over training_chains()). Requires fit() first (precondition,
+  /// throws); config problems and calibration rejections come back as
+  /// Errors. The backend borrows the pipeline's models — it must not
+  /// outlive the pipeline, and a refit invalidates it.
+  [[nodiscard]] Expected<std::shared_ptr<const nn::InferenceBackend>>
+  make_backend(const CompileConfig& compile_config) const;
+  /// The engine DeshConfig::compile selects (predict/redecide score
+  /// through it).
+  [[nodiscard]] Expected<std::shared_ptr<const nn::InferenceBackend>>
+  make_backend() const {
+    return make_backend(config_.compile);
+  }
+
   /// Phase-3 inference over a raw test corpus. Requires fit() first.
   TestRun predict(const logs::LogCorpus& test_corpus) const;
 

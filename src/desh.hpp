@@ -19,6 +19,7 @@
 
 #include "adapt/controller.hpp"
 #include "adapt/registry.hpp"
+#include "compile/backend.hpp"
 #include "core/config.hpp"
 #include "core/expected.hpp"
 #include "core/monitor.hpp"
@@ -26,6 +27,7 @@
 #include "core/pipeline.hpp"
 #include "fleet/controller.hpp"
 #include "logs/record.hpp"
+#include "nn/inference_backend.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
@@ -43,6 +45,17 @@ using core::Expected;
 /// Full system configuration (phases 1-3, extractor, skip-gram);
 /// DeshConfig::validate() lists every violation with its field path.
 using core::DeshConfig;
+
+// --- inference engines -----------------------------------------------------
+/// Engine-neutral scoring seam every serving consumer (StreamingMonitor,
+/// serve::InferenceServer, adapt) goes through; implementations are the
+/// reference model walk and the compiled VM (DESIGN.md §15).
+using nn::InferenceBackend;
+/// Engine selection + quantization policy (DeshConfig::compile): reference,
+/// compiled, or compiled+quantized with a calibration accuracy gate.
+using core::BackendKind;
+using core::CompileConfig;
+using core::QuantMode;
 
 // --- the offline pipeline (phases 1-3, Figure 2) --------------------------
 /// End-to-end system façade: fit() on a training corpus, predict() on a

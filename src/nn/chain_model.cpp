@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "nn/inference_backend.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
 
@@ -35,13 +36,6 @@ float ChainModel::normalize_dt(double seconds) {
 
 double ChainModel::denormalize_dt(float norm) {
   return std::max(0.0, static_cast<double>(norm) * kDtScaleSeconds);
-}
-
-void ChainModel::build_input(const ChainStep& step, tensor::Matrix& x) const {
-  x.resize(1, 1 + config_.embed_dim);
-  x(0, 0) = step.dt_norm;
-  std::span<const float> v = embed_.vector(step.phrase);
-  for (std::size_t c = 0; c < config_.embed_dim; ++c) x(0, 1 + c) = v[c];
 }
 
 float ChainModel::train_batch(std::span<const ChainSequence> windows,
@@ -142,100 +136,27 @@ float ChainModel::forward_backward(std::span<const ChainSequence> windows) {
   return loss;
 }
 
+// Deprecated forwarding shims: the implementations moved verbatim into
+// nn::ReferenceBackend (inference_backend.cpp), so results stay bit-identical
+// through the shim for the one release it survives.
 std::vector<ChainStepScore> ChainModel::score_sequence(
     const ChainSequence& sequence, std::size_t min_pos) const {
-  min_pos = std::max<std::size_t>(min_pos, 1);
-  std::vector<ChainStepScore> out;
-  if (sequence.size() < min_pos + 1) return out;
+  return ReferenceBackend(*this).score_sequence(sequence, min_pos);
+}
 
-  // Windowed re-evaluation: position t is predicted from the up-to-`history`
-  // steps before it, starting from a fresh state — exactly the windows the
-  // model trained on (Table 5: history size 5, 1-step prediction).
-  std::vector<tensor::Matrix> hs, cs;
-  tensor::Matrix x, top, pred;
-  for (std::size_t t = min_pos; t < sequence.size(); ++t) {
-    const std::size_t ctx = std::min(t, config_.history);
-    stack_.make_state(hs, cs, 1);
-    for (std::size_t i = t - ctx; i < t; ++i) {
-      build_input(sequence[i], x);
-      stack_.step_inference(x, hs, cs, top);
-    }
-    head_.forward_inference(top, pred);
-    const ChainStep& actual = sequence[t];
-    ChainStepScore s;
-    s.position = t;
-    s.predicted_dt = static_cast<float>(denormalize_dt(pred(0, 0)));
-    std::span<const float> phrase_block(pred.data() + 1, config_.vocab_size);
-    s.predicted_phrase =
-        static_cast<std::uint32_t>(tensor::argmax(phrase_block));
-    const float dt_err = pred(0, 0) - actual.dt_norm;
-    s.score = config_.time_weight * dt_err * dt_err +
-              (s.predicted_phrase == actual.phrase ? 0.0f : 1.0f);
-    out.push_back(s);
-  }
-  return out;
+std::vector<ChainStepScore> ChainModel::score_sequence(
+    const ChainSequence& sequence) const {
+  return ReferenceBackend(*this).score_sequence(sequence, config_.history);
 }
 
 std::vector<std::vector<ChainStepScore>> ChainModel::score_sequences(
     std::span<const ChainSequence* const> sequences,
     std::size_t min_pos) const {
-  std::vector<std::vector<ChainStepScore>> out(sequences.size());
-  if (sequences.empty()) return out;
-  const std::size_t W = sequences.size();
-  if (W == 1) {
-    out[0] = score_sequence(*sequences[0], min_pos);
-    return out;
-  }
-  const std::size_t L = sequences.front()->size();
-  for (const ChainSequence* seq : sequences)
-    util::require(seq->size() == L,
-                  "ChainModel::score_sequences: ragged batch");
-  min_pos = std::max<std::size_t>(min_pos, 1);
-  if (L < min_pos + 1) return out;
-
-  const std::size_t E = config_.embed_dim;
-  const std::size_t V = config_.vocab_size;
-  std::vector<tensor::Matrix> hs, cs;
-  tensor::Matrix x, top, pred;
-  for (std::size_t t = min_pos; t < L; ++t) {
-    const std::size_t ctx = std::min(t, config_.history);
-    stack_.make_state(hs, cs, W);
-    for (std::size_t i = t - ctx; i < t; ++i) {
-      x.resize(W, 1 + E);
-      for (std::size_t w = 0; w < W; ++w) {
-        const ChainStep& step = (*sequences[w])[i];
-        float* row = x.data() + w * (1 + E);
-        row[0] = step.dt_norm;
-        std::span<const float> v = embed_.vector(step.phrase);
-        for (std::size_t c = 0; c < E; ++c) row[1 + c] = v[c];
-      }
-      stack_.step_inference(x, hs, cs, top);
-    }
-    head_.forward_inference(top, pred);  // W x (1 + V)
-    for (std::size_t w = 0; w < W; ++w) {
-      const float* pr = pred.data() + w * (1 + V);
-      const ChainStep& actual = (*sequences[w])[t];
-      ChainStepScore s;
-      s.position = t;
-      s.predicted_dt = static_cast<float>(denormalize_dt(pr[0]));
-      std::span<const float> phrase_block(pr + 1, V);
-      s.predicted_phrase =
-          static_cast<std::uint32_t>(tensor::argmax(phrase_block));
-      const float dt_err = pr[0] - actual.dt_norm;
-      s.score = config_.time_weight * dt_err * dt_err +
-                (s.predicted_phrase == actual.phrase ? 0.0f : 1.0f);
-      out[w].push_back(s);
-    }
-  }
-  return out;
+  return ReferenceBackend(*this).score_sequences(sequences, min_pos);
 }
 
 float ChainModel::sequence_mse(const ChainSequence& sequence) const {
-  const auto scores = score_sequence(sequence);
-  if (scores.empty()) return std::numeric_limits<float>::infinity();
-  double acc = 0;
-  for (const ChainStepScore& s : scores) acc += s.score;
-  return static_cast<float>(acc / static_cast<double>(scores.size()));
+  return ReferenceBackend(*this).sequence_mse(sequence);
 }
 
 ParameterList ChainModel::parameters() {

@@ -70,30 +70,21 @@ class ChainModel {
   /// engine (nn/data_parallel).
   float forward_backward(std::span<const ChainSequence> windows);
 
-  /// Slides over `sequence` statefully; emits one score per position t in
-  /// [min_pos, size) comparing the prediction from steps [0, t) against the
-  /// actual step t. `min_pos` defaults to the configured history (the
-  /// paper's operating point); the Fig 8 sensitivity study lowers it to
-  /// trade earlier (longer-lead) flags against more false positives.
-  /// Empty result when the sequence is shorter than min_pos+1.
+  /// Deprecated forwarding shims, kept for one release: windowed scoring
+  /// moved behind the pluggable inference seam (nn/inference_backend.hpp).
+  /// Construct an nn::ReferenceBackend over this model — or take a backend
+  /// from core::DeshPipeline::make_backend so compiled/quantized engines
+  /// stay interchangeable — instead of scoring through the concrete class.
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
   std::vector<ChainStepScore> score_sequence(const ChainSequence& sequence,
                                              std::size_t min_pos) const;
-  std::vector<ChainStepScore> score_sequence(const ChainSequence& sequence) const {
-    return score_sequence(sequence, config_.history);
-  }
-
-  /// Batched score_sequence over W equally long sequences: each LSTM step
-  /// and the output head run once as a W-row GEMM instead of W separate
-  /// matrix-vector passes, so per-window cost amortizes with batch width.
-  /// GEMM rows are computed independently and in the same accumulation
-  /// order as the 1-row case, so out[w] is bit-identical to
-  /// score_sequence(*sequences[w], min_pos) — the serving micro-batcher
-  /// relies on this for its replay-equivalence guarantee.
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
+  std::vector<ChainStepScore> score_sequence(const ChainSequence& sequence) const;
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
   std::vector<std::vector<ChainStepScore>> score_sequences(
       std::span<const ChainSequence* const> sequences,
       std::size_t min_pos) const;
-
-  /// Mean match score over the scored positions; +inf if nothing scored.
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
   float sequence_mse(const ChainSequence& sequence) const;
 
   /// deltaT normalization: seconds -> ~[0,1] and back. Shared with training
@@ -102,6 +93,11 @@ class ChainModel {
   static double denormalize_dt(float norm);
 
   Embedding& embedding() { return embed_; }
+  /// Read-only component views for the inference backends (the reference
+  /// backend walks them step by step; the compiler re-packs their weights).
+  const Embedding& embedding() const { return embed_; }
+  const LstmStack& stack() const { return stack_; }
+  const Dense& head() const { return head_; }
   const ChainModelConfig& config() const { return config_; }
   ParameterList parameters();
   ConstParameterList parameters() const;
@@ -111,8 +107,6 @@ class ChainModel {
   Embedding embed_;
   LstmStack stack_;
   Dense head_;  // hidden -> 1 + vocab (dt block | phrase block)
-
-  void build_input(const ChainStep& step, tensor::Matrix& x) const;
 };
 
 }  // namespace desh::nn

@@ -21,6 +21,9 @@ class Dense {
 
   std::size_t in_features() const { return w_.value.rows(); }
   std::size_t out_features() const { return w_.value.cols(); }
+  /// Read-only weight views for the model compiler's weight pre-packing.
+  const tensor::Matrix& weight() const { return w_.value; }
+  const tensor::Matrix& bias() const { return b_.value; }
   ParameterList parameters();
 
  private:

@@ -1,0 +1,220 @@
+#include "nn/inference_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace desh::nn {
+
+namespace {
+
+// Historic ChainModel::build_input, moved here with the scoring walk: one
+// timestep row is [dt_norm | embed(phrase)] of width 1+E.
+void build_chain_input(const Embedding& embed, std::size_t embed_dim,
+                       const ChainStep& step, tensor::Matrix& x) {
+  x.resize(1, 1 + embed_dim);
+  x(0, 0) = step.dt_norm;
+  std::span<const float> v = embed.vector(step.phrase);
+  for (std::size_t c = 0; c < embed_dim; ++c) x(0, 1 + c) = v[c];
+}
+
+}  // namespace
+
+float InferenceBackend::sequence_mse(const ChainSequence& sequence) const {
+  const std::vector<ChainStepScore> scores = score_sequence(sequence);
+  if (scores.empty()) return std::numeric_limits<float>::infinity();
+  double acc = 0.0;
+  for (const ChainStepScore& s : scores) acc += static_cast<double>(s.score);
+  return static_cast<float>(acc / static_cast<double>(scores.size()));
+}
+
+const ChainModel& ReferenceBackend::chain() const {
+  util::require(chain_ != nullptr,
+                "ReferenceBackend: no chain model attached");
+  return *chain_;
+}
+
+const PhraseModel& ReferenceBackend::phrase() const {
+  util::require(phrase_ != nullptr,
+                "ReferenceBackend: no phrase model attached");
+  return *phrase_;
+}
+
+const ChainModelConfig& ReferenceBackend::chain_config() const {
+  return chain().config();
+}
+
+std::vector<ChainStepScore> ReferenceBackend::score_sequence(
+    const ChainSequence& sequence, std::size_t min_pos) const {
+  const ChainModel& model = chain();
+  const ChainModelConfig& config = model.config();
+  min_pos = std::max<std::size_t>(min_pos, 1);
+  std::vector<ChainStepScore> out;
+  if (sequence.size() < min_pos + 1) return out;
+
+  std::vector<tensor::Matrix> hs, cs;
+  tensor::Matrix x, top, pred;
+  for (std::size_t t = min_pos; t < sequence.size(); ++t) {
+    // Fresh state per scored position: the context window is the last
+    // `history` steps only, exactly as during training.
+    const std::size_t ctx = std::min(t, config.history);
+    model.stack().make_state(hs, cs, 1);
+    for (std::size_t i = t - ctx; i < t; ++i) {
+      build_chain_input(model.embedding(), config.embed_dim, sequence[i], x);
+      model.stack().step_inference(x, hs, cs, top);
+    }
+    model.head().forward_inference(top, pred);
+
+    const ChainStep& actual = sequence[t];
+    ChainStepScore s;
+    s.position = t;
+    s.predicted_dt =
+        static_cast<float>(ChainModel::denormalize_dt(pred(0, 0)));
+    std::span<const float> phrase_block(pred.data() + 1, config.vocab_size);
+    s.predicted_phrase =
+        static_cast<std::uint32_t>(tensor::argmax(phrase_block));
+    const float dt_err = pred(0, 0) - actual.dt_norm;
+    s.score = config.time_weight * dt_err * dt_err +
+              (s.predicted_phrase == actual.phrase ? 0.0f : 1.0f);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::vector<ChainStepScore>> ReferenceBackend::score_sequences(
+    std::span<const ChainSequence* const> sequences,
+    std::size_t min_pos) const {
+  const ChainModel& model = chain();
+  const ChainModelConfig& config = model.config();
+  std::vector<std::vector<ChainStepScore>> out(sequences.size());
+  if (sequences.empty()) return out;
+  const std::size_t W = sequences.size();
+  if (W == 1) {
+    out[0] = score_sequence(*sequences[0], min_pos);
+    return out;
+  }
+  const std::size_t L = sequences.front()->size();
+  for (const ChainSequence* seq : sequences)
+    util::require(seq->size() == L,
+                  "ChainModel::score_sequences: ragged batch");
+  min_pos = std::max<std::size_t>(min_pos, 1);
+  if (L < min_pos + 1) return out;
+
+  const std::size_t E = config.embed_dim;
+  const std::size_t V = config.vocab_size;
+  std::vector<tensor::Matrix> hs, cs;
+  tensor::Matrix x, top, pred;
+  for (std::size_t t = min_pos; t < L; ++t) {
+    const std::size_t ctx = std::min(t, config.history);
+    model.stack().make_state(hs, cs, W);
+    for (std::size_t i = t - ctx; i < t; ++i) {
+      x.resize(W, 1 + E);
+      for (std::size_t w = 0; w < W; ++w) {
+        const ChainStep& step = (*sequences[w])[i];
+        float* row = x.data() + w * (1 + E);
+        row[0] = step.dt_norm;
+        std::span<const float> v = model.embedding().vector(step.phrase);
+        for (std::size_t c = 0; c < E; ++c) row[1 + c] = v[c];
+      }
+      model.stack().step_inference(x, hs, cs, top);
+    }
+    model.head().forward_inference(top, pred);  // W x (1 + V)
+    for (std::size_t w = 0; w < W; ++w) {
+      const float* pr = pred.data() + w * (1 + V);
+      const ChainStep& actual = (*sequences[w])[t];
+      ChainStepScore s;
+      s.position = t;
+      s.predicted_dt = static_cast<float>(ChainModel::denormalize_dt(pr[0]));
+      std::span<const float> phrase_block(pr + 1, V);
+      s.predicted_phrase =
+          static_cast<std::uint32_t>(tensor::argmax(phrase_block));
+      const float dt_err = pr[0] - actual.dt_norm;
+      s.score = config.time_weight * dt_err * dt_err +
+                (s.predicted_phrase == actual.phrase ? 0.0f : 1.0f);
+      out[w].push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<float> ReferenceBackend::predict_distribution(
+    std::span<const std::uint32_t> prefix) const {
+  const PhraseModel& model = phrase();
+  util::require(!prefix.empty(),
+                "PhraseModel::predict_distribution: empty prefix");
+  std::vector<tensor::Matrix> hs, cs;
+  model.stack().make_state(hs, cs, 1);
+  tensor::Matrix x, top;
+  for (std::uint32_t id : prefix) {
+    model.embedding().forward_inference(std::span<const std::uint32_t>(&id, 1),
+                                        x);
+    model.stack().step_inference(x, hs, cs, top);
+  }
+  tensor::Matrix logits, probs;
+  model.head().forward_inference(top, logits);
+  tensor::softmax_rows(logits, probs);
+  return std::vector<float>(probs.data(), probs.data() + probs.size());
+}
+
+std::vector<std::uint32_t> ReferenceBackend::predict_steps(
+    std::span<const std::uint32_t> prefix, std::size_t steps) const {
+  const PhraseModel& model = phrase();
+  util::require(!prefix.empty() && steps >= 1,
+                "PhraseModel::predict_steps: need prefix and steps >= 1");
+  std::vector<tensor::Matrix> hs, cs;
+  model.stack().make_state(hs, cs, 1);
+  tensor::Matrix x, top, logits;
+  for (std::uint32_t id : prefix) {
+    model.embedding().forward_inference(std::span<const std::uint32_t>(&id, 1),
+                                        x);
+    model.stack().step_inference(x, hs, cs, top);
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    model.head().forward_inference(top, logits);
+    const std::uint32_t next =
+        static_cast<std::uint32_t>(tensor::argmax(logits.row(0)));
+    out.push_back(next);
+    if (s + 1 < steps) {
+      model.embedding().forward_inference(
+          std::span<const std::uint32_t>(&next, 1), x);
+      model.stack().step_inference(x, hs, cs, top);
+    }
+  }
+  return out;
+}
+
+double ReferenceBackend::evaluate_topg(
+    std::span<const std::vector<std::uint32_t>> windows, std::size_t history,
+    std::size_t g) const {
+  const PhraseModel& model = phrase();
+  util::require(g >= 1, "PhraseModel::evaluate_topg: g must be >= 1");
+  if (windows.empty()) return 0.0;
+  std::size_t hits = 0;
+  std::vector<tensor::Matrix> hs, cs;
+  tensor::Matrix x, top, logits;
+  for (const std::vector<std::uint32_t>& window : windows) {
+    util::require(window.size() > history,
+                  "PhraseModel::evaluate_topg: window shorter than history+1");
+    model.stack().make_state(hs, cs, 1);
+    for (std::size_t t = 0; t < history; ++t) {
+      model.embedding().forward_inference(
+          std::span<const std::uint32_t>(&window[t], 1), x);
+      model.stack().step_inference(x, hs, cs, top);
+    }
+    model.head().forward_inference(top, logits);
+    const std::vector<std::size_t> best = tensor::topk(
+        logits.row(0), std::min<std::size_t>(g, model.config().vocab_size));
+    if (std::find(best.begin(), best.end(),
+                  static_cast<std::size_t>(window[history])) != best.end())
+      ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(windows.size());
+}
+
+}  // namespace desh::nn

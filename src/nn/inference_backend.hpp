@@ -1,0 +1,129 @@
+// nn::InferenceBackend: the pluggable inference seam of Desh.
+//
+// Before this interface existed, StreamingMonitor, serve::InferenceServer,
+// adapt's shadow evaluation and every test/bench reached into the concrete
+// model classes (ChainModel::score_sequence, PhraseModel::evaluate_topg,
+// the streaming batched-scoring path) — three near-duplicate forward walks
+// with no seam to swap the engine underneath. The seam matters because the
+// engine is now interchangeable: the reference backend walks the nn graph
+// step by step, while src/compile lowers the same fixed-shape graph into a
+// flat op program run by a register VM (optionally with int8/int16 weight
+// quantization). Quantization and kernel specialization change numerics, so
+// the engines must be *comparable* — a backend is chosen per shard via
+// core::CompileConfig and the compiled engines are gated against this
+// reference by an explicit accuracy-delta calibration pass.
+//
+// Contracts every backend must honor:
+//  - score_sequences(W rows) is bit-identical per row to W score_sequence
+//    calls — the serving micro-batcher's replay-equivalence guarantee;
+//  - all methods are const and thread-safe (scratch state is per call);
+//  - the reference backend reproduces the historical ChainModel/PhraseModel
+//    results bit-exactly (the implementations moved here verbatim).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "nn/chain_model.hpp"
+#include "nn/phrase_model.hpp"
+
+namespace desh::nn {
+
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+
+  /// Engine identifier: "reference", "compiled" or "compiled+quantized".
+  virtual std::string_view name() const = 0;
+
+  // --- failure-chain scoring (phases 2/3, the serving hot path) ----------
+
+  /// Slides over `sequence` statefully; emits one score per position t in
+  /// [min_pos, size) comparing the prediction from steps [0, t) against the
+  /// actual step t. Empty result when the sequence is shorter than
+  /// min_pos+1. See ChainModel's header for the score semantics.
+  virtual std::vector<ChainStepScore> score_sequence(
+      const ChainSequence& sequence, std::size_t min_pos) const = 0;
+  /// min_pos defaults to the model's configured history (the paper's
+  /// operating point).
+  std::vector<ChainStepScore> score_sequence(
+      const ChainSequence& sequence) const {
+    return score_sequence(sequence, chain_config().history);
+  }
+
+  /// Batched score_sequence over W equally long sequences. out[w] must be
+  /// bit-identical to score_sequence(*sequences[w], min_pos) — serving
+  /// replay equivalence rides on this.
+  virtual std::vector<std::vector<ChainStepScore>> score_sequences(
+      std::span<const ChainSequence* const> sequences,
+      std::size_t min_pos) const = 0;
+
+  /// Mean match score over the scored positions; +inf if nothing scored.
+  float sequence_mse(const ChainSequence& sequence) const;
+
+  /// Shape/operating-point view of the chain model this backend serves.
+  virtual const ChainModelConfig& chain_config() const = 0;
+
+  // --- phrase language model (phase 1, shadow eval, DeepLog baseline) ----
+
+  /// Probability distribution over the next phrase given a prefix.
+  virtual std::vector<float> predict_distribution(
+      std::span<const std::uint32_t> prefix) const = 0;
+  /// Greedy autoregressive continuation of `steps` phrases (Fig 10).
+  virtual std::vector<std::uint32_t> predict_steps(
+      std::span<const std::uint32_t> prefix, std::size_t steps) const = 0;
+  /// Fraction of windows whose next token is within the top-g predictions —
+  /// DeepLog's normality criterion.
+  virtual double evaluate_topg(
+      std::span<const std::vector<std::uint32_t>> windows, std::size_t history,
+      std::size_t g) const = 0;
+  /// Fraction of windows whose next token is the argmax prediction.
+  double evaluate_top1(std::span<const std::vector<std::uint32_t>> windows,
+                       std::size_t history) const {
+    return evaluate_topg(windows, history, 1);
+  }
+};
+
+/// The reference engine: walks the nn graph exactly as the concrete model
+/// classes historically did (the implementations moved here verbatim), so
+/// its results are the bit-exact baseline every compiled engine is gated
+/// against. Borrows the models; either may be absent (nullptr) when the
+/// caller only uses the other surface — calling a surface whose model is
+/// missing is a precondition violation (util::InvalidArgument).
+class ReferenceBackend final : public InferenceBackend {
+ public:
+  explicit ReferenceBackend(const ChainModel& chain)
+      : chain_(&chain) {}
+  explicit ReferenceBackend(const PhraseModel& phrase)
+      : phrase_(&phrase) {}
+  ReferenceBackend(const ChainModel* chain, const PhraseModel* phrase)
+      : chain_(chain), phrase_(phrase) {}
+
+  std::string_view name() const override { return "reference"; }
+
+  using InferenceBackend::score_sequence;
+  std::vector<ChainStepScore> score_sequence(
+      const ChainSequence& sequence, std::size_t min_pos) const override;
+  std::vector<std::vector<ChainStepScore>> score_sequences(
+      std::span<const ChainSequence* const> sequences,
+      std::size_t min_pos) const override;
+  const ChainModelConfig& chain_config() const override;
+
+  std::vector<float> predict_distribution(
+      std::span<const std::uint32_t> prefix) const override;
+  std::vector<std::uint32_t> predict_steps(
+      std::span<const std::uint32_t> prefix, std::size_t steps) const override;
+  double evaluate_topg(std::span<const std::vector<std::uint32_t>> windows,
+                       std::size_t history, std::size_t g) const override;
+
+ private:
+  const ChainModel& chain() const;
+  const PhraseModel& phrase() const;
+
+  const ChainModel* chain_ = nullptr;
+  const PhraseModel* phrase_ = nullptr;
+};
+
+}  // namespace desh::nn

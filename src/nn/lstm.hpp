@@ -52,6 +52,13 @@ class LstmLayer {
   std::size_t hidden_size() const { return wh_.value.rows(); }
   ParameterList parameters();
 
+  /// Read-only weight views for the load-time model compiler (src/compile):
+  /// the emitter re-packs these into its fused-kernel layout, so it needs
+  /// the raw I x 4H / H x 4H / 1 x 4H blocks (gate order i, f, g, o).
+  const tensor::Matrix& wx() const { return wx_.value; }
+  const tensor::Matrix& wh() const { return wh_.value; }
+  const tensor::Matrix& bias() const { return b_.value; }
+
  private:
   Parameter wx_;  // I x 4H
   Parameter wh_;  // H x 4H
@@ -92,6 +99,8 @@ class LstmStack {
   std::size_t num_layers() const { return layers_.size(); }
   std::size_t hidden_size() const { return layers_.front().hidden_size(); }
   std::size_t input_size() const { return layers_.front().input_size(); }
+  /// Read-only per-layer access for the model compiler's weight pre-packing.
+  const LstmLayer& layer(std::size_t l) const { return layers_[l]; }
   ParameterList parameters();
 
  private:

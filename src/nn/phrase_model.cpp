@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/inference_backend.hpp"
 #include "nn/loss.hpp"
 
 #include "tensor/ops.hpp"
@@ -97,79 +98,29 @@ float PhraseModel::forward_backward(
   return loss;
 }
 
+// Deprecated forwarding shims: the implementations moved verbatim into
+// nn::ReferenceBackend (inference_backend.cpp), so results stay bit-identical
+// through the shim for the one release it survives.
 std::vector<float> PhraseModel::predict_distribution(
     std::span<const std::uint32_t> prefix) const {
-  util::require(!prefix.empty(), "PhraseModel::predict_distribution: empty prefix");
-  std::vector<tensor::Matrix> hs, cs;
-  stack_.make_state(hs, cs, 1);
-  tensor::Matrix x, top;
-  for (std::uint32_t id : prefix) {
-    embed_.forward_inference(std::span(&id, 1), x);
-    stack_.step_inference(x, hs, cs, top);
-  }
-  tensor::Matrix logits;
-  head_.forward_inference(top, logits);
-  tensor::Matrix probs;
-  tensor::softmax_rows(logits, probs);
-  return {probs.data(), probs.data() + probs.size()};
+  return ReferenceBackend(*this).predict_distribution(prefix);
 }
 
 std::vector<std::uint32_t> PhraseModel::predict_steps(
     std::span<const std::uint32_t> prefix, std::size_t steps) const {
-  util::require(!prefix.empty() && steps >= 1,
-                "PhraseModel::predict_steps: need prefix and steps >= 1");
-  std::vector<tensor::Matrix> hs, cs;
-  stack_.make_state(hs, cs, 1);
-  tensor::Matrix x, top;
-  for (std::uint32_t id : prefix) {
-    embed_.forward_inference(std::span(&id, 1), x);
-    stack_.step_inference(x, hs, cs, top);
-  }
-  std::vector<std::uint32_t> out;
-  out.reserve(steps);
-  tensor::Matrix logits;
-  for (std::size_t s = 0; s < steps; ++s) {
-    head_.forward_inference(top, logits);
-    const auto next =
-        static_cast<std::uint32_t>(tensor::argmax(logits.row(0)));
-    out.push_back(next);
-    if (s + 1 < steps) {
-      embed_.forward_inference(std::span(&next, 1), x);
-      stack_.step_inference(x, hs, cs, top);
-    }
-  }
-  return out;
+  return ReferenceBackend(*this).predict_steps(prefix, steps);
 }
 
 double PhraseModel::evaluate_top1(
     std::span<const std::vector<std::uint32_t>> windows,
     std::size_t history) const {
-  return evaluate_topg(windows, history, 1);
+  return ReferenceBackend(*this).evaluate_top1(windows, history);
 }
 
 double PhraseModel::evaluate_topg(
     std::span<const std::vector<std::uint32_t>> windows, std::size_t history,
     std::size_t g) const {
-  util::require(g >= 1, "PhraseModel::evaluate_topg: g must be >= 1");
-  if (windows.empty()) return 0.0;
-  std::size_t hits = 0, total = 0;
-  std::vector<tensor::Matrix> hs, cs;
-  tensor::Matrix x, top, logits;
-  for (const auto& window : windows) {
-    util::require(window.size() > history,
-                  "PhraseModel::evaluate_topg: window shorter than history+1");
-    stack_.make_state(hs, cs, 1);
-    for (std::size_t t = 0; t < history; ++t) {
-      embed_.forward_inference(std::span(&window[t], 1), x);
-      stack_.step_inference(x, hs, cs, top);
-    }
-    head_.forward_inference(top, logits);
-    const auto best = tensor::topk(logits.row(0), std::min(g, config_.vocab_size));
-    const std::uint32_t actual = window[history];
-    if (std::find(best.begin(), best.end(), actual) != best.end()) ++hits;
-    ++total;
-  }
-  return static_cast<double>(hits) / static_cast<double>(total);
+  return ReferenceBackend(*this).evaluate_topg(windows, history, g);
 }
 
 ParameterList PhraseModel::parameters() {

@@ -42,24 +42,28 @@ class PhraseModel {
   float forward_backward(std::span<const std::vector<std::uint32_t>> windows,
                          std::size_t steps);
 
-  /// Probability distribution over the next phrase given a prefix.
+  /// Deprecated forwarding shims, kept for one release: the inference
+  /// surface moved behind nn::InferenceBackend (nn/inference_backend.hpp);
+  /// construct an nn::ReferenceBackend over this model instead.
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
   std::vector<float> predict_distribution(
       std::span<const std::uint32_t> prefix) const;
-
-  /// Greedy autoregressive continuation of `steps` phrases (Fig 10 workload).
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
   std::vector<std::uint32_t> predict_steps(
       std::span<const std::uint32_t> prefix, std::size_t steps) const;
-
-  /// Fraction of windows whose next token is the argmax prediction.
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
   double evaluate_top1(std::span<const std::vector<std::uint32_t>> windows,
                        std::size_t history) const;
-  /// Fraction of windows whose next token is within the top-g predictions —
-  /// DeepLog's normality criterion.
+  [[deprecated("score through nn::InferenceBackend (nn/inference_backend.hpp)")]]
   double evaluate_topg(std::span<const std::vector<std::uint32_t>> windows,
                        std::size_t history, std::size_t g) const;
 
   /// Direct access for pre-trained skip-gram vectors (Sec 3.1).
   Embedding& embedding() { return embed_; }
+  /// Read-only component views for the inference backends.
+  const Embedding& embedding() const { return embed_; }
+  const LstmStack& stack() const { return stack_; }
+  const Dense& head() const { return head_; }
 
   const PhraseModelConfig& config() const { return config_; }
   ParameterList parameters();

@@ -245,6 +245,39 @@ inline constexpr MetricDef kFleetAtRiskNodes{
     "Nodes with an unexpired failure alert fleet-wide, sampled at each "
     "health() call"};
 
+// --- model compiler (desh::compile) ---------------------------------------
+inline constexpr MetricDef kCompileProgramsTotal{
+    "desh_compile_programs_total", "counter", "programs",
+    "Op programs emitted by the model compiler (compile_backend calls that "
+    "lowered a model)"};
+inline constexpr MetricDef kCompileQuantizedTotal{
+    "desh_compile_quantized_total", "counter", "programs",
+    "Emitted programs that applied int8/int16 weight quantization"};
+inline constexpr MetricDef kCompileEmitSeconds{
+    "desh_compile_emit_seconds", "histogram", "seconds",
+    "Wall time of one emit_program lowering (weight re-pack + quantize + "
+    "op emission)"};
+inline constexpr MetricDef kCompileCalibrationSeconds{
+    "desh_compile_calibration_seconds", "histogram", "seconds",
+    "Wall time of one quantization calibration pass (reference vs quantized "
+    "replay over the calibration sequences)"};
+inline constexpr MetricDef kCompileCalibrationDelta{
+    "desh_compile_calibration_delta", "gauge", "score",
+    "Mean absolute per-step score delta (quantized vs reference) measured "
+    "by the most recent calibration pass"};
+inline constexpr MetricDef kCompileCalibrationRejectsTotal{
+    "desh_compile_calibration_rejects_total", "counter", "programs",
+    "Quantized programs rejected by the accuracy-delta gate (fell back to "
+    "fp32 compiled or failed compilation)"};
+inline constexpr MetricDef kCompileProgramOps{
+    "desh_compile_program_ops", "gauge", "ops",
+    "Op count (reset + step + head lists) of the most recently emitted "
+    "program"};
+inline constexpr MetricDef kCompilePackedBytes{
+    "desh_compile_packed_bytes", "gauge", "bytes",
+    "Packed parameter bytes (weights + scales + biases + embedding) of the "
+    "most recently emitted program"};
+
 /// Everything above, for exhaustive iteration (docs test, exporters demo).
 inline constexpr const MetricDef* kCatalog[] = {
     &kTrainStepsTotal,      &kTrainGradClipTotal,  &kTrainStepSeconds,
@@ -272,6 +305,10 @@ inline constexpr const MetricDef* kCatalog[] = {
     &kFleetShardsActive,    &kFleetRoutedTotal,    &kFleetReroutedTotal,
     &kFleetDrainsTotal,     &kFleetRestartsTotal,  &kFleetReloadsTotal,
     &kFleetReloadRollbacksTotal, &kFleetSubmitSeconds, &kFleetAtRiskNodes,
+    &kCompileProgramsTotal, &kCompileQuantizedTotal, &kCompileEmitSeconds,
+    &kCompileCalibrationSeconds, &kCompileCalibrationDelta,
+    &kCompileCalibrationRejectsTotal, &kCompileProgramOps,
+    &kCompilePackedBytes,
 };
 
 }  // namespace desh::obs

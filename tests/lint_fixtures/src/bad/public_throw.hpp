@@ -1,0 +1,13 @@
+// Seeds the NON-WAIVABLE public-throw rule: a header is a public entry
+// point, so a `throw` in one bypasses the core::Expected taxonomy. The
+// throw-discipline waiver below IS honored (that rule stays waivable); the
+// public-throw waiver is IGNORED — the finding the fixture test pins is
+// proof that a header cannot opt out.
+#pragma once
+
+#include <stdexcept>
+
+inline void public_fixture_throwing() {
+  // desh-lint: allow(throw-discipline) desh-lint: allow(public-throw)
+  throw std::runtime_error("headers must report failures as core::Expected");
+}

@@ -1,0 +1,412 @@
+// src/compile contract tests: CompileConfig field-path validation (incl. the
+// DeshConfig cross-section constraints), the op-program text format (golden
+// file + bit-exact round trip + total error reporting), the quantization
+// codec's fuzzed error bound, compiled-vs-reference agreement tolerances,
+// the calibration gate, and compiled serve-vs-observe replay equivalence at
+// 1 and 8 monitor threads (label `sanitize` — the threaded half).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compile/backend.hpp"
+#include "compile/emitter.hpp"
+#include "compile/program.hpp"
+#include "compile/quant.hpp"
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "logs/generator.hpp"
+#include "util/rng.hpp"
+
+#ifndef DESH_SOURCE_DIR
+#define DESH_SOURCE_DIR "."
+#endif
+
+namespace desh::compile {
+namespace {
+
+bool contains(const std::vector<std::string>& msgs, const std::string& part) {
+  for (const std::string& m : msgs)
+    if (m.find(part) != std::string::npos) return true;
+  return false;
+}
+
+// --- CompileConfig validation ---------------------------------------------
+
+TEST(CompileConfig, ValidDefaultsProduceNoViolations) {
+  EXPECT_TRUE(core::CompileConfig{}.validate().empty());
+  core::CompileConfig quantized;
+  quantized.backend = core::BackendKind::kCompiled;
+  quantized.quant = core::QuantMode::kInt8;
+  EXPECT_TRUE(quantized.validate().empty());
+}
+
+TEST(CompileConfig, ViolationsNameTheFieldPath) {
+  core::CompileConfig c;
+  c.quant = core::QuantMode::kInt8;  // backend left at reference
+  c.calibration_records = 0;
+  c.max_accuracy_delta = -0.5;
+  const auto msgs = c.validate();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_TRUE(contains(msgs, "compile.quant: "));
+  EXPECT_TRUE(contains(msgs, "compile.backend = compiled"));
+  EXPECT_TRUE(contains(msgs, "compile.calibration_records: "));
+  EXPECT_TRUE(contains(msgs, "compile.max_accuracy_delta: "));
+  // The prefix flows through, so ServeConfig/MonitorConfig reuse reports
+  // the full path ("serve.monitor.compile.quant").
+  EXPECT_TRUE(contains(c.validate("serve.monitor.compile"),
+                       "serve.monitor.compile.quant: "));
+}
+
+TEST(CompileConfig, DeshConfigCrossSectionNamesBothFieldPaths) {
+  core::DeshConfig config;
+  config.compile.backend = core::BackendKind::kCompiled;
+  config.compile.quant = core::QuantMode::kInt16;
+  config.compile.calibration_records = config.adapt.min_replay_records + 1;
+  const auto msgs = config.validate();
+  EXPECT_TRUE(contains(msgs, "compile.calibration_records: "));
+  EXPECT_TRUE(contains(msgs, "adapt.min_replay_records"));
+  // Exceed both bounds: each constraint reports separately.
+  config.compile.calibration_records = config.adapt.replay_capacity + 1;
+  const auto both = config.validate();
+  EXPECT_TRUE(contains(both, "adapt.replay_capacity"));
+  EXPECT_TRUE(contains(both, "adapt.min_replay_records"));
+  // Reference backend never triggers the cross-section constraints.
+  config.compile = core::CompileConfig{};
+  EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(CompileConfig, MonitorConfigIncludesCompileViolations) {
+  core::MonitorConfig monitor;
+  monitor.compile.quant = core::QuantMode::kInt8;  // backend = reference
+  EXPECT_TRUE(contains(monitor.validate(), "monitor.compile.quant: "));
+}
+
+// --- program text format ---------------------------------------------------
+
+/// Hand-built program with fixed constants: byte-stable on every platform
+/// (no training, no libm), which is what makes the golden file meaningful.
+Program tiny_program() {
+  Program p;
+  p.quant = core::QuantMode::kNone;
+  p.embed_dim = 2;
+  p.input_width = 3;
+  p.hidden = 2;
+  p.num_layers = 1;
+  p.vocab = 3;
+  p.head_out = 4;
+  p.history = 2;
+  p.time_weight = 0.25f;
+  p.embed = {0.5f, -0.5f, 0.125f, -0.125f, 1.0f, -1.0f};
+  PackedLayer layer;
+  layer.in_width = 3;  // layer 0's input = program input_width
+  layer.hidden = 2;
+  layer.rows.resize(5 * 4 * 2);  // (in_width + hidden) rows of 4H
+  for (std::size_t i = 0; i < layer.rows.size(); ++i)
+    layer.rows[i] = 0.0625f * static_cast<float>(i % 7) - 0.125f;
+  layer.bias.assign(4 * 2, 0.5f);
+  p.layers.push_back(layer);
+  p.head.in_width = 2;
+  p.head.out_width = 4;
+  p.head.rows.resize(2 * 4);  // in_width rows of out_width
+  for (std::size_t i = 0; i < p.head.rows.size(); ++i)
+    p.head.rows[i] = 0.25f * static_cast<float>(i) - 1.0f;
+  p.head.bias.assign(4, -0.25f);
+  p.reset_ops = {{OpCode::kResetState, 0}};
+  p.step_ops = {{OpCode::kLoadInput, 0}, {OpCode::kLstmStepF32, 0}};
+  p.head_ops = {{OpCode::kHeadF32, 0}};
+  return p;
+}
+
+TEST(Program, GoldenFileRoundTrip) {
+  const std::string path =
+      std::string(DESH_SOURCE_DIR) + "/tests/golden/compile_program_v1.txt";
+  std::ifstream is(path);
+  ASSERT_TRUE(is) << "missing golden file " << path;
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const std::string golden = buffer.str();
+
+  // The hand-built program serializes byte-identically to the checked-in
+  // golden — any drift in the text format is a persistence break and must
+  // bump the format version instead.
+  EXPECT_EQ(tiny_program().to_text(), golden);
+
+  // And the golden parses back to a program that re-serializes to itself.
+  core::Expected<Program> parsed = Program::from_text(golden);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().to_text(), golden);
+  EXPECT_EQ(parsed.value().num_ops(), 4u);
+  EXPECT_EQ(parsed.value().hidden, 2u);
+}
+
+TEST(Program, RoundTripIsBitExactForEveryQuantMode) {
+  for (const core::QuantMode mode :
+       {core::QuantMode::kNone, core::QuantMode::kInt8,
+        core::QuantMode::kInt16}) {
+    Program p = tiny_program();
+    if (mode != core::QuantMode::kNone) {
+      p.quant = mode;
+      // Re-encode every packed section through the codec under test — the
+      // quant mode is program-wide (layers and head alike).
+      const auto encode = [mode](auto& packed, std::size_t row_count,
+                                 std::size_t width) {
+        packed.scales.resize(row_count);
+        if (mode == core::QuantMode::kInt8)
+          packed.q8.resize(row_count * width);
+        else
+          packed.q16.resize(row_count * width);
+        for (std::size_t r = 0; r < row_count; ++r) {
+          std::span<const float> row(packed.rows.data() + r * width, width);
+          packed.scales[r] =
+              mode == core::QuantMode::kInt8
+                  ? quantize_row(row, std::span<std::int8_t>(
+                                          packed.q8.data() + r * width, width))
+                  : quantize_row(row,
+                                 std::span<std::int16_t>(
+                                     packed.q16.data() + r * width, width));
+        }
+        packed.rows.clear();
+      };
+      for (PackedLayer& layer : p.layers)
+        encode(layer, layer.in_width + layer.hidden, 4 * layer.hidden);
+      encode(p.head, p.head.in_width, p.head.out_width);
+      p.step_ops[1].code = mode == core::QuantMode::kInt8
+                               ? OpCode::kLstmStepQ8
+                               : OpCode::kLstmStepQ16;
+      p.head_ops[0].code = mode == core::QuantMode::kInt8 ? OpCode::kHeadQ8
+                                                          : OpCode::kHeadQ16;
+    }
+    const std::string text = p.to_text();
+    core::Expected<Program> back = Program::from_text(text);
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(back.value().to_text(), text);
+  }
+}
+
+TEST(Program, MalformedTextIsATotalError) {
+  const std::string text = tiny_program().to_text();
+  // Arbitrary truncations parse to an error naming a section, never UB.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{10},
+                                text.size() / 2, text.size() - 4}) {
+    core::Expected<Program> r = Program::from_text(text.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_NE(r.error().message.find("compile::Program::from_text"),
+              std::string::npos);
+  }
+  // A future format version is a version error, not a parse error.
+  std::string future = text;
+  const std::string stamp = "desh-compile-program v1";
+  future.replace(future.find(stamp), stamp.size(), "desh-compile-program v2");
+  core::Expected<Program> r = Program::from_text(future);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, core::ErrorCode::kFormatVersion);
+}
+
+// --- quantization codec ----------------------------------------------------
+
+TEST(QuantCodec, FuzzedRowsObeyTheErrorBound) {
+  util::Rng rng(20240807);
+  std::vector<float> row, decoded;
+  std::vector<std::int8_t> q8;
+  std::vector<std::int16_t> q16;
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_index(64));
+    const float range =
+        static_cast<float>(std::pow(10.0, rng.uniform(-3.0, 3.0)));
+    row.resize(n);
+    for (float& w : row)
+      w = range * (2.0f * static_cast<float>(rng.uniform()) - 1.0f);
+
+    // The ideal bound is scale/2; the fp32 reciprocal used while encoding
+    // adds up to ~limit * 2^-23 * scale on top (visible at int16, where the
+    // limit is large), so the asserted bound carries that slack.
+    q8.assign(n, 0);
+    decoded.assign(n, 0.0f);
+    const float s8 = quantize_row(row, q8);
+    dequantize_row(q8, s8, decoded);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_LE(std::abs(row[i] - decoded[i]), s8 * 0.51f + 1e-12f)
+          << "int8 iter " << iter << " elem " << i;
+
+    q16.assign(n, 0);
+    const float s16 = quantize_row(row, q16);
+    dequantize_row(q16, s16, decoded);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_LE(std::abs(row[i] - decoded[i]), s16 * 0.51f + 1e-12f)
+          << "int16 iter " << iter << " elem " << i;
+    // int16 is never coarser than int8 on the same row.
+    EXPECT_LE(s16, s8 + 1e-12f);
+  }
+}
+
+TEST(QuantCodec, AllZeroRowsRoundTripExactly) {
+  const std::vector<float> zeros(16, 0.0f);
+  std::vector<std::int8_t> q8(16, 42);
+  std::vector<float> decoded(16, 1.0f);
+  EXPECT_EQ(quantize_row(zeros, q8), 0.0f);
+  dequantize_row(q8, 0.0f, decoded);
+  for (float v : decoded) EXPECT_EQ(v, 0.0f);
+}
+
+// --- compiled engines over a trained pipeline ------------------------------
+
+class CompiledBackendTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    logs::SyntheticLog log = source.generate();
+    auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+    test_ = new logs::LogCorpus(std::move(test));
+    core::DeshConfig config;
+    config.phase1.epochs = 1;
+    pipeline_ = new core::DeshPipeline(config);
+    pipeline_->fit(train);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+    delete test_;
+    test_ = nullptr;
+  }
+
+  static std::shared_ptr<const nn::InferenceBackend> backend(
+      core::BackendKind kind, core::QuantMode quant) {
+    core::CompileConfig c;
+    c.backend = kind;
+    c.quant = quant;
+    auto r = pipeline_->make_backend(c);
+    EXPECT_TRUE(r.ok()) << r.error().message;
+    return r.value();
+  }
+
+  static core::DeshPipeline* pipeline_;
+  static logs::LogCorpus* test_;
+};
+
+core::DeshPipeline* CompiledBackendTest::pipeline_ = nullptr;
+logs::LogCorpus* CompiledBackendTest::test_ = nullptr;
+
+TEST_F(CompiledBackendTest, EmitIsDeterministicAndRoundTrips) {
+  const Program a = emit_program(pipeline_->phase2().model(),
+                                 core::QuantMode::kInt8);
+  const Program b = emit_program(pipeline_->phase2().model(),
+                                 core::QuantMode::kInt8);
+  const std::string text = a.to_text();
+  EXPECT_EQ(text, b.to_text());
+  core::Expected<Program> back = Program::from_text(text);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().to_text(), text);
+}
+
+TEST_F(CompiledBackendTest, CompiledAgreesWithReferenceWithinTolerance) {
+  const auto reference =
+      backend(core::BackendKind::kReference, core::QuantMode::kNone);
+  const auto compiled =
+      backend(core::BackendKind::kCompiled, core::QuantMode::kNone);
+  EXPECT_EQ(reference->name(), "reference");
+  EXPECT_EQ(compiled->name(), "compiled");
+  const auto& chains = pipeline_->training_chains();
+  ASSERT_FALSE(chains.empty());
+  // fp32 compiled is not bit-exact to the reference walk (different FMA
+  // contraction), but the agreement tolerance is a tested contract.
+  EXPECT_LT(mean_score_delta(*reference, *compiled, chains), 1e-3);
+  // Quantized engines stay within the calibrated accuracy gate.
+  const auto q16 =
+      backend(core::BackendKind::kCompiled, core::QuantMode::kInt16);
+  EXPECT_EQ(q16->name(), "compiled+quantized");
+  EXPECT_LT(mean_score_delta(*reference, *q16, chains),
+            core::CompileConfig{}.max_accuracy_delta);
+}
+
+TEST_F(CompiledBackendTest, BatchedScoringIsBitIdenticalToSingleRow) {
+  const auto compiled =
+      backend(core::BackendKind::kCompiled, core::QuantMode::kInt8);
+  const auto& chains = pipeline_->training_chains();
+  std::vector<const nn::ChainSequence*> same_length;
+  for (const nn::ChainSequence& c : chains)
+    if (c.size() == chains.front().size()) same_length.push_back(&c);
+  const auto batched = compiled->score_sequences(same_length, 1);
+  ASSERT_EQ(batched.size(), same_length.size());
+  for (std::size_t i = 0; i < same_length.size(); ++i) {
+    const auto single = compiled->score_sequence(*same_length[i], 1);
+    ASSERT_EQ(batched[i].size(), single.size());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(batched[i][j].score, single[j].score);
+      EXPECT_EQ(batched[i][j].predicted_dt, single[j].predicted_dt);
+      EXPECT_EQ(batched[i][j].predicted_phrase, single[j].predicted_phrase);
+    }
+  }
+}
+
+TEST_F(CompiledBackendTest, CalibrationGateRejectsWithoutEvidence) {
+  // No calibration sequences -> the gate cannot certify the quantized
+  // program. Strict mode surfaces the rejection as an error...
+  core::CompileConfig strict;
+  strict.backend = core::BackendKind::kCompiled;
+  strict.quant = core::QuantMode::kInt8;
+  strict.fallback_on_reject = false;
+  auto rejected = compile_backend(pipeline_->phase2().model(),
+                                  &pipeline_->phase1().model(), strict, {});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, core::ErrorCode::kUnavailable);
+  EXPECT_NE(rejected.error().message.find("compile.quant"),
+            std::string::npos);
+  // ...while the default falls back to the certified fp32 program.
+  core::CompileConfig fallback = strict;
+  fallback.fallback_on_reject = true;
+  auto fell_back = compile_backend(pipeline_->phase2().model(),
+                                   &pipeline_->phase1().model(), fallback, {});
+  ASSERT_TRUE(fell_back.ok()) << fell_back.error().message;
+  EXPECT_EQ(fell_back.value()->name(), "compiled");
+}
+
+TEST_F(CompiledBackendTest, MakeBackendRejectsInvalidConfigWithFieldPaths) {
+  core::CompileConfig bad;
+  bad.quant = core::QuantMode::kInt8;  // backend = reference
+  auto r = pipeline_->make_backend(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, core::ErrorCode::kInvalidConfig);
+  EXPECT_NE(r.error().message.find("compile.quant"), std::string::npos);
+}
+
+// Serve-vs-observe on a compiled engine: a threaded observe_batch replay
+// must be bit-identical to the sequential observe walk — same alerts, same
+// serialized per-node state — at 1 and at 8 monitor threads.
+TEST_F(CompiledBackendTest, CompiledServeVsObserveAgreesAt1And8Threads) {
+  core::MonitorConfig sequential_config;
+  sequential_config.compile.backend = core::BackendKind::kCompiled;
+  sequential_config.compile.quant = core::QuantMode::kInt16;
+  core::StreamingMonitor sequential(*pipeline_, sequential_config);
+  std::vector<core::MonitorAlert> sequential_alerts;
+  for (const logs::LogRecord& record : *test_)
+    if (auto alert = sequential.observe(record))
+      sequential_alerts.push_back(*alert);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    core::MonitorConfig config = sequential_config;
+    config.threads = threads;
+    core::StreamingMonitor batched(*pipeline_, config);
+    const auto alerts = batched.observe_batch(*test_);
+    ASSERT_EQ(alerts.size(), sequential_alerts.size())
+        << "threads=" << threads;
+    for (std::size_t i = 0; i < alerts.size(); ++i) {
+      EXPECT_EQ(alerts[i].node.to_string(),
+                sequential_alerts[i].node.to_string());
+      EXPECT_EQ(alerts[i].time, sequential_alerts[i].time);
+      EXPECT_EQ(alerts[i].score, sequential_alerts[i].score);
+      EXPECT_EQ(alerts[i].predicted_lead_seconds,
+                sequential_alerts[i].predicted_lead_seconds);
+    }
+    EXPECT_EQ(batched.serialize_state(), sequential.serialize_state())
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace desh::compile

@@ -70,6 +70,7 @@ TEST(DeshLint, EveryRuleFiresExactlyOnceOnTheFixtureTree) {
       {"include-first", "src/bad/include_first.cpp"},
       {"ordering-comment", "src/bad/ordering.cpp"},
       {"wal-expected", "src/wal/throwing.cpp"},
+      {"public-throw", "src/bad/public_throw.hpp"},
   };
   for (const auto& e : expected) {
     EXPECT_EQ(count_occurrences(
@@ -81,9 +82,10 @@ TEST(DeshLint, EveryRuleFiresExactlyOnceOnTheFixtureTree) {
         << "rule " << e.rule << " did not point at " << e.file << ":\n"
         << r.output;
   }
-  // 7 rules, 7 findings — nothing extra fired (in particular the waived
-  // throw-discipline on the wal fixture line stayed waived).
-  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 7u) << r.output;
+  // 8 rules, 8 findings — nothing extra fired (in particular the waived
+  // throw-discipline on the wal and public-throw fixture lines stayed
+  // waived).
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 8u) << r.output;
 }
 
 TEST(DeshLint, WaiversSuppressEveryRule) {
@@ -101,10 +103,10 @@ TEST(DeshLint, JsonReportShapeIsStable) {
   EXPECT_EQ(r.output.front(), '[');
   EXPECT_EQ(r.output[r.output.size() - 2], ']');  // trailing newline after ]
   // Every finding carries the full field set, in stable order.
-  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 7u);
-  EXPECT_EQ(count_occurrences(r.output, "\"file\""), 7u);
-  EXPECT_EQ(count_occurrences(r.output, "\"line\""), 7u);
-  EXPECT_EQ(count_occurrences(r.output, "\"message\""), 7u);
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 8u);
+  EXPECT_EQ(count_occurrences(r.output, "\"file\""), 8u);
+  EXPECT_EQ(count_occurrences(r.output, "\"line\""), 8u);
+  EXPECT_EQ(count_occurrences(r.output, "\"message\""), 8u);
   // Findings are sorted by (file, line, rule): include_first.cpp first.
   EXPECT_LT(r.output.find("include_first.cpp"), r.output.find("metric.cpp"));
 }
@@ -116,7 +118,7 @@ TEST(DeshLint, TextReportNamesRuleAndLocation) {
   EXPECT_NE(r.output.find("src/bad/throw.cpp:4: [throw-discipline]"),
             std::string::npos)
       << r.output;
-  EXPECT_NE(r.output.find("desh_lint: 7 findings"), std::string::npos)
+  EXPECT_NE(r.output.find("desh_lint: 8 findings"), std::string::npos)
       << r.output;
 }
 

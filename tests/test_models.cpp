@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "nn/chain_model.hpp"
+#include "nn/inference_backend.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/phrase_model.hpp"
 #include "nn/serialize.hpp"
@@ -40,7 +41,7 @@ TEST(PhraseModel, LearnsDeterministicCycle) {
   for (int epoch = 0; epoch < 150; ++epoch)
     loss = model.train_batch(windows, /*steps=*/1, opt);
   EXPECT_LT(loss, 0.1f);
-  EXPECT_GT(model.evaluate_top1(windows, 5), 0.99);
+  EXPECT_GT(ReferenceBackend(model).evaluate_top1(windows, 5), 0.99);
 }
 
 TEST(PhraseModel, MultiStepPredictionFollowsCycle) {
@@ -58,7 +59,7 @@ TEST(PhraseModel, MultiStepPredictionFollowsCycle) {
     model.train_batch(windows, /*steps=*/3, opt);
 
   const std::uint32_t prefix[] = {0, 1, 2, 3};
-  const auto next = model.predict_steps(prefix, 3);
+  const auto next = ReferenceBackend(model).predict_steps(prefix, 3);
   ASSERT_EQ(next.size(), 3u);
   EXPECT_EQ(next[0], 4u);
   EXPECT_EQ(next[1], 5u);
@@ -69,7 +70,7 @@ TEST(PhraseModel, DistributionSumsToOne) {
   util::Rng rng(3);
   PhraseModel model(small_phrase_config(), rng);
   const std::uint32_t prefix[] = {1, 2};
-  const auto probs = model.predict_distribution(prefix);
+  const auto probs = ReferenceBackend(model).predict_distribution(prefix);
   ASSERT_EQ(probs.size(), 8u);
   float sum = 0;
   for (float p : probs) sum += p;
@@ -81,7 +82,7 @@ TEST(PhraseModel, TopgContainsArgmax) {
   PhraseModel model(small_phrase_config(), rng);
   std::vector<std::vector<std::uint32_t>> windows = {{0, 1, 2, 3}};
   // Top-8 of an 8-vocab always contains the actual token.
-  EXPECT_EQ(model.evaluate_topg(windows, 3, 8), 1.0);
+  EXPECT_EQ(ReferenceBackend(model).evaluate_topg(windows, 3, 8), 1.0);
 }
 
 TEST(PhraseModel, ValidatesInputs) {
@@ -104,8 +105,8 @@ TEST(PhraseModel, ParametersSaveLoadRoundTrip) {
   save_parameters(a.parameters(), path);
   load_parameters(b.parameters(), path);
   const std::uint32_t prefix[] = {0, 1, 2};
-  const auto pa = a.predict_distribution(prefix);
-  const auto pb = b.predict_distribution(prefix);
+  const auto pa = ReferenceBackend(a).predict_distribution(prefix);
+  const auto pb = ReferenceBackend(b).predict_distribution(prefix);
   for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
   std::remove(path.c_str());
 }
@@ -160,34 +161,36 @@ TEST(ChainModel, LearnsChainAndScoresItLow) {
     }
   }
 
-  const auto scores = model.score_sequence(chain, 2);
+  const ReferenceBackend backend(model);
+  const auto scores = backend.score_sequence(chain, 2);
   ASSERT_FALSE(scores.empty());
   for (const auto& s : scores) {
     EXPECT_EQ(s.predicted_phrase, chain[s.position].phrase)
         << "position " << s.position;
     EXPECT_LT(s.score, 0.3f);
   }
-  EXPECT_LT(model.sequence_mse(chain), 0.3f);
+  EXPECT_LT(backend.sequence_mse(chain), 0.3f);
 
   // A shuffled impostor with the same phrases scores clearly higher.
   const ChainSequence impostor = make_chain({6, 3, 1, 5, 2, 4}, 120.0);
-  EXPECT_GT(model.sequence_mse(impostor), 0.5f);
+  EXPECT_GT(backend.sequence_mse(impostor), 0.5f);
 }
 
 TEST(ChainModel, ScoreSequenceRespectsMinPos) {
   util::Rng rng(8);
   ChainModel model(small_chain_config(), rng);
   const ChainSequence chain = make_chain({1, 2, 3, 4, 5}, 60.0);
-  const auto s2 = model.score_sequence(chain, 2);
+  const ReferenceBackend backend(model);
+  const auto s2 = backend.score_sequence(chain, 2);
   ASSERT_EQ(s2.size(), 3u);
   EXPECT_EQ(s2.front().position, 2u);
   EXPECT_EQ(s2.back().position, 4u);
-  const auto s4 = model.score_sequence(chain, 4);
+  const auto s4 = backend.score_sequence(chain, 4);
   ASSERT_EQ(s4.size(), 1u);
   // Too-short sequences yield no scores and an infinite mse.
   const ChainSequence tiny = make_chain({1, 2}, 10.0);
-  EXPECT_TRUE(model.score_sequence(tiny, 3).empty());
-  EXPECT_TRUE(std::isinf(model.sequence_mse(tiny)));
+  EXPECT_TRUE(backend.score_sequence(tiny, 3).empty());
+  EXPECT_TRUE(std::isinf(backend.sequence_mse(tiny)));
 }
 
 TEST(ChainModel, TrainBatchValidation) {
@@ -203,6 +206,38 @@ TEST(ChainModel, TrainBatchValidation) {
                                        make_chain({1, 2}, 10.0)};
   EXPECT_THROW(model.train_batch(ragged, opt), util::InvalidArgument);
 }
+
+// The pre-consolidation per-model inference methods are [[deprecated]]
+// forwarding shims for one release; until they are deleted they must stay
+// bit-identical to the ReferenceBackend they forward to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(InferenceBackend, DeprecatedShimsForwardToReferenceBackend) {
+  util::Rng rng(10);
+  ChainModel chain_model(small_chain_config(), rng);
+  const ChainSequence chain = make_chain({1, 2, 3, 4, 5}, 60.0);
+  const ReferenceBackend chain_backend(chain_model);
+  const auto via_shim = chain_model.score_sequence(chain, 2);
+  const auto via_backend = chain_backend.score_sequence(chain, 2);
+  ASSERT_EQ(via_shim.size(), via_backend.size());
+  for (std::size_t i = 0; i < via_shim.size(); ++i) {
+    EXPECT_EQ(via_shim[i].score, via_backend[i].score);
+    EXPECT_EQ(via_shim[i].predicted_phrase, via_backend[i].predicted_phrase);
+  }
+  EXPECT_EQ(chain_model.sequence_mse(chain), chain_backend.sequence_mse(chain));
+
+  PhraseModel phrase_model(small_phrase_config(), rng);
+  const ReferenceBackend phrase_backend(phrase_model);
+  const std::uint32_t prefix[] = {0, 1, 2};
+  const auto shim_probs = phrase_model.predict_distribution(prefix);
+  const auto backend_probs = phrase_backend.predict_distribution(prefix);
+  ASSERT_EQ(shim_probs.size(), backend_probs.size());
+  for (std::size_t i = 0; i < shim_probs.size(); ++i)
+    EXPECT_EQ(shim_probs[i], backend_probs[i]);
+  EXPECT_EQ(phrase_model.predict_steps(prefix, 3),
+            phrase_backend.predict_steps(prefix, 3));
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace desh::nn

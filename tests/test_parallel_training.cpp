@@ -16,6 +16,7 @@
 #include "core/pipeline.hpp"
 #include "embed/skipgram.hpp"
 #include "logs/generator.hpp"
+#include "nn/inference_backend.hpp"
 #include "logs/template_miner.hpp"
 #include "nn/parameter.hpp"
 
@@ -115,8 +116,8 @@ TEST(ParallelPhase2, LossAndModelBitIdenticalAcrossThreadCounts) {
   expect_parameters_identical(serial->model().parameters(),
                               eight->model().parameters());
   for (const nn::ChainSequence& c : chains) {
-    EXPECT_EQ(serial->model().sequence_mse(c), two->model().sequence_mse(c));
-    EXPECT_EQ(serial->model().sequence_mse(c), eight->model().sequence_mse(c));
+    EXPECT_EQ(nn::ReferenceBackend(serial->model()).sequence_mse(c), nn::ReferenceBackend(two->model()).sequence_mse(c));
+    EXPECT_EQ(nn::ReferenceBackend(serial->model()).sequence_mse(c), nn::ReferenceBackend(eight->model()).sequence_mse(c));
   }
 }
 
@@ -163,7 +164,7 @@ TEST(ParallelPhase2Update, ReplayBufferAccumulatesAcrossUpdates) {
   Phase2Trainer trainer(config, 14, rng);
   const nn::ChainSequence first = linear_chain({1, 2, 3, 4, 5, 6}, 120.0);
   trainer.fit({first});
-  ASSERT_LT(trainer.model().sequence_mse(first), 0.3f);
+  ASSERT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(first), 0.3f);
 
   // Two successive online updates: the second must replay both the original
   // training chains and the first update's chains, so nothing is forgotten.
@@ -171,9 +172,9 @@ TEST(ParallelPhase2Update, ReplayBufferAccumulatesAcrossUpdates) {
   trainer.update({second}, 150);
   const nn::ChainSequence third = linear_chain({12, 13, 2, 9, 4, 6}, 60.0);
   trainer.update({third}, 150);
-  EXPECT_LT(trainer.model().sequence_mse(first), 0.3f);
-  EXPECT_LT(trainer.model().sequence_mse(second), 0.3f);
-  EXPECT_LT(trainer.model().sequence_mse(third), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(first), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(second), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(third), 0.3f);
 }
 
 class ParallelMonitorTest : public ::testing::Test {

@@ -171,21 +171,25 @@ TEST_F(PersistenceMonitorTest, FutureFormatVersionIsAClearError) {
   std::filesystem::remove_all(dir);
 }
 
-// The pre-redesign throwing API must keep compiling and behaving unchanged
-// for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(PersistenceMonitorTest, DeprecatedThrowingWrappersStillWork) {
-  const std::string dir = ::testing::TempDir() + "/desh_pipeline_deprecated";
-  save_pipeline(*pipeline_, dir);
-  const DeshPipeline loaded = load_pipeline(dir);
-  EXPECT_TRUE(loaded.fitted());
-  EXPECT_THROW(load_pipeline("/nonexistent/desh-dir"), util::IoError);
+// The throwing save_pipeline/load_pipeline wrappers are gone (their
+// deprecation release has passed); the Expected API is the only entry
+// point, and every failure mode comes back as a value, never a throw.
+TEST_F(PersistenceMonitorTest, ExpectedApiCoversAllFormerWrapperBehavior) {
+  const std::string dir = ::testing::TempDir() + "/desh_pipeline_expected";
+  ASSERT_TRUE(try_save_pipeline(*pipeline_, dir).ok());
+  const Expected<DeshPipeline> loaded = try_load_pipeline(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().fitted());
+  const Expected<DeshPipeline> missing =
+      try_load_pipeline("/nonexistent/desh-dir");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kIo);
   DeshPipeline fresh;
-  EXPECT_THROW(save_pipeline(fresh, dir), util::InvalidArgument);
+  const Expected<void> unfitted = try_save_pipeline(fresh, dir);
+  ASSERT_FALSE(unfitted.ok());
+  EXPECT_EQ(unfitted.error().code, ErrorCode::kInvalidArgument);
   std::filesystem::remove_all(dir);
 }
-#pragma GCC diagnostic pop
 
 TEST_F(PersistenceMonitorTest, MonitorRaisesAlertsBeforeFailures) {
   StreamingMonitor monitor(*pipeline_);

@@ -4,6 +4,7 @@
 #include "core/phase1.hpp"
 #include "core/phase2.hpp"
 #include "core/phase3.hpp"
+#include "nn/inference_backend.hpp"
 #include "util/error.hpp"
 
 namespace desh::core {
@@ -97,8 +98,8 @@ TEST(Phase2Trainer, FitsChainsAndLossDrops) {
       linear_chain({7, 8, 9, 4, 5, 6}, 90.0)};
   const float loss = trainer.fit(chains);
   EXPECT_LT(loss, 0.05f);
-  EXPECT_LT(trainer.model().sequence_mse(chains[0]), 0.3f);
-  EXPECT_LT(trainer.model().sequence_mse(chains[1]), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(chains[0]), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(chains[1]), 0.3f);
 }
 
 TEST(Phase2Trainer, OnlineUpdateLearnsNewModeWithoutForgetting) {
@@ -110,15 +111,15 @@ TEST(Phase2Trainer, OnlineUpdateLearnsNewModeWithoutForgetting) {
   Phase2Trainer trainer(config, 12, rng);
   const nn::ChainSequence original = linear_chain({1, 2, 3, 4, 5, 6}, 120.0);
   trainer.fit({original});
-  EXPECT_LT(trainer.model().sequence_mse(original), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(original), 0.3f);
 
   // A mode never seen in the initial training...
   const nn::ChainSequence fresh = linear_chain({7, 8, 9, 10, 11, 6}, 90.0);
-  EXPECT_GT(trainer.model().sequence_mse(fresh), 0.5f);
+  EXPECT_GT(nn::ReferenceBackend(trainer.model()).sequence_mse(fresh), 0.5f);
   // ...is absorbed by an online update; the old mode survives (replay).
   trainer.update({fresh}, 150);
-  EXPECT_LT(trainer.model().sequence_mse(fresh), 0.3f);
-  EXPECT_LT(trainer.model().sequence_mse(original), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(fresh), 0.3f);
+  EXPECT_LT(nn::ReferenceBackend(trainer.model()).sequence_mse(original), 0.3f);
 }
 
 TEST(Phase2Trainer, UpdateRequiresPriorFit) {
@@ -169,11 +170,12 @@ class Phase3Fixture : public ::testing::Test {
   }
   util::Rng rng_;
   Phase2Trainer trainer_;
+  nn::ReferenceBackend backend_{trainer_.model()};
   nn::ChainSequence trained_;
 };
 
 TEST_F(Phase3Fixture, FlagsTrainedChainWithLeadTime) {
-  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  Phase3Predictor predictor(backend_, Phase3Config{});
   const auto c = candidate_from({1, 2, 3, 4, 5, 6, 7}, 150.0);
   const FailurePrediction p = predictor.decide(c);
   EXPECT_TRUE(p.flagged);
@@ -187,7 +189,7 @@ TEST_F(Phase3Fixture, FlagsTrainedChainWithLeadTime) {
 }
 
 TEST_F(Phase3Fixture, RejectsShuffledImpostor) {
-  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  Phase3Predictor predictor(backend_, Phase3Config{});
   const auto c = candidate_from({5, 1, 7, 2, 6, 3, 4}, 150.0, false);
   const FailurePrediction p = predictor.decide(c);
   EXPECT_FALSE(p.flagged);
@@ -196,7 +198,7 @@ TEST_F(Phase3Fixture, RejectsShuffledImpostor) {
 }
 
 TEST_F(Phase3Fixture, EarlierDecisionGivesLongerLead) {
-  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  Phase3Predictor predictor(backend_, Phase3Config{});
   const auto c = candidate_from({1, 2, 3, 4, 5, 6, 7}, 150.0);
   const FailurePrediction late = predictor.decide_at(c, 5);
   const FailurePrediction early = predictor.decide_at(c, 2);
@@ -204,7 +206,7 @@ TEST_F(Phase3Fixture, EarlierDecisionGivesLongerLead) {
 }
 
 TEST_F(Phase3Fixture, DecisionClampsToSequenceEnd) {
-  Phase3Predictor predictor(trainer_.model(), Phase3Config{});
+  Phase3Predictor predictor(backend_, Phase3Config{});
   const auto c = candidate_from({1, 2, 3, 4, 5, 6, 7}, 150.0);
   const FailurePrediction p = predictor.decide_at(c, 99);
   EXPECT_EQ(p.decision_position, 6u);
@@ -214,11 +216,11 @@ TEST_F(Phase3Fixture, DecisionClampsToSequenceEnd) {
 TEST_F(Phase3Fixture, ConfigValidation) {
   Phase3Config bad;
   bad.min_position = 0;
-  EXPECT_THROW(Phase3Predictor(trainer_.model(), bad), util::InvalidArgument);
+  EXPECT_THROW(Phase3Predictor(backend_, bad), util::InvalidArgument);
   bad = Phase3Config{};
   bad.decision_position = 1;
   bad.min_position = 2;
-  EXPECT_THROW(Phase3Predictor(trainer_.model(), bad), util::InvalidArgument);
+  EXPECT_THROW(Phase3Predictor(backend_, bad), util::InvalidArgument);
 }
 
 }  // namespace

@@ -32,10 +32,18 @@
 //                      boundary reports I/O failures as core::Expected so a
 //                      half-applied recovery can never unwind past it. This
 //                      rule is NON-WAIVABLE — an allow() comment is ignored.
+//   public-throw       no `throw` in any header under src/ — a throwing
+//                      public entry point leaks exceptions across the
+//                      Expected error taxonomy. util/error.hpp (where the
+//                      sanctioned exception types and util::require live)
+//                      and src/wal/ (owned by wal-expected) are the only
+//                      exclusions. This rule is NON-WAIVABLE — the
+//                      deprecated throwing wrappers it existed to tolerate
+//                      have been deleted, so no waiver is ever legitimate.
 //
 // Waivers: a comment containing `desh-lint: allow(<rule>)` on the same line
 // or the line above suppresses that rule for that line (every rule except
-// wal-expected).
+// wal-expected and public-throw).
 //
 // Usage: desh_lint [--root <repo-root>] [--json]
 // Exit:  0 = clean, 1 = findings, 2 = usage/configuration error.
@@ -260,6 +268,7 @@ class Linter {
       check_include_first(f);
       check_ordering_comment(f);
       check_wal_expected(f);
+      check_public_throw(f);
     }
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const Finding& a, const Finding& b) {
@@ -518,6 +527,32 @@ class Linter {
             {"wal-expected", f.rel_path, i + 1,
              "`throw` inside src/wal — I/O error paths must return "
              "core::Expected; this rule cannot be waived"});
+  }
+
+  // -- public-throw ---------------------------------------------------------
+
+  /// Headers are the public surface: a `throw` in one is a throwing entry
+  /// point every includer inherits, bypassing the core::Expected taxonomy.
+  /// util/error.hpp hosts the sanctioned exception types plus
+  /// util::require, and src/wal is policed (more strictly) by
+  /// wal-expected. Findings are pushed directly — NOT through add() — so
+  /// `desh-lint: allow(...)` comments cannot waive this rule: the
+  /// deprecated throwing wrappers this rule once had to tolerate are gone.
+  void check_public_throw(const SourceFile& f) {
+    const bool header =
+        (f.rel_path.size() > 4 &&
+         f.rel_path.compare(f.rel_path.size() - 4, 4, ".hpp") == 0) ||
+        (f.rel_path.size() > 2 &&
+         f.rel_path.compare(f.rel_path.size() - 2, 2, ".h") == 0);
+    if (!header) return;
+    if (f.rel_path == "src/util/error.hpp") return;
+    if (f.rel_path.rfind("src/wal/", 0) == 0) return;
+    for (std::size_t i = 0; i < f.lines.size(); ++i)
+      if (!find_tokens(f.lines[i].code, "throw").empty())
+        findings_.push_back(
+            {"public-throw", f.rel_path, i + 1,
+             "`throw` in a public header — entry points report failures "
+             "as core::Expected; this rule cannot be waived"});
   }
 
   fs::path root_;
