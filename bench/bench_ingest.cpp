@@ -1,0 +1,331 @@
+// Ingest frontend bench: raw syslog bytes -> lines -> parsed records, plus
+// the full raw-text -> first-prediction path. Three claims are asserted,
+// not just printed:
+//
+//   - Parse throughput holds. The steady-state tokenize path (LineSplitter
+//     + SyslogViewParser over 64 KiB chunks) must sustain >= 100 MB/s
+//     single-threaded on a Release build. Sanitizer builds measure the
+//     same loop against a relaxed floor — those runs check memory/races,
+//     not time.
+//   - The steady-state tokenize path performs ZERO heap allocations. A
+//     global operator-new counting hook brackets the measured loop after
+//     one warmup pass; any per-line allocation fails the bench loudly.
+//   - Raw text produces predictions. An anomalous stream rendered to
+//     syslog text and fed through an IngestPump into a manual-pump server
+//     must raise alerts; the time from first byte to first alert is the
+//     reported first-prediction latency.
+//
+//   ./bench_ingest [--mb 64] [--out BENCH_ingest.json] [--smoke]
+//
+// --smoke shrinks the corpus (the ctest wiring runs this mode); the JSON
+// snapshot is written either way, extending the BENCH_*.json trajectory
+// (see EXPERIMENTS.md "BENCH trajectory").
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "desh.hpp"
+#include "ingest/line_splitter.hpp"
+#include "ingest/syslog_view.hpp"
+#include "ingest/template_tracker.hpp"
+#include "util/cli.hpp"
+
+// --- allocation counting hook ------------------------------------------------
+// Replaces the global allocator with a counting shim. Counting is gated on
+// g_count_allocs so only the bracketed measurement loop pays attention;
+// everything else (training, corpus construction) allocates freely.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace desh;
+
+namespace {
+
+/// Fails the bench loudly — this binary doubles as a ctest smoke check.
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::cerr << "FAIL: " << what << "\n";
+    std::exit(1);
+  }
+}
+
+core::DeshPipeline train_pipeline(const logs::LogCorpus& train) {
+  core::DeshConfig config;
+  config.phase1.epochs = 1;
+  auto pipeline = core::DeshPipeline::create(config);
+  check(pipeline.ok(), "pipeline config rejected");
+  pipeline.value().fit(train);
+  return std::move(pipeline).value();
+}
+
+/// At least `target_bytes` of realistic syslog text: the synthetic corpus
+/// rendered once, then self-concatenated (parsing is stateless across
+/// lines, so repetition does not flatter the tokenizer).
+std::string make_raw_text(const logs::LogCorpus& corpus,
+                          std::size_t target_bytes) {
+  const std::string unit = logs::render_syslog_text(corpus);
+  check(!unit.empty(), "empty rendered corpus");
+  std::string out;
+  out.reserve(target_bytes + unit.size());
+  while (out.size() < target_bytes) out += unit;
+  return out;
+}
+
+struct ParsePass {
+  std::uint64_t lines = 0;
+  std::uint64_t records = 0;
+  double seconds = 0;
+  std::uint64_t alloc_calls = 0;
+};
+
+/// One pass of the tokenize path over `text` in `chunk_bytes` chunks.
+/// `track` additionally routes every parsed message through the online
+/// template tracker (the full frontend, allocation-free no longer).
+ParsePass parse_pass(std::string_view text, std::size_t chunk_bytes,
+                     ingest::TemplateTracker* track, bool count_allocs) {
+  ingest::LineSplitter splitter(8 * 1024);
+  ingest::SyslogViewParser parser;
+  ParsePass pass;
+  util::Stopwatch sw;
+  if (count_allocs) {
+    g_alloc_calls.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+  }
+  std::size_t at = 0;
+  ingest::ParsedLine parsed;
+  std::string_view line;
+  while (at < text.size()) {
+    const std::size_t n = std::min(chunk_bytes, text.size() - at);
+    splitter.begin_chunk(text.substr(at, n));
+    at += n;
+    while (splitter.next(line)) {
+      ++pass.lines;
+      if (parser.parse(line, parsed)) {
+        ++pass.records;
+        if (track) track->observe(parsed.message);
+      }
+    }
+  }
+  if (splitter.finish(line)) {
+    ++pass.lines;
+    if (parser.parse(line, parsed)) ++pass.records;
+  }
+  if (count_allocs) {
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    pass.alloc_calls = g_alloc_calls.load(std::memory_order_relaxed);
+  }
+  pass.seconds = sw.elapsed_seconds();
+  return pass;
+}
+
+struct LatencyRun {
+  double first_alert_seconds = 0;
+  std::size_t alerts = 0;
+  std::size_t records = 0;
+};
+
+/// Raw syslog text through an IngestPump into a manual-pump server; wall
+/// time from the first fed byte to the first polled alert.
+LatencyRun run_first_prediction(const core::DeshPipeline& pipeline,
+                                const std::string& raw,
+                                std::size_t chunk_bytes) {
+  serve::ServeConfig sconfig;
+  sconfig.start_collector = false;
+  sconfig.monitor.threads = 1;
+  auto server = serve::InferenceServer::create(pipeline, sconfig);
+  check(server.ok(), "server rejected");
+  auto pump = ingest::IngestPump::create(*server.value());
+  check(pump.ok(), "pump rejected");
+
+  LatencyRun out;
+  std::vector<core::MonitorAlert> alerts;
+  util::Stopwatch sw;
+  std::size_t at = 0;
+  bool first_seen = false;
+  while (at < raw.size()) {
+    const std::size_t n = std::min(chunk_bytes, raw.size() - at);
+    check(pump.value()->feed_bytes(std::string_view(raw).substr(at, n)).ok(),
+          "feed_bytes failed");
+    at += n;
+    while (server.value()->pump() != 0) {
+    }
+    if (!first_seen) {
+      std::vector<core::MonitorAlert> batch = server.value()->poll_alerts();
+      if (!batch.empty()) {
+        first_seen = true;
+        out.first_alert_seconds = sw.elapsed_seconds();
+        out.alerts += batch.size();
+      }
+    }
+  }
+  check(pump.value()->finish().ok(), "finish failed");
+  server.value()->drain();
+  out.alerts += server.value()->poll_alerts().size();
+  out.records = pump.value()->stats().records;
+  server.value()->stop();
+  check(first_seen && out.alerts > 0, "raw text produced no alerts");
+  return out;
+}
+
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6f", value);
+  return buffer;
+}
+
+/// The BENCH_ingest.json snapshot: env fields matching the stdout header
+/// plus the measured throughput/latency points, so runs diff cleanly.
+void write_snapshot(const std::string& path, bool smoke, std::size_t text_mb,
+                    double parse_mb_s, double frontend_mb_s,
+                    double lines_per_second, std::uint64_t alloc_calls,
+                    double floor_mb_s, bool floor_asserted,
+                    const LatencyRun& latency) {
+  std::ofstream os(path, std::ios::trunc);
+  check(static_cast<bool>(os), "cannot write " + path);
+  const char* sanitize = DESH_SANITIZE_STRING;
+  os << "{\n"
+     << "  \"bench\": \"ingest\",\n"
+     << "  \"build_type\": \"" << DESH_BUILD_TYPE_STRING << "\",\n"
+     << "  \"sanitize\": \"" << (*sanitize ? sanitize : "none") << "\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"text_mb\": " << text_mb << ",\n"
+     << "  \"parse_mb_per_second\": " << json_double(parse_mb_s) << ",\n"
+     << "  \"frontend_mb_per_second\": " << json_double(frontend_mb_s)
+     << ",\n"
+     << "  \"lines_per_second\": " << json_double(lines_per_second) << ",\n"
+     << "  \"steady_state_alloc_calls\": " << alloc_calls << ",\n"
+     << "  \"throughput_floor_mb_per_second\": " << json_double(floor_mb_s)
+     << ",\n"
+     << "  \"floor_asserted\": " << (floor_asserted ? "true" : "false")
+     << ",\n"
+     << "  \"first_prediction_seconds\": "
+     << json_double(latency.first_alert_seconds) << ",\n"
+     << "  \"first_prediction_alerts\": " << latency.alerts << ",\n"
+     << "  \"first_prediction_records\": " << latency.records << "\n"
+     << "}\n";
+  check(static_cast<bool>(os), "short write to " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const bool smoke = args.has("smoke");
+  const std::string out = args.get("out", "BENCH_ingest.json");
+  std::size_t text_mb = smoke ? 8 : 64;
+  if (args.has("mb"))
+    text_mb = std::strtoull(args.get("mb", "").c_str(), nullptr, 10);
+  check(text_mb > 0, "--mb must be positive");
+  const std::size_t chunk_bytes = 64 * 1024;
+  bench::print_env_header("ingest");
+
+  logs::SyntheticCraySource source(logs::profile_tiny(2024));
+  const logs::SyntheticLog log = source.generate();
+  const std::string text = make_raw_text(log.records, text_mb << 20);
+  const double mb = static_cast<double>(text.size()) / (1 << 20);
+  std::cout << util::format_fixed(mb, 1) << " MB raw syslog text, "
+            << log.records.size() << " distinct records\n";
+
+  // Warmup (reserves carry buffers, touches the text once), then the
+  // allocation-bracketed measured pass over the identical loop.
+  ParsePass warm = parse_pass(text, chunk_bytes, nullptr, false);
+  check(warm.records == warm.lines, "rendered corpus must parse fully");
+  ParsePass measured = parse_pass(text, chunk_bytes, nullptr, true);
+  check(measured.lines == warm.lines, "passes disagree on line count");
+  const double parse_mb_s = mb / measured.seconds;
+  const double lines_s =
+      static_cast<double>(measured.lines) / measured.seconds;
+  std::cout << "tokenize: " << util::format_fixed(parse_mb_s, 1)
+            << " MB/s, " << util::format_fixed(lines_s, 0) << " lines/s, "
+            << measured.alloc_calls << " allocs steady-state\n";
+
+  // The zero-allocation claim is absolute: the splitter borrows views into
+  // the chunk and the parser's scratch was capacity-reserved by warmup, so
+  // a single steady-state allocation is a regression, not noise.
+  check(measured.alloc_calls == 0,
+        "steady-state tokenize path allocated " +
+            std::to_string(measured.alloc_calls) + " times");
+
+  // Full frontend (tokenize + online template tracking) for context; the
+  // tracker interns novel templates, so this pass is allowed to allocate.
+  ingest::TemplateTracker tracker;
+  ParsePass tracked = parse_pass(text, chunk_bytes, &tracker, false);
+  const double frontend_mb_s = mb / tracked.seconds;
+  std::cout << "frontend (with template tracking): "
+            << util::format_fixed(frontend_mb_s, 1) << " MB/s, "
+            << tracker.template_count() << " templates\n";
+
+  // Throughput floor: the 100 MB/s contract is for optimized builds on
+  // real time; sanitizer/debug builds run the same loop against a floor
+  // that only catches collapse (those runs check memory/races, not time).
+  const bool optimized = std::string(DESH_BUILD_TYPE_STRING) == "Release" &&
+                         std::string(DESH_SANITIZE_STRING).empty();
+  const double floor_mb_s = optimized ? 100.0 : 2.0;
+  check(parse_mb_s >= floor_mb_s,
+        "parse throughput " + util::format_fixed(parse_mb_s, 1) +
+            " MB/s below the " + util::format_fixed(floor_mb_s, 0) +
+            " MB/s floor");
+
+  // Raw text -> first prediction: the held-out split (which carries real
+  // injected failure chains) rendered to syslog text and streamed through
+  // a pump into a manual-pump server with production monitor settings.
+  auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+  const core::DeshPipeline pipeline = train_pipeline(train);
+  const std::string raw_test =
+      logs::render_syslog_text(logs::canonicalize_syslog(test));
+  const LatencyRun latency =
+      run_first_prediction(pipeline, raw_test, chunk_bytes);
+  std::cout << "raw text -> first prediction: "
+            << util::format_fixed(latency.first_alert_seconds, 4) << " s ("
+            << latency.alerts << " alerts over " << latency.records
+            << " records)\n";
+
+  write_snapshot(out, smoke, text_mb, parse_mb_s, frontend_mb_s, lines_s,
+                 measured.alloc_calls, floor_mb_s, optimized, latency);
+  std::cout << "snapshot written: " << out << "\n";
+  return 0;
+}

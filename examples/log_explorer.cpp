@@ -39,7 +39,13 @@ int main(int argc, char** argv) {
   logs::SyntheticCraySource source(profile);
   logs::SyntheticLog log = source.generate();
   if (args.has("load")) {
-    log.records = logs::load_corpus(args.get("load", ""));
+    core::Expected<logs::LogCorpus> loaded =
+        logs::load_corpus(args.get("load", ""));
+    if (!loaded) {
+      std::cerr << loaded.error().message << "\n";
+      return 1;
+    }
+    log.records = std::move(loaded).value();
     std::cout << "loaded corpus from " << args.get("load", "") << "\n";
   }
   std::cout << "== Log explorer: " << log.records.size() << " records from '"

@@ -30,7 +30,12 @@ namespace {
 
 int train_stage(const std::string& corpus_path, const std::string& model_dir) {
   std::cout << "[train] loading corpus " << corpus_path << "\n";
-  const logs::LogCorpus corpus = logs::load_corpus(corpus_path);
+  core::Expected<logs::LogCorpus> loaded = logs::load_corpus(corpus_path);
+  if (!loaded) {
+    std::cerr << "[train] " << loaded.error().message << "\n";
+    return 1;
+  }
+  const logs::LogCorpus corpus = std::move(loaded).value();
   std::cout << "[train] " << corpus.size() << " records; fitting pipeline...\n";
   util::Stopwatch sw;
   core::DeshPipeline pipeline;
@@ -57,9 +62,14 @@ int deploy_stage(const std::string& syslog_path, const std::string& model_dir) {
     return 1;
   }
   std::cout << "[deploy] monitoring " << syslog_path << "\n";
-  const logs::LogCorpus stream = logs::load_syslog_file(syslog_path);
+  core::Expected<logs::LogCorpus> stream =
+      logs::load_syslog_file(syslog_path);
+  if (!stream) {
+    std::cerr << "[deploy] " << stream.error().message << "\n";
+    return 1;
+  }
   core::StreamingMonitor monitor(pipeline.value());
-  for (const logs::LogRecord& record : stream)
+  for (const logs::LogRecord& record : stream.value())
     if (const auto alert = monitor.observe(record))
       std::cout << "  ALERT: " << alert->message << "\n";
   std::cout << "[deploy] " << monitor.records_seen() << " records scanned, "
@@ -80,12 +90,14 @@ int demo() {
   logs::SyntheticCraySource source(logs::profile_tiny(71));
   const logs::SyntheticLog log = source.generate();
   auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
-  logs::save_corpus(train, corpus_path);
-  {
-    // The deployment side reads syslog format, as a real site would have.
-    std::ofstream os(syslog_path);
-    for (const logs::LogRecord& record : test)
-      os << logs::format_syslog_line(record) << "\n";
+  if (core::Expected<void> w = logs::save_corpus(train, corpus_path); !w) {
+    std::cerr << "demo: " << w.error().message << "\n";
+    return 1;
+  }
+  // The deployment side reads syslog format, as a real site would have.
+  if (core::Expected<void> w = logs::save_syslog_file(test, syslog_path); !w) {
+    std::cerr << "demo: " << w.error().message << "\n";
+    return 1;
   }
 
   const int train_rc = train_stage(corpus_path, model_dir);

@@ -60,6 +60,25 @@ std::vector<std::string> FleetConfig::validate(std::string_view prefix) const {
   return out;
 }
 
+std::vector<std::string> IngestConfig::validate(
+    std::string_view prefix) const {
+  std::vector<std::string> out;
+  const std::string p(prefix);
+  if (chunk_bytes == 0) out.push_back(p + ".chunk_bytes: must be > 0");
+  if (max_line_bytes == 0) out.push_back(p + ".max_line_bytes: must be > 0");
+  if (!(retry_backoff_seconds >= 0.0) || !std::isfinite(retry_backoff_seconds))
+    out.push_back(p +
+                  ".retry_backoff_seconds: must be non-negative and finite, "
+                  "got " +
+                  util::format_fixed(retry_backoff_seconds, 4));
+  if (drain_tree_depth == 0)
+    out.push_back(p + ".drain_tree_depth: must be > 0");
+  if (!(drain_similarity > 0.0 && drain_similarity <= 1.0))
+    out.push_back(p + ".drain_similarity: must be within (0, 1], got " +
+                  util::format_fixed(drain_similarity, 4));
+  return out;
+}
+
 std::vector<std::string> CompileConfig::validate(
     std::string_view prefix) const {
   std::vector<std::string> out;

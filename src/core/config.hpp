@@ -196,6 +196,43 @@ struct FleetConfig {
       std::string_view prefix = "fleet") const;
 };
 
+/// Knobs for the streaming raw-log frontend (src/ingest): chunked reading,
+/// branch-light line splitting, the online Drain template tracker, and
+/// backpressure-aware admission into a serving target. Lives in core
+/// (mirroring WalConfig / FleetConfig / CompileConfig) so consumers can
+/// carry + validate it without depending on desh::ingest.
+struct IngestConfig {
+  /// Bytes read from the source per chunk. Lines torn across chunk
+  /// boundaries are reassembled in a dedicated carry buffer, so any
+  /// chunk size is correct; bigger chunks amortize read overhead.
+  std::size_t chunk_bytes = 64 * 1024;
+  /// Longest line the splitter will assemble. Anything longer is dropped
+  /// whole (counted in desh_ingest_oversize_lines_total) instead of
+  /// ballooning the carry buffer — console logs with corrupt framing can
+  /// contain megabyte "lines".
+  std::size_t max_line_bytes = 8 * 1024;
+  /// Attempts per record when the target's queue refuses admission
+  /// (Admission::kQueueFull). 0 = retry until accepted; otherwise the pump
+  /// gives up after this many retries and reports kUnavailable.
+  std::size_t max_admission_retries = 0;
+  /// On kQueueFull, drive the target's pump() inline to free queue space
+  /// (manual-pump mode). Set false when a collector thread owns pumping —
+  /// the pump then backs off retry_backoff_seconds instead.
+  bool pump_on_queue_full = true;
+  /// Sleep between admission retries when pump_on_queue_full is false.
+  double retry_backoff_seconds = 0.0005;
+  /// logs::DrainMiner routing-tree depth for the online template tracker.
+  std::size_t drain_tree_depth = 2;
+  /// logs::DrainMiner similarity threshold for joining a known template.
+  double drain_similarity = 0.55;
+
+  /// Returns ALL violations as "<prefix>.field: problem" messages (empty =
+  /// usable), mirroring WalConfig::validate(). ingest::IngestPump rejects
+  /// invalid configs up front with the full list.
+  [[nodiscard]] std::vector<std::string> validate(
+      std::string_view prefix = "ingest") const;
+};
+
 /// Which inference engine scores failure chains (see nn/inference_backend.hpp
 /// for the seam, src/compile for the compiled engines).
 enum class BackendKind : std::uint8_t {

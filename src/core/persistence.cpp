@@ -207,8 +207,9 @@ Expected<void> try_save_pipeline(const DeshPipeline& pipeline,
                                       directory + "/config.txt");
       !r)
     return r;
+  if (Expected<void> r = pipeline.vocab_.save(directory + "/vocab.txt"); !r)
+    return r;
   try {
-    pipeline.vocab_.save(directory + "/vocab.txt");
     nn::save_parameters(pipeline.phase1_->model().parameters(),
                         directory + "/phase1.bin");
     nn::save_parameters(pipeline.phase2_->model().parameters(),
@@ -229,9 +230,12 @@ Expected<DeshPipeline> try_load_pipeline(const std::string& directory) {
     for (const std::string& v : violations) joined += "\n  " + v;
     return Error{ErrorCode::kInvalidConfig, std::move(joined)};
   }
+  Expected<logs::PhraseVocab> vocab =
+      logs::PhraseVocab::load(directory + "/vocab.txt");
+  if (!vocab) return vocab.error();
   try {
     DeshPipeline pipeline(config.value());
-    pipeline.vocab_ = logs::PhraseVocab::load(directory + "/vocab.txt");
+    pipeline.vocab_ = std::move(vocab).value();
     pipeline.labeler_.emplace(pipeline.vocab_);
     pipeline.phase1_ = std::make_unique<Phase1Trainer>(
         config.value().phase1, pipeline.vocab_.size(), pipeline.rng_);

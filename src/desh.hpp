@@ -26,7 +26,9 @@
 #include "core/persistence.hpp"
 #include "core/pipeline.hpp"
 #include "fleet/controller.hpp"
+#include "ingest/pump.hpp"
 #include "logs/record.hpp"
+#include "logs/syslog.hpp"
 #include "nn/inference_backend.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
@@ -136,5 +138,21 @@ namespace observability = ::desh::obs;
 //   fleet::FleetHealth     — the merged dashboard view
 // The topology knobs live in core::FleetConfig so they validate with every
 // other config field. FLEET.md is the operations handbook.
+
+// The raw-log frontend is exported as the nested namespace desh::ingest:
+//   ingest::IngestPump      — raw syslog bytes -> parse -> track -> submit
+//                             to a server or fleet, backpressure-aware
+//                             (create / feed_bytes / feed_file / finish)
+//   ingest::IngestStats     — frontend counters (lines, torn, unparseable,
+//                             oversize, novel templates, retries)
+//   ingest::LineSplitter    — chunk stream -> lines, torn-line stitching,
+//                             zero steady-state allocation
+//   ingest::SyslogViewParser— allocation-free field parser, bit-identical
+//                             acceptance with logs::parse_syslog_line
+//   ingest::TemplateTracker — thread-safe online Drain template ids +
+//                             incremental phrase vocabulary
+// The chunking/retry knobs live in core::IngestConfig. Syslog text
+// emitters (logs::render_syslog_text / save_syslog_file /
+// canonicalize_syslog) come along via logs/syslog.hpp.
 
 }  // namespace desh

@@ -1,0 +1,94 @@
+#include "ingest/line_splitter.hpp"
+
+#include <cstring>
+
+namespace desh::ingest {
+
+LineSplitter::LineSplitter(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes) {
+  carry_.reserve(max_line_bytes_);
+  assembled_.reserve(max_line_bytes_);
+}
+
+void LineSplitter::begin_chunk(std::string_view chunk) {
+  chunk_ = chunk;
+  pos_ = 0;
+  stats_.bytes += chunk.size();
+}
+
+bool LineSplitter::next(std::string_view& line) {
+  while (pos_ < chunk_.size()) {
+    const char* base = chunk_.data() + pos_;
+    const std::size_t remaining = chunk_.size() - pos_;
+    const void* nl = std::memchr(base, '\n', remaining);
+
+    if (nl == nullptr) {
+      // No newline left in this chunk: the tail is torn. Carry it unless we
+      // are already skipping an oversize line or carrying it would blow the
+      // bound (then the whole line is doomed — switch to skip mode).
+      if (!skipping_) {
+        if (carry_.size() + remaining > max_line_bytes_) {
+          ++stats_.oversize_lines;
+          carry_.clear();
+          skipping_ = true;
+        } else {
+          carry_.append(base, remaining);
+        }
+      }
+      pos_ = chunk_.size();
+      return false;
+    }
+
+    const std::size_t len =
+        static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+    pos_ += len + 1;  // step past the newline
+
+    if (skipping_) {  // the oversize line just ended; resume normally
+      skipping_ = false;
+      continue;
+    }
+
+    if (!carry_.empty()) {
+      if (carry_.size() + len > max_line_bytes_) {
+        ++stats_.oversize_lines;
+        carry_.clear();
+        continue;
+      }
+      // Stitch into assembled_ so the view survives clearing the carry.
+      assembled_.assign(carry_);
+      assembled_.append(base, len);
+      carry_.clear();
+      ++stats_.torn_lines;
+      ++stats_.lines;
+      line = assembled_;
+      return true;
+    }
+
+    if (len > max_line_bytes_) {
+      ++stats_.oversize_lines;
+      continue;
+    }
+    ++stats_.lines;
+    line = std::string_view(base, len);
+    return true;
+  }
+  return false;
+}
+
+bool LineSplitter::finish(std::string_view& line) {
+  chunk_ = {};
+  pos_ = 0;
+  if (skipping_) {  // oversize line ran off the end of the stream
+    skipping_ = false;
+    return false;
+  }
+  if (carry_.empty()) return false;
+  assembled_.assign(carry_);
+  carry_.clear();
+  ++stats_.torn_lines;
+  ++stats_.lines;
+  line = assembled_;
+  return true;
+}
+
+}  // namespace desh::ingest

@@ -1,0 +1,72 @@
+// LineSplitter: chunked byte stream -> complete lines, zero heap allocation
+// on the steady-state path. The splitter scans each chunk with memchr (one
+// branch per line, not per byte), hands back string_views into the caller's
+// chunk for lines fully contained in it, and stitches lines torn across
+// chunk boundaries through a pre-reserved carry buffer. Oversize lines
+// (longer than max_line_bytes) are dropped whole — the remainder of the
+// line is skipped without buffering, so a single runaway line can never
+// balloon memory.
+//
+// Usage (single caller; the splitter is a stateful scanner, not a queue):
+//   LineSplitter splitter(config.max_line_bytes);
+//   while (read chunk) {
+//     splitter.begin_chunk(chunk);
+//     std::string_view line;
+//     while (splitter.next(line)) consume(line);
+//   }
+//   std::string_view tail;
+//   if (splitter.finish(tail)) consume(tail);  // final unterminated line
+//
+// Views returned by next()/finish() are valid until the next call into the
+// splitter (they point into the current chunk or the internal buffers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace desh::ingest {
+
+class LineSplitter {
+ public:
+  struct Stats {
+    std::uint64_t lines = 0;           // complete lines delivered
+    std::uint64_t torn_lines = 0;      // lines stitched across chunks
+    std::uint64_t oversize_lines = 0;  // lines dropped for length
+    std::uint64_t bytes = 0;           // bytes scanned (incl. newlines)
+  };
+
+  /// `max_line_bytes` bounds both delivered lines and internal buffering;
+  /// it is fully reserved up front so steady state never reallocates.
+  explicit LineSplitter(std::size_t max_line_bytes);
+
+  /// Starts scanning `chunk`. The previous chunk must be exhausted (next()
+  /// returned false); any unterminated tail was moved to the carry buffer.
+  /// `chunk` must stay alive until the next begin_chunk()/finish().
+  void begin_chunk(std::string_view chunk);
+
+  /// Next complete line of the current chunk, without its newline. Returns
+  /// false when the chunk is exhausted (a torn tail, if any, is carried).
+  bool next(std::string_view& line);
+
+  /// End of stream: delivers the final unterminated line, if one is
+  /// buffered and within bounds. Idempotent; resets the carry state.
+  bool finish(std::string_view& line);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string_view chunk_;
+  std::size_t pos_ = 0;
+  /// Unterminated tail of previous chunks (reserved to max_line_bytes_).
+  std::string carry_;
+  /// Assembly target for stitched lines: the returned view must outlive
+  /// carry_.clear(), so torn lines are composed here instead.
+  std::string assembled_;
+  /// Inside an oversize line, dropping bytes until the next newline.
+  bool skipping_ = false;
+  Stats stats_;
+};
+
+}  // namespace desh::ingest

@@ -1,0 +1,189 @@
+#include "ingest/pump.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace desh::ingest {
+
+namespace {
+
+core::Expected<void> validated(const core::IngestConfig& config) {
+  const std::vector<std::string> violations = config.validate();
+  if (violations.empty()) return {};
+  std::string joined = "IngestPump::create: invalid config:";
+  for (const std::string& v : violations) joined += "\n  " + v;
+  return core::Error{core::ErrorCode::kInvalidConfig, std::move(joined)};
+}
+
+}  // namespace
+
+IngestPump::IngestPump(serve::InferenceServer* server,
+                       fleet::FleetController* fleet,
+                       core::IngestConfig config)
+    : config_(config),
+      server_(server),
+      fleet_(fleet),
+      tracker_(TemplateTracker::Options{config.drain_tree_depth,
+                                        config.drain_similarity}),
+      splitter_(config.max_line_bytes) {}
+
+core::Expected<std::unique_ptr<IngestPump>> IngestPump::create(
+    serve::InferenceServer& server, core::IngestConfig config) {
+  if (core::Expected<void> v = validated(config); !v) return v.error();
+  return std::unique_ptr<IngestPump>(
+      new IngestPump(&server, nullptr, config));
+}
+
+core::Expected<std::unique_ptr<IngestPump>> IngestPump::create(
+    fleet::FleetController& fleet, core::IngestConfig config) {
+  if (core::Expected<void> v = validated(config); !v) return v.error();
+  return std::unique_ptr<IngestPump>(new IngestPump(nullptr, &fleet, config));
+}
+
+core::Expected<void> IngestPump::feed_bytes(std::string_view bytes) {
+  util::Stopwatch watch;
+  util::LockGuard lock(mu_);
+  obs::registry().counter(obs::kIngestBytesTotal).add(bytes.size());
+  splitter_.begin_chunk(bytes);
+  std::string_view line;
+  core::Expected<void> result;
+  while (splitter_.next(line)) {
+    if (core::Expected<void> r = process_line(line); !r) {
+      result = std::move(r);
+      break;
+    }
+  }
+  // Fold the splitter's absolute counters into the snapshot (they are the
+  // source of truth for line/byte accounting).
+  const LineSplitter::Stats& s = splitter_.stats();
+  obs::registry().counter(obs::kIngestLinesTotal).add(s.lines - stats_.lines);
+  obs::registry()
+      .counter(obs::kIngestTornLinesTotal)
+      .add(s.torn_lines - stats_.torn_lines);
+  obs::registry()
+      .counter(obs::kIngestOversizeLinesTotal)
+      .add(s.oversize_lines - stats_.oversize_lines);
+  stats_.bytes = s.bytes;
+  stats_.lines = s.lines;
+  stats_.torn_lines = s.torn_lines;
+  stats_.oversize_lines = s.oversize_lines;
+  obs::registry()
+      .histogram(obs::kIngestFeedSeconds)
+      .observe(watch.elapsed_seconds());
+  return result;
+}
+
+core::Expected<void> IngestPump::feed_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return core::Error{core::ErrorCode::kIo,
+                       "IngestPump::feed_file: cannot open " + path};
+  util::Stopwatch watch;
+  std::vector<char> buffer(config_.chunk_bytes);
+  std::uint64_t total = 0;
+  while (is) {
+    is.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize got = is.gcount();
+    if (got <= 0) break;
+    total += static_cast<std::uint64_t>(got);
+    if (core::Expected<void> r = feed_bytes(
+            std::string_view(buffer.data(), static_cast<std::size_t>(got)));
+        !r)
+      return r;
+  }
+  if (is.bad())
+    return core::Error{core::ErrorCode::kIo,
+                       "IngestPump::feed_file: read failed for " + path};
+  if (core::Expected<void> r = finish(); !r) return r;
+  const double elapsed = watch.elapsed_seconds();
+  if (elapsed > 0)
+    obs::registry()
+        .gauge(obs::kIngestBytesPerSecond)
+        .set(static_cast<double>(total) / elapsed);
+  return {};
+}
+
+core::Expected<void> IngestPump::finish() {
+  util::LockGuard lock(mu_);
+  std::string_view tail;
+  core::Expected<void> result;
+  if (splitter_.finish(tail)) result = process_line(tail);
+  const LineSplitter::Stats& s = splitter_.stats();
+  obs::registry().counter(obs::kIngestLinesTotal).add(s.lines - stats_.lines);
+  obs::registry()
+      .counter(obs::kIngestTornLinesTotal)
+      .add(s.torn_lines - stats_.torn_lines);
+  obs::registry()
+      .counter(obs::kIngestOversizeLinesTotal)
+      .add(s.oversize_lines - stats_.oversize_lines);
+  stats_.lines = s.lines;
+  stats_.torn_lines = s.torn_lines;
+  stats_.oversize_lines = s.oversize_lines;
+  return result;
+}
+
+core::Expected<void> IngestPump::process_line(std::string_view line) {
+  ParsedLine parsed;
+  if (!parser_.parse(line, parsed)) {
+    ++stats_.unparseable_lines;
+    obs::registry().counter(obs::kIngestUnparseableLinesTotal).add(1);
+    return {};  // real console logs always contain junk — count and move on
+  }
+  const TemplateTracker::Observation seen = tracker_.observe(parsed.message);
+  if (seen.novel) {
+    ++stats_.new_templates;
+    obs::registry().counter(obs::kIngestNewTemplatesTotal).add(1);
+  }
+  const logs::LogRecord record = SyslogViewParser::to_record(parsed);
+  if (core::Expected<void> r = submit_with_retry(record); !r) return r;
+  ++stats_.records;
+  obs::registry().counter(obs::kIngestRecordsTotal).add(1);
+  return {};
+}
+
+core::Expected<void> IngestPump::submit_with_retry(
+    const logs::LogRecord& record) {
+  std::size_t attempts = 0;
+  while (true) {
+    const serve::Admission admission =
+        server_ ? server_->submit(record) : fleet_->submit(record);
+    if (admission == serve::Admission::kAccepted) return {};
+    if (admission == serve::Admission::kStopped)
+      return core::Error{core::ErrorCode::kUnavailable,
+                         "IngestPump: sink stopped while feeding"};
+    // kQueueFull: explicit backpressure — relieve it or back off.
+    ++stats_.admission_retries;
+    obs::registry().counter(obs::kIngestAdmissionRetriesTotal).add(1);
+    ++attempts;
+    if (config_.max_admission_retries != 0 &&
+        attempts > config_.max_admission_retries)
+      return core::Error{
+          core::ErrorCode::kUnavailable,
+          "IngestPump: sink queue still full after " +
+              std::to_string(config_.max_admission_retries) + " retries"};
+    if (config_.pump_on_queue_full) {
+      // Manual-pump sink: the feeder doubles as the pumper, so draining a
+      // batch inline is both legal and the fastest way to free capacity.
+      if (server_)
+        server_->pump();
+      else
+        fleet_->pump();
+    } else if (config_.retry_backoff_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          config_.retry_backoff_seconds));
+    }
+  }
+}
+
+IngestStats IngestPump::stats() const {
+  util::LockGuard lock(mu_);
+  return stats_;
+}
+
+}  // namespace desh::ingest

@@ -1,0 +1,99 @@
+// IngestPump: the bridge from raw syslog bytes to live predictions. Feeds
+// chunks (or whole files) through the LineSplitter -> SyslogViewParser ->
+// TemplateTracker chain and submits every parsed record to a serving sink
+// (serve::InferenceServer or fleet::FleetController), honoring the sink's
+// backpressure contract: Admission::kQueueFull is retried — by pumping the
+// sink inline when `pump_on_queue_full` is set (manual-pump sinks), or by
+// backing off `retry_backoff_seconds` (collector-threaded sinks) — so no
+// record is ever silently dropped between the wire and the queue.
+//
+// Equivalence contract (tests/test_ingest.cpp): feeding
+// render_syslog_text(corpus) through an IngestPump into a manual-pump
+// server yields the same decision stream as feeding
+// canonicalize_syslog(corpus) through StreamingMonitor::observe directly,
+// at any monitor thread count.
+//
+// Threading: one feeder at a time (like InferenceServer::pump()); stats()
+// and tracker() may be called from other threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "core/expected.hpp"
+#include "fleet/controller.hpp"
+#include "ingest/line_splitter.hpp"
+#include "ingest/syslog_view.hpp"
+#include "ingest/template_tracker.hpp"
+#include "serve/server.hpp"
+#include "util/sync.hpp"
+
+namespace desh::ingest {
+
+/// Lifetime counters (also exported as the desh_ingest_* metric family).
+struct IngestStats {
+  std::uint64_t bytes = 0;              // raw bytes scanned
+  std::uint64_t lines = 0;              // complete lines seen
+  std::uint64_t records = 0;            // parsed + admitted records
+  std::uint64_t torn_lines = 0;         // lines stitched across chunks
+  std::uint64_t unparseable_lines = 0;  // lines the parser rejected
+  std::uint64_t oversize_lines = 0;     // lines dropped for length
+  std::uint64_t new_templates = 0;      // first-sight drain templates
+  std::uint64_t admission_retries = 0;  // kQueueFull retry loops taken
+};
+
+class IngestPump {
+ public:
+  /// Builds a pump over a server the caller keeps alive. Errors:
+  /// kInvalidConfig (all core::IngestConfig violations, field-path
+  /// messages).
+  [[nodiscard]] static core::Expected<std::unique_ptr<IngestPump>> create(
+      serve::InferenceServer& server, core::IngestConfig config = {});
+
+  /// Same, over a whole fleet (records fan out via the fleet's router).
+  [[nodiscard]] static core::Expected<std::unique_ptr<IngestPump>> create(
+      fleet::FleetController& fleet, core::IngestConfig config = {});
+
+  IngestPump(const IngestPump&) = delete;
+  IngestPump& operator=(const IngestPump&) = delete;
+
+  /// Scans one chunk of raw bytes; a trailing torn line is carried into the
+  /// next call. Errors: kUnavailable (sink stopped, or queue still full
+  /// after max_admission_retries).
+  [[nodiscard]] core::Expected<void> feed_bytes(std::string_view bytes);
+
+  /// Streams a whole file through feed_bytes in chunk_bytes reads and
+  /// finishes the final line. Errors: kIo (open/read), plus feed_bytes'.
+  [[nodiscard]] core::Expected<void> feed_file(const std::string& path);
+
+  /// End of stream: flushes the final unterminated line, if any. The sink
+  /// is NOT drained — that stays the caller's call.
+  [[nodiscard]] core::Expected<void> finish();
+
+  IngestStats stats() const;
+  TemplateTracker& tracker() { return tracker_; }
+
+ private:
+  IngestPump(serve::InferenceServer* server, fleet::FleetController* fleet,
+             core::IngestConfig config);
+
+  [[nodiscard]] core::Expected<void> process_line(std::string_view line)
+      DESH_REQUIRES(mu_);
+  [[nodiscard]] core::Expected<void> submit_with_retry(
+      const logs::LogRecord& record) DESH_REQUIRES(mu_);
+
+  core::IngestConfig config_;
+  serve::InferenceServer* server_;  // exactly one of these is non-null
+  fleet::FleetController* fleet_;
+  TemplateTracker tracker_;  // own lock; safe to read while feeding
+
+  mutable util::Mutex mu_;  // serializes feeders; stats() reads under it
+  LineSplitter splitter_ DESH_GUARDED_BY(mu_);
+  SyslogViewParser parser_ DESH_GUARDED_BY(mu_);
+  IngestStats stats_ DESH_GUARDED_BY(mu_);
+};
+
+}  // namespace desh::ingest

@@ -1,0 +1,90 @@
+#include "ingest/syslog_view.hpp"
+
+#include <cctype>
+
+#include "logs/syslog.hpp"
+
+namespace desh::ingest {
+
+namespace {
+
+inline bool is_ws(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Advances past leading whitespace and returns the next token, or an empty
+/// view when the line is exhausted. Mirrors util::split_whitespace's token
+/// boundaries (std::isspace) without materializing anything.
+std::string_view next_token(std::string_view line, std::size_t& pos) {
+  while (pos < line.size() && is_ws(line[pos])) ++pos;
+  const std::size_t start = pos;
+  while (pos < line.size() && !is_ws(line[pos])) ++pos;
+  return line.substr(start, pos - start);
+}
+
+}  // namespace
+
+SyslogViewParser::SyslogViewParser() { scratch_.reserve(256); }
+
+bool SyslogViewParser::parse(std::string_view line, ParsedLine& out) {
+  std::size_t pos = 0;
+  const std::string_view month_tok = next_token(line, pos);
+  const int month = logs::syslog_fields::month_index(month_tok);
+  if (month < 0) return false;
+
+  int day = 0, hh = 0, mm = 0, ss = 0;
+  if (!logs::syslog_fields::parse_day(next_token(line, pos), day))
+    return false;
+  if (!logs::syslog_fields::parse_clock(next_token(line, pos), hh, mm, ss))
+    return false;
+
+  logs::NodeId node;
+  if (!logs::NodeId::try_parse(next_token(line, pos), node)) return false;
+
+  // Message = whitespace-normalized remainder; must be non-empty (the batch
+  // parser requires >= 5 tokens).
+  while (pos < line.size() && is_ws(line[pos])) ++pos;
+  if (pos >= line.size()) return false;
+  std::size_t end = line.size();
+  while (end > pos && is_ws(line[end - 1])) --end;
+
+  // Fast path: already normalized (single spaces only) — borrow the input.
+  bool normalized = true;
+  for (std::size_t i = pos; i < end; ++i) {
+    const char c = line[i];
+    if (c == ' ' ? (line[i - 1] == ' ') : is_ws(c)) {
+      normalized = false;
+      break;
+    }
+  }
+  if (normalized) {
+    out.message = line.substr(pos, end - pos);
+  } else {
+    scratch_.clear();
+    bool in_ws = false;
+    for (std::size_t i = pos; i < end; ++i) {
+      if (is_ws(line[i])) {
+        in_ws = true;
+        continue;
+      }
+      if (in_ws) scratch_.push_back(' ');
+      in_ws = false;
+      scratch_.push_back(line[i]);
+    }
+    out.message = scratch_;
+  }
+
+  out.timestamp = logs::syslog_fields::timestamp_from(month, day, hh, mm, ss);
+  out.node = node;
+  return true;
+}
+
+logs::LogRecord SyslogViewParser::to_record(const ParsedLine& parsed) {
+  logs::LogRecord record;
+  record.timestamp = parsed.timestamp;
+  record.node = parsed.node;
+  record.message.assign(parsed.message);
+  return record;
+}
+
+}  // namespace desh::ingest

@@ -1,0 +1,44 @@
+// Allocation-free streaming counterpart of logs::parse_syslog_line. One
+// parser instance owns a pre-reserved scratch buffer; parse() tokenizes the
+// line in place (string_view walk, no vector, no per-token strings) and
+// produces exactly the record the batch parser would: same field validation
+// (shared logs::syslog_fields helpers), same whitespace-normalized message.
+// When the raw message tail is already normalized — single spaces, no
+// leading/trailing whitespace, which is what format_syslog_line emits — the
+// message is a view into the input line; otherwise it is normalized into
+// the scratch buffer. Either way the view dies at the next parse() call.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "logs/node_id.hpp"
+#include "logs/record.hpp"
+
+namespace desh::ingest {
+
+/// One parsed line; `message` is a borrowed view (see header comment).
+struct ParsedLine {
+  double timestamp = 0.0;
+  logs::NodeId node;
+  std::string_view message;
+};
+
+class SyslogViewParser {
+ public:
+  SyslogViewParser();
+
+  /// Parses "Mon DD HH:MM:SS <node-id> <message>". Returns false for lines
+  /// logs::parse_syslog_line would reject; acceptance is bit-for-bit
+  /// identical (tests/test_ingest.cpp fuzzes the agreement).
+  bool parse(std::string_view line, ParsedLine& out);
+
+  /// Copies a parse result into an owning LogRecord (this is where the
+  /// message string is finally materialized, off the tokenize hot path).
+  static logs::LogRecord to_record(const ParsedLine& parsed);
+
+ private:
+  std::string scratch_;  // message normalization target, reserved up front
+};
+
+}  // namespace desh::ingest

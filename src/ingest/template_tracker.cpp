@@ -1,0 +1,51 @@
+#include "ingest/template_tracker.hpp"
+
+namespace desh::ingest {
+
+TemplateTracker::TemplateTracker() : TemplateTracker(Options{}) {}
+
+TemplateTracker::TemplateTracker(Options options)
+    : miner_(logs::DrainMiner::Config{options.tree_depth,
+                                      options.similarity_threshold,
+                                      /*premask_numbers=*/true}) {}
+
+TemplateTracker::Observation TemplateTracker::observe(
+    std::string_view message) {
+  util::LockGuard lock(mu_);
+  const std::uint32_t drain_id = miner_.add(message);
+  Observation obs;
+  obs.drain_id = drain_id;
+  if (drain_id >= drain_to_vocab_.size()) {
+    // First sighting: bind the template's first-sight text to a fresh
+    // vocab id. DrainMiner issues ids densely, so this appends exactly one.
+    const std::uint32_t vocab_id = vocab_.add(miner_.template_text(drain_id));
+    drain_to_vocab_.resize(drain_id + 1, logs::PhraseVocab::kUnknownId);
+    drain_to_vocab_[drain_id] = vocab_id;
+    obs.novel = true;
+    ++novel_;
+  }
+  obs.vocab_id = drain_to_vocab_[drain_id];
+  return obs;
+}
+
+std::size_t TemplateTracker::template_count() const {
+  util::LockGuard lock(mu_);
+  return miner_.template_count();
+}
+
+std::uint64_t TemplateTracker::novel_count() const {
+  util::LockGuard lock(mu_);
+  return novel_;
+}
+
+logs::PhraseVocab TemplateTracker::vocab_snapshot() const {
+  util::LockGuard lock(mu_);
+  return vocab_;
+}
+
+std::string TemplateTracker::template_text(std::uint32_t drain_id) const {
+  util::LockGuard lock(mu_);
+  return miner_.template_text(drain_id);
+}
+
+}  // namespace desh::ingest

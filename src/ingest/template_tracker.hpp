@@ -1,0 +1,65 @@
+// TemplateTracker: thread-safe online template-id assignment for the raw
+// stream. Wraps a logs::DrainMiner (online template learning, stable ids)
+// and maintains an incremental template -> phrase-vocab mapping, so the
+// raw-log frontend exposes the same (drain id, vocab id) coordinates the
+// batch pipeline derives offline. The `novel` flag marks the first sighting
+// of a drain template — that is the signal desh::adapt's OOV drift detector
+// corroborates when a deployment starts emitting messages the champion's
+// vocabulary has never encoded.
+//
+// Note on vocab ids: DrainMiner templates *generalize* over time (tokens
+// become '*'), so the vocab entry registered at first sight may differ from
+// the template's later text. The tracker keeps the first-sight binding —
+// ids must stay stable for downstream consumers, exactly like drain ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logs/drain_miner.hpp"
+#include "logs/vocab.hpp"
+#include "util/sync.hpp"
+
+namespace desh::ingest {
+
+class TemplateTracker {
+ public:
+  struct Options {
+    std::size_t tree_depth = 2;
+    double similarity_threshold = 0.55;
+  };
+
+  TemplateTracker();  // default Options
+  explicit TemplateTracker(Options options);
+
+  struct Observation {
+    std::uint32_t drain_id = 0;  // DrainMiner id (stable)
+    std::uint32_t vocab_id = 0;  // PhraseVocab id (stable, never kUnknownId)
+    bool novel = false;          // first sighting of this template
+  };
+
+  /// Learns from one raw message and returns its coordinates. Thread-safe.
+  Observation observe(std::string_view message);
+
+  std::size_t template_count() const;
+  std::uint64_t novel_count() const;
+
+  /// Copy of the incrementally built vocabulary (template text at first
+  /// sight, ids aligned with Observation::vocab_id).
+  logs::PhraseVocab vocab_snapshot() const;
+
+  /// Current (possibly generalized) template text for a drain id.
+  std::string template_text(std::uint32_t drain_id) const;
+
+ private:
+  mutable util::Mutex mu_;
+  logs::DrainMiner miner_ DESH_GUARDED_BY(mu_);
+  logs::PhraseVocab vocab_ DESH_GUARDED_BY(mu_);
+  /// drain id -> vocab id, appended when a new template is issued.
+  std::vector<std::uint32_t> drain_to_vocab_ DESH_GUARDED_BY(mu_);
+  std::uint64_t novel_ DESH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace desh::ingest

@@ -3,29 +3,33 @@
 #include <cstdio>
 #include <fstream>
 
-#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace desh::logs {
 
-void save_corpus(const LogCorpus& corpus, const std::string& path) {
+core::Expected<void> save_corpus(const LogCorpus& corpus,
+                                 const std::string& path) {
   std::ofstream os(path);
-  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
-  if (!os) throw util::IoError("save_corpus: cannot open " + path);
+  if (!os)
+    return core::Error{core::ErrorCode::kIo,
+                       "save_corpus: cannot open " + path};
   char ts[32];
   for (const LogRecord& record : corpus) {
     std::snprintf(ts, sizeof(ts), "%.6f", record.timestamp);
     os << ts << ' ' << record.node.to_string() << ' ' << record.message
        << '\n';
   }
-  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
-  if (!os) throw util::IoError("save_corpus: write failed for " + path);
+  if (!os)
+    return core::Error{core::ErrorCode::kIo,
+                       "save_corpus: write failed for " + path};
+  return {};
 }
 
-LogCorpus load_corpus(const std::string& path) {
+core::Expected<LogCorpus> load_corpus(const std::string& path) {
   std::ifstream is(path);
-  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
-  if (!is) throw util::IoError("load_corpus: cannot open " + path);
+  if (!is)
+    return core::Error{core::ErrorCode::kIo,
+                       "load_corpus: cannot open " + path};
   LogCorpus corpus;
   std::string line;
   std::size_t line_no = 0;
@@ -35,12 +39,18 @@ LogCorpus load_corpus(const std::string& path) {
     const std::size_t sp1 = line.find(' ');
     const std::size_t sp2 =
         sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
-    util::require(sp2 != std::string::npos,
-                  "load_corpus: malformed line " + std::to_string(line_no) +
-                      " in " + path);
+    if (sp2 == std::string::npos)
+      return core::Error{core::ErrorCode::kInvalidArgument,
+                         "load_corpus: malformed line " +
+                             std::to_string(line_no) + " in " + path};
     LogRecord record;
     record.timestamp = std::strtod(line.substr(0, sp1).c_str(), nullptr);
-    record.node = NodeId::parse(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    NodeId node;
+    if (!NodeId::try_parse(line.substr(sp1 + 1, sp2 - sp1 - 1), node))
+      return core::Error{core::ErrorCode::kInvalidArgument,
+                         "load_corpus: malformed node id on line " +
+                             std::to_string(line_no) + " in " + path};
+    record.node = node;
     record.message = line.substr(sp2 + 1);
     corpus.push_back(std::move(record));
   }

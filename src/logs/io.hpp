@@ -5,15 +5,18 @@
 
 #include <string>
 
+#include "core/expected.hpp"
 #include "logs/record.hpp"
 
 namespace desh::logs {
 
 /// Writes one record per line: "<seconds> <node> <message>".
-void save_corpus(const LogCorpus& corpus, const std::string& path);
+/// Errors: kIo (open/write failure).
+[[nodiscard]] core::Expected<void> save_corpus(const LogCorpus& corpus,
+                                               const std::string& path);
 
-/// Reads a corpus written by save_corpus; throws util::IoError on failure
-/// and util::InvalidArgument on malformed lines.
-LogCorpus load_corpus(const std::string& path);
+/// Reads a corpus written by save_corpus. Errors: kIo (open failure),
+/// kInvalidArgument (malformed line, message names the line number).
+[[nodiscard]] core::Expected<LogCorpus> load_corpus(const std::string& path);
 
 }  // namespace desh::logs

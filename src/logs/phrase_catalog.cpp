@@ -44,9 +44,9 @@ const CatalogPhrase& PhraseCatalog::phrase(std::size_t index) const {
 std::size_t PhraseCatalog::index_of(std::string_view tmpl) const {
   for (std::size_t i = 0; i < phrases_.size(); ++i)
     if (phrases_[i].tmpl == tmpl) return i;
-  // desh-lint: allow(throw-discipline) legacy throwing lookup
-  throw util::InvalidArgument("PhraseCatalog::index_of: unknown template '" +
-                              std::string(tmpl) + "'");
+  util::require(false, "PhraseCatalog::index_of: unknown template '" +
+                           std::string(tmpl) + "'");
+  return 0;  // unreachable: require() reports the precondition violation
 }
 
 bool PhraseCatalog::has_template(std::string_view tmpl) const {

@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <fstream>
 
-#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace desh::logs {
@@ -18,35 +17,69 @@ constexpr std::array<std::string_view, 12> kMonths = {
 constexpr std::array<int, 12> kMonthStart = {0,   31,  59,  90,  120, 151,
                                              181, 212, 243, 273, 304, 334};
 
-int month_index(std::string_view name) {
-  for (std::size_t i = 0; i < kMonths.size(); ++i)
-    if (kMonths[i] == name) return static_cast<int>(i);
-  return -1;
+/// Strict decimal field: the whole token must be 1..max_digits digits.
+/// (sscanf "%d" would accept "12abc" as 12 — the asymmetry that let parse
+/// accept lines format_syslog_line can never produce.)
+bool parse_digits(std::string_view token, std::size_t max_digits, int& out) {
+  if (token.empty() || token.size() > max_digits) return false;
+  int value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  out = value;
+  return true;
 }
 }  // namespace
+
+namespace syslog_fields {
+
+int month_index(std::string_view token) {
+  for (std::size_t i = 0; i < kMonths.size(); ++i)
+    if (kMonths[i] == token) return static_cast<int>(i);
+  return -1;
+}
+
+bool parse_day(std::string_view token, int& day) {
+  return parse_digits(token, 2, day) && day >= 1 && day <= 31;
+}
+
+bool parse_clock(std::string_view token, int& hh, int& mm, int& ss) {
+  const std::size_t c1 = token.find(':');
+  if (c1 == std::string_view::npos) return false;
+  const std::size_t c2 = token.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return false;
+  if (!parse_digits(token.substr(0, c1), 2, hh) ||
+      !parse_digits(token.substr(c1 + 1, c2 - c1 - 1), 2, mm) ||
+      !parse_digits(token.substr(c2 + 1), 2, ss))
+    return false;
+  return hh <= 23 && mm <= 59 && ss <= 60;
+}
+
+double timestamp_from(int month, int day, int hh, int mm, int ss) {
+  return ((kMonthStart[static_cast<std::size_t>(month)] + day - 1) * 24.0 +
+          hh) *
+             3600.0 +
+         mm * 60.0 + ss;
+}
+
+}  // namespace syslog_fields
 
 std::optional<LogRecord> parse_syslog_line(std::string_view line) {
   const std::vector<std::string> tokens = util::split_whitespace(line);
   if (tokens.size() < 5) return std::nullopt;
-  const int month = month_index(tokens[0]);
+  const int month = syslog_fields::month_index(tokens[0]);
   if (month < 0) return std::nullopt;
 
   int day = 0, hh = 0, mm = 0, ss = 0;
-  if (std::sscanf(tokens[1].c_str(), "%d", &day) != 1 || day < 1 || day > 31)
-    return std::nullopt;
-  if (std::sscanf(tokens[2].c_str(), "%d:%d:%d", &hh, &mm, &ss) != 3)
-    return std::nullopt;
-  if (hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 60)
-    return std::nullopt;
+  if (!syslog_fields::parse_day(tokens[1], day)) return std::nullopt;
+  if (!syslog_fields::parse_clock(tokens[2], hh, mm, ss)) return std::nullopt;
 
   NodeId node;
   if (!NodeId::try_parse(tokens[3], node)) return std::nullopt;
 
   LogRecord record;
-  record.timestamp =
-      ((kMonthStart[static_cast<std::size_t>(month)] + day - 1) * 24.0 + hh) *
-          3600.0 +
-      mm * 60.0 + ss;
+  record.timestamp = syslog_fields::timestamp_from(month, day, hh, mm, ss);
   record.node = node;
   // Message = everything after the node-id token, original spacing lost
   // (syslog tooling normalizes whitespace anyway).
@@ -75,10 +108,11 @@ std::string format_syslog_line(const LogRecord& record) {
          record.message;
 }
 
-LogCorpus load_syslog_file(const std::string& path) {
+core::Expected<LogCorpus> load_syslog_file(const std::string& path) {
   std::ifstream is(path);
-  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
-  if (!is) throw util::IoError("load_syslog_file: cannot open " + path);
+  if (!is)
+    return core::Error{core::ErrorCode::kIo,
+                       "load_syslog_file: cannot open " + path};
   LogCorpus corpus;
   std::string line;
   while (std::getline(is, line))
@@ -86,6 +120,42 @@ LogCorpus load_syslog_file(const std::string& path) {
       corpus.push_back(std::move(*record));
   std::stable_sort(corpus.begin(), corpus.end());
   return corpus;
+}
+
+std::string render_syslog_text(const LogCorpus& corpus) {
+  std::string text;
+  for (const LogRecord& record : corpus) {
+    text += format_syslog_line(record);
+    text += '\n';
+  }
+  return text;
+}
+
+core::Expected<void> save_syslog_file(const LogCorpus& corpus,
+                                      const std::string& path) {
+  std::ofstream os(path);
+  if (!os)
+    return core::Error{core::ErrorCode::kIo,
+                       "save_syslog_file: cannot open " + path};
+  for (const LogRecord& record : corpus) os << format_syslog_line(record)
+                                            << '\n';
+  if (!os)
+    return core::Error{core::ErrorCode::kIo,
+                       "save_syslog_file: write failed for " + path};
+  return {};
+}
+
+LogCorpus canonicalize_syslog(const LogCorpus& corpus) {
+  // Definitionally the round trip itself: whatever format emits and parse
+  // accepts survives; records syslog cannot carry (e.g. empty messages,
+  // which format to a 4-token line) drop out — exactly as they would
+  // streaming through desh::ingest.
+  LogCorpus out;
+  out.reserve(corpus.size());
+  for (const LogRecord& record : corpus)
+    if (auto round = parse_syslog_line(format_syslog_line(record)))
+      out.push_back(std::move(*round));
+  return out;
 }
 
 }  // namespace desh::logs

@@ -1,13 +1,16 @@
 // Adapter for classic BSD-syslog-formatted console logs — the on-disk form
 // of real Cray /var/log streams ("Mar 15 10:47:39 c0-0c0s0n2 message...").
 // Lets a deployment feed actual log files into the pipeline without
-// converting to the repository's native format first.
+// converting to the repository's native format first, and renders synthetic
+// corpora back into that raw form so desh::ingest has ground-truth-labeled
+// raw text to chew on.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "core/expected.hpp"
 #include "logs/record.hpp"
 
 namespace desh::logs {
@@ -15,7 +18,9 @@ namespace desh::logs {
 /// Parses one syslog line "Mon DD HH:MM:SS <node-id> <message>". Timestamps
 /// become seconds since Jan 1 (non-leap year). Returns nullopt on lines that
 /// do not match (continuation lines, corrupt input) — callers typically
-/// skip those, as real console logs always contain some.
+/// skip those, as real console logs always contain some. Day and time
+/// tokens must be pure digits: "12abc" is rejected, not read as 12, so
+/// parse accepts exactly the forms format_syslog_line can emit.
 std::optional<LogRecord> parse_syslog_line(std::string_view line);
 
 /// Renders a record in the same format (inverse of parse_syslog_line up to
@@ -23,7 +28,44 @@ std::optional<LogRecord> parse_syslog_line(std::string_view line);
 std::string format_syslog_line(const LogRecord& record);
 
 /// Loads a whole syslog file, skipping unparseable lines; returns records
-/// sorted by timestamp. Throws util::IoError if the file cannot be read.
-LogCorpus load_syslog_file(const std::string& path);
+/// sorted by timestamp. Errors: kIo when the file cannot be read.
+[[nodiscard]] core::Expected<LogCorpus> load_syslog_file(
+    const std::string& path);
+
+/// Renders a corpus as raw syslog text, one line per record in corpus
+/// order — the raw-text emitter the ingest benches and tests feed from
+/// (record messages come from SyntheticCraySource::render_message).
+std::string render_syslog_text(const LogCorpus& corpus);
+
+/// render_syslog_text straight to a file. Errors: kIo (open/write).
+[[nodiscard]] core::Expected<void> save_syslog_file(const LogCorpus& corpus,
+                                                    const std::string& path);
+
+/// What a format -> parse round trip preserves of a record: timestamps are
+/// floored to whole seconds (and clamped to the syslog year), messages are
+/// whitespace-normalized. Feeding canonicalize_syslog(corpus) to a monitor
+/// and render_syslog_text(corpus) to desh::ingest must yield bit-identical
+/// decision streams. The floor is monotone, so record order is preserved.
+LogCorpus canonicalize_syslog(const LogCorpus& corpus);
+
+/// The exact field-level building blocks of parse_syslog_line, exposed so
+/// the allocation-free streaming parser in src/ingest shares one definition
+/// of "valid syslog field" with the batch path (divergence here would break
+/// the ingest-vs-preparsed equivalence contract). All are allocation-free.
+namespace syslog_fields {
+
+/// Index of an abbreviated month name ("Jan".."Dec"), or -1.
+int month_index(std::string_view token);
+
+/// Strict 1-2 pure-digit day in [1, 31].
+bool parse_day(std::string_view token, int& day);
+
+/// Strict "H[H]:M[M]:S[S]" with hh<=23, mm<=59, ss<=60 (leap second).
+bool parse_clock(std::string_view token, int& hh, int& mm, int& ss);
+
+/// Seconds since Jan 1 (non-leap year) — parse_syslog_line's formula.
+double timestamp_from(int month, int day, int hh, int mm, int ss);
+
+}  // namespace syslog_fields
 
 }  // namespace desh::logs

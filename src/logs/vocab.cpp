@@ -35,21 +35,25 @@ const std::string& PhraseVocab::decode(std::uint32_t id) const {
   return id_to_template_[id];
 }
 
-void PhraseVocab::save(const std::string& path) const {
+core::Expected<void> PhraseVocab::save(const std::string& path) const {
   std::ofstream os(path);
-  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
-  if (!os) throw util::IoError("PhraseVocab::save: cannot open " + path);
+  if (!os)
+    return core::Error{core::ErrorCode::kIo,
+                       "PhraseVocab::save: cannot open " + path};
   // Skip the <unk> sentinel (id 0); load() re-creates it.
   for (std::size_t i = 1; i < id_to_template_.size(); ++i)
     os << id_to_template_[i] << '\n';
-  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
-  if (!os) throw util::IoError("PhraseVocab::save: write failed for " + path);
+  if (!os)
+    return core::Error{core::ErrorCode::kIo,
+                       "PhraseVocab::save: write failed for " + path};
+  return {};
 }
 
-PhraseVocab PhraseVocab::load(const std::string& path) {
+core::Expected<PhraseVocab> PhraseVocab::load(const std::string& path) {
   std::ifstream is(path);
-  // desh-lint: allow(throw-discipline) legacy throwing I/O helper
-  if (!is) throw util::IoError("PhraseVocab::load: cannot open " + path);
+  if (!is)
+    return core::Error{core::ErrorCode::kIo,
+                       "PhraseVocab::load: cannot open " + path};
   PhraseVocab vocab;
   std::string line;
   while (std::getline(is, line))

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/expected.hpp"
+
 namespace desh::logs {
 
 class PhraseVocab {
@@ -30,9 +32,10 @@ class PhraseVocab {
   std::size_t size() const { return id_to_template_.size(); }
 
   /// Plain-text persistence (one template per line, line number = id - the
-  /// <unk> sentinel occupies line 0).
-  void save(const std::string& path) const;
-  static PhraseVocab load(const std::string& path);
+  /// <unk> sentinel occupies line 0). Errors: kIo (open/write failure).
+  [[nodiscard]] core::Expected<void> save(const std::string& path) const;
+  [[nodiscard]] static core::Expected<PhraseVocab> load(
+      const std::string& path);
 
  private:
   std::unordered_map<std::string, std::uint32_t> template_to_id_;

@@ -278,6 +278,40 @@ inline constexpr MetricDef kCompilePackedBytes{
     "Packed parameter bytes (weights + scales + biases + embedding) of the "
     "most recently emitted program"};
 
+// --- raw-log ingestion (desh::ingest) -------------------------------------
+inline constexpr MetricDef kIngestBytesTotal{
+    "desh_ingest_bytes_total", "counter", "bytes",
+    "Raw console-log bytes fed through the ingest line splitter"};
+inline constexpr MetricDef kIngestLinesTotal{
+    "desh_ingest_lines_total", "counter", "lines",
+    "Complete lines produced by the splitter (parseable or not)"};
+inline constexpr MetricDef kIngestRecordsTotal{
+    "desh_ingest_records_total", "counter", "records",
+    "Lines that parsed into a syslog record and were offered to the target"};
+inline constexpr MetricDef kIngestTornLinesTotal{
+    "desh_ingest_torn_lines_total", "counter", "lines",
+    "Lines reassembled from the carry buffer after a chunk boundary tore "
+    "them"};
+inline constexpr MetricDef kIngestUnparseableLinesTotal{
+    "desh_ingest_unparseable_lines_total", "counter", "lines",
+    "Complete lines the syslog field parser rejected (continuation lines, "
+    "corrupt input)"};
+inline constexpr MetricDef kIngestOversizeLinesTotal{
+    "desh_ingest_oversize_lines_total", "counter", "lines",
+    "Lines dropped whole for exceeding ingest.max_line_bytes"};
+inline constexpr MetricDef kIngestNewTemplatesTotal{
+    "desh_ingest_new_templates_total", "counter", "templates",
+    "Novel templates the online Drain tracker issued a fresh id for"};
+inline constexpr MetricDef kIngestAdmissionRetriesTotal{
+    "desh_ingest_admission_retries_total", "counter", "retries",
+    "submit() attempts repeated after Admission::kQueueFull backpressure"};
+inline constexpr MetricDef kIngestBytesPerSecond{
+    "desh_ingest_bytes_per_second", "gauge", "bytes/s",
+    "Raw-text throughput of the most recent IngestPump feed call"};
+inline constexpr MetricDef kIngestFeedSeconds{
+    "desh_ingest_feed_seconds", "histogram", "seconds",
+    "Wall time of one feed() chunk pass (split + parse + track + submit)"};
+
 /// Everything above, for exhaustive iteration (docs test, exporters demo).
 inline constexpr const MetricDef* kCatalog[] = {
     &kTrainStepsTotal,      &kTrainGradClipTotal,  &kTrainStepSeconds,
@@ -309,6 +343,11 @@ inline constexpr const MetricDef* kCatalog[] = {
     &kCompileCalibrationSeconds, &kCompileCalibrationDelta,
     &kCompileCalibrationRejectsTotal, &kCompileProgramOps,
     &kCompilePackedBytes,
+    &kIngestBytesTotal,     &kIngestLinesTotal,    &kIngestRecordsTotal,
+    &kIngestTornLinesTotal, &kIngestUnparseableLinesTotal,
+    &kIngestOversizeLinesTotal, &kIngestNewTemplatesTotal,
+    &kIngestAdmissionRetriesTotal, &kIngestBytesPerSecond,
+    &kIngestFeedSeconds,
 };
 
 }  // namespace desh::obs

@@ -1,0 +1,12 @@
+// Seeds the public-throw rule's src/logs extension: the subsystem behind
+// desh::ingest's streaming pump is throw-free in .cpp files too, not just
+// headers. Both waivers below are spelled out: the throw-discipline one IS
+// honored (that rule stays waivable), the public-throw one is ignored —
+// the finding the fixture test pins is proof that src/logs cannot opt out
+// of the Expected error taxonomy.
+#include <stdexcept>
+
+void logs_fixture_throwing() {
+  // desh-lint: allow(throw-discipline) desh-lint: allow(public-throw)
+  throw std::runtime_error("src/logs must return core::Expected instead");
+}

@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
 
+#include "core/expected.hpp"
 #include "logs/drain_miner.hpp"
 #include "logs/generator.hpp"
 #include "logs/syslog.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace desh::logs {
 namespace {
@@ -128,12 +132,174 @@ TEST(Syslog, LoadsFileSkippingJunk) {
        << "garbage line without structure\n"
        << "Jan  1 23:59:50 c0-0c0s0n0 first event\n";
   }
-  const LogCorpus corpus = load_syslog_file(path);
+  core::Expected<LogCorpus> loaded = load_syslog_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  const LogCorpus& corpus = loaded.value();
   ASSERT_EQ(corpus.size(), 2u);  // junk skipped
   EXPECT_LT(corpus[0].timestamp, corpus[1].timestamp);  // sorted
   EXPECT_EQ(corpus[0].message, "first event");
   std::remove(path.c_str());
-  EXPECT_THROW(load_syslog_file("/nonexistent/sys.log"), util::IoError);
+  core::Expected<LogCorpus> missing = load_syslog_file("/nonexistent/sys.log");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, core::ErrorCode::kIo);
+}
+
+TEST(Syslog, RejectsDigitTokensWithTrailingGarbage) {
+  // sscanf-style parsing once accepted these ("12abc" read as 12), making
+  // parse accept lines format_syslog_line can never emit. Day and clock
+  // tokens must now be pure digits.
+  EXPECT_FALSE(parse_syslog_line("Mar 15abc 10:47:39 c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 15 10:47:39xyz c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 1e1 10:47:39 c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar -5 10:47:39 c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 15 10:4a:39 c0-0c0s0n2 m").has_value());
+  EXPECT_FALSE(parse_syslog_line("Mar 15 +1:47:39 c0-0c0s0n2 m").has_value());
+  // Loose field widths without garbage stay accepted (real syslogs vary).
+  EXPECT_TRUE(parse_syslog_line("Mar 5 1:2:3 c0-0c0s0n2 m").has_value());
+}
+
+TEST(Syslog, FormatParseRoundTripProperty) {
+  // Seeded fuzz over node-id shapes, day padding and sub-second truncation:
+  // for any in-year record with a non-empty catalog-rendered message,
+  // parse(format(r)) must hold node exactly, floor the timestamp to whole
+  // seconds, and whitespace-normalize the message.
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 500; ++trial) {
+    LogRecord record;
+    // Full year span, biased toward day boundaries (where %2d padding and
+    // the day-of-year arithmetic have their edge cases).
+    if (trial % 3 == 0) {
+      const double day = static_cast<double>(rng.uniform_index(365));
+      record.timestamp = day * 86400.0 +
+                         (rng.uniform() < 0.5 ? rng.uniform(0.0, 2.0)
+                                              : 86400.0 - rng.uniform(0.0, 2.0));
+      record.timestamp = std::min(record.timestamp, 365.0 * 86400.0 - 1.0);
+    } else {
+      record.timestamp = rng.uniform(0.0, 365.0 * 86400.0 - 1.0);
+    }
+    record.node.cabinet_x = static_cast<std::uint16_t>(rng.uniform_index(100));
+    record.node.cabinet_y = static_cast<std::uint16_t>(rng.uniform_index(10));
+    record.node.chassis = static_cast<std::uint8_t>(rng.uniform_index(3));
+    record.node.slot = static_cast<std::uint8_t>(rng.uniform_index(16));
+    record.node.node = static_cast<std::uint8_t>(rng.uniform_index(4));
+    const CatalogPhrase& phrase =
+        catalog.phrase(rng.uniform_index(catalog.size()));
+    record.message = SyntheticCraySource::render_message(phrase, rng);
+
+    const std::string line = format_syslog_line(record);
+    const auto back = parse_syslog_line(line);
+    ASSERT_TRUE(back.has_value()) << line;
+    EXPECT_DOUBLE_EQ(back->timestamp, std::floor(record.timestamp)) << line;
+    EXPECT_EQ(back->node, record.node) << line;
+    EXPECT_EQ(back->message,
+              util::join(util::split_whitespace(record.message), " "))
+        << line;
+    // Idempotence: a parsed record formats back to the identical line.
+    EXPECT_EQ(format_syslog_line(*back), line);
+  }
+}
+
+TEST(Syslog, CanonicalizePreservesOrderAndMatchesRoundTrip) {
+  SyntheticCraySource source(profile_tiny(99));
+  const LogCorpus records = source.generate().records;
+  const LogCorpus canonical = canonicalize_syslog(records);
+  ASSERT_EQ(canonical.size(), records.size());  // no empty messages generated
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    EXPECT_EQ(canonical[i].timestamp, std::floor(records[i].timestamp));
+    EXPECT_EQ(canonical[i].node, records[i].node);
+    if (i > 0)
+      EXPECT_LE(canonical[i - 1].timestamp, canonical[i].timestamp);
+  }
+}
+
+TEST(Syslog, SaveLoadSyslogFileRoundTrips) {
+  SyntheticCraySource source(profile_tiny(7));
+  LogCorpus records = source.generate().records;
+  records.resize(std::min<std::size_t>(records.size(), 200));
+  const std::string path = ::testing::TempDir() + "/desh_emit.syslog";
+  ASSERT_TRUE(save_syslog_file(records, path).ok());
+  core::Expected<LogCorpus> loaded = load_syslog_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  LogCorpus canonical = canonicalize_syslog(records);
+  std::stable_sort(canonical.begin(), canonical.end());
+  ASSERT_EQ(loaded.value().size(), canonical.size());
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].timestamp, canonical[i].timestamp);
+    EXPECT_EQ(loaded.value()[i].node, canonical[i].node);
+    EXPECT_EQ(loaded.value()[i].message, canonical[i].message);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DrainMiner, IdsAreStableUnderGeneralizationFuzz) {
+  // Interleave add() and match() over noisy renders of catalog phrases plus
+  // random-token junk. Invariants, checked continuously:
+  //   - an id, once issued, always stays < template_count() and its
+  //     template only ever *generalizes*: a token may turn into '*'; a '*'
+  //     never turns back into a literal, and non-'*' tokens never change;
+  //   - match() never learns and never returns a stale id (every returned
+  //     id is < template_count()).
+  const PhraseCatalog& catalog = PhraseCatalog::instance();
+  DrainMiner miner;
+  util::Rng rng(777);
+  // id -> last observed template token vector
+  std::vector<std::vector<std::string>> last_tokens;
+  auto tokens_of = [&](std::uint32_t id) {
+    return util::split_whitespace(miner.template_text(id));
+  };
+  for (int step = 0; step < 3000; ++step) {
+    std::string message;
+    if (rng.uniform() < 0.8) {
+      const CatalogPhrase& phrase =
+          catalog.phrase(rng.uniform_index(catalog.size()));
+      message = SyntheticCraySource::render_message(phrase, rng);
+    } else {
+      const std::size_t words = 1 + rng.uniform_index(6);
+      for (std::size_t w = 0; w < words; ++w) {
+        if (w) message += ' ';
+        message += "tok" + std::to_string(rng.uniform_index(40));
+      }
+    }
+    if (rng.uniform() < 0.3) {
+      const std::uint32_t id = miner.match(message);
+      const std::size_t count_before = miner.template_count();
+      if (id != DrainMiner::kNoMatch) EXPECT_LT(id, count_before);
+      EXPECT_EQ(miner.template_count(), count_before);  // match never learns
+    } else {
+      const std::size_t count_before = miner.template_count();
+      const std::uint32_t id = miner.add(message);
+      EXPECT_LE(miner.template_count(), count_before + 1);
+      EXPECT_LT(id, miner.template_count());
+      if (id < last_tokens.size()) {
+        // Existing template: its id did not change, and it evolved by
+        // generalization only.
+        const std::vector<std::string> now = tokens_of(id);
+        const std::vector<std::string>& before = last_tokens[id];
+        // template_text collapses '*' runs, so sizes can shrink; compare
+        // only when shapes line up (the common, non-collapsed case).
+        if (now.size() == before.size()) {
+          for (std::size_t t = 0; t < now.size(); ++t) {
+            if (before[t] == "*") {
+              EXPECT_EQ(now[t], "*") << "'*' reverted to a literal in id "
+                                     << id;
+            } else {
+              EXPECT_TRUE(now[t] == before[t] || now[t] == "*")
+                  << "token rewrote instead of generalizing in id " << id;
+            }
+          }
+        }
+        last_tokens[id] = now;
+      } else {
+        last_tokens.resize(miner.template_count());
+        last_tokens[id] = tokens_of(id);
+      }
+    }
+    // Every previously issued id still resolves.
+    for (std::size_t id = 0; id < last_tokens.size(); ++id)
+      EXPECT_FALSE(miner.template_text(static_cast<std::uint32_t>(id)).empty());
+  }
+  EXPECT_GT(miner.template_count(), 10u);  // the fuzz actually exercised it
 }
 
 }  // namespace

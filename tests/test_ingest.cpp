@@ -1,0 +1,498 @@
+// desh::ingest contract tests. The load-bearing ones:
+//   - LineSplitter reassembles torn lines correctly under RANDOM chunking
+//     (the chunk boundary is adversarial input, not a happy path);
+//   - SyslogViewParser accepts/rejects/produces EXACTLY what the batch
+//     logs::parse_syslog_line does, fuzzed over valid renders, whitespace
+//     mess, and junk;
+//   - end-to-end equivalence: raw text through IngestPump -> manual-pump
+//     InferenceServer yields the same decision stream as the canonicalized
+//     corpus through StreamingMonitor::observe, at 1 and 8 monitor threads;
+//   - a novel template arriving as raw text alone reaches desh::adapt's
+//     OOV drift detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "desh.hpp"
+#include "ingest/line_splitter.hpp"
+#include "ingest/pump.hpp"
+#include "ingest/syslog_view.hpp"
+#include "ingest/template_tracker.hpp"
+#include "logs/generator.hpp"
+#include "logs/syslog.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace desh::ingest {
+namespace {
+
+using core::DeshPipeline;
+using core::MonitorAlert;
+using core::StreamingMonitor;
+
+// --- config validation ------------------------------------------------------
+
+TEST(IngestConfig, ValidateReportsEveryViolationWithFieldPaths) {
+  core::IngestConfig config;
+  EXPECT_TRUE(config.validate().empty());
+
+  config.chunk_bytes = 0;
+  config.max_line_bytes = 0;
+  config.retry_backoff_seconds = -1.0;
+  config.drain_tree_depth = 0;
+  config.drain_similarity = 1.5;
+  const std::vector<std::string> violations = config.validate();
+  ASSERT_EQ(violations.size(), 5u);
+  auto has = [&](const std::string& needle) {
+    for (const std::string& v : violations)
+      if (v.rfind(needle, 0) == 0) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("ingest.chunk_bytes"));
+  EXPECT_TRUE(has("ingest.max_line_bytes"));
+  EXPECT_TRUE(has("ingest.retry_backoff_seconds"));
+  EXPECT_TRUE(has("ingest.drain_tree_depth"));
+  EXPECT_TRUE(has("ingest.drain_similarity"));
+
+  // Custom prefix flows through (the fleet/serve convention).
+  EXPECT_EQ(config.validate("pump").front().rfind("pump.", 0), 0u);
+}
+
+// --- line splitter ----------------------------------------------------------
+
+TEST(LineSplitter, ReassemblesTornLinesUnderRandomChunking) {
+  util::Rng rng(20260808);
+  std::string text;
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < 500; ++i) {
+    std::string line = "line " + std::to_string(i);
+    const std::size_t pad = rng.uniform_index(40);
+    for (std::size_t p = 0; p < pad; ++p)
+      line.push_back(static_cast<char>('a' + rng.uniform_index(26)));
+    expected.push_back(line);
+    text += line;
+    text += '\n';
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    LineSplitter splitter(1024);
+    std::vector<std::string> got;
+    std::size_t at = 0;
+    while (at < text.size()) {
+      const std::size_t n =
+          std::min(text.size() - at, 1 + rng.uniform_index(37));
+      splitter.begin_chunk(std::string_view(text).substr(at, n));
+      at += n;
+      std::string_view line;
+      while (splitter.next(line)) got.emplace_back(line);
+    }
+    std::string_view tail;
+    if (splitter.finish(tail)) got.emplace_back(tail);
+    ASSERT_EQ(got, expected) << "trial " << trial;
+    EXPECT_GT(splitter.stats().torn_lines, 0u) << "trial " << trial;
+    EXPECT_EQ(splitter.stats().bytes, text.size());
+    EXPECT_EQ(splitter.stats().lines, expected.size());
+  }
+}
+
+TEST(LineSplitter, DeliversFinalUnterminatedLine) {
+  LineSplitter splitter(64);
+  splitter.begin_chunk("complete\npartial");
+  std::string_view line;
+  ASSERT_TRUE(splitter.next(line));
+  EXPECT_EQ(line, "complete");
+  EXPECT_FALSE(splitter.next(line));
+  ASSERT_TRUE(splitter.finish(line));
+  EXPECT_EQ(line, "partial");
+  EXPECT_FALSE(splitter.finish(line));  // idempotent
+}
+
+TEST(LineSplitter, DropsOversizeLinesWholeAndRecovers) {
+  LineSplitter splitter(8);
+  // A 30-byte line torn across three chunks, then a healthy line.
+  splitter.begin_chunk("0123456789");
+  std::string_view line;
+  EXPECT_FALSE(splitter.next(line));
+  splitter.begin_chunk("0123456789");
+  EXPECT_FALSE(splitter.next(line));
+  splitter.begin_chunk("0123456789\nok\n");
+  ASSERT_TRUE(splitter.next(line));
+  EXPECT_EQ(line, "ok");
+  EXPECT_FALSE(splitter.next(line));
+  EXPECT_EQ(splitter.stats().oversize_lines, 1u);
+  EXPECT_EQ(splitter.stats().lines, 1u);
+
+  // Oversize fully inside one chunk.
+  splitter.begin_chunk("ab0123456789\nfine\n");
+  ASSERT_TRUE(splitter.next(line));
+  EXPECT_EQ(line, "fine");
+  EXPECT_EQ(splitter.stats().oversize_lines, 2u);
+
+  // Oversize running off the end of the stream is not delivered.
+  splitter.begin_chunk("0123456789abcdef");
+  EXPECT_FALSE(splitter.next(line));
+  EXPECT_FALSE(splitter.finish(line));
+  EXPECT_EQ(splitter.stats().oversize_lines, 3u);
+}
+
+// --- view parser vs batch parser --------------------------------------------
+
+void expect_parser_agreement(std::string_view line, SyslogViewParser& parser) {
+  const std::optional<logs::LogRecord> batch = logs::parse_syslog_line(line);
+  ParsedLine streamed;
+  const bool ok = parser.parse(line, streamed);
+  ASSERT_EQ(ok, batch.has_value()) << "disagreement on: [" << line << "]";
+  if (!ok) return;
+  EXPECT_EQ(streamed.timestamp, batch->timestamp) << line;
+  EXPECT_EQ(streamed.node, batch->node) << line;
+  EXPECT_EQ(streamed.message, batch->message) << line;
+  const logs::LogRecord owned = SyslogViewParser::to_record(streamed);
+  EXPECT_EQ(owned.message, batch->message);
+}
+
+TEST(SyslogViewParser, AgreesWithBatchParserOnFuzzedLines) {
+  util::Rng rng(777);
+  const logs::PhraseCatalog& catalog = logs::PhraseCatalog::instance();
+  SyslogViewParser parser;
+  const char* junk[] = {
+      "",
+      "   ",
+      "not a syslog line",
+      "Mar 5",
+      "Mar 99 10:00:00 c0-0c0s0n2 msg",
+      "Mar 15abc 10:00:00 c0-0c0s0n2 msg",
+      "Mar 15 10:00:61 c0-0c0s0n2 msg",
+      "Mar 15 1e1:00:00 c0-0c0s0n2 msg",
+      "Mar 15 10:00:00 c0-0c0s0n2",
+      "Mar 15 10:00:00 notanode msg",
+      "Xyz 15 10:00:00 c0-0c0s0n2 msg",
+      "Mar 15 10:00:00 c0-0c0s0n2    ",
+      "\tMar  5  1:2:3  c1-2c1s4n3   spaced   out   message  ",
+  };
+  for (const char* line : junk) expect_parser_agreement(line, parser);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    logs::LogRecord record;
+    record.timestamp =
+        std::floor(rng.uniform(0.0, 365.0 * 86400.0));
+    record.node =
+        logs::NodeId{static_cast<std::uint16_t>(rng.uniform_index(100)),
+                     static_cast<std::uint16_t>(rng.uniform_index(10)),
+                     static_cast<std::uint8_t>(rng.uniform_index(3)),
+                     static_cast<std::uint8_t>(rng.uniform_index(16)),
+                     static_cast<std::uint8_t>(rng.uniform_index(4))};
+    const logs::CatalogPhrase& phrase =
+        catalog.phrases()[rng.uniform_index(catalog.phrases().size())];
+    record.message = logs::SyntheticCraySource::render_message(phrase, rng);
+    std::string line = logs::format_syslog_line(record);
+
+    // A third of the trials get whitespace mess or a truncation mutation.
+    const std::size_t mutation = rng.uniform_index(6);
+    if (mutation == 0) line = "  " + line + "  ";
+    if (mutation == 1) {
+      const std::size_t at = 1 + rng.uniform_index(line.size() - 1);
+      line.insert(at, rng.uniform() < 0.5 ? " " : "\t");
+    }
+    expect_parser_agreement(line, parser);
+  }
+}
+
+// --- template tracker -------------------------------------------------------
+
+TEST(TemplateTracker, NovelFlagFiresOncePerTemplateAndIdsAreStable) {
+  TemplateTracker tracker;
+  const TemplateTracker::Observation first =
+      tracker.observe("widget driver fault on port 3");
+  EXPECT_TRUE(first.novel);
+  const TemplateTracker::Observation again =
+      tracker.observe("widget driver fault on port 5");
+  EXPECT_FALSE(again.novel) << "digits premask to one template";
+  EXPECT_EQ(again.drain_id, first.drain_id);
+  EXPECT_EQ(again.vocab_id, first.vocab_id);
+  EXPECT_NE(first.vocab_id, logs::PhraseVocab::kUnknownId);
+
+  const TemplateTracker::Observation other =
+      tracker.observe("fan speed nominal on blade");
+  EXPECT_TRUE(other.novel);
+  EXPECT_NE(other.drain_id, first.drain_id);
+  EXPECT_EQ(tracker.novel_count(), 2u);
+  EXPECT_EQ(tracker.template_count(), 2u);
+
+  const logs::PhraseVocab vocab = tracker.vocab_snapshot();
+  EXPECT_EQ(vocab.decode(first.vocab_id),
+            tracker.template_text(first.drain_id));
+}
+
+TEST(TemplateTracker, ConcurrentObserversAgreeOnIds) {
+  TemplateTracker tracker;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 400;
+  std::vector<std::vector<std::uint32_t>> ids(kThreads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&tracker, &ids, t] {
+      util::Rng rng(100 + t);
+      ids[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t family = rng.uniform_index(10);
+        const std::string msg = "family " + std::to_string(family) +
+                                " event code " +
+                                std::to_string(rng.uniform_index(50));
+        ids[t].push_back(tracker.observe(msg).drain_id);
+      }
+    });
+  for (std::thread& w : workers) w.join();
+
+  // Every thread that saw family F got the same id for it (ids are stable
+  // and premasked digits collapse each family to one template).
+  EXPECT_LE(tracker.template_count(), 10u);
+  EXPECT_EQ(tracker.novel_count(), tracker.template_count());
+  for (std::size_t t = 0; t < kThreads; ++t)
+    for (const std::uint32_t id : ids[t])
+      EXPECT_LT(id, tracker.template_count());
+}
+
+// --- end to end: raw text -> prediction -------------------------------------
+
+class IngestEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs::SyntheticCraySource source(logs::profile_tiny(2024));
+    logs::SyntheticLog log = source.generate();
+    auto [train, test] = core::split_corpus(log.records, log.truth.split_time);
+    core::DeshConfig config;
+    config.phase1.epochs = 1;
+    pipeline_ = new DeshPipeline(config);
+    pipeline_->fit(train);
+    // What ingest can see of the test stream: the syslog round trip
+    // (whole-second timestamps, normalized messages).
+    canonical_ = new logs::LogCorpus(logs::canonicalize_syslog(test));
+    raw_text_ = new std::string(logs::render_syslog_text(*canonical_));
+    ASSERT_FALSE(canonical_->empty());
+  }
+  static void TearDownTestSuite() {
+    delete raw_text_;
+    delete canonical_;
+    delete pipeline_;
+  }
+
+  static std::vector<MonitorAlert> sequential_alerts(std::size_t threads) {
+    core::MonitorConfig config;
+    config.threads = threads;
+    StreamingMonitor monitor(*pipeline_, config);
+    std::vector<MonitorAlert> alerts;
+    for (const logs::LogRecord& record : *canonical_)
+      if (auto alert = monitor.observe(record)) alerts.push_back(*alert);
+    return alerts;
+  }
+
+  /// Raw bytes through a pump into a manual-pump server, tiny queue so the
+  /// kQueueFull retry path actually runs, random chunk sizes so torn lines
+  /// actually happen.
+  static std::vector<MonitorAlert> ingested_alerts(std::size_t threads,
+                                                   IngestStats* stats_out) {
+    serve::ServeConfig sconfig;
+    sconfig.start_collector = false;
+    sconfig.queue_capacity = 64;
+    sconfig.monitor.threads = threads;
+    auto server = serve::InferenceServer::create(*pipeline_, sconfig);
+    EXPECT_TRUE(server.ok());
+    auto pump = IngestPump::create(*server.value(), core::IngestConfig{});
+    EXPECT_TRUE(pump.ok());
+
+    util::Rng rng(4242);
+    std::string_view text(*raw_text_);
+    std::size_t at = 0;
+    while (at < text.size()) {
+      const std::size_t n =
+          std::min(text.size() - at, 1 + rng.uniform_index(8191));
+      EXPECT_TRUE(pump.value()->feed_bytes(text.substr(at, n)).ok());
+      at += n;
+    }
+    EXPECT_TRUE(pump.value()->finish().ok());
+    server.value()->drain();
+    std::vector<MonitorAlert> alerts = server.value()->poll_alerts();
+    const serve::ServeStats sstats = server.value()->stats();
+    EXPECT_EQ(sstats.shed, 0u) << "equivalence requires no sheds";
+    EXPECT_EQ(sstats.processed, canonical_->size());
+    if (stats_out) *stats_out = pump.value()->stats();
+    server.value()->stop();
+    return alerts;
+  }
+
+  static void expect_same_alerts(const std::vector<MonitorAlert>& a,
+                                 const std::vector<MonitorAlert>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node) << i;
+      EXPECT_EQ(a[i].time, b[i].time) << i;
+      EXPECT_EQ(a[i].predicted_lead_seconds, b[i].predicted_lead_seconds)
+          << i;
+      EXPECT_EQ(a[i].score, b[i].score) << i;
+      EXPECT_EQ(a[i].message, b[i].message) << i;
+    }
+  }
+
+  static DeshPipeline* pipeline_;
+  static logs::LogCorpus* canonical_;
+  static std::string* raw_text_;
+};
+
+DeshPipeline* IngestEndToEndTest::pipeline_ = nullptr;
+logs::LogCorpus* IngestEndToEndTest::canonical_ = nullptr;
+std::string* IngestEndToEndTest::raw_text_ = nullptr;
+
+TEST_F(IngestEndToEndTest, RawTextMatchesPreparsedDecisionStream) {
+  const std::vector<MonitorAlert> expected = sequential_alerts(1);
+  ASSERT_FALSE(expected.empty()) << "fixture stream never alerted";
+  IngestStats stats;
+  const std::vector<MonitorAlert> got = ingested_alerts(1, &stats);
+  expect_same_alerts(expected, got);
+  EXPECT_EQ(stats.records, canonical_->size());
+  EXPECT_EQ(stats.unparseable_lines, 0u);
+  EXPECT_GT(stats.torn_lines, 0u) << "random chunking never tore a line";
+  EXPECT_GT(stats.new_templates, 0u);
+  EXPECT_GT(stats.admission_retries, 0u)
+      << "queue_capacity=64 never backpressured";
+}
+
+TEST_F(IngestEndToEndTest, EquivalenceHoldsAtEightMonitorThreads) {
+  expect_same_alerts(sequential_alerts(8), ingested_alerts(8, nullptr));
+}
+
+TEST_F(IngestEndToEndTest, JunkAndOversizeLinesAreCountedNotFatal) {
+  serve::ServeConfig sconfig;
+  sconfig.start_collector = false;
+  sconfig.monitor.threads = 1;
+  auto server = serve::InferenceServer::create(*pipeline_, sconfig);
+  ASSERT_TRUE(server.ok());
+  core::IngestConfig iconfig;
+  iconfig.max_line_bytes = 256;
+  auto pump = IngestPump::create(*server.value(), iconfig);
+  ASSERT_TRUE(pump.ok());
+
+  std::string text;
+  text += "#### console restart marker ####\n";             // unparseable
+  text += logs::format_syslog_line((*canonical_)[0]) + "\n";  // good
+  text += std::string(1000, 'x') + "\n";                    // oversize
+  text += "Mar 99 10:00:00 c0-0c0s0n2 bad day\n";           // unparseable
+  text += logs::format_syslog_line((*canonical_)[1]) + "\n";  // good
+  ASSERT_TRUE(pump.value()->feed_bytes(text).ok());
+  ASSERT_TRUE(pump.value()->finish().ok());
+  server.value()->drain();
+
+  const IngestStats stats = pump.value()->stats();
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.unparseable_lines, 2u);
+  EXPECT_EQ(stats.oversize_lines, 1u);
+  EXPECT_EQ(stats.lines, 4u);  // the oversize line never counts as a line
+  EXPECT_EQ(server.value()->stats().processed, 2u);
+  server.value()->stop();
+}
+
+TEST_F(IngestEndToEndTest, StoppedSinkReportsUnavailable) {
+  serve::ServeConfig sconfig;
+  sconfig.start_collector = false;
+  auto server = serve::InferenceServer::create(*pipeline_, sconfig);
+  ASSERT_TRUE(server.ok());
+  server.value()->stop();
+  auto pump = IngestPump::create(*server.value(), core::IngestConfig{});
+  ASSERT_TRUE(pump.ok());
+  const std::string line = logs::format_syslog_line((*canonical_)[0]) + "\n";
+  const auto r = pump.value()->feed_bytes(line);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, core::ErrorCode::kUnavailable);
+}
+
+TEST_F(IngestEndToEndTest, CreateRejectsInvalidConfig) {
+  serve::ServeConfig sconfig;
+  sconfig.start_collector = false;
+  auto server = serve::InferenceServer::create(*pipeline_, sconfig);
+  ASSERT_TRUE(server.ok());
+  core::IngestConfig bad;
+  bad.chunk_bytes = 0;
+  const auto pump = IngestPump::create(*server.value(), bad);
+  ASSERT_FALSE(pump.ok());
+  EXPECT_EQ(pump.error().code, core::ErrorCode::kInvalidConfig);
+  EXPECT_NE(pump.error().message.find("ingest.chunk_bytes"),
+            std::string::npos);
+  server.value()->stop();
+}
+
+TEST_F(IngestEndToEndTest, NovelRawTemplateReachesAdaptDriftDetector) {
+  namespace fs = std::filesystem;
+  const std::string root = ::testing::TempDir() + "/ingest_drift_registry";
+  fs::remove_all(root);
+
+  // The drifted stream: after every other canonical record, a clone
+  // carrying a novel fault family the champion never trained on (same
+  // recipe as test_adapt_controller's fixture, but arriving as RAW TEXT).
+  logs::LogCorpus drifted;
+  std::size_t i = 0;
+  for (const logs::LogRecord& record : *canonical_) {
+    drifted.push_back(record);
+    if (++i % 2 == 0) {
+      logs::LogRecord novel = record;
+      novel.message = "widget driver fault on port " + std::to_string(i % 7);
+      drifted.push_back(std::move(novel));
+    }
+  }
+
+  serve::ServeConfig sconfig;
+  sconfig.start_collector = false;
+  sconfig.monitor.threads = 1;
+  auto server = serve::InferenceServer::create(*pipeline_, sconfig);
+  ASSERT_TRUE(server.ok());
+
+  adapt::AdaptOptions options;
+  options.registry_root = root;
+  options.trainer.phase1.epochs = 1;
+  options.trainer.threads = 1;
+  options.config.background = false;
+  options.config.oov_window = 64;
+  options.config.novelty_window = 64;
+  options.config.min_window_fill = 16;
+  options.config.hysteresis = 2;
+  options.config.oov_trigger = 0.2;
+  options.config.oov_clear = 0.05;
+  // Single-swap recipe (mirrors test_adapt_controller's fixture): the
+  // drift edge is only consumed — and drift_triggers only counted — once
+  // the replay window clears the depth floor, so the floor must be
+  // reachable. The cooldown caps the test at one inline retrain.
+  options.config.replay_capacity = 1u << 16;
+  options.config.min_replay_records = 512;
+  options.config.retrain_cooldown_records = 1u << 20;
+  options.config.probation_records = 64;
+  options.config.regression_margin = 0.10;
+  // Non-owning aliasing pointer: the fixture pipeline outlives the
+  // controller, and DeshPipeline is not copyable.
+  const std::shared_ptr<const DeshPipeline> champion(
+      std::shared_ptr<const DeshPipeline>{}, pipeline_);
+  auto controller = adapt::AdaptController::create(champion, options);
+  ASSERT_TRUE(controller.ok());
+  controller.value()->attach(*server.value());
+
+  auto pump = IngestPump::create(*server.value(), core::IngestConfig{});
+  ASSERT_TRUE(pump.ok());
+  const std::string raw = logs::render_syslog_text(drifted);
+  ASSERT_TRUE(pump.value()->feed_bytes(raw).ok());
+  ASSERT_TRUE(pump.value()->finish().ok());
+  server.value()->drain();
+  controller.value()->wait_idle();
+
+  // The ingest frontend saw the novel family...
+  EXPECT_GT(pump.value()->tracker().novel_count(), 0u);
+  // ...and the drift detector fired on raw text alone.
+  EXPECT_GE(controller.value()->stats().drift_triggers, 1u);
+  server.value()->stop();
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace desh::ingest

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/expected.hpp"
 #include "logs/io.hpp"
 #include "logs/vocab.hpp"
 #include "util/error.hpp"
@@ -45,8 +46,10 @@ TEST(PhraseVocab, SaveLoadPreservesIds) {
   const auto a = vocab.add("alpha *");
   const auto b = vocab.add("beta gamma");
   const std::string path = ::testing::TempDir() + "/desh_vocab.txt";
-  vocab.save(path);
-  PhraseVocab loaded = PhraseVocab::load(path);
+  ASSERT_TRUE(vocab.save(path).ok());
+  core::Expected<PhraseVocab> reloaded = PhraseVocab::load(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message;
+  const PhraseVocab& loaded = reloaded.value();
   EXPECT_EQ(loaded.size(), vocab.size());
   EXPECT_EQ(loaded.encode("alpha *"), a);
   EXPECT_EQ(loaded.encode("beta gamma"), b);
@@ -59,8 +62,10 @@ TEST(CorpusIo, RoundTripsRecords) {
                              "LustreError [123]:0x99 something failed"});
   corpus.push_back(LogRecord{100.000123, NodeId{0, 0, 0, 0, 0}, "Wait4Boot"});
   const std::string path = ::testing::TempDir() + "/desh_corpus.log";
-  save_corpus(corpus, path);
-  const LogCorpus loaded = load_corpus(path);
+  ASSERT_TRUE(save_corpus(corpus, path).ok());
+  core::Expected<LogCorpus> reloaded = load_corpus(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message;
+  const LogCorpus& loaded = reloaded.value();
   ASSERT_EQ(loaded.size(), 2u);
   EXPECT_NEAR(loaded[0].timestamp, 12.5, 1e-6);
   EXPECT_EQ(loaded[0].node, corpus[0].node);
@@ -69,18 +74,34 @@ TEST(CorpusIo, RoundTripsRecords) {
   std::remove(path.c_str());
 }
 
-TEST(CorpusIo, MissingFileThrows) {
-  EXPECT_THROW(load_corpus("/nonexistent/corpus.log"), util::IoError);
-  EXPECT_THROW(save_corpus({}, "/nonexistent-dir/corpus.log"), util::IoError);
+TEST(CorpusIo, MissingFileReportsIoError) {
+  core::Expected<LogCorpus> missing = load_corpus("/nonexistent/corpus.log");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, core::ErrorCode::kIo);
+  core::Expected<void> unwritable =
+      save_corpus({}, "/nonexistent-dir/corpus.log");
+  ASSERT_FALSE(unwritable.ok());
+  EXPECT_EQ(unwritable.error().code, core::ErrorCode::kIo);
+  core::Expected<PhraseVocab> vocab = PhraseVocab::load("/nonexistent/v.txt");
+  ASSERT_FALSE(vocab.ok());
+  EXPECT_EQ(vocab.error().code, core::ErrorCode::kIo);
+  core::Expected<void> vsave =
+      PhraseVocab().save("/nonexistent-dir/v.txt");
+  ASSERT_FALSE(vsave.ok());
+  EXPECT_EQ(vsave.error().code, core::ErrorCode::kIo);
 }
 
-TEST(CorpusIo, MalformedLineThrows) {
+TEST(CorpusIo, MalformedLineReportsInvalidArgument) {
   const std::string path = ::testing::TempDir() + "/desh_bad_corpus.log";
   {
     std::ofstream os(path);
     os << "12.5 only-two-fields\n";
   }
-  EXPECT_THROW(load_corpus(path), util::Error);
+  core::Expected<LogCorpus> bad = load_corpus(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, core::ErrorCode::kInvalidArgument);
+  EXPECT_NE(bad.error().message.find("line 1"), std::string::npos)
+      << bad.error().message;
   std::remove(path.c_str());
 }
 

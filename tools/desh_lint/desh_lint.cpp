@@ -32,11 +32,14 @@
 //                      boundary reports I/O failures as core::Expected so a
 //                      half-applied recovery can never unwind past it. This
 //                      rule is NON-WAIVABLE — an allow() comment is ignored.
-//   public-throw       no `throw` in any header under src/ — a throwing
-//                      public entry point leaks exceptions across the
-//                      Expected error taxonomy. util/error.hpp (where the
-//                      sanctioned exception types and util::require live)
-//                      and src/wal/ (owned by wal-expected) are the only
+//   public-throw       no `throw` in any header under src/, nor anywhere
+//                      under src/logs/ (headers AND .cpp — the subsystem
+//                      backs desh::ingest's streaming pump, which must
+//                      never unwind mid-stream) — a throwing public entry
+//                      point leaks exceptions across the Expected error
+//                      taxonomy. util/error.hpp (where the sanctioned
+//                      exception types and util::require live) and
+//                      src/wal/ (owned by wal-expected) are the only
 //                      exclusions. This rule is NON-WAIVABLE — the
 //                      deprecated throwing wrappers it existed to tolerate
 //                      have been deleted, so no waiver is ever legitimate.
@@ -533,6 +536,11 @@ class Linter {
 
   /// Headers are the public surface: a `throw` in one is a throwing entry
   /// point every includer inherits, bypassing the core::Expected taxonomy.
+  /// src/logs is held to the stricter whole-subsystem standard (headers AND
+  /// .cpp files): it feeds desh::ingest's streaming frontend, whose pump
+  /// must never unwind mid-stream, so every logs entry point reports
+  /// failures as core::Expected (sanctioned util::require asserts excepted
+  /// — `throw` is banned as a token, not as a behavior).
   /// util/error.hpp hosts the sanctioned exception types plus
   /// util::require, and src/wal is policed (more strictly) by
   /// wal-expected. Findings are pushed directly — NOT through add() — so
@@ -544,7 +552,8 @@ class Linter {
          f.rel_path.compare(f.rel_path.size() - 4, 4, ".hpp") == 0) ||
         (f.rel_path.size() > 2 &&
          f.rel_path.compare(f.rel_path.size() - 2, 2, ".h") == 0);
-    if (!header) return;
+    const bool logs_subsystem = f.rel_path.rfind("src/logs/", 0) == 0;
+    if (!header && !logs_subsystem) return;
     if (f.rel_path == "src/util/error.hpp") return;
     if (f.rel_path.rfind("src/wal/", 0) == 0) return;
     for (std::size_t i = 0; i < f.lines.size(); ++i)
