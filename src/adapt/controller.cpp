@@ -100,10 +100,13 @@ core::Expected<std::unique_ptr<AdaptController>> AdaptController::create(
   {
     util::LockGuard lk(controller->mu_);
     if (!controller->registry_.champion()) {
+      // desh-analyze: allow(blocking-under-lock) manifest write during
+      // construction; no other thread can see this controller yet
       core::Expected<std::uint32_t> version = controller->registry_.publish(
           *controller->champion_, "initial champion");
       if (!version) return version.error();
       core::Expected<void> promoted =
+          // desh-analyze: allow(blocking-under-lock) same: pre-publication
           controller->registry_.promote(version.value());
       if (!promoted) return promoted.error();
     }
@@ -330,6 +333,9 @@ void AdaptController::on_batch(std::span<const logs::LogRecord> records,
                           static_cast<double>(probation_.templates);
       if (rate > probation_.expected_oov +
                      options_.config.regression_margin) {
+        // desh-analyze: allow(blocking-under-lock) rollback rewrites the
+        // registry manifest under mu_ on purpose — a regressed champion must
+        // not serve one more batch than detection takes
         rollback_locked();
       } else if (probation_.templates >=
                  options_.config.probation_records) {
@@ -402,9 +408,14 @@ void AdaptController::launch(RetrainJob job) {
   util::LockGuard lk(mu_);
   // At most one retrain is in flight (make_job_locked requires
   // !retraining_), so a joinable handle here is a finished thread.
+  // desh-analyze: allow(blocking-under-lock) joining a finished thread: the
+  // handle is only joinable after its run_retrain already returned
   if (retrain_thread_.joinable()) retrain_thread_.join();
-  retrain_thread_ = std::thread(
-      [this, j = std::move(job)]() mutable { run_retrain(std::move(j)); });
+  retrain_thread_ = std::thread([this, j = std::move(job)]() mutable {
+    // desh-analyze: allow(blocking-under-lock) deferred: the body runs on
+    // the spawned thread after launch() released mu_
+    run_retrain(std::move(j));  // desh-analyze: allow(lock-order) deferred: runs after launch() released mu_
+  });
 }
 
 void AdaptController::run_retrain(RetrainJob job) {
@@ -447,8 +458,12 @@ void AdaptController::run_retrain(RetrainJob job) {
     auto next = std::make_shared<const core::DeshPipeline>(
         std::move(*challenger));
     core::Expected<std::uint32_t> version =
+        // desh-analyze: allow(blocking-under-lock) manifest write on the
+        // background retrain thread; the serve path never holds adapt.mu
         registry_.publish(*next, job.note);
     core::Expected<void> swapped;  // defaults to success
+    // desh-analyze: allow(blocking-under-lock) model swap stages a pipeline
+    // on the retrain thread; serving continues under serve.mu until drain
     if (version && server_ != nullptr) swapped = server_->swap_model(next);
     if (!version || !swapped) {
       // Registry full of protected versions, disk trouble, or the server
@@ -459,6 +474,8 @@ void AdaptController::run_retrain(RetrainJob job) {
       // promote() after a successful publish can only fail on manifest
       // I/O; the swap already happened, so keep the in-memory champion
       // consistent with what serves either way.
+      // desh-analyze: allow(blocking-under-lock) manifest write on the
+      // background retrain thread, see publish above
       if (core::Expected<void> promoted = registry_.promote(version.value());
           !promoted) {
         ++stats_.retrain_failures;
@@ -485,11 +502,15 @@ void AdaptController::run_retrain(RetrainJob job) {
 }
 
 void AdaptController::rollback_locked() {
+  // desh-analyze: allow(blocking-under-lock) manifest rewrite under mu_ on
+  // purpose — a regressed champion must stop serving immediately
   core::Expected<std::uint32_t> rolled = registry_.rollback();
   if (!rolled || !previous_champion_) return;  // no target: keep serving
   if (server_ != nullptr) {
     // A stopped server refuses the stage; the controller still reverts its
     // own champion so detached operation stays consistent.
+    // desh-analyze: allow(blocking-under-lock) emergency revert: staging the
+    // prior model may read config from disk, and that beats serving it
     core::Expected<void> swapped = server_->swap_model(previous_champion_);
     (void)swapped;
   }

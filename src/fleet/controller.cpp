@@ -100,6 +100,8 @@ core::Expected<std::unique_ptr<FleetController>> FleetController::create(
     for (std::size_t shard = 0; shard < fleet->options_.fleet.shards;
          ++shard) {
       core::Expected<std::unique_ptr<serve::InferenceServer>> server =
+          // desh-analyze: allow(blocking-under-lock) WAL open at
+          // construction; no other thread can see this fleet yet
           fleet->make_server(shard, pipeline);
       if (!server) return server.error();
       fleet->servers_.push_back(std::move(server).value());
@@ -197,6 +199,8 @@ std::vector<core::MonitorAlert> FleetController::poll_alerts() {
 void FleetController::drain() {
   util::LockGuard lk(mu_);
   for (const std::unique_ptr<serve::InferenceServer>& server : servers_)
+    // desh-analyze: allow(blocking-under-lock) deliberate: drain is a
+    // lifecycle barrier and holding mu_ keeps routing frozen while it lands
     server->drain();
 }
 
@@ -205,6 +209,8 @@ void FleetController::stop() {
   if (stopped_) return;
   stopped_ = true;
   for (const std::unique_ptr<serve::InferenceServer>& server : servers_)
+    // desh-analyze: allow(blocking-under-lock) stop joins collector threads
+    // under mu_ on purpose — no route may resurrect a stopping shard
     server->stop();
 }
 
@@ -212,6 +218,8 @@ std::size_t FleetController::pump() {
   util::LockGuard lk(mu_);
   std::size_t processed = 0;
   for (const std::unique_ptr<serve::InferenceServer>& server : servers_)
+    // desh-analyze: allow(blocking-under-lock) manual-pump mode: the caller
+    // IS the worker; pool teardown in the chain only happens at shutdown
     processed += server->pump();
   return processed;
 }
@@ -249,6 +257,8 @@ core::Expected<void> FleetController::drain_shard(std::size_t shard) {
     return core::Error{core::ErrorCode::kUnavailable,
                        "fleet.drain_shard: refusing to drain the last "
                        "active shard"};
+  // desh-analyze: allow(blocking-under-lock) deliberate: the shard must be
+  // empty before drain_shard returns, and mu_ keeps it out of the ring
   servers_[shard]->drain();
   drains_total().add();
   shards_active_gauge().set(static_cast<double>(router_.active_count()));
@@ -267,8 +277,11 @@ core::Expected<void> FleetController::restart_shard(std::size_t shard) {
                            " is still in the ring; drain_shard it first"};
   // Stop the incumbent so its WAL is committed and closed before the
   // successor opens the same directory for restore + replay.
+  // desh-analyze: allow(blocking-under-lock) restart is an operator action;
+  // holding mu_ across stop + WAL reopen keeps the handoff atomic
   servers_[shard]->stop();
   core::Expected<std::unique_ptr<serve::InferenceServer>> next =
+      // desh-analyze: allow(blocking-under-lock) same handoff, see stop above
       make_server(shard, pipeline_);
   if (!next)
     // The shard stays out of the ring with its old server stopped; the
@@ -297,12 +310,16 @@ core::Expected<void> FleetController::restart_shard(std::size_t shard) {
 core::Expected<void> FleetController::reload_shard_locked(
     std::size_t shard, std::shared_ptr<const core::DeshPipeline> pipeline) {
   core::Expected<void> staged =
+      // desh-analyze: allow(blocking-under-lock) rolling reload holds mu_ so
+      // the fleet never serves a model mix; staging may touch disk
       servers_[shard]->swap_model(std::move(pipeline));
   if (!staged)
     return core::Error{staged.error().code,
                        "fleet shard " + std::to_string(shard) + ": " +
                            staged.error().message};
-  servers_[shard]->drain();  // lands the install at a batch boundary
+  // desh-analyze: allow(blocking-under-lock) lands the install at a batch
+  // boundary; part of the same no-model-mix barrier as the swap above
+  servers_[shard]->drain();
   return {};
 }
 
@@ -317,6 +334,8 @@ core::Expected<void> FleetController::rolling_reload(
                        "fleet.rolling_reload: fleet is stopped"};
   const std::shared_ptr<const core::DeshPipeline> prev = pipeline_;
   for (std::size_t shard = 0; shard < servers_.size(); ++shard) {
+    // desh-analyze: allow(blocking-under-lock) the whole rolling reload runs
+    // under mu_ by design — FLEET.md "Rolling model reload"
     core::Expected<void> outcome = reload_shard_locked(shard, next);
     if (outcome && probe) {
       core::Expected<void> probation = probe(shard, *servers_[shard]);
@@ -332,6 +351,8 @@ core::Expected<void> FleetController::rolling_reload(
       // back to the previous model, so the fleet never serves a mix.
       std::string message = outcome.error().message;
       for (std::size_t back = 0; back <= shard; ++back) {
+        // desh-analyze: allow(blocking-under-lock) rollback leg of the same
+        // under-mu_ reload barrier
         core::Expected<void> restored = reload_shard_locked(back, prev);
         if (!restored)
           message += "; rollback of shard " + std::to_string(back) +

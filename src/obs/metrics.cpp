@@ -26,8 +26,13 @@ void configure(const DeshObsConfig& config) {
   // g_sink_mu, not by this flag.
   g_enabled.store(config.enabled, std::memory_order_relaxed);
   util::LockGuard lock(g_sink_mu);
-  g_sink.reset();  // stop (and final-flush) any previous sink first
+  // Stop (and final-flush) any previous sink first.
+  // desh-analyze: allow(blocking-under-lock) configure is a rare operator
+  // action; the join + flush must finish before a replacement sink starts
+  g_sink.reset();
   if (!config.flush_path.empty())
+    // desh-analyze: allow(blocking-under-lock) first flush happens in the
+    // ctor so a bad path fails loudly at configure time, not later
     g_sink = std::make_unique<FileSink>(config.flush_path,
                                         config.flush_interval_seconds);
 }

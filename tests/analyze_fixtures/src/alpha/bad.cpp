@@ -1,0 +1,10 @@
+// Fixture: a low layer reaching up — layers.contract does not allow
+// alpha -> beta, so this include is exactly one layering finding (and no
+// code comment can waive it).
+#include "beta/api.hpp"
+
+namespace alpha {
+
+int base_value() { return beta::api_value() - 1; }
+
+}  // namespace alpha

@@ -1,0 +1,9 @@
+// Fixture: the low layer. beta may include alpha (declared); alpha must
+// not include beta.
+#pragma once
+
+namespace alpha {
+
+int base_value();
+
+}  // namespace alpha

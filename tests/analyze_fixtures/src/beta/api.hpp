@@ -1,0 +1,11 @@
+// Fixture: the high layer. Its include of alpha/base.hpp is the declared
+// (allowed) beta -> alpha edge.
+#pragma once
+
+#include "alpha/base.hpp"
+
+namespace beta {
+
+int api_value();
+
+}  // namespace beta

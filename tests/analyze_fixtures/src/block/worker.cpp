@@ -1,0 +1,24 @@
+#include "block/worker.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace block {
+
+void Worker::slow() {
+  util::LockGuard lk(mu_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void Worker::slow_waived() {
+  util::LockGuard lk(mu_);
+  // desh-analyze: allow(blocking-under-lock) fixture: deliberate nap to
+  // prove justified waivers suppress the finding
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void Worker::odd(util::Mutex& which) {
+  util::LockGuard lk(which);
+}
+
+}  // namespace block

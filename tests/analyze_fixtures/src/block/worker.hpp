@@ -1,0 +1,23 @@
+// Fixture: blocking-under-lock and unresolved-lock seeds.
+//   slow()        sleeps while holding mu_ — one ACTIVE finding.
+//   slow_waived() the identical pattern behind a justified
+//                 `desh-analyze: allow(...)` — reported but waived.
+//   odd()         acquires through a reference the extractor cannot
+//                 resolve — one unresolved-lock finding.
+#pragma once
+
+#include "util/sync.hpp"
+
+namespace block {
+
+class Worker {
+ public:
+  void slow();
+  void slow_waived();
+  void odd(util::Mutex& which);
+
+ private:
+  util::Mutex mu_;
+};
+
+}  // namespace block

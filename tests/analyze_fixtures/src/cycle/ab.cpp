@@ -1,0 +1,15 @@
+#include "cycle/ab.hpp"
+
+namespace cycle {
+
+void AB::first() {
+  util::LockGuard a(left_);
+  util::LockGuard b(right_);
+}
+
+void AB::second() {
+  util::LockGuard b(right_);
+  util::LockGuard a(left_);
+}
+
+}  // namespace cycle

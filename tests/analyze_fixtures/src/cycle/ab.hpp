@@ -1,0 +1,21 @@
+// Fixture: two locks taken in opposite orders by the two methods in
+// cycle/ab.cpp — desh_analyze must report exactly one lock-order cycle.
+// Neither lock is named in the fixture lock_order.contract, so the cycle
+// detector (not the contract check) owns this finding.
+#pragma once
+
+#include "util/sync.hpp"
+
+namespace cycle {
+
+class AB {
+ public:
+  void first();
+  void second();
+
+ private:
+  util::Mutex left_;
+  util::Mutex right_;
+};
+
+}  // namespace cycle

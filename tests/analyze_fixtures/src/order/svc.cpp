@@ -1,0 +1,10 @@
+#include "order/svc.hpp"
+
+namespace order {
+
+void Svc::wrong() {
+  util::LockGuard in(inner_);
+  util::LockGuard out(outer_);
+}
+
+}  // namespace order

@@ -1,0 +1,20 @@
+// Fixture: the lock_order.contract declares `order order.outer ->
+// order.inner`, and wrong() in order/svc.cpp acquires them the other way
+// around — desh_analyze must report exactly one "contradicts the declared
+// order" lock-order finding.
+#pragma once
+
+#include "util/sync.hpp"
+
+namespace order {
+
+class Svc {
+ public:
+  void wrong();
+
+ private:
+  util::Mutex outer_;
+  util::Mutex inner_;
+};
+
+}  // namespace order

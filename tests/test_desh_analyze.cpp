@@ -1,0 +1,232 @@
+// tools/desh_analyze behavioral contract, pinned against the fixture tree
+// in tests/analyze_fixtures/ (one seeded trigger per pass, plus one waived
+// blocking site and one unresolvable lock expression):
+//   - the lock-order pass fires exactly twice: one graph cycle (cycle/),
+//     one contract contradiction (order/);
+//   - the layering pass fires exactly once (alpha includes beta) and no
+//     code comment can waive it;
+//   - blocking-under-lock fires exactly twice, one active and one waived
+//     by a justified comment;
+//   - unresolved-lock fires exactly once (a by-reference mutex parameter);
+//   - exit codes are stable: 0 clean, 1 findings, 2 usage/contract error;
+//   - the --json report shape and the --dot graph dumps are stable.
+// The real tree staying clean under the real contracts is a separate ctest
+// (desh_analyze_tree, label `analyze`) so an architecture regression points
+// at the offending file, not at this fixture test.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs `DESH_ANALYZE_BIN <args>`, capturing stdout+stderr. The capture
+/// file is pid-unique: ctest runs each TEST as its own process, and a
+/// shared path would race under `ctest -j`.
+RunResult run_analyze(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "/desh_analyze_out." +
+                               std::to_string(::getpid()) + ".txt";
+  const std::string cmd =
+      std::string(DESH_ANALYZE_BIN) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream is(out_path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  result.output = buffer.str();
+  std::remove(out_path.c_str());
+  return result;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+RunResult run_on_fixture() {
+  return run_analyze("--root " + std::string(DESH_ANALYZE_FIXTURE) +
+                     " --json");
+}
+
+TEST(DeshAnalyze, LockOrderPassFiresOnCycleAndContractContradiction) {
+  const RunResult r = run_on_fixture();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\": \"lock-order\""), 2u)
+      << r.output;
+  // The cycle is caught by the acquisition graph itself — the cycle/AB
+  // locks are deliberately absent from the fixture contract.
+  EXPECT_EQ(count_occurrences(r.output, "lock-order cycle detected"), 1u)
+      << r.output;
+  EXPECT_NE(r.output.find("src/cycle/ab.cpp"), std::string::npos) << r.output;
+  EXPECT_NE(
+      r.output.find("cycle/AB::left_ -> cycle/AB::right_ -> cycle/AB::left_"),
+      std::string::npos)
+      << r.output;
+  // The contradiction is caught by the declared contract, and the message
+  // names both the observed edge and the contract line it violates.
+  EXPECT_EQ(count_occurrences(r.output, "contradicts the declared order"), 1u)
+      << r.output;
+  EXPECT_NE(r.output.find("src/order/svc.cpp"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("'order.outer -> order.inner'"), std::string::npos)
+      << r.output;
+}
+
+TEST(DeshAnalyze, LayeringPassFiresOnceAndIsNotWaivable) {
+  const RunResult r = run_on_fixture();
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\": \"layering\""), 1u)
+      << r.output;
+  EXPECT_NE(r.output.find("src/alpha/bad.cpp"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("alpha -> beta"), std::string::npos) << r.output;
+  // The declared beta -> alpha edge is clean: it appears in the layer
+  // graph, not in the findings.
+  EXPECT_EQ(count_occurrences(r.output, "beta -> alpha"), 0u) << r.output;
+}
+
+TEST(DeshAnalyze, BlockingPassFiresTwiceWithOneJustifiedWaiver) {
+  const RunResult r = run_on_fixture();
+  EXPECT_EQ(
+      count_occurrences(r.output, "\"rule\": \"blocking-under-lock\""), 2u)
+      << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "sleep_for while holding"), 2u)
+      << r.output;
+  // Worker::slow_waived carries a justified waiver comment; Worker::slow is
+  // identical but unwaived. Exactly one of the six findings is waived.
+  EXPECT_EQ(count_occurrences(r.output, "\"waived\": true"), 1u) << r.output;
+  EXPECT_NE(r.output.find("Worker::slow_waived"), std::string::npos)
+      << r.output;
+}
+
+TEST(DeshAnalyze, UnresolvedLockFiresOnceOnByReferenceMutex) {
+  const RunResult r = run_on_fixture();
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\": \"unresolved-lock\""), 1u)
+      << r.output;
+  EXPECT_NE(r.output.find("cannot resolve lock expression 'which'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(DeshAnalyze, FixtureTotalsArePinned) {
+  const RunResult r = run_on_fixture();
+  // 6 findings, 5 active — nothing beyond the seeded triggers fired.
+  EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 6u) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "\"waived\": false"), 5u) << r.output;
+}
+
+TEST(DeshAnalyze, JsonReportShapeIsStable) {
+  const RunResult r = run_on_fixture();
+  ASSERT_FALSE(r.output.empty());
+  // Top-level sections, in order.
+  const std::size_t findings_at = r.output.find("\"findings\": [");
+  const std::size_t locks_at = r.output.find("\"lock_order\": {\"nodes\": [");
+  const std::size_t layers_at = r.output.find("\"layers\": {\"edges\": ");
+  ASSERT_NE(findings_at, std::string::npos) << r.output;
+  ASSERT_NE(locks_at, std::string::npos) << r.output;
+  ASSERT_NE(layers_at, std::string::npos) << r.output;
+  EXPECT_LT(findings_at, locks_at);
+  EXPECT_LT(locks_at, layers_at);
+  // Every finding carries the full field set of the schema shared with
+  // desh_lint, in stable order.
+  EXPECT_EQ(count_occurrences(r.output, "\"file\""), 6u + 5u);  // + edges
+  EXPECT_EQ(count_occurrences(r.output, "\"severity\": \"error\""), 6u);
+  EXPECT_EQ(count_occurrences(r.output, "\"message\""), 6u);
+  // Graph edges carry {from, to, file, line, via}; the three observed lock
+  // acquisitions and both include edges are all present.
+  EXPECT_EQ(count_occurrences(r.output, "\"from\""), 5u) << r.output;
+  EXPECT_NE(r.output.find("\"via\": \"beta/api.hpp\""), std::string::npos)
+      << r.output;
+  // All five fixture mutexes appear as lock nodes, sorted.
+  EXPECT_LT(r.output.find("block/Worker::mu_"),
+            r.output.find("cycle/AB::left_"));
+}
+
+TEST(DeshAnalyze, DotDumpsWriteBothGraphs) {
+  const std::string dot_dir = ::testing::TempDir() + "/desh_analyze_dot." +
+                              std::to_string(::getpid());
+  const RunResult r =
+      run_analyze("--root " + std::string(DESH_ANALYZE_FIXTURE) + " --dot " +
+                  dot_dir);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string locks = read_file(dot_dir + "/lock_order.dot");
+  const std::string layers = read_file(dot_dir + "/layers.dot");
+  EXPECT_NE(locks.find("digraph lock_order"), std::string::npos) << locks;
+  EXPECT_NE(locks.find("cycle/AB::left_"), std::string::npos) << locks;
+  // Declared-but-unobserved contract edges render dashed so a stale
+  // contract is visible at a glance.
+  EXPECT_NE(layers.find("digraph layers"), std::string::npos) << layers;
+  EXPECT_NE(layers.find("alpha"), std::string::npos) << layers;
+  std::filesystem::remove_all(dot_dir);
+}
+
+TEST(DeshAnalyze, TextSummaryCountsFindingsAndEdges) {
+  const RunResult r =
+      run_analyze("--root " + std::string(DESH_ANALYZE_FIXTURE));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find(
+                "desh_analyze: 6 finding(s), 5 active, 3 lock edge(s), "
+                "2 layer edge(s)"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/cycle/ab.cpp:7: [lock-order]"),
+            std::string::npos)
+      << r.output;
+  // Waived findings stay visible in the text report, marked as such.
+  EXPECT_NE(r.output.find("[blocking-under-lock] (waived)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(DeshAnalyze, RulesFlagListsEveryRule) {
+  const RunResult r = run_analyze("--rules");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output,
+            "lock-order\nlayering\nblocking-under-lock\nunresolved-lock\n");
+}
+
+TEST(DeshAnalyze, RealTreeIsCleanAndExitsZero) {
+  const RunResult r = run_analyze("--root " + std::string(DESH_SOURCE_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(DeshAnalyze, UsageAndContractErrorsExitTwo) {
+  EXPECT_EQ(run_analyze("--no-such-flag").exit_code, 2);
+  // A root without src/ is a configuration error, not "clean".
+  EXPECT_EQ(run_analyze("--root " + ::testing::TempDir()).exit_code, 2);
+  // A tree without its contracts must refuse to bless anything: build a
+  // root with an empty src/ and no tools/analyze/.
+  const std::string bare = ::testing::TempDir() + "/desh_analyze_bare." +
+                           std::to_string(::getpid());
+  std::filesystem::create_directories(bare + "/src");
+  const RunResult r = run_analyze("--root " + bare);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("lock_order.contract"), std::string::npos)
+      << r.output;
+  std::filesystem::remove_all(bare);
+}
+
+}  // namespace

@@ -110,10 +110,15 @@ TEST(DeshLint, JsonReportShapeIsStable) {
   ASSERT_FALSE(r.output.empty());
   EXPECT_EQ(r.output.front(), '[');
   EXPECT_EQ(r.output[r.output.size() - 2], ']');  // trailing newline after ]
-  // Every finding carries the full field set, in stable order.
+  // Every finding carries the full field set of the schema shared with
+  // desh_analyze, in stable order.
   EXPECT_EQ(count_occurrences(r.output, "\"rule\""), 9u);
   EXPECT_EQ(count_occurrences(r.output, "\"file\""), 9u);
   EXPECT_EQ(count_occurrences(r.output, "\"line\""), 9u);
+  EXPECT_EQ(count_occurrences(r.output, "\"severity\": \"error\""), 9u);
+  // desh_lint drops waived findings entirely, so every reported one is
+  // active — the field exists for schema parity with desh_analyze.
+  EXPECT_EQ(count_occurrences(r.output, "\"waived\": false"), 9u);
   EXPECT_EQ(count_occurrences(r.output, "\"message\""), 9u);
   // Findings are sorted by (file, line, rule): include_first.cpp first.
   EXPECT_LT(r.output.find("include_first.cpp"), r.output.find("metric.cpp"));

@@ -155,6 +155,35 @@ TEST(DocsCheck, BenchBinariesCoveredByExperiments) {
   EXPECT_GT(benches, 0u) << "no desh_bench() registrations found";
 }
 
+TEST(DocsCheck, EveryToolRuleIsDocumentedInDesign) {
+  // Both static-analysis tools declare their full rule set in a kRuleNames
+  // array (also served by `--rules`). Every rule name must appear in
+  // DESIGN.md — an undocumented rule is one nobody knows how to satisfy or
+  // waive.
+  const std::string design = read_file(kRepoRoot / "DESIGN.md");
+  const std::regex rules_re(
+      R"(kRuleNames\[?\]?[^;]*?\{([^;]*)\};)");
+  const std::regex name_re(R"re("([a-z-]+)")re");
+  std::size_t rules = 0;
+  for (const char* tool :
+       {"tools/desh_lint/desh_lint.cpp", "tools/analyze/desh_analyze.cpp"}) {
+    const std::string source = read_file(kRepoRoot / tool);
+    std::smatch block;
+    ASSERT_TRUE(std::regex_search(source, block, rules_re))
+        << tool << " lost its kRuleNames array";
+    const std::string body = block[1].str();
+    for (std::sregex_iterator it(body.begin(), body.end(), name_re), last;
+         it != last; ++it, ++rules) {
+      const std::string name = "`" + (*it)[1].str() + "`";
+      EXPECT_NE(design.find(name), std::string::npos)
+          << "DESIGN.md does not document rule " << name << " from " << tool;
+    }
+  }
+  // 8 lint rules + 4 analyze rules; a rule added to either tool without
+  // extending this expectation still fails the DESIGN.md lookup above.
+  EXPECT_EQ(rules, 12u);
+}
+
 TEST(DocsCheck, LayoutTableCoversEverySourceSubsystem) {
   // The README repository-layout table must name every src/ subdirectory —
   // the exact drift this PR fixes (src/recovery, src/obs were missing).

@@ -1,0 +1,138 @@
+// desh_analyze — cross-TU lock-order, layering, and blocking-under-lock
+// analysis for the desh tree, checked against the architecture contracts in
+// tools/analyze/lock_order.contract and tools/analyze/layers.contract.
+//
+//   desh_analyze [--root <repo>] [--json] [--dot <dir>] [--rules]
+//
+// Exit 0: clean (waived findings allowed), 1: findings, 2: usage or
+// contract-file error. `--json` emits {"findings", "lock_order", "layers"};
+// `--dot <dir>` additionally writes lock_order.dot and layers.dot.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+#include "model.hpp"
+#include "passes.hpp"
+#include "source.hpp"
+
+namespace {
+
+using namespace desh::analyze;
+
+// Every rule desh_analyze can emit; the docs check pins each name to a
+// DESIGN.md mention.
+constexpr const char* kRuleNames[] = {
+    "lock-order",
+    "layering",
+    "blocking-under-lock",
+    "unresolved-lock",
+};
+
+void write_edges_json(std::ostream& os, const std::vector<GraphEdge>& edges) {
+  os << "[";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const GraphEdge& e = edges[i];
+    if (i) os << ", ";
+    os << "{\"from\": \"" << json_escape(e.from) << "\", \"to\": \""
+       << json_escape(e.to) << "\", \"file\": \"" << json_escape(e.file)
+       << "\", \"line\": " << e.line << ", \"via\": \"" << json_escape(e.via)
+       << "\"}";
+  }
+  os << "]";
+}
+
+void write_json(std::ostream& os, const AnalysisResult& result) {
+  os << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    write_finding_json(os, result.findings[i]);
+  }
+  os << (result.findings.empty() ? "]" : "\n  ]");
+  os << ",\n  \"lock_order\": {\"nodes\": [";
+  for (std::size_t i = 0; i < result.lock_nodes.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(result.lock_nodes[i]) << "\"";
+  }
+  os << "], \"edges\": ";
+  write_edges_json(os, result.lock_edges);
+  os << "},\n  \"layers\": {\"edges\": ";
+  write_edges_json(os, result.layer_edges);
+  os << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  std::filesystem::path dot_dir;
+  bool json = false;
+  bool dot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot = true;
+      dot_dir = argv[++i];
+    } else if (arg == "--rules") {
+      for (const char* rule : kRuleNames) std::cout << rule << "\n";
+      return 0;
+    } else {
+      std::cerr << "usage: desh_analyze [--root <repo>] [--json] "
+                   "[--dot <dir>] [--rules]\n";
+      return 2;
+    }
+  }
+
+  std::vector<SourceFile> files;
+  if (!load_tree(root, "src", "desh_analyze", files)) return 2;
+
+  LockOrderContract locks;
+  LayersContract layers;
+  std::string error;
+  if (!parse_lock_order_contract(root / "tools/analyze/lock_order.contract",
+                                 locks, error) ||
+      !parse_layers_contract(root / "tools/analyze/layers.contract", layers,
+                             error)) {
+    std::cerr << "desh_analyze: " << error << "\n";
+    return 2;
+  }
+
+  const Model model = build_model(files);
+  const AnalysisResult result = run_analysis(model, files, locks, layers);
+
+  if (dot) {
+    std::error_code ec;
+    std::filesystem::create_directories(dot_dir, ec);
+    std::ofstream lock_os(dot_dir / "lock_order.dot");
+    std::ofstream layer_os(dot_dir / "layers.dot");
+    if (!lock_os || !layer_os) {
+      std::cerr << "desh_analyze: cannot write DOT files under " << dot_dir
+                << "\n";
+      return 2;
+    }
+    write_lock_dot(lock_os, result, locks);
+    write_layers_dot(layer_os, result, layers);
+  }
+
+  std::size_t active = 0;
+  for (const Finding& f : result.findings)
+    if (!f.waived) ++active;
+
+  if (json) {
+    write_json(std::cout, result);
+  } else {
+    for (const Finding& f : result.findings)
+      write_finding_text(std::cout, f);
+    std::cout << "desh_analyze: " << result.findings.size() << " finding(s), "
+              << active << " active, " << result.lock_edges.size()
+              << " lock edge(s), " << result.layer_edges.size()
+              << " layer edge(s)\n";
+  }
+  return active ? 1 : 0;
+}

@@ -1,0 +1,61 @@
+// The finding schema shared by desh_lint and desh_analyze: both tools'
+// `--json` output is an array of objects with the same five-plus-one field
+// layout (rule, file, line, severity, waived, message), so CI tooling can
+// merge the two reports without per-tool parsing. Sorting and escaping live
+// here for the same reason — one definition of "stable output order".
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace desh::analyze {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative, '/'-separated
+  std::size_t line = 0;
+  std::string severity = "error";  // "error" | "warning"
+  bool waived = false;  // reported for visibility, excluded from exit code
+  std::string message;
+};
+
+inline void sort_findings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits one finding object in the common schema (stable field order: rule,
+/// file, line, severity, waived, message). No trailing newline or comma —
+/// the caller owns array framing.
+inline void write_finding_json(std::ostream& os, const Finding& f) {
+  os << "{\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+     << json_escape(f.file) << "\", \"line\": " << f.line
+     << ", \"severity\": \"" << json_escape(f.severity)
+     << "\", \"waived\": " << (f.waived ? "true" : "false")
+     << ", \"message\": \"" << json_escape(f.message) << "\"}";
+}
+
+/// The default human-readable rendering: `file:line: [rule] message`, with
+/// waived findings tagged so a clean run's waiver inventory stays visible.
+inline void write_finding_text(std::ostream& os, const Finding& f) {
+  os << f.file << ":" << f.line << ": [" << f.rule << "] "
+     << (f.waived ? "(waived) " : "") << f.message << "\n";
+}
+
+}  // namespace desh::analyze

@@ -1,0 +1,1233 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace desh::analyze {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool in(const std::string& s, std::initializer_list<const char*> set) {
+  for (const char* x : set)
+    if (s == x) return true;
+  return false;
+}
+
+/// Control keywords and cast spellings that look like calls but are not.
+bool call_keyword(const std::string& t) {
+  return in(t, {"if", "for", "while", "switch", "return", "sizeof", "catch",
+                "new", "delete", "throw", "static_cast", "dynamic_cast",
+                "const_cast", "reinterpret_cast", "alignof", "decltype",
+                "noexcept", "assert", "defined", "co_await", "co_return"});
+}
+
+/// Identifier tokens that never contribute to a declared type's identity.
+bool type_noise(const std::string& t) {
+  return in(t, {"static", "inline", "virtual", "explicit", "constexpr",
+                "consteval", "constinit", "const", "mutable", "volatile",
+                "friend", "typename", "template", "class", "struct", "union",
+                "auto", "void", "unsigned", "signed", "long", "short", "int",
+                "double", "float", "bool", "char", "size_t", "uint64_t",
+                "uint32_t", "int64_t", "int32_t", "uint8_t", "extern",
+                "using", "operator", "noexcept", "override", "final"});
+}
+
+/// std-container member names whose unresolved fan-out would only add noise
+/// (they collide with method names on vectors/maps/smart pointers, never
+/// with a desh class's locking surface).
+bool member_noise(const std::string& t) {
+  return in(t, {"push_back", "emplace_back", "pop_back",  "size",
+                "empty",     "begin",        "end",       "cbegin",
+                "cend",      "rbegin",       "rend",      "clear",
+                "insert",    "erase",        "at",        "front",
+                "back",      "data",         "c_str",     "str",
+                "reserve",   "resize",       "substr",    "append",
+                "get",       "release",      "load",      "store",
+                "exchange",  "fetch_add",    "fetch_sub", "value",
+                "error",     "has_value",    "value_or",  "emplace",
+                "swap",      "count",        "find",      "contains",
+                "lower_bound", "upper_bound", "push",     "pop",
+                "top",       "first",        "second",    "tie",
+                "fill",      "assign",       "try_emplace", "joinable",
+                "detach",    "native_handle", "notify_one", "notify_all",
+                "compare_exchange_strong", "compare_exchange_weak",
+                "insert_or_assign", "length", "rfind", "compare"});
+}
+
+bool fs_io_op(const std::string& t) {
+  return in(t, {"exists", "create_directory", "create_directories", "remove",
+                "remove_all", "rename", "copy", "copy_file", "file_size",
+                "temp_directory_path", "canonical", "weakly_canonical",
+                "is_directory", "is_regular_file", "directory_iterator",
+                "recursive_directory_iterator", "last_write_time",
+                "resize_file", "current_path", "space", "status",
+                "hard_link_count", "equivalent"});
+}
+
+bool all_caps_macro(const std::string& t) {
+  if (t.rfind("DESH_", 0) == 0) return true;
+  bool has_alpha = false;
+  for (char c : t) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+};
+
+struct TokenFile {
+  const SourceFile* src = nullptr;
+  std::vector<Token> toks;
+  std::vector<Include> includes;
+};
+
+/// Tokenizes the scrubbed code of one file. Preprocessor lines are consumed
+/// whole: `#include "..."` paths are captured, and the #else/#elif branch
+/// of every conditional is dropped so each class/function is seen exactly
+/// once (the #if branch is the configuration the tree builds with).
+void tokenize(const SourceFile& f, TokenFile& out) {
+  out.src = &f;
+  bool skipping = false;
+  int skip_nest = 0;
+  std::vector<char> if_stack;
+  for (std::size_t idx = 0; idx < f.lines.size(); ++idx) {
+    const std::string& code = f.lines[idx].code;
+    const std::size_t first = code.find_first_not_of(" \t");
+    if (first != std::string::npos && code[first] == '#') {
+      std::size_t d = code.find_first_not_of(" \t", first + 1);
+      std::string word;
+      while (d != std::string::npos && d < code.size() &&
+             std::isalpha(static_cast<unsigned char>(code[d])))
+        word += code[d++];
+      if (skipping) {
+        if (word == "if" || word == "ifdef" || word == "ifndef") {
+          ++skip_nest;
+        } else if (word == "endif") {
+          if (skip_nest > 0) {
+            --skip_nest;
+          } else {
+            skipping = false;
+            if (!if_stack.empty()) if_stack.pop_back();
+          }
+        }
+      } else {
+        if (word == "if" || word == "ifdef" || word == "ifndef") {
+          if_stack.push_back(1);
+        } else if ((word == "else" || word == "elif") && !if_stack.empty()) {
+          skipping = true;
+          skip_nest = 0;
+        } else if (word == "endif") {
+          if (!if_stack.empty()) if_stack.pop_back();
+        } else if (word == "include" && !f.lines[idx].strings.empty()) {
+          out.includes.push_back({f.lines[idx].strings[0], idx + 1});
+        }
+      }
+      continue;
+    }
+    if (skipping) continue;
+    for (std::size_t p = 0; p < code.size();) {
+      const char c = code[p];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++p;
+      } else if (is_ident_start(c)) {
+        std::size_t e = p;
+        while (e < code.size() && is_ident_char(code[e])) ++e;
+        out.toks.push_back({code.substr(p, e - p), idx + 1});
+        p = e;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t e = p;
+        while (e < code.size() &&
+               (is_ident_char(code[e]) || code[e] == '.' || code[e] == '\''))
+          ++e;
+        out.toks.push_back({code.substr(p, e - p), idx + 1});
+        p = e;
+      } else if (c == '"' || c == '\'') {
+        // Scrubbed literals are an adjacent quote pair.
+        out.toks.push_back({std::string(2, c), idx + 1});
+        p += (p + 1 < code.size() && code[p + 1] == c) ? 2 : 1;
+      } else if (c == ':' && p + 1 < code.size() && code[p + 1] == ':') {
+        out.toks.push_back({"::", idx + 1});
+        p += 2;
+      } else if (c == '-' && p + 1 < code.size() && code[p + 1] == '>') {
+        out.toks.push_back({"->", idx + 1});
+        p += 2;
+      } else {
+        out.toks.push_back({std::string(1, c), idx + 1});
+        ++p;
+      }
+    }
+  }
+}
+
+std::string file_base(const std::string& rel_path) {
+  const std::size_t slash = rel_path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? rel_path : rel_path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base.resize(dot);
+  return base;
+}
+
+class Extractor {
+ public:
+  explicit Extractor(const std::vector<SourceFile>& files) {
+    for (const SourceFile& f : files) {
+      if (excluded_from_model(f.rel_path)) continue;
+      TokenFile tf;
+      tokenize(f, tf);
+      model_.includes[f.rel_path] = tf.includes;
+      token_files_.push_back(std::move(tf));
+    }
+  }
+
+  Model build() {
+    // Two declaration rounds (so out-of-class definitions scanned before
+    // their class's header still bind — file order is alphabetical, which
+    // puts .cpp before .hpp), then one body round with the full inventory.
+    for (round_ = 0; round_ < 3; ++round_) {
+      phase_ = round_ < 2 ? 0 : 1;
+      for (TokenFile& tf : token_files_) scan_file(tf);
+    }
+    for (std::size_t i = 0; i < model_.functions.size(); ++i) {
+      const Function& fn = model_.functions[i];
+      if (fn.cls.empty()) {
+        model_.free_index[fn.name].push_back(i);
+      } else {
+        model_.method_index[fn.cls + "::" + fn.name].push_back(i);
+        model_.methods_by_name[fn.name].push_back(i);
+      }
+    }
+    sort_findings(model_.findings);
+    return std::move(model_);
+  }
+
+ private:
+  // -- per-file scan ---------------------------------------------------------
+
+  void scan_file(TokenFile& tf) {
+    toks_ = &tf.toks;
+    i_ = 0;
+    file_ = tf.src->rel_path;
+    src_ = tf.src;
+    sub_ = subsystem_of(file_);
+    scan_scope("");
+  }
+
+  const Token& tok(std::size_t i) const {
+    static const Token kEnd{"", 0};
+    return i < toks_->size() ? (*toks_)[i] : kEnd;
+  }
+  const std::string& text(std::size_t i) const { return tok(i).text; }
+
+  /// Scans one declaration scope until its closing '}' (consumed) or EOF.
+  void scan_scope(const std::string& cls) {
+    std::vector<Token> pending;
+    while (i_ < toks_->size()) {
+      const std::string& t = text(i_);
+      if (t == "{") {
+        ++i_;
+        handle_open(pending, cls);
+      } else if (t == "}") {
+        ++i_;
+        return;
+      } else if (t == ";") {
+        ++i_;
+        if (phase_ == 0) process_decl(pending, cls);
+        pending.clear();
+      } else {
+        pending.push_back(tok(i_));
+        ++i_;
+      }
+    }
+  }
+
+  /// Index of the first '(' in `pending` outside template angle brackets,
+  /// or npos.
+  static std::size_t top_paren(const std::vector<Token>& pending) {
+    int angle = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::string& t = pending[i].text;
+      if (t == "<") ++angle;
+      else if (t == ">" && angle > 0) --angle;
+      else if (t == "(" && angle == 0) return i;
+    }
+    return std::string::npos;
+  }
+
+  /// Index of a class/struct/union keyword outside angle brackets, or npos.
+  /// `enum class`/`enum struct` do not count.
+  static std::size_t class_kw(const std::vector<Token>& pending) {
+    int angle = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::string& t = pending[i].text;
+      if (t == "<") ++angle;
+      else if (t == ">" && angle > 0) --angle;
+      else if (angle == 0 && (t == "class" || t == "struct" || t == "union") &&
+               (i == 0 || pending[i - 1].text != "enum"))
+        return i;
+    }
+    return std::string::npos;
+  }
+
+  static bool has_kw(const std::vector<Token>& pending, const char* kw) {
+    for (const Token& t : pending)
+      if (t.text == kw) return true;
+    return false;
+  }
+
+  /// Removes annotation-macro invocations (`DESH_GUARDED_BY(mu_)`,
+  /// `DESH_REQUIRES(...)`, ...) so `std::vector<int> q_ DESH_GUARDED_BY(mu_);`
+  /// classifies as the member variable it is, not a function named
+  /// DESH_GUARDED_BY. Callers wanting the annotations read the original.
+  static std::vector<Token> strip_macros(const std::vector<Token>& pending) {
+    std::vector<Token> out;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::string& t = pending[i].text;
+      if (t.rfind("DESH_", 0) == 0) {
+        if (i + 1 < pending.size() && pending[i + 1].text == "(") {
+          int depth = 0;
+          std::size_t j = i + 1;
+          for (; j < pending.size(); ++j) {
+            if (pending[j].text == "(") ++depth;
+            else if (pending[j].text == ")" && --depth == 0) break;
+          }
+          i = j;
+        }
+        continue;
+      }
+      out.push_back(pending[i]);
+    }
+    return out;
+  }
+
+  /// Consumes a balanced brace region whose '{' was already consumed.
+  void skip_braces() {
+    int depth = 1;
+    while (i_ < toks_->size() && depth > 0) {
+      const std::string& t = text(i_);
+      if (t == "{") ++depth;
+      else if (t == "}") --depth;
+      ++i_;
+    }
+  }
+
+  void handle_open(std::vector<Token>& pending, const std::string& cls) {
+    const std::vector<Token> clean = strip_macros(pending);
+    const std::size_t paren = top_paren(clean);
+    const std::size_t ckw = class_kw(clean);
+
+    if (has_kw(pending, "namespace") && paren == std::string::npos) {
+      scan_scope(cls);  // namespaces do not change the enclosing class
+      pending.clear();
+      return;
+    }
+    if (ckw != std::string::npos &&
+        (paren == std::string::npos || ckw < paren) &&
+        !has_kw(clean, "operator")) {
+      // Class definition. Name = last identifier outside <>/() before the
+      // base-clause ':' (if any), skipping `final`.
+      std::string name;
+      int angle = 0;
+      for (std::size_t i = ckw + 1; i < clean.size(); ++i) {
+        const std::string& t = clean[i].text;
+        if (t == "<") ++angle;
+        else if (t == ">" && angle > 0) --angle;
+        else if (angle == 0 && t == ":") break;
+        else if (angle == 0 && is_ident_start(t[0]) && t != "final" &&
+                 t != "alignas")
+          name = t;
+      }
+      if (name.empty()) {
+        skip_braces();
+      } else {
+        if (phase_ == 0 && !model_.classes.count(name)) {
+          ClassInfo ci;
+          ci.name = name;
+          ci.subsystem = sub_;
+          ci.file = file_;
+          ci.line = clean[ckw].line;
+          model_.classes.emplace(name, std::move(ci));
+        }
+        scan_scope(name);
+      }
+      pending.clear();
+      return;
+    }
+    if (has_kw(clean, "enum")) {
+      skip_braces();  // body is just enumerators; pending survives to ';'
+      return;
+    }
+    if (paren != std::string::npos && !eq_before(clean, paren)) {
+      handle_function(clean, pending, cls, paren);
+      pending.clear();
+      return;
+    }
+    // Brace-init of a variable, a lambda, or anything else: consume the
+    // braces, keep pending so a following ';' still registers the variable.
+    skip_braces();
+  }
+
+  /// True when a top-level '=' appears before index `limit` (a
+  /// variable/lambda initializer, not a function definition). `operator`
+  /// tokens exempt the check — operator== would otherwise trip it.
+  static bool eq_before(const std::vector<Token>& pending, std::size_t limit) {
+    if (has_kw(pending, "operator")) return false;
+    int angle = 0;
+    for (std::size_t i = 0; i < limit; ++i) {
+      const std::string& t = pending[i].text;
+      if (t == "<") ++angle;
+      else if (t == ">" && angle > 0) --angle;
+      else if (angle == 0 && t == "=") return true;
+    }
+    return false;
+  }
+
+  struct Signature {
+    std::string cls;
+    std::string name;
+    std::size_t line = 0;
+    std::vector<std::string> ret_idents;
+    std::vector<std::string> requires_raw;  // space-joined expressions
+    bool valid = false;
+  };
+
+  Signature parse_signature(const std::vector<Token>& clean,
+                            const std::vector<Token>& orig,
+                            const std::string& cls, std::size_t paren) {
+    Signature sig;
+    sig.cls = cls;
+    collect_requires(orig, sig.requires_raw);
+    if (has_kw(clean, "operator")) {
+      sig.name = "operator";
+      sig.line = clean.front().line;
+      sig.valid = true;
+      return sig;
+    }
+    if (paren == 0) return sig;
+    std::size_t j = paren - 1;
+    if (!is_ident_start(clean[j].text[0])) return sig;
+    sig.name = clean[j].text;
+    if (type_noise(sig.name)) return sig;  // `void (*fp)(int)` etc.
+    if (j >= 1 && clean[j - 1].text == "~") {
+      sig.name = "~" + sig.name;
+      --j;
+    }
+    if (j >= 2 && clean[j - 1].text == "::" &&
+        is_ident_start(clean[j - 2].text[0]))
+      sig.cls = clean[j - 2].text;  // innermost qualifier
+    sig.line = clean[j].line;
+    for (std::size_t i = 0; i + (sig.name[0] == '~' ? 1 : 0) < j; ++i) {
+      const std::string& t = clean[i].text;
+      if (is_ident_start(t[0]) && !type_noise(t)) sig.ret_idents.push_back(t);
+    }
+    // Drop the qualifier itself from the return idents (A::f's "A").
+    if (sig.cls != cls && !sig.ret_idents.empty() &&
+        sig.ret_idents.back() == sig.cls)
+      sig.ret_idents.pop_back();
+    sig.valid = true;
+    return sig;
+  }
+
+  static void collect_requires(const std::vector<Token>& pending,
+                               std::vector<std::string>& out) {
+    for (std::size_t i = 0; i + 1 < pending.size(); ++i) {
+      if (pending[i].text != "DESH_REQUIRES" || pending[i + 1].text != "(")
+        continue;
+      int depth = 0;
+      std::string expr;
+      for (std::size_t j = i + 1; j < pending.size(); ++j) {
+        const std::string& t = pending[j].text;
+        if (t == "(") {
+          if (depth++ == 0) continue;
+        } else if (t == ")") {
+          if (--depth == 0) break;
+        }
+        if (t == "," && depth == 1) {
+          if (!expr.empty()) out.push_back(expr);
+          expr.clear();
+          continue;
+        }
+        if (!expr.empty()) expr += ' ';
+        expr += t;
+      }
+      if (!expr.empty()) out.push_back(expr);
+    }
+  }
+
+  void record_signature(const Signature& sig, const std::string& enclosing) {
+    if (!sig.valid || sig.name == "operator") return;
+    std::string cls = sig.cls;
+    if (!cls.empty() && cls != enclosing && !model_.classes.count(cls)) {
+      // Qualified by something that is not a known class: either a
+      // namespace (obs::registry — a free function) or a class whose body
+      // round 0 has not reached yet. Round 0 defers; round 1 has the full
+      // class inventory, so an unknown qualifier there IS a namespace.
+      if (round_ == 0) return;
+      cls.clear();
+    }
+    if (!cls.empty()) {
+      ClassInfo& ci = model_.classes[cls];
+      if (ci.name.empty()) {  // out-of-class def seen before the class body
+        ci.name = cls;
+        ci.subsystem = sub_;
+        ci.file = file_;
+      }
+      auto& reqs = ci.method_requires[sig.name];
+      for (const std::string& r : sig.requires_raw)
+        if (std::find(reqs.begin(), reqs.end(), r) == reqs.end())
+          reqs.push_back(r);
+      auto mr = ci.method_return.find(sig.name);
+      if (mr == ci.method_return.end())
+        ci.method_return.emplace(sig.name, sig.ret_idents);
+      else if (mr->second.empty() && !sig.ret_idents.empty())
+        mr->second = sig.ret_idents;
+    } else {
+      model_.free_return.emplace(sig.name, sig.ret_idents);
+    }
+  }
+
+  void handle_function(const std::vector<Token>& clean,
+                       const std::vector<Token>& orig, const std::string& cls,
+                       std::size_t paren) {
+    Signature sig = parse_signature(clean, orig, cls, paren);
+    if (!sig.valid) {
+      skip_braces();
+      if (text(i_) == "{") { ++i_; skip_braces(); }
+      return;
+    }
+    if (phase_ == 0) {
+      record_signature(sig, cls);
+      skip_braces();
+      // A brace-init in the ctor-init-list splits the body; re-enter.
+      if (text(i_) == "{") { ++i_; skip_braces(); }
+      return;
+    }
+    Function fn;
+    fn.file = file_;
+    fn.subsystem = sub_;
+    fn.cls = sig.cls;
+    if (!fn.cls.empty() && !model_.classes.count(fn.cls))
+      fn.cls.clear();  // namespace-qualified free function definition
+    fn.name = sig.name;
+    fn.line = sig.line;
+    // Caller-holds set: annotations on this definition plus the class-body
+    // declaration's.
+    std::vector<std::string> raw = sig.requires_raw;
+    if (!fn.cls.empty()) {
+      auto ci = model_.classes.find(fn.cls);
+      if (ci != model_.classes.end()) {
+        auto mr = ci->second.method_requires.find(sig.name);
+        if (mr != ci->second.method_requires.end())
+          for (const std::string& r : mr->second)
+            if (std::find(raw.begin(), raw.end(), r) == raw.end())
+              raw.push_back(r);
+      }
+    }
+    std::map<std::string, std::string> locals;
+    seed_params(clean, paren, locals);
+    for (const std::string& expr : raw) {
+      const std::string id = resolve_lock_tokens(split(expr), fn.cls, locals);
+      if (!id.empty()) fn.requires_locks.push_back(id);
+    }
+    scan_body(fn, locals);
+    if (text(i_) == "{") {  // ctor-init brace-init split the body; continue
+      ++i_;
+      scan_body(fn, locals);
+    }
+    model_.functions.push_back(std::move(fn));
+  }
+
+  static std::vector<std::string> split(const std::string& expr) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : expr) {
+      if (c == ' ') {
+        if (!cur.empty()) out.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+  }
+
+  /// Seeds parameter types: for each top-level comma-separated parameter in
+  /// the signature, the last known-class identifier is the type, the last
+  /// identifier the name.
+  void seed_params(const std::vector<Token>& pending, std::size_t paren,
+                   std::map<std::string, std::string>& locals) {
+    int depth = 0;
+    std::string last_class, last_ident;
+    auto flush = [&] {
+      if (!last_class.empty() && !last_ident.empty() &&
+          last_ident != last_class)
+        locals[last_ident] = last_class;
+      last_class.clear();
+      last_ident.clear();
+    };
+    for (std::size_t i = paren; i < pending.size(); ++i) {
+      const std::string& t = pending[i].text;
+      if (t == "(") { ++depth; continue; }
+      if (t == ")") { if (--depth == 0) { flush(); break; } continue; }
+      if (depth != 1) continue;
+      if (t == ",") { flush(); continue; }
+      if (is_ident_start(t[0])) {
+        if (model_.classes.count(t)) last_class = t;
+        last_ident = t;
+      }
+    }
+  }
+
+  // -- declaration processing (phase 0) --------------------------------------
+
+  void process_decl(const std::vector<Token>& orig, const std::string& cls) {
+    std::vector<Token> pending = strip_macros(orig);
+    while (pending.size() >= 2 &&
+           in(pending[0].text, {"public", "private", "protected"}) &&
+           pending[1].text == ":")
+      pending.erase(pending.begin(), pending.begin() + 2);
+    if (pending.empty()) return;
+    if (in(pending[0].text, {"using", "typedef", "friend", "template",
+                             "static_assert", "extern", "class", "struct",
+                             "union", "enum", "return"}))
+      return;
+    const std::size_t paren = top_paren(pending);
+    if (paren != std::string::npos && !eq_before(pending, paren)) {
+      // Function prototype (a class-body declaration carries the
+      // DESH_REQUIRES contract every definition inherits).
+      record_signature(parse_signature(pending, orig, cls, paren), cls);
+      return;
+    }
+    // Variable: truncate at '='/'[' then take the last identifier.
+    std::size_t end = pending.size();
+    int angle = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::string& t = pending[i].text;
+      if (t == "<") ++angle;
+      else if (t == ">" && angle > 0) --angle;
+      else if (angle == 0 && (t == "=" || t == "[" || t == "{")) {
+        end = i;
+        break;
+      }
+    }
+    std::string var;
+    std::size_t var_line = 0;
+    std::vector<std::string> type_idents;
+    for (std::size_t i = 0; i < end; ++i) {
+      const std::string& t = pending[i].text;
+      if (!is_ident_start(t[0]) || type_noise(t)) continue;
+      if (!var.empty()) type_idents.push_back(var);
+      var = t;
+      var_line = pending[i].line;
+    }
+    if (var.empty()) return;
+    const bool is_mutex = std::find(type_idents.begin(), type_idents.end(),
+                                    "Mutex") != type_idents.end();
+    if (!cls.empty()) {
+      ClassInfo& ci = model_.classes[cls];
+      ci.member_types[var] = type_idents;
+      if (is_mutex) {
+        const std::string id = sub_ + "/" + cls + "::" + var;
+        ci.mutex_members[var] = id;
+        model_.mutexes.emplace(id, MutexInfo{id, file_, var_line});
+      }
+    } else {
+      global_types_[file_][var] = type_idents;
+      if (is_mutex) {
+        const std::string id = sub_ + "/" + file_base(file_) + "::" + var;
+        model_.file_mutexes[file_][var] = id;
+        model_.mutexes.emplace(id, MutexInfo{id, file_, var_line});
+      }
+    }
+  }
+
+  // -- lock & type resolution ------------------------------------------------
+
+  /// Last identifier in `idents` that names a known class, or "".
+  std::string class_of(const std::vector<std::string>& idents) const {
+    for (auto it = idents.rbegin(); it != idents.rend(); ++it)
+      if (model_.classes.count(*it)) return *it;
+    return "";
+  }
+
+  std::string type_of_var(const std::string& var, const std::string& cls,
+                          const std::map<std::string, std::string>& locals)
+      const {
+    auto l = locals.find(var);
+    if (l != locals.end()) return l->second;
+    if (!cls.empty()) {
+      auto ci = model_.classes.find(cls);
+      if (ci != model_.classes.end()) {
+        auto m = ci->second.member_types.find(var);
+        if (m != ci->second.member_types.end()) {
+          const std::string c = class_of(m->second);
+          if (!c.empty()) return c;
+        }
+      }
+    }
+    auto g = global_types_.find(file_);
+    if (g != global_types_.end()) {
+      auto m = g->second.find(var);
+      if (m != g->second.end()) {
+        const std::string c = class_of(m->second);
+        if (!c.empty()) return c;
+      }
+    }
+    if (model_.classes.count(var)) return var;  // singleton-style statics
+    return "";
+  }
+
+  /// Resolves a lock expression (token list) to a canonical mutex id, or ""
+  /// when no tiered lookup lands.
+  std::string resolve_lock_tokens(
+      std::vector<std::string> toks, const std::string& cls,
+      const std::map<std::string, std::string>& locals) const {
+    // `this -> mu_` == `mu_`; strip dereferences and parens.
+    std::vector<std::string> t;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i] == "this" || toks[i] == "*" || toks[i] == "(" ||
+          toks[i] == ")")
+        continue;
+      t.push_back(toks[i]);
+    }
+    if (t.size() >= 2 && (t[0] == "." || t[0] == "->"))
+      t.erase(t.begin());  // leftover from `this ->`
+    auto member_lock = [&](const std::string& owner,
+                           const std::string& m) -> std::string {
+      auto ci = model_.classes.find(owner);
+      if (ci == model_.classes.end()) return "";
+      auto mm = ci->second.mutex_members.find(m);
+      return mm == ci->second.mutex_members.end() ? "" : mm->second;
+    };
+    auto unique_owner = [&](const std::string& m) -> std::string {
+      std::string id;
+      for (const auto& [name, ci] : model_.classes) {
+        auto mm = ci.mutex_members.find(m);
+        if (mm != ci.mutex_members.end()) {
+          if (!id.empty()) return "";  // ambiguous
+          id = mm->second;
+        }
+      }
+      return id;
+    };
+    if (t.size() == 1) {
+      const std::string& v = t[0];
+      if (!cls.empty()) {
+        const std::string id = member_lock(cls, v);
+        if (!id.empty()) return id;
+      }
+      auto fm = model_.file_mutexes.find(file_);
+      if (fm != model_.file_mutexes.end()) {
+        auto m = fm->second.find(v);
+        if (m != fm->second.end()) return m->second;
+      }
+      return unique_owner(v);
+    }
+    if (t.size() == 3 && (t[1] == "." || t[1] == "->")) {
+      const std::string owner = type_of_var(t[0], cls, locals);
+      if (!owner.empty()) {
+        const std::string id = member_lock(owner, t[2]);
+        if (!id.empty()) return id;
+      }
+      if (!cls.empty()) {
+        const std::string id = member_lock(cls, t[2]);
+        if (!id.empty()) return id;
+      }
+      return unique_owner(t[2]);
+    }
+    return "";
+  }
+
+  // -- function body scan (phase 1) ------------------------------------------
+
+  void scan_body(Function& fn, std::map<std::string, std::string>& locals) {
+    int depth = 1;
+    std::string last_class;
+    std::set<std::string> guards;
+    auto emit = [&](Event e) { fn.events.push_back(std::move(e)); };
+
+    while (i_ < toks_->size() && depth > 0) {
+      const Token& t = tok(i_);
+      const std::string& s = t.text;
+
+      if (s == "{") {
+        ++depth;
+        last_class.clear();
+        ++i_;
+        continue;
+      }
+      if (s == "}") {
+        Event e;
+        e.kind = EventKind::kScopeExit;
+        e.line = t.line;
+        e.depth = depth;
+        emit(std::move(e));
+        --depth;
+        last_class.clear();
+        ++i_;
+        continue;
+      }
+      if (s == ";") {
+        last_class.clear();
+        ++i_;
+        continue;
+      }
+
+      // Guard acquisition: util::LockGuard / util::UniqueLock.
+      if ((s == "LockGuard" || s == "UniqueLock") &&
+          is_ident_start(text(i_ + 1).empty() ? '0' : text(i_ + 1)[0]) &&
+          text(i_ + 2) == "(") {
+        const std::string var = text(i_ + 1);
+        std::vector<std::string> expr;
+        std::size_t j = i_ + 3;
+        int pd = 1;
+        for (; j < toks_->size() && pd > 0; ++j) {
+          if (text(j) == "(") ++pd;
+          else if (text(j) == ")") { if (--pd == 0) break; }
+          if (pd > 0) expr.push_back(text(j));
+        }
+        Event e;
+        e.kind = EventKind::kAcquire;
+        e.line = t.line;
+        e.depth = depth;
+        e.flag = (s == "UniqueLock");
+        e.var = var;
+        for (const std::string& x : expr) {
+          if (!e.detail.empty()) e.detail += ' ';
+          e.detail += x;
+        }
+        e.lock = resolve_lock_tokens(expr, fn.cls, locals);
+        if (e.lock.empty()) {
+          e.lock = "?" + file_ + ":" + std::to_string(t.line);
+          Finding f;
+          f.rule = "unresolved-lock";
+          f.file = file_;
+          f.line = t.line;
+          f.waived = waiver_with_reason(*src_, t.line - 1, "desh-analyze",
+                                        "unresolved-lock");
+          f.message = "cannot resolve lock expression '" + e.detail +
+                      "' in " + fn.qual() +
+                      " — the site participates in blocking-under-lock "
+                      "as an anonymous lock but not in lock ordering";
+          model_.findings.push_back(std::move(f));
+        }
+        guards.insert(var);
+        emit(std::move(e));
+        i_ = j + 1;
+        continue;
+      }
+
+      // Guard toggles and condvar waits.
+      const bool after_member = text(i_ ? i_ - 1 : 0) == "." ||
+                                text(i_ ? i_ - 1 : 0) == "->";
+      if (after_member && (s == "unlock" || s == "lock") &&
+          text(i_ + 1) == "(" && i_ >= 2 && guards.count(text(i_ - 2))) {
+        Event e;
+        e.kind = s == "unlock" ? EventKind::kUnlock : EventKind::kRelock;
+        e.line = t.line;
+        e.var = text(i_ - 2);
+        emit(std::move(e));
+        i_ += 3;  // name ( )
+        continue;
+      }
+      if (after_member &&
+          (s == "wait" || s == "wait_for" || s == "wait_until") &&
+          text(i_ + 1) == "(") {
+        Event e;
+        e.kind = EventKind::kCvWait;
+        e.line = t.line;
+        e.flag = s != "wait";  // bounded
+        std::size_t j = i_ + 2;
+        int pd = 1;
+        for (; j < toks_->size() && pd > 0; ++j) {
+          if (text(j) == "(") ++pd;
+          else if (text(j) == ")") { if (--pd == 0) break; }
+          else if (pd >= 1 && e.var.empty() && guards.count(text(j)))
+            e.var = text(j);
+        }
+        emit(std::move(e));
+        i_ = j + 1;
+        continue;
+      }
+
+      // Direct blocking operations.
+      if ((s == "sleep_for" || s == "sleep_until") && text(i_ + 1) == "(") {
+        emit({EventKind::kBlock, t.line, 0, false, "", "",
+              "std::this_thread::" + s, ""});
+        ++i_;
+        continue;
+      }
+      if (s == "system" && text(i_ + 1) == "(" && !after_member) {
+        emit({EventKind::kBlock, t.line, 0, false, "", "", "system()", ""});
+        ++i_;
+        continue;
+      }
+      if (in(s, {"ifstream", "ofstream", "fstream"})) {
+        emit({EventKind::kBlock, t.line, 0, false, "", "",
+              "std::" + s + " (file I/O)", ""});
+        ++i_;
+        continue;
+      }
+      if (in(s, {"fopen", "fwrite", "fread", "fclose", "fflush", "fsync",
+                 "ftruncate", "fgets", "fputs"}) &&
+          text(i_ + 1) == "(") {
+        emit({EventKind::kBlock, t.line, 0, false, "", "", s + "() (file I/O)",
+              ""});
+        ++i_;
+        continue;
+      }
+      if ((s == "rename" || s == "remove") && text(i_ + 1) == "(" &&
+          i_ >= 2 && text(i_ - 1) == "::" && text(i_ - 2) == "std") {
+        emit({EventKind::kBlock, t.line, 0, false, "", "",
+              "std::" + s + "() (file I/O)", ""});
+        ++i_;
+        continue;
+      }
+      if ((s == "filesystem" || s == "fs") && text(i_ + 1) == "::" &&
+          fs_io_op(text(i_ + 2))) {
+        emit({EventKind::kBlock, t.line, 0, false, "", "",
+              "std::filesystem::" + text(i_ + 2) + " (file I/O)", ""});
+        i_ += 3;
+        continue;
+      }
+      if (s == "join" && after_member && text(i_ + 1) == "(" &&
+          text(i_ + 2) == ")") {
+        emit({EventKind::kBlock, t.line, 0, false, "", "", "thread join", ""});
+        i_ += 3;
+        continue;
+      }
+
+      // make_unique<C>/make_shared<C>: a constructor call — and when the
+      // result is assigned to an existing smart pointer (`g_sink =
+      // std::make_unique<FileSink>(...)`), the old pointee's destructor too.
+      if ((s == "make_unique" || s == "make_shared") && text(i_ + 1) == "<") {
+        std::size_t j = i_ + 2;
+        int angle = 1;
+        std::string last;
+        for (; j < toks_->size() && angle > 0; ++j) {
+          const std::string& x = text(j);
+          if (x == "<") ++angle;
+          else if (x == ">") --angle;
+          else if (is_ident_start(x[0]) && model_.classes.count(x)) last = x;
+        }
+        if (!last.empty())
+          emit({EventKind::kCall, t.line, 0, false, "", "", last, last});
+        std::size_t k = i_;
+        while (k > 0 && (text(k - 1) == "::" || text(k - 1) == "std")) --k;
+        if (k >= 2 && text(k - 1) == "=" && is_ident_start(text(k - 2)[0])) {
+          const std::string old = pointee_class(text(k - 2), fn.cls, locals);
+          if (!old.empty())
+            emit({EventKind::kCall, t.line, 0, false, "", "", "~" + old, old});
+          if (!last.empty()) locals[text(k - 2)] = last;
+        }
+        i_ = j;
+        continue;
+      }
+
+      // smart_ptr.reset(...): the old pointee's destructor runs here.
+      if (s == "reset" && after_member && text(i_ + 1) == "(" && i_ >= 2) {
+        const std::string owner = chain_class(i_ - 1, fn.cls, locals);
+        std::string pointee;
+        if (i_ >= 2 && is_ident_start(text(i_ - 2)[0]))
+          pointee = pointee_class(text(i_ - 2), fn.cls, locals);
+        if (!pointee.empty())
+          emit({EventKind::kCall, t.line, 0, false, "", "", "~" + pointee,
+                pointee});
+        (void)owner;
+        ++i_;
+        continue;
+      }
+
+      // Local declaration with constructor args: `Foo x(...)` or
+      // `std::unique_ptr<Foo> x(...)` — `x (` is a variable, not a call.
+      if (is_ident_start(s[0]) && text(i_ + 1) == "(" && !call_keyword(s) &&
+          !all_caps_macro(s) && !last_class.empty() && i_ >= 1 &&
+          !model_.classes.count(s) &&
+          (text(i_ - 1) == ">" || text(i_ - 1) == last_class)) {
+        locals[s] = last_class;
+        if (text(i_ - 1) == last_class)  // direct `Foo x(...)`: ctor runs
+          emit({EventKind::kCall, t.line, 0, false, "", "", last_class,
+                last_class});
+        ++i_;
+        continue;
+      }
+
+      // Generic calls.
+      if (is_ident_start(s[0]) && text(i_ + 1) == "(" && !call_keyword(s) &&
+          !all_caps_macro(s)) {
+        Event e;
+        e.kind = EventKind::kCall;
+        e.line = t.line;
+        e.detail = s;
+        std::size_t expr_start = i_;
+        if (after_member) {
+          e.recv = chain_class(i_ - 1, fn.cls, locals);
+          if (e.recv.empty()) e.recv = member_noise(s) ? "-" : "*";
+          expr_start = chain_start_;
+        } else if (i_ >= 1 && text(i_ - 1) == "::") {
+          std::size_t q = i_ - 2;
+          expr_start = q;
+          const std::string& qual = text(q);
+          if (model_.classes.count(qual)) e.recv = qual;
+          else if (model_.classes.count(s)) { e.recv = s; }  // qualified ctor
+          else e.recv = "::";
+          while (expr_start >= 2 && text(expr_start - 1) == "::")
+            expr_start -= 2;
+        } else if (model_.classes.count(s)) {
+          e.recv = s;  // constructor by bare class name
+        } else if (!fn.cls.empty() && method_exists(fn.cls, s)) {
+          e.recv = fn.cls;
+        } else {
+          e.recv = "::";
+        }
+        if (e.recv != "-") {
+          // Call-return local inference: `v = f(...)`.
+          if (expr_start >= 2 && text(expr_start - 1) == "=" &&
+              is_ident_start(text(expr_start - 2)[0])) {
+            const std::string rc = return_class(e.recv, s, fn.cls);
+            if (!rc.empty()) locals[text(expr_start - 2)] = rc;
+          }
+          emit(std::move(e));
+        }
+        ++i_;
+        continue;
+      }
+
+      // Local type hints.
+      if (is_ident_start(s[0])) {
+        const bool member_access =
+            i_ >= 1 && (text(i_ - 1) == "." || text(i_ - 1) == "->");
+        const bool ns_qualified = i_ >= 1 && text(i_ - 1) == "::";
+        if (!member_access && model_.classes.count(s)) {
+          last_class = s;  // a (possibly namespace-qualified) type mention
+        } else if (!member_access && !ns_qualified && !last_class.empty() &&
+                   s != last_class && !call_keyword(s) && !type_noise(s) &&
+                   in(text(i_ + 1), {"=", ";", ",", ")", ":", "{"})) {
+          locals[s] = last_class;
+        }
+        // Range-for / structured iteration: `for (auto& v : container)`.
+        if (text(i_ + 1) == ":" && text(i_ + 2) != ":" &&
+            is_ident_start(text(i_ + 2).empty() ? '0' : text(i_ + 2)[0])) {
+          const std::string c = element_class(text(i_ + 2), fn.cls, locals);
+          if (!c.empty()) locals[s] = c;
+        }
+        ++i_;
+        continue;
+      }
+
+      ++i_;
+    }
+  }
+
+  bool method_exists(const std::string& cls, const std::string& name) const {
+    auto ci = model_.classes.find(cls);
+    if (ci == model_.classes.end()) return false;
+    return ci->second.method_return.count(name) ||
+           ci->second.method_requires.count(name);
+  }
+
+  std::string return_class(const std::string& recv, const std::string& name,
+                           const std::string& cls) const {
+    const std::vector<std::string>* idents = nullptr;
+    if (recv == "::") {
+      auto it = model_.free_return.find(name);
+      if (it != model_.free_return.end()) idents = &it->second;
+    } else if (recv != "*" && recv != "-") {
+      auto ci = model_.classes.find(recv);
+      if (ci != model_.classes.end()) {
+        auto mr = ci->second.method_return.find(name);
+        if (mr != ci->second.method_return.end()) idents = &mr->second;
+      }
+    }
+    (void)cls;
+    return idents ? class_of(*idents) : "";
+  }
+
+  /// Element class of a container-typed variable (last known-class token in
+  /// its declared type) — `servers_` of `std::vector<std::unique_ptr<
+  /// serve::InferenceServer>>` yields InferenceServer.
+  std::string element_class(const std::string& var, const std::string& cls,
+                            const std::map<std::string, std::string>& locals)
+      const {
+    return pointee_class(var, cls, locals);
+  }
+
+  std::string pointee_class(const std::string& var, const std::string& cls,
+                            const std::map<std::string, std::string>& locals)
+      const {
+    auto l = locals.find(var);
+    if (l != locals.end()) return l->second;
+    if (!cls.empty()) {
+      auto ci = model_.classes.find(cls);
+      if (ci != model_.classes.end()) {
+        auto m = ci->second.member_types.find(var);
+        if (m != ci->second.member_types.end()) return class_of(m->second);
+      }
+    }
+    auto g = global_types_.find(file_);
+    if (g != global_types_.end()) {
+      auto m = g->second.find(var);
+      if (m != g->second.end()) return class_of(m->second);
+    }
+    return "";
+  }
+
+  /// Resolves the receiver chain ending at `dot` (the '.'/'->' token before
+  /// the member name) to a class. Sets chain_start_ to the chain's first
+  /// token. Chains walk member and call hops: `a.b->c()`, `servers_[i]`,
+  /// `obs::registry()`, `ServeObs::get()`.
+  std::string chain_class(std::size_t dot, const std::string& cls,
+                          const std::map<std::string, std::string>& locals) {
+    struct Hop {
+      std::string name;
+      bool call = false;
+      std::string qual;  // for call hops: explicit qualifier
+    };
+    std::vector<Hop> hops;
+    std::size_t j = dot;
+    while (true) {
+      if (j == 0) break;
+      --j;  // token before '.'/'->'
+      bool call = false;
+      if (text(j) == ")") {
+        int pd = 1;
+        if (j == 0) break;
+        while (j > 0 && pd > 0) {
+          --j;
+          if (text(j) == ")") ++pd;
+          else if (text(j) == "(") --pd;
+        }
+        if (pd != 0 || j == 0) { hops.clear(); break; }
+        --j;
+        call = true;
+      } else if (text(j) == "]") {
+        int bd = 1;
+        if (j == 0) break;
+        while (j > 0 && bd > 0) {
+          --j;
+          if (text(j) == "]") ++bd;
+          else if (text(j) == "[") --bd;
+        }
+        if (bd != 0 || j == 0) { hops.clear(); break; }
+        --j;
+      }
+      if (text(j).empty() || !is_ident_start(text(j)[0])) {
+        hops.clear();
+        break;
+      }
+      Hop h;
+      h.name = text(j);
+      h.call = call;
+      if (j >= 2 && text(j - 1) == "::" && is_ident_start(text(j - 2)[0])) {
+        h.qual = text(j - 2);
+        j -= 2;
+      }
+      hops.insert(hops.begin(), h);
+      if (j == 0) break;
+      if (text(j - 1) == "." || text(j - 1) == "->") {
+        --j;
+        continue;
+      }
+      break;
+    }
+    chain_start_ = j;
+    if (hops.empty()) return "";
+    // Resolve the base hop.
+    std::string cur;
+    const Hop& base = hops.front();
+    if (base.name == "this") {
+      cur = cls;
+    } else if (base.call) {
+      if (!base.qual.empty() && model_.classes.count(base.qual)) {
+        cur = return_class(base.qual, base.name, cls);
+      } else {
+        cur = return_class("::", base.name, cls);
+        if (cur.empty() && !cls.empty() && method_exists(cls, base.name))
+          cur = return_class(cls, base.name, cls);
+      }
+    } else {
+      cur = type_of_var(base.name, cls, locals);
+    }
+    if (cur.empty()) return "";
+    // Walk the remaining hops through member/return types.
+    for (std::size_t h = 1; h < hops.size(); ++h) {
+      auto ci = model_.classes.find(cur);
+      if (ci == model_.classes.end()) return "";
+      if (hops[h].call) {
+        cur = return_class(cur, hops[h].name, cls);
+      } else {
+        auto m = ci->second.member_types.find(hops[h].name);
+        if (m == ci->second.member_types.end()) return "";
+        cur = class_of(m->second);
+      }
+      if (cur.empty()) return "";
+    }
+    return cur;
+  }
+
+  Model model_;
+  std::vector<TokenFile> token_files_;
+  // file -> global variable -> type identifier tokens
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      global_types_;
+  const std::vector<Token>* toks_ = nullptr;
+  const SourceFile* src_ = nullptr;
+  std::size_t i_ = 0;
+  std::size_t chain_start_ = 0;
+  std::string file_;
+  std::string sub_;
+  int phase_ = 0;  // 0 = declarations, 1 = bodies
+  int round_ = 0;
+};
+
+}  // namespace
+
+std::string subsystem_of(const std::string& rel_path) {
+  std::string p = rel_path;
+  if (p.rfind("src/", 0) == 0) p = p.substr(4);
+  const std::size_t slash = p.find('/');
+  return slash == std::string::npos ? "desh" : p.substr(0, slash);
+}
+
+bool excluded_from_model(const std::string& rel_path) {
+  // The wrapper layer's own internals are the raw primitives everything
+  // else is analyzed in terms of.
+  return rel_path == "src/util/sync.hpp";
+}
+
+std::vector<const Function*> Model::resolve_call(const Event& call) const {
+  std::vector<const Function*> out;
+  auto push = [&](const std::vector<std::size_t>& idx) {
+    for (std::size_t i : idx) out.push_back(&functions[i]);
+  };
+  if (call.recv == "-") return out;
+  if (call.recv == "::") {
+    auto it = free_index.find(call.detail);
+    if (it != free_index.end()) push(it->second);
+  } else if (call.recv == "*") {
+    auto it = methods_by_name.find(call.detail);
+    if (it != methods_by_name.end()) push(it->second);
+  } else {
+    auto it = method_index.find(call.recv + "::" + call.detail);
+    if (it != method_index.end()) push(it->second);
+  }
+  return out;
+}
+
+Model build_model(const std::vector<SourceFile>& files) {
+  return Extractor(files).build();
+}
+
+}  // namespace desh::analyze

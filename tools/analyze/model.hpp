@@ -1,0 +1,130 @@
+// Whole-tree semantic model for desh_analyze.
+//
+// Parses every scrubbed source file into a token stream and extracts, per
+// translation unit:
+//   - classes, their data members (with type tokens) and mutex members;
+//   - file-scope mutexes;
+//   - functions (free and member) with a linear event stream: lock
+//     acquisitions (util::LockGuard / util::UniqueLock on util::Mutex),
+//     scope exits, explicit unlock()/lock() toggles, condvar waits,
+//     blocking operations (file I/O, sleep, system(), thread joins), and
+//     outgoing calls with a resolved receiver class where possible;
+//   - DESH_REQUIRES annotations (the caller-holds contract) from class
+//     bodies;
+//   - the project-include graph.
+//
+// The extractor is deliberately conservative, not exact: a call it cannot
+// resolve fans out to every method with that name, and a lock expression it
+// cannot resolve becomes a per-site synthetic lock plus a waivable
+// `unresolved-lock` finding. The passes in passes.hpp consume this model;
+// nothing here decides what is a violation.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+#include "source.hpp"
+
+namespace desh::analyze {
+
+/// "src/fleet/controller.cpp" -> "fleet"; files directly under src/
+/// (desh.hpp) -> "desh".
+std::string subsystem_of(const std::string& rel_path);
+
+struct Include {
+  std::string path;  // as written: src/-relative ("obs/metrics.hpp")
+  std::size_t line = 0;
+};
+
+enum class EventKind {
+  kAcquire,    // LockGuard/UniqueLock construction
+  kScopeExit,  // '}' — releases every guard at >= this depth
+  kUnlock,     // <guard>.unlock()
+  kRelock,     // <guard>.lock()
+  kCvWait,     // condvar .wait(...); flag = bounded (wait_for/wait_until)
+  kBlock,      // direct blocking operation
+  kCall,       // outgoing call
+};
+
+struct Event {
+  EventKind kind = EventKind::kCall;
+  std::size_t line = 0;
+  int depth = 0;      // kAcquire: brace depth of the guard; kScopeExit: the
+                      // depth being closed
+  bool flag = false;  // kAcquire: UniqueLock (unlockable); kCvWait: bounded
+  std::string lock;   // kAcquire: canonical lock id ("?<file>:<line>" when
+                      // unresolved)
+  std::string var;    // guard variable (kAcquire/kUnlock/kRelock); for
+                      // kCvWait the guard var passed to wait, "" if none
+  std::string detail;  // kAcquire: raw lock expression; kBlock: operation;
+                       // kCall: callee name
+  std::string recv;    // kCall receiver: class name, "::" = free function,
+                       // "*" = unresolved fan-out by name
+};
+
+struct Function {
+  std::string file;
+  std::string subsystem;
+  std::string cls;  // "" for free functions
+  std::string name;
+  std::size_t line = 0;
+  std::vector<std::string> requires_locks;  // canonical ids (DESH_REQUIRES)
+  std::vector<Event> events;
+
+  std::string qual() const { return cls.empty() ? name : cls + "::" + name; }
+};
+
+struct MutexInfo {
+  std::string id;  // "<subsystem>/<Owner>::<member>", Owner = class name or
+                   // file base name for file-scope mutexes
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string subsystem;
+  std::string file;
+  std::size_t line = 0;
+  // member variable -> identifier tokens of its declared type
+  std::map<std::string, std::vector<std::string>> member_types;
+  // mutex member variable -> canonical lock id
+  std::map<std::string, std::string> mutex_members;
+  // method name -> raw DESH_REQUIRES expressions (resolved lazily)
+  std::map<std::string, std::vector<std::string>> method_requires;
+  // method name -> identifier tokens of its return type
+  std::map<std::string, std::vector<std::string>> method_return;
+};
+
+struct Model {
+  std::vector<Function> functions;
+  std::map<std::string, ClassInfo> classes;  // by bare class name
+  std::map<std::string, MutexInfo> mutexes;  // by canonical id
+  // file -> file-scope mutex variable -> canonical id
+  std::map<std::string, std::map<std::string, std::string>> file_mutexes;
+  // free function name -> identifier tokens of its return type
+  std::map<std::string, std::vector<std::string>> free_return;
+  std::map<std::string, std::vector<Include>> includes;  // by file
+  std::vector<Finding> findings;  // extraction findings (unresolved-lock)
+
+  // Call-resolution indexes, filled by build_model.
+  std::map<std::string, std::vector<std::size_t>> free_index;  // name -> fn
+  std::map<std::string, std::vector<std::size_t>> method_index;  // Cls::name
+  std::map<std::string, std::vector<std::size_t>> methods_by_name;
+
+  /// Callee lookup honouring the Event::recv encoding ("::" free, "*"
+  /// fan-out by method name, otherwise an exact class).
+  std::vector<const Function*> resolve_call(const Event& call) const;
+};
+
+/// Files the extractor must not model: the annotated wrapper layer itself
+/// (its internals ARE the raw primitives every rule reasons above).
+bool excluded_from_model(const std::string& rel_path);
+
+Model build_model(const std::vector<SourceFile>& files);
+
+}  // namespace desh::analyze

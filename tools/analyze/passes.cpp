@@ -1,0 +1,661 @@
+#include "passes.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace desh::analyze {
+
+namespace {
+
+std::vector<std::string> words(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string w;
+  while (is >> w) out.push_back(w);
+  return out;
+}
+
+std::string strip_comment(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+}  // namespace
+
+bool parse_lock_order_contract(const std::filesystem::path& path,
+                               LockOrderContract& out, std::string& error) {
+  out.path = path.generic_string();
+  std::vector<std::string> lines;
+  if (!read_file(path, lines)) {
+    error = "cannot read " + out.path;
+    return false;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::vector<std::string> w = words(strip_comment(lines[i]));
+    if (w.empty()) continue;
+    const std::string where = out.path + ":" + std::to_string(i + 1);
+    if (w[0] == "lock") {
+      if (w.size() != 3) {
+        error = where + ": expected `lock <alias> <canonical-id>`";
+        return false;
+      }
+      if (out.locks.count(w[1])) {
+        error = where + ": duplicate lock alias '" + w[1] + "'";
+        return false;
+      }
+      out.locks[w[1]] = w[2];
+      out.lock_lines[w[1]] = i + 1;
+    } else if (w[0] == "order") {
+      if (w.size() != 4 || w[2] != "->") {
+        error = where + ": expected `order <alias> -> <alias>`";
+        return false;
+      }
+      for (const std::string& a : {w[1], w[3]})
+        if (!out.locks.count(a)) {
+          error = where + ": order names undeclared lock alias '" + a + "'";
+          return false;
+        }
+      out.order.emplace_back(w[1], w[3]);
+      out.order_lines[w[1] + "->" + w[3]] = i + 1;
+    } else {
+      error = where + ": unknown directive '" + w[0] + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_layers_contract(const std::filesystem::path& path,
+                           LayersContract& out, std::string& error) {
+  out.path = path.generic_string();
+  std::vector<std::string> lines;
+  if (!read_file(path, lines)) {
+    error = "cannot read " + out.path;
+    return false;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::vector<std::string> w = words(strip_comment(lines[i]));
+    if (w.empty()) continue;
+    const std::string where = out.path + ":" + std::to_string(i + 1);
+    if (w[0] == "interface") {
+      if (w.size() < 2) {
+        error = where + ": expected `interface <src-relative-header> <why>`";
+        return false;
+      }
+      out.interfaces.insert(w[1]);
+    } else if (w[0] == "subsystem") {
+      if (w.size() < 2 || w[1].back() != ':') {
+        error = where + ": expected `subsystem <name>: <deps...>`";
+        return false;
+      }
+      const std::string name = w[1].substr(0, w[1].size() - 1);
+      if (out.deps.count(name)) {
+        error = where + ": duplicate subsystem '" + name + "'";
+        return false;
+      }
+      out.deps[name] = std::vector<std::string>(w.begin() + 2, w.end());
+      out.dep_lines[name] = i + 1;
+    } else {
+      error = where + ": unknown directive '" + w[0] + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+bool synthetic(const std::string& lock_id) {
+  return !lock_id.empty() && lock_id[0] == '?';
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Model& model, const std::vector<SourceFile>& files,
+           const LockOrderContract& locks, const LayersContract& layers)
+      : model_(model), locks_(locks), layers_(layers) {
+    for (const SourceFile& f : files) files_[f.rel_path] = &f;
+    for (const auto& [alias, id] : locks_.locks) alias_of_[id] = alias;
+  }
+
+  AnalysisResult run() {
+    result_.findings = model_.findings;  // unresolved-lock extraction findings
+    resolve_targets();
+    compute_may_acquire();
+    compute_may_block();
+    for (std::size_t i = 0; i < model_.functions.size(); ++i) simulate(i);
+    check_lock_contract();
+    detect_cycles();
+    check_layering();
+    for (const auto& [id, info] : model_.mutexes) {
+      (void)info;
+      result_.lock_nodes.push_back(id);
+    }
+    sort_findings(result_.findings);
+    std::sort(result_.lock_edges.begin(), result_.lock_edges.end(),
+              [](const GraphEdge& a, const GraphEdge& b) {
+                return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+              });
+    std::sort(result_.layer_edges.begin(), result_.layer_edges.end(),
+              [](const GraphEdge& a, const GraphEdge& b) {
+                return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+              });
+    return std::move(result_);
+  }
+
+ private:
+  /// Pretty name for a lock id: prefer the contract alias.
+  std::string pretty(const std::string& id) const {
+    auto it = alias_of_.find(id);
+    return it == alias_of_.end() ? id : it->second + " (" + id + ")";
+  }
+
+  bool waived_at(const std::string& file, std::size_t line,
+                 const char* rule) const {
+    auto it = files_.find(file);
+    if (it == files_.end() || line == 0 || line > it->second->lines.size())
+      return false;
+    return waiver_with_reason(*it->second, line - 1, "desh-analyze", rule);
+  }
+
+  void add_finding(const char* rule, const std::string& file,
+                   std::size_t line, std::string message, bool waivable) {
+    Finding f;
+    f.rule = rule;
+    f.file = file;
+    f.line = line;
+    f.message = std::move(message);
+    f.waived = waivable && waived_at(file, line, rule);
+    result_.findings.push_back(std::move(f));
+  }
+
+  // -- call graph ------------------------------------------------------------
+
+  void resolve_targets() {
+    targets_.resize(model_.functions.size());
+    for (std::size_t i = 0; i < model_.functions.size(); ++i) {
+      const Function& fn = model_.functions[i];
+      targets_[i].resize(fn.events.size());
+      for (std::size_t e = 0; e < fn.events.size(); ++e) {
+        if (fn.events[e].kind != EventKind::kCall) continue;
+        for (const Function* g : model_.resolve_call(fn.events[e]))
+          targets_[i][e].push_back(
+              static_cast<std::size_t>(g - model_.functions.data()));
+      }
+    }
+  }
+
+  void compute_may_acquire() {
+    may_acquire_.assign(model_.functions.size(), {});
+    for (std::size_t i = 0; i < model_.functions.size(); ++i)
+      for (const Event& e : model_.functions[i].events)
+        if (e.kind == EventKind::kAcquire && !synthetic(e.lock))
+          may_acquire_[i].insert(e.lock);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < model_.functions.size(); ++i)
+        for (const auto& callees : targets_[i])
+          for (std::size_t g : callees)
+            for (const std::string& l : may_acquire_[g])
+              if (may_acquire_[i].insert(l).second) changed = true;
+    }
+  }
+
+  void compute_may_block() {
+    may_block_.assign(model_.functions.size(), "");
+    for (std::size_t i = 0; i < model_.functions.size(); ++i) {
+      const Function& fn = model_.functions[i];
+      for (const Event& e : fn.events) {
+        if (e.kind == EventKind::kBlock) {
+          may_block_[i] = e.detail + " at " + fn.file + ":" +
+                          std::to_string(e.line);
+          break;
+        }
+        if (e.kind == EventKind::kCvWait && !e.flag) {
+          may_block_[i] = "unbounded CondVar::wait at " + fn.file + ":" +
+                          std::to_string(e.line);
+          break;
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < model_.functions.size(); ++i) {
+        if (!may_block_[i].empty()) continue;
+        for (const auto& callees : targets_[i]) {
+          for (std::size_t g : callees) {
+            if (may_block_[g].empty()) continue;
+            may_block_[i] =
+                model_.functions[g].qual() + " -> " + may_block_[g];
+            changed = true;
+            break;
+          }
+          if (!may_block_[i].empty()) break;
+        }
+        // Keep the witness chain bounded: one hop recorded per function.
+      }
+    }
+  }
+
+  // -- per-function simulation -----------------------------------------------
+
+  struct Held {
+    std::string id;
+    std::string var;
+    int depth = 0;
+    bool active = true;
+  };
+
+  static std::string held_list(const std::vector<Held>& held,
+                               const std::string& skip_var,
+                               const Analyzer& a) {
+    std::string out;
+    for (const Held& h : held) {
+      if (!h.active) continue;
+      if (!skip_var.empty() && h.var == skip_var) continue;
+      if (!out.empty()) out += ", ";
+      out += synthetic(h.id) ? ("unresolved lock at " + h.id.substr(1))
+                             : a.pretty(h.id);
+    }
+    return out;
+  }
+
+  void record_edge(const std::string& from, const std::string& to,
+                   const Function& fn, std::size_t line,
+                   const std::string& via) {
+    if (synthetic(from) || synthetic(to)) return;
+    const auto key = std::make_pair(from, to);
+    if (edges_.count(key)) return;
+    GraphEdge e;
+    e.from = from;
+    e.to = to;
+    e.file = fn.file;
+    e.line = line;
+    e.via = via;
+    edges_.emplace(key, e);
+    result_.lock_edges.push_back(std::move(e));
+  }
+
+  void simulate(std::size_t fi) {
+    const Function& fn = model_.functions[fi];
+    std::vector<Held> held;
+    for (const std::string& id : fn.requires_locks)
+      held.push_back({id, "", 0, true});
+    auto any_active = [&] {
+      return std::any_of(held.begin(), held.end(),
+                         [](const Held& h) { return h.active; });
+    };
+    for (std::size_t ei = 0; ei < fn.events.size(); ++ei) {
+      const Event& e = fn.events[ei];
+      switch (e.kind) {
+        case EventKind::kAcquire: {
+          for (const Held& h : held) {
+            if (!h.active) continue;
+            if (h.id == e.lock && !synthetic(e.lock)) {
+              add_finding("lock-order", fn.file, e.line,
+                          fn.qual() + " re-acquires " + pretty(e.lock) +
+                              " already held on entry or above — "
+                              "util::Mutex is not recursive",
+                          false);
+              continue;
+            }
+            record_edge(h.id, e.lock, fn, e.line, "");
+          }
+          held.push_back({e.lock, e.var, e.depth, true});
+          break;
+        }
+        case EventKind::kScopeExit: {
+          held.erase(std::remove_if(held.begin(), held.end(),
+                                    [&](const Held& h) {
+                                      return h.depth >= e.depth &&
+                                             h.depth > 0;
+                                    }),
+                     held.end());
+          break;
+        }
+        case EventKind::kUnlock:
+        case EventKind::kRelock: {
+          for (auto it = held.rbegin(); it != held.rend(); ++it)
+            if (it->var == e.var) {
+              it->active = e.kind == EventKind::kRelock;
+              break;
+            }
+          break;
+        }
+        case EventKind::kCvWait: {
+          if (e.flag) break;  // bounded wait_for/wait_until
+          const std::string others = held_list(held, e.var, *this);
+          if (others.empty()) break;
+          if (dedupe_.insert(fn.file + ":" + std::to_string(e.line) +
+                             ":block").second)
+            add_finding("blocking-under-lock", fn.file, e.line,
+                        fn.qual() + " waits unbounded on a CondVar while "
+                        "holding " + others,
+                        true);
+          break;
+        }
+        case EventKind::kBlock: {
+          if (!any_active()) break;
+          if (dedupe_.insert(fn.file + ":" + std::to_string(e.line) +
+                             ":block").second)
+            add_finding("blocking-under-lock", fn.file, e.line,
+                        fn.qual() + ": " + e.detail + " while holding " +
+                            held_list(held, "", *this),
+                        true);
+          break;
+        }
+        case EventKind::kCall: {
+          if (!any_active()) break;
+          for (std::size_t g : targets_[fi][ei]) {
+            for (const std::string& l : may_acquire_[g]) {
+              bool reacquire = false;
+              for (const Held& h : held)
+                if (h.active && h.id == l) reacquire = true;
+              if (reacquire) {
+                const std::string key =
+                    fn.file + ":" + std::to_string(e.line) + ":re:" + l;
+                // Call-graph result, so over-approximate: waivable,
+                // unlike a direct re-acquisition.
+                if (dedupe_.insert(key).second)
+                  add_finding(
+                      "lock-order", fn.file, e.line,
+                      fn.qual() + " calls " + model_.functions[g].qual() +
+                          " which may re-acquire held " + pretty(l) +
+                          " — util::Mutex is not recursive",
+                      true);
+                continue;
+              }
+              for (const Held& h : held)
+                if (h.active)
+                  record_edge(h.id, l, fn, e.line,
+                              model_.functions[g].qual());
+            }
+            if (!may_block_[g].empty()) {
+              const std::string key =
+                  fn.file + ":" + std::to_string(e.line) + ":block";
+              if (dedupe_.insert(key).second)
+                add_finding("blocking-under-lock", fn.file, e.line,
+                            fn.qual() + " calls " +
+                                model_.functions[g].qual() +
+                                " which may block (" + may_block_[g] +
+                                ") while holding " +
+                                held_list(held, "", *this),
+                            true);
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // -- lock-order contract ---------------------------------------------------
+
+  void check_lock_contract() {
+    // Contract rot: every named lock must exist in the tree.
+    for (const auto& [alias, id] : locks_.locks)
+      if (!model_.mutexes.count(id))
+        add_finding("lock-order", locks_.path, locks_.lock_lines.at(alias),
+                    "contract lock '" + alias + "' names unknown mutex '" +
+                        id + "' — the tree moved; update "
+                        "lock_order.contract",
+                    false);
+    // The declared order itself must be a DAG.
+    std::map<std::string, std::vector<std::string>> decl;
+    for (const auto& [a, b] : locks_.order) decl[a].push_back(b);
+    std::string cycle = find_cycle(decl);
+    if (!cycle.empty())
+      add_finding("lock-order", locks_.path, 1,
+                  "declared lock order is cyclic: " + cycle, false);
+    // Reachability over the declared order.
+    auto reachable = [&](const std::string& from, const std::string& to) {
+      std::set<std::string> seen{from};
+      std::vector<std::string> queue{from};
+      while (!queue.empty()) {
+        const std::string cur = queue.back();
+        queue.pop_back();
+        if (cur == to) return true;
+        for (const std::string& next : decl[cur])
+          if (seen.insert(next).second) queue.push_back(next);
+      }
+      return false;
+    };
+    for (const GraphEdge& e : result_.lock_edges) {
+      auto fa = alias_of_.find(e.from);
+      auto ta = alias_of_.find(e.to);
+      if (fa == alias_of_.end() || ta == alias_of_.end()) continue;
+      if (reachable(fa->second, ta->second)) continue;
+      const std::string via =
+          e.via.empty() ? "" : (" (via call to " + e.via + ")");
+      if (reachable(ta->second, fa->second)) {
+        add_finding("lock-order", e.file, e.line,
+                    "acquisition order " + fa->second + " -> " + ta->second +
+                        via + " contradicts the declared order '" +
+                        ta->second + " -> " + fa->second +
+                        "' in lock_order.contract",
+                    false);
+      } else {
+        add_finding("lock-order", e.file, e.line,
+                    "acquisition edge " + fa->second + " -> " + ta->second +
+                        via + " is not declared in lock_order.contract — "
+                        "add `order " + fa->second + " -> " + ta->second +
+                        "` if this nesting is intended",
+                    false);
+      }
+    }
+  }
+
+  /// Returns "a -> b -> a" for some cycle in `adj`, or "".
+  static std::string find_cycle(
+      const std::map<std::string, std::vector<std::string>>& adj) {
+    std::set<std::string> done, path_set;
+    std::vector<std::string> path;
+    std::string found;
+    std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+      if (!found.empty() || done.count(n)) return;
+      if (path_set.count(n)) {
+        auto it = std::find(path.begin(), path.end(), n);
+        for (; it != path.end(); ++it) found += *it + " -> ";
+        found += n;
+        return;
+      }
+      path_set.insert(n);
+      path.push_back(n);
+      auto a = adj.find(n);
+      if (a != adj.end())
+        for (const std::string& next : a->second) dfs(next);
+      path.pop_back();
+      path_set.erase(n);
+      done.insert(n);
+    };
+    for (const auto& [n, out] : adj) {
+      (void)out;
+      dfs(n);
+      if (!found.empty()) break;
+    }
+    return found;
+  }
+
+  void detect_cycles() {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const GraphEdge& e : result_.lock_edges) adj[e.from].push_back(e.to);
+    const std::string cycle = find_cycle(adj);
+    if (cycle.empty()) return;
+    // Anchor the finding at the witness of the cycle's first edge.
+    const std::vector<std::string> nodes = words(cycle);
+    std::string file = locks_.path;
+    std::size_t line = 1;
+    if (nodes.size() >= 3) {
+      auto it = edges_.find(std::make_pair(nodes[0], nodes[2]));
+      if (it != edges_.end()) {
+        file = it->second.file;
+        line = it->second.line;
+      }
+    }
+    add_finding("lock-order", file, line,
+                "lock-order cycle detected: " + cycle +
+                    " — two threads taking these locks in different orders "
+                    "can deadlock",
+                false);
+  }
+
+  // -- layering --------------------------------------------------------------
+
+  void check_layering() {
+    std::map<std::pair<std::string, std::string>, GraphEdge> observed;
+    for (const auto& [file, incs] : model_.includes) {
+      const std::string sub = subsystem_of(file);
+      for (const Include& inc : incs) {
+        if (!files_.count("src/" + inc.path)) continue;  // not a tree header
+        const std::string tsub = subsystem_of("src/" + inc.path);
+        if (tsub == sub) continue;
+        if (layers_.interfaces.count(inc.path)) continue;
+        const auto key = std::make_pair(sub, tsub);
+        if (observed.count(key)) continue;
+        GraphEdge e;
+        e.from = sub;
+        e.to = tsub;
+        e.file = file;
+        e.line = inc.line;
+        e.via = inc.path;
+        observed.emplace(key, e);
+      }
+    }
+    for (auto& [key, e] : observed) {
+      (void)key;
+      result_.layer_edges.push_back(e);
+      auto d = layers_.deps.find(e.from);
+      if (d == layers_.deps.end()) {
+        add_finding("layering", e.file, e.line,
+                    "subsystem '" + e.from + "' is not declared in "
+                    "layers.contract",
+                    false);
+        continue;
+      }
+      const bool ok =
+          std::find(d->second.begin(), d->second.end(), e.to) !=
+              d->second.end() ||
+          std::find(d->second.begin(), d->second.end(), "*") !=
+              d->second.end();
+      if (!ok)
+        add_finding("layering", e.file, e.line,
+                    "include of \"" + e.via + "\" creates subsystem edge " +
+                        e.from + " -> " + e.to + ", which layers.contract "
+                        "does not allow — layering is not waivable in code; "
+                        "move the dependency or change the contract",
+                    false);
+    }
+    // Contract rot and declared-DAG check.
+    std::map<std::string, std::vector<std::string>> decl;
+    for (const auto& [sub, deps] : layers_.deps) {
+      for (const std::string& d : deps) {
+        if (d == "*") {
+          for (const auto& [other, od] : layers_.deps) {
+            (void)od;
+            if (other != sub) decl[sub].push_back(other);
+          }
+          continue;
+        }
+        if (!layers_.deps.count(d))
+          add_finding("layering", layers_.path, layers_.dep_lines.at(sub),
+                      "subsystem '" + sub + "' declares dependency on "
+                      "unknown subsystem '" + d + "'",
+                      false);
+        decl[sub].push_back(d);
+      }
+    }
+    const std::string cycle = find_cycle(decl);
+    if (!cycle.empty())
+      add_finding("layering", layers_.path, 1,
+                  "declared subsystem graph is cyclic: " + cycle, false);
+  }
+
+  const Model& model_;
+  const LockOrderContract& locks_;
+  const LayersContract& layers_;
+  std::map<std::string, const SourceFile*> files_;
+  std::map<std::string, std::string> alias_of_;  // lock id -> alias
+  std::vector<std::vector<std::vector<std::size_t>>> targets_;
+  std::vector<std::set<std::string>> may_acquire_;
+  std::vector<std::string> may_block_;  // "" = cannot block; else witness
+  std::map<std::pair<std::string, std::string>, GraphEdge> edges_;
+  std::set<std::string> dedupe_;
+  AnalysisResult result_;
+};
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult run_analysis(const Model& model,
+                            const std::vector<SourceFile>& files,
+                            const LockOrderContract& locks,
+                            const LayersContract& layers) {
+  return Analyzer(model, files, locks, layers).run();
+}
+
+void write_lock_dot(std::ostream& os, const AnalysisResult& result,
+                    const LockOrderContract& contract) {
+  std::map<std::string, std::string> alias_of;
+  for (const auto& [alias, id] : contract.locks) alias_of[id] = alias;
+  os << "digraph lock_order {\n  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const std::string& id : result.lock_nodes) {
+    auto a = alias_of.find(id);
+    os << "  \"" << dot_escape(id) << "\"";
+    if (a != alias_of.end())
+      os << " [label=\"" << dot_escape(a->second) << "\\n" << dot_escape(id)
+         << "\"]";
+    os << ";\n";
+  }
+  std::set<std::pair<std::string, std::string>> observed;
+  for (const GraphEdge& e : result.lock_edges) {
+    observed.emplace(e.from, e.to);
+    os << "  \"" << dot_escape(e.from) << "\" -> \"" << dot_escape(e.to)
+       << "\" [label=\"" << dot_escape(e.file + ":" + std::to_string(e.line))
+       << "\"];\n";
+  }
+  // Declared-but-unobserved edges, dashed: the contract's slack.
+  for (const auto& [a, b] : contract.order) {
+    const std::string from = contract.locks.at(a);
+    const std::string to = contract.locks.at(b);
+    if (observed.count(std::make_pair(from, to))) continue;
+    os << "  \"" << dot_escape(from) << "\" -> \"" << dot_escape(to)
+       << "\" [style=dashed, color=gray];\n";
+  }
+  os << "}\n";
+}
+
+void write_layers_dot(std::ostream& os, const AnalysisResult& result,
+                      const LayersContract& contract) {
+  os << "digraph layers {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const auto& [sub, deps] : contract.deps) {
+    (void)deps;
+    os << "  \"" << dot_escape(sub) << "\";\n";
+  }
+  std::set<std::pair<std::string, std::string>> observed;
+  for (const GraphEdge& e : result.layer_edges) {
+    observed.emplace(e.from, e.to);
+    os << "  \"" << dot_escape(e.from) << "\" -> \"" << dot_escape(e.to)
+       << "\";\n";
+  }
+  for (const auto& [sub, deps] : contract.deps)
+    for (const std::string& d : deps) {
+      if (d == "*" || observed.count(std::make_pair(sub, d))) continue;
+      os << "  \"" << dot_escape(sub) << "\" -> \"" << dot_escape(d)
+         << "\" [style=dashed, color=gray];\n";
+    }
+  os << "}\n";
+}
+
+}  // namespace desh::analyze

@@ -1,0 +1,85 @@
+// The three cross-TU analyses behind desh_analyze, plus the contract-file
+// parsers they check against.
+//
+//   lock-order           every observed lock-acquisition edge between locks
+//                        named in tools/analyze/lock_order.contract must be
+//                        consistent with the declared partial order; the
+//                        full observed graph (named or not) must be acyclic
+//                        and re-acquiring a held lock is an error.
+//   layering             every subsystem-level include edge must be declared
+//                        in tools/analyze/layers.contract; the declared
+//                        graph must be a DAG. Not waivable in code — the
+//                        contract file is the escape hatch.
+//   blocking-under-lock  file I/O, sleep_for, system(), thread joins and
+//                        unbounded condvar waits reached (directly or
+//                        through the conservative call graph) while a lock
+//                        is held. Waivable per site with a justified
+//                        `desh-analyze: allow(blocking-under-lock) <why>`.
+//
+// The model is conservative, so these passes over-approximate: an edge here
+// means "the analyzer cannot prove this cannot happen".
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+#include "model.hpp"
+#include "source.hpp"
+
+namespace desh::analyze {
+
+struct LockOrderContract {
+  std::string path;                          // for finding locations
+  std::map<std::string, std::string> locks;  // alias -> canonical lock id
+  std::map<std::string, std::size_t> lock_lines;
+  std::vector<std::pair<std::string, std::string>> order;  // alias pairs
+  std::map<std::string, std::size_t> order_lines;  // "a->b" -> line
+};
+
+struct LayersContract {
+  std::string path;
+  std::set<std::string> interfaces;  // src-relative header paths
+  std::map<std::string, std::vector<std::string>> deps;  // subsystem -> deps
+  std::map<std::string, std::size_t> dep_lines;
+};
+
+/// Parse a contract file. Returns false with `error` set on a malformed
+/// file (usage error — exit 2), not on contract-vs-tree drift (that is a
+/// finding, produced by the passes).
+bool parse_lock_order_contract(const std::filesystem::path& path,
+                               LockOrderContract& out, std::string& error);
+bool parse_layers_contract(const std::filesystem::path& path,
+                           LayersContract& out, std::string& error);
+
+struct GraphEdge {
+  std::string from;
+  std::string to;
+  std::string file;  // witness site
+  std::size_t line = 0;
+  std::string via;  // callee chain for indirect edges, "" for direct
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  // waived ones included, flagged
+  std::vector<std::string> lock_nodes;  // every real lock id observed
+  std::vector<GraphEdge> lock_edges;    // deduped observed acquisition edges
+  std::vector<GraphEdge> layer_edges;   // observed subsystem include edges
+};
+
+AnalysisResult run_analysis(const Model& model,
+                            const std::vector<SourceFile>& files,
+                            const LockOrderContract& locks,
+                            const LayersContract& layers);
+
+void write_lock_dot(std::ostream& os, const AnalysisResult& result,
+                    const LockOrderContract& contract);
+void write_layers_dot(std::ostream& os, const AnalysisResult& result,
+                      const LayersContract& contract);
+
+}  // namespace desh::analyze

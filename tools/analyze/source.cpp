@@ -1,0 +1,193 @@
+#include "source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+
+namespace desh::analyze {
+
+namespace fs = std::filesystem;
+
+ScrubbedLine Scrubber::scrub(const std::string& line) {
+  ScrubbedLine out;
+  out.code.reserve(line.size());
+  std::string current_string;
+  enum class State { kCode, kString, kChar, kBlockComment };
+  State state = in_block_ ? State::kBlockComment : State::kCode;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          out.comment += line.substr(i + 2);
+          i = line.size();
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          out.code += '"';
+          state = State::kString;
+          current_string.clear();
+        } else if (c == '\'') {
+          out.code += '\'';
+          state = State::kChar;
+        } else {
+          out.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          current_string += c;
+          current_string += next;
+          ++i;
+        } else if (c == '"') {
+          out.code += '"';
+          out.strings.push_back(current_string);
+          state = State::kCode;
+        } else {
+          current_string += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          out.code += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          out.comment += c;
+        }
+        break;
+    }
+  }
+  in_block_ = state == State::kBlockComment;
+  // An unterminated string at end-of-line (multi-line concatenation does
+  // not exist for plain literals) — treat as closed.
+  if (state == State::kString) out.strings.push_back(current_string);
+  return out;
+}
+
+bool read_file(const fs::path& path, std::vector<std::string>& lines) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return true;
+}
+
+bool load_tree(const fs::path& root, const std::string& subdir,
+               const char* tool, std::vector<SourceFile>& out) {
+  const fs::path src = root / subdir;
+  if (!fs::is_directory(src)) {
+    std::cerr << tool << ": no " << subdir << "/ under " << root << "\n";
+    return false;
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h")
+      paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    SourceFile f;
+    f.rel_path = fs::relative(p, root).generic_string();
+    if (!read_file(p, f.raw)) {
+      std::cerr << tool << ": cannot read " << p << "\n";
+      return false;
+    }
+    Scrubber scrubber;
+    f.lines.reserve(f.raw.size());
+    for (const std::string& line : f.raw)
+      f.lines.push_back(scrubber.scrub(line));
+    out.push_back(std::move(f));
+  }
+  return true;
+}
+
+std::vector<std::size_t> find_tokens(const std::string& code,
+                                     const std::string& needle) {
+  std::vector<std::size_t> hits;
+  for (std::size_t pos = code.find(needle); pos != std::string::npos;
+       pos = code.find(needle, pos + 1)) {
+    auto is_ident = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    const bool left_ok = pos == 0 || (!is_ident(code[pos - 1]) &&
+                                      code[pos - 1] != ':');
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+  }
+  return hits;
+}
+
+std::vector<std::string> desh_tokens(const std::string& text) {
+  std::vector<std::string> out;
+  const std::string prefix = "desh_";
+  for (std::size_t pos = text.find(prefix); pos != std::string::npos;
+       pos = text.find(prefix, pos + 1)) {
+    if (pos > 0) {
+      const char before = text[pos - 1];
+      if (std::isalnum(static_cast<unsigned char>(before)) || before == '_')
+        continue;
+    }
+    std::size_t end = pos;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_'))
+      ++end;
+    if (end < text.size() && text[end] == '.') continue;
+    out.push_back(text.substr(pos, end - pos));
+  }
+  return out;
+}
+
+bool waiver_comment(const SourceFile& f, std::size_t idx, const char* tool,
+                    const std::string& rule) {
+  const std::string needle = std::string(tool) + ": allow(" + rule + ")";
+  if (f.lines[idx].comment.find(needle) != std::string::npos) return true;
+  return idx > 0 &&
+         f.lines[idx - 1].comment.find(needle) != std::string::npos;
+}
+
+namespace {
+bool justified_in(const std::string& comment, const std::string& needle) {
+  const std::size_t pos = comment.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t rest = comment.find_first_not_of(
+      " \t-—:", pos + needle.size());
+  return rest != std::string::npos;
+}
+}  // namespace
+
+bool waiver_with_reason(const SourceFile& f, std::size_t idx,
+                        const char* tool, const std::string& rule) {
+  const std::string needle = std::string(tool) + ": allow(" + rule + ")";
+  if (justified_in(f.lines[idx].comment, needle)) return true;
+  // Walk the contiguous block of comment-only lines directly above the
+  // site, so a waiver may wrap to the repo's comment width.
+  for (std::size_t j = idx; j > 0; --j) {
+    const ScrubbedLine& above = f.lines[j - 1];
+    if (above.comment.empty() ||
+        above.code.find_first_not_of(" \t") != std::string::npos)
+      break;
+    if (justified_in(above.comment, needle)) return true;
+  }
+  return false;
+}
+
+}  // namespace desh::analyze

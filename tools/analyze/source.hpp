@@ -1,0 +1,75 @@
+// Shared source-loading layer for the repo's static-analysis tools
+// (tools/desh_lint and tools/desh_analyze): a comment/literal scrubber, the
+// scanned-file representation, token search helpers, and the waiver-comment
+// convention. Extracted from desh_lint (PR 5) so both tools tokenize the
+// tree identically — a line the linter sees as code is exactly the line the
+// analyzer sees as code.
+//
+// Standard-library-only on purpose: the tools must build before (and
+// independently of) every desh library they audit.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace desh::analyze {
+
+/// One source line split into the three views the checks need.
+struct ScrubbedLine {
+  std::string code;     // comments and literal *contents* blanked out
+  std::string comment;  // concatenated comment text on this line
+  std::vector<std::string> strings;  // string-literal contents, in order
+};
+
+/// Strips comments and literals, tracking block-comment state across lines.
+/// Raw strings and digit separators are rare enough in this tree to ignore.
+class Scrubber {
+ public:
+  ScrubbedLine scrub(const std::string& line);
+
+ private:
+  bool in_block_ = false;
+};
+
+struct SourceFile {
+  std::string rel_path;             // '/'-separated, repo-relative
+  std::vector<std::string> raw;     // original lines
+  std::vector<ScrubbedLine> lines;  // scrubbed views, same indexing
+};
+
+/// Reads `path` into `lines`, normalizing CRLF. Returns false on I/O error.
+bool read_file(const std::filesystem::path& path,
+               std::vector<std::string>& lines);
+
+/// Loads and scrubs every .cpp/.hpp/.h under `root`/`subdir`, sorted by
+/// path. Returns false (with a message on stderr prefixed `tool`) when the
+/// directory is missing or a file cannot be read.
+bool load_tree(const std::filesystem::path& root, const std::string& subdir,
+               const char* tool, std::vector<SourceFile>& out);
+
+/// All start positions where `needle` occurs in `code` as a whole token.
+/// For qualified names (std::mutex) the boundary check applies to the ends
+/// of the full spelling.
+std::vector<std::size_t> find_tokens(const std::string& code,
+                                     const std::string& needle);
+
+/// Every `desh_*` lower_snake token in `text` (metric-name extraction).
+/// A '.' right after the token means a file name, not a metric family.
+std::vector<std::string> desh_tokens(const std::string& text);
+
+/// True when line `idx` (or the line above) carries a waiver comment of the
+/// form `<tool>: allow(<rule>)`, e.g. `desh-lint: allow(raw-sync)`.
+bool waiver_comment(const SourceFile& f, std::size_t idx, const char* tool,
+                    const std::string& rule);
+
+/// Like waiver_comment, but the waiver only counts when followed by a
+/// non-empty justification: `desh-analyze: allow(blocking-under-lock)
+/// deliberate checkpoint flush`. A bare allow() is ignored — desh_analyze
+/// waivers must say why. The waiver may sit on the flagged line or anywhere
+/// in the contiguous comment-only block directly above it.
+bool waiver_with_reason(const SourceFile& f, std::size_t idx,
+                        const char* tool, const std::string& rule);
+
+}  // namespace desh::analyze

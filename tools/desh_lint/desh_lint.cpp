@@ -48,184 +48,50 @@
 // or the line above suppresses that rule for that line (every rule except
 // wal-expected and public-throw).
 //
-// Usage: desh_lint [--root <repo-root>] [--json]
+// Usage: desh_lint [--root <repo-root>] [--json] [--rules]
 // Exit:  0 = clean, 1 = findings, 2 = usage/configuration error.
-// --json prints a machine-readable findings array (stable field order:
-// rule, file, line, message) to stdout; the default is one
-// `file:line: [rule] message` text line per finding.
+// --json prints a machine-readable findings array in the schema shared with
+// desh_analyze (stable field order: rule, file, line, severity, waived,
+// message) to stdout; the default is one `file:line: [rule] message` text
+// line per finding. --rules prints every rule name this tool can emit, one
+// per line (the docs check pins each to a DESIGN.md mention).
 //
-// Standard-library-only on purpose: the tool must build before (and
-// independently of) every desh library it audits.
+// Tokenization (scrubber, file loading, waiver comments) lives in
+// tools/analyze/source.hpp, shared with desh_analyze — a line this linter
+// sees as code is exactly the line the analyzer sees as code.
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "../analyze/finding.hpp"
+#include "../analyze/source.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string rule;
-  std::string file;  // repo-relative, '/'-separated
-  std::size_t line = 0;
-  std::string message;
+using desh::analyze::desh_tokens;
+using desh::analyze::find_tokens;
+using desh::analyze::Finding;
+using desh::analyze::read_file;
+using desh::analyze::ScrubbedLine;
+using desh::analyze::SourceFile;
+
+// Every rule desh_lint can emit; the docs check pins each name to a
+// DESIGN.md mention.
+constexpr const char* kRuleNames[] = {
+    "metric-catalog",   "throw-discipline", "raw-sync",
+    "rng-discipline",   "include-first",    "ordering-comment",
+    "wal-expected",     "public-throw",
 };
-
-/// One source line split into the three views the rules need.
-struct ScrubbedLine {
-  std::string code;     // comments and literal *contents* blanked out
-  std::string comment;  // concatenated comment text on this line
-  std::vector<std::string> strings;  // string-literal contents, in order
-};
-
-/// Strips comments and literals, tracking block-comment state across lines.
-/// Raw strings and digit separators are rare enough in this tree to ignore.
-class Scrubber {
- public:
-  ScrubbedLine scrub(const std::string& line) {
-    ScrubbedLine out;
-    out.code.reserve(line.size());
-    std::string current_string;
-    enum class State { kCode, kString, kChar, kBlockComment };
-    State state = in_block_ ? State::kBlockComment : State::kCode;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            out.comment += line.substr(i + 2);
-            i = line.size();
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == '"') {
-            out.code += '"';
-            state = State::kString;
-            current_string.clear();
-          } else if (c == '\'') {
-            out.code += '\'';
-            state = State::kChar;
-          } else {
-            out.code += c;
-          }
-          break;
-        case State::kString:
-          if (c == '\\' && next != '\0') {
-            current_string += c;
-            current_string += next;
-            ++i;
-          } else if (c == '"') {
-            out.code += '"';
-            out.strings.push_back(current_string);
-            state = State::kCode;
-          } else {
-            current_string += c;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\' && next != '\0') {
-            ++i;
-          } else if (c == '\'') {
-            out.code += '\'';
-            state = State::kCode;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          } else {
-            out.comment += c;
-          }
-          break;
-      }
-    }
-    in_block_ = state == State::kBlockComment;
-    // An unterminated string at end-of-line (multi-line concatenation does
-    // not exist for plain literals) — treat as closed.
-    if (state == State::kString) out.strings.push_back(current_string);
-    return out;
-  }
-
- private:
-  bool in_block_ = false;
-};
-
-struct SourceFile {
-  std::string rel_path;              // '/'-separated, repo-relative
-  std::vector<std::string> raw;      // original lines
-  std::vector<ScrubbedLine> lines;   // scrubbed views, same indexing
-};
-
-bool read_file(const fs::path& path, std::vector<std::string>& lines) {
-  std::ifstream is(path);
-  if (!is) return false;
-  std::string line;
-  while (std::getline(is, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(line);
-  }
-  return true;
-}
-
-/// All start positions where `needle` occurs in `code` as a whole token.
-std::vector<std::size_t> find_tokens(const std::string& code,
-                                     const std::string& needle) {
-  std::vector<std::size_t> hits;
-  for (std::size_t pos = code.find(needle); pos != std::string::npos;
-       pos = code.find(needle, pos + 1)) {
-    // For qualified names (std::mutex) the "token" check only applies to
-    // the boundary characters of the full spelling.
-    auto is_ident = [](char c) {
-      return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-    };
-    const bool left_ok = pos == 0 || (!is_ident(code[pos - 1]) &&
-                                      code[pos - 1] != ':');
-    const std::size_t end = pos + needle.size();
-    const bool right_ok = end >= code.size() || !is_ident(code[end]);
-    if (left_ok && right_ok) hits.push_back(pos);
-  }
-  return hits;
-}
 
 bool waived(const SourceFile& f, std::size_t idx, const std::string& rule) {
-  const std::string needle = "desh-lint: allow(" + rule + ")";
-  if (f.lines[idx].comment.find(needle) != std::string::npos) return true;
-  return idx > 0 &&
-         f.lines[idx - 1].comment.find(needle) != std::string::npos;
-}
-
-std::vector<std::string> desh_tokens(const std::string& text) {
-  std::vector<std::string> out;
-  const std::string prefix = "desh_";
-  for (std::size_t pos = text.find(prefix); pos != std::string::npos;
-       pos = text.find(prefix, pos + 1)) {
-    if (pos > 0) {
-      const char before = text[pos - 1];
-      if (std::isalnum(static_cast<unsigned char>(before)) || before == '_')
-        continue;
-    }
-    std::size_t end = pos;
-    while (end < text.size() &&
-           (std::islower(static_cast<unsigned char>(text[end])) ||
-            std::isdigit(static_cast<unsigned char>(text[end])) ||
-            text[end] == '_'))
-      ++end;
-    // A '.' right after the token means a file name (desh_stats.json in a
-    // usage example), not a metric family.
-    if (end < text.size() && text[end] == '.') continue;
-    out.push_back(text.substr(pos, end - pos));
-  }
-  return out;
+  return desh::analyze::waiver_comment(f, idx, "desh-lint", rule);
 }
 
 class Linter {
@@ -233,33 +99,7 @@ class Linter {
   explicit Linter(fs::path root) : root_(std::move(root)) {}
 
   bool load() {
-    const fs::path src = root_ / "src";
-    if (!fs::is_directory(src)) {
-      std::cerr << "desh_lint: no src/ under " << root_ << "\n";
-      return false;
-    }
-    std::vector<fs::path> paths;
-    for (const auto& entry : fs::recursive_directory_iterator(src)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".cpp" || ext == ".hpp" || ext == ".h")
-        paths.push_back(entry.path());
-    }
-    std::sort(paths.begin(), paths.end());
-    for (const fs::path& p : paths) {
-      SourceFile f;
-      f.rel_path = fs::relative(p, root_).generic_string();
-      if (!read_file(p, f.raw)) {
-        std::cerr << "desh_lint: cannot read " << p << "\n";
-        return false;
-      }
-      Scrubber scrubber;
-      f.lines.reserve(f.raw.size());
-      for (const std::string& line : f.raw)
-        f.lines.push_back(scrubber.scrub(line));
-      files_.push_back(std::move(f));
-    }
-    return true;
+    return desh::analyze::load_tree(root_, "src", "desh_lint", files_);
   }
 
   void run() {
@@ -273,21 +113,26 @@ class Linter {
       check_wal_expected(f);
       check_public_throw(f);
     }
-    std::stable_sort(findings_.begin(), findings_.end(),
-                     [](const Finding& a, const Finding& b) {
-                       if (a.file != b.file) return a.file < b.file;
-                       if (a.line != b.line) return a.line < b.line;
-                       return a.rule < b.rule;
-                     });
+    desh::analyze::sort_findings(findings_);
   }
 
   const std::vector<Finding>& findings() const { return findings_; }
 
  private:
+  void push(const std::string& rule, const std::string& file,
+            std::size_t line, std::string message) {
+    Finding finding;
+    finding.rule = rule;
+    finding.file = file;
+    finding.line = line;
+    finding.message = std::move(message);
+    findings_.push_back(std::move(finding));
+  }
+
   void add(const SourceFile& f, std::size_t idx, const std::string& rule,
            std::string message) {
     if (waived(f, idx, rule)) return;
-    findings_.push_back({rule, f.rel_path, idx + 1, std::move(message)});
+    push(rule, f.rel_path, idx + 1, std::move(message));
   }
 
   const SourceFile* file(const std::string& rel) const {
@@ -322,9 +167,8 @@ class Linter {
     const std::string catalog_rel = "src/obs/catalog.hpp";
     const SourceFile* catalog = file(catalog_rel);
     if (catalog == nullptr) {
-      findings_.push_back({"metric-catalog", catalog_rel, 0,
-                           "catalog file missing — cannot cross-check "
-                           "metric names"});
+      push("metric-catalog", catalog_rel, 0,
+           "catalog file missing — cannot cross-check metric names");
       return;
     }
     // Catalog = every desh_* string literal in catalog.hpp.
@@ -342,16 +186,17 @@ class Linter {
     std::vector<std::string> doc_raw;
     const fs::path doc_path = root_ / "OBSERVABILITY.md";
     if (!read_file(doc_path, doc_raw)) {
-      findings_.push_back({"metric-catalog", "OBSERVABILITY.md", 0,
-                           "OBSERVABILITY.md missing — metric names "
-                           "must be documented there"});
+      push("metric-catalog", "OBSERVABILITY.md", 0,
+           "OBSERVABILITY.md missing — metric names must be documented "
+           "there");
       return;
     }
     std::set<std::string> doc_names;
     std::map<std::string, std::size_t> doc_lines;
     for (std::size_t i = 0; i < doc_raw.size(); ++i)
       for (const std::string& t : desh_tokens(doc_raw[i])) {
-        if (t == "desh_lint" || t == "desh_") continue;
+        if (t == "desh_lint" || t == "desh_analyze" || t == "desh_")
+          continue;
         doc_names.insert(t);
         doc_lines.emplace(t, i + 1);
       }
@@ -359,20 +204,18 @@ class Linter {
     // 1. Every catalog name is documented.
     for (const std::string& name : catalog_names)
       if (!doc_names.count(name))
-        findings_.push_back({"metric-catalog", catalog_rel,
-                             catalog_lines[name],
-                             "metric '" + name +
-                                 "' is in the catalog but not documented "
-                                 "in OBSERVABILITY.md"});
+        push("metric-catalog", catalog_rel, catalog_lines[name],
+             "metric '" + name +
+                 "' is in the catalog but not documented in "
+                 "OBSERVABILITY.md");
     // 2. Every doc token resolves to a catalog name (modulo histogram
     //    suffixes) or the span family.
     for (const std::string& name : doc_names) {
       if (span_family(name)) continue;
       if (!catalog_names.count(normalize(name, catalog_names)))
-        findings_.push_back({"metric-catalog", "OBSERVABILITY.md",
-                             doc_lines[name],
-                             "documented metric '" + name +
-                                 "' does not exist in src/obs/catalog.hpp"});
+        push("metric-catalog", "OBSERVABILITY.md", doc_lines[name],
+             "documented metric '" + name +
+                 "' does not exist in src/obs/catalog.hpp");
     }
     // 3. Every desh_* literal used by code is a real catalog name.
     for (const SourceFile& f : files_) {
@@ -526,10 +369,9 @@ class Linter {
     if (f.rel_path.rfind("src/wal/", 0) != 0) return;
     for (std::size_t i = 0; i < f.lines.size(); ++i)
       if (!find_tokens(f.lines[i].code, "throw").empty())
-        findings_.push_back(
-            {"wal-expected", f.rel_path, i + 1,
+        push("wal-expected", f.rel_path, i + 1,
              "`throw` inside src/wal — I/O error paths must return "
-             "core::Expected; this rule cannot be waived"});
+             "core::Expected; this rule cannot be waived");
   }
 
   // -- public-throw ---------------------------------------------------------
@@ -558,25 +400,15 @@ class Linter {
     if (f.rel_path.rfind("src/wal/", 0) == 0) return;
     for (std::size_t i = 0; i < f.lines.size(); ++i)
       if (!find_tokens(f.lines[i].code, "throw").empty())
-        findings_.push_back(
-            {"public-throw", f.rel_path, i + 1,
+        push("public-throw", f.rel_path, i + 1,
              "`throw` in a public header — entry points report failures "
-             "as core::Expected; this rule cannot be waived"});
+             "as core::Expected; this rule cannot be waived");
   }
 
   fs::path root_;
   std::vector<SourceFile> files_;
   std::vector<Finding> findings_;
 };
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -589,8 +421,12 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--rules") {
+      for (const char* rule : kRuleNames) std::cout << rule << "\n";
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: desh_lint [--root <repo-root>] [--json]\n";
+      std::cout << "usage: desh_lint [--root <repo-root>] [--json] "
+                   "[--rules]\n";
       return 0;
     } else {
       std::cerr << "desh_lint: unknown argument '" << arg << "'\n";
@@ -606,17 +442,13 @@ int main(int argc, char** argv) {
   if (json) {
     std::cout << "[";
     for (std::size_t i = 0; i < findings.size(); ++i) {
-      const Finding& f = findings[i];
-      std::cout << (i ? ",\n " : "\n ") << "{\"rule\": \""
-                << json_escape(f.rule) << "\", \"file\": \""
-                << json_escape(f.file) << "\", \"line\": " << f.line
-                << ", \"message\": \"" << json_escape(f.message) << "\"}";
+      std::cout << (i ? ",\n " : "\n ");
+      desh::analyze::write_finding_json(std::cout, findings[i]);
     }
     std::cout << (findings.empty() ? "]\n" : "\n]\n");
   } else {
     for (const Finding& f : findings)
-      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-                << f.message << "\n";
+      desh::analyze::write_finding_text(std::cout, f);
     if (!findings.empty())
       std::cout << "desh_lint: " << findings.size() << " finding"
                 << (findings.size() == 1 ? "" : "s") << "\n";
